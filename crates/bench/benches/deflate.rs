@@ -1,0 +1,44 @@
+//! DEFLATE benches: the GZIP baseline's cost on float payloads, plus the
+//! lossless post-pass input (Huffman-coded bytes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use szr_deflate::{deflate_compress, deflate_decompress};
+
+fn float_bytes(n: usize) -> Vec<u8> {
+    (0..n)
+        .flat_map(|i| ((i as f32 * 0.001).sin() * 100.0).to_le_bytes())
+        .collect()
+}
+
+fn noisy_bytes(n: usize) -> Vec<u8> {
+    (0..n)
+        .map(|i| {
+            let h = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            ((h >> 33) & 0xFF) as u8
+        })
+        .collect()
+}
+
+fn bench_deflate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("deflate");
+    group.sample_size(10);
+    let inputs = [
+        ("smooth_floats", float_bytes(1 << 16)),
+        ("noise", noisy_bytes(1 << 18)),
+        ("zeros", vec![0u8; 1 << 18]),
+    ];
+    for (name, data) in &inputs {
+        group.throughput(Throughput::Bytes(data.len() as u64));
+        group.bench_with_input(BenchmarkId::new("compress", name), data, |b, data| {
+            b.iter(|| deflate_compress(data))
+        });
+        let packed = deflate_compress(data);
+        group.bench_with_input(BenchmarkId::new("decompress", name), &packed, |b, packed| {
+            b.iter(|| deflate_decompress(packed).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_deflate);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Huffman benches: the paper's stage-3 coder at different alphabet sizes
+//! (255 / 65535 intervals) and skew levels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use szr_huffman::{compress_u32, decompress_u32};
+
+/// Quantization-code-like stream: geometric around the center code.
+fn synthetic_codes(n: usize, alphabet: u32, spread: f64) -> Vec<u32> {
+    let center = alphabet / 2;
+    (0..n)
+        .map(|i| {
+            let mut h = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            h = (h ^ (h >> 31)).wrapping_mul(0xD6E8_FEB8_6659_FD93);
+            let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+            // two-sided geometric
+            let sign = if h & 1 == 0 { 1.0 } else { -1.0 };
+            let mag = (-u.max(1e-12).ln() * spread) as i64;
+            (center as i64 + sign as i64 * mag).clamp(1, alphabet as i64 - 1) as u32
+        })
+        .collect()
+}
+
+fn bench_huffman(c: &mut Criterion) {
+    let mut group = c.benchmark_group("huffman");
+    let n = 1 << 18;
+    group.throughput(Throughput::Elements(n as u64));
+    for (alphabet, spread) in [(256u32, 1.5f64), (256, 8.0), (65_536, 1.5), (65_536, 64.0)] {
+        let codes = synthetic_codes(n, alphabet, spread);
+        let label = format!("a{alphabet}_s{spread}");
+        group.bench_with_input(
+            BenchmarkId::new("encode", &label),
+            &codes,
+            |b, codes| b.iter(|| compress_u32(codes, alphabet as usize)),
+        );
+        let packed = compress_u32(&codes, alphabet as usize);
+        group.bench_with_input(
+            BenchmarkId::new("decode", &label),
+            &packed,
+            |b, packed| b.iter(|| decompress_u32(packed).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_huffman);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Quantization benches — the engine behind Figure 4: end-to-end
+//! compression cost as the interval count grows, plus the adaptive
+//! selection overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use szr_core::{choose_interval_bits, compress, Config, ErrorBound};
+use szr_datagen::{atm, AtmVariable};
+use szr_metrics::value_range;
+use szr_tensor::Shape;
+
+fn bench_interval_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compress_by_interval_bits");
+    group.sample_size(10);
+    let data = atm(AtmVariable::Ts, 180, 360, 5);
+    let eb = 1e-4 * value_range(data.as_slice());
+    group.throughput(Throughput::Bytes((data.len() * 4) as u64));
+    for bits in [4u32, 8, 12, 16] {
+        let config = Config::new(ErrorBound::Absolute(eb)).with_interval_bits(bits);
+        group.bench_with_input(BenchmarkId::from_parameter(bits), &config, |b, config| {
+            b.iter(|| compress(&data, config).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_adaptive_selection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adaptive_interval_selection");
+    let data = atm(AtmVariable::Ts, 180, 360, 5);
+    let shape = Shape::new(&[180, 360]);
+    let eb = 1e-4 * value_range(data.as_slice());
+    group.throughput(Throughput::Elements(data.len() as u64));
+    for stride in [1usize, 5, 25] {
+        group.bench_with_input(BenchmarkId::from_parameter(stride), &stride, |b, &stride| {
+            b.iter(|| choose_interval_bits(data.as_slice(), &shape, 1, eb, 0.99, stride, 16))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_interval_sweep, bench_adaptive_selection);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Codec throughput benches — the engine behind Table VI.
+//!
+//! Reports compression and decompression throughput (Criterion prints
+//! time; element count is fixed, so lower time = higher MB/s) for SZ-1.4
+//! and ZFP on each synthetic data set at `eb_rel = 1e-4`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use szr_bench::codecs::absolute_bound;
+use szr_core::{Config, ErrorBound};
+use szr_datagen::{dataset, DatasetKind, Scale};
+use szr_tensor::Tensor;
+
+fn bench_codecs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec_throughput");
+    group.sample_size(10);
+    for kind in [DatasetKind::Atm, DatasetKind::Aps, DatasetKind::Hurricane] {
+        let field = dataset(kind, Scale::Small, 7).remove(0);
+        let data = field.data;
+        let bytes = data.len() * 4;
+        let eb = absolute_bound(&data, 1e-4);
+        group.throughput(Throughput::Bytes(bytes as u64));
+
+        let config = Config::new(ErrorBound::Absolute(eb));
+        group.bench_with_input(
+            BenchmarkId::new("sz14_compress", kind.name()),
+            &data,
+            |b, data| b.iter(|| szr_core::compress(data, &config).unwrap()),
+        );
+        let packed = szr_core::compress(&data, &config).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("sz14_decompress", kind.name()),
+            &packed,
+            |b, packed| b.iter(|| szr_core::decompress::<f32>(packed).unwrap()),
+        );
+
+        let mode = szr_zfp::ZfpMode::FixedAccuracy { tolerance: eb };
+        group.bench_with_input(
+            BenchmarkId::new("zfp_compress", kind.name()),
+            &data,
+            |b, data| b.iter(|| szr_zfp::zfp_compress(data, mode)),
+        );
+        let zpacked = szr_zfp::zfp_compress(&data, mode);
+        group.bench_with_input(
+            BenchmarkId::new("zfp_decompress", kind.name()),
+            &zpacked,
+            |b, packed| b.iter(|| szr_zfp::zfp_decompress::<f32>(packed).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_compress");
+    group.sample_size(10);
+    let data: Tensor<f32> = szr_datagen::hurricane(10, 100, 100, 3);
+    group.throughput(Throughput::Bytes((data.len() * 4) as u64));
+    let config = Config::new(ErrorBound::Relative(1e-4));
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    for threads in [1usize, cores] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &t| {
+                b.iter(|| szr_parallel::compress_chunked(&data, &config, t, t).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_codecs, bench_parallel);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! The experiment driver: one subcommand per table/figure of the paper.
+//!
+//! ```text
+//! cargo run --release -p szr-bench --bin experiments -- <id> [--scale small|medium|full] [--out DIR]
+//! ```
+//!
+//! IDs: table2 fig3 fig4 fig6 table5 fig7 fig8 table4 table6 fig9 table7
+//! table8 fig10 ablate vq-bound all
+
+use szr_bench::{Context, Table};
+use szr_datagen::Scale;
+use std::time::Instant;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: experiments <id> [--scale small|medium|full] [--out DIR]\n\
+         ids: table2 fig3 fig4 fig6 table5 fig7 fig8 table4 table6 fig9 scaling fig10 ablate vq-bound all"
+    );
+    std::process::exit(2);
+}
+
+fn run_one(id: &str, ctx: &Context) -> Vec<Table> {
+    match id {
+        "table2" => szr_bench::exp_table2::run(ctx),
+        "fig3" => szr_bench::exp_fig3::run(ctx),
+        "fig4" => szr_bench::exp_fig4::run(ctx),
+        "fig6" => szr_bench::exp_fig6::run(ctx),
+        "table5" => szr_bench::exp_table5::run(ctx),
+        "fig7" => szr_bench::exp_fig7::run(ctx),
+        "fig8" => szr_bench::exp_fig8::run(ctx),
+        "table4" => szr_bench::exp_table4::run(ctx),
+        "table6" => szr_bench::exp_table6::run(ctx),
+        "fig9" => szr_bench::exp_fig9::run(ctx),
+        "scaling" | "table7" | "table8" => szr_bench::exp_scaling::run(ctx),
+        "fig10" => szr_bench::exp_fig10::run(ctx),
+        "ablate" => szr_bench::exp_ablate::run(ctx),
+        "vq-bound" => szr_bench::exp_vq::run(ctx),
+        _ => usage(),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let id = args[0].clone();
+    let mut scale = Scale::Medium;
+    let mut out_dir = "results".to_string();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = match args.get(i).map(String::as_str) {
+                    Some("small") => Scale::Small,
+                    Some("medium") => Scale::Medium,
+                    Some("full") => Scale::Full,
+                    _ => usage(),
+                };
+            }
+            "--out" => {
+                i += 1;
+                out_dir = args.get(i).cloned().unwrap_or_else(|| usage());
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let ctx = Context::new(scale, out_dir);
+
+    let ids: Vec<&str> = if id == "all" {
+        vec![
+            "table2", "fig3", "fig4", "fig6", "table5", "fig7", "fig8", "table4", "table6",
+            "fig9", "scaling", "fig10", "ablate", "vq-bound",
+        ]
+    } else {
+        vec![id.as_str()]
+    };
+
+    for id in ids {
+        let t0 = Instant::now();
+        eprintln!("== running {id} (scale {:?}) ==", ctx.scale);
+        for table in run_one(id, &ctx) {
+            println!("{}", table.to_markdown());
+            match table.persist(&ctx) {
+                Ok(path) => eprintln!("   wrote {}", path.display()),
+                Err(e) => eprintln!("   WARN: could not persist {}: {e}", table.id),
+            }
+        }
+        eprintln!("== {id} done in {:.1}s ==\n", t0.elapsed().as_secs_f64());
+    }
+}

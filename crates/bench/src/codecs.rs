@@ -1,0 +1,217 @@
+//! Uniform adapters over the six compressors for the comparison
+//! experiments.
+
+use szr_core::{Config, ErrorBound};
+use szr_metrics::value_range;
+use szr_tensor::Tensor;
+use std::time::Instant;
+
+/// The compressors of the paper's six-way comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Codec {
+    /// This work.
+    Sz14,
+    /// ZFP 0.5-style, fixed-accuracy mode.
+    Zfp,
+    /// SZ-1.1 bestfit curve fitting.
+    Sz11,
+    /// ISABELA sort + spline.
+    Isabela,
+    /// FPZIP (lossless).
+    Fpzip,
+    /// GZIP on raw bytes (lossless).
+    Gzip,
+}
+
+impl Codec {
+    /// All codecs in the paper's presentation order.
+    pub fn all() -> [Codec; 6] {
+        [
+            Codec::Sz14,
+            Codec::Zfp,
+            Codec::Sz11,
+            Codec::Isabela,
+            Codec::Fpzip,
+            Codec::Gzip,
+        ]
+    }
+
+    /// Display name matching the paper's legends.
+    pub fn name(self) -> &'static str {
+        match self {
+            Codec::Sz14 => "SZ-1.4",
+            Codec::Zfp => "ZFP-0.5",
+            Codec::Sz11 => "SZ-1.1",
+            Codec::Isabela => "ISABELA",
+            Codec::Fpzip => "FPZIP",
+            Codec::Gzip => "GZIP",
+        }
+    }
+
+    /// Whether the codec takes an error bound (lossy) or not (lossless).
+    pub fn is_lossy(self) -> bool {
+        !matches!(self, Codec::Fpzip | Codec::Gzip)
+    }
+}
+
+/// One compression+decompression measurement.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Compressed size in bytes.
+    pub compressed_bytes: usize,
+    /// Reconstruction (None when the codec failed, e.g. ISABELA at tight
+    /// bounds).
+    pub reconstruction: Option<Tensor<f32>>,
+    /// Compression wall time in seconds.
+    pub compress_seconds: f64,
+    /// Decompression wall time in seconds.
+    pub decompress_seconds: f64,
+    /// Whether the codec declined the configuration (ISABELA failure mode).
+    pub failed: Option<String>,
+}
+
+impl RunResult {
+    fn failure(msg: String) -> Self {
+        Self {
+            compressed_bytes: 0,
+            reconstruction: None,
+            compress_seconds: 0.0,
+            decompress_seconds: 0.0,
+            failed: Some(msg),
+        }
+    }
+}
+
+/// Runs a codec at an absolute bound `eb` (ignored by lossless codecs).
+pub fn run_codec(codec: Codec, data: &Tensor<f32>, eb: f64) -> RunResult {
+    match codec {
+        Codec::Sz14 => {
+            let config = Config::new(ErrorBound::Absolute(eb));
+            let t0 = Instant::now();
+            let packed = szr_core::compress(data, &config).expect("valid config");
+            let ct = t0.elapsed().as_secs_f64();
+            let t1 = Instant::now();
+            let out: Tensor<f32> = szr_core::decompress(&packed).expect("fresh archive");
+            RunResult {
+                compressed_bytes: packed.len(),
+                reconstruction: Some(out),
+                compress_seconds: ct,
+                decompress_seconds: t1.elapsed().as_secs_f64(),
+                failed: None,
+            }
+        }
+        Codec::Zfp => {
+            let mode = szr_zfp::ZfpMode::FixedAccuracy { tolerance: eb };
+            let t0 = Instant::now();
+            let packed = szr_zfp::zfp_compress(data, mode);
+            let ct = t0.elapsed().as_secs_f64();
+            let t1 = Instant::now();
+            let out: Tensor<f32> = szr_zfp::zfp_decompress(&packed).expect("fresh archive");
+            RunResult {
+                compressed_bytes: packed.len(),
+                reconstruction: Some(out),
+                compress_seconds: ct,
+                decompress_seconds: t1.elapsed().as_secs_f64(),
+                failed: None,
+            }
+        }
+        Codec::Sz11 => {
+            let t0 = Instant::now();
+            let packed = szr_sz11::sz11_compress(data, eb);
+            let ct = t0.elapsed().as_secs_f64();
+            let t1 = Instant::now();
+            let out: Tensor<f32> = szr_sz11::sz11_decompress(&packed).expect("fresh archive");
+            RunResult {
+                compressed_bytes: packed.len(),
+                reconstruction: Some(out),
+                compress_seconds: ct,
+                decompress_seconds: t1.elapsed().as_secs_f64(),
+                failed: None,
+            }
+        }
+        Codec::Isabela => {
+            let config = szr_isabela::IsabelaConfig::new(eb);
+            let t0 = Instant::now();
+            match szr_isabela::isabela_compress(data, &config) {
+                Ok(packed) => {
+                    let ct = t0.elapsed().as_secs_f64();
+                    let t1 = Instant::now();
+                    let out: Tensor<f32> =
+                        szr_isabela::isabela_decompress(&packed).expect("fresh archive");
+                    RunResult {
+                        compressed_bytes: packed.len(),
+                        reconstruction: Some(out),
+                        compress_seconds: ct,
+                        decompress_seconds: t1.elapsed().as_secs_f64(),
+                        failed: None,
+                    }
+                }
+                Err(e) => RunResult::failure(e.to_string()),
+            }
+        }
+        Codec::Fpzip => {
+            let t0 = Instant::now();
+            let packed = szr_fpzip::fpzip_compress(data);
+            let ct = t0.elapsed().as_secs_f64();
+            let t1 = Instant::now();
+            let out: Tensor<f32> = szr_fpzip::fpzip_decompress(&packed).expect("fresh archive");
+            RunResult {
+                compressed_bytes: packed.len(),
+                reconstruction: Some(out),
+                compress_seconds: ct,
+                decompress_seconds: t1.elapsed().as_secs_f64(),
+                failed: None,
+            }
+        }
+        Codec::Gzip => {
+            let bytes: Vec<u8> = data.as_slice().iter().flat_map(|v| v.to_le_bytes()).collect();
+            let t0 = Instant::now();
+            let packed = szr_deflate::gzip_compress(&bytes);
+            let ct = t0.elapsed().as_secs_f64();
+            let t1 = Instant::now();
+            let out_bytes = szr_deflate::gzip_decompress(&packed).expect("fresh archive");
+            let dt = t1.elapsed().as_secs_f64();
+            let floats: Vec<f32> = out_bytes
+                .chunks_exact(4)
+                .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+                .collect();
+            RunResult {
+                compressed_bytes: packed.len(),
+                reconstruction: Some(Tensor::from_vec(data.dims(), floats)),
+                compress_seconds: ct,
+                decompress_seconds: dt,
+                failed: None,
+            }
+        }
+    }
+}
+
+/// Resolves a value-range-based relative bound to absolute for a field.
+pub fn absolute_bound(data: &Tensor<f32>, eb_rel: f64) -> f64 {
+    (eb_rel * value_range(data.as_slice())).max(f64::MIN_POSITIVE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_codec_runs_on_a_small_field() {
+        let data = Tensor::from_fn([24, 24], |ix| ((ix[0] + ix[1]) as f32 * 0.2).sin());
+        let eb = absolute_bound(&data, 1e-3);
+        for codec in Codec::all() {
+            let r = run_codec(codec, &data, eb);
+            if r.failed.is_none() {
+                assert!(r.compressed_bytes > 0, "{}", codec.name());
+                let out = r.reconstruction.as_ref().unwrap();
+                assert_eq!(out.dims(), data.dims());
+                if codec.is_lossy() {
+                    let err = szr_metrics::max_abs_error(data.as_slice(), out.as_slice());
+                    assert!(err <= eb, "{} err {err} > {eb}", codec.name());
+                } else {
+                    assert_eq!(out.as_slice(), data.as_slice(), "{}", codec.name());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Ablation: how much of SZ-1.4's compression factor comes from each stage.
+//!
+//! Not a paper artifact, but the design-choice ablations DESIGN.md calls
+//! for: variable-length encoding on/off, layer count, and adaptive-vs-fixed
+//! interval selection.
+
+use crate::harness::{fmt_pct, Context, Table};
+use szr_core::{compress_with_stats, Config, ErrorBound};
+use szr_datagen::{atm, AtmVariable};
+use szr_metrics::value_range;
+
+/// Runs the ablations on the ATM TS variable at `eb_rel = 1e-4`.
+pub fn run(ctx: &Context) -> Vec<Table> {
+    let (rows, cols) = ctx.scale.atm_dims();
+    let data = atm(AtmVariable::Ts, rows, cols, ctx.seed);
+    let range = value_range(data.as_slice());
+    let eb = 1e-3 * range;
+    let raw = data.len() * 4;
+
+    // --- VLE ablation: Huffman vs raw m-bit codes. -----------------------
+    let mut vle = Table::new(
+        "ablate-vle",
+        "Variable-length encoding ablation (ATM TS, eb_rel = 1e-3)",
+        &["configuration", "bits/value for codes", "total CF"],
+    );
+    let (bytes, stats) = compress_with_stats(&data, &Config::new(ErrorBound::Absolute(eb)))
+        .expect("valid config");
+    let huff_bits_per_value = stats.huffman_bytes as f64 * 8.0 / data.len() as f64;
+    let raw_bits_per_value = stats.interval_bits as f64;
+    // Without VLE the code section would be m bits/value flat.
+    let no_vle_bytes =
+        bytes.len() - stats.huffman_bytes + (data.len() * stats.interval_bits as usize).div_ceil(8);
+    vle.push(vec![
+        "with Huffman (SZ-1.4)".into(),
+        format!("{huff_bits_per_value:.2}"),
+        format!("{:.2}", raw as f64 / bytes.len() as f64),
+    ]);
+    vle.push(vec![
+        format!("raw {}-bit codes", stats.interval_bits),
+        format!("{raw_bits_per_value:.2}"),
+        format!("{:.2}", raw as f64 / no_vle_bytes as f64),
+    ]);
+
+    // --- Layer ablation: CF and hit rate per n. ---------------------------
+    let mut layers = Table::new(
+        "ablate-layers",
+        "Layer-count ablation (ATM TS, eb_rel = 1e-3)",
+        &["layers", "hit rate", "CF"],
+    );
+    for n in 1..=4usize {
+        let config = Config::new(ErrorBound::Absolute(eb)).with_layers(n);
+        let (bytes, stats) = compress_with_stats(&data, &config).expect("valid config");
+        layers.push(vec![
+            format!("{n}"),
+            fmt_pct(stats.hit_rate()),
+            format!("{:.2}", raw as f64 / bytes.len() as f64),
+        ]);
+    }
+
+    // --- Interval-mode ablation: adaptive vs fixed m. ---------------------
+    let mut intervals = Table::new(
+        "ablate-intervals",
+        "Interval-count ablation (ATM TS, eb_rel = 1e-3)",
+        &["mode", "m bits", "hit rate", "CF"],
+    );
+    {
+        let (bytes, stats) = compress_with_stats(&data, &Config::new(ErrorBound::Absolute(eb)))
+            .expect("valid config");
+        intervals.push(vec![
+            "adaptive".into(),
+            stats.interval_bits.to_string(),
+            fmt_pct(stats.hit_rate()),
+            format!("{:.2}", raw as f64 / bytes.len() as f64),
+        ]);
+    }
+    for bits in [2u32, 4, 8, 12, 16] {
+        let config = Config::new(ErrorBound::Absolute(eb)).with_interval_bits(bits);
+        let (bytes, stats) = compress_with_stats(&data, &config).expect("valid config");
+        intervals.push(vec![
+            "fixed".into(),
+            bits.to_string(),
+            fmt_pct(stats.hit_rate()),
+            format!("{:.2}", raw as f64 / bytes.len() as f64),
+        ]);
+    }
+
+    vec![vle, layers, intervals]
+}

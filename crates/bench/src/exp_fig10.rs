@@ -1,0 +1,65 @@
+//! Figure 10: time to compress + write compressed data vs time to write the
+//! initial data, across process counts.
+
+use crate::harness::{fmt_pct, Context, Table};
+use szr_core::{compress_with_stats, Config, ErrorBound};
+use szr_datagen::{atm, AtmVariable};
+use szr_parallel::{io_breakdown, IoModel};
+use std::time::Instant;
+
+/// Measures the host's single-thread compression rate + CF on ATM data,
+/// then evaluates the Blues-class shared-file-system model at the paper's
+/// process counts (1 → 1024), for both the write (a) and read (b) panels.
+pub fn run(ctx: &Context) -> Vec<Table> {
+    let (rows, cols) = ctx.scale.atm_dims();
+    let data = atm(AtmVariable::Ts, rows, cols, ctx.seed);
+    let raw = data.len() * 4;
+    let config = Config::new(ErrorBound::Relative(1e-4));
+
+    let t0 = Instant::now();
+    let (packed, _) = compress_with_stats(&data, &config).expect("valid config");
+    let comp_rate = raw as f64 / t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let _out: szr_tensor::Tensor<f32> = szr_core::decompress(&packed).expect("fresh archive");
+    let decomp_rate = raw as f64 / t1.elapsed().as_secs_f64();
+    let cf = raw as f64 / packed.len() as f64;
+
+    let model = IoModel {
+        fs_aggregate_bw: 2.2e9,
+        fs_per_process_bw: 0.2e9,
+        compress_rate: comp_rate,
+        decompress_rate: decomp_rate,
+        compression_factor: cf,
+    };
+    let counts = [1usize, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024];
+    let total = 2_684_354_560_000u64.min((raw as u64) * 100_000) as usize; // ~2.5 TB ATM data set
+
+    let mut tables = Vec::new();
+    for (id, title, write) in [
+        ("fig10a", "Write path: compression + compressed write vs initial write", true),
+        ("fig10b", "Read path: decompression + compressed read vs initial read", false),
+    ] {
+        let mut t = Table::new(
+            id,
+            format!("{title} (measured CF {cf:.1}, codec rate from host)"),
+            &[
+                "processes",
+                "codec share",
+                "compressed I/O share",
+                "initial I/O share",
+                "codec+comp-I/O < initial?",
+            ],
+        );
+        for b in io_breakdown(&model, total, &counts, write) {
+            t.push(vec![
+                b.processes.to_string(),
+                fmt_pct(b.codec_share()),
+                fmt_pct(b.compressed_io_share()),
+                fmt_pct(b.initial_io_share()),
+                if b.compression_pays() { "yes" } else { "no" }.to_string(),
+            ]);
+        }
+        tables.push(t);
+    }
+    tables
+}

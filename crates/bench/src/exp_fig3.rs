@@ -1,0 +1,58 @@
+//! Figure 3: distribution of quantization codes (255 intervals).
+
+use crate::harness::{fmt_pct, Context, Table};
+use szr_core::quantization_histogram;
+use szr_datagen::{atm, AtmVariable};
+use szr_metrics::value_range;
+
+/// Regenerates the Figure 3 histograms: quantization-code shares around the
+/// center code for `eb_rel ∈ {1e-3, 1e-4}` with 255 intervals (m = 8).
+///
+/// The figure's content is the *unevenness* of the distribution; the table
+/// reports the share of the center code, its ±1/±2/±8 neighborhoods, the
+/// escape code, and the entropy of the distribution.
+pub fn run(ctx: &Context) -> Vec<Table> {
+    let (rows, cols) = ctx.scale.atm_dims();
+    let data = atm(AtmVariable::Ts, rows, cols, ctx.seed);
+    let range = value_range(data.as_slice());
+
+    let mut t = Table::new(
+        "fig3",
+        "Quantization code distribution (ATM TS, 255 intervals)",
+        &[
+            "eb_rel",
+            "center code share",
+            "center ±1",
+            "center ±2",
+            "center ±8",
+            "escape (code 0)",
+            "entropy bits/code",
+        ],
+    );
+    for eb_rel in [1e-3f64, 1e-4] {
+        let hist = quantization_histogram(&data, 1, eb_rel * range, 8);
+        let total: u64 = hist.iter().sum();
+        let center = 128usize;
+        let share = |lo: usize, hi: usize| -> f64 {
+            hist[lo..=hi].iter().sum::<u64>() as f64 / total as f64
+        };
+        let entropy: f64 = hist
+            .iter()
+            .filter(|&&c| c > 0)
+            .map(|&c| {
+                let p = c as f64 / total as f64;
+                -p * p.log2()
+            })
+            .sum();
+        t.push(vec![
+            format!("{eb_rel:.0e}"),
+            fmt_pct(share(center, center)),
+            fmt_pct(share(center - 1, center + 1)),
+            fmt_pct(share(center - 2, center + 2)),
+            fmt_pct(share(center - 8, center + 8)),
+            fmt_pct(hist[0] as f64 / total as f64),
+            format!("{entropy:.2}"),
+        ]);
+    }
+    vec![t]
+}

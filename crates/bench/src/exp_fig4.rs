@@ -1,0 +1,57 @@
+//! Figure 4: prediction hitting rate vs error bound for different interval
+//! counts, on the 2-D ATM and 3-D hurricane data sets.
+
+use crate::harness::{fmt_pct, Context, Table};
+use szr_core::{compress_with_stats, Config, ErrorBound};
+use szr_datagen::{atm, hurricane, AtmVariable};
+use szr_metrics::value_range;
+use szr_tensor::Tensor;
+
+fn sweep(id: &str, title: &str, data: &Tensor<f32>, interval_bits: &[u32]) -> Table {
+    let range = value_range(data.as_slice());
+    let mut headers: Vec<String> = vec!["eb_rel".to_string()];
+    headers.extend(
+        interval_bits
+            .iter()
+            .map(|&b| format!("{} intervals", (1u64 << b) - 1)),
+    );
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut t = Table::new(id, title, &header_refs);
+    for exp in 1..=8 {
+        let eb_rel = 10f64.powi(-exp);
+        let mut row = vec![format!("1e-{exp}")];
+        for &bits in interval_bits {
+            let config = Config::new(ErrorBound::Absolute((eb_rel * range).max(1e-30)))
+                .with_interval_bits(bits);
+            let (_, stats) = compress_with_stats(data, &config).expect("valid config");
+            row.push(fmt_pct(stats.hit_rate()));
+        }
+        t.push(row);
+    }
+    t
+}
+
+/// Regenerates Figure 4: hit-rate-vs-bound curves per interval count.
+///
+/// The paper's interval sets: ATM {15, 63, 255, 2047, 4095}; hurricane
+/// {63, 511, 4095, 16383, 65535}.
+pub fn run(ctx: &Context) -> Vec<Table> {
+    let (rows, cols) = ctx.scale.atm_dims();
+    let atm_data = atm(AtmVariable::Ts, rows, cols, ctx.seed);
+    let (l, r, c) = ctx.scale.hurricane_dims();
+    let hur = hurricane(l, r, c, ctx.seed);
+    vec![
+        sweep(
+            "fig4a",
+            "Hitting rate vs error bound (2-D ATM TS)",
+            &atm_data,
+            &[4, 6, 8, 11, 12],
+        ),
+        sweep(
+            "fig4b",
+            "Hitting rate vs error bound (3-D hurricane)",
+            &hur,
+            &[6, 9, 12, 14, 16],
+        ),
+    ]
+}

@@ -1,0 +1,42 @@
+//! Figure 7: compression factors at *matched* maximum error — SZ-1.4 re-run
+//! with its bound set to ZFP's realized maximum error.
+
+use crate::codecs::{absolute_bound, run_codec, Codec};
+use crate::harness::{Context, Table};
+use szr_datagen::{dataset, DatasetKind};
+use szr_metrics::max_abs_error;
+
+/// Regenerates Figure 7 on ATM and hurricane data.
+pub fn run(ctx: &Context) -> Vec<Table> {
+    let mut tables = Vec::new();
+    for kind in [DatasetKind::Atm, DatasetKind::Hurricane] {
+        let field = dataset(kind, ctx.scale, ctx.seed).remove(0);
+        let raw = field.data.len() * 4;
+        let mut t = Table::new(
+            format!("fig7-{}", kind.name().to_lowercase()),
+            format!("CF at matched max error ({} data)", kind.name()),
+            &["matched max error", "SZ-1.4 CF", "ZFP CF", "SZ-1.4 advantage"],
+        );
+        for eb_rel in [1e-2f64, 1e-3, 1e-4, 1e-5, 1e-6] {
+            // ZFP at the user bound; its realized max error becomes the
+            // matched condition.
+            let zf = run_codec(Codec::Zfp, &field.data, absolute_bound(&field.data, eb_rel));
+            let realized = max_abs_error(
+                field.data.as_slice(),
+                zf.reconstruction.as_ref().unwrap().as_slice(),
+            )
+            .max(f64::MIN_POSITIVE);
+            let sz = run_codec(Codec::Sz14, &field.data, realized);
+            let cf_sz = raw as f64 / sz.compressed_bytes as f64;
+            let cf_zf = raw as f64 / zf.compressed_bytes as f64;
+            t.push(vec![
+                format!("{realized:.2e}"),
+                format!("{cf_sz:.2}"),
+                format!("{cf_zf:.2}"),
+                format!("{:.0}%", (cf_sz / cf_zf - 1.0) * 100.0),
+            ]);
+        }
+        tables.push(t);
+    }
+    tables
+}

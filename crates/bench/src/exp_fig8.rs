@@ -1,0 +1,61 @@
+//! Figure 8: rate-distortion (PSNR vs bit-rate) for the lossy compressors.
+
+use crate::codecs::{absolute_bound, run_codec, Codec};
+use crate::harness::{Context, Table};
+use szr_datagen::{dataset, DatasetKind};
+use szr_metrics::psnr;
+
+/// Regenerates the Figure 8 rate-distortion curves.
+///
+/// Error-bounded codecs (SZ-1.4, SZ-1.1, ISABELA) sweep the bound and
+/// report the (bit-rate, PSNR) they land on; ZFP — "designed for a fixed
+/// bit-rate" — sweeps its rate mode directly. One table per data set; each
+/// row is one sweep point.
+pub fn run(ctx: &Context) -> Vec<Table> {
+    let mut tables = Vec::new();
+    for kind in [DatasetKind::Atm, DatasetKind::Aps, DatasetKind::Hurricane] {
+        let field = dataset(kind, ctx.scale, ctx.seed).remove(0);
+        let data = &field.data;
+        let n = data.len();
+        let mut t = Table::new(
+            format!("fig8-{}", kind.name().to_lowercase()),
+            format!("Rate-distortion on {} data", kind.name()),
+            &["codec", "bit-rate (bits/value)", "PSNR (dB)"],
+        );
+        // Error-bounded codecs: sweep eb_rel.
+        for codec in [Codec::Sz14, Codec::Sz11, Codec::Isabela] {
+            for eb_rel in [1e-2f64, 3e-3, 1e-3, 3e-4, 1e-4, 3e-5, 1e-5, 1e-6] {
+                let r = run_codec(codec, data, absolute_bound(data, eb_rel));
+                if r.failed.is_some() {
+                    continue;
+                }
+                let out = r.reconstruction.as_ref().unwrap();
+                let rate = r.compressed_bytes as f64 * 8.0 / n as f64;
+                if rate > 16.0 {
+                    continue; // the paper plots bit-rates ≤ 16
+                }
+                t.push(vec![
+                    codec.name().to_string(),
+                    format!("{rate:.2}"),
+                    format!("{:.1}", psnr(data.as_slice(), out.as_slice())),
+                ]);
+            }
+        }
+        // ZFP: fixed-rate sweep.
+        for rate in [1.0f64, 2.0, 4.0, 6.0, 8.0, 12.0, 16.0] {
+            let packed = szr_zfp::zfp_compress(data, szr_zfp::ZfpMode::FixedRate {
+                bits_per_value: rate,
+            });
+            let out: szr_tensor::Tensor<f32> =
+                szr_zfp::zfp_decompress(&packed).expect("fresh archive");
+            let actual_rate = packed.len() as f64 * 8.0 / n as f64;
+            t.push(vec![
+                "ZFP-0.5".to_string(),
+                format!("{actual_rate:.2}"),
+                format!("{:.1}", psnr(data.as_slice(), out.as_slice())),
+            ]);
+        }
+        tables.push(t);
+    }
+    tables
+}

@@ -1,0 +1,60 @@
+//! Tables VII and VIII: strong scalability of parallel compression and
+//! decompression, 1 → 1024 processes.
+
+use crate::harness::{fmt_pct, Context, Table};
+use szr_core::{Config, ErrorBound};
+use szr_datagen::{atm, AtmVariable};
+use szr_parallel::{measure_scaling, model_cluster_scaling, ClusterModel, Direction};
+
+/// Regenerates Tables VII/VIII.
+///
+/// Host threads are measured directly (the honest part); process counts
+/// beyond the host's cores use the Blues-cluster model: ideal inter-node
+/// scaling (justified — the workload is communication-free) with the
+/// paper's measured intra-node contention shape. EXPERIMENTS.md details the
+/// substitution.
+pub fn run(ctx: &Context) -> Vec<Table> {
+    let (rows, cols) = ctx.scale.atm_dims();
+    let data = atm(AtmVariable::Ts, rows, cols, ctx.seed);
+    let config = Config::new(ErrorBound::Relative(1e-4));
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let host_counts: Vec<usize> = (0..=cores.ilog2()).map(|p| 1usize << p).collect();
+
+    let mut tables = Vec::new();
+    for (id, title, direction) in [
+        ("table7", "Strong scaling of parallel compression", Direction::Compression),
+        ("table8", "Strong scaling of parallel decompression", Direction::Decompression),
+    ] {
+        let measured = measure_scaling(&data, &config, direction, &host_counts, 3);
+        let mut t = Table::new(
+            id,
+            format!("{title} (measured ≤ {cores} host threads, Blues model beyond)"),
+            &["processes", "nodes", "speed (GB/s)", "speedup", "parallel efficiency", "source"],
+        );
+        for p in &measured {
+            t.push(vec![
+                p.workers.to_string(),
+                p.nodes.to_string(),
+                format!("{:.3}", p.throughput / 1e9),
+                format!("{:.2}", p.speedup),
+                fmt_pct(p.efficiency),
+                "measured".to_string(),
+            ]);
+        }
+        let base = measured[0].throughput;
+        let model = ClusterModel::blues_like(base);
+        let counts = [1usize, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024];
+        for p in model_cluster_scaling(&model, &counts) {
+            t.push(vec![
+                p.workers.to_string(),
+                p.nodes.to_string(),
+                format!("{:.3}", p.throughput / 1e9),
+                format!("{:.2}", p.speedup),
+                fmt_pct(p.efficiency),
+                "model".to_string(),
+            ]);
+        }
+        tables.push(t);
+    }
+    tables
+}

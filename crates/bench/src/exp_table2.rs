@@ -1,0 +1,39 @@
+//! Table II: prediction hitting rate by layer, original vs decompressed
+//! prediction basis.
+
+use crate::harness::{fmt_pct, Context, Table};
+use szr_core::{hit_rate_by_layer, PredictionBasis};
+use szr_datagen::{atm, AtmVariable};
+use szr_metrics::value_range;
+
+/// Regenerates Table II on the synthetic ATM TS variable.
+///
+/// The paper measures at one (unstated) bound; we report `eb_rel = 1e-3`,
+/// the regime where feedback dominates (see EXPERIMENTS.md), plus `1e-4`
+/// for context.
+pub fn run(ctx: &Context) -> Vec<Table> {
+    let (rows, cols) = ctx.scale.atm_dims();
+    let data = atm(AtmVariable::Ts, rows, cols, ctx.seed);
+    let range = value_range(data.as_slice());
+
+    let mut tables = Vec::new();
+    for eb_rel in [1e-3f64, 1e-4] {
+        let eb = eb_rel * range;
+        let mut t = Table::new(
+            format!("table2-eb{eb_rel:.0e}"),
+            format!("Prediction hitting rate by layer (ATM TS, eb_rel = {eb_rel:.0e})"),
+            &["layers", "R_PH original", "R_PH decompressed"],
+        );
+        for layers in 1..=4usize {
+            let orig = hit_rate_by_layer(&data, layers, eb, PredictionBasis::Original);
+            let dec = hit_rate_by_layer(&data, layers, eb, PredictionBasis::Decompressed);
+            t.push(vec![
+                format!("{layers}-layer"),
+                fmt_pct(orig),
+                fmt_pct(dec),
+            ]);
+        }
+        tables.push(t);
+    }
+    tables
+}

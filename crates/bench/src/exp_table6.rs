@@ -1,0 +1,52 @@
+//! Table VI: single-core compression/decompression speeds (MB/s),
+//! SZ-1.4 vs ZFP, across error bounds and data sets.
+
+use crate::codecs::{absolute_bound, run_codec, Codec};
+use crate::harness::{Context, Table};
+use szr_datagen::{dataset, DatasetKind};
+
+/// Regenerates Table VI. Absolute MB/s depends on the host (the paper used
+/// a 2.3 GHz i7); the reproduced quantities are the SZ-vs-ZFP ratio and the
+/// slowdown trend as bounds tighten.
+pub fn run(ctx: &Context) -> Vec<Table> {
+    let mut t = Table::new(
+        "table6",
+        "Compression/decompression speed (MB/s), best of 3 runs",
+        &[
+            "data set",
+            "eb_rel",
+            "SZ-1.4 comp",
+            "SZ-1.4 decomp",
+            "ZFP comp",
+            "ZFP decomp",
+        ],
+    );
+    for kind in [DatasetKind::Atm, DatasetKind::Aps, DatasetKind::Hurricane] {
+        let field = dataset(kind, ctx.scale, ctx.seed).remove(0);
+        let mb = (field.data.len() * 4) as f64 / 1e6;
+        for eb_rel in [1e-3f64, 1e-4, 1e-5, 1e-6] {
+            let eb = absolute_bound(&field.data, eb_rel);
+            let best = |codec: Codec| -> (f64, f64) {
+                let mut c = f64::INFINITY;
+                let mut d = f64::INFINITY;
+                for _ in 0..3 {
+                    let r = run_codec(codec, &field.data, eb);
+                    c = c.min(r.compress_seconds);
+                    d = d.min(r.decompress_seconds);
+                }
+                (mb / c, mb / d)
+            };
+            let (sz_c, sz_d) = best(Codec::Sz14);
+            let (zf_c, zf_d) = best(Codec::Zfp);
+            t.push(vec![
+                kind.name().to_string(),
+                format!("{eb_rel:.0e}"),
+                format!("{sz_c:.1}"),
+                format!("{sz_d:.1}"),
+                format!("{zf_c:.1}"),
+                format!("{zf_d:.1}"),
+            ]);
+        }
+    }
+    vec![t]
+}

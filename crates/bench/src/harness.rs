@@ -1,0 +1,156 @@
+//! Table construction, rendering, and persistence for the experiments.
+
+use szr_datagen::Scale;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// Shared experiment context.
+#[derive(Debug, Clone)]
+pub struct Context {
+    /// Data set scale (Small for smoke runs, Medium for reported results,
+    /// Full for the paper's exact grid sizes).
+    pub scale: Scale,
+    /// Seed for all generators (results are reproducible per seed).
+    pub seed: u64,
+    /// Output directory for `.md`/`.csv` artifacts.
+    pub out_dir: PathBuf,
+}
+
+impl Context {
+    /// Context with the default experiment scale.
+    pub fn new(scale: Scale, out_dir: impl Into<PathBuf>) -> Self {
+        Self {
+            scale,
+            seed: 20_170_529, // IPDPS'17 conference date
+            out_dir: out_dir.into(),
+        }
+    }
+}
+
+/// A simple column-oriented result table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Identifier, e.g. `"table2"` or `"fig6-atm"`.
+    pub id: String,
+    /// Human title, e.g. `"Prediction hitting rate by layer"`.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of pre-formatted cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        headers: &[&str],
+    ) -> Self {
+        Self {
+            id: id.into(),
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header arity).
+    pub fn push(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders GitHub-flavoured markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### {} — {}\n", self.id, self.title);
+        let _ = writeln!(out, "| {} |", self.headers.join(" | "));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "| {} |", row.join(" | "));
+        }
+        out
+    }
+
+    /// Renders CSV (headers + rows).
+    pub fn to_csv(&self) -> String {
+        let esc = |cell: &str| -> String {
+            if cell.contains([',', '"', '\n']) {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+        }
+        out
+    }
+
+    /// Writes `<out_dir>/<id>.md` and `<id>.csv`, returning the md path.
+    pub fn persist(&self, ctx: &Context) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(&ctx.out_dir)?;
+        let md = ctx.out_dir.join(format!("{}.md", self.id));
+        std::fs::write(&md, self.to_markdown())?;
+        std::fs::write(ctx.out_dir.join(format!("{}.csv", self.id)), self.to_csv())?;
+        Ok(md)
+    }
+}
+
+/// Formats a float with engineering-friendly precision.
+pub fn fmt_f(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if !(0.001..10_000.0).contains(&v.abs()) {
+        format!("{v:.3e}")
+    } else if v.abs() >= 100.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Formats a ratio as a percentage.
+pub fn fmt_pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_and_csv_render() {
+        let mut t = Table::new("t1", "demo", &["a", "b"]);
+        t.push(vec!["1".into(), "x,y".into()]);
+        let md = t.to_markdown();
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("| 1 | x,y |"));
+        let csv = t.to_csv();
+        assert!(csv.contains("a,b"));
+        assert!(csv.contains("1,\"x,y\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_is_checked() {
+        let mut t = Table::new("t", "t", &["a"]);
+        t.push(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_f(0.0), "0");
+        assert_eq!(fmt_f(1.5), "1.500");
+        assert_eq!(fmt_f(1234.5), "1234.5");
+        assert_eq!(fmt_f(1.23e-7), "1.230e-7");
+        assert_eq!(fmt_pct(0.995), "99.5%");
+    }
+}

@@ -1,0 +1,221 @@
+//! MSB-first bit-level reader and writer.
+
+use crate::{Error, Result};
+
+/// Accumulates bits MSB-first into a growable byte buffer.
+///
+/// The first bit written becomes the most significant bit of the first byte,
+/// so a canonical-Huffman decoder can consume codewords by reading one bit at
+/// a time in natural (left-to-right) order.
+#[derive(Default, Clone)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Bits already occupied in the final byte (0..=7); 0 means byte-aligned.
+    partial_bits: u32,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a writer with preallocated capacity (in bytes).
+    pub fn with_capacity(bytes: usize) -> Self {
+        Self {
+            bytes: Vec::with_capacity(bytes),
+            partial_bits: 0,
+        }
+    }
+
+    /// Total number of bits written so far.
+    pub fn bit_len(&self) -> usize {
+        if self.partial_bits == 0 {
+            self.bytes.len() * 8
+        } else {
+            (self.bytes.len() - 1) * 8 + self.partial_bits as usize
+        }
+    }
+
+    /// Appends a single bit.
+    #[inline]
+    pub fn write_bit(&mut self, bit: bool) {
+        if self.partial_bits == 0 {
+            self.bytes.push(0);
+        }
+        if bit {
+            let last = self.bytes.last_mut().expect("byte pushed above");
+            *last |= 1 << (7 - self.partial_bits);
+        }
+        self.partial_bits = (self.partial_bits + 1) & 7;
+    }
+
+    /// Appends the low `count` bits of `value`, most significant first.
+    ///
+    /// # Panics
+    /// Panics if `count > 64`.
+    #[inline]
+    pub fn write_bits(&mut self, value: u64, count: u32) {
+        assert!(count <= 64, "cannot write more than 64 bits at once");
+        // Write whole leading bits; loop is branch-light and fast enough for
+        // the codecs here (profiled against a table-driven variant).
+        for shift in (0..count).rev() {
+            self.write_bit((value >> shift) & 1 == 1);
+        }
+    }
+
+    /// Pads with zero bits to the next byte boundary.
+    pub fn align_to_byte(&mut self) {
+        self.partial_bits = 0;
+    }
+
+    /// Consumes the writer, returning the byte buffer (final byte
+    /// zero-padded).
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+
+    /// Borrow the bytes written so far (final byte zero-padded).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+/// Reads bits MSB-first from a byte slice.
+#[derive(Clone)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    /// Next bit position from the start of the slice.
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    /// Number of bits remaining.
+    pub fn remaining_bits(&self) -> usize {
+        self.bytes.len() * 8 - self.pos
+    }
+
+    /// Current bit offset from the start.
+    pub fn bit_pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Reads a single bit.
+    #[inline]
+    pub fn read_bit(&mut self) -> Result<bool> {
+        let byte_ix = self.pos >> 3;
+        if byte_ix >= self.bytes.len() {
+            return Err(Error::UnexpectedEof);
+        }
+        let bit = (self.bytes[byte_ix] >> (7 - (self.pos & 7))) & 1;
+        self.pos += 1;
+        Ok(bit == 1)
+    }
+
+    /// Reads `count` bits MSB-first into the low bits of a `u64`.
+    ///
+    /// # Panics
+    /// Panics if `count > 64`.
+    #[inline]
+    pub fn read_bits(&mut self, count: u32) -> Result<u64> {
+        assert!(count <= 64, "cannot read more than 64 bits at once");
+        if self.remaining_bits() < count as usize {
+            return Err(Error::UnexpectedEof);
+        }
+        let mut value = 0u64;
+        for _ in 0..count {
+            value = (value << 1) | self.read_bit()? as u64;
+        }
+        Ok(value)
+    }
+
+    /// Skips forward to the next byte boundary.
+    pub fn align_to_byte(&mut self) {
+        self.pos = (self.pos + 7) & !7;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_bits_pack_msb_first() {
+        let mut w = BitWriter::new();
+        for bit in [true, false, true, true, false, false, false, true] {
+            w.write_bit(bit);
+        }
+        assert_eq!(w.into_bytes(), vec![0b1011_0001]);
+    }
+
+    #[test]
+    fn multi_bit_fields_roundtrip() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        w.write_bits(0xFFFF, 16);
+        w.write_bits(0, 5);
+        w.write_bits(u64::MAX, 64);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(3).unwrap(), 0b101);
+        assert_eq!(r.read_bits(16).unwrap(), 0xFFFF);
+        assert_eq!(r.read_bits(5).unwrap(), 0);
+        assert_eq!(r.read_bits(64).unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn bit_len_counts_partial_bytes() {
+        let mut w = BitWriter::new();
+        assert_eq!(w.bit_len(), 0);
+        w.write_bits(0b11, 2);
+        assert_eq!(w.bit_len(), 2);
+        w.write_bits(0, 6);
+        assert_eq!(w.bit_len(), 8);
+        w.write_bit(true);
+        assert_eq!(w.bit_len(), 9);
+    }
+
+    #[test]
+    fn align_pads_with_zeros() {
+        let mut w = BitWriter::new();
+        w.write_bit(true);
+        w.align_to_byte();
+        w.write_bits(0xAB, 8);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes, vec![0b1000_0000, 0xAB]);
+        let mut r = BitReader::new(&bytes);
+        assert!(r.read_bit().unwrap());
+        r.align_to_byte();
+        assert_eq!(r.read_bits(8).unwrap(), 0xAB);
+    }
+
+    #[test]
+    fn eof_is_detected_not_panicked() {
+        let bytes = [0xFFu8];
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(8).unwrap(), 0xFF);
+        assert_eq!(r.read_bit(), Err(Error::UnexpectedEof));
+        assert_eq!(r.read_bits(4), Err(Error::UnexpectedEof));
+    }
+
+    #[test]
+    fn zero_width_read_is_zero() {
+        let mut r = BitReader::new(&[]);
+        assert_eq!(r.read_bits(0).unwrap(), 0);
+    }
+
+    #[test]
+    fn remaining_bits_tracks_position() {
+        let bytes = [0u8; 4];
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.remaining_bits(), 32);
+        r.read_bits(5).unwrap();
+        assert_eq!(r.remaining_bits(), 27);
+        assert_eq!(r.bit_pos(), 5);
+    }
+}

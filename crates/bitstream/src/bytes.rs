@@ -1,0 +1,266 @@
+//! Little-endian byte-level IO with LEB128 varints.
+
+use crate::{Error, Result};
+
+/// Serializes archive headers and sections into a byte vector.
+///
+/// All fixed-width integers are little-endian; lengths and counts use LEB128
+/// varints so small archives stay small.
+#[derive(Default, Clone)]
+pub struct ByteWriter {
+    bytes: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a writer with preallocated capacity.
+    pub fn with_capacity(bytes: usize) -> Self {
+        Self {
+            bytes: Vec::with_capacity(bytes),
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Appends one byte.
+    pub fn write_u8(&mut self, v: u8) {
+        self.bytes.push(v);
+    }
+
+    /// Appends a little-endian `u16`.
+    pub fn write_u16(&mut self, v: u16) {
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn write_u32(&mut self, v: u32) {
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn write_u64(&mut self, v: u64) {
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `f32` (IEEE-754 bits).
+    pub fn write_f32(&mut self, v: f32) {
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `f64` (IEEE-754 bits).
+    pub fn write_f64(&mut self, v: f64) {
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a LEB128-encoded unsigned varint.
+    pub fn write_varint(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7F) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.bytes.push(byte);
+                return;
+            }
+            self.bytes.push(byte | 0x80);
+        }
+    }
+
+    /// Appends raw bytes.
+    pub fn write_bytes(&mut self, data: &[u8]) {
+        self.bytes.extend_from_slice(data);
+    }
+
+    /// Appends a varint length prefix followed by the bytes.
+    pub fn write_len_prefixed(&mut self, data: &[u8]) {
+        self.write_varint(data.len() as u64);
+        self.write_bytes(data);
+    }
+
+    /// Consumes the writer, returning the buffer.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+
+    /// Borrows the buffer.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+/// Deserializes archive headers and sections from a byte slice.
+#[derive(Clone)]
+pub struct ByteReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Creates a reader over `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Current offset from the start.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(Error::UnexpectedEof);
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn read_u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn read_u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn read_u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `f32`.
+    pub fn read_f32(&mut self) -> Result<f32> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `f64`.
+    pub fn read_f64(&mut self) -> Result<f64> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a LEB128-encoded unsigned varint.
+    pub fn read_varint(&mut self) -> Result<u64> {
+        let mut value = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.read_u8()?;
+            if shift >= 64 || (shift == 63 && byte > 1) {
+                return Err(Error::VarintOverflow);
+            }
+            value |= ((byte & 0x7F) as u64) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(value);
+            }
+            shift += 7;
+        }
+    }
+
+    /// Reads exactly `n` raw bytes.
+    pub fn read_bytes(&mut self, n: usize) -> Result<&'a [u8]> {
+        self.take(n)
+    }
+
+    /// Reads a varint length prefix then that many bytes.
+    pub fn read_len_prefixed(&mut self) -> Result<&'a [u8]> {
+        let len = self.read_varint()? as usize;
+        self.take(len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_width_roundtrip() {
+        let mut w = ByteWriter::new();
+        w.write_u8(0xAB);
+        w.write_u16(0x1234);
+        w.write_u32(0xDEAD_BEEF);
+        w.write_u64(0x0123_4567_89AB_CDEF);
+        w.write_f32(3.5);
+        w.write_f64(-1.25e300);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.read_u8().unwrap(), 0xAB);
+        assert_eq!(r.read_u16().unwrap(), 0x1234);
+        assert_eq!(r.read_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.read_u64().unwrap(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(r.read_f32().unwrap(), 3.5);
+        assert_eq!(r.read_f64().unwrap(), -1.25e300);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn varint_boundaries() {
+        let cases = [0u64, 1, 127, 128, 16383, 16384, u32::MAX as u64, u64::MAX];
+        for &v in &cases {
+            let mut w = ByteWriter::new();
+            w.write_varint(v);
+            let bytes = w.into_bytes();
+            let mut r = ByteReader::new(&bytes);
+            assert_eq!(r.read_varint().unwrap(), v, "value {v}");
+            assert_eq!(r.remaining(), 0);
+        }
+    }
+
+    #[test]
+    fn varint_small_values_use_one_byte() {
+        let mut w = ByteWriter::new();
+        w.write_varint(127);
+        assert_eq!(w.len(), 1);
+        w.write_varint(128);
+        assert_eq!(w.len(), 3);
+    }
+
+    #[test]
+    fn varint_overflow_detected() {
+        // 11 continuation bytes would exceed 64 bits.
+        let bytes = [0xFFu8; 11];
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.read_varint(), Err(Error::VarintOverflow));
+    }
+
+    #[test]
+    fn len_prefixed_roundtrip() {
+        let mut w = ByteWriter::new();
+        w.write_len_prefixed(b"hello");
+        w.write_len_prefixed(b"");
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.read_len_prefixed().unwrap(), b"hello");
+        assert_eq!(r.read_len_prefixed().unwrap(), b"");
+    }
+
+    #[test]
+    fn eof_returns_error() {
+        let mut r = ByteReader::new(&[1, 2]);
+        assert_eq!(r.read_u32(), Err(Error::UnexpectedEof));
+        // Failed read consumes nothing.
+        assert_eq!(r.remaining(), 2);
+        assert_eq!(r.read_u16().unwrap(), 0x0201);
+    }
+}

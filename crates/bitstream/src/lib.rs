@@ -1,0 +1,49 @@
+//! Bit-granular and byte-granular serialization for the `szr` codecs.
+//!
+//! Every compressor in this workspace ultimately produces a byte stream built
+//! from sub-byte fields: Huffman codewords, truncated IEEE-754 mantissas,
+//! bit-plane groups, varints. This crate supplies the two primitives they
+//! share:
+//!
+//! * [`BitWriter`] / [`BitReader`] — MSB-first bit-level IO. MSB-first order
+//!   matches canonical Huffman decoding and the bit-plane coder's needs.
+//! * [`ByteWriter`] / [`ByteReader`] — little-endian byte-level IO with
+//!   LEB128 varints for headers.
+//!
+//! All readers are non-panicking: running off the end returns
+//! [`Error::UnexpectedEof`] so corrupted archives fail loudly but safely.
+
+mod bits;
+mod bytes;
+
+pub use bits::{BitReader, BitWriter};
+pub use bytes::{ByteReader, ByteWriter};
+
+/// Errors produced while decoding a bit or byte stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The stream ended before the requested field was complete.
+    UnexpectedEof,
+    /// A varint ran past its maximum encodable length.
+    VarintOverflow,
+    /// A decoded value violated a format invariant (message explains).
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::UnexpectedEof => write!(f, "unexpected end of stream"),
+            Error::VarintOverflow => write!(f, "varint exceeds 64 bits"),
+            Error::Corrupt(msg) => write!(f, "corrupt stream: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias for stream decoding.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod proptests;

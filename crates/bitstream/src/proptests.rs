@@ -1,0 +1,78 @@
+//! Property tests: arbitrary field sequences must roundtrip bit-exactly.
+
+use crate::{BitReader, BitWriter, ByteReader, ByteWriter};
+use proptest::prelude::*;
+
+/// A bit field: a value and the number of bits used to store it.
+fn arb_field() -> impl Strategy<Value = (u64, u32)> {
+    (1u32..=64).prop_flat_map(|width| {
+        let max = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        (0..=max, Just(width))
+    })
+}
+
+proptest! {
+    #[test]
+    fn bit_fields_roundtrip(fields in prop::collection::vec(arb_field(), 0..64)) {
+        let mut w = BitWriter::new();
+        for &(value, width) in &fields {
+            w.write_bits(value, width);
+        }
+        let total_bits: usize = fields.iter().map(|&(_, w)| w as usize).sum();
+        prop_assert_eq!(w.bit_len(), total_bits);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &(value, width) in &fields {
+            prop_assert_eq!(r.read_bits(width).unwrap(), value);
+        }
+    }
+
+    #[test]
+    fn varints_roundtrip(values in prop::collection::vec(any::<u64>(), 0..64)) {
+        let mut w = ByteWriter::new();
+        for &v in &values {
+            w.write_varint(v);
+        }
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        for &v in &values {
+            prop_assert_eq!(r.read_varint().unwrap(), v);
+        }
+        prop_assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn interleaved_alignment_roundtrips(
+        groups in prop::collection::vec((arb_field(), any::<bool>()), 0..32)
+    ) {
+        let mut w = BitWriter::new();
+        for &((value, width), align) in &groups {
+            w.write_bits(value, width);
+            if align {
+                w.align_to_byte();
+            }
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &((value, width), align) in &groups {
+            prop_assert_eq!(r.read_bits(width).unwrap(), value);
+            if align {
+                r.align_to_byte();
+            }
+        }
+    }
+
+    #[test]
+    fn float_bits_survive_byte_io(xs in prop::collection::vec(any::<f64>(), 0..32)) {
+        let mut w = ByteWriter::new();
+        for &x in &xs {
+            w.write_f64(x);
+        }
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        for &x in &xs {
+            let back = r.read_f64().unwrap();
+            prop_assert_eq!(back.to_bits(), x.to_bits());
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Minimal flag parser for the `szr` binary (no CLI crates offline).
+
+use std::collections::HashMap;
+
+/// Parsed command line: subcommand, `--flag value` pairs, bare `--switches`.
+pub struct Args {
+    /// First positional argument.
+    pub command: String,
+    values: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Args {
+    /// Parses `std::env::args`-style input (without the program name).
+    ///
+    /// Returns `Err` with a message on malformed input.
+    pub fn parse(raw: &[String], switches_allowed: &[&str]) -> Result<Self, String> {
+        let command = raw.first().cloned().ok_or("missing subcommand")?;
+        let mut values = HashMap::new();
+        let mut switches = Vec::new();
+        let mut i = 1usize;
+        while i < raw.len() {
+            let flag = raw[i]
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --flag, got {:?}", raw[i]))?;
+            if switches_allowed.contains(&flag) {
+                switches.push(flag.to_string());
+                i += 1;
+            } else {
+                let value = raw
+                    .get(i + 1)
+                    .ok_or_else(|| format!("--{flag} needs a value"))?;
+                values.insert(flag.to_string(), value.clone());
+                i += 2;
+            }
+        }
+        Ok(Self {
+            command,
+            values,
+            switches,
+        })
+    }
+
+    /// Required string flag.
+    pub fn need(&self, flag: &str) -> Result<&str, String> {
+        self.values
+            .get(flag)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing required --{flag}"))
+    }
+
+    /// Optional string flag.
+    pub fn get(&self, flag: &str) -> Option<&str> {
+        self.values.get(flag).map(String::as_str)
+    }
+
+    /// Optional parsed flag.
+    pub fn get_parse<T: std::str::FromStr>(&self, flag: &str) -> Result<Option<T>, String> {
+        match self.values.get(flag) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("--{flag} has an unparseable value {v:?}")),
+        }
+    }
+
+    /// Whether a bare switch was given.
+    pub fn switch(&self, flag: &str) -> bool {
+        self.switches.iter().any(|s| s == flag)
+    }
+}
+
+/// Parses `AxBxC` dimension syntax.
+pub fn parse_dims(spec: &str) -> Result<Vec<usize>, String> {
+    let dims: Result<Vec<usize>, _> = spec.split('x').map(str::parse).collect();
+    let dims = dims.map_err(|_| format!("bad --dims {spec:?}, expected e.g. 1800x3600"))?;
+    if dims.is_empty() || dims.contains(&0) {
+        return Err("dimensions must be positive".into());
+    }
+    Ok(dims)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_flags_and_switches() {
+        let a = Args::parse(
+            &strs(&["compress", "--input", "x.bin", "--rel", "1e-4", "--decorrelate"]),
+            &["decorrelate"],
+        )
+        .unwrap();
+        assert_eq!(a.command, "compress");
+        assert_eq!(a.need("input").unwrap(), "x.bin");
+        assert_eq!(a.get_parse::<f64>("rel").unwrap(), Some(1e-4));
+        assert!(a.switch("decorrelate"));
+        assert!(!a.switch("other"));
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert!(Args::parse(&strs(&["c", "--input"]), &[]).is_err());
+        assert!(Args::parse(&strs(&["c", "input"]), &[]).is_err());
+        assert!(Args::parse(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn dims_syntax() {
+        assert_eq!(parse_dims("1800x3600").unwrap(), vec![1800, 3600]);
+        assert_eq!(parse_dims("100").unwrap(), vec![100]);
+        assert!(parse_dims("8x0").is_err());
+        assert!(parse_dims("axb").is_err());
+    }
+}

@@ -1,0 +1,338 @@
+//! Subcommand implementations for the `szr` binary.
+
+use crate::args::{parse_dims, Args};
+use szr_core::{Config, ErrorBound, ScalarFloat};
+use szr_metrics::ErrorStats;
+use szr_tensor::Tensor;
+use std::time::Instant;
+
+type CmdResult = Result<(), String>;
+
+fn read_raw<T: ScalarFloat>(path: &str, dims: &[usize]) -> Result<Tensor<T>, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let elem = T::BITS as usize / 8;
+    let expected: usize = dims.iter().product::<usize>() * elem;
+    if bytes.len() != expected {
+        return Err(format!(
+            "{path}: {} bytes but {:?} x {} needs {expected}",
+            bytes.len(),
+            dims,
+            T::NAME,
+        ));
+    }
+    let values: Vec<T> = bytes
+        .chunks_exact(elem)
+        .map(|c| {
+            let mut buf = [0u8; 8];
+            buf[..elem].copy_from_slice(c);
+            T::from_bits_u64(u64::from_le_bytes(buf))
+        })
+        .collect();
+    Ok(Tensor::from_vec(dims, values))
+}
+
+fn write_raw<T: ScalarFloat>(path: &str, data: &Tensor<T>) -> CmdResult {
+    let elem = T::BITS as usize / 8;
+    let mut bytes = Vec::with_capacity(data.len() * elem);
+    for &v in data.as_slice() {
+        bytes.extend_from_slice(&v.to_bits_u64().to_le_bytes()[..elem]);
+    }
+    std::fs::write(path, bytes).map_err(|e| format!("cannot write {path}: {e}"))
+}
+
+fn build_config(args: &Args) -> Result<Config, String> {
+    let abs = args.get_parse::<f64>("abs")?;
+    let rel = args.get_parse::<f64>("rel")?;
+    let bound = match (abs, rel) {
+        (Some(a), Some(r)) => ErrorBound::Both { abs: a, rel: r },
+        (Some(a), None) => ErrorBound::Absolute(a),
+        (None, Some(r)) => ErrorBound::Relative(r),
+        (None, None) => return Err("need --abs and/or --rel (or --pointwise-rel)".into()),
+    };
+    let mut config = Config::new(bound);
+    if let Some(layers) = args.get_parse::<usize>("layers")? {
+        config = config.with_layers(layers);
+    }
+    if let Some(bits) = args.get_parse::<u32>("bits")? {
+        config = config.with_interval_bits(bits);
+    }
+    if args.switch("decorrelate") {
+        config = config.with_decorrelation();
+    }
+    if args.switch("no-lossless-pass") {
+        config = config.without_lossless_pass();
+    }
+    config.validate().map_err(|e| e.to_string())?;
+    Ok(config)
+}
+
+/// `szr compress`
+pub fn compress(args: &Args) -> CmdResult {
+    let input = args.need("input")?;
+    let output = args.need("output")?;
+    let dims = parse_dims(args.need("dims")?)?;
+    let dtype = args.get("dtype").unwrap_or("f32");
+    let pw = args.get_parse::<f64>("pointwise-rel")?;
+
+    let t0 = Instant::now();
+    let (archive, raw_bytes) = match dtype {
+        "f32" => {
+            let data = read_raw::<f32>(input, &dims)?;
+            let archive = match pw {
+                Some(eb) => {
+                    let cfg = build_config_pw(args)?;
+                    szr_core::compress_pointwise_rel(&data, eb, &cfg)
+                }
+                None => szr_core::compress(&data, &build_config(args)?),
+            }
+            .map_err(|e| e.to_string())?;
+            (archive, data.len() * 4)
+        }
+        "f64" => {
+            let data = read_raw::<f64>(input, &dims)?;
+            let archive = match pw {
+                Some(eb) => {
+                    let cfg = build_config_pw(args)?;
+                    szr_core::compress_pointwise_rel(&data, eb, &cfg)
+                }
+                None => szr_core::compress(&data, &build_config(args)?),
+            }
+            .map_err(|e| e.to_string())?;
+            (archive, data.len() * 8)
+        }
+        other => return Err(format!("unknown --dtype {other:?}")),
+    };
+    std::fs::write(output, &archive).map_err(|e| format!("cannot write {output}: {e}"))?;
+    eprintln!(
+        "{input} -> {output}: {} -> {} bytes (CF {:.2}x) in {:.2}s",
+        raw_bytes,
+        archive.len(),
+        raw_bytes as f64 / archive.len() as f64,
+        t0.elapsed().as_secs_f64()
+    );
+    Ok(())
+}
+
+/// Config for the pointwise path (its bound field is a placeholder).
+fn build_config_pw(args: &Args) -> Result<Config, String> {
+    let mut config = Config::new(ErrorBound::Absolute(1.0));
+    if let Some(layers) = args.get_parse::<usize>("layers")? {
+        config = config.with_layers(layers);
+    }
+    if let Some(bits) = args.get_parse::<u32>("bits")? {
+        config = config.with_interval_bits(bits);
+    }
+    Ok(config)
+}
+
+/// `szr decompress`
+pub fn decompress(args: &Args) -> CmdResult {
+    let input = args.need("input")?;
+    let output = args.need("output")?;
+    let archive = std::fs::read(input).map_err(|e| format!("cannot read {input}: {e}"))?;
+    // Pointwise-relative archives carry their own magic and type tag.
+    if archive.starts_with(b"SZRL") {
+        let t0 = Instant::now();
+        match archive.get(4) {
+            Some(0) => {
+                let data: Tensor<f32> =
+                    szr_core::decompress_pointwise_rel(&archive).map_err(|e| e.to_string())?;
+                write_raw(output, &data)?;
+                eprintln!(
+                    "{input} -> {output}: {} f32 values (pointwise-relative) in {:.2}s",
+                    data.len(),
+                    t0.elapsed().as_secs_f64()
+                );
+            }
+            _ => {
+                let data: Tensor<f64> =
+                    szr_core::decompress_pointwise_rel(&archive).map_err(|e| e.to_string())?;
+                write_raw(output, &data)?;
+                eprintln!(
+                    "{input} -> {output}: {} f64 values (pointwise-relative) in {:.2}s",
+                    data.len(),
+                    t0.elapsed().as_secs_f64()
+                );
+            }
+        }
+        return Ok(());
+    }
+    let info = szr_core::inspect(&archive).map_err(|e| e.to_string())?;
+    let t0 = Instant::now();
+    match info.dtype {
+        "f32" => {
+            let data: Tensor<f32> = szr_core::decompress(&archive).map_err(|e| e.to_string())?;
+            write_raw(output, &data)?;
+        }
+        _ => {
+            let data: Tensor<f64> = szr_core::decompress(&archive).map_err(|e| e.to_string())?;
+            write_raw(output, &data)?;
+        }
+    }
+    eprintln!(
+        "{input} -> {output}: {} {} values ({}) in {:.2}s",
+        info.len(),
+        info.dtype,
+        info.dims.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("x"),
+        t0.elapsed().as_secs_f64()
+    );
+    Ok(())
+}
+
+/// `szr inspect`
+pub fn inspect(args: &Args) -> CmdResult {
+    let input = args.need("input")?;
+    let archive = std::fs::read(input).map_err(|e| format!("cannot read {input}: {e}"))?;
+    let info = szr_core::inspect(&archive).map_err(|e| e.to_string())?;
+    println!("file            : {input}");
+    println!("dtype           : {}", info.dtype);
+    println!(
+        "dims            : {}",
+        info.dims.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("x")
+    );
+    println!("points          : {}", info.len());
+    println!("error bound     : {:.6e} (absolute)", info.error_bound);
+    println!("layers          : {}", info.layers);
+    println!("intervals       : 2^{} - 1", info.interval_bits);
+    println!("decorrelated    : {}", info.decorrelated);
+    println!("archive bytes   : {}", info.archive_bytes);
+    println!("compression     : {:.2}x", info.compression_factor());
+    Ok(())
+}
+
+/// `szr eval` — compress+decompress in memory, print quality metrics.
+pub fn eval(args: &Args) -> CmdResult {
+    let input = args.need("input")?;
+    let dims = parse_dims(args.need("dims")?)?;
+    let codec = args.get("codec").unwrap_or("sz14");
+    let data = read_raw::<f32>(input, &dims)?;
+    let range = szr_metrics::value_range(data.as_slice());
+    let eb = match (args.get_parse::<f64>("abs")?, args.get_parse::<f64>("rel")?) {
+        (Some(a), _) => a,
+        (None, Some(r)) => r * range,
+        (None, None) => return Err("need --abs or --rel".into()),
+    };
+    let raw_bytes = data.len() * 4;
+
+    let t0 = Instant::now();
+    let (packed, out): (Vec<u8>, Tensor<f32>) = match codec {
+        "sz14" => {
+            let config = build_config_eval(args, eb)?;
+            let packed = szr_core::compress(&data, &config).map_err(|e| e.to_string())?;
+            let out = szr_core::decompress(&packed).map_err(|e| e.to_string())?;
+            (packed, out)
+        }
+        "zfp" => {
+            let packed = szr_zfp::zfp_compress(&data, szr_zfp::ZfpMode::FixedAccuracy {
+                tolerance: eb,
+            });
+            let out = szr_zfp::zfp_decompress(&packed).map_err(|e| e.to_string())?;
+            (packed, out)
+        }
+        "sz11" => {
+            let packed = szr_sz11::sz11_compress(&data, eb);
+            let out = szr_sz11::sz11_decompress(&packed).map_err(|e| e.to_string())?;
+            (packed, out)
+        }
+        "isabela" => {
+            let packed =
+                szr_isabela::isabela_compress(&data, &szr_isabela::IsabelaConfig::new(eb))
+                    .map_err(|e| e.to_string())?;
+            let out = szr_isabela::isabela_decompress(&packed).map_err(|e| e.to_string())?;
+            (packed, out)
+        }
+        "fpzip" => {
+            let packed = szr_fpzip::fpzip_compress(&data);
+            let out = szr_fpzip::fpzip_decompress(&packed).map_err(|e| e.to_string())?;
+            (packed, out)
+        }
+        "gzip" => {
+            let bytes: Vec<u8> = data.as_slice().iter().flat_map(|v| v.to_le_bytes()).collect();
+            let packed = szr_deflate::gzip_compress(&bytes);
+            let back = szr_deflate::gzip_decompress(&packed).map_err(|e| e.to_string())?;
+            let floats: Vec<f32> = back
+                .chunks_exact(4)
+                .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+                .collect();
+            (packed, Tensor::from_vec(&dims[..], floats))
+        }
+        other => return Err(format!("unknown --codec {other:?}")),
+    };
+    let elapsed = t0.elapsed().as_secs_f64();
+    let stats = ErrorStats::compute(data.as_slice(), out.as_slice());
+    println!("codec           : {codec}");
+    println!("bound (absolute): {eb:.6e}");
+    println!(
+        "size            : {} -> {} bytes (CF {:.2}x, {:.2} bits/value)",
+        raw_bytes,
+        packed.len(),
+        raw_bytes as f64 / packed.len() as f64,
+        packed.len() as f64 * 8.0 / data.len() as f64
+    );
+    println!("max abs error   : {:.6e}", stats.max_abs);
+    println!("max rel error   : {:.6e}", stats.max_rel);
+    println!("RMSE / NRMSE    : {:.6e} / {:.6e}", stats.rmse, stats.nrmse);
+    println!("PSNR            : {:.2} dB", stats.psnr);
+    println!("Pearson rho     : {:.9}", stats.pearson);
+    println!("bound respected : {}", if stats.max_abs <= eb { "yes" } else { "NO" });
+    println!("round trip      : {elapsed:.2}s");
+    Ok(())
+}
+
+fn build_config_eval(args: &Args, eb: f64) -> Result<Config, String> {
+    let mut config = Config::new(ErrorBound::Absolute(eb));
+    if let Some(layers) = args.get_parse::<usize>("layers")? {
+        config = config.with_layers(layers);
+    }
+    if let Some(bits) = args.get_parse::<u32>("bits")? {
+        config = config.with_interval_bits(bits);
+    }
+    if args.switch("decorrelate") {
+        config = config.with_decorrelation();
+    }
+    config.validate().map_err(|e| e.to_string())?;
+    Ok(config)
+}
+
+/// `szr gen`
+pub fn generate(args: &Args) -> CmdResult {
+    use szr_datagen::{atm, aps, hurricane, AtmVariable, Scale};
+    let output = args.need("output")?;
+    let dataset = args.need("dataset")?;
+    let scale = match args.get("scale").unwrap_or("medium") {
+        "small" => Scale::Small,
+        "medium" => Scale::Medium,
+        "full" => Scale::Full,
+        other => return Err(format!("unknown --scale {other:?}")),
+    };
+    let seed = args.get_parse::<u64>("seed")?.unwrap_or(42);
+    let data = match dataset {
+        "atm" => {
+            let var = match args.get("variable").unwrap_or("TS") {
+                "TS" => AtmVariable::Ts,
+                "FREQSH" => AtmVariable::Freqsh,
+                "SNOWHLND" => AtmVariable::Snowhlnd,
+                "CDNUMC" => AtmVariable::Cdnumc,
+                other => return Err(format!("unknown --variable {other:?}")),
+            };
+            let (r, c) = scale.atm_dims();
+            atm(var, r, c, seed)
+        }
+        "aps" => {
+            let (r, c) = scale.aps_dims();
+            aps(r, c, seed)
+        }
+        "hurricane" => {
+            let (l, r, c) = scale.hurricane_dims();
+            hurricane(l, r, c, seed)
+        }
+        other => return Err(format!("unknown --dataset {other:?}")),
+    };
+    write_raw(output, &data)?;
+    eprintln!(
+        "wrote {output}: {} f32 values, dims {}",
+        data.len(),
+        data.dims().iter().map(|d| d.to_string()).collect::<Vec<_>>().join("x")
+    );
+    Ok(())
+}

@@ -1,0 +1,73 @@
+//! `szr` — command-line error-bounded compression for raw scientific data.
+//!
+//! ```text
+//! szr compress   --input data.bin --dims 1800x3600 --dtype f32 --rel 1e-4 --output data.szr
+//! szr decompress --input data.szr --output data.bin
+//! szr inspect    --input data.szr
+//! szr eval       --input data.bin --dims 1800x3600 --dtype f32 --rel 1e-4 [--codec sz14]
+//! szr gen        --dataset atm --variable TS --scale medium --output ts.bin
+//! ```
+//!
+//! Raw files are flat little-endian arrays in row-major order, the layout
+//! HPC applications dump (`--dims` lists extents slowest-first).
+
+mod args;
+mod commands;
+
+use args::Args;
+
+const USAGE: &str = "\
+szr — error-bounded lossy compression for scientific data (SZ-1.4)
+
+USAGE:
+  szr compress   --input FILE --dims AxBxC --rel EB | --abs EB [options] --output FILE
+  szr decompress --input FILE --output FILE
+  szr inspect    --input FILE
+  szr eval       --input FILE --dims AxBxC (--rel EB | --abs EB) [--codec NAME]
+  szr gen        --dataset atm|aps|hurricane [--variable V] [--scale S] --output FILE
+
+COMPRESS OPTIONS:
+  --dtype f32|f64        element type (default f32)
+  --abs EB               absolute error bound
+  --rel EB               value-range-based relative bound
+  --pointwise-rel EB     pointwise relative bound (log-domain mode)
+  --layers N             prediction layers 1..8 (default 1)
+  --bits M               fixed 2^M-1 quantization intervals (default adaptive)
+  --decorrelate          whiten error autocorrelation (costs ~1 bit/value)
+  --no-lossless-pass     skip the DEFLATE post-pass (faster, larger)
+
+EVAL OPTIONS:
+  --codec sz14|zfp|sz11|isabela|fpzip|gzip   (default sz14)
+
+GEN OPTIONS:
+  --variable TS|FREQSH|SNOWHLND|CDNUMC       (ATM only; default TS)
+  --scale small|medium|full                  (default medium)
+  --seed N                                   (default 42)
+";
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.is_empty() || raw[0] == "--help" || raw[0] == "help" {
+        eprint!("{USAGE}");
+        std::process::exit(if raw.is_empty() { 2 } else { 0 });
+    }
+    let parsed = match Args::parse(&raw, &["decorrelate", "no-lossless-pass"]) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let result = match parsed.command.as_str() {
+        "compress" => commands::compress(&parsed),
+        "decompress" => commands::decompress(&parsed),
+        "inspect" => commands::inspect(&parsed),
+        "eval" => commands::eval(&parsed),
+        "gen" => commands::generate(&parsed),
+        other => Err(format!("unknown subcommand {other:?}")),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,144 @@
+//! End-to-end tests of the `szr` binary (gen → compress → inspect →
+//! decompress → verify).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn szr() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_szr"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("szr_cli_tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+#[test]
+fn full_pipeline_respects_bound() {
+    let raw = tmp("pipe.bin");
+    let packed = tmp("pipe.szr");
+    let restored = tmp("pipe_out.bin");
+
+    let gen = szr()
+        .args(["gen", "--dataset", "atm", "--variable", "TS", "--scale", "small"])
+        .args(["--seed", "7", "--output", raw.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(gen.status.success(), "{}", String::from_utf8_lossy(&gen.stderr));
+
+    let comp = szr()
+        .args(["compress", "--input", raw.to_str().unwrap()])
+        .args(["--dims", "90x180", "--rel", "1e-4"])
+        .args(["--output", packed.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(comp.status.success(), "{}", String::from_utf8_lossy(&comp.stderr));
+
+    let dec = szr()
+        .args(["decompress", "--input", packed.to_str().unwrap()])
+        .args(["--output", restored.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(dec.status.success(), "{}", String::from_utf8_lossy(&dec.stderr));
+
+    // Verify the bound directly on the file bytes.
+    let orig = std::fs::read(&raw).unwrap();
+    let back = std::fs::read(&restored).unwrap();
+    assert_eq!(orig.len(), back.len());
+    let floats = |b: &[u8]| -> Vec<f32> {
+        b.chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect()
+    };
+    let a = floats(&orig);
+    let b = floats(&back);
+    let range = a.iter().cloned().fold(f32::NEG_INFINITY, f32::max)
+        - a.iter().cloned().fold(f32::INFINITY, f32::min);
+    let eb = 1e-4 * range as f64;
+    for (x, y) in a.iter().zip(&b) {
+        assert!((*x as f64 - *y as f64).abs() <= eb);
+    }
+}
+
+#[test]
+fn inspect_reports_header_fields() {
+    let raw = tmp("ins.bin");
+    let packed = tmp("ins.szr");
+    szr()
+        .args(["gen", "--dataset", "hurricane", "--scale", "small"])
+        .args(["--output", raw.to_str().unwrap()])
+        .status()
+        .unwrap();
+    szr()
+        .args(["compress", "--input", raw.to_str().unwrap()])
+        .args(["--dims", "10x50x50", "--abs", "0.5", "--layers", "2"])
+        .args(["--output", packed.to_str().unwrap()])
+        .status()
+        .unwrap();
+    let out = szr()
+        .args(["inspect", "--input", packed.to_str().unwrap()])
+        .output()
+        .unwrap();
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("10x50x50"), "{text}");
+    assert!(text.contains("layers          : 2"), "{text}");
+    assert!(text.contains("f32"), "{text}");
+}
+
+#[test]
+fn eval_reports_bound_respected() {
+    let raw = tmp("eval.bin");
+    szr()
+        .args(["gen", "--dataset", "aps", "--scale", "small"])
+        .args(["--output", raw.to_str().unwrap()])
+        .status()
+        .unwrap();
+    let out = szr()
+        .args(["eval", "--input", raw.to_str().unwrap()])
+        .args(["--dims", "128x128", "--rel", "1e-3"])
+        .output()
+        .unwrap();
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("bound respected : yes"), "{text}");
+}
+
+#[test]
+fn wrong_dims_fail_cleanly() {
+    let raw = tmp("bad.bin");
+    std::fs::write(&raw, vec![0u8; 100]).unwrap();
+    let out = szr()
+        .args(["compress", "--input", raw.to_str().unwrap()])
+        .args(["--dims", "90x180", "--rel", "1e-4", "--output", "/dev/null"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let text = String::from_utf8_lossy(&out.stderr);
+    assert!(text.contains("bytes"), "{text}");
+}
+
+#[test]
+fn missing_args_print_usage() {
+    let out = szr().output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+}
+
+#[test]
+fn pointwise_rel_mode_works_end_to_end() {
+    let raw = tmp("pw.bin");
+    let packed = tmp("pw.szr");
+    // Exponentially spanning data: pointwise mode's home turf.
+    let values: Vec<u8> = (0..10_000u32)
+        .flat_map(|i| (10.0f32.powf(i as f32 / 1000.0)).to_le_bytes())
+        .collect();
+    std::fs::write(&raw, values).unwrap();
+    let comp = szr()
+        .args(["compress", "--input", raw.to_str().unwrap()])
+        .args(["--dims", "10000", "--pointwise-rel", "1e-3"])
+        .args(["--output", packed.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(comp.status.success(), "{}", String::from_utf8_lossy(&comp.stderr));
+    assert!(std::fs::metadata(&packed).unwrap().len() < 10_000);
+}

@@ -1,0 +1,274 @@
+//! Multi-variable snapshot container.
+//!
+//! The paper's workloads are *snapshots*: one file holding many variables
+//! (a CESM ATM time step carries dozens of 2-D fields). This crate provides
+//! the container format the compressor library itself deliberately omits:
+//! named compressed fields behind a seekable index, so post-analysis can
+//! pull one variable out of a snapshot without touching the rest — the
+//! access pattern §I motivates ("keeping critical information available to
+//! preserve discovery opportunities").
+//!
+//! Format (all integers little-endian / varint):
+//!
+//! ```text
+//! "SZSN" | version u8 | field count varint
+//! per field: name (len-prefixed UTF-8) | offset varint | length varint
+//! ...field archives (plain szr-core archives), back to back...
+//! ```
+//!
+//! Offsets are relative to the end of the index, so the index can be read
+//! with a single small IO and each field fetched independently.
+
+use szr_bitstream::{ByteReader, ByteWriter};
+use szr_core::{compress, decompress, ArchiveInfo, Config, Result, ScalarFloat, SzError};
+use szr_tensor::Tensor;
+use std::collections::BTreeMap;
+
+const MAGIC: [u8; 4] = *b"SZSN";
+const VERSION: u8 = 1;
+
+/// An in-memory snapshot being assembled or read.
+///
+/// Field order is preserved on write (BTreeMap keeps names sorted, which
+/// also makes snapshots byte-deterministic regardless of insertion order).
+#[derive(Default, Clone)]
+pub struct Snapshot {
+    fields: BTreeMap<String, Vec<u8>>,
+}
+
+impl Snapshot {
+    /// Creates an empty snapshot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Compresses and adds a field under `name`, replacing any previous
+    /// field with the same name.
+    pub fn add<T: ScalarFloat>(
+        &mut self,
+        name: &str,
+        data: &Tensor<T>,
+        config: &Config,
+    ) -> Result<()> {
+        let archive = compress(data, config)?;
+        self.fields.insert(name.to_string(), archive);
+        Ok(())
+    }
+
+    /// Adds a pre-compressed archive verbatim (e.g. produced elsewhere).
+    ///
+    /// The archive header is validated so a corrupt blob fails here rather
+    /// than at read time.
+    pub fn add_archive(&mut self, name: &str, archive: Vec<u8>) -> Result<()> {
+        szr_core::inspect(&archive)?;
+        self.fields.insert(name.to_string(), archive);
+        Ok(())
+    }
+
+    /// Field names in storage order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.fields.keys().map(String::as_str)
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True when the snapshot has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Header info for one field without decompressing it.
+    pub fn info(&self, name: &str) -> Option<ArchiveInfo> {
+        self.fields.get(name).and_then(|a| szr_core::inspect(a).ok())
+    }
+
+    /// Decompresses one field.
+    pub fn get<T: ScalarFloat>(&self, name: &str) -> Result<Tensor<T>> {
+        let archive = self
+            .fields
+            .get(name)
+            .ok_or_else(|| SzError::Corrupt(format!("no field named {name:?}")))?;
+        decompress(archive)
+    }
+
+    /// Raw archive bytes of one field (for re-export).
+    pub fn raw(&self, name: &str) -> Option<&[u8]> {
+        self.fields.get(name).map(Vec::as_slice)
+    }
+
+    /// Serializes the snapshot.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut index = ByteWriter::new();
+        index.write_bytes(&MAGIC);
+        index.write_u8(VERSION);
+        index.write_varint(self.fields.len() as u64);
+        let mut offset = 0u64;
+        for (name, archive) in &self.fields {
+            index.write_len_prefixed(name.as_bytes());
+            index.write_varint(offset);
+            index.write_varint(archive.len() as u64);
+            offset += archive.len() as u64;
+        }
+        let mut out = index.into_bytes();
+        for archive in self.fields.values() {
+            out.extend_from_slice(archive);
+        }
+        out
+    }
+
+    /// Parses a snapshot from bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        let mut reader = ByteReader::new(bytes);
+        if reader.read_bytes(4)? != MAGIC {
+            return Err(SzError::Corrupt("bad snapshot magic".into()));
+        }
+        if reader.read_u8()? != VERSION {
+            return Err(SzError::Corrupt("unsupported snapshot version".into()));
+        }
+        let count = reader.read_varint()? as usize;
+        if count > 1 << 20 {
+            return Err(SzError::Corrupt("implausible field count".into()));
+        }
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            let name = std::str::from_utf8(reader.read_len_prefixed()?)
+                .map_err(|_| SzError::Corrupt("field name is not UTF-8".into()))?
+                .to_string();
+            let offset = reader.read_varint()? as usize;
+            let length = reader.read_varint()? as usize;
+            entries.push((name, offset, length));
+        }
+        let payload_start = reader.pos();
+        let mut fields = BTreeMap::new();
+        for (name, offset, length) in entries {
+            let start = payload_start + offset;
+            let end = start
+                .checked_add(length)
+                .ok_or_else(|| SzError::Corrupt("field extent overflows".into()))?;
+            if end > bytes.len() {
+                return Err(SzError::Corrupt(format!("field {name:?} overruns snapshot")));
+            }
+            fields.insert(name, bytes[start..end].to_vec());
+        }
+        Ok(Self { fields })
+    }
+
+    /// Writes the snapshot to a file.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_bytes())
+    }
+
+    /// Reads a snapshot from a file.
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self> {
+        let bytes = std::fs::read(path)
+            .map_err(|e| SzError::Corrupt(format!("cannot read snapshot: {e}")))?;
+        Self::from_bytes(&bytes)
+    }
+}
+
+impl std::fmt::Debug for Snapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Snapshot({} fields)", self.fields.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use szr_core::ErrorBound;
+
+    fn sample() -> Snapshot {
+        let mut snap = Snapshot::new();
+        let config = Config::new(ErrorBound::Relative(1e-4));
+        let a = Tensor::from_fn([32, 48], |ix| ((ix[0] + ix[1]) as f32 * 0.1).sin());
+        let b = Tensor::from_fn([16, 16, 16], |ix| (ix[0] * ix[1] + ix[2]) as f32);
+        snap.add("TS", &a, &config).unwrap();
+        snap.add("U", &b, &config).unwrap();
+        snap
+    }
+
+    #[test]
+    fn roundtrip_preserves_fields_and_bounds() {
+        let snap = sample();
+        let bytes = snap.to_bytes();
+        let back = Snapshot::from_bytes(&bytes).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.names().collect::<Vec<_>>(), vec!["TS", "U"]);
+        let ts: Tensor<f32> = back.get("TS").unwrap();
+        assert_eq!(ts.dims(), &[32, 48]);
+        let u: Tensor<f32> = back.get("U").unwrap();
+        assert_eq!(u.dims(), &[16, 16, 16]);
+    }
+
+    #[test]
+    fn info_reads_header_without_decode() {
+        let snap = sample();
+        let info = snap.info("TS").unwrap();
+        assert_eq!(info.dims, vec![32, 48]);
+        assert_eq!(info.dtype, "f32");
+        assert!(snap.info("MISSING").is_none());
+    }
+
+    #[test]
+    fn serialization_is_insertion_order_independent() {
+        let config = Config::new(ErrorBound::Absolute(0.1));
+        let a = Tensor::from_fn([8, 8], |ix| ix[0] as f32);
+        let b = Tensor::from_fn([4, 4], |ix| ix[1] as f32);
+        let mut s1 = Snapshot::new();
+        s1.add("x", &a, &config).unwrap();
+        s1.add("y", &b, &config).unwrap();
+        let mut s2 = Snapshot::new();
+        s2.add("y", &b, &config).unwrap();
+        s2.add("x", &a, &config).unwrap();
+        assert_eq!(s1.to_bytes(), s2.to_bytes());
+    }
+
+    #[test]
+    fn missing_field_and_corrupt_bytes_error() {
+        let snap = sample();
+        assert!(snap.get::<f32>("NOPE").is_err());
+        let mut bytes = snap.to_bytes();
+        bytes[0] = b'X';
+        assert!(Snapshot::from_bytes(&bytes).is_err());
+        let bytes = snap.to_bytes();
+        assert!(Snapshot::from_bytes(&bytes[..bytes.len() / 2]).is_err());
+    }
+
+    #[test]
+    fn add_archive_validates() {
+        let mut snap = Snapshot::new();
+        assert!(snap.add_archive("bad", vec![1, 2, 3]).is_err());
+        let config = Config::new(ErrorBound::Absolute(0.1));
+        let data = Tensor::from_fn([4], |ix| ix[0] as f32);
+        let archive = compress(&data, &config).unwrap();
+        assert!(snap.add_archive("good", archive).is_ok());
+        let out: Tensor<f32> = snap.get("good").unwrap();
+        assert_eq!(out.dims(), &[4]);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let snap = sample();
+        let path = std::env::temp_dir().join("szr_snapshot_test.szsn");
+        snap.save(&path).unwrap();
+        let back = Snapshot::load(&path).unwrap();
+        assert_eq!(back.len(), snap.len());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn replacing_a_field_keeps_one_copy() {
+        let mut snap = Snapshot::new();
+        let config = Config::new(ErrorBound::Absolute(0.1));
+        let a = Tensor::from_fn([8], |ix| ix[0] as f32);
+        let b = Tensor::from_fn([16], |ix| ix[0] as f32 * 2.0);
+        snap.add("v", &a, &config).unwrap();
+        snap.add("v", &b, &config).unwrap();
+        assert_eq!(snap.len(), 1);
+        let out: Tensor<f32> = snap.get("v").unwrap();
+        assert_eq!(out.dims(), &[16]);
+    }
+}

@@ -1,0 +1,422 @@
+//! The SZ-1.4 compression pipeline (Algorithm 1 of the paper).
+
+use crate::config::{Config, IntervalMode};
+use crate::float::ScalarFloat;
+use crate::predict::{predict_at, StencilSet};
+use crate::quant::{choose_interval_bits, Quantizer};
+use crate::unpred::UnpredictableCodec;
+use crate::Result;
+use szr_bitstream::{BitWriter, ByteWriter};
+use szr_tensor::Tensor;
+
+/// Archive magic bytes ("SZR1").
+pub(crate) const MAGIC: [u8; 4] = *b"SZR1";
+/// Current archive format version.
+pub(crate) const VERSION: u8 = 1;
+
+/// Per-run statistics reported alongside the archive.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompressionStats {
+    /// Total points processed.
+    pub total: usize,
+    /// Points that hit a quantization interval (code ≠ 0).
+    pub predictable: usize,
+    /// Effective absolute error bound used.
+    pub eb_abs: f64,
+    /// Value range of the input.
+    pub range: f64,
+    /// `m`: the archive uses `2^m − 1` intervals.
+    pub interval_bits: u32,
+    /// Prediction layers used.
+    pub layers: usize,
+    /// Total archive size in bytes.
+    pub compressed_bytes: usize,
+    /// Bytes spent on the Huffman block (table + codes).
+    pub huffman_bytes: usize,
+    /// Bytes spent on unpredictable values.
+    pub unpredictable_bytes: usize,
+}
+
+impl CompressionStats {
+    /// The paper's prediction hitting rate `R_PH`.
+    pub fn hit_rate(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.predictable as f64 / self.total as f64
+    }
+
+    /// Compression factor versus the uncompressed representation.
+    pub fn compression_factor<T: ScalarFloat>(&self) -> f64 {
+        (self.total * (T::BITS as usize / 8)) as f64 / self.compressed_bytes as f64
+    }
+}
+
+/// Compresses a tensor under the given configuration.
+///
+/// See [`compress_with_stats`] for the variant that also reports hit rates
+/// and section sizes.
+pub fn compress<T: ScalarFloat>(data: &Tensor<T>, config: &Config) -> Result<Vec<u8>> {
+    compress_with_stats(data, config).map(|(bytes, _)| bytes)
+}
+
+/// Compresses a tensor, returning the archive and per-run statistics.
+pub fn compress_with_stats<T: ScalarFloat>(
+    data: &Tensor<T>,
+    config: &Config,
+) -> Result<(Vec<u8>, CompressionStats)> {
+    compress_slice_with_stats(data.as_slice(), data.shape(), config)
+}
+
+/// Compresses a flat row-major slice interpreted under `shape` — the
+/// zero-copy entry point used by the chunked parallel driver.
+///
+/// # Errors
+/// Returns [`crate::SzError::InvalidConfig`] for unusable configurations or
+/// a shape/slice length mismatch. Compression itself cannot fail: every
+/// point either quantizes or is stored via binary-representation analysis.
+pub fn compress_slice_with_stats<T: ScalarFloat>(
+    values: &[T],
+    shape: &szr_tensor::Shape,
+    config: &Config,
+) -> Result<(Vec<u8>, CompressionStats)> {
+    config.validate()?;
+    if values.len() != shape.len() {
+        return Err(crate::SzError::InvalidConfig("slice length does not match shape"));
+    }
+    let n = config.layers;
+
+    // Resolve the relative bound against the actual value range (Metric 1).
+    let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &v in values {
+        let x = v.to_f64();
+        min = min.min(x);
+        max = max.max(x);
+    }
+    let range = if min > max { 0.0 } else { max - min };
+    let eb = config.bound.effective(range);
+
+    // Decorrelation mode quantizes on half-width intervals so the ±eb/2
+    // dither keeps the total error within eb.
+    let eb_q = if config.decorrelate { eb / 2.0 } else { eb };
+    let bits = match config.intervals {
+        IntervalMode::Fixed { bits } => bits,
+        IntervalMode::Adaptive {
+            theta,
+            max_bits,
+            sample_stride,
+        } => choose_interval_bits(values, shape, n, eb_q, theta, sample_stride, max_bits),
+    };
+    let quantizer = Quantizer::new(eb_q, bits);
+    let unpred = UnpredictableCodec::new(eb);
+
+    // Scan loop: predict -> quantize -> record; reconstructed values feed
+    // later predictions so the decompressor sees identical state.
+    let mut recon: Vec<T> = vec![T::from_f64(0.0); values.len()];
+    let mut codes: Vec<u32> = Vec::with_capacity(values.len());
+    let mut unpred_bits = BitWriter::new();
+    let mut stencils = StencilSet::new(n, shape.strides());
+    let mut index = vec![0usize; shape.ndim()];
+    let mut predictable = 0usize;
+
+    for (flat, &value) in values.iter().enumerate() {
+        let stencil = stencils.for_index(&index);
+        let pred = predict_at(&recon, flat, stencil);
+        let v64 = value.to_f64();
+        // A quantization hit must survive narrowing to T: the stored
+        // reconstruction is what the decompressor reproduces, so the bound
+        // is checked on the narrowed value.
+        let quantized = quantizer.quantize(v64, pred).and_then(|(code, r64)| {
+            let r64 = if config.decorrelate {
+                r64 + crate::quant::dither_unit(flat) * eb
+            } else {
+                r64
+            };
+            let r = T::from_f64(r64);
+            if (v64 - r.to_f64()).abs() <= eb {
+                Some((code, r))
+            } else {
+                None
+            }
+        });
+        match quantized {
+            Some((code, r)) => {
+                codes.push(code);
+                recon[flat] = r;
+                predictable += 1;
+            }
+            None => {
+                codes.push(0);
+                recon[flat] = unpred.encode(value, &mut unpred_bits);
+            }
+        }
+        shape.advance(&mut index);
+    }
+
+    // Stage 3: variable-length encode the quantization codes (§IV).
+    let huffman_block = szr_huffman::compress_u32(&codes, quantizer.alphabet());
+    let unpred_block = unpred_bits.into_bytes();
+
+    let mut out = ByteWriter::with_capacity(huffman_block.len() + unpred_block.len() + 64);
+    out.write_bytes(&MAGIC);
+    out.write_u8(VERSION);
+    out.write_u8(T::TYPE_TAG);
+    out.write_u8(n as u8);
+    out.write_u8(bits as u8);
+    out.write_u8(config.decorrelate as u8);
+    out.write_f64(eb);
+    out.write_varint(shape.ndim() as u64);
+    for &d in shape.dims() {
+        out.write_varint(d as u64);
+    }
+    // Payload: the two sections, optionally behind SZ's "best compression"
+    // DEFLATE pass (the Huffman stream has a 1-bit/symbol floor that
+    // DEFLATE's match layer can break on low-entropy code streams).
+    let mut payload = ByteWriter::with_capacity(huffman_block.len() + unpred_block.len() + 8);
+    payload.write_len_prefixed(&huffman_block);
+    payload.write_len_prefixed(&unpred_block);
+    if config.lossless_pass {
+        let deflated = szr_deflate::deflate_compress(payload.as_bytes());
+        if deflated.len() < payload.len() {
+            out.write_u8(1);
+            out.write_len_prefixed(&deflated);
+        } else {
+            out.write_u8(0);
+            out.write_bytes(payload.as_bytes());
+        }
+    } else {
+        out.write_u8(0);
+        out.write_bytes(payload.as_bytes());
+    }
+    let bytes = out.into_bytes();
+
+    let stats = CompressionStats {
+        total: values.len(),
+        predictable,
+        eb_abs: eb,
+        range,
+        interval_bits: bits,
+        layers: n,
+        compressed_bytes: bytes.len(),
+        huffman_bytes: huffman_block.len(),
+        unpredictable_bytes: unpred_block.len(),
+    };
+    Ok((bytes, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{decompress, ErrorBound};
+
+    fn check_bound<T: ScalarFloat>(orig: &[T], recon: &[T], eb: f64) {
+        for (i, (&a, &b)) in orig.iter().zip(recon).enumerate() {
+            let err = (a.to_f64() - b.to_f64()).abs();
+            assert!(err <= eb, "point {i}: error {err} > bound {eb}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_2d_smooth_field() {
+        let data = Tensor::from_fn([64, 96], |ix| {
+            ((ix[0] as f32) * 0.05).sin() * ((ix[1] as f32) * 0.03).cos() * 10.0
+        });
+        let config = Config::new(ErrorBound::Absolute(1e-3));
+        let (bytes, stats) = compress_with_stats(&data, &config).unwrap();
+        assert!(stats.hit_rate() > 0.9, "hit rate {}", stats.hit_rate());
+        let out: Tensor<f32> = decompress(&bytes).unwrap();
+        assert_eq!(out.dims(), data.dims());
+        check_bound(data.as_slice(), out.as_slice(), 1e-3);
+    }
+
+    #[test]
+    fn roundtrip_respects_relative_bound() {
+        let data = Tensor::from_fn([50, 50], |ix| (ix[0] * 100 + ix[1]) as f64);
+        let config = Config::new(ErrorBound::Relative(1e-4));
+        let (bytes, stats) = compress_with_stats(&data, &config).unwrap();
+        let out: Tensor<f64> = decompress(&bytes).unwrap();
+        let range = 49.0 * 100.0 + 49.0;
+        check_bound(data.as_slice(), out.as_slice(), 1e-4 * range);
+        assert!((stats.eb_abs - 1e-4 * range).abs() < 1e-9);
+    }
+
+    #[test]
+    fn smooth_data_compresses_much_better_than_noise() {
+        let smooth = Tensor::from_fn([128, 128], |ix| {
+            ((ix[0] + ix[1]) as f32 * 0.01).sin()
+        });
+        let noise = Tensor::from_fn([128, 128], |ix| {
+            // splitmix-style hash: genuinely unpredictable cell values.
+            let h = (ix[0] as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add((ix[1] as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F));
+            let h = (h ^ (h >> 31)).wrapping_mul(0xD6E8_FEB8_6659_FD93);
+            ((h >> 40) % 1000) as f32 / 500.0 - 1.0
+        });
+        let config = Config::new(ErrorBound::Absolute(1e-4));
+        let (b_smooth, _) = compress_with_stats(&smooth, &config).unwrap();
+        let (b_noise, _) = compress_with_stats(&noise, &config).unwrap();
+        assert!(
+            b_smooth.len() * 3 < b_noise.len(),
+            "smooth {} vs noise {}",
+            b_smooth.len(),
+            b_noise.len()
+        );
+    }
+
+    #[test]
+    fn constant_field_compresses_to_nearly_nothing() {
+        let data = Tensor::full([100, 100], 7.5f32);
+        let config = Config::new(ErrorBound::Absolute(1e-6));
+        let (bytes, stats) = compress_with_stats(&data, &config).unwrap();
+        assert!(bytes.len() < 2500, "constant field took {} bytes", bytes.len());
+        let out: Tensor<f32> = decompress(&bytes).unwrap();
+        check_bound(data.as_slice(), out.as_slice(), 1e-6);
+        assert!(stats.hit_rate() > 0.99);
+    }
+
+    #[test]
+    fn spiky_data_stays_within_bound() {
+        // Mostly smooth with violent spikes: exercises the unpredictable path.
+        let data = Tensor::from_fn([64, 64], |ix| {
+            let base = (ix[0] as f32 * 0.1).sin();
+            if (ix[0] * 64 + ix[1]) % 97 == 0 {
+                base + 1.0e6
+            } else {
+                base
+            }
+        });
+        let config = Config::new(ErrorBound::Absolute(1e-3));
+        let (bytes, stats) = compress_with_stats(&data, &config).unwrap();
+        assert!(stats.predictable < stats.total);
+        let out: Tensor<f32> = decompress(&bytes).unwrap();
+        check_bound(data.as_slice(), out.as_slice(), 1e-3);
+    }
+
+    #[test]
+    fn one_dimensional_data_roundtrips() {
+        let data = Tensor::from_fn([10_000], |ix| (ix[0] as f64 * 0.01).sin());
+        let config = Config::new(ErrorBound::Absolute(1e-5));
+        let bytes = compress(&data, &config).unwrap();
+        let out: Tensor<f64> = decompress(&bytes).unwrap();
+        check_bound(data.as_slice(), out.as_slice(), 1e-5);
+    }
+
+    #[test]
+    fn three_dimensional_data_roundtrips() {
+        let data = Tensor::from_fn([16, 24, 32], |ix| {
+            (ix[0] as f32 * 0.2).sin() + (ix[1] as f32 * 0.15).cos() * (ix[2] as f32 * 0.1).sin()
+        });
+        let config = Config::new(ErrorBound::Absolute(1e-4));
+        let (bytes, stats) = compress_with_stats(&data, &config).unwrap();
+        let out: Tensor<f32> = decompress(&bytes).unwrap();
+        check_bound(data.as_slice(), out.as_slice(), 1e-4);
+        assert!(stats.hit_rate() > 0.8);
+    }
+
+    #[test]
+    fn higher_layers_roundtrip_too() {
+        let data = Tensor::from_fn([48, 48], |ix| {
+            (ix[0] as f64).powi(2) * 0.01 + (ix[1] as f64).powi(3) * 0.001
+        });
+        for layers in 1..=4 {
+            let config = Config::new(ErrorBound::Absolute(1e-3)).with_layers(layers);
+            let bytes = compress(&data, &config).unwrap();
+            let out: Tensor<f64> = decompress(&bytes).unwrap();
+            check_bound(data.as_slice(), out.as_slice(), 1e-3);
+        }
+    }
+
+    #[test]
+    fn fixed_interval_bits_are_respected() {
+        let data = Tensor::from_fn([32, 32], |ix| (ix[0] + ix[1]) as f32);
+        let config = Config::new(ErrorBound::Absolute(0.5)).with_interval_bits(4);
+        let (_, stats) = compress_with_stats(&data, &config).unwrap();
+        assert_eq!(stats.interval_bits, 4);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let data = Tensor::full([4, 4], 0.0f32);
+        let config = Config::new(ErrorBound::Absolute(-1.0));
+        assert!(compress(&data, &config).is_err());
+    }
+
+    #[test]
+    fn stats_sections_sum_close_to_total() {
+        let data = Tensor::from_fn([64, 64], |ix| (ix[0] as f32 * 0.3).sin());
+        // Without the DEFLATE pass the archive is exactly header + sections.
+        let config = Config::new(ErrorBound::Absolute(1e-4)).without_lossless_pass();
+        let (bytes, stats) = compress_with_stats(&data, &config).unwrap();
+        assert_eq!(stats.compressed_bytes, bytes.len());
+        assert!(stats.huffman_bytes + stats.unpredictable_bytes <= bytes.len());
+        // Header overhead is small.
+        assert!(bytes.len() - (stats.huffman_bytes + stats.unpredictable_bytes) < 64);
+    }
+
+    #[test]
+    fn decorrelation_mode_respects_bound_and_whitens_errors() {
+        // A smooth, highly-compressible field: plain SZ errors track the
+        // prediction surface (high autocorrelation, the paper's Figure 9c
+        // weakness); decorrelation mode whitens them within the same bound.
+        let data = Tensor::from_fn([96, 96], |ix| {
+            ((ix[0] as f64) * 0.02).sin() * 50.0 + ((ix[1] as f64) * 0.015).cos() * 20.0
+        });
+        let eb = 0.05;
+        let plain = Config::new(ErrorBound::Absolute(eb));
+        let decorr = plain.with_decorrelation();
+        let autocorr1 = |errors: &[f64]| -> f64 {
+            let mean = errors.iter().sum::<f64>() / errors.len() as f64;
+            let num: f64 = errors
+                .windows(2)
+                .map(|w| (w[0] - mean) * (w[1] - mean))
+                .sum();
+            let den: f64 = errors.iter().map(|e| (e - mean) * (e - mean)).sum();
+            if den == 0.0 { 0.0 } else { num / den }
+        };
+        let mut acfs = Vec::new();
+        for config in [plain, decorr] {
+            let bytes = compress(&data, &config).unwrap();
+            let out: Tensor<f64> = decompress(&bytes).unwrap();
+            check_bound(data.as_slice(), out.as_slice(), eb);
+            let errors: Vec<f64> = data
+                .as_slice()
+                .iter()
+                .zip(out.as_slice())
+                .map(|(a, b)| a - b)
+                .collect();
+            acfs.push(autocorr1(&errors).abs());
+        }
+        assert!(
+            acfs[1] < acfs[0] / 2.0,
+            "decorrelation should cut lag-1 autocorrelation: {acfs:?}"
+        );
+        assert!(acfs[1] < 0.1, "dithered errors should be near-white: {acfs:?}");
+    }
+
+    #[test]
+    fn lossless_pass_helps_sparse_fields_and_roundtrips() {
+        // A mostly-constant field: the Huffman floor of 1 bit/value binds,
+        // and the DEFLATE pass should break through it.
+        let data = Tensor::from_fn([128, 128], |ix| {
+            if ix[0] > 100 && ix[1] > 100 { 3.5f32 } else { 0.0 }
+        });
+        let eb = 1e-4;
+        let with = compress(&data, &Config::new(ErrorBound::Absolute(eb))).unwrap();
+        let without = compress(
+            &data,
+            &Config::new(ErrorBound::Absolute(eb)).without_lossless_pass(),
+        )
+        .unwrap();
+        assert!(
+            with.len() * 2 < without.len(),
+            "post-pass should crush the sparse field: {} vs {}",
+            with.len(),
+            without.len()
+        );
+        for archive in [with, without] {
+            let out: Tensor<f32> = decompress(&archive).unwrap();
+            check_bound(data.as_slice(), out.as_slice(), eb);
+        }
+    }
+}

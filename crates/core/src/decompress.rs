@@ -1,0 +1,282 @@
+//! Decompression: replay the prediction loop from reconstructed values.
+
+use crate::compress::{MAGIC, VERSION};
+use crate::float::ScalarFloat;
+use crate::predict::{predict_at, StencilSet};
+use crate::quant::Quantizer;
+use crate::unpred::UnpredictableCodec;
+use crate::{Result, SzError};
+use szr_bitstream::{BitReader, ByteReader};
+use szr_tensor::{Shape, Tensor};
+
+/// Parsed archive header (everything before the payload sections).
+struct Header {
+    type_tag: u8,
+    layers: usize,
+    interval_bits: u32,
+    decorrelate: bool,
+    eb: f64,
+    shape: Shape,
+}
+
+fn parse_header(reader: &mut ByteReader<'_>) -> Result<Header> {
+    let magic = reader.read_bytes(4)?;
+    if magic != MAGIC {
+        return Err(SzError::Corrupt("bad magic bytes".into()));
+    }
+    let version = reader.read_u8()?;
+    if version != VERSION {
+        return Err(SzError::Corrupt(format!("unsupported version {version}")));
+    }
+    let type_tag = reader.read_u8()?;
+    let layers = reader.read_u8()? as usize;
+    let interval_bits = reader.read_u8()? as u32;
+    let decorrelate = match reader.read_u8()? {
+        0 => false,
+        1 => true,
+        _ => return Err(SzError::Corrupt("bad decorrelation flag".into())),
+    };
+    let eb = reader.read_f64()?;
+    if !(eb.is_finite() && eb > 0.0) {
+        return Err(SzError::Corrupt("non-positive error bound".into()));
+    }
+    if !(1..=8).contains(&layers) || !(2..=30).contains(&interval_bits) {
+        return Err(SzError::Corrupt("implausible layer/interval fields".into()));
+    }
+    let ndim = reader.read_varint()? as usize;
+    if ndim == 0 || ndim > 16 {
+        return Err(SzError::Corrupt(format!("implausible rank {ndim}")));
+    }
+    let mut dims = Vec::with_capacity(ndim);
+    let mut product: u128 = 1;
+    for _ in 0..ndim {
+        let d = reader.read_varint()? as usize;
+        if d == 0 {
+            return Err(SzError::Corrupt("zero-extent dimension".into()));
+        }
+        product *= d as u128;
+        if product > (1u128 << 40) {
+            return Err(SzError::Corrupt("element count implausibly large".into()));
+        }
+        dims.push(d);
+    }
+    Ok(Header {
+        type_tag,
+        layers,
+        interval_bits,
+        decorrelate,
+        eb,
+        shape: Shape::new(&dims),
+    })
+}
+
+/// Summary of an archive's header, readable without decompressing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArchiveInfo {
+    /// `"f32"` or `"f64"`.
+    pub dtype: &'static str,
+    /// Grid dimensions (slowest first).
+    pub dims: Vec<usize>,
+    /// Effective absolute error bound stored in the header.
+    pub error_bound: f64,
+    /// Prediction layers used.
+    pub layers: usize,
+    /// `m`: the archive uses `2^m − 1` quantization intervals.
+    pub interval_bits: u32,
+    /// Whether error-decorrelation mode was active.
+    pub decorrelated: bool,
+    /// Total archive size in bytes.
+    pub archive_bytes: usize,
+}
+
+impl ArchiveInfo {
+    /// Number of data points in the archive.
+    pub fn len(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// True when the archive holds no points (cannot occur in valid
+    /// archives).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Compression factor versus the uncompressed representation.
+    pub fn compression_factor(&self) -> f64 {
+        let elem = if self.dtype == "f32" { 4 } else { 8 };
+        (self.len() * elem) as f64 / self.archive_bytes as f64
+    }
+}
+
+/// Parses an archive header without decompressing the payload.
+pub fn inspect(bytes: &[u8]) -> Result<ArchiveInfo> {
+    let mut reader = ByteReader::new(bytes);
+    let header = parse_header(&mut reader)?;
+    Ok(ArchiveInfo {
+        dtype: if header.type_tag == 0 { "f32" } else { "f64" },
+        dims: header.shape.dims().to_vec(),
+        error_bound: header.eb,
+        layers: header.layers,
+        interval_bits: header.interval_bits,
+        decorrelated: header.decorrelate,
+        archive_bytes: bytes.len(),
+    })
+}
+
+/// Decompresses an archive produced by [`crate::compress`].
+///
+/// The scalar type is checked against the archive header, so decompressing
+/// an `f64` archive as `Tensor<f32>` fails with
+/// [`SzError::WrongType`] instead of silently misreading bytes.
+pub fn decompress<T: ScalarFloat>(bytes: &[u8]) -> Result<Tensor<T>> {
+    let mut reader = ByteReader::new(bytes);
+    let header = parse_header(&mut reader)?;
+    if header.type_tag != T::TYPE_TAG {
+        return Err(SzError::WrongType {
+            expected: T::NAME,
+            found: if header.type_tag == 0 { "f32" } else { "f64" },
+        });
+    }
+    let post = reader.read_u8()?;
+    let inflated;
+    let (huffman_block, unpred_block): (&[u8], &[u8]) = match post {
+        0 => {
+            let h = reader.read_len_prefixed()?;
+            let u = reader.read_len_prefixed()?;
+            (h, u)
+        }
+        1 => {
+            let deflated = reader.read_len_prefixed()?;
+            inflated = szr_deflate::deflate_decompress(deflated)
+                .map_err(|e| SzError::Corrupt(e.to_string()))?;
+            let mut pr = ByteReader::new(&inflated);
+            let h = pr.read_len_prefixed()?;
+            let u = pr.read_len_prefixed()?;
+            (h, u)
+        }
+        _ => return Err(SzError::Corrupt("unknown payload post-pass".into())),
+    };
+
+    let codes = szr_huffman::decompress_u32(huffman_block)?;
+    let total = header.shape.len();
+    if codes.len() != total {
+        return Err(SzError::Corrupt(format!(
+            "code stream has {} entries for {} points",
+            codes.len(),
+            total
+        )));
+    }
+
+    let eb_q = if header.decorrelate { header.eb / 2.0 } else { header.eb };
+    let quantizer = Quantizer::new(eb_q, header.interval_bits);
+    let unpred = UnpredictableCodec::new(header.eb);
+    let alphabet = quantizer.alphabet() as u32;
+    let mut unpred_bits = BitReader::new(unpred_block);
+    let mut stencils = StencilSet::new(header.layers, header.shape.strides());
+    let mut recon: Vec<T> = vec![T::from_f64(0.0); total];
+    let mut index = vec![0usize; header.shape.ndim()];
+
+    for (flat, &code) in codes.iter().enumerate() {
+        if code >= alphabet {
+            return Err(SzError::Corrupt(format!("code {code} outside alphabet")));
+        }
+        if code == 0 {
+            recon[flat] = unpred.decode(&mut unpred_bits)?;
+        } else {
+            let stencil = stencils.for_index(&index);
+            let pred = predict_at(&recon, flat, stencil);
+            let mut r64 = quantizer.reconstruct(code, pred);
+            if header.decorrelate {
+                r64 += crate::quant::dither_unit(flat) * header.eb;
+            }
+            recon[flat] = T::from_f64(r64);
+        }
+        header.shape.advance(&mut index);
+    }
+
+    Ok(Tensor::from_vec(header.shape, recon))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{compress, Config, ErrorBound};
+
+    fn sample_archive() -> Vec<u8> {
+        let data = Tensor::from_fn([16, 16], |ix| (ix[0] + ix[1]) as f32);
+        compress(&data, &Config::new(ErrorBound::Absolute(0.01))).unwrap()
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut bytes = sample_archive();
+        bytes[0] = b'X';
+        assert!(matches!(
+            decompress::<f32>(&bytes),
+            Err(SzError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn wrong_scalar_type_is_detected() {
+        let bytes = sample_archive();
+        let err = decompress::<f64>(&bytes).unwrap_err();
+        assert!(matches!(err, SzError::WrongType { expected: "f64", found: "f32" }));
+    }
+
+    #[test]
+    fn truncated_archives_error_cleanly() {
+        let bytes = sample_archive();
+        for cut in [0, 3, 8, 16, bytes.len() / 2, bytes.len() - 1] {
+            let r = decompress::<f32>(&bytes[..cut]);
+            assert!(r.is_err(), "truncation at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn bit_flips_in_header_do_not_panic() {
+        // Robustness: every single-byte corruption either errors or decodes;
+        // it must never panic.
+        let bytes = sample_archive();
+        for pos in 0..bytes.len().min(64) {
+            let mut copy = bytes.clone();
+            copy[pos] ^= 0xFF;
+            let _ = decompress::<f32>(&copy);
+        }
+    }
+
+    #[test]
+    fn unsupported_version_is_rejected() {
+        let mut bytes = sample_archive();
+        bytes[4] = 99;
+        assert!(decompress::<f32>(&bytes).is_err());
+    }
+}
+
+#[cfg(test)]
+mod inspect_tests {
+    use super::*;
+    use crate::{compress, Config, ErrorBound};
+
+    #[test]
+    fn inspect_reads_header_without_decoding() {
+        let data = Tensor::from_fn([20, 30], |ix| (ix[0] + ix[1]) as f64);
+        let config = Config::new(ErrorBound::Absolute(0.25)).with_layers(2);
+        let bytes = compress(&data, &config).unwrap();
+        let info = inspect(&bytes).unwrap();
+        assert_eq!(info.dtype, "f64");
+        assert_eq!(info.dims, vec![20, 30]);
+        assert_eq!(info.layers, 2);
+        assert_eq!(info.error_bound, 0.25);
+        assert!(!info.decorrelated);
+        assert_eq!(info.len(), 600);
+        assert!(info.compression_factor() > 1.0);
+        assert_eq!(info.archive_bytes, bytes.len());
+    }
+
+    #[test]
+    fn inspect_rejects_garbage() {
+        assert!(inspect(&[0u8; 16]).is_err());
+        assert!(inspect(&[]).is_err());
+    }
+}

@@ -1,0 +1,100 @@
+//! # szr-core — the SZ-1.4 error-bounded lossy compressor
+//!
+//! A from-scratch Rust implementation of the compression algorithm of
+//! Tao, Di, Chen & Cappello, *"Significantly Improving Lossy Compression for
+//! Scientific Data Sets Based on Multidimensional Prediction and
+//! Error-Controlled Quantization"* (IPDPS 2017) — the algorithm released by
+//! the authors as SZ-1.4.
+//!
+//! The compressor processes a d-dimensional floating-point array in row-major
+//! scan order and, for every point:
+//!
+//! 1. **predicts** its value from already-reconstructed neighbors with the
+//!    n-layer multidimensional predictor (§III, Eq. 11; n = 1 is the Lorenzo
+//!    predictor and the paper's default);
+//! 2. **quantizes** the prediction error onto `2^m − 1` uniform intervals of
+//!    width `2·eb` (§IV-A); points outside the interval range are stored via
+//!    *binary-representation analysis* — a truncated IEEE-754 encoding that
+//!    still respects the bound;
+//! 3. **entropy-codes** the quantization codes with an arbitrary-alphabet
+//!    canonical Huffman coder (§IV's variable-length encoding).
+//!
+//! Decompression replays the same prediction from reconstructed values, so
+//! every decoded point is within `eb` of the original *by construction* —
+//! the central property the test-suite's property tests pin down.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use szr_core::{compress, decompress, Config, ErrorBound};
+//! use szr_tensor::Tensor;
+//!
+//! let data = Tensor::from_fn([64, 64], |ix| {
+//!     ((ix[0] as f32) * 0.1).sin() + ((ix[1] as f32) * 0.1).cos()
+//! });
+//! let config = Config::new(ErrorBound::Absolute(1e-3));
+//! let archive = compress(&data, &config).unwrap();
+//! let restored: Tensor<f32> = decompress(&archive).unwrap();
+//! for (a, b) in data.as_slice().iter().zip(restored.as_slice()) {
+//!     assert!((a - b).abs() <= 1e-3);
+//! }
+//! ```
+
+mod compress;
+mod config;
+mod decompress;
+mod float;
+mod predict;
+mod pwrel;
+mod quant;
+mod stats;
+mod stream;
+mod unpred;
+
+pub use compress::{compress, compress_slice_with_stats, compress_with_stats, CompressionStats};
+pub use config::{Config, ErrorBound, IntervalMode};
+pub use decompress::{decompress, inspect, ArchiveInfo};
+pub use float::ScalarFloat;
+pub use predict::{layer_coefficients, predict_at, Stencil, StencilSet};
+pub use pwrel::{compress_pointwise_rel, decompress_pointwise_rel};
+pub use quant::{choose_interval_bits, Quantizer};
+pub use stats::{hit_rate_by_layer, quantization_histogram, PredictionBasis};
+pub use stream::{StreamCompressor, StreamDecompressor};
+pub use unpred::UnpredictableCodec;
+
+/// Errors surfaced by compression and decompression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SzError {
+    /// The configuration is unusable (message explains the field).
+    InvalidConfig(&'static str),
+    /// The archive bytes are malformed or truncated.
+    Corrupt(String),
+    /// The archive encodes a different scalar type than requested.
+    WrongType { expected: &'static str, found: &'static str },
+}
+
+impl std::fmt::Display for SzError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SzError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            SzError::Corrupt(msg) => write!(f, "corrupt archive: {msg}"),
+            SzError::WrongType { expected, found } => {
+                write!(f, "archive holds {found} data, requested {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SzError {}
+
+impl From<szr_bitstream::Error> for SzError {
+    fn from(e: szr_bitstream::Error) -> Self {
+        SzError::Corrupt(e.to_string())
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, SzError>;
+
+#[cfg(test)]
+mod proptests;

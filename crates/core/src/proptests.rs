@@ -1,0 +1,197 @@
+//! Property tests for the compressor's central invariant:
+//! every decompressed point is within the error bound of the original.
+
+use crate::{compress, compress_with_stats, decompress, Config, ErrorBound};
+use proptest::prelude::*;
+use szr_tensor::Tensor;
+
+/// Strategy: random small grids of random finite f32 data.
+fn arb_grid_f32() -> impl Strategy<Value = Tensor<f32>> {
+    (1usize..4, 1usize..24, 1usize..24).prop_flat_map(|(ndim, a, b)| {
+        let dims = match ndim {
+            1 => vec![a * b],
+            2 => vec![a, b],
+            _ => vec![a.div_ceil(2), b, 3],
+        };
+        let len = dims.iter().product::<usize>();
+        prop::collection::vec(-1e6f32..1e6, len..=len)
+            .prop_map(move |data| Tensor::from_vec(&dims[..], data))
+    })
+}
+
+fn arb_bound() -> impl Strategy<Value = ErrorBound> {
+    prop_oneof![
+        (1e-6f64..1e2).prop_map(ErrorBound::Absolute),
+        (1e-7f64..1e-1).prop_map(ErrorBound::Relative),
+        ((1e-6f64..1e2), (1e-7f64..1e-1)).prop_map(|(abs, rel)| ErrorBound::Both { abs, rel }),
+    ]
+}
+
+fn resolve(bound: ErrorBound, data: &[f32]) -> f64 {
+    let min = data.iter().cloned().fold(f32::INFINITY, f32::min) as f64;
+    let max = data.iter().cloned().fold(f32::NEG_INFINITY, f32::max) as f64;
+    bound.effective((max - min).max(0.0))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// THE invariant: |x - x~| <= eb for every point, any data, any bound.
+    #[test]
+    fn error_bound_always_holds(grid in arb_grid_f32(), bound in arb_bound()) {
+        let config = Config::new(bound);
+        let bytes = compress(&grid, &config).unwrap();
+        let out: Tensor<f32> = decompress(&bytes).unwrap();
+        let eb = resolve(bound, grid.as_slice());
+        for (i, (&a, &b)) in grid.as_slice().iter().zip(out.as_slice()).enumerate() {
+            let err = (a as f64 - b as f64).abs();
+            prop_assert!(err <= eb, "point {i}: |{a} - {b}| = {err} > {eb}");
+        }
+    }
+
+    /// The invariant must hold for every layer count, not just the default.
+    #[test]
+    fn error_bound_holds_for_all_layers(
+        grid in arb_grid_f32(),
+        layers in 1usize..=4,
+        eb in 1e-5f64..1.0,
+    ) {
+        let config = Config::new(ErrorBound::Absolute(eb)).with_layers(layers);
+        let bytes = compress(&grid, &config).unwrap();
+        let out: Tensor<f32> = decompress(&bytes).unwrap();
+        for (&a, &b) in grid.as_slice().iter().zip(out.as_slice()) {
+            prop_assert!((a as f64 - b as f64).abs() <= eb);
+        }
+    }
+
+    /// Same for tiny fixed interval counts, which force the escape path.
+    #[test]
+    fn error_bound_holds_with_minimal_intervals(
+        grid in arb_grid_f32(),
+        eb in 1e-4f64..1.0,
+    ) {
+        let config = Config::new(ErrorBound::Absolute(eb)).with_interval_bits(2);
+        let bytes = compress(&grid, &config).unwrap();
+        let out: Tensor<f32> = decompress(&bytes).unwrap();
+        for (&a, &b) in grid.as_slice().iter().zip(out.as_slice()) {
+            prop_assert!((a as f64 - b as f64).abs() <= eb);
+        }
+    }
+
+    /// Decompression is deterministic and archives are parseable exactly once
+    /// written.
+    #[test]
+    fn decompression_is_deterministic(grid in arb_grid_f32()) {
+        let config = Config::new(ErrorBound::Relative(1e-3));
+        let bytes = compress(&grid, &config).unwrap();
+        let a: Tensor<f32> = decompress(&bytes).unwrap();
+        let b: Tensor<f32> = decompress(&bytes).unwrap();
+        prop_assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    /// Recompressing the reconstruction is idempotent: the second archive
+    /// reconstructs the same values (every reconstructed point is its own
+    /// quantization-interval center).
+    #[test]
+    fn recompression_is_idempotent(grid in arb_grid_f32(), eb in 1e-4f64..1.0) {
+        let config = Config::new(ErrorBound::Absolute(eb));
+        let once: Tensor<f32> = decompress(&compress(&grid, &config).unwrap()).unwrap();
+        let twice: Tensor<f32> = decompress(&compress(&once, &config).unwrap()).unwrap();
+        for (&a, &b) in once.as_slice().iter().zip(twice.as_slice()) {
+            prop_assert!((a as f64 - b as f64).abs() <= eb);
+        }
+    }
+
+    /// Stats bookkeeping: hit counts line up with histogram totals.
+    #[test]
+    fn stats_are_consistent(grid in arb_grid_f32(), eb in 1e-4f64..10.0) {
+        let config = Config::new(ErrorBound::Absolute(eb));
+        let (bytes, stats) = compress_with_stats(&grid, &config).unwrap();
+        prop_assert_eq!(stats.total, grid.len());
+        prop_assert!(stats.predictable <= stats.total);
+        prop_assert_eq!(stats.compressed_bytes, bytes.len());
+        prop_assert!((0.0..=1.0).contains(&stats.hit_rate()));
+    }
+
+    /// Decorrelation mode must keep the same guarantee.
+    #[test]
+    fn error_bound_holds_with_decorrelation(
+        grid in arb_grid_f32(),
+        eb in 1e-4f64..1e2,
+    ) {
+        let config = Config::new(ErrorBound::Absolute(eb)).with_decorrelation();
+        let bytes = compress(&grid, &config).unwrap();
+        let out: Tensor<f32> = decompress(&bytes).unwrap();
+        for (&a, &b) in grid.as_slice().iter().zip(out.as_slice()) {
+            prop_assert!((a as f64 - b as f64).abs() <= eb);
+        }
+    }
+
+    /// Pointwise-relative mode: |x - x~| <= eb·|x| for every finite point;
+    /// zeros and non-finite values exact.
+    #[test]
+    fn pointwise_relative_bound_holds(
+        data in prop::collection::vec(-1e20f32..1e20, 1..500),
+        eb in 1e-5f64..0.5,
+    ) {
+        let len = data.len();
+        let grid = Tensor::from_vec([len], data);
+        let cfg = Config::new(ErrorBound::Absolute(1.0));
+        let bytes = crate::compress_pointwise_rel(&grid, eb, &cfg).unwrap();
+        let out: Tensor<f32> = crate::decompress_pointwise_rel(&bytes).unwrap();
+        for (&a, &b) in grid.as_slice().iter().zip(out.as_slice()) {
+            let (x, y) = (a as f64, b as f64);
+            if x == 0.0 {
+                prop_assert_eq!(y, 0.0);
+            } else {
+                prop_assert!((x - y).abs() <= eb * x.abs() * (1.0 + 1e-9),
+                    "|{} - {}| > {}*|x|", x, y, eb);
+            }
+        }
+    }
+
+    /// Streaming in arbitrary slab sizes reconstructs within the bound and
+    /// matches the band layout.
+    #[test]
+    fn streamed_compression_respects_bound(
+        rows in 1usize..40,
+        cols in 1usize..24,
+        band_rows in 1usize..12,
+        push_rows in 1usize..9,
+        eb in 1e-4f64..1.0,
+    ) {
+        let grid = Tensor::from_fn([rows, cols], |ix| {
+            ((ix[0] * 31 + ix[1] * 7) as f32 * 0.01).sin() * 100.0
+        });
+        let config = Config::new(ErrorBound::Absolute(eb));
+        let mut stream = crate::StreamCompressor::<f32>::new(&[cols], band_rows, config).unwrap();
+        for slab in grid.as_slice().chunks(push_rows * cols) {
+            stream.push(slab).unwrap();
+        }
+        let bytes = stream.finish().unwrap();
+        let out: Tensor<f32> = crate::StreamDecompressor::new(&bytes)
+            .unwrap()
+            .collect_all()
+            .unwrap();
+        prop_assert_eq!(out.dims(), grid.dims());
+        for (&a, &b) in grid.as_slice().iter().zip(out.as_slice()) {
+            prop_assert!((a as f64 - b as f64).abs() <= eb);
+        }
+    }
+
+    /// f64 data obeys the bound too.
+    #[test]
+    fn error_bound_holds_for_f64(
+        data in prop::collection::vec(-1e12f64..1e12, 8..400),
+        eb in 1e-9f64..1e3,
+    ) {
+        let len = data.len();
+        let grid = Tensor::from_vec([len], data);
+        let config = Config::new(ErrorBound::Absolute(eb));
+        let bytes = compress(&grid, &config).unwrap();
+        let out: Tensor<f64> = decompress(&bytes).unwrap();
+        for (&a, &b) in grid.as_slice().iter().zip(out.as_slice()) {
+            prop_assert!((a - b).abs() <= eb);
+        }
+    }
+}

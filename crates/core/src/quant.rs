@@ -1,0 +1,245 @@
+//! Error-controlled quantization (§IV-A) and the adaptive interval scheme
+//! (§IV-B).
+
+use crate::float::ScalarFloat;
+use crate::predict::{predict_at, StencilSet};
+use szr_tensor::Shape;
+
+/// The linear-scaling quantizer of Figure 2.
+///
+/// Around the prediction ("first-phase predicted value") lie `2^m − 1`
+/// disjoint intervals of width `2·eb`, centered at
+/// `pred + 2·eb·k, |k| ≤ 2^{m−1} − 1` ("second-phase predicted values").
+/// A real value inside interval `k` is coded as `2^{m−1} + k ∈ [1, 2^m − 1]`
+/// and reconstructs to the interval center — which is within `eb` by
+/// construction. Code 0 is reserved for unpredictable data.
+#[derive(Debug, Clone, Copy)]
+pub struct Quantizer {
+    eb: f64,
+    /// 2^{m−1}: the code of the zero-offset interval.
+    half: i64,
+    bits: u32,
+}
+
+impl Quantizer {
+    /// Creates a quantizer with absolute bound `eb` and `m = bits`
+    /// (`2^m − 1` intervals).
+    ///
+    /// # Panics
+    /// Panics if `bits` is outside `2..=30` or `eb` is not positive/finite
+    /// (validated earlier by [`crate::Config`]).
+    pub fn new(eb: f64, bits: u32) -> Self {
+        assert!((2..=30).contains(&bits), "interval bits must be in 2..=30");
+        assert!(eb.is_finite() && eb > 0.0, "error bound must be positive");
+        Self {
+            eb,
+            half: 1i64 << (bits - 1),
+            bits,
+        }
+    }
+
+    /// The `m` in `2^m − 1` intervals.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Number of quantization intervals (`2^m − 1`).
+    pub fn interval_count(&self) -> u32 {
+        (1u32 << self.bits) - 1
+    }
+
+    /// Alphabet size for the entropy coder (intervals + the escape code 0).
+    pub fn alphabet(&self) -> usize {
+        1usize << self.bits
+    }
+
+    /// Absolute error bound.
+    pub fn error_bound(&self) -> f64 {
+        self.eb
+    }
+
+    /// Quantizes `value` against `pred`.
+    ///
+    /// Returns the code and the (f64) reconstruction, or `None` when the
+    /// value falls outside every interval. The caller must still verify the
+    /// bound after narrowing the reconstruction to the stored float type —
+    /// narrow rounding can push a borderline value past `eb`.
+    #[inline]
+    pub fn quantize(&self, value: f64, pred: f64) -> Option<(u32, f64)> {
+        let k = ((value - pred) / (2.0 * self.eb)).round();
+        if !(k.abs() < self.half as f64) {
+            // NaN comparisons land here too, falling back to unpredictable.
+            return None;
+        }
+        let recon = pred + 2.0 * self.eb * k;
+        Some(((self.half + k as i64) as u32, recon))
+    }
+
+    /// Reconstructs the value encoded by `code` (which must be non-zero).
+    #[inline]
+    pub fn reconstruct(&self, code: u32, pred: f64) -> f64 {
+        debug_assert!(code != 0 && (code as i64) < 2 * self.half);
+        pred + 2.0 * self.eb * (code as i64 - self.half) as f64
+    }
+}
+
+/// Deterministic per-index dither in `[-0.5, 0.5)`, used by the
+/// error-decorrelation mode (the paper's §VIII future-work item).
+///
+/// Compressor and decompressor call this with the same flat index, so the
+/// dithered reconstruction stays reproducible. The hash is splitmix64.
+#[inline]
+pub(crate) fn dither_unit(flat: usize) -> f64 {
+    let mut h = (flat as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^= h >> 31;
+    (h >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+}
+
+/// The adaptive interval-count scheme (§IV-B).
+///
+/// Samples every `stride`-th point, predicts it from *original* neighbor
+/// values with the `n`-layer interior stencil, and picks the smallest `m`
+/// whose sampled prediction hitting rate reaches `theta`. Original-value
+/// prediction slightly overestimates the achievable rate (Table II), so
+/// `theta` defaults to 0.99 — high enough that the chosen `m` stays
+/// sufficient after the decompression feedback loop degrades hits.
+///
+/// Returns a value in `4..=max_bits`.
+pub fn choose_interval_bits<T: ScalarFloat>(
+    data: &[T],
+    shape: &Shape,
+    n: usize,
+    eb: f64,
+    theta: f64,
+    stride: usize,
+    max_bits: u32,
+) -> u32 {
+    assert!(max_bits >= 4, "adaptive scheme needs max_bits >= 4");
+    let stride = stride.max(1);
+    let mut stencils = StencilSet::new(n, shape.strides());
+    // Histogram of bits needed per sample: bucket b counts samples whose
+    // |k| fits in 2^(b-1) - 1 but not 2^(b-2) - 1.
+    let mut need = vec![0u64; (max_bits + 2) as usize];
+    let mut samples = 0u64;
+    let mut index = vec![0usize; shape.ndim()];
+    let mut flat = 0usize;
+    loop {
+        // Only interior points are sampled: border prediction is weaker and
+        // would bias the estimate pessimistically on thin shells.
+        if flat.is_multiple_of(stride) && index.iter().all(|&x| x >= n) {
+            let stencil = stencils.for_index(&index);
+            let pred = predict_at(data, flat, stencil);
+            let k = ((data[flat].to_f64() - pred) / (2.0 * eb)).round().abs();
+            samples += 1;
+            let mut b = 2u32;
+            while b <= max_bits && k >= (1i64 << (b - 1)) as f64 {
+                b += 1;
+            }
+            need[b.min(max_bits + 1) as usize] += 1;
+        }
+        flat += 1;
+        if !shape.advance(&mut index) {
+            break;
+        }
+    }
+    if samples == 0 {
+        return 8; // degenerate grid (all border): the paper's 255 intervals
+    }
+    let mut cum = 0u64;
+    for bits in 2..=max_bits {
+        cum += need[bits as usize];
+        if cum as f64 / samples as f64 >= theta {
+            return bits.max(4);
+        }
+    }
+    max_bits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_in_range_and_reconstruct_within_bound() {
+        let q = Quantizer::new(0.01, 8);
+        let pred = 5.0;
+        for value in [5.0, 5.005, 4.98, 5.02, 7.0, 3.5] {
+            let (code, recon) = q.quantize(value, pred).unwrap();
+            assert!(code >= 1 && code <= q.interval_count());
+            assert!(
+                (value - recon).abs() <= 0.01 + 1e-15,
+                "value {value} recon {recon}"
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_range_values_are_unpredictable() {
+        let q = Quantizer::new(0.01, 4);
+        // 2^3 - 1 = 7 positive intervals, max offset 7 * 0.02 = 0.14.
+        assert!(q.quantize(5.0 + 0.15, 5.0).is_none());
+        assert!(q.quantize(5.0 - 0.15, 5.0).is_none());
+        assert!(q.quantize(5.0 + 0.13, 5.0).is_some());
+    }
+
+    #[test]
+    fn reconstruct_inverts_quantize() {
+        let q = Quantizer::new(1e-4, 10);
+        for i in 0..100 {
+            let value = 1.0 + i as f64 * 3.7e-5;
+            let (code, recon) = q.quantize(value, 1.0).unwrap();
+            assert_eq!(q.reconstruct(code, 1.0), recon);
+        }
+    }
+
+    #[test]
+    fn zero_offset_maps_to_midpoint_code() {
+        let q = Quantizer::new(0.1, 8);
+        let (code, recon) = q.quantize(2.0, 2.0).unwrap();
+        assert_eq!(code, 128); // 2^{m-1}
+        assert_eq!(recon, 2.0);
+    }
+
+    #[test]
+    fn nan_value_is_unpredictable_not_a_panic() {
+        let q = Quantizer::new(0.1, 8);
+        assert!(q.quantize(f64::NAN, 1.0).is_none());
+    }
+
+    #[test]
+    fn interval_count_matches_paper_configurations() {
+        // The paper's named configurations: 15, 63, 255, 511, 2047, 4095,
+        // 16383, 65535 intervals.
+        for (bits, intervals) in [(4u32, 15u32), (6, 63), (8, 255), (9, 511), (12, 4095), (16, 65535)]
+        {
+            assert_eq!(Quantizer::new(0.1, bits).interval_count(), intervals);
+        }
+    }
+
+    #[test]
+    fn adaptive_scheme_picks_small_m_for_smooth_data() {
+        // Linear data: perfectly predicted, so minimal m suffices.
+        let shape = Shape::new(&[64, 64]);
+        let data: Vec<f32> = (0..shape.len()).map(|i| i as f32 * 0.001).collect();
+        let bits = choose_interval_bits(&data, &shape, 1, 1e-3, 0.99, 1, 16);
+        assert_eq!(bits, 4);
+    }
+
+    #[test]
+    fn adaptive_scheme_grows_m_for_rough_data() {
+        // White noise at amplitude >> eb: prediction misses constantly, so
+        // the scheme escalates towards max_bits.
+        let shape = Shape::new(&[64, 64]);
+        let data: Vec<f32> = (0..shape.len())
+            .map(|i| ((i * 2_654_435_761) % 1000) as f32)
+            .collect();
+        let smooth_bits = choose_interval_bits(&data, &shape, 1, 100.0, 0.99, 1, 16);
+        let rough_bits = choose_interval_bits(&data, &shape, 1, 0.01, 0.99, 1, 16);
+        assert!(
+            rough_bits > smooth_bits,
+            "rough {rough_bits} should exceed smooth {smooth_bits}"
+        );
+    }
+}

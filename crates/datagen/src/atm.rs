@@ -1,0 +1,215 @@
+//! ATM climate-variable stand-ins.
+//!
+//! CESM ATM snapshots mix very different variables in one data set; the
+//! paper's compression results depend on that diversity. Each variant below
+//! reproduces one personality the paper leans on:
+//!
+//! * `TS` — surface temperature: smooth latitudinal gradient + weather
+//!   fronts; the "typical" well-predictable variable.
+//! * `FREQSH` — shallow-convection frequency in `[0, 1]`: smooth base with
+//!   heavy high-frequency texture. The paper reports CF ≈ 6.5 at
+//!   `eb_rel = 1e-4` and uses it as the low-CF autocorrelation case (Fig. 9a).
+//! * `SNOWHLND` — land snow depth: zero over most of the globe with smooth
+//!   positive patches at high latitudes. Paper CF ≈ 48; the high-CF
+//!   autocorrelation case (Fig. 9c).
+//! * `CDNUMC` — column droplet concentration: values spanning ~1e-3…1e11.
+//!   The huge range defeats ZFP's common-exponent alignment (§V-A), which is
+//!   exactly the behaviour Table V probes.
+
+use crate::field::{add_spikes, rescale, smooth_separable, white_noise};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use szr_tensor::Tensor;
+
+/// Which synthetic ATM variable to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AtmVariable {
+    /// Smooth temperature-like field with fronts.
+    Ts,
+    /// Noisy bounded fraction field (low compression factor).
+    Freqsh,
+    /// Sparse patchy field (high compression factor).
+    Snowhlnd,
+    /// Huge-dynamic-range field (ZFP's hard case).
+    Cdnumc,
+}
+
+impl AtmVariable {
+    /// CESM-style variable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AtmVariable::Ts => "TS",
+            AtmVariable::Freqsh => "FREQSH",
+            AtmVariable::Snowhlnd => "SNOWHLND",
+            AtmVariable::Cdnumc => "CDNUMC",
+        }
+    }
+
+    /// All variables in presentation order.
+    pub fn all() -> [AtmVariable; 4] {
+        [
+            AtmVariable::Ts,
+            AtmVariable::Freqsh,
+            AtmVariable::Snowhlnd,
+            AtmVariable::Cdnumc,
+        ]
+    }
+}
+
+/// Generates one synthetic ATM variable on a `rows × cols` lat-lon grid.
+pub fn atm(var: AtmVariable, rows: usize, cols: usize, seed: u64) -> Tensor<f32> {
+    match var {
+        AtmVariable::Ts => ts(rows, cols, seed),
+        AtmVariable::Freqsh => freqsh(rows, cols, seed),
+        AtmVariable::Snowhlnd => snowhlnd(rows, cols, seed),
+        AtmVariable::Cdnumc => cdnumc(rows, cols, seed),
+    }
+}
+
+/// Smooth planetary base: latitudinal gradient plus long-wavelength waves.
+fn planetary_base(rows: usize, cols: usize) -> Tensor<f32> {
+    Tensor::from_fn([rows, cols], |ix| {
+        let lat = ix[0] as f32 / rows as f32; // 0 = pole, 1 = other pole
+        let lon = ix[1] as f32 / cols as f32;
+        let latitudinal = (std::f32::consts::PI * lat).sin(); // warm equator
+        let wave1 = (2.0 * std::f32::consts::TAU * lon + 3.0 * lat).sin();
+        let wave2 = (5.0 * std::f32::consts::TAU * lon).cos() * (2.5 * std::f32::consts::TAU * lat).sin();
+        latitudinal + 0.15 * wave1 + 0.08 * wave2
+    })
+}
+
+fn ts(rows: usize, cols: usize, seed: u64) -> Tensor<f32> {
+    let mut field = planetary_base(rows, cols);
+    // Weather systems: smoothed noise at a synoptic correlation length.
+    let mut synoptic = white_noise([rows, cols], seed);
+    smooth_separable(&mut synoptic, (cols / 90).max(2), 3);
+    for (v, &w) in field.as_mut_slice().iter_mut().zip(synoptic.as_slice()) {
+        *v += 2.0 * w;
+    }
+    // Sharp fronts: a few high-amplitude localized features.
+    add_spikes(&mut field, rows * cols / 5000 + 4, 0.8, seed);
+    rescale(&mut field, 220.0, 315.0); // Kelvin-ish
+    field
+}
+
+fn freqsh(rows: usize, cols: usize, seed: u64) -> Tensor<f32> {
+    // Smooth base selects convective regions; fine noise dominates texture.
+    let mut base = white_noise([rows, cols], seed);
+    smooth_separable(&mut base, (cols / 60).max(2), 3);
+    rescale(&mut base, 0.0, 1.0);
+    let fine = white_noise([rows, cols], seed ^ 0xF00D);
+    let mut field = base;
+    for (v, &n) in field.as_mut_slice().iter_mut().zip(fine.as_slice()) {
+        // Texture amplitude peaks where convection is active (mid values).
+        let activity = (*v * (1.0 - *v)) * 4.0;
+        *v = (*v + 0.35 * activity * n).clamp(0.0, 1.0);
+    }
+    field
+}
+
+fn snowhlnd(rows: usize, cols: usize, seed: u64) -> Tensor<f32> {
+    // Snow only at high "latitudes" and over random land patches.
+    let mut landmask = white_noise([rows, cols], seed ^ 0x1A2D);
+    smooth_separable(&mut landmask, (cols / 40).max(2), 3);
+    rescale(&mut landmask, 0.0, 1.0);
+    let mut depth = white_noise([rows, cols], seed ^ 0xDEE9);
+    smooth_separable(&mut depth, (cols / 80).max(2), 2);
+    rescale(&mut depth, 0.0, 1.0);
+    Tensor::from_fn([rows, cols], |ix| {
+        let lat = ix[0] as f32 / rows as f32;
+        // Polar bands: |lat - 0.5| > 0.3 can hold snow.
+        let polar = ((lat - 0.5).abs() - 0.3).max(0.0) / 0.2;
+        let land = landmask[ix];
+        if polar > 0.0 && land > 0.55 {
+            // Smooth positive depth, metres of snow-water equivalent.
+            polar * (land - 0.55) * 5.0 * depth[ix]
+        } else {
+            0.0
+        }
+    })
+}
+
+fn cdnumc(rows: usize, cols: usize, seed: u64) -> Tensor<f32> {
+    // Log-magnitude field spanning ~14 decades, smooth in log space but with
+    // a handful of extreme cells — mirrors the paper's report of values from
+    // 1e-3 to 1e11 in one variable.
+    let mut logf = white_noise([rows, cols], seed ^ 0xC10D);
+    smooth_separable(&mut logf, (cols / 50).max(2), 3);
+    rescale(&mut logf, -3.0, 9.0);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xB16);
+    let mut field = Tensor::from_fn([rows, cols], |ix| 10.0f32.powf(logf[ix]));
+    // Sprinkle rare 1e10–1e11 cells (convective cores).
+    let extremes = (rows * cols / 20_000).max(2);
+    for _ in 0..extremes {
+        let r = rng.random_range(0..rows);
+        let c = rng.random_range(0..cols);
+        field[&[r, c][..]] = rng.random_range(1.0e10f32..1.0e11);
+    }
+    field
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ts_is_in_physical_range() {
+        let t = atm(AtmVariable::Ts, 60, 120, 11);
+        for &v in t.as_slice() {
+            assert!((220.0..=315.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn freqsh_is_a_fraction_with_texture() {
+        let t = atm(AtmVariable::Freqsh, 60, 120, 11);
+        assert!(t.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        // Texture check: neighboring-difference energy must be substantial
+        // (this is the low-CF variable).
+        let rough: f32 = t
+            .as_slice()
+            .windows(2)
+            .map(|w| (w[1] - w[0]).abs())
+            .sum::<f32>()
+            / (t.len() - 1) as f32;
+        assert!(rough > 0.01, "FREQSH too smooth: {rough}");
+    }
+
+    #[test]
+    fn snowhlnd_is_mostly_zero_and_nonnegative() {
+        let t = atm(AtmVariable::Snowhlnd, 120, 240, 11);
+        let zeros = t.as_slice().iter().filter(|&&v| v == 0.0).count();
+        assert!(
+            zeros as f64 > 0.5 * t.len() as f64,
+            "SNOWHLND should be sparse: {} / {} zeros",
+            zeros,
+            t.len()
+        );
+        assert!(t.as_slice().iter().all(|&v| v >= 0.0));
+        assert!(t.as_slice().iter().any(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn cdnumc_spans_many_decades() {
+        let t = atm(AtmVariable::Cdnumc, 120, 240, 11);
+        let min = t.as_slice().iter().cloned().fold(f32::INFINITY, f32::min);
+        let max = t.as_slice().iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        assert!(min > 0.0);
+        assert!(
+            max / min > 1e12,
+            "CDNUMC dynamic range too small: {min}..{max}"
+        );
+    }
+
+    #[test]
+    fn all_variables_are_finite() {
+        for var in AtmVariable::all() {
+            let t = atm(var, 40, 80, 3);
+            assert!(
+                t.as_slice().iter().all(|v| v.is_finite()),
+                "{:?} produced non-finite values",
+                var
+            );
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Hurricane Isabel 3-D field stand-in.
+
+use crate::field::{smooth_separable, white_noise};
+use szr_tensor::Tensor;
+
+/// Generates a 3-D wind-speed-magnitude field of a synthetic hurricane on a
+/// `levels × rows × cols` grid (levels = vertical).
+///
+/// The generator reproduces the structures that make Hurricane Isabel highly
+/// compressible in 3-D (the paper's CF ≈ 21 at `eb_rel = 1e-4`):
+///
+/// * a Rankine-style vortex: wind rises linearly inside the eyewall radius
+///   and decays as `R/r` outside;
+/// * a calm eye whose center drifts smoothly with altitude;
+/// * logarithmic spiral rain bands modulating the wind field;
+/// * intensity decay with altitude plus weak correlated turbulence.
+pub fn hurricane(levels: usize, rows: usize, cols: usize, seed: u64) -> Tensor<f32> {
+    hurricane_at(levels, rows, cols, seed, 0.0)
+}
+
+/// Time-evolving variant: the same storm at simulation time `t` (arbitrary
+/// units; one unit ≈ one output interval of the Isabel data).
+///
+/// Between consecutive integer times the storm translates, the spiral
+/// bands rotate, and intensity breathes slightly — the inter-snapshot
+/// deltas the checkpointing/NUMARCK experiments need.
+pub fn hurricane_at(levels: usize, rows: usize, cols: usize, seed: u64, t: f32) -> Tensor<f32> {
+    let mut turbulence = white_noise([levels, rows, cols], seed ^ ((t as i64) as u64));
+    smooth_separable(&mut turbulence, 2, 2);
+    let eyewall = rows.min(cols) as f32 * 0.06;
+    // Storm track: slow north-westward translation; intensity cycle.
+    let (track_r, track_c) = (0.02 * t, -0.015 * t);
+    let breath = 1.0 + 0.05 * (0.7 * t).sin();
+    let band_phase = 0.35 * t;
+    Tensor::from_fn([levels, rows, cols], |ix| {
+        let (l, r, c) = (ix[0] as f32, ix[1] as f32, ix[2] as f32);
+        let zfrac = l / levels.max(1) as f32;
+        // Eye drifts with altitude along a gentle arc, plus the track.
+        let cr = rows as f32 * (0.5 + track_r + 0.08 * (2.2 * zfrac).sin());
+        let cc = cols as f32 * (0.5 + track_c + 0.08 * (1.7 * zfrac).cos());
+        let dr = r - cr;
+        let dc = c - cc;
+        let dist = (dr * dr + dc * dc).sqrt().max(1e-3);
+        // Rankine vortex tangential wind profile.
+        let vortex = if dist < eyewall {
+            dist / eyewall
+        } else {
+            eyewall / dist
+        };
+        // Spiral bands: phase couples angle and log-radius, rotating in t.
+        let angle = dc.atan2(dr);
+        let band =
+            0.25 * (3.0 * angle - 2.5 * (dist / eyewall).max(1e-3).ln() - band_phase).cos() + 0.75;
+        // Winds weaken aloft; turbulence is a small perturbation.
+        let altitude = 1.0 - 0.55 * zfrac;
+        let turb = 1.0 + 0.05 * turbulence[ix];
+        (70.0 * breath * vortex * band * altitude * turb).max(0.0)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimensions_and_finiteness() {
+        let h = hurricane(10, 50, 50, 3);
+        assert_eq!(h.dims(), &[10, 50, 50]);
+        assert!(h.as_slice().iter().all(|v| v.is_finite() && *v >= 0.0));
+    }
+
+    #[test]
+    fn eye_is_calmer_than_eyewall() {
+        let h = hurricane(4, 100, 100, 3);
+        // Level 0: eye near (50 + small drift, 50 + small drift).
+        let eye = h[&[0, 50, 58][..]];
+        // Eyewall radius is 6% of 100 = 6 cells from center.
+        let mut wall_max = 0.0f32;
+        for c in 0..100 {
+            wall_max = wall_max.max(h[&[0, 56, c][..]]);
+        }
+        assert!(
+            wall_max > eye,
+            "eyewall ({wall_max}) should outblow the eye ({eye})"
+        );
+    }
+
+    #[test]
+    fn wind_decays_with_altitude() {
+        let h = hurricane(10, 60, 60, 3);
+        let level_mean = |l: usize| -> f32 {
+            let mut sum = 0.0;
+            for r in 0..60 {
+                for c in 0..60 {
+                    sum += h[&[l, r, c][..]];
+                }
+            }
+            sum / 3600.0
+        };
+        assert!(level_mean(0) > level_mean(9) * 1.3);
+    }
+
+    #[test]
+    fn time_evolution_is_smooth_and_nontrivial() {
+        let a = hurricane_at(6, 48, 48, 3, 0.0);
+        let b = hurricane_at(6, 48, 48, 3, 1.0);
+        let c = hurricane_at(6, 48, 48, 3, 10.0);
+        let diff = |x: &Tensor<f32>, y: &Tensor<f32>| -> f32 {
+            x.as_slice()
+                .iter()
+                .zip(y.as_slice())
+                .map(|(p, q)| (p - q).abs())
+                .sum::<f32>()
+                / x.len() as f32
+        };
+        let step = diff(&a, &b);
+        let jump = diff(&a, &c);
+        assert!(step > 0.0, "consecutive steps must differ");
+        assert!(jump > step, "distant times should differ more: {step} vs {jump}");
+        // One step changes the field by a small fraction of its scale.
+        let scale: f32 = a.as_slice().iter().cloned().fold(0.0, f32::max);
+        assert!(step < 0.2 * scale, "step {step} too violent vs scale {scale}");
+    }
+
+    #[test]
+    fn field_is_smoother_than_white_noise() {
+        let h = hurricane(8, 64, 64, 3);
+        let rough: f32 = h
+            .as_slice()
+            .windows(2)
+            .map(|w| (w[1] - w[0]).abs())
+            .sum::<f32>()
+            / (h.len() - 1) as f32;
+        let scale: f32 = h.as_slice().iter().cloned().fold(0.0, f32::max);
+        assert!(
+            rough < 0.2 * scale,
+            "3-D field should be locally smooth: roughness {rough} vs scale {scale}"
+        );
+    }
+}

@@ -1,0 +1,186 @@
+//! Synthetic scientific data sets standing in for the paper's production data.
+//!
+//! The SZ-1.4 evaluation (Table III) uses three proprietary/bulky data sets:
+//! 2.6 TB of CESM ATM climate snapshots (1800×3600), 40 GB of APS X-ray
+//! images (2560×2560), and the 1.2 GB Hurricane Isabel simulation
+//! (100×500×500). None are redistributable here, so this crate generates
+//! fields with the same *compression-relevant* structure, seeded and fully
+//! reproducible:
+//!
+//! * [`atm`] — 2-D climate-like fields: smooth multi-scale background,
+//!   sharp fronts, and variables with distinct personalities
+//!   ([`AtmVariable::Freqsh`]: noisy/low-CF, [`AtmVariable::Snowhlnd`]:
+//!   sparse/high-CF, [`AtmVariable::Cdnumc`]: ~14 decades of dynamic range —
+//!   the case where ZFP's exponent alignment violates error bounds).
+//! * [`aps`] — X-ray diffraction: concentric rings, beamstop shadow,
+//!   detector noise.
+//! * [`hurricane`] — 3-D wind-speed magnitude of a drifting vortex with an
+//!   eye, spiral rain bands, and vertical decay.
+//!
+//! The paper's headline behaviours (prediction hit rates, the CF ordering of
+//! the six compressors, rate-distortion shape) emerge from these structural
+//! properties, not from the exact physical values — see DESIGN.md §4.
+
+mod atm;
+mod field;
+mod hurricane;
+mod xray;
+
+pub use atm::{atm, AtmVariable};
+pub use field::{smooth_separable, white_noise};
+pub use hurricane::{hurricane, hurricane_at};
+pub use xray::aps;
+
+use szr_tensor::Tensor;
+
+/// Which of the paper's three data sets a [`Field`] belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatasetKind {
+    /// 2-D CESM climate snapshots.
+    Atm,
+    /// 2-D APS X-ray images.
+    Aps,
+    /// 3-D Hurricane Isabel fields.
+    Hurricane,
+}
+
+impl DatasetKind {
+    /// Display name matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            DatasetKind::Atm => "ATM",
+            DatasetKind::Aps => "APS",
+            DatasetKind::Hurricane => "Hurricane",
+        }
+    }
+}
+
+/// A named single-precision variable from one of the synthetic data sets.
+#[derive(Debug, Clone)]
+pub struct Field {
+    /// Variable name (e.g. `"FREQSH"`).
+    pub name: String,
+    /// Which data set the variable belongs to.
+    pub kind: DatasetKind,
+    /// The grid data.
+    pub data: Tensor<f32>,
+}
+
+/// Experiment grid sizes.
+///
+/// `Full` matches the paper's per-snapshot dimensions; `Medium`/`Small` are
+/// proportionally scaled for faster experiment turnaround (EXPERIMENTS.md
+/// records which scale each run used).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Tiny grids for unit tests.
+    Small,
+    /// Default experiment scale (~1–2 M elements per 2-D field).
+    Medium,
+    /// The paper's exact per-file dimensions.
+    Full,
+}
+
+impl Scale {
+    /// ATM grid (rows, cols): paper is 1800×3600.
+    pub fn atm_dims(self) -> (usize, usize) {
+        match self {
+            Scale::Small => (90, 180),
+            Scale::Medium => (900, 1800),
+            Scale::Full => (1800, 3600),
+        }
+    }
+
+    /// APS grid (rows, cols): paper is 2560×2560.
+    pub fn aps_dims(self) -> (usize, usize) {
+        match self {
+            Scale::Small => (128, 128),
+            Scale::Medium => (1280, 1280),
+            Scale::Full => (2560, 2560),
+        }
+    }
+
+    /// Hurricane grid (levels, rows, cols): paper is 100×500×500.
+    pub fn hurricane_dims(self) -> (usize, usize, usize) {
+        match self {
+            Scale::Small => (10, 50, 50),
+            Scale::Medium => (50, 250, 250),
+            Scale::Full => (100, 500, 500),
+        }
+    }
+}
+
+/// Generates the standard variable suite for a data set at a given scale.
+///
+/// ATM yields four variables (TS, FREQSH, SNOWHLND, CDNUMC); APS and
+/// hurricane yield one field each plus a second seed variant, mirroring how
+/// the paper aggregates per-file results.
+pub fn dataset(kind: DatasetKind, scale: Scale, seed: u64) -> Vec<Field> {
+    match kind {
+        DatasetKind::Atm => {
+            let (r, c) = scale.atm_dims();
+            [
+                AtmVariable::Ts,
+                AtmVariable::Freqsh,
+                AtmVariable::Snowhlnd,
+                AtmVariable::Cdnumc,
+            ]
+            .into_iter()
+            .map(|v| Field {
+                name: v.name().to_string(),
+                kind,
+                data: atm(v, r, c, seed),
+            })
+            .collect()
+        }
+        DatasetKind::Aps => {
+            let (r, c) = scale.aps_dims();
+            (0..2)
+                .map(|i| Field {
+                    name: format!("APS{i}"),
+                    kind,
+                    data: aps(r, c, seed + i),
+                })
+                .collect()
+        }
+        DatasetKind::Hurricane => {
+            let (l, r, c) = scale.hurricane_dims();
+            (0..2)
+                .map(|i| Field {
+                    name: format!("Uf{:02}", 1 + i),
+                    kind,
+                    data: hurricane(l, r, c, seed + i),
+                })
+                .collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_yields_expected_variables() {
+        let fields = dataset(DatasetKind::Atm, Scale::Small, 1);
+        let names: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["TS", "FREQSH", "SNOWHLND", "CDNUMC"]);
+        for f in &fields {
+            assert_eq!(f.data.dims(), &[90, 180]);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = dataset(DatasetKind::Hurricane, Scale::Small, 42);
+        let b = dataset(DatasetKind::Hurricane, Scale::Small, 42);
+        assert_eq!(a[0].data.as_slice(), b[0].data.as_slice());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = aps(64, 64, 1);
+        let b = aps(64, 64, 2);
+        assert_ne!(a.as_slice(), b.as_slice());
+    }
+}

@@ -1,0 +1,700 @@
+//! DEFLATE block encoding and decoding (RFC 1951 §3.2).
+
+use crate::bitio::{reverse_bits, LsbReader, LsbWriter};
+use crate::lz77::{tokenize, Token};
+use crate::{Error, Result};
+
+/// Length-code base values for symbols 257..=285.
+const LENGTH_BASE: [u16; 29] = [
+    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51, 59, 67, 83, 99, 115,
+    131, 163, 195, 227, 258,
+];
+/// Extra bits per length code.
+const LENGTH_EXTRA: [u32; 29] = [
+    0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0,
+];
+/// Distance-code base values for symbols 0..=29.
+const DIST_BASE: [u16; 30] = [
+    1, 2, 3, 4, 5, 7, 9, 13, 17, 25, 33, 49, 65, 97, 129, 193, 257, 385, 513, 769, 1025, 1537,
+    2049, 3073, 4097, 6145, 8193, 12289, 16385, 24577,
+];
+/// Extra bits per distance code.
+const DIST_EXTRA: [u32; 30] = [
+    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12,
+    13, 13,
+];
+/// Order in which code-length-code lengths are transmitted.
+const CLC_ORDER: [usize; 19] = [16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15];
+
+/// Tokens per encoded block: bounds table-adaptation granularity.
+const TOKENS_PER_BLOCK: usize = 65_536;
+
+#[inline]
+fn length_symbol(len: u16) -> (u16, u32, u16) {
+    // Returns (symbol, extra bit count, extra bits value).
+    debug_assert!((3..=258).contains(&len));
+    let mut sym = 28usize;
+    for (i, &base) in LENGTH_BASE.iter().enumerate() {
+        let next = if i + 1 < 29 { LENGTH_BASE[i + 1] } else { 259 };
+        if len >= base && len < next {
+            sym = i;
+            break;
+        }
+    }
+    // Length 258 belongs to symbol 285 (sym 28), which has 0 extra bits.
+    if len == 258 {
+        sym = 28;
+    }
+    (257 + sym as u16, LENGTH_EXTRA[sym], len - LENGTH_BASE[sym])
+}
+
+#[inline]
+fn dist_symbol(dist: u16) -> (u16, u32, u16) {
+    debug_assert!(dist >= 1);
+    let d = dist as u32;
+    let mut sym = 29usize;
+    for (i, &base) in DIST_BASE.iter().enumerate() {
+        let next = if i + 1 < 30 {
+            DIST_BASE[i + 1] as u32
+        } else {
+            32_769
+        };
+        if d >= base as u32 && d < next {
+            sym = i;
+            break;
+        }
+    }
+    (sym as u16, DIST_EXTRA[sym], dist - DIST_BASE[sym])
+}
+
+// ---------------------------------------------------------------------------
+// Huffman construction (max code length 15, RFC-conformant canonical codes).
+// ---------------------------------------------------------------------------
+
+/// Builds length-limited Huffman code lengths for `freqs` (limit `max_len`).
+fn build_lengths(freqs: &[u32], max_len: u32) -> Vec<u32> {
+    let used: Vec<usize> = (0..freqs.len()).filter(|&i| freqs[i] > 0).collect();
+    let mut lengths = vec![0u32; freqs.len()];
+    match used.len() {
+        0 => return lengths,
+        1 => {
+            lengths[used[0]] = 1;
+            return lengths;
+        }
+        _ => {}
+    }
+    // Heap-based Huffman.
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+    let n = used.len();
+    let mut parent = vec![usize::MAX; 2 * n - 1];
+    for (node, &sym) in used.iter().enumerate() {
+        heap.push(Reverse((freqs[sym] as u64, node)));
+    }
+    let mut next = n;
+    while heap.len() > 1 {
+        let Reverse((w1, n1)) = heap.pop().unwrap();
+        let Reverse((w2, n2)) = heap.pop().unwrap();
+        parent[n1] = next;
+        parent[n2] = next;
+        heap.push(Reverse((w1 + w2, next)));
+        next += 1;
+    }
+    let root = next - 1;
+    let mut depth = vec![0u32; 2 * n - 1];
+    for node in (0..next).rev() {
+        if node != root {
+            depth[node] = depth[parent[node]] + 1;
+        }
+    }
+    for (node, &sym) in used.iter().enumerate() {
+        lengths[sym] = depth[node].max(1);
+    }
+    // Limit to max_len with a Kraft fixup (deepen the deepest shallow code).
+    let mut over = false;
+    for l in lengths.iter_mut() {
+        if *l > max_len {
+            *l = max_len;
+            over = true;
+        }
+    }
+    if over {
+        let budget = 1u64 << max_len;
+        let mut kraft: u64 = lengths
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 1u64 << (max_len - l))
+            .sum();
+        while kraft > budget {
+            let i = lengths
+                .iter()
+                .enumerate()
+                .filter(|&(_, &l)| l > 0 && l < max_len)
+                .max_by_key(|&(_, &l)| l)
+                .map(|(i, _)| i)
+                .expect("fixup always has a candidate");
+            kraft -= 1u64 << (max_len - lengths[i] - 1);
+            lengths[i] += 1;
+        }
+    }
+    lengths
+}
+
+/// Canonical code values from lengths (RFC 1951 §3.2.2 algorithm).
+fn assign_codes(lengths: &[u32]) -> Vec<u32> {
+    let max_len = lengths.iter().copied().max().unwrap_or(0);
+    let mut bl_count = vec![0u32; (max_len + 1) as usize];
+    for &l in lengths {
+        if l > 0 {
+            bl_count[l as usize] += 1;
+        }
+    }
+    let mut next_code = vec![0u32; (max_len + 2) as usize];
+    let mut code = 0u32;
+    for bits in 1..=max_len {
+        code = (code + bl_count[(bits - 1) as usize]) << 1;
+        next_code[bits as usize] = code;
+    }
+    lengths
+        .iter()
+        .map(|&l| {
+            if l == 0 {
+                0
+            } else {
+                let c = next_code[l as usize];
+                next_code[l as usize] += 1;
+                c
+            }
+        })
+        .collect()
+}
+
+/// Canonical decoder over (length, symbol) pairs.
+struct HuffDecoder {
+    /// count[l] = number of codes of length l.
+    count: [u32; 16],
+    /// first canonical code of each length.
+    first_code: [u32; 16],
+    /// index into `symbols` of the first code of each length.
+    first_index: [u32; 16],
+    /// symbols sorted by (length, symbol).
+    symbols: Vec<u16>,
+}
+
+impl HuffDecoder {
+    fn from_lengths(lengths: &[u32]) -> Result<Self> {
+        let mut count = [0u32; 16];
+        for &l in lengths {
+            if l > 15 {
+                return Err(Error::Corrupt("code length exceeds 15"));
+            }
+            if l > 0 {
+                count[l as usize] += 1;
+            }
+        }
+        let mut kraft: u64 = 0;
+        for l in 1..=15u32 {
+            kraft += (count[l as usize] as u64) << (15 - l);
+        }
+        if kraft > 1 << 15 {
+            return Err(Error::Corrupt("oversubscribed huffman table"));
+        }
+        let mut first_code = [0u32; 16];
+        let mut first_index = [0u32; 16];
+        let mut code = 0u32;
+        let mut index = 0u32;
+        for l in 1..=15usize {
+            code <<= 1;
+            first_code[l] = code;
+            first_index[l] = index;
+            code += count[l];
+            index += count[l];
+        }
+        let mut symbols: Vec<u16> = (0..lengths.len() as u16)
+            .filter(|&s| lengths[s as usize] > 0)
+            .collect();
+        symbols.sort_by_key(|&s| (lengths[s as usize], s));
+        Ok(Self {
+            count,
+            first_code,
+            first_index,
+            symbols,
+        })
+    }
+
+    #[inline]
+    fn decode(&self, reader: &mut LsbReader<'_>) -> Result<u16> {
+        let mut code = 0u32;
+        for len in 1..=15usize {
+            code = (code << 1) | reader.read_bit()?;
+            let n = self.count[len];
+            if n > 0 {
+                let offset = code.wrapping_sub(self.first_code[len]);
+                if offset < n {
+                    return Ok(self.symbols[(self.first_index[len] + offset) as usize]);
+                }
+            }
+        }
+        Err(Error::Corrupt("invalid huffman code"))
+    }
+}
+
+struct Encoder {
+    lengths: Vec<u32>,
+    codes: Vec<u32>,
+}
+
+impl Encoder {
+    fn new(lengths: Vec<u32>) -> Self {
+        let codes = assign_codes(&lengths);
+        Self { lengths, codes }
+    }
+
+    #[inline]
+    fn write(&self, w: &mut LsbWriter, sym: u16) {
+        let len = self.lengths[sym as usize];
+        debug_assert!(len > 0, "symbol {sym} has no code");
+        w.write_bits(reverse_bits(self.codes[sym as usize], len) as u64, len);
+    }
+}
+
+fn fixed_litlen_lengths() -> Vec<u32> {
+    let mut l = vec![8u32; 288];
+    l[144..256].iter_mut().for_each(|x| *x = 9);
+    l[256..280].iter_mut().for_each(|x| *x = 7);
+    l
+}
+
+fn fixed_dist_lengths() -> Vec<u32> {
+    vec![5u32; 30]
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+/// Run-length encodes a code-length sequence into CL symbols
+/// (16 = repeat previous 3–6, 17 = zeros 3–10, 18 = zeros 11–138).
+fn rle_code_lengths(lengths: &[u32]) -> Vec<(u16, u32, u16)> {
+    // (symbol, extra bit count, extra value)
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < lengths.len() {
+        let cur = lengths[i];
+        let mut run = 1usize;
+        while i + run < lengths.len() && lengths[i + run] == cur {
+            run += 1;
+        }
+        if cur == 0 {
+            let mut left = run;
+            while left >= 11 {
+                let take = left.min(138);
+                out.push((18, 7, (take - 11) as u16));
+                left -= take;
+            }
+            if left >= 3 {
+                out.push((17, 3, (left - 3) as u16));
+                left = 0;
+            }
+            for _ in 0..left {
+                out.push((0, 0, 0));
+            }
+        } else {
+            out.push((cur as u16, 0, 0));
+            let mut left = run - 1;
+            while left >= 3 {
+                let take = left.min(6);
+                out.push((16, 2, (take - 3) as u16));
+                left -= take;
+            }
+            for _ in 0..left {
+                out.push((cur as u16, 0, 0));
+            }
+        }
+        i += run;
+    }
+    out
+}
+
+fn write_dynamic_header(
+    w: &mut LsbWriter,
+    litlen_lengths: &[u32],
+    dist_lengths: &[u32],
+) {
+    // HLIT/HDIST: trailing zeros may be trimmed but minimums apply.
+    let hlit = litlen_lengths
+        .iter()
+        .rposition(|&l| l > 0)
+        .map(|p| p + 1)
+        .unwrap_or(0)
+        .max(257);
+    let hdist = dist_lengths
+        .iter()
+        .rposition(|&l| l > 0)
+        .map(|p| p + 1)
+        .unwrap_or(0)
+        .max(1);
+    let mut all = Vec::with_capacity(hlit + hdist);
+    all.extend_from_slice(&litlen_lengths[..hlit]);
+    all.extend_from_slice(&dist_lengths[..hdist]);
+    let cl_syms = rle_code_lengths(&all);
+
+    let mut cl_freq = [0u32; 19];
+    for &(sym, _, _) in &cl_syms {
+        cl_freq[sym as usize] += 1;
+    }
+    let cl_lengths = build_lengths(&cl_freq, 7);
+    let cl_enc = Encoder::new(cl_lengths.clone());
+    let hclen = CLC_ORDER
+        .iter()
+        .rposition(|&s| cl_lengths[s] > 0)
+        .map(|p| p + 1)
+        .unwrap_or(4)
+        .max(4);
+
+    w.write_bits((hlit - 257) as u64, 5);
+    w.write_bits((hdist - 1) as u64, 5);
+    w.write_bits((hclen - 4) as u64, 4);
+    for &s in CLC_ORDER.iter().take(hclen) {
+        w.write_bits(cl_lengths[s] as u64, 3);
+    }
+    for &(sym, extra_bits, extra) in &cl_syms {
+        cl_enc.write(w, sym);
+        if extra_bits > 0 {
+            w.write_bits(extra as u64, extra_bits);
+        }
+    }
+}
+
+fn write_tokens(w: &mut LsbWriter, tokens: &[Token], litlen: &Encoder, dist: &Encoder) {
+    for &t in tokens {
+        match t {
+            Token::Literal(b) => litlen.write(w, b as u16),
+            Token::Match { len, dist: d } => {
+                let (sym, eb, ev) = length_symbol(len);
+                litlen.write(w, sym);
+                if eb > 0 {
+                    w.write_bits(ev as u64, eb);
+                }
+                let (dsym, deb, dev) = dist_symbol(d);
+                dist.write(w, dsym);
+                if deb > 0 {
+                    w.write_bits(dev as u64, deb);
+                }
+            }
+        }
+    }
+    litlen.write(w, 256); // end of block
+}
+
+/// Estimated bit cost of a dynamic block (payload only; header adds ~100–300
+/// bits, folded into the constant below).
+fn dynamic_cost(
+    litlen_freq: &[u32],
+    dist_freq: &[u32],
+    litlen_lengths: &[u32],
+    dist_lengths: &[u32],
+) -> u64 {
+    let mut bits = 300u64; // header estimate
+    for (f, l) in litlen_freq.iter().zip(litlen_lengths) {
+        bits += (*f as u64) * (*l as u64);
+    }
+    for (f, l) in dist_freq.iter().zip(dist_lengths) {
+        bits += (*f as u64) * (*l as u64);
+    }
+    // Extra bits.
+    for (sym, &f) in litlen_freq.iter().enumerate().skip(257) {
+        if sym - 257 < 29 {
+            bits += f as u64 * LENGTH_EXTRA[sym - 257] as u64;
+        }
+    }
+    for (sym, &f) in dist_freq.iter().enumerate() {
+        if sym < 30 {
+            bits += f as u64 * DIST_EXTRA[sym] as u64;
+        }
+    }
+    bits
+}
+
+/// Compresses `data` into a complete DEFLATE stream.
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    let tokens = tokenize(data);
+    let mut w = LsbWriter::new();
+    // Track original byte extent per block for the stored fallback.
+    let mut blocks: Vec<(&[Token], usize, usize)> = Vec::new();
+    {
+        let mut start_byte = 0usize;
+        let mut i = 0usize;
+        while i < tokens.len() || blocks.is_empty() {
+            let end = (i + TOKENS_PER_BLOCK).min(tokens.len());
+            let slice = &tokens[i..end];
+            let bytes: usize = slice
+                .iter()
+                .map(|t| match t {
+                    Token::Literal(_) => 1,
+                    Token::Match { len, .. } => *len as usize,
+                })
+                .sum();
+            blocks.push((slice, start_byte, start_byte + bytes));
+            start_byte += bytes;
+            i = end;
+            if tokens.is_empty() {
+                break;
+            }
+        }
+    }
+
+    let last = blocks.len() - 1;
+    for (bi, &(block, byte_start, byte_end)) in blocks.iter().enumerate() {
+        let is_final = bi == last;
+        // Symbol frequencies for this block.
+        let mut litlen_freq = vec![0u32; 286];
+        let mut dist_freq = vec![0u32; 30];
+        for &t in block {
+            match t {
+                Token::Literal(b) => litlen_freq[b as usize] += 1,
+                Token::Match { len, dist } => {
+                    litlen_freq[length_symbol(len).0 as usize] += 1;
+                    dist_freq[dist_symbol(dist).0 as usize] += 1;
+                }
+            }
+        }
+        litlen_freq[256] += 1;
+        let litlen_lengths = build_lengths(&litlen_freq, 15);
+        let mut dist_lengths = build_lengths(&dist_freq, 15);
+        // RFC: when no distances occur, one dummy code keeps decoders happy.
+        if dist_lengths.iter().all(|&l| l == 0) {
+            dist_lengths[0] = 1;
+        }
+
+        let dyn_bits = dynamic_cost(&litlen_freq, &dist_freq, &litlen_lengths, &dist_lengths);
+        let stored_bits = 8 * (5 + (byte_end - byte_start)) as u64 + 8;
+        if stored_bits < dyn_bits {
+            // Stored block(s): 64 KiB max each.
+            let raw = &data[byte_start..byte_end];
+            let mut chunks = raw.chunks(65_535).peekable();
+            if raw.is_empty() {
+                w.write_bits(is_final as u64, 1);
+                w.write_bits(0b00, 2);
+                w.align_to_byte();
+                w.write_bytes(&[0, 0, 0xFF, 0xFF]);
+            }
+            while let Some(chunk) = chunks.next() {
+                let this_final = is_final && chunks.peek().is_none();
+                w.write_bits(this_final as u64, 1);
+                w.write_bits(0b00, 2);
+                w.align_to_byte();
+                let len = chunk.len() as u16;
+                w.write_bytes(&len.to_le_bytes());
+                w.write_bytes(&(!len).to_le_bytes());
+                w.write_bytes(chunk);
+            }
+        } else {
+            w.write_bits(is_final as u64, 1);
+            w.write_bits(0b10, 2); // dynamic
+            write_dynamic_header(&mut w, &litlen_lengths, &dist_lengths);
+            let litlen = Encoder::new(litlen_lengths);
+            let dist = Encoder::new(dist_lengths);
+            write_tokens(&mut w, block, &litlen, &dist);
+        }
+    }
+    w.finish()
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+fn inflate_block(
+    reader: &mut LsbReader<'_>,
+    out: &mut Vec<u8>,
+    litlen: &HuffDecoder,
+    dist: &HuffDecoder,
+) -> Result<()> {
+    loop {
+        let sym = litlen.decode(reader)?;
+        match sym {
+            0..=255 => out.push(sym as u8),
+            256 => return Ok(()),
+            257..=285 => {
+                let idx = (sym - 257) as usize;
+                let len =
+                    LENGTH_BASE[idx] as usize + reader.read_bits(LENGTH_EXTRA[idx])? as usize;
+                let dsym = dist.decode(reader)? as usize;
+                if dsym >= 30 {
+                    return Err(Error::Corrupt("distance symbol out of range"));
+                }
+                let d = DIST_BASE[dsym] as usize + reader.read_bits(DIST_EXTRA[dsym])? as usize;
+                if d > out.len() {
+                    return Err(Error::Corrupt("distance beyond output start"));
+                }
+                let start = out.len() - d;
+                for i in 0..len {
+                    let b = out[start + i];
+                    out.push(b);
+                }
+            }
+            _ => return Err(Error::Corrupt("literal/length symbol out of range")),
+        }
+    }
+}
+
+fn read_dynamic_tables(reader: &mut LsbReader<'_>) -> Result<(HuffDecoder, HuffDecoder)> {
+    let hlit = reader.read_bits(5)? as usize + 257;
+    let hdist = reader.read_bits(5)? as usize + 1;
+    let hclen = reader.read_bits(4)? as usize + 4;
+    if hlit > 286 || hdist > 30 {
+        return Err(Error::Corrupt("table sizes out of range"));
+    }
+    let mut cl_lengths = [0u32; 19];
+    for &s in CLC_ORDER.iter().take(hclen) {
+        cl_lengths[s] = reader.read_bits(3)? as u32;
+    }
+    let cl = HuffDecoder::from_lengths(&cl_lengths)?;
+    let mut all = Vec::with_capacity(hlit + hdist);
+    while all.len() < hlit + hdist {
+        let sym = cl.decode(reader)?;
+        match sym {
+            0..=15 => all.push(sym as u32),
+            16 => {
+                let &prev = all.last().ok_or(Error::Corrupt("repeat with no prior length"))?;
+                let n = reader.read_bits(2)? as usize + 3;
+                all.extend(std::iter::repeat_n(prev, n));
+            }
+            17 => {
+                let n = reader.read_bits(3)? as usize + 3;
+                all.extend(std::iter::repeat_n(0u32, n));
+            }
+            18 => {
+                let n = reader.read_bits(7)? as usize + 11;
+                all.extend(std::iter::repeat_n(0u32, n));
+            }
+            _ => return Err(Error::Corrupt("invalid code-length symbol")),
+        }
+    }
+    if all.len() != hlit + hdist {
+        return Err(Error::Corrupt("code-length overrun"));
+    }
+    let litlen = HuffDecoder::from_lengths(&all[..hlit])?;
+    let dist = HuffDecoder::from_lengths(&all[hlit..])?;
+    Ok((litlen, dist))
+}
+
+/// Decompresses a complete DEFLATE stream.
+pub fn decompress(data: &[u8]) -> Result<Vec<u8>> {
+    let mut reader = LsbReader::new(data);
+    let mut out = Vec::with_capacity(data.len() * 3);
+    loop {
+        let bfinal = reader.read_bit()?;
+        let btype = reader.read_bits(2)?;
+        match btype {
+            0b00 => {
+                let header = reader.read_aligned_bytes(4)?;
+                let len = u16::from_le_bytes([header[0], header[1]]);
+                let nlen = u16::from_le_bytes([header[2], header[3]]);
+                if len != !nlen {
+                    return Err(Error::Corrupt("stored block LEN/NLEN mismatch"));
+                }
+                let payload = reader.read_aligned_bytes(len as usize)?;
+                out.extend_from_slice(payload);
+            }
+            0b01 => {
+                let litlen = HuffDecoder::from_lengths(&fixed_litlen_lengths())?;
+                let dist = HuffDecoder::from_lengths(&fixed_dist_lengths())?;
+                inflate_block(&mut reader, &mut out, &litlen, &dist)?;
+            }
+            0b10 => {
+                let (litlen, dist) = read_dynamic_tables(&mut reader)?;
+                inflate_block(&mut reader, &mut out, &litlen, &dist)?;
+            }
+            _ => return Err(Error::Corrupt("reserved block type")),
+        }
+        if bfinal == 1 {
+            return Ok(out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn length_symbols_match_rfc() {
+        assert_eq!(length_symbol(3), (257, 0, 0));
+        assert_eq!(length_symbol(10), (264, 0, 0));
+        assert_eq!(length_symbol(11), (265, 1, 0));
+        assert_eq!(length_symbol(12), (265, 1, 1));
+        assert_eq!(length_symbol(13), (266, 1, 0));
+        assert_eq!(length_symbol(257), (284, 5, 30));
+        assert_eq!(length_symbol(258), (285, 0, 0));
+    }
+
+    #[test]
+    fn dist_symbols_match_rfc() {
+        assert_eq!(dist_symbol(1), (0, 0, 0));
+        assert_eq!(dist_symbol(4), (3, 0, 0));
+        assert_eq!(dist_symbol(5), (4, 1, 0));
+        assert_eq!(dist_symbol(6), (4, 1, 1));
+        assert_eq!(dist_symbol(24577), (29, 13, 0));
+        assert_eq!(dist_symbol(32768), (29, 13, 8191));
+    }
+
+    #[test]
+    fn canonical_codes_follow_rfc_example() {
+        // RFC 1951 §3.2.2 worked example: lengths (3,3,3,3,3,2,4,4) yield
+        // codes 010,011,100,101,110,00,1110,1111.
+        let lengths = [3u32, 3, 3, 3, 3, 2, 4, 4];
+        let codes = assign_codes(&lengths);
+        assert_eq!(codes, vec![0b010, 0b011, 0b100, 0b101, 0b110, 0b00, 0b1110, 0b1111]);
+    }
+
+    #[test]
+    fn rle_compacts_zero_runs() {
+        let mut lengths = vec![0u32; 140];
+        lengths[0] = 5;
+        let syms = rle_code_lengths(&lengths);
+        // 5, then 139 zeros -> one 18-run of 138 and one literal zero.
+        assert_eq!(syms[0].0, 5);
+        assert_eq!(syms[1].0, 18);
+        assert_eq!(syms[1].2, 127); // 138 - 11
+        assert_eq!(syms[2].0, 0);
+        assert_eq!(syms.len(), 3);
+    }
+
+    #[test]
+    fn decoder_rejects_oversubscribed_tables() {
+        assert!(HuffDecoder::from_lengths(&[1, 1, 1]).is_err());
+        assert!(HuffDecoder::from_lengths(&[1, 2, 2]).is_ok());
+    }
+
+    #[test]
+    fn stored_block_roundtrip() {
+        // Force the stored path with incompressible input shorter than any
+        // dynamic header.
+        let data: Vec<u8> = (0..=255u8).collect();
+        let packed = compress(&data);
+        assert_eq!(decompress(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn multi_block_inputs_roundtrip() {
+        // > TOKENS_PER_BLOCK literals forces multiple blocks.
+        let data: Vec<u8> = (0..200_000u64)
+            .map(|i| {
+                let h = i.wrapping_mul(0xA076_1D64_78BD_642F);
+                ((h >> 56) ^ (h >> 13)) as u8
+            })
+            .collect();
+        let packed = compress(&data);
+        assert_eq!(decompress(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn overlapping_match_decodes_byte_serially() {
+        let data = b"aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa".to_vec();
+        let packed = compress(&data);
+        assert_eq!(decompress(&packed).unwrap(), data);
+    }
+}

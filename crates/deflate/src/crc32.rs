@@ -1,0 +1,54 @@
+//! Table-driven CRC-32 (the IEEE 802.3 polynomial gzip uses).
+
+/// Reflected CRC-32 polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+fn table() -> [u32; 256] {
+    let mut t = [0u32; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 == 1 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            bit += 1;
+        }
+        t[i] = crc;
+        i += 1;
+    }
+    t
+}
+
+/// CRC-32 of `data` (initial value 0, as gzip expects).
+pub fn crc32(data: &[u8]) -> u32 {
+    // The table is tiny; building it per call would be fine, but caching is
+    // free with OnceLock.
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    let t = TABLE.get_or_init(table);
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = (crc >> 8) ^ t[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn sensitivity_to_single_bit() {
+        let a = crc32(b"hello world");
+        let b = crc32(b"hello worle");
+        assert_ne!(a, b);
+    }
+}

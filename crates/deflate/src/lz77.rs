@@ -1,0 +1,220 @@
+//! LZ77 string matching with hash chains and lazy evaluation.
+
+/// Maximum backward distance (RFC 1951 window).
+pub const MAX_DIST: usize = 32 * 1024;
+/// Minimum useful match length.
+pub const MIN_MATCH: usize = 3;
+/// Maximum match length.
+pub const MAX_MATCH: usize = 258;
+
+/// Cap on hash-chain probes per position (zlib level-6-like effort).
+const MAX_CHAIN: usize = 128;
+/// Stop searching once a match of this length is found.
+const GOOD_ENOUGH: usize = 96;
+
+/// One LZ77 token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Token {
+    /// A literal byte.
+    Literal(u8),
+    /// A back-reference: copy `len` bytes from `dist` bytes back.
+    Match {
+        /// 3..=258.
+        len: u16,
+        /// 1..=32768.
+        dist: u16,
+    },
+}
+
+#[inline]
+fn hash(window: &[u8], pos: usize) -> usize {
+    // Multiplicative hash of the next 3 bytes.
+    let v = (window[pos] as u32) | ((window[pos + 1] as u32) << 8) | ((window[pos + 2] as u32) << 16);
+    (v.wrapping_mul(0x9E37_79B1) >> 17) as usize & (HASH_SIZE - 1)
+}
+
+const HASH_SIZE: usize = 1 << 15;
+
+/// Longest common prefix of `data[a..]` and `data[b..]`, capped at
+/// `MAX_MATCH`.
+#[inline]
+fn match_len(data: &[u8], a: usize, b: usize) -> usize {
+    let limit = (data.len() - b).min(MAX_MATCH);
+    let mut len = 0usize;
+    // Compare 8 bytes at a time.
+    while len + 8 <= limit {
+        let x = u64::from_le_bytes(data[a + len..a + len + 8].try_into().unwrap());
+        let y = u64::from_le_bytes(data[b + len..b + len + 8].try_into().unwrap());
+        let diff = x ^ y;
+        if diff != 0 {
+            return len + (diff.trailing_zeros() / 8) as usize;
+        }
+        len += 8;
+    }
+    while len < limit && data[a + len] == data[b + len] {
+        len += 1;
+    }
+    len
+}
+
+/// Tokenizes `data` with greedy matching plus one-position lazy evaluation
+/// (emit a literal and take the longer match starting next byte when it
+/// beats the current one — the standard zlib heuristic).
+pub fn tokenize(data: &[u8]) -> Vec<Token> {
+    let n = data.len();
+    let mut tokens = Vec::with_capacity(n / 2 + 16);
+    if n < MIN_MATCH + 1 {
+        tokens.extend(data.iter().map(|&b| Token::Literal(b)));
+        return tokens;
+    }
+
+    let mut head = vec![usize::MAX; HASH_SIZE];
+    let mut prev = vec![usize::MAX; n];
+
+    let find_best = |head: &[usize], prev: &[usize], pos: usize| -> (usize, usize) {
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        let mut candidate = head[hash(data, pos)];
+        let mut chain = 0usize;
+        while candidate != usize::MAX && pos - candidate <= MAX_DIST && chain < MAX_CHAIN {
+            let len = match_len(data, candidate, pos);
+            if len > best_len {
+                best_len = len;
+                best_dist = pos - candidate;
+                if len >= GOOD_ENOUGH {
+                    break;
+                }
+            }
+            candidate = prev[candidate];
+            chain += 1;
+        }
+        (best_len, best_dist)
+    };
+
+    let insert = |head: &mut [usize], prev: &mut [usize], pos: usize| {
+        if pos + MIN_MATCH <= n {
+            let h = hash(data, pos);
+            prev[pos] = head[h];
+            head[h] = pos;
+        }
+    };
+
+    let mut pos = 0usize;
+    while pos < n {
+        if pos + MIN_MATCH > n {
+            tokens.push(Token::Literal(data[pos]));
+            pos += 1;
+            continue;
+        }
+        let (len, dist) = find_best(&head, &prev, pos);
+        if len >= MIN_MATCH {
+            // Lazy evaluation: would starting at pos+1 do strictly better?
+            let take_now = if pos + 1 + MIN_MATCH <= n && len < GOOD_ENOUGH {
+                let (next_len, _) = find_best(&head, &prev, pos + 1);
+                next_len <= len
+            } else {
+                true
+            };
+            if take_now {
+                tokens.push(Token::Match {
+                    len: len as u16,
+                    dist: dist as u16,
+                });
+                for p in pos..pos + len {
+                    insert(&mut head, &mut prev, p);
+                }
+                pos += len;
+                continue;
+            }
+        }
+        tokens.push(Token::Literal(data[pos]));
+        insert(&mut head, &mut prev, pos);
+        pos += 1;
+    }
+    tokens
+}
+
+/// Expands tokens back to bytes (test oracle for the matcher).
+#[cfg(test)]
+pub fn expand(tokens: &[Token]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for &t in tokens {
+        match t {
+            Token::Literal(b) => out.push(b),
+            Token::Match { len, dist } => {
+                let start = out.len() - dist as usize;
+                // Overlapping copies are byte-serial by definition.
+                for i in 0..len as usize {
+                    let b = out[start + i];
+                    out.push(b);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokens_expand_to_original() {
+        let data = b"abcabcabcabcabc hello hello hello".to_vec();
+        let tokens = tokenize(&data);
+        assert_eq!(expand(&tokens), data);
+        assert!(
+            tokens.len() < data.len(),
+            "repetition should produce matches"
+        );
+    }
+
+    #[test]
+    fn short_input_is_all_literals() {
+        let data = b"ab".to_vec();
+        let tokens = tokenize(&data);
+        assert_eq!(tokens, vec![Token::Literal(b'a'), Token::Literal(b'b')]);
+    }
+
+    #[test]
+    fn run_collapses_to_overlapping_match() {
+        let data = vec![7u8; 300];
+        let tokens = tokenize(&data);
+        assert_eq!(expand(&tokens), data);
+        // 1 literal + overlapping dist-1 matches.
+        assert!(tokens.len() <= 3, "got {} tokens", tokens.len());
+        assert!(matches!(tokens[1], Token::Match { dist: 1, .. }));
+    }
+
+    #[test]
+    fn match_len_is_capped() {
+        let data = vec![1u8; 1000];
+        assert_eq!(match_len(&data, 0, 1), MAX_MATCH);
+    }
+
+    #[test]
+    fn incompressible_data_expands_correctly() {
+        let data: Vec<u8> = (0..5000u32)
+            .map(|i| {
+                let h = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                ((h >> 33) & 0xFF) as u8
+            })
+            .collect();
+        let tokens = tokenize(&data);
+        assert_eq!(expand(&tokens), data);
+    }
+
+    #[test]
+    fn distant_repeats_within_window_are_found() {
+        let mut data = vec![0u8; 10_000];
+        let phrase = b"SIGNATURE-PHRASE-1234567890";
+        data[100..100 + phrase.len()].copy_from_slice(phrase);
+        data[9000..9000 + phrase.len()].copy_from_slice(phrase);
+        let tokens = tokenize(&data);
+        assert_eq!(expand(&tokens), data);
+        let has_far_match = tokens.iter().any(
+            |t| matches!(t, Token::Match { dist, len } if *dist as usize > 8000 && *len as usize >= phrase.len() - 2),
+        );
+        assert!(has_far_match, "the distant phrase repeat should match");
+    }
+}

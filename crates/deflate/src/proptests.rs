@@ -1,0 +1,48 @@
+//! Property tests: DEFLATE and gzip must roundtrip arbitrary byte streams.
+
+use crate::{deflate_compress, deflate_decompress, gzip_compress, gzip_decompress};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn deflate_roundtrips_arbitrary_bytes(data in prop::collection::vec(any::<u8>(), 0..4096)) {
+        let packed = deflate_compress(&data);
+        prop_assert_eq!(deflate_decompress(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn deflate_roundtrips_low_entropy(data in prop::collection::vec(0u8..4, 0..8192)) {
+        let packed = deflate_compress(&data);
+        prop_assert_eq!(deflate_decompress(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn deflate_roundtrips_structured_repeats(
+        phrase in prop::collection::vec(any::<u8>(), 1..64),
+        repeats in 1usize..200,
+    ) {
+        let mut data = Vec::with_capacity(phrase.len() * repeats);
+        for _ in 0..repeats {
+            data.extend_from_slice(&phrase);
+        }
+        let packed = deflate_compress(&data);
+        prop_assert_eq!(deflate_decompress(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn gzip_roundtrips(data in prop::collection::vec(any::<u8>(), 0..2048)) {
+        let packed = gzip_compress(&data);
+        prop_assert_eq!(gzip_decompress(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn low_entropy_data_actually_compresses(
+        data in prop::collection::vec(0u8..2, 1024..4096,)
+    ) {
+        let packed = deflate_compress(&data);
+        prop_assert!(packed.len() < data.len() / 2,
+            "binary stream {} -> {} should at least halve", data.len(), packed.len());
+    }
+}

@@ -1,0 +1,409 @@
+//! FPZIP-style lossless predictive floating-point compression.
+//!
+//! FPZIP (Lindstrom & Isenburg 2006) is the paper's lossless floating-point
+//! baseline (§V, Figure 6). The original maps each value and its Lorenzo
+//! prediction to sign-magnitude integers and arithmetic-codes the residual.
+//! This reimplementation keeps the pipeline but swaps the range coder for a
+//! Huffman-coded *magnitude-class* + raw-bits scheme (the same family FPC
+//! uses); on scientific floats the ratio lands in the same ~1.2–2.5× band the
+//! paper reports, which is the property the experiments need (DESIGN.md §4).
+//!
+//! Pipeline per point, in row-major scan order:
+//!
+//! 1. predict with the 1-layer Lorenzo stencil over *original* values
+//!    (lossless ⇒ encoder and decoder see identical neighbor values);
+//! 2. map value and prediction bits through an order-preserving involution
+//!    ([`monotone_map`]) so numerically-close floats become close integers;
+//! 3. residual = wrapping difference, zigzag-folded, split into a
+//!    magnitude class (bit length, Huffman-coded) and explicit low bits.
+//!
+//! An optional precision parameter truncates mantissas before encoding
+//! (FPZIP's lossy mode), which bounds *relative* error — kept here for
+//! completeness though the paper evaluates FPZIP lossless.
+
+use szr_bitstream::{BitReader, BitWriter, ByteReader, ByteWriter};
+use szr_core::{predict_at, ScalarFloat, StencilSet};
+use szr_tensor::{Shape, Tensor};
+
+/// Errors from decoding an FPZIP-style stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Stream malformed or truncated.
+    Corrupt(String),
+    /// Archive holds the other scalar type.
+    WrongType,
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Corrupt(m) => write!(f, "corrupt fpzip stream: {m}"),
+            Error::WrongType => write!(f, "fpzip stream holds a different scalar type"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<szr_bitstream::Error> for Error {
+    fn from(e: szr_bitstream::Error) -> Self {
+        Error::Corrupt(e.to_string())
+    }
+}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+const MAGIC: [u8; 4] = *b"SZFP";
+
+/// Order-preserving bijection from IEEE-754 bits to unsigned integers:
+/// negative floats map below positives, and float ordering matches integer
+/// ordering. Involution on the sign structure, inverted by
+/// [`monotone_unmap`].
+#[inline]
+fn monotone_map<T: ScalarFloat>(v: T) -> u64 {
+    let bits = v.to_bits_u64();
+    let sign = 1u64 << (T::BITS - 1);
+    if bits & sign != 0 {
+        // Negative: flip all bits (keeps BITS-wide domain).
+        !bits & (sign | (sign - 1))
+    } else {
+        bits | sign
+    }
+}
+
+/// Inverse of [`monotone_map`].
+#[inline]
+fn monotone_unmap<T: ScalarFloat>(u: u64) -> T {
+    let sign = 1u64 << (T::BITS - 1);
+    let bits = if u & sign != 0 {
+        u & !sign // was positive: strip the added marker
+    } else {
+        !u & (sign | (sign - 1)) // was negative: un-flip within BITS
+    };
+    T::from_bits_u64(bits)
+}
+
+#[inline]
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+#[inline]
+fn unzigzag(u: u64) -> i64 {
+    ((u >> 1) as i64) ^ -((u & 1) as i64)
+}
+
+/// Truncates the low `drop` mantissa bits (round-toward-zero), FPZIP's lossy
+/// precision control.
+#[inline]
+fn truncate_mantissa<T: ScalarFloat>(v: T, keep_bits: u32) -> T {
+    if keep_bits >= T::MANTISSA_BITS {
+        return v;
+    }
+    let drop = T::MANTISSA_BITS - keep_bits;
+    let mask = !((1u64 << drop) - 1);
+    T::from_bits_u64(v.to_bits_u64() & mask)
+}
+
+/// Maps a (precision-truncated) value into the shifted residual domain.
+///
+/// After truncation the low `drop` bits of the monotone map are constant per
+/// sign (zeros for non-negatives, ones for negatives), so they are shifted
+/// out — residuals then scale with the *kept* precision, which is where the
+/// lossy mode's size savings come from.
+#[inline]
+fn map_shifted<T: ScalarFloat>(v: T, drop: u32) -> u64 {
+    monotone_map(v) >> drop
+}
+
+/// Inverse of [`map_shifted`]: reinstates the dropped constant bits.
+#[inline]
+fn unmap_shifted<T: ScalarFloat>(u: u64, drop: u32) -> T {
+    let sign_pos = T::BITS - 1 - drop;
+    let negative = (u >> sign_pos) & 1 == 0; // mapped negatives lack the marker bit
+    let low = if negative { (1u64 << drop) - 1 } else { 0 };
+    let full = (u << drop) | if drop == 0 { 0 } else { low };
+    monotone_unmap(full)
+}
+
+/// Compresses a tensor losslessly.
+pub fn fpzip_compress<T: ScalarFloat>(data: &Tensor<T>) -> Vec<u8> {
+    fpzip_compress_precision(data, T::MANTISSA_BITS)
+}
+
+/// Compresses with mantissas truncated to `precision` bits (lossless when
+/// `precision >= T::MANTISSA_BITS`).
+pub fn fpzip_compress_precision<T: ScalarFloat>(data: &Tensor<T>, precision: u32) -> Vec<u8> {
+    let shape = data.shape();
+    let n = data.len();
+    // Working copy: precision truncation applies before prediction so the
+    // decoder's neighbor values match.
+    let values: Vec<T> = data
+        .as_slice()
+        .iter()
+        .map(|&v| truncate_mantissa(v, precision))
+        .collect();
+
+    let drop = T::MANTISSA_BITS.saturating_sub(precision);
+    let mut stencils = StencilSet::new(1, shape.strides());
+    let mut index = vec![0usize; shape.ndim()];
+    let mut classes: Vec<u32> = Vec::with_capacity(n);
+    let mut raw = BitWriter::with_capacity(n);
+    let mut residuals: Vec<u64> = Vec::with_capacity(n);
+
+    for (flat, &value) in values.iter().enumerate() {
+        let stencil = stencils.for_index(&index);
+        let pred = T::from_f64(predict_at(&values, flat, stencil));
+        let pred = truncate_mantissa(pred, precision);
+        let delta = map_shifted(value, drop).wrapping_sub(map_shifted(pred, drop));
+        // Fold the wrapping difference as a signed quantity: small
+        // disagreements in either direction become small codes.
+        let folded = zigzag(delta as i64);
+        let class = 64 - folded.leading_zeros();
+        classes.push(class);
+        residuals.push(folded);
+        shape.advance(&mut index);
+    }
+    // Raw bits: everything below the implicit leading 1.
+    for (&class, &folded) in classes.iter().zip(&residuals) {
+        if class > 1 {
+            raw.write_bits(folded & ((1u64 << (class - 1)) - 1), class - 1);
+        }
+    }
+
+    let class_block = szr_huffman::compress_u32(&classes, 65);
+    let raw_block = raw.into_bytes();
+
+    let mut out = ByteWriter::with_capacity(class_block.len() + raw_block.len() + 32);
+    out.write_bytes(&MAGIC);
+    out.write_u8(T::TYPE_TAG);
+    out.write_u8(precision.min(T::MANTISSA_BITS) as u8);
+    out.write_varint(shape.ndim() as u64);
+    for &d in shape.dims() {
+        out.write_varint(d as u64);
+    }
+    out.write_len_prefixed(&class_block);
+    out.write_len_prefixed(&raw_block);
+    out.into_bytes()
+}
+
+/// Decompresses an FPZIP-style archive.
+pub fn fpzip_decompress<T: ScalarFloat>(bytes: &[u8]) -> Result<Tensor<T>> {
+    let mut reader = ByteReader::new(bytes);
+    let magic = reader.read_bytes(4)?;
+    if magic != MAGIC {
+        return Err(Error::Corrupt("bad magic".into()));
+    }
+    if reader.read_u8()? != T::TYPE_TAG {
+        return Err(Error::WrongType);
+    }
+    let precision = reader.read_u8()? as u32;
+    let ndim = reader.read_varint()? as usize;
+    if ndim == 0 || ndim > 16 {
+        return Err(Error::Corrupt("implausible rank".into()));
+    }
+    let mut dims = Vec::with_capacity(ndim);
+    for _ in 0..ndim {
+        let d = reader.read_varint()? as usize;
+        if d == 0 || d > 1 << 32 {
+            return Err(Error::Corrupt("implausible dimension".into()));
+        }
+        dims.push(d);
+    }
+    let shape = Shape::new(&dims);
+    let n = shape.len();
+    let class_block = reader.read_len_prefixed()?;
+    let raw_block = reader.read_len_prefixed()?;
+    let classes = szr_huffman::decompress_u32(class_block)?;
+    if classes.len() != n {
+        return Err(Error::Corrupt(format!(
+            "class stream has {} of {} entries",
+            classes.len(),
+            n
+        )));
+    }
+    let drop = T::MANTISSA_BITS.saturating_sub(precision);
+    let mut raw = BitReader::new(raw_block);
+    let mut values: Vec<T> = vec![T::from_f64(0.0); n];
+    let mut stencils = StencilSet::new(1, shape.strides());
+    let mut index = vec![0usize; shape.ndim()];
+    for (flat, &class) in classes.iter().enumerate() {
+        if class > 64 {
+            return Err(Error::Corrupt("magnitude class out of range".into()));
+        }
+        let folded = match class {
+            0 => 0u64,
+            1 => 1u64,
+            c => (1u64 << (c - 1)) | raw.read_bits(c - 1)?,
+        };
+        let stencil = stencils.for_index(&index);
+        let pred = T::from_f64(predict_at(&values, flat, stencil));
+        let pred = truncate_mantissa(pred, precision);
+        let mapped = map_shifted(pred, drop).wrapping_add(unzigzag(folded) as u64);
+        values[flat] = unmap_shifted(mapped, drop);
+        shape.advance(&mut index);
+    }
+    Ok(Tensor::from_vec(shape, values))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotone_map_preserves_order() {
+        let xs = [
+            -f32::MAX,
+            -1.0e10,
+            -1.5,
+            -f32::MIN_POSITIVE,
+            -0.0,
+            0.0,
+            f32::MIN_POSITIVE,
+            0.25,
+            1.5,
+            1.0e10,
+            f32::MAX,
+        ];
+        for w in xs.windows(2) {
+            assert!(
+                monotone_map(w[0]) <= monotone_map(w[1]),
+                "{} vs {}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn monotone_map_roundtrips() {
+        for v in [0.0f32, -0.0, 1.5, -2.75, f32::MAX, -f32::MAX, 1e-40] {
+            let back: f32 = monotone_unmap(monotone_map(v));
+            assert_eq!(back.to_bits(), v.to_bits());
+        }
+        for v in [0.0f64, -0.0, 1.5e300, -2.75e-300] {
+            let back: f64 = monotone_unmap(monotone_map(v));
+            assert_eq!(back.to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn zigzag_roundtrips() {
+        for v in [0i64, 1, -1, 2, -2, i64::MAX, i64::MIN, 12345, -54321] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn lossless_roundtrip_2d() {
+        let data = Tensor::from_fn([40, 60], |ix| {
+            ((ix[0] as f32) * 0.17).sin() * 40.0 + (ix[1] as f32) * 0.01
+        });
+        let packed = fpzip_compress(&data);
+        let out: Tensor<f32> = fpzip_decompress(&packed).unwrap();
+        assert_eq!(out.as_slice(), data.as_slice());
+    }
+
+    #[test]
+    fn lossless_roundtrip_f64_3d() {
+        let data = Tensor::from_fn([8, 12, 10], |ix| {
+            (ix[0] as f64 * 1.1).cos() + (ix[1] as f64 * 0.3).sin() * (ix[2] as f64)
+        });
+        let packed = fpzip_compress(&data);
+        let out: Tensor<f64> = fpzip_decompress(&packed).unwrap();
+        assert_eq!(out.as_slice(), data.as_slice());
+    }
+
+    #[test]
+    fn smooth_data_compresses() {
+        let data = Tensor::from_fn([128, 128], |ix| ((ix[0] + ix[1]) as f32 * 0.02).sin());
+        let packed = fpzip_compress(&data);
+        let raw_bytes = data.len() * 4;
+        assert!(
+            packed.len() < raw_bytes * 3 / 4,
+            "lossless predictive coding should beat raw: {} vs {}",
+            packed.len(),
+            raw_bytes
+        );
+    }
+
+    #[test]
+    fn precision_mode_bounds_relative_error() {
+        let data = Tensor::from_fn([32, 32], |ix| 100.0 + (ix[0] as f32 * 0.3).sin() * 10.0);
+        let packed = fpzip_compress_precision(&data, 12);
+        let out: Tensor<f32> = fpzip_decompress(&packed).unwrap();
+        for (&a, &b) in data.as_slice().iter().zip(out.as_slice()) {
+            // 12 mantissa bits: relative error < 2^-12.
+            assert!(((a - b) / a).abs() < 1.0 / 4096.0);
+        }
+        let lossless = fpzip_compress(&data);
+        assert!(packed.len() < lossless.len());
+    }
+
+    #[test]
+    fn wrong_type_detected() {
+        let data = Tensor::from_fn([8, 8], |ix| (ix[0] + ix[1]) as f32);
+        let packed = fpzip_compress(&data);
+        assert_eq!(fpzip_decompress::<f64>(&packed).unwrap_err(), Error::WrongType);
+    }
+
+    #[test]
+    fn truncation_errors_cleanly() {
+        let data = Tensor::from_fn([16, 16], |ix| ix[0] as f32);
+        let packed = fpzip_compress(&data);
+        for cut in [0, 4, 10, packed.len() / 2] {
+            assert!(fpzip_decompress::<f32>(&packed[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn special_values_roundtrip() {
+        let data = Tensor::from_vec(
+            [6],
+            vec![0.0f32, -0.0, f32::INFINITY, f32::NEG_INFINITY, 1e-40, f32::MAX],
+        );
+        let packed = fpzip_compress(&data);
+        let out: Tensor<f32> = fpzip_decompress(&packed).unwrap();
+        for (a, b) in data.as_slice().iter().zip(out.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn lossless_roundtrip_arbitrary_f32(
+            data in prop::collection::vec(any::<f32>(), 1..600),
+        ) {
+            let len = data.len();
+            let t = Tensor::from_vec([len], data);
+            let packed = fpzip_compress(&t);
+            let out: Tensor<f32> = fpzip_decompress(&packed).unwrap();
+            for (a, b) in t.as_slice().iter().zip(out.as_slice()) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+
+        #[test]
+        fn lossless_roundtrip_arbitrary_f64_grid(
+            rows in 1usize..20,
+            cols in 1usize..20,
+            scale in -10i32..10,
+        ) {
+            let t = Tensor::from_fn([rows, cols], |ix| {
+                ((ix[0] * 31 + ix[1] * 17) as f64).sin() * 10f64.powi(scale)
+            });
+            let packed = fpzip_compress(&t);
+            let out: Tensor<f64> = fpzip_decompress(&packed).unwrap();
+            prop_assert_eq!(out.as_slice(), t.as_slice());
+        }
+    }
+}

@@ -1,0 +1,369 @@
+//! Canonical Huffman code construction, encoding, and decoding.
+
+use szr_bitstream::{BitReader, BitWriter, Error, Result};
+
+/// Hard ceiling on codeword length.
+///
+/// 48 bits keeps any codeword (plus slack) inside a `u64` while being far
+/// deeper than real quantization-code distributions ever need; the limit only
+/// binds on adversarial frequency profiles (Fibonacci-like), where a
+/// Kraft-sum fixup redistributes depth.
+pub const MAX_CODE_LEN: u32 = 48;
+
+/// A canonical Huffman code over a `u32` alphabet.
+///
+/// Construction produces one code length per symbol (0 = symbol unused);
+/// canonical code values are derived from the lengths alone, which is what
+/// makes the serialized table compact.
+pub struct HuffmanCodec {
+    /// Code length per symbol; 0 for unused symbols.
+    lengths: Vec<u32>,
+    /// Canonical code value per symbol (valid when length > 0).
+    codes: Vec<u64>,
+    /// Decode table: symbols sorted by (length, symbol).
+    sorted_symbols: Vec<u32>,
+    /// First canonical code value for each length 1..=MAX_CODE_LEN.
+    first_code: [u64; (MAX_CODE_LEN + 1) as usize],
+    /// Index into `sorted_symbols` of the first code of each length.
+    first_index: [u32; (MAX_CODE_LEN + 1) as usize],
+    /// Number of codes of each length.
+    count: [u32; (MAX_CODE_LEN + 1) as usize],
+}
+
+impl HuffmanCodec {
+    /// Builds an optimal (length-limited) code from symbol frequencies.
+    ///
+    /// Symbols with zero frequency get no code. A single-symbol alphabet
+    /// receives a 1-bit code so the payload remains self-delimiting.
+    pub fn from_frequencies(freqs: &[u64]) -> Self {
+        let lengths = build_lengths(freqs);
+        Self::from_lengths(&lengths).expect("construction yields valid lengths")
+    }
+
+    /// Rebuilds a codec from a code-length table (e.g. read from an archive).
+    ///
+    /// Returns `None` if the lengths violate the Kraft inequality or exceed
+    /// [`MAX_CODE_LEN`], which indicates a corrupt table.
+    pub fn from_lengths(lengths: &[u32]) -> Option<Self> {
+        let mut count = [0u32; (MAX_CODE_LEN + 1) as usize];
+        for &len in lengths {
+            if len > MAX_CODE_LEN {
+                return None;
+            }
+            if len > 0 {
+                count[len as usize] += 1;
+            }
+        }
+        // Kraft: sum of 2^(MAX-len) must not exceed 2^MAX.
+        let mut kraft: u128 = 0;
+        for len in 1..=MAX_CODE_LEN {
+            kraft += (count[len as usize] as u128) << (MAX_CODE_LEN - len);
+        }
+        if kraft > 1u128 << MAX_CODE_LEN {
+            return None;
+        }
+
+        let mut first_code = [0u64; (MAX_CODE_LEN + 1) as usize];
+        let mut first_index = [0u32; (MAX_CODE_LEN + 1) as usize];
+        let mut code = 0u64;
+        let mut index = 0u32;
+        for len in 1..=MAX_CODE_LEN as usize {
+            code <<= 1;
+            first_code[len] = code;
+            first_index[len] = index;
+            code += count[len] as u64;
+            index += count[len];
+        }
+
+        let mut sorted_symbols: Vec<u32> = (0..lengths.len() as u32)
+            .filter(|&s| lengths[s as usize] > 0)
+            .collect();
+        sorted_symbols.sort_by_key(|&s| (lengths[s as usize], s));
+
+        let mut codes = vec![0u64; lengths.len()];
+        let mut next = first_code;
+        for &sym in &sorted_symbols {
+            let len = lengths[sym as usize] as usize;
+            codes[sym as usize] = next[len];
+            next[len] += 1;
+        }
+
+        Some(Self {
+            lengths: lengths.to_vec(),
+            codes,
+            sorted_symbols,
+            first_code,
+            first_index,
+            count,
+        })
+    }
+
+    /// Code length per symbol (0 = unused).
+    pub fn lengths(&self) -> &[u32] {
+        &self.lengths
+    }
+
+    /// Number of symbols with a code.
+    pub fn used_symbols(&self) -> usize {
+        self.sorted_symbols.len()
+    }
+
+    /// Total payload bits this codec would emit for the given frequencies.
+    pub fn payload_bits(&self, freqs: &[u64]) -> u64 {
+        freqs
+            .iter()
+            .zip(&self.lengths)
+            .map(|(&f, &l)| f * l as u64)
+            .sum()
+    }
+
+    /// Encodes one symbol.
+    ///
+    /// # Panics
+    /// Panics if the symbol has no code (zero frequency at build time).
+    #[inline]
+    pub fn encode(&self, symbol: u32, out: &mut BitWriter) {
+        let len = self.lengths[symbol as usize];
+        assert!(len > 0, "symbol {symbol} has no code");
+        out.write_bits(self.codes[symbol as usize], len);
+    }
+
+    /// Encodes a full symbol stream.
+    pub fn encode_all(&self, symbols: &[u32], out: &mut BitWriter) {
+        for &s in symbols {
+            self.encode(s, out);
+        }
+    }
+
+    /// Decodes one symbol by canonical first-code walking.
+    #[inline]
+    pub fn decode(&self, bits: &mut BitReader<'_>) -> Result<u32> {
+        let mut code = 0u64;
+        for len in 1..=MAX_CODE_LEN as usize {
+            code = (code << 1) | bits.read_bit()? as u64;
+            let n = self.count[len];
+            if n > 0 {
+                let offset = code.wrapping_sub(self.first_code[len]);
+                if offset < n as u64 {
+                    return Ok(self.sorted_symbols[(self.first_index[len] + offset as u32) as usize]);
+                }
+            }
+        }
+        Err(Error::Corrupt("huffman code exceeds maximum length"))
+    }
+
+    /// Decodes exactly `n` symbols.
+    pub fn decode_all(&self, bits: &mut BitReader<'_>, n: usize) -> Result<Vec<u32>> {
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.decode(bits)?);
+        }
+        Ok(out)
+    }
+}
+
+/// Computes optimal code lengths (with limiting) for the given frequencies.
+fn build_lengths(freqs: &[u64]) -> Vec<u32> {
+    let used: Vec<u32> = (0..freqs.len() as u32)
+        .filter(|&s| freqs[s as usize] > 0)
+        .collect();
+    let mut lengths = vec![0u32; freqs.len()];
+    match used.len() {
+        0 => return lengths,
+        1 => {
+            // A lone symbol still needs 1 bit so the stream is decodable.
+            lengths[used[0] as usize] = 1;
+            return lengths;
+        }
+        _ => {}
+    }
+
+    // Two-queue Huffman build: leaves sorted by frequency in one queue,
+    // merged packages appended to the other; both stay sorted, so each merge
+    // is O(1) and the whole build is O(n log n) in the sort.
+    let mut leaves: Vec<(u64, u32)> = used.iter().map(|&s| (freqs[s as usize], s)).collect();
+    leaves.sort_unstable();
+
+    // Tree nodes: (left child, right child); leaves are 0..used, internals
+    // follow. parent[] tracked to derive depths afterwards.
+    let n = leaves.len();
+    let mut parent = vec![usize::MAX; 2 * n - 1];
+    let mut leaf_q = 0usize; // next unconsumed leaf
+    let mut pkg_q: std::collections::VecDeque<(u64, usize)> =
+        std::collections::VecDeque::with_capacity(n);
+    let mut next_node = n;
+
+    let take_min = |leaf_q: &mut usize,
+                        pkg_q: &mut std::collections::VecDeque<(u64, usize)>|
+     -> (u64, usize) {
+        let leaf_w = leaves.get(*leaf_q).map(|&(w, _)| w);
+        let pkg_w = pkg_q.front().map(|&(w, _)| w);
+        match (leaf_w, pkg_w) {
+            (Some(lw), Some(pw)) if lw <= pw => {
+                let node = *leaf_q;
+                *leaf_q += 1;
+                (lw, node)
+            }
+            (Some(_), Some(_)) | (None, Some(_)) => pkg_q.pop_front().unwrap(),
+            (Some(lw), None) => {
+                let node = *leaf_q;
+                *leaf_q += 1;
+                (lw, node)
+            }
+            (None, None) => unreachable!("queues exhausted mid-build"),
+        }
+    };
+
+    for _ in 0..n - 1 {
+        let (w1, n1) = take_min(&mut leaf_q, &mut pkg_q);
+        let (w2, n2) = take_min(&mut leaf_q, &mut pkg_q);
+        parent[n1] = next_node;
+        parent[n2] = next_node;
+        pkg_q.push_back((w1.saturating_add(w2), next_node));
+        next_node += 1;
+    }
+
+    // Depth of each leaf = number of parent hops to the root.
+    let root = next_node - 1;
+    let mut depth = vec![0u32; 2 * n - 1];
+    // Internal nodes were created in increasing order and a child always has
+    // a smaller node id than its parent, so a reverse scan fills depths.
+    for node in (0..2 * n - 1).rev() {
+        if node != root {
+            depth[node] = depth[parent[node]] + 1;
+        }
+    }
+    for (leaf_ix, &(_, sym)) in leaves.iter().enumerate() {
+        lengths[sym as usize] = depth[leaf_ix].max(1);
+    }
+
+    limit_lengths(&mut lengths);
+    lengths
+}
+
+/// Clamps code lengths to [`MAX_CODE_LEN`] and restores the Kraft inequality.
+fn limit_lengths(lengths: &mut [u32]) {
+    let mut over = false;
+    for l in lengths.iter_mut() {
+        if *l > MAX_CODE_LEN {
+            *l = MAX_CODE_LEN;
+            over = true;
+        }
+    }
+    if !over {
+        return;
+    }
+    // Kraft excess after clamping, in units of 2^-MAX_CODE_LEN.
+    let budget: u128 = 1u128 << MAX_CODE_LEN;
+    let mut kraft: u128 = lengths
+        .iter()
+        .filter(|&&l| l > 0)
+        .map(|&l| 1u128 << (MAX_CODE_LEN - l))
+        .sum();
+    // Deepen the shallowest deepenable codes until feasible. Each increment
+    // of a length ℓ < MAX frees 2^(MAX-ℓ-1).
+    while kraft > budget {
+        let candidate = lengths
+            .iter()
+            .enumerate()
+            .filter(|&(_, &l)| l > 0 && l < MAX_CODE_LEN)
+            .max_by_key(|&(_, &l)| l)
+            .map(|(i, _)| i)
+            .expect("kraft excess implies a deepenable code exists");
+        kraft -= 1u128 << (MAX_CODE_LEN - lengths[candidate] - 1);
+        lengths[candidate] += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_symbols_get_one_bit_each() {
+        let codec = HuffmanCodec::from_frequencies(&[10, 90]);
+        assert_eq!(codec.lengths(), &[1, 1]);
+    }
+
+    #[test]
+    fn skew_yields_shorter_codes_for_common_symbols() {
+        // freq 1,1,2,4: classic chain -> lengths 3,3,2,1.
+        let codec = HuffmanCodec::from_frequencies(&[1, 1, 2, 4]);
+        assert_eq!(codec.lengths(), &[3, 3, 2, 1]);
+    }
+
+    #[test]
+    fn single_symbol_stream_is_decodable() {
+        let codec = HuffmanCodec::from_frequencies(&[0, 5, 0]);
+        let mut w = BitWriter::new();
+        codec.encode_all(&[1, 1, 1], &mut w);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(codec.decode_all(&mut r, 3).unwrap(), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn canonical_codes_are_prefix_free() {
+        let freqs: Vec<u64> = (1..=40).map(|i| i * i).collect();
+        let codec = HuffmanCodec::from_frequencies(&freqs);
+        let coded: Vec<(u64, u32)> = (0..freqs.len())
+            .map(|s| (codec.codes[s], codec.lengths[s]))
+            .collect();
+        for (i, &(ci, li)) in coded.iter().enumerate() {
+            for (j, &(cj, lj)) in coded.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                let l = li.min(lj);
+                assert!(
+                    ci >> (li - l) != cj >> (lj - l),
+                    "codes for {i} and {j} share a prefix"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fibonacci_frequencies_hit_length_limit_and_stay_valid() {
+        // Fibonacci frequencies force maximal Huffman depth (n-1). With 80
+        // symbols the unlimited depth would be 79 > MAX_CODE_LEN.
+        let mut freqs = vec![0u64; 80];
+        let (mut a, mut b) = (1u64, 1u64);
+        for f in freqs.iter_mut() {
+            *f = a;
+            let c = a.saturating_add(b);
+            a = b;
+            b = c;
+        }
+        let codec = HuffmanCodec::from_frequencies(&freqs);
+        assert!(codec.lengths().iter().all(|&l| l <= MAX_CODE_LEN));
+        // Roundtrip to prove the limited code still decodes.
+        let symbols: Vec<u32> = (0..80u32).chain((0..80).rev()).collect();
+        let mut w = BitWriter::new();
+        codec.encode_all(&symbols, &mut w);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(codec.decode_all(&mut r, symbols.len()).unwrap(), symbols);
+    }
+
+    #[test]
+    fn from_lengths_rejects_kraft_violation() {
+        // Three 1-bit codes cannot coexist.
+        assert!(HuffmanCodec::from_lengths(&[1, 1, 1]).is_none());
+        assert!(HuffmanCodec::from_lengths(&[1, 1]).is_some());
+        assert!(HuffmanCodec::from_lengths(&[MAX_CODE_LEN + 1]).is_none());
+    }
+
+    #[test]
+    fn payload_bits_matches_encoded_size() {
+        let freqs = vec![100u64, 30, 10, 5];
+        let codec = HuffmanCodec::from_frequencies(&freqs);
+        let mut symbols = Vec::new();
+        for (s, &f) in freqs.iter().enumerate() {
+            symbols.extend(std::iter::repeat_n(s as u32, f as usize));
+        }
+        let mut w = BitWriter::new();
+        codec.encode_all(&symbols, &mut w);
+        assert_eq!(w.bit_len() as u64, codec.payload_bits(&freqs));
+    }
+}

@@ -1,0 +1,111 @@
+//! Arbitrary-alphabet canonical Huffman coding.
+//!
+//! The SZ-1.4 paper (§IV-A) notes that off-the-shelf Huffman coders work byte
+//! by byte (≤ 256 symbols), while its quantization codes need alphabets of
+//! 2^m symbols for arbitrary m — e.g. 65 535 intervals for tight error bounds
+//! on the hurricane data. This crate is that "tailored and reimplemented"
+//! variable-length encoder:
+//!
+//! * symbols are `u32`, alphabets up to 2^28 symbols;
+//! * code lengths come from a standard two-queue Huffman build and are then
+//!   limited to [`MAX_CODE_LEN`] bits with a Kraft-sum fixup (same approach
+//!   zlib uses), so a codeword always fits in a `u64`;
+//! * codes are **canonical**, so the serialized table is just the code-length
+//!   array (run-length encoded — quantization-code tables are mostly zeros);
+//! * decoding walks the canonical first-code table bit by bit, O(length) per
+//!   symbol with no heap-allocated tree.
+//!
+//! One-shot helpers [`compress_u32`] / [`decompress_u32`] bundle table +
+//! payload for callers that don't manage their own containers.
+
+mod code;
+mod table;
+
+pub use code::{HuffmanCodec, MAX_CODE_LEN};
+pub use table::{read_lengths, write_lengths};
+
+use szr_bitstream::{BitReader, BitWriter, ByteReader, ByteWriter};
+
+/// Compresses a symbol stream into a self-describing byte buffer
+/// (code-length table + bit payload).
+///
+/// `alphabet` must exceed every symbol in `symbols`.
+///
+/// # Panics
+/// Panics if a symbol is out of range (caller bug, not data corruption).
+pub fn compress_u32(symbols: &[u32], alphabet: usize) -> Vec<u8> {
+    let mut freqs = vec![0u64; alphabet];
+    for &s in symbols {
+        freqs[s as usize] += 1;
+    }
+    let codec = HuffmanCodec::from_frequencies(&freqs);
+    let mut header = ByteWriter::new();
+    header.write_varint(alphabet as u64);
+    header.write_varint(symbols.len() as u64);
+    write_lengths(&mut header, codec.lengths());
+    let mut bits = BitWriter::with_capacity(symbols.len() / 2);
+    codec.encode_all(symbols, &mut bits);
+    let mut out = header.into_bytes();
+    let payload = bits.into_bytes();
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Inverse of [`compress_u32`].
+pub fn decompress_u32(bytes: &[u8]) -> szr_bitstream::Result<Vec<u32>> {
+    let mut reader = ByteReader::new(bytes);
+    let alphabet = reader.read_varint()? as usize;
+    let count = reader.read_varint()? as usize;
+    let lengths = read_lengths(&mut reader, alphabet)?;
+    let codec = HuffmanCodec::from_lengths(&lengths)
+        .ok_or(szr_bitstream::Error::Corrupt("invalid huffman lengths"))?;
+    let payload = reader.read_bytes(reader.remaining())?;
+    let mut bits = BitReader::new(payload);
+    codec.decode_all(&mut bits, count)
+}
+
+#[cfg(test)]
+mod proptests;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_shot_roundtrip() {
+        let symbols: Vec<u32> = (0..2000).map(|i| (i * i) % 300).collect();
+        let bytes = compress_u32(&symbols, 300);
+        assert_eq!(decompress_u32(&bytes).unwrap(), symbols);
+    }
+
+    #[test]
+    fn skewed_stream_compresses_well() {
+        // 95% zeros: entropy ≈ 0.29 bits/symbol, so 10k symbols ≈ 360 bytes.
+        let symbols: Vec<u32> = (0..10_000).map(|i| if i % 20 == 0 { 1 } else { 0 }).collect();
+        let bytes = compress_u32(&symbols, 2);
+        assert!(bytes.len() < 10_000 / 8 + 64, "got {} bytes", bytes.len());
+        assert_eq!(decompress_u32(&bytes).unwrap(), symbols);
+    }
+
+    #[test]
+    fn empty_stream_roundtrips() {
+        let bytes = compress_u32(&[], 256);
+        assert_eq!(decompress_u32(&bytes).unwrap(), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn large_alphabet_roundtrips() {
+        // 65535 intervals as in the paper's hurricane configuration.
+        let symbols: Vec<u32> = (0..5000u32).map(|i| (i * 13) % 65_535).collect();
+        let bytes = compress_u32(&symbols, 65_535);
+        assert_eq!(decompress_u32(&bytes).unwrap(), symbols);
+    }
+
+    #[test]
+    fn truncated_payload_is_an_error() {
+        let symbols: Vec<u32> = (0..100).map(|i| i % 7).collect();
+        let bytes = compress_u32(&symbols, 7);
+        let cut = &bytes[..bytes.len() - 1];
+        assert!(decompress_u32(cut).is_err());
+    }
+}

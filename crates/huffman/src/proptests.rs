@@ -1,0 +1,68 @@
+//! Property tests: Huffman must roundtrip any stream and never beat entropy.
+
+use crate::{compress_u32, decompress_u32, HuffmanCodec};
+use proptest::prelude::*;
+use szr_bitstream::{BitReader, BitWriter};
+
+proptest! {
+    #[test]
+    fn roundtrip_arbitrary_streams(
+        symbols in prop::collection::vec(0u32..512, 0..2000),
+    ) {
+        let bytes = compress_u32(&symbols, 512);
+        prop_assert_eq!(decompress_u32(&bytes).unwrap(), symbols);
+    }
+
+    #[test]
+    fn roundtrip_tiny_alphabets(
+        symbols in prop::collection::vec(0u32..2, 1..500),
+    ) {
+        let bytes = compress_u32(&symbols, 2);
+        prop_assert_eq!(decompress_u32(&bytes).unwrap(), symbols);
+    }
+
+    #[test]
+    fn payload_never_beats_entropy(
+        raw in prop::collection::vec(0u32..64, 100..1000),
+    ) {
+        let mut freqs = vec![0u64; 64];
+        for &s in &raw {
+            freqs[s as usize] += 1;
+        }
+        let codec = HuffmanCodec::from_frequencies(&freqs);
+        let n = raw.len() as f64;
+        let entropy_bits: f64 = freqs
+            .iter()
+            .filter(|&&f| f > 0)
+            .map(|&f| {
+                let p = f as f64 / n;
+                -(f as f64) * p.log2()
+            })
+            .sum();
+        let actual = codec.payload_bits(&freqs) as f64;
+        // Shannon bound: optimal prefix code is within 1 bit/symbol of entropy.
+        prop_assert!(actual + 1e-6 >= entropy_bits, "beat entropy: {actual} < {entropy_bits}");
+        prop_assert!(actual <= entropy_bits + n + 1e-6, "worse than entropy+1/symbol");
+    }
+
+    #[test]
+    fn lengths_survive_reserialization(
+        freqs in prop::collection::vec(0u64..1000, 2..128),
+    ) {
+        prop_assume!(freqs.iter().filter(|&&f| f > 0).count() >= 1);
+        let codec = HuffmanCodec::from_frequencies(&freqs);
+        let rebuilt = HuffmanCodec::from_lengths(codec.lengths()).unwrap();
+        // Encoding with the rebuilt codec must be decodable by the original.
+        let symbols: Vec<u32> = freqs
+            .iter()
+            .enumerate()
+            .filter(|(_, &f)| f > 0)
+            .map(|(s, _)| s as u32)
+            .collect();
+        let mut w = BitWriter::new();
+        rebuilt.encode_all(&symbols, &mut w);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        prop_assert_eq!(codec.decode_all(&mut r, symbols.len()).unwrap(), symbols);
+    }
+}

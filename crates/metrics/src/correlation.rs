@@ -1,0 +1,130 @@
+//! Correlation metrics: Pearson ρ (Metric 3) and error autocorrelation
+//! (Figure 9 of the paper).
+
+use crate::Real;
+
+/// Pearson correlation coefficient (Eq. 4) between two series.
+///
+/// Returns 1.0 when either series is constant (the degenerate case arises for
+/// losslessly reconstructed constant fields; treating it as perfect
+/// correlation matches the paper's usage).
+///
+/// # Panics
+/// Panics if lengths differ or the series are empty.
+pub fn pearson<T: Real>(x: &[T], y: &[T]) -> f64 {
+    assert_eq!(x.len(), y.len(), "length mismatch");
+    assert!(!x.is_empty(), "pearson needs at least one sample");
+    let n = x.len() as f64;
+    let (mut sx, mut sy, mut sxx, mut syy, mut sxy) = (0.0f64, 0.0, 0.0, 0.0, 0.0);
+    for (&a, &b) in x.iter().zip(y) {
+        let xa = a.to_f64();
+        let yb = b.to_f64();
+        sx += xa;
+        sy += yb;
+        sxx += xa * xa;
+        syy += yb * yb;
+        sxy += xa * yb;
+    }
+    let cov = sxy / n - (sx / n) * (sy / n);
+    let var_x = (sxx / n - (sx / n) * (sx / n)).max(0.0);
+    let var_y = (syy / n - (sy / n) * (sy / n)).max(0.0);
+    let denom = (var_x * var_y).sqrt();
+    if denom == 0.0 {
+        1.0
+    } else {
+        (cov / denom).clamp(-1.0, 1.0)
+    }
+}
+
+/// Sample autocorrelation function of a series at lags `1..=max_lag`.
+///
+/// `acf[k-1] = Σ_t (e_t − ē)(e_{t+k} − ē) / Σ_t (e_t − ē)²` — the standard
+/// biased estimator, which is what the paper plots for compression-error
+/// series (first 100 coefficients).
+///
+/// A constant series returns all zeros (no structure to correlate).
+pub fn autocorrelation<T: Real>(series: &[T], max_lag: usize) -> Vec<f64> {
+    let n = series.len();
+    assert!(n > 1, "autocorrelation needs at least two samples");
+    let mean = series.iter().map(|&x| x.to_f64()).sum::<f64>() / n as f64;
+    let centered: Vec<f64> = series.iter().map(|&x| x.to_f64() - mean).collect();
+    let denom: f64 = centered.iter().map(|e| e * e).sum();
+    let mut acf = Vec::with_capacity(max_lag);
+    for lag in 1..=max_lag {
+        if lag >= n || denom == 0.0 {
+            acf.push(0.0);
+            continue;
+        }
+        let num: f64 = centered[..n - lag]
+            .iter()
+            .zip(&centered[lag..])
+            .map(|(a, b)| a * b)
+            .sum();
+        acf.push(num / denom);
+    }
+    acf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_correlation_is_one() {
+        let x: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| 3.0 * v + 7.0).collect();
+        assert!((pearson(&x, &y) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_anticorrelation_is_minus_one() {
+        let x: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| -2.0 * v).collect();
+        assert!((pearson(&x, &y) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn orthogonal_series_have_near_zero_correlation() {
+        let x: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.1).sin()).collect();
+        let y: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.1).cos()).collect();
+        assert!(pearson(&x, &y).abs() < 0.05);
+    }
+
+    #[test]
+    fn constant_series_is_treated_as_perfectly_correlated() {
+        let x = [4.0f64; 10];
+        let y: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        assert_eq!(pearson(&x, &y), 1.0);
+    }
+
+    #[test]
+    fn autocorrelation_of_alternating_series_is_negative_at_lag_one() {
+        let series: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let acf = autocorrelation(&series, 2);
+        assert!(acf[0] < -0.9, "lag-1 acf {} should be ~-1", acf[0]);
+        assert!(acf[1] > 0.9, "lag-2 acf {} should be ~+1", acf[1]);
+    }
+
+    #[test]
+    fn autocorrelation_of_smooth_series_decays_from_high_values() {
+        let series: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.01).sin()).collect();
+        let acf = autocorrelation(&series, 10);
+        assert!(acf[0] > 0.99);
+        assert!(acf[9] > 0.9);
+    }
+
+    #[test]
+    fn lag_zero_is_not_included_and_lags_past_n_are_zero() {
+        let series = [1.0f64, 2.0, 3.0];
+        let acf = autocorrelation(&series, 5);
+        assert_eq!(acf.len(), 5);
+        assert_eq!(acf[3], 0.0);
+        assert_eq!(acf[4], 0.0);
+    }
+
+    #[test]
+    fn constant_series_autocorrelation_is_zero() {
+        let series = [2.5f64; 20];
+        assert!(autocorrelation(&series, 3).iter().all(|&v| v == 0.0));
+    }
+}

@@ -1,0 +1,48 @@
+//! Compression-quality metrics from §II of the SZ-1.4 paper.
+//!
+//! The paper evaluates compressors along five axes; this crate implements all
+//! of them over `f64` accumulators (callers pass `f32` or `f64` data through
+//! the [`Real`] trait):
+//!
+//! 1. pointwise error — [`max_abs_error`], [`max_rel_error`] (value-range
+//!    based, the paper's `e_rel`);
+//! 2. average error — [`rmse`], [`nrmse`], [`psnr`];
+//! 3. correlation — [`pearson`] (the APAX "five nines" criterion) and
+//!    [`autocorrelation`] of the error series (Figure 9);
+//! 4. size — [`compression_factor`], [`bit_rate`];
+//! 5. speed — [`Throughput`] measured via [`time_it`].
+//!
+//! [`ErrorStats`] bundles axes 1–3 in one pass for the experiment drivers.
+
+mod correlation;
+mod error;
+mod ratio;
+mod timing;
+
+pub use correlation::{autocorrelation, pearson};
+pub use error::{max_abs_error, max_rel_error, nrmse, psnr, rmse, value_range, ErrorStats};
+pub use ratio::{bit_rate, compression_factor};
+pub use timing::{time_it, Throughput};
+
+/// Scalar sample type accepted by the metrics (f32 or f64).
+pub trait Real: Copy {
+    /// Lossless widening to `f64` for accumulation.
+    fn to_f64(self) -> f64;
+}
+
+impl Real for f32 {
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+}
+
+impl Real for f64 {
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self
+    }
+}
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,48 @@
+//! Size metrics: compression factor and bit-rate (Metric 4 of §II).
+
+/// Compression factor (Eq. 5): `original bytes / compressed bytes`.
+///
+/// # Panics
+/// Panics if `compressed` is zero.
+pub fn compression_factor(original: usize, compressed: usize) -> f64 {
+    assert!(compressed > 0, "compressed size must be positive");
+    original as f64 / compressed as f64
+}
+
+/// Bit-rate in bits per value (Eq. 6): `compressed bits / element count`.
+///
+/// # Panics
+/// Panics if `n` is zero.
+pub fn bit_rate(compressed_bytes: usize, n: usize) -> f64 {
+    assert!(n > 0, "element count must be positive");
+    compressed_bytes as f64 * 8.0 / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factor_and_rate_are_consistent() {
+        // Paper identity: BR * CF = 32 for single-precision data.
+        let n = 1000usize;
+        let orig = n * 4;
+        let comp = 500usize;
+        let cf = compression_factor(orig, comp);
+        let br = bit_rate(comp, n);
+        assert!((br * cf - 32.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn identity_when_uncompressed() {
+        assert_eq!(compression_factor(4000, 4000), 1.0);
+        assert_eq!(bit_rate(4000, 1000), 32.0);
+    }
+
+    #[test]
+    fn double_precision_identity() {
+        let n = 256usize;
+        let comp = 64usize;
+        assert!((bit_rate(comp, n) * compression_factor(n * 8, comp) - 64.0).abs() < 1e-9);
+    }
+}

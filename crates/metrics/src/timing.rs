@@ -1,0 +1,69 @@
+//! Speed metrics (Metric 5 of §II): wall-clock throughput.
+
+use std::time::{Duration, Instant};
+
+/// A measured processing rate over a known byte volume.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Throughput {
+    /// Bytes processed.
+    pub bytes: usize,
+    /// Wall-clock time taken.
+    pub elapsed: Duration,
+}
+
+impl Throughput {
+    /// Megabytes per second (the paper's Table VI unit; 1 MB = 10^6 bytes).
+    pub fn mb_per_sec(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            return f64::INFINITY;
+        }
+        self.bytes as f64 / 1e6 / self.elapsed.as_secs_f64()
+    }
+
+    /// Gigabytes per second (Tables VII/VIII unit).
+    pub fn gb_per_sec(&self) -> f64 {
+        self.mb_per_sec() / 1e3
+    }
+}
+
+/// Times a closure and reports throughput over `bytes` of data.
+///
+/// Returns the closure's output alongside the measurement so callers can keep
+/// using the result (and the optimizer cannot discard the work).
+pub fn time_it<T>(bytes: usize, f: impl FnOnce() -> T) -> (T, Throughput) {
+    let start = Instant::now();
+    let out = f();
+    let elapsed = start.elapsed();
+    (out, Throughput { bytes, elapsed })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_math() {
+        let t = Throughput {
+            bytes: 10_000_000,
+            elapsed: Duration::from_millis(100),
+        };
+        assert!((t.mb_per_sec() - 100.0).abs() < 1e-9);
+        assert!((t.gb_per_sec() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_it_returns_closure_output() {
+        let (value, t) = time_it(8, || 42u64);
+        assert_eq!(value, 42);
+        assert_eq!(t.bytes, 8);
+    }
+
+    #[test]
+    fn zero_elapsed_reports_infinite_rate() {
+        let t = Throughput {
+            bytes: 1,
+            elapsed: Duration::ZERO,
+        };
+        assert!(t.mb_per_sec().is_infinite());
+    }
+}

@@ -1,0 +1,156 @@
+//! The Figure 10 harness: does compression pay for itself at scale?
+//!
+//! The paper's Figure 10 compares, per process count, the time to
+//! (a) compress + write the compressed data versus (b) write the initial
+//! data, on Blues' GPFS. The deciding quantities are the compression
+//! throughput (scales with processes), the compression factor, and the
+//! shared file-system bandwidth (saturates). This module composes those
+//! into the same normalized breakdown.
+
+/// Parameters of the shared-file-system model.
+#[derive(Debug, Clone, Copy)]
+pub struct IoModel {
+    /// Aggregate file-system bandwidth in bytes/second once saturated
+    /// (GPFS-class systems: a few GB/s).
+    pub fs_aggregate_bw: f64,
+    /// Per-process write bandwidth before the aggregate limit binds.
+    pub fs_per_process_bw: f64,
+    /// Single-process compression throughput in bytes/second.
+    pub compress_rate: f64,
+    /// Single-process decompression throughput in bytes/second.
+    pub decompress_rate: f64,
+    /// Achieved compression factor.
+    pub compression_factor: f64,
+}
+
+/// Normalized time shares for one process count (the stacked bars of
+/// Figure 10).
+#[derive(Debug, Clone, Copy)]
+pub struct IoBreakdown {
+    /// Process count.
+    pub processes: usize,
+    /// Seconds spent compressing (or decompressing).
+    pub codec_seconds: f64,
+    /// Seconds writing (or reading) the compressed data.
+    pub compressed_io_seconds: f64,
+    /// Seconds writing (or reading) the initial data.
+    pub initial_io_seconds: f64,
+}
+
+impl IoBreakdown {
+    /// Fraction of the total bar occupied by codec time.
+    pub fn codec_share(&self) -> f64 {
+        self.codec_seconds / self.total()
+    }
+    /// Fraction occupied by compressed-data I/O.
+    pub fn compressed_io_share(&self) -> f64 {
+        self.compressed_io_seconds / self.total()
+    }
+    /// Fraction occupied by initial-data I/O.
+    pub fn initial_io_share(&self) -> f64 {
+        self.initial_io_seconds / self.total()
+    }
+    /// Whether compress+write beats writing raw data — the paper's
+    /// break-even claim (true on Blues from 32 processes up).
+    pub fn compression_pays(&self) -> bool {
+        self.codec_seconds + self.compressed_io_seconds < self.initial_io_seconds
+    }
+    fn total(&self) -> f64 {
+        self.codec_seconds + self.compressed_io_seconds + self.initial_io_seconds
+    }
+}
+
+/// Effective aggregate write bandwidth with `p` concurrent writers.
+fn write_bw(model: &IoModel, p: usize) -> f64 {
+    (model.fs_per_process_bw * p as f64).min(model.fs_aggregate_bw)
+}
+
+/// Computes the Figure 10 breakdown for `total_bytes` of data at each
+/// process count. `write` selects the write-path (compression) or read-path
+/// (decompression) variant of the figure.
+pub fn io_breakdown(
+    model: &IoModel,
+    total_bytes: usize,
+    process_counts: &[usize],
+    write: bool,
+) -> Vec<IoBreakdown> {
+    process_counts
+        .iter()
+        .map(|&p| {
+            let codec_rate = if write {
+                model.compress_rate
+            } else {
+                model.decompress_rate
+            } * p as f64;
+            let codec_seconds = total_bytes as f64 / codec_rate;
+            let bw = write_bw(model, p);
+            let compressed_io_seconds =
+                total_bytes as f64 / model.compression_factor / bw;
+            let initial_io_seconds = total_bytes as f64 / bw;
+            IoBreakdown {
+                processes: p,
+                codec_seconds,
+                compressed_io_seconds,
+                initial_io_seconds,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blues_like() -> IoModel {
+        IoModel {
+            fs_aggregate_bw: 2.2e9,       // GPFS-class aggregate
+            fs_per_process_bw: 0.2e9,     // per-rank before saturation
+            compress_rate: 0.09e9,        // paper Table VII, single process
+            decompress_rate: 0.20e9,      // paper Table VIII
+            compression_factor: 6.3,      // ATM at eb_rel 1e-4
+        }
+    }
+
+    #[test]
+    fn compression_pays_at_scale_but_not_serially() {
+        let model = blues_like();
+        let breakdown = io_breakdown(&model, 100 << 30, &[1, 2, 4, 8, 16, 32, 64, 128], true);
+        // Single process: compression throughput (0.09 GB/s) is the
+        // bottleneck, raw write (0.25 GB/s) wins.
+        assert!(!breakdown[0].compression_pays());
+        // At 32+ processes the file system is saturated and compression
+        // wins — the paper's Figure 10 crossover.
+        let at32 = breakdown.iter().find(|b| b.processes == 32).unwrap();
+        assert!(at32.compression_pays());
+        let at128 = breakdown.last().unwrap();
+        assert!(at128.compression_pays());
+    }
+
+    #[test]
+    fn io_share_grows_with_process_count() {
+        // The paper notes relative I/O time grows with scale (bandwidth
+        // bottleneck) while compression keeps speeding up.
+        let model = blues_like();
+        let breakdown = io_breakdown(&model, 100 << 30, &[1, 16, 256], true);
+        let io_share = |b: &IoBreakdown| b.initial_io_share() + b.compressed_io_share();
+        assert!(io_share(&breakdown[2]) > io_share(&breakdown[0]));
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        let model = blues_like();
+        for b in io_breakdown(&model, 1 << 30, &[1, 7, 300], false) {
+            let total = b.codec_share() + b.compressed_io_share() + b.initial_io_share();
+            assert!((total - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn higher_cf_means_cheaper_compressed_io() {
+        let mut model = blues_like();
+        let lo = io_breakdown(&model, 1 << 30, &[64], true)[0];
+        model.compression_factor = 21.3; // hurricane-level CF
+        let hi = io_breakdown(&model, 1 << 30, &[64], true)[0];
+        assert!(hi.compressed_io_seconds < lo.compressed_io_seconds / 3.0);
+    }
+}

@@ -1,0 +1,25 @@
+//! Parallel use of the compressor (§VI of the paper).
+//!
+//! SZ parallelizes trivially: each process compresses the fraction of the
+//! data in its own memory, with no inter-process communication (the paper
+//! runs 11 400 ATM files across 1 024 processes this way). This crate
+//! reproduces that shape on a single machine and models the cluster:
+//!
+//! * [`chunked`] — split a tensor into contiguous row bands, compress each
+//!   band as an independent archive (crossbeam scoped threads, no locks on
+//!   the data path), reassemble on decompression;
+//! * [`scaling`] — the strong-scaling harness behind Tables VII/VIII:
+//!   measured thread-scaling on the host plus an analytical Blues-cluster
+//!   model (ideal inter-node scaling — justified by zero communication —
+//!   with a measured intra-node memory-contention factor);
+//! * [`io_model`] — the Figure 10 harness: compression + compressed-write
+//!   versus raw-write time fractions under a shared-bandwidth
+//!   parallel-file-system model.
+
+mod chunked;
+mod io_model;
+mod scaling;
+
+pub use chunked::{compress_chunked, decompress_chunked, ChunkedArchive};
+pub use io_model::{io_breakdown, IoBreakdown, IoModel};
+pub use scaling::{measure_scaling, model_cluster_scaling, ClusterModel, Direction, ScalingPoint};

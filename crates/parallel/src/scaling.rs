@@ -1,0 +1,206 @@
+//! Strong-scaling measurement and the Blues-cluster extrapolation model
+//! (Tables VII and VIII of the paper).
+
+use crate::chunked::{compress_chunked, decompress_chunked};
+use szr_core::{Config, ScalarFloat};
+use szr_tensor::Tensor;
+use std::time::Instant;
+
+/// Whether a scaling run measures compression or decompression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Time `compress_chunked`.
+    Compression,
+    /// Time `decompress_chunked` (archive prepared beforehand).
+    Decompression,
+}
+
+/// One row of a strong-scaling table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalingPoint {
+    /// Worker count (threads locally; processes in the cluster model).
+    pub workers: usize,
+    /// Nodes the workers occupy (cluster model; == workers locally).
+    pub nodes: usize,
+    /// Aggregate throughput in bytes/second.
+    pub throughput: f64,
+    /// Speedup versus one worker.
+    pub speedup: f64,
+    /// Parallel efficiency (speedup / workers).
+    pub efficiency: f64,
+}
+
+/// Measures strong scaling of chunked (de)compression on the host.
+///
+/// The total workload is fixed (`data`); each thread count `t` in
+/// `thread_counts` processes `t` bands with `t` workers, and the wall time
+/// of the whole job is taken as the max-over-workers (the paper's
+/// methodology). Runs `reps` repetitions and keeps the fastest, as the paper
+/// averages five runs on a quiet cluster — minimum is the
+/// noise-robust equivalent on a shared host.
+pub fn measure_scaling<T: ScalarFloat + Send + Sync>(
+    data: &Tensor<T>,
+    config: &Config,
+    direction: Direction,
+    thread_counts: &[usize],
+    reps: usize,
+) -> Vec<ScalingPoint> {
+    let bytes = data.len() * (T::BITS as usize / 8);
+    let archive = compress_chunked(data, config, thread_counts.iter().copied().max().unwrap_or(1), 1)
+        .expect("valid config");
+    let mut points = Vec::with_capacity(thread_counts.len());
+    let mut base_rate = 0.0f64;
+    for &t in thread_counts {
+        let mut best = f64::INFINITY;
+        for _ in 0..reps.max(1) {
+            let start = Instant::now();
+            match direction {
+                Direction::Compression => {
+                    let out = compress_chunked(data, config, t, t).expect("valid config");
+                    std::hint::black_box(out.compressed_bytes());
+                }
+                Direction::Decompression => {
+                    // Archive with t chunks so t workers stay busy.
+                    let a = compress_chunked(data, config, t, t).expect("valid config");
+                    let start_d = Instant::now();
+                    let out: Tensor<T> = decompress_chunked(&a, t).expect("fresh archive");
+                    std::hint::black_box(out.len());
+                    best = best.min(start_d.elapsed().as_secs_f64());
+                    continue;
+                }
+            }
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        let rate = bytes as f64 / best;
+        if points.is_empty() {
+            base_rate = rate;
+        }
+        points.push(ScalingPoint {
+            workers: t,
+            nodes: t,
+            throughput: rate,
+            speedup: rate / base_rate,
+            efficiency: rate / base_rate / (t as f64 / thread_counts[0] as f64),
+        });
+    }
+    let _ = archive;
+    points
+}
+
+/// The Blues-cluster analytical model for process counts beyond the host.
+///
+/// The compression is communication-free, so inter-node scaling is ideal;
+/// the only efficiency loss the paper observes is *node-internal* (memory
+/// bandwidth contention once more than two processes share a node, Tables
+/// VII/VIII drop to ~90 %). The model takes the measured single-process
+/// rate and a measured (or assumed) per-node contention curve and composes
+/// them.
+#[derive(Debug, Clone)]
+pub struct ClusterModel {
+    /// Nodes available (Blues experiment: 64).
+    pub nodes: usize,
+    /// Cores per node (Blues: 16).
+    pub cores_per_node: usize,
+    /// Single-process throughput in bytes/second.
+    pub base_rate: f64,
+    /// Relative per-process efficiency when `c` processes share a node;
+    /// index 0 ⇒ c = 1. Taken from host measurements when available.
+    pub node_efficiency: Vec<f64>,
+}
+
+impl ClusterModel {
+    /// A model with the saturation shape measured on Blues-class hardware:
+    /// full speed through 2 processes/node, dipping to ~90 % beyond (the
+    /// paper attributes this to "node internal limitations").
+    pub fn blues_like(base_rate: f64) -> Self {
+        Self {
+            nodes: 64,
+            cores_per_node: 16,
+            base_rate,
+            node_efficiency: vec![
+                1.0, 0.998, 0.96, 0.93, 0.905, 0.9, 0.9, 0.9, 0.905, 0.905, 0.91, 0.91, 0.91,
+                0.91, 0.91, 0.91,
+            ],
+        }
+    }
+
+    fn efficiency_at(&self, per_node: usize) -> f64 {
+        let ix = per_node.saturating_sub(1).min(self.node_efficiency.len() - 1);
+        self.node_efficiency[ix]
+    }
+}
+
+/// Extrapolates strong scaling to `process_counts` under the cluster model.
+///
+/// Processes fill nodes one-per-node first (the paper's stage 1: 1→64
+/// processes over 1→64 nodes), then pack multiple per node (stage 2:
+/// 128→1024 on 64 nodes).
+pub fn model_cluster_scaling(model: &ClusterModel, process_counts: &[usize]) -> Vec<ScalingPoint> {
+    process_counts
+        .iter()
+        .map(|&p| {
+            let nodes = p.min(model.nodes);
+            let per_node = p.div_ceil(model.nodes).min(model.cores_per_node);
+            let eff = if p <= model.nodes {
+                1.0
+            } else {
+                model.efficiency_at(per_node)
+            };
+            let rate = model.base_rate * p as f64 * eff;
+            ScalingPoint {
+                workers: p,
+                nodes,
+                throughput: rate,
+                speedup: rate / model.base_rate,
+                efficiency: eff,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use szr_core::ErrorBound;
+
+    #[test]
+    fn model_matches_paper_shape() {
+        let model = ClusterModel::blues_like(0.09e9); // paper: 0.09 GB/s single
+        let counts = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024];
+        let points = model_cluster_scaling(&model, &counts);
+        // Stage 1: near-perfect efficiency.
+        for p in &points[..7] {
+            assert!(p.efficiency > 0.99, "stage 1 point {p:?}");
+        }
+        // Stage 2: efficiency dips to ~90% but throughput keeps rising.
+        let p1024 = points.last().unwrap();
+        assert!(p1024.efficiency > 0.85 && p1024.efficiency < 0.95);
+        assert!(p1024.speedup > 900.0, "speedup {}", p1024.speedup);
+        for w in points.windows(2) {
+            assert!(w[1].throughput > w[0].throughput, "throughput must rise");
+        }
+    }
+
+    #[test]
+    fn nodes_fill_one_process_each_first() {
+        let model = ClusterModel::blues_like(1.0);
+        let pts = model_cluster_scaling(&model, &[32, 64, 128]);
+        assert_eq!(pts[0].nodes, 32);
+        assert_eq!(pts[1].nodes, 64);
+        assert_eq!(pts[2].nodes, 64);
+    }
+
+    #[test]
+    fn measured_scaling_reports_sane_numbers() {
+        // Tiny but real measurement: 2 threads should not be slower than
+        // ~0.4x of 1 thread (wild regressions indicate a harness bug).
+        let data = Tensor::from_fn([64, 256], |ix| ((ix[0] + ix[1]) as f32 * 0.05).sin());
+        let config = Config::new(ErrorBound::Absolute(1e-4));
+        let pts = measure_scaling(&data, &config, Direction::Compression, &[1, 2], 2);
+        assert_eq!(pts.len(), 2);
+        assert!(pts[0].throughput > 0.0);
+        assert!(pts[1].speedup > 0.4, "2-thread speedup {}", pts[1].speedup);
+        let pts_d = measure_scaling(&data, &config, Direction::Decompression, &[1, 2], 2);
+        assert!(pts_d[0].throughput > 0.0);
+    }
+}

@@ -1,0 +1,294 @@
+//! SZ-1.1: error-bounded compression by bestfit curve fitting.
+//!
+//! The direct predecessor of the paper's contribution (its reference [9],
+//! Di & Cappello IPDPS 2016) and one of the six evaluation baselines. SZ-1.1
+//! linearizes the array and tries three single-dimension curve-fitting
+//! predictors on the preceding *reconstructed* values:
+//!
+//! * preceding neighbor   `p = v[i−1]`           (constant fit)
+//! * linear fit           `p = 2·v[i−1] − v[i−2]`
+//! * quadratic fit        `p = 3·v[i−1] − 3·v[i−2] + v[i−3]`
+//!
+//! If the best predictor lands within the bound, a 2-bit code names it and
+//! the *predicted value itself* becomes the reconstruction (no quantization
+//! refinement — the key difference from SZ-1.4's AEQVE). Misses are stored
+//! via binary-representation analysis. The code array and unpredictable
+//! bytes then pass through DEFLATE, as the original implementation did.
+//!
+//! Against SZ-1.4 this shows exactly the gaps the paper closes: linearizing
+//! throws away cross-dimension correlation, and the 2-bit code space wastes
+//! entropy when one predictor dominates.
+
+use szr_bitstream::{BitReader, BitWriter, ByteReader, ByteWriter};
+use szr_core::{ScalarFloat, UnpredictableCodec};
+use szr_tensor::{Shape, Tensor};
+
+/// Errors from decoding.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// Malformed or truncated stream.
+    Corrupt(String),
+    /// Archive holds a different scalar type.
+    WrongType,
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Corrupt(m) => write!(f, "corrupt sz11 stream: {m}"),
+            Error::WrongType => write!(f, "sz11 stream holds a different scalar type"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<szr_bitstream::Error> for Error {
+    fn from(e: szr_bitstream::Error) -> Self {
+        Error::Corrupt(e.to_string())
+    }
+}
+
+impl From<szr_deflate::Error> for Error {
+    fn from(e: szr_deflate::Error) -> Self {
+        Error::Corrupt(e.to_string())
+    }
+}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+const MAGIC: [u8; 4] = *b"SZ11";
+
+/// The three curve-fitting predictions from reconstructed history.
+#[inline]
+fn predictions<T: ScalarFloat>(recon: &[T], i: usize) -> [f64; 3] {
+    let v = |k: usize| recon[k].to_f64();
+    let p1 = if i >= 1 { v(i - 1) } else { 0.0 };
+    let p2 = if i >= 2 { 2.0 * v(i - 1) - v(i - 2) } else { p1 };
+    let p3 = if i >= 3 {
+        3.0 * v(i - 1) - 3.0 * v(i - 2) + v(i - 3)
+    } else {
+        p2
+    };
+    [p1, p2, p3]
+}
+
+/// Compresses under an absolute error bound.
+///
+/// # Panics
+/// Panics unless `eb_abs` is positive and finite.
+pub fn sz11_compress<T: ScalarFloat>(data: &Tensor<T>, eb_abs: f64) -> Vec<u8> {
+    assert!(eb_abs > 0.0 && eb_abs.is_finite(), "bound must be positive");
+    let values = data.as_slice();
+    let unpred = UnpredictableCodec::new(eb_abs);
+    let mut recon: Vec<T> = vec![T::from_f64(0.0); values.len()];
+    let mut codes = BitWriter::with_capacity(values.len() / 4 + 1);
+    let mut unpred_bits = BitWriter::new();
+
+    for (i, &value) in values.iter().enumerate() {
+        let v64 = value.to_f64();
+        let preds = predictions(&recon, i);
+        // Bestfit selection, with the bound checked on the narrowed value.
+        let mut chosen: Option<(usize, T)> = None;
+        let mut best_err = f64::INFINITY;
+        for (which, &p) in preds.iter().enumerate() {
+            if i == 0 {
+                break; // no history: always unpredictable
+            }
+            let narrowed = T::from_f64(p);
+            let err = (v64 - narrowed.to_f64()).abs();
+            if err <= eb_abs && err < best_err {
+                best_err = err;
+                chosen = Some((which, narrowed));
+            }
+        }
+        match chosen {
+            Some((which, narrowed)) => {
+                codes.write_bits(which as u64 + 1, 2);
+                recon[i] = narrowed;
+            }
+            None => {
+                codes.write_bits(0, 2);
+                recon[i] = unpred.encode(value, &mut unpred_bits);
+            }
+        }
+    }
+
+    // SZ-1.1 pipes its byte output through a lossless pass.
+    let mut payload = ByteWriter::new();
+    payload.write_len_prefixed(codes.as_bytes());
+    payload.write_len_prefixed(unpred_bits.as_bytes());
+    let deflated = szr_deflate::deflate_compress(payload.as_bytes());
+
+    let mut out = ByteWriter::with_capacity(deflated.len() + 32);
+    out.write_bytes(&MAGIC);
+    out.write_u8(T::TYPE_TAG);
+    out.write_f64(eb_abs);
+    out.write_varint(data.shape().ndim() as u64);
+    for &d in data.shape().dims() {
+        out.write_varint(d as u64);
+    }
+    out.write_len_prefixed(&deflated);
+    out.into_bytes()
+}
+
+/// Decompresses an SZ-1.1 archive.
+pub fn sz11_decompress<T: ScalarFloat>(bytes: &[u8]) -> Result<Tensor<T>> {
+    let mut reader = ByteReader::new(bytes);
+    if reader.read_bytes(4)? != MAGIC {
+        return Err(Error::Corrupt("bad magic".into()));
+    }
+    if reader.read_u8()? != T::TYPE_TAG {
+        return Err(Error::WrongType);
+    }
+    let eb = reader.read_f64()?;
+    if !(eb > 0.0 && eb.is_finite()) {
+        return Err(Error::Corrupt("bad error bound".into()));
+    }
+    let ndim = reader.read_varint()? as usize;
+    if ndim == 0 || ndim > 16 {
+        return Err(Error::Corrupt("implausible rank".into()));
+    }
+    let mut dims = Vec::with_capacity(ndim);
+    for _ in 0..ndim {
+        let d = reader.read_varint()? as usize;
+        if d == 0 || d > 1 << 32 {
+            return Err(Error::Corrupt("implausible dimension".into()));
+        }
+        dims.push(d);
+    }
+    let shape = Shape::new(&dims);
+    let n = shape.len();
+    let deflated = reader.read_len_prefixed()?;
+    let payload = szr_deflate::deflate_decompress(deflated)?;
+    let mut payload_r = ByteReader::new(&payload);
+    let code_block = payload_r.read_len_prefixed()?;
+    let unpred_block = payload_r.read_len_prefixed()?;
+    if code_block.len() * 4 < n {
+        return Err(Error::Corrupt("code stream too short".into()));
+    }
+
+    let unpred = UnpredictableCodec::new(eb);
+    let mut codes = BitReader::new(code_block);
+    let mut unpred_bits = BitReader::new(unpred_block);
+    let mut recon: Vec<T> = vec![T::from_f64(0.0); n];
+    for i in 0..n {
+        let code = codes.read_bits(2)? as usize;
+        if code == 0 {
+            recon[i] = unpred.decode(&mut unpred_bits)?;
+        } else {
+            let preds = predictions(&recon, i);
+            recon[i] = T::from_f64(preds[code - 1]);
+        }
+    }
+    Ok(Tensor::from_vec(shape, recon))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_bound(orig: &[f32], recon: &[f32], eb: f64) {
+        for (i, (&a, &b)) in orig.iter().zip(recon).enumerate() {
+            assert!(
+                (a as f64 - b as f64).abs() <= eb,
+                "point {i}: {a} vs {b} exceeds {eb}"
+            );
+        }
+    }
+
+    #[test]
+    fn roundtrip_within_bound() {
+        let data = Tensor::from_fn([64, 64], |ix| {
+            ((ix[0] as f32) * 0.1).sin() * 4.0 + (ix[1] as f32) * 0.01
+        });
+        let eb = 1e-3;
+        let packed = sz11_compress(&data, eb);
+        let out: Tensor<f32> = sz11_decompress(&packed).unwrap();
+        check_bound(data.as_slice(), out.as_slice(), eb);
+    }
+
+    #[test]
+    fn linear_data_is_almost_fully_predictable() {
+        let data = Tensor::from_fn([10_000], |ix| ix[0] as f32 * 0.5);
+        let packed = sz11_compress(&data, 1e-2);
+        // ~2 bits/value before deflate; far below raw.
+        assert!(
+            packed.len() < 10_000 / 2,
+            "linear data took {} bytes",
+            packed.len()
+        );
+        let out: Tensor<f32> = sz11_decompress(&packed).unwrap();
+        check_bound(data.as_slice(), out.as_slice(), 1e-2);
+    }
+
+    #[test]
+    fn quadratic_data_uses_quadratic_fit() {
+        let data = Tensor::from_fn([5000], |ix| (ix[0] as f64).powi(2) * 0.001);
+        let packed = sz11_compress(&data, 1e-1);
+        let out: Tensor<f64> = sz11_decompress(&packed).unwrap();
+        for (&a, &b) in data.as_slice().iter().zip(out.as_slice()) {
+            assert!((a - b).abs() <= 1e-1);
+        }
+        assert!(packed.len() < 5000);
+    }
+
+    #[test]
+    fn spiky_data_respects_bound() {
+        let data = Tensor::from_fn([4096], |ix| {
+            if ix[0] % 37 == 0 {
+                1.0e5
+            } else {
+                (ix[0] as f32 * 0.02).cos()
+            }
+        });
+        let eb = 1e-3;
+        let packed = sz11_compress(&data, eb);
+        let out: Tensor<f32> = sz11_decompress(&packed).unwrap();
+        check_bound(data.as_slice(), out.as_slice(), eb);
+    }
+
+    #[test]
+    fn multidimensional_arrays_keep_shape() {
+        let data = Tensor::from_fn([8, 16, 4], |ix| (ix[0] + ix[1] + ix[2]) as f32);
+        let packed = sz11_compress(&data, 0.5);
+        let out: Tensor<f32> = sz11_decompress(&packed).unwrap();
+        assert_eq!(out.dims(), &[8, 16, 4]);
+        check_bound(data.as_slice(), out.as_slice(), 0.5);
+    }
+
+    #[test]
+    fn wrong_type_and_truncation() {
+        let data = Tensor::from_fn([256], |ix| ix[0] as f32);
+        let packed = sz11_compress(&data, 0.1);
+        assert_eq!(sz11_decompress::<f64>(&packed).unwrap_err(), Error::WrongType);
+        for cut in [0usize, 3, 8, packed.len() / 2] {
+            assert!(sz11_decompress::<f32>(&packed[..cut]).is_err());
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn bound_always_holds(
+            data in prop::collection::vec(-1e6f32..1e6, 1..1500),
+            eb in 1e-4f64..1e3,
+        ) {
+            let len = data.len();
+            let t = Tensor::from_vec([len], data);
+            let packed = sz11_compress(&t, eb);
+            let out: Tensor<f32> = sz11_decompress(&packed).unwrap();
+            for (&a, &b) in t.as_slice().iter().zip(out.as_slice()) {
+                prop_assert!((a as f64 - b as f64).abs() <= eb);
+            }
+        }
+    }
+}

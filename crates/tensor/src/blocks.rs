@@ -1,0 +1,189 @@
+//! Fixed-edge block partitioning.
+//!
+//! Transform codecs (the ZFP-style baseline in `szr-zfp`) process data in
+//! small cubes of edge 4. This module gathers/scatters such blocks from a
+//! [`Tensor`], replicating the last in-bounds sample to pad blocks that
+//! overhang the domain edge (the same policy ZFP documents for partial
+//! blocks).
+
+use crate::{Shape, Tensor};
+
+/// Enumerates the origins of an `edge`-aligned block decomposition of a
+/// shape.
+///
+/// Block origins step by `edge` along every axis; blocks at the high edge of
+/// a non-multiple extent overhang and are padded during gathering.
+#[derive(Clone, Debug)]
+pub struct BlockGrid {
+    shape: Shape,
+    edge: usize,
+    blocks_per_dim: Vec<usize>,
+}
+
+impl BlockGrid {
+    /// Creates a block decomposition of `shape` into `edge`-cubes.
+    ///
+    /// # Panics
+    /// Panics if `edge` is zero.
+    pub fn new(shape: Shape, edge: usize) -> Self {
+        assert!(edge > 0, "block edge must be positive");
+        let blocks_per_dim = shape.dims().iter().map(|&d| d.div_ceil(edge)).collect();
+        Self {
+            shape,
+            edge,
+            blocks_per_dim,
+        }
+    }
+
+    /// The underlying data shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Block edge length.
+    pub fn edge(&self) -> usize {
+        self.edge
+    }
+
+    /// Number of blocks along each dimension.
+    pub fn blocks_per_dim(&self) -> &[usize] {
+        &self.blocks_per_dim
+    }
+
+    /// Total number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks_per_dim.iter().product()
+    }
+
+    /// Number of samples in one (padded) block: `edge^ndim`.
+    pub fn block_len(&self) -> usize {
+        self.edge.pow(self.shape.ndim() as u32)
+    }
+
+    /// Iterates block origins in row-major block order.
+    pub fn origins(&self) -> impl Iterator<Item = Vec<usize>> + '_ {
+        let grid_shape = Shape::new(&self.blocks_per_dim);
+        crate::IndexIter::new(grid_shape).map(move |bix| {
+            bix.iter().map(|&b| b * self.edge).collect::<Vec<usize>>()
+        })
+    }
+}
+
+/// Gathers one `edge`-cube starting at `origin` into `out` (row-major inside
+/// the block), clamping out-of-bounds coordinates to the domain edge.
+///
+/// # Panics
+/// Panics if `out.len() != edge^ndim` or `origin` rank mismatches.
+pub fn gather_block<T: Copy>(src: &Tensor<T>, origin: &[usize], edge: usize, out: &mut [T]) {
+    let ndim = src.shape().ndim();
+    assert_eq!(origin.len(), ndim, "origin rank mismatch");
+    assert_eq!(out.len(), edge.pow(ndim as u32), "output length mismatch");
+    let dims = src.shape().dims();
+    let block_shape = Shape::new(&vec![edge; ndim]);
+    let mut local = vec![0usize; ndim];
+    let mut global = vec![0usize; ndim];
+    for slot in out.iter_mut() {
+        for d in 0..ndim {
+            // Clamp: replicate the final sample for overhanging blocks.
+            global[d] = (origin[d] + local[d]).min(dims[d] - 1);
+        }
+        *slot = src[&global[..]];
+        block_shape.advance(&mut local);
+    }
+}
+
+/// Scatters a block back into `dst`, skipping padded (out-of-bounds)
+/// positions.
+///
+/// # Panics
+/// Panics if `block.len() != edge^ndim` or `origin` rank mismatches.
+pub fn scatter_block<T: Copy>(dst: &mut Tensor<T>, origin: &[usize], edge: usize, block: &[T]) {
+    let ndim = dst.shape().ndim();
+    assert_eq!(origin.len(), ndim, "origin rank mismatch");
+    assert_eq!(block.len(), edge.pow(ndim as u32), "block length mismatch");
+    let dims: Vec<usize> = dst.shape().dims().to_vec();
+    let block_shape = Shape::new(&vec![edge; ndim]);
+    let mut local = vec![0usize; ndim];
+    let mut global = vec![0usize; ndim];
+    for &value in block {
+        let mut in_bounds = true;
+        for d in 0..ndim {
+            global[d] = origin[d] + local[d];
+            if global[d] >= dims[d] {
+                in_bounds = false;
+                break;
+            }
+        }
+        if in_bounds {
+            dst[&global[..]] = value;
+        }
+        block_shape.advance(&mut local);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_counts_blocks_with_overhang() {
+        let g = BlockGrid::new(Shape::new(&[5, 8]), 4);
+        assert_eq!(g.blocks_per_dim(), &[2, 2]);
+        assert_eq!(g.num_blocks(), 4);
+        assert_eq!(g.block_len(), 16);
+    }
+
+    #[test]
+    fn origins_step_by_edge() {
+        let g = BlockGrid::new(Shape::new(&[5, 8]), 4);
+        let origins: Vec<Vec<usize>> = g.origins().collect();
+        assert_eq!(
+            origins,
+            vec![vec![0, 0], vec![0, 4], vec![4, 0], vec![4, 4]]
+        );
+    }
+
+    #[test]
+    fn gather_exact_block_roundtrips() {
+        let t = Tensor::from_fn([4, 4], |ix| (ix[0] * 4 + ix[1]) as i32);
+        let mut block = vec![0i32; 16];
+        gather_block(&t, &[0, 0], 4, &mut block);
+        assert_eq!(block, t.as_slice());
+        let mut out = Tensor::<i32>::zeros([4, 4]);
+        scatter_block(&mut out, &[0, 0], 4, &block);
+        assert_eq!(out.as_slice(), t.as_slice());
+    }
+
+    #[test]
+    fn gather_pads_by_clamping() {
+        // 2x2 source, 4x4 block: padded entries replicate the edge samples.
+        let t = Tensor::from_vec([2, 2], vec![1, 2, 3, 4]);
+        let mut block = vec![0; 16];
+        gather_block(&t, &[0, 0], 4, &mut block);
+        assert_eq!(
+            block,
+            vec![1, 2, 2, 2, 3, 4, 4, 4, 3, 4, 4, 4, 3, 4, 4, 4]
+        );
+    }
+
+    #[test]
+    fn scatter_skips_out_of_bounds() {
+        let mut t = Tensor::<i32>::zeros([2, 2]);
+        let block: Vec<i32> = (0..16).collect();
+        scatter_block(&mut t, &[0, 0], 4, &block);
+        assert_eq!(t.as_slice(), &[0, 1, 4, 5]);
+    }
+
+    #[test]
+    fn full_domain_gather_scatter_roundtrip_3d() {
+        let t = Tensor::from_fn([5, 6, 7], |ix| (ix[0] * 100 + ix[1] * 10 + ix[2]) as f32);
+        let grid = BlockGrid::new(t.shape().clone(), 4);
+        let mut out = Tensor::<f32>::zeros([5, 6, 7]);
+        let mut block = vec![0f32; grid.block_len()];
+        for origin in grid.origins() {
+            gather_block(&t, &origin, 4, &mut block);
+            scatter_block(&mut out, &origin, 4, &block);
+        }
+        assert_eq!(out.as_slice(), t.as_slice());
+    }
+}

@@ -1,0 +1,75 @@
+//! Row-major multi-index iteration.
+
+use crate::Shape;
+
+/// Iterates every multi-index of a [`Shape`] in row-major order.
+///
+/// Yields owned `Vec<usize>` indices. Hot loops should prefer
+/// [`Shape::advance`] on a scratch buffer; this iterator exists for clarity
+/// in tests, examples, and non-critical paths.
+pub struct IndexIter {
+    shape: Shape,
+    next: Option<Vec<usize>>,
+}
+
+impl IndexIter {
+    /// Creates an iterator positioned at the all-zeros index.
+    pub fn new(shape: Shape) -> Self {
+        let next = Some(vec![0usize; shape.ndim()]);
+        Self { shape, next }
+    }
+}
+
+impl Iterator for IndexIter {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        let current = self.next.take()?;
+        let mut following = current.clone();
+        if self.shape.advance(&mut following) {
+            self.next = Some(following);
+        }
+        Some(current)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match &self.next {
+            None => (0, Some(0)),
+            Some(ix) => {
+                let done = self.shape.offset(ix);
+                let remaining = self.shape.len() - done;
+                (remaining, Some(remaining))
+            }
+        }
+    }
+}
+
+impl ExactSizeIterator for IndexIter {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn yields_all_indices_in_row_major_order() {
+        let it = IndexIter::new(Shape::new(&[2, 2]));
+        let all: Vec<Vec<usize>> = it.collect();
+        assert_eq!(all, vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]);
+    }
+
+    #[test]
+    fn size_hint_is_exact() {
+        let mut it = IndexIter::new(Shape::new(&[3, 4]));
+        assert_eq!(it.len(), 12);
+        it.next();
+        it.next();
+        assert_eq!(it.len(), 10);
+        assert_eq!(it.by_ref().count(), 10);
+    }
+
+    #[test]
+    fn single_element_shape() {
+        let it = IndexIter::new(Shape::new(&[1, 1, 1]));
+        assert_eq!(it.collect::<Vec<_>>(), vec![vec![0, 0, 0]]);
+    }
+}

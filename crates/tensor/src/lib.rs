@@ -1,0 +1,24 @@
+//! Dense N-dimensional strided arrays for the `szr` compression workspace.
+//!
+//! Scientific compressors operate on multidimensional floating-point grids.
+//! This crate provides the minimal substrate they share: a row-major dense
+//! [`Tensor`], its [`Shape`] with stride arithmetic, multi-index iteration,
+//! and fixed-size block partitioning (used by the ZFP-style transform codec).
+//!
+//! The convention throughout the workspace follows the paper: a shape
+//! `[n_d, ..., n_2, n_1]` lists dimensions from slowest-varying (highest) to
+//! fastest-varying (lowest), i.e. standard C/row-major order. A 2-D climate
+//! field of 1800 latitudes x 3600 longitudes has shape `[1800, 3600]`.
+
+mod blocks;
+mod iter;
+mod shape;
+mod tensor;
+
+pub use blocks::{gather_block, scatter_block, BlockGrid};
+pub use iter::IndexIter;
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,52 @@
+//! Property-based tests for shape arithmetic and block partitioning.
+
+use crate::{gather_block, scatter_block, BlockGrid, Shape, Tensor};
+use proptest::prelude::*;
+
+fn arb_dims() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(1usize..9, 1..4)
+}
+
+proptest! {
+    #[test]
+    fn offset_unravel_roundtrip(dims in arb_dims(), frac in 0.0f64..1.0) {
+        let shape = Shape::new(&dims);
+        let flat = ((shape.len() as f64 - 1.0) * frac) as usize;
+        let idx = shape.unravel(flat);
+        prop_assert_eq!(shape.offset(&idx), flat);
+    }
+
+    #[test]
+    fn advance_enumerates_exactly_len_indices(dims in arb_dims()) {
+        let shape = Shape::new(&dims);
+        let mut idx = vec![0usize; shape.ndim()];
+        let mut count = 1usize;
+        while shape.advance(&mut idx) {
+            count += 1;
+        }
+        prop_assert_eq!(count, shape.len());
+    }
+
+    #[test]
+    fn from_fn_places_values_at_their_index(dims in arb_dims()) {
+        let t = Tensor::from_fn(&dims[..], |ix| ix.to_vec());
+        for ix in t.indices() {
+            prop_assert_eq!(&t[&ix[..]], &ix);
+        }
+    }
+
+    #[test]
+    fn block_roundtrip_preserves_tensor(dims in arb_dims(), edge in 1usize..5) {
+        let t = Tensor::from_fn(&dims[..], |ix| {
+            ix.iter().fold(0i64, |acc, &x| acc * 31 + x as i64)
+        });
+        let grid = BlockGrid::new(t.shape().clone(), edge);
+        let mut out = Tensor::full(&dims[..], i64::MIN);
+        let mut block = vec![0i64; grid.block_len()];
+        for origin in grid.origins() {
+            gather_block(&t, &origin, edge, &mut block);
+            scatter_block(&mut out, &origin, edge, &block);
+        }
+        prop_assert_eq!(out.as_slice(), t.as_slice());
+    }
+}

@@ -1,0 +1,248 @@
+//! Shape and stride arithmetic for row-major dense arrays.
+
+use std::fmt;
+
+/// The extent of an N-dimensional row-major array.
+///
+/// Dimensions are listed slowest-varying first. `Shape` owns its dimension
+/// list and precomputes row-major strides so linearization is a dot product.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Shape {
+    dims: Box<[usize]>,
+    strides: Box<[usize]>,
+}
+
+impl Shape {
+    /// Builds a shape from dimension extents (slowest first).
+    ///
+    /// # Panics
+    /// Panics if `dims` is empty or any extent is zero; compressors in this
+    /// workspace treat empty grids as caller errors.
+    pub fn new(dims: &[usize]) -> Self {
+        assert!(!dims.is_empty(), "Shape requires at least one dimension");
+        assert!(
+            dims.iter().all(|&d| d > 0),
+            "Shape extents must be non-zero, got {dims:?}"
+        );
+        let mut strides = vec![0usize; dims.len()];
+        let mut acc = 1usize;
+        for (i, &d) in dims.iter().enumerate().rev() {
+            strides[i] = acc;
+            acc = acc
+                .checked_mul(d)
+                .expect("Shape element count overflows usize");
+        }
+        Self {
+            dims: dims.into(),
+            strides: strides.into(),
+        }
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn ndim(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Dimension extents, slowest-varying first.
+    #[inline]
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Row-major strides matching [`Self::dims`].
+    #[inline]
+    pub fn strides(&self) -> &[usize] {
+        &self.strides
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// True when the shape holds zero elements (never, by construction).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Linearizes a multi-index into a flat offset.
+    ///
+    /// # Panics
+    /// Panics in debug builds if the index rank or any coordinate is out of
+    /// range; release builds rely on the caller (hot path).
+    #[inline]
+    pub fn offset(&self, index: &[usize]) -> usize {
+        debug_assert_eq!(index.len(), self.dims.len(), "index rank mismatch");
+        let mut off = 0usize;
+        for (i, &ix) in index.iter().enumerate() {
+            debug_assert!(ix < self.dims[i], "index {ix} out of bounds in dim {i}");
+            off += ix * self.strides[i];
+        }
+        off
+    }
+
+    /// Checked linearization: `None` when the index is out of bounds.
+    pub fn offset_checked(&self, index: &[usize]) -> Option<usize> {
+        if index.len() != self.dims.len() {
+            return None;
+        }
+        let mut off = 0usize;
+        for (i, &ix) in index.iter().enumerate() {
+            if ix >= self.dims[i] {
+                return None;
+            }
+            off += ix * self.strides[i];
+        }
+        Some(off)
+    }
+
+    /// Inverse of [`Self::offset`]: delinearizes a flat offset.
+    pub fn unravel(&self, mut offset: usize) -> Vec<usize> {
+        debug_assert!(offset < self.len());
+        let mut index = vec![0usize; self.dims.len()];
+        for i in 0..self.dims.len() {
+            index[i] = offset / self.strides[i];
+            offset %= self.strides[i];
+        }
+        index
+    }
+
+    /// In-place variant of [`Self::unravel`] to avoid allocation in loops.
+    pub fn unravel_into(&self, mut offset: usize, index: &mut [usize]) {
+        debug_assert_eq!(index.len(), self.dims.len());
+        for i in 0..self.dims.len() {
+            index[i] = offset / self.strides[i];
+            offset %= self.strides[i];
+        }
+    }
+
+    /// Advances a multi-index to the next row-major position.
+    ///
+    /// Returns `false` once the index wraps past the final element.
+    #[inline]
+    pub fn advance(&self, index: &mut [usize]) -> bool {
+        debug_assert_eq!(index.len(), self.dims.len());
+        for i in (0..self.dims.len()).rev() {
+            index[i] += 1;
+            if index[i] < self.dims[i] {
+                return true;
+            }
+            index[i] = 0;
+        }
+        false
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Shape{:?}", self.dims)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self.dims.iter().map(|d| d.to_string()).collect();
+        write!(f, "{}", parts.join("x"))
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape::new(&dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_are_row_major() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.strides(), &[12, 4, 1]);
+        assert_eq!(s.len(), 24);
+        assert_eq!(s.ndim(), 3);
+    }
+
+    #[test]
+    fn offset_roundtrips_with_unravel() {
+        let s = Shape::new(&[3, 5, 7]);
+        for flat in 0..s.len() {
+            let idx = s.unravel(flat);
+            assert_eq!(s.offset(&idx), flat);
+        }
+    }
+
+    #[test]
+    fn unravel_into_matches_unravel() {
+        let s = Shape::new(&[4, 6]);
+        let mut buf = [0usize; 2];
+        for flat in 0..s.len() {
+            s.unravel_into(flat, &mut buf);
+            assert_eq!(buf.to_vec(), s.unravel(flat));
+        }
+    }
+
+    #[test]
+    fn advance_visits_every_index_in_order() {
+        let s = Shape::new(&[2, 3]);
+        let mut idx = vec![0, 0];
+        let mut seen = vec![idx.clone()];
+        while s.advance(&mut idx) {
+            seen.push(idx.clone());
+        }
+        assert_eq!(
+            seen,
+            vec![
+                vec![0, 0],
+                vec![0, 1],
+                vec![0, 2],
+                vec![1, 0],
+                vec![1, 1],
+                vec![1, 2]
+            ]
+        );
+    }
+
+    #[test]
+    fn offset_checked_rejects_out_of_bounds() {
+        let s = Shape::new(&[2, 2]);
+        assert_eq!(s.offset_checked(&[1, 1]), Some(3));
+        assert_eq!(s.offset_checked(&[2, 0]), None);
+        assert_eq!(s.offset_checked(&[0]), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_extent_panics() {
+        let _ = Shape::new(&[3, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one dimension")]
+    fn empty_dims_panic() {
+        let _ = Shape::new(&[]);
+    }
+
+    #[test]
+    fn display_formats_extents() {
+        assert_eq!(Shape::new(&[100, 500, 500]).to_string(), "100x500x500");
+    }
+
+    #[test]
+    fn one_dimensional_shape() {
+        let s = Shape::new(&[10]);
+        assert_eq!(s.strides(), &[1]);
+        assert_eq!(s.offset(&[7]), 7);
+        assert_eq!(s.unravel(7), vec![7]);
+    }
+}

@@ -1,0 +1,351 @@
+//! NUMARCK-style vector quantization of inter-iteration changes.
+//!
+//! §IV-A of the SZ-1.4 paper contrasts its *error-controlled* quantization
+//! with the *vector* quantization of NUMARCK (Chen et al., SC'14) and SSEM:
+//! vector quantization adapts interval widths to the data distribution
+//! ("the more concentratedly the data locates, the shorter the quantization
+//! interval"), so points in sparse regions land in wide intervals and their
+//! pointwise error **cannot be bounded** — the structural reason the paper
+//! builds AEQVE instead.
+//!
+//! This crate implements the NUMARCK scheme faithfully enough to exhibit
+//! that contrast (and the `vq_bound_demo` experiment in `szr-bench`
+//! measures it):
+//!
+//! 1. compute per-element deltas between two snapshots of a variable;
+//! 2. learn a `2^m − 1` centroid codebook with 1-D k-means (Lloyd's
+//!    algorithm on a sample, k-means++-style spread initialization);
+//! 3. store the codebook + Huffman-coded per-element centroid indices;
+//!    reconstruction adds the centroid delta to the previous snapshot.
+//!
+//! Average error is small (that is NUMARCK's design point — "resiliency
+//! and checkpointing"); maximum error is whatever the widest cluster
+//! allows.
+
+use szr_bitstream::{ByteReader, ByteWriter};
+use szr_core::ScalarFloat;
+use szr_tensor::{Shape, Tensor};
+
+/// Errors from decoding.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// Malformed or truncated stream.
+    Corrupt(String),
+    /// Archive holds a different scalar type.
+    WrongType,
+    /// Snapshot dimensions disagree with the reference snapshot.
+    ShapeMismatch,
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Corrupt(m) => write!(f, "corrupt vq stream: {m}"),
+            Error::WrongType => write!(f, "vq stream holds a different scalar type"),
+            Error::ShapeMismatch => write!(f, "previous-snapshot shape mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<szr_bitstream::Error> for Error {
+    fn from(e: szr_bitstream::Error) -> Self {
+        Error::Corrupt(e.to_string())
+    }
+}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+const MAGIC: [u8; 4] = *b"SZVQ";
+/// k-means sample cap: NUMARCK samples the change distribution.
+const SAMPLE_CAP: usize = 1 << 16;
+/// Lloyd iterations (converges quickly in 1-D).
+const KMEANS_ITERS: usize = 12;
+
+/// Learns a 1-D centroid codebook by k-means over `deltas`.
+fn kmeans_codebook(deltas: &[f64], k: usize) -> Vec<f64> {
+    debug_assert!(k >= 1);
+    // Sample uniformly by stride to bound cost on large snapshots.
+    let stride = (deltas.len() / SAMPLE_CAP).max(1);
+    let mut sample: Vec<f64> = deltas.iter().step_by(stride).copied().collect();
+    sample.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    if sample.is_empty() {
+        return vec![0.0; k];
+    }
+    // Quantile initialization at bucket midpoints: spread centroids over
+    // the sample's CDF — deterministic and close to k-means++ quality in
+    // 1-D. (Bucket *edges* can collapse two centroids into one cluster and
+    // strand Lloyd in a bad local optimum.)
+    let mut centroids: Vec<f64> = (0..k)
+        .map(|i| sample[((2 * i + 1) * (sample.len() - 1)) / (2 * k)])
+        .collect();
+    let mut assignments = vec![0usize; sample.len()];
+    for _ in 0..KMEANS_ITERS {
+        // Assign: sample is sorted, centroids are sorted, so a two-pointer
+        // sweep assigns in O(n + k).
+        centroids.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let mut c = 0usize;
+        for (i, &x) in sample.iter().enumerate() {
+            while c + 1 < k
+                && (centroids[c + 1] - x).abs() <= (centroids[c] - x).abs()
+            {
+                c += 1;
+            }
+            assignments[i] = c;
+        }
+        // Update.
+        let mut sums = vec![0.0f64; k];
+        let mut counts = vec![0usize; k];
+        for (&x, &a) in sample.iter().zip(&assignments) {
+            sums[a] += x;
+            counts[a] += 1;
+        }
+        for ((c, &s), &n) in centroids.iter_mut().zip(&sums).zip(&counts) {
+            if n > 0 {
+                *c = s / n as f64;
+            }
+        }
+    }
+    centroids
+}
+
+/// Nearest centroid index (codebook must be sorted).
+#[inline]
+fn nearest(codebook: &[f64], x: f64) -> usize {
+    // Binary search on the sorted codebook, then compare the two
+    // neighbors.
+    let mut lo = 0usize;
+    let mut hi = codebook.len();
+    while hi - lo > 1 {
+        let mid = (lo + hi) / 2;
+        if codebook[mid] <= x {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    if lo + 1 < codebook.len()
+        && (codebook[lo + 1] - x).abs() < (codebook[lo] - x).abs()
+    {
+        lo + 1
+    } else {
+        lo
+    }
+}
+
+/// Compresses `next` as vector-quantized deltas from `prev`.
+///
+/// `bits` selects `2^bits − 1` centroids (NUMARCK's default era: 8 bits).
+///
+/// # Panics
+/// Panics if the snapshots' shapes differ or `bits` is outside `2..=16`.
+pub fn vq_compress<T: ScalarFloat>(prev: &Tensor<T>, next: &Tensor<T>, bits: u32) -> Vec<u8> {
+    assert_eq!(prev.dims(), next.dims(), "snapshot shapes must match");
+    assert!((2..=16).contains(&bits), "bits must be in 2..=16");
+    let k = (1usize << bits) - 1;
+    let deltas: Vec<f64> = prev
+        .as_slice()
+        .iter()
+        .zip(next.as_slice())
+        .map(|(&p, &n)| n.to_f64() - p.to_f64())
+        .collect();
+    let mut codebook = kmeans_codebook(&deltas, k);
+    codebook.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let indices: Vec<u32> = deltas.iter().map(|&d| nearest(&codebook, d) as u32).collect();
+
+    let mut out = ByteWriter::new();
+    out.write_bytes(&MAGIC);
+    out.write_u8(T::TYPE_TAG);
+    out.write_u8(bits as u8);
+    out.write_varint(prev.shape().ndim() as u64);
+    for &d in prev.dims() {
+        out.write_varint(d as u64);
+    }
+    for &c in &codebook {
+        out.write_f64(c);
+    }
+    out.write_len_prefixed(&szr_huffman::compress_u32(&indices, k));
+    out.into_bytes()
+}
+
+/// Reconstructs `next` from the archive and the previous snapshot.
+pub fn vq_decompress<T: ScalarFloat>(bytes: &[u8], prev: &Tensor<T>) -> Result<Tensor<T>> {
+    let mut reader = ByteReader::new(bytes);
+    if reader.read_bytes(4)? != MAGIC {
+        return Err(Error::Corrupt("bad magic".into()));
+    }
+    if reader.read_u8()? != T::TYPE_TAG {
+        return Err(Error::WrongType);
+    }
+    let bits = reader.read_u8()? as u32;
+    if !(2..=16).contains(&bits) {
+        return Err(Error::Corrupt("implausible codebook bits".into()));
+    }
+    let k = (1usize << bits) - 1;
+    let ndim = reader.read_varint()? as usize;
+    if ndim == 0 || ndim > 16 {
+        return Err(Error::Corrupt("implausible rank".into()));
+    }
+    let mut dims = Vec::with_capacity(ndim);
+    for _ in 0..ndim {
+        dims.push(reader.read_varint()? as usize);
+    }
+    if dims != prev.dims() {
+        return Err(Error::ShapeMismatch);
+    }
+    let shape = Shape::new(&dims);
+    let mut codebook = Vec::with_capacity(k);
+    for _ in 0..k {
+        codebook.push(reader.read_f64()?);
+    }
+    let indices = szr_huffman::decompress_u32(reader.read_len_prefixed()?)?;
+    if indices.len() != shape.len() {
+        return Err(Error::Corrupt("index stream length mismatch".into()));
+    }
+    let values: Vec<T> = prev
+        .as_slice()
+        .iter()
+        .zip(&indices)
+        .map(|(&p, &ix)| {
+            let delta = codebook.get(ix as usize).copied().unwrap_or(0.0);
+            T::from_f64(p.to_f64() + delta)
+        })
+        .collect();
+    Ok(Tensor::from_vec(shape, values))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshots(n: usize) -> (Tensor<f32>, Tensor<f32>) {
+        let prev = Tensor::from_fn([n], |ix| (ix[0] as f32 * 0.01).sin() * 10.0);
+        let next = Tensor::from_fn([n], |ix| {
+            (ix[0] as f32 * 0.01).sin() * 10.0 + 0.05 * (ix[0] as f32 * 0.003).cos()
+        });
+        (prev, next)
+    }
+
+    #[test]
+    fn roundtrip_reconstructs_with_small_average_error() {
+        let (prev, next) = snapshots(10_000);
+        let packed = vq_compress(&prev, &next, 8);
+        let out = vq_decompress(&packed, &prev).unwrap();
+        let mean_err: f64 = next
+            .as_slice()
+            .iter()
+            .zip(out.as_slice())
+            .map(|(&a, &b)| (a as f64 - b as f64).abs())
+            .sum::<f64>()
+            / next.len() as f64;
+        assert!(mean_err < 1e-3, "mean err {mean_err}");
+        assert!(packed.len() < next.len() * 4 / 2);
+    }
+
+    #[test]
+    fn more_centroids_reduce_average_error() {
+        let (prev, next) = snapshots(8_000);
+        let err_at = |bits: u32| -> f64 {
+            let packed = vq_compress(&prev, &next, bits);
+            let out = vq_decompress(&packed, &prev).unwrap();
+            next.as_slice()
+                .iter()
+                .zip(out.as_slice())
+                .map(|(&a, &b)| (a as f64 - b as f64).abs())
+                .sum::<f64>()
+                / next.len() as f64
+        };
+        assert!(err_at(8) < err_at(4));
+    }
+
+    #[test]
+    fn pointwise_error_is_not_bounded() {
+        // The paper's §IV-A claim: vector quantization shortens intervals
+        // where data concentrates, so a continuous heavy-tailed change
+        // distribution leaves the tail in very wide clusters — pointwise
+        // error cannot be promised. (AEQVE's uniform 2·eb intervals exist
+        // precisely to prevent this.)
+        let n = 65_536usize;
+        let prev = Tensor::from_fn([n], |_| 0.0f32);
+        let next = Tensor::from_fn([n], |ix| {
+            let mut h = (ix[0] as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            h = (h ^ (h >> 31)).wrapping_mul(0xD6E8_FEB8_6659_FD93);
+            let u = (h >> 11) as f64 / (1u64 << 53) as f64; // uniform [0,1)
+            let sign = if h & 1 == 0 { 1.0f64 } else { -1.0 };
+            // Mass concentrated near 0 with a smooth tail out to ±1000.
+            (sign * u.powi(8) * 1000.0) as f32
+        });
+        let packed = vq_compress(&prev, &next, 8);
+        let out = vq_decompress(&packed, &prev).unwrap();
+        let max_err = next
+            .as_slice()
+            .iter()
+            .zip(out.as_slice())
+            .map(|(&a, &b)| (a as f64 - b as f64).abs())
+            .fold(0.0f64, f64::max);
+        let mean_abs_delta = next
+            .as_slice()
+            .iter()
+            .map(|&v| v.abs() as f64)
+            .sum::<f64>()
+            / n as f64;
+        // Average behaviour is fine (NUMARCK's design point)…
+        assert!(mean_abs_delta < 120.0);
+        // …but the worst point errs by orders of magnitude more than any
+        // bound a user could reasonably have requested.
+        assert!(max_err > 0.5, "expected unbounded pointwise error, got {max_err}");
+    }
+
+    #[test]
+    fn multidimensional_snapshots_roundtrip() {
+        let prev = Tensor::from_fn([16, 24], |ix| (ix[0] + ix[1]) as f32);
+        let next = Tensor::from_fn([16, 24], |ix| (ix[0] + ix[1]) as f32 + 0.5);
+        let packed = vq_compress(&prev, &next, 4);
+        let out = vq_decompress(&packed, &prev).unwrap();
+        assert_eq!(out.dims(), &[16, 24]);
+        // Constant delta: one centroid nails it.
+        for (&a, &b) in next.as_slice().iter().zip(out.as_slice()) {
+            assert!((a - b).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn shape_mismatch_and_corruption_error() {
+        let (prev, next) = snapshots(512);
+        let packed = vq_compress(&prev, &next, 4);
+        let wrong_prev = Tensor::from_fn([256], |_| 0.0f32);
+        assert_eq!(
+            vq_decompress(&packed, &wrong_prev).unwrap_err(),
+            Error::ShapeMismatch
+        );
+        assert!(vq_decompress(&packed[..10], &prev).is_err());
+        assert!(vq_decompress::<f64>(&packed, &Tensor::from_fn([512], |_| 0.0f64)).is_err());
+    }
+
+    #[test]
+    fn kmeans_finds_obvious_clusters() {
+        let deltas: Vec<f64> = (0..300)
+            .map(|i| match i % 3 {
+                0 => -5.0 + (i as f64) * 1e-4,
+                1 => 0.0 + (i as f64) * 1e-4,
+                _ => 5.0 + (i as f64) * 1e-4,
+            })
+            .collect();
+        let mut cb = kmeans_codebook(&deltas, 3);
+        cb.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((cb[0] + 5.0).abs() < 0.1, "{cb:?}");
+        assert!(cb[1].abs() < 0.1, "{cb:?}");
+        assert!((cb[2] - 5.0).abs() < 0.1, "{cb:?}");
+    }
+
+    #[test]
+    fn nearest_picks_closest_centroid() {
+        let cb = [-1.0, 0.0, 2.0, 10.0];
+        assert_eq!(nearest(&cb, -5.0), 0);
+        assert_eq!(nearest(&cb, 0.9), 1);
+        assert_eq!(nearest(&cb, 1.1), 2);
+        assert_eq!(nearest(&cb, 100.0), 3);
+    }
+}

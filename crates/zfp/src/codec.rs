@@ -1,0 +1,635 @@
+//! Block encode/decode: exponent alignment, bit-plane coding, rate control.
+
+use crate::transform::{
+    fwd_transform, int_to_negabinary, inv_transform, negabinary_to_int, sequency_permutation,
+};
+use crate::{Error, Result, ZfpMode};
+use szr_bitstream::{BitReader, BitWriter, ByteReader, ByteWriter};
+use szr_core::ScalarFloat;
+use szr_tensor::{gather_block, scatter_block, BlockGrid, Shape, Tensor};
+
+const MAGIC: [u8; 4] = *b"SZZF";
+/// Bias for the 16-bit per-block exponent field (0 = all-zero block).
+const EXP_BIAS: i32 = 16_383;
+
+/// `floor(log2(x))` computed exactly for positive finite x.
+fn floor_log2(x: f64) -> i32 {
+    debug_assert!(x > 0.0 && x.is_finite());
+    let mut e = ((x.to_bits() >> 52) & 0x7FF) as i32 - 1023;
+    if (x.to_bits() >> 52) & 0x7FF == 0 {
+        e = x.log2().floor() as i32;
+    }
+    while e > -1100 && exp2i(e) > x {
+        e -= 1;
+    }
+    while exp2i(e + 1) <= x {
+        e += 1;
+    }
+    e
+}
+
+/// `2^e` without overflow for |e| beyond f64's single-step range.
+fn exp2i(e: i32) -> f64 {
+    if (-1022..=1023).contains(&e) {
+        f64::from_bits((((e + 1023) as u64) << 52).max(1 << 52))
+    } else {
+        (e as f64).exp2()
+    }
+}
+
+/// `v * 2^e` in two steps to avoid intermediate overflow (ldexp).
+fn ldexp(v: f64, e: i32) -> f64 {
+    let half = e / 2;
+    v * (half as f64).exp2() * ((e - half) as f64).exp2()
+}
+
+/// frexp-style exponent: smallest `e` with `|v| < 2^e`.
+fn frexp_exponent(v: f64) -> i32 {
+    floor_log2(v.abs()) + 1
+}
+
+/// Per-block precision in fixed-accuracy mode: zfp's formula with
+/// `2(d+1)` guard bits for transform error growth.
+fn accuracy_precision(emax: i32, min_exp: i32, ndim: usize, intprec: u32) -> u32 {
+    (emax - min_exp + 2 * (ndim as i32 + 1)).clamp(0, intprec as i32) as u32
+}
+
+// ---------------------------------------------------------------------------
+// Budgeted bit IO: encoder and decoder run the same accounting so a
+// mid-plane budget cut stays in lock-step.
+// ---------------------------------------------------------------------------
+
+struct BudgetWriter<'a> {
+    w: &'a mut BitWriter,
+    used: usize,
+    cap: usize,
+}
+
+impl<'a> BudgetWriter<'a> {
+    fn new(w: &'a mut BitWriter, cap: usize) -> Self {
+        Self { w, used: 0, cap }
+    }
+    #[inline]
+    fn full(&self) -> bool {
+        self.used >= self.cap
+    }
+    /// Writes one bit unless the budget is exhausted; reports success.
+    #[inline]
+    fn put(&mut self, bit: bool) -> bool {
+        if self.full() {
+            return false;
+        }
+        self.w.write_bit(bit);
+        self.used += 1;
+        true
+    }
+    /// Pads with zeros up to the cap (fixed-rate blocks are fixed-size).
+    fn pad_to_cap(&mut self) {
+        while self.used < self.cap {
+            self.w.write_bit(false);
+            self.used += 1;
+        }
+    }
+}
+
+struct BudgetReader<'a, 'b> {
+    r: &'a mut BitReader<'b>,
+    used: usize,
+    cap: usize,
+}
+
+impl<'a, 'b> BudgetReader<'a, 'b> {
+    fn new(r: &'a mut BitReader<'b>, cap: usize) -> Self {
+        Self { r, used: 0, cap }
+    }
+    #[inline]
+    fn exhausted(&self) -> bool {
+        self.used >= self.cap || self.r.remaining_bits() == 0
+    }
+    /// Reads one bit; `None` once the budget or stream is exhausted.
+    #[inline]
+    fn get(&mut self) -> Option<bool> {
+        if self.exhausted() {
+            return None;
+        }
+        self.used += 1;
+        self.r.read_bit().ok()
+    }
+    /// Skips any fixed-rate padding.
+    fn skip_to_cap(&mut self) -> Result<()> {
+        while self.used < self.cap {
+            if self.r.remaining_bits() == 0 {
+                return Err(Error::Corrupt("fixed-rate block underruns".into()));
+            }
+            self.r.read_bit()?;
+            self.used += 1;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Plane coding with group testing (embedded coding).
+// ---------------------------------------------------------------------------
+
+fn encode_plane(coeffs: &[u64], plane: u32, sig: &mut [bool], w: &mut BudgetWriter<'_>) -> bool {
+    let n = coeffs.len();
+    let bit = |i: usize| (coeffs[i] >> plane) & 1 == 1;
+    // Refinement: one bit for every already-significant coefficient.
+    for i in 0..n {
+        if sig[i] && !w.put(bit(i)) {
+            return false;
+        }
+    }
+    // Significance: group-test the insignificant tail, emitting bits up to
+    // and including each newly-significant 1.
+    let mut i = 0usize;
+    while i < n {
+        if sig[i] {
+            i += 1;
+            continue;
+        }
+        let any = (i..n).any(|j| !sig[j] && bit(j));
+        if !w.put(any) {
+            return false;
+        }
+        if !any {
+            return true;
+        }
+        while i < n {
+            if sig[i] {
+                i += 1;
+                continue;
+            }
+            let b = bit(i);
+            if !w.put(b) {
+                return false;
+            }
+            i += 1;
+            if b {
+                sig[i - 1] = true;
+                break;
+            }
+        }
+    }
+    true
+}
+
+fn decode_plane(coeffs: &mut [u64], plane: u32, sig: &mut [bool], r: &mut BudgetReader<'_, '_>) -> bool {
+    let n = coeffs.len();
+    for (i, s) in sig.iter().enumerate() {
+        if *s {
+            match r.get() {
+                Some(true) => coeffs[i] |= 1u64 << plane,
+                Some(false) => {}
+                None => return false,
+            }
+        }
+    }
+    let mut i = 0usize;
+    while i < n {
+        if sig[i] {
+            i += 1;
+            continue;
+        }
+        let any = match r.get() {
+            Some(b) => b,
+            None => return false,
+        };
+        if !any {
+            return true;
+        }
+        while i < n {
+            if sig[i] {
+                i += 1;
+                continue;
+            }
+            let b = match r.get() {
+                Some(b) => b,
+                None => return false,
+            };
+            i += 1;
+            if b {
+                coeffs[i - 1] |= 1u64 << plane;
+                sig[i - 1] = true;
+                break;
+            }
+        }
+    }
+    true
+}
+
+// ---------------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------------
+
+/// Compresses a tensor with the ZFP-style codec.
+pub fn zfp_compress<T: ScalarFloat>(data: &Tensor<T>, mode: ZfpMode) -> Vec<u8> {
+    let shape = data.shape();
+    let ndim = shape.ndim();
+    let grid = BlockGrid::new(shape.clone(), 4);
+    let block_len = grid.block_len();
+    let perm = sequency_permutation(ndim);
+    let intprec = T::BITS;
+
+    let (mode_tag, param) = match mode {
+        ZfpMode::FixedRate { bits_per_value } => (0u8, bits_per_value),
+        ZfpMode::FixedAccuracy { tolerance } => (1u8, tolerance),
+    };
+    // Per-block bit cap (incl. the 16-bit exponent) for fixed rate.
+    let rate_cap = match mode {
+        ZfpMode::FixedRate { bits_per_value } => {
+            let bits = (bits_per_value.max(1.0).min(intprec as f64) * block_len as f64).round();
+            Some((bits as usize).max(17))
+        }
+        ZfpMode::FixedAccuracy { .. } => None,
+    };
+    let min_exp = match mode {
+        ZfpMode::FixedAccuracy { tolerance } => floor_log2(tolerance.max(f64::MIN_POSITIVE)),
+        ZfpMode::FixedRate { .. } => 0,
+    };
+
+    let mut header = ByteWriter::new();
+    header.write_bytes(&MAGIC);
+    header.write_u8(T::TYPE_TAG);
+    header.write_u8(mode_tag);
+    header.write_f64(param);
+    header.write_varint(ndim as u64);
+    for &d in shape.dims() {
+        header.write_varint(d as u64);
+    }
+
+    let mut bits = BitWriter::with_capacity(data.len());
+    let mut raw = vec![T::from_f64(0.0); block_len];
+    let mut ints = vec![0i64; block_len];
+    let mut coeffs = vec![0u64; block_len];
+    let mut sig = vec![false; block_len];
+
+    for origin in grid.origins() {
+        gather_block(data, &origin, 4, &mut raw);
+        // Block floating point: common exponent = max value exponent.
+        let mut emax = i32::MIN;
+        for &v in &raw {
+            let x = v.to_f64();
+            if x != 0.0 && x.is_finite() {
+                emax = emax.max(frexp_exponent(x));
+            }
+        }
+        let cap = rate_cap.unwrap_or(usize::MAX);
+        let mut w = BudgetWriter::new(&mut bits, cap);
+        if emax == i32::MIN {
+            // All-zero (or non-finite-free zero) block.
+            for _ in 0..16 {
+                w.put(false);
+            }
+            if rate_cap.is_some() {
+                w.pad_to_cap();
+            }
+            continue;
+        }
+        for b in (0..16).rev() {
+            w.put(((emax + EXP_BIAS) >> b) & 1 == 1);
+        }
+        let maxprec = match mode {
+            ZfpMode::FixedAccuracy { .. } => accuracy_precision(emax, min_exp, ndim, intprec),
+            ZfpMode::FixedRate { .. } => intprec,
+        };
+        if maxprec == 0 {
+            if rate_cap.is_some() {
+                w.pad_to_cap();
+            }
+            continue;
+        }
+        // Fixed point, transform, reorder, negabinary.
+        let s_exp = intprec as i32 - 2 - emax;
+        for (i, &v) in raw.iter().enumerate() {
+            let x = v.to_f64();
+            ints[i] = if x.is_finite() { ldexp(x, s_exp) as i64 } else { 0 };
+        }
+        fwd_transform(&mut ints, ndim);
+        for (s, &p) in perm.iter().enumerate() {
+            coeffs[s] = int_to_negabinary(ints[p]);
+        }
+        sig.fill(false);
+        for plane in ((intprec - maxprec)..intprec).rev() {
+            if !encode_plane(&coeffs, plane, &mut sig, &mut w) {
+                break;
+            }
+        }
+        if rate_cap.is_some() {
+            w.pad_to_cap();
+        }
+    }
+
+    let mut out = header;
+    let payload = bits.into_bytes();
+    out.write_len_prefixed(&payload);
+    out.into_bytes()
+}
+
+/// Decompresses a ZFP-style archive.
+pub fn zfp_decompress<T: ScalarFloat>(bytes: &[u8]) -> Result<Tensor<T>> {
+    let mut reader = ByteReader::new(bytes);
+    if reader.read_bytes(4)? != MAGIC {
+        return Err(Error::Corrupt("bad magic".into()));
+    }
+    if reader.read_u8()? != T::TYPE_TAG {
+        return Err(Error::WrongType);
+    }
+    let mode_tag = reader.read_u8()?;
+    let param = reader.read_f64()?;
+    let ndim = reader.read_varint()? as usize;
+    if ndim == 0 || ndim > 8 {
+        return Err(Error::Corrupt("implausible rank".into()));
+    }
+    let mut dims = Vec::with_capacity(ndim);
+    let mut product: u128 = 1;
+    for _ in 0..ndim {
+        let d = reader.read_varint()? as usize;
+        if d == 0 {
+            return Err(Error::Corrupt("zero extent".into()));
+        }
+        product *= d as u128;
+        if product > 1 << 40 {
+            return Err(Error::Corrupt("implausible element count".into()));
+        }
+        dims.push(d);
+    }
+    let shape = Shape::new(&dims);
+    let payload = reader.read_len_prefixed()?;
+
+    let mode = match mode_tag {
+        0 => ZfpMode::FixedRate { bits_per_value: param },
+        1 => ZfpMode::FixedAccuracy { tolerance: param },
+        _ => return Err(Error::Corrupt("unknown mode".into())),
+    };
+    let grid = BlockGrid::new(shape.clone(), 4);
+    let block_len = grid.block_len();
+    let perm = sequency_permutation(ndim);
+    let intprec = T::BITS;
+    let rate_cap = match mode {
+        ZfpMode::FixedRate { bits_per_value } => {
+            let bits = (bits_per_value.max(1.0).min(intprec as f64) * block_len as f64).round();
+            Some((bits as usize).max(17))
+        }
+        ZfpMode::FixedAccuracy { .. } => None,
+    };
+    let min_exp = match mode {
+        ZfpMode::FixedAccuracy { tolerance } => floor_log2(tolerance.max(f64::MIN_POSITIVE)),
+        ZfpMode::FixedRate { .. } => 0,
+    };
+
+    let mut out = Tensor::full(shape.clone(), T::from_f64(0.0));
+    let mut bits = BitReader::new(payload);
+    let mut ints = vec![0i64; block_len];
+    let mut coeffs = vec![0u64; block_len];
+    let mut sig = vec![false; block_len];
+    let mut raw = vec![T::from_f64(0.0); block_len];
+
+    for origin in grid.origins() {
+        let cap = rate_cap.unwrap_or(usize::MAX);
+        let mut r = BudgetReader::new(&mut bits, cap);
+        let mut e_field = 0u32;
+        for _ in 0..16 {
+            match r.get() {
+                Some(b) => e_field = (e_field << 1) | b as u32,
+                None => return Err(Error::Corrupt("missing block exponent".into())),
+            }
+        }
+        if e_field == 0 {
+            // All-zero block.
+            raw.fill(T::from_f64(0.0));
+            scatter_block(&mut out, &origin, 4, &raw);
+            if rate_cap.is_some() {
+                r.skip_to_cap()?;
+            }
+            continue;
+        }
+        let emax = e_field as i32 - EXP_BIAS;
+        let maxprec = match mode {
+            ZfpMode::FixedAccuracy { .. } => accuracy_precision(emax, min_exp, ndim, intprec),
+            ZfpMode::FixedRate { .. } => intprec,
+        };
+        coeffs.fill(0);
+        sig.fill(false);
+        if maxprec > 0 {
+            for plane in ((intprec - maxprec)..intprec).rev() {
+                if !decode_plane(&mut coeffs, plane, &mut sig, &mut r) {
+                    break;
+                }
+            }
+        }
+        for (s, &p) in perm.iter().enumerate() {
+            ints[p] = negabinary_to_int(coeffs[s]);
+        }
+        inv_transform(&mut ints, ndim);
+        let s_exp = intprec as i32 - 2 - emax;
+        for (i, &q) in ints.iter().enumerate() {
+            raw[i] = T::from_f64(ldexp(q as f64, -s_exp));
+        }
+        scatter_block(&mut out, &origin, 4, &raw);
+        if rate_cap.is_some() {
+            r.skip_to_cap()?;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smooth_2d(rows: usize, cols: usize) -> Tensor<f32> {
+        Tensor::from_fn([rows, cols], |ix| {
+            ((ix[0] as f32) * 0.08).sin() * 20.0 + ((ix[1] as f32) * 0.05).cos() * 10.0
+        })
+    }
+
+    #[test]
+    fn fixed_accuracy_meets_tolerance_on_moderate_data() {
+        let data = smooth_2d(64, 64);
+        for tol in [1e-1, 1e-3, 1e-5] {
+            let packed = zfp_compress(&data, ZfpMode::FixedAccuracy { tolerance: tol });
+            let out: Tensor<f32> = zfp_decompress(&packed).unwrap();
+            for (&a, &b) in data.as_slice().iter().zip(out.as_slice()) {
+                assert!(
+                    (a as f64 - b as f64).abs() <= tol,
+                    "tol {tol}: error {}",
+                    (a as f64 - b as f64).abs()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_accuracy_is_overconservative() {
+        // Table V behaviour: realized max error is far below the tolerance.
+        let data = smooth_2d(64, 64);
+        let tol = 1e-3;
+        let packed = zfp_compress(&data, ZfpMode::FixedAccuracy { tolerance: tol });
+        let out: Tensor<f32> = zfp_decompress(&packed).unwrap();
+        let max_err = data
+            .as_slice()
+            .iter()
+            .zip(out.as_slice())
+            .map(|(&a, &b)| (a as f64 - b as f64).abs())
+            .fold(0.0f64, f64::max);
+        assert!(
+            max_err < tol / 4.0,
+            "zfp should overshoot accuracy: {max_err} vs tol {tol}"
+        );
+    }
+
+    #[test]
+    fn huge_dynamic_range_violates_tolerance() {
+        // §V-A: a block mixing 1e11 with ~7 cannot honor a tiny tolerance
+        // because of common-exponent alignment.
+        let data = Tensor::from_fn([8, 8], |ix| {
+            if ix[0] == 0 && ix[1] == 0 {
+                1.0e11f32
+            } else {
+                6.936168f32
+            }
+        });
+        let tol = 1e-4;
+        let packed = zfp_compress(&data, ZfpMode::FixedAccuracy { tolerance: tol });
+        let out: Tensor<f32> = zfp_decompress(&packed).unwrap();
+        let max_err = data
+            .as_slice()
+            .iter()
+            .zip(out.as_slice())
+            .map(|(&a, &b)| (a as f64 - b as f64).abs())
+            .fold(0.0f64, f64::max);
+        assert!(
+            max_err > tol,
+            "expected bound violation on huge-range block, max err {max_err}"
+        );
+    }
+
+    #[test]
+    fn fixed_rate_hits_requested_size() {
+        let data = smooth_2d(64, 64);
+        for rate in [4.0, 8.0, 16.0] {
+            let packed = zfp_compress(&data, ZfpMode::FixedRate { bits_per_value: rate });
+            let payload_bits = (packed.len() as f64 - 30.0) * 8.0; // minus header
+            let actual_rate = payload_bits / data.len() as f64;
+            assert!(
+                (actual_rate - rate).abs() < 1.5,
+                "requested {rate} bpv, got {actual_rate}"
+            );
+        }
+    }
+
+    #[test]
+    fn higher_rate_means_lower_error() {
+        let data = smooth_2d(32, 32);
+        let mut prev_err = f64::INFINITY;
+        for rate in [2.0, 4.0, 8.0, 16.0] {
+            let packed = zfp_compress(&data, ZfpMode::FixedRate { bits_per_value: rate });
+            let out: Tensor<f32> = zfp_decompress(&packed).unwrap();
+            let rmse: f64 = {
+                let ss: f64 = data
+                    .as_slice()
+                    .iter()
+                    .zip(out.as_slice())
+                    .map(|(&a, &b)| (a as f64 - b as f64).powi(2))
+                    .sum();
+                (ss / data.len() as f64).sqrt()
+            };
+            assert!(rmse <= prev_err, "rate {rate}: rmse {rmse} vs prev {prev_err}");
+            prev_err = rmse;
+        }
+        assert!(prev_err < 1e-3, "16 bpv should be quite accurate: {prev_err}");
+    }
+
+    #[test]
+    fn all_zero_field_is_tiny() {
+        let data = Tensor::full([64, 64], 0.0f32);
+        let packed = zfp_compress(&data, ZfpMode::FixedAccuracy { tolerance: 1e-6 });
+        assert!(packed.len() < 600, "zero field took {} bytes", packed.len());
+        let out: Tensor<f32> = zfp_decompress(&packed).unwrap();
+        assert!(out.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn non_multiple_of_four_extents_roundtrip() {
+        let data = Tensor::from_fn([13, 9], |ix| (ix[0] * 9 + ix[1]) as f64 * 0.25);
+        let packed = zfp_compress(&data, ZfpMode::FixedAccuracy { tolerance: 1e-6 });
+        let out: Tensor<f64> = zfp_decompress(&packed).unwrap();
+        assert_eq!(out.dims(), data.dims());
+        for (&a, &b) in data.as_slice().iter().zip(out.as_slice()) {
+            assert!((a - b).abs() <= 1e-6);
+        }
+    }
+
+    #[test]
+    fn three_d_fields_roundtrip() {
+        let data = Tensor::from_fn([8, 12, 16], |ix| {
+            ((ix[0] + ix[1] + ix[2]) as f32 * 0.1).sin()
+        });
+        let packed = zfp_compress(&data, ZfpMode::FixedAccuracy { tolerance: 1e-4 });
+        let out: Tensor<f32> = zfp_decompress(&packed).unwrap();
+        for (&a, &b) in data.as_slice().iter().zip(out.as_slice()) {
+            assert!((a as f64 - b as f64).abs() <= 1e-4);
+        }
+    }
+
+    #[test]
+    fn f64_data_roundtrips() {
+        let data = Tensor::from_fn([20, 20], |ix| (ix[0] as f64 * 0.3).sin() * 1e6);
+        let packed = zfp_compress(&data, ZfpMode::FixedAccuracy { tolerance: 1e-3 });
+        let out: Tensor<f64> = zfp_decompress(&packed).unwrap();
+        for (&a, &b) in data.as_slice().iter().zip(out.as_slice()) {
+            assert!((a - b).abs() <= 1e-3);
+        }
+    }
+
+    #[test]
+    fn smoother_data_compresses_better_at_same_tolerance() {
+        let smooth = smooth_2d(64, 64);
+        let rough = Tensor::from_fn([64, 64], |ix| {
+            let h = (ix[0] as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add((ix[1] as u64).wrapping_mul(0xC2B2_AE3D));
+            ((h >> 40) % 1000) as f32 / 25.0
+        });
+        let tol = 1e-3;
+        let a = zfp_compress(&smooth, ZfpMode::FixedAccuracy { tolerance: tol });
+        let b = zfp_compress(&rough, ZfpMode::FixedAccuracy { tolerance: tol });
+        assert!(a.len() < b.len());
+    }
+
+    #[test]
+    fn wrong_type_detected() {
+        let data = Tensor::full([4, 4], 1.0f32);
+        let packed = zfp_compress(&data, ZfpMode::FixedRate { bits_per_value: 8.0 });
+        assert_eq!(zfp_decompress::<f64>(&packed).unwrap_err(), Error::WrongType);
+    }
+
+    #[test]
+    fn truncation_errors_cleanly() {
+        let data = smooth_2d(16, 16);
+        let packed = zfp_compress(&data, ZfpMode::FixedRate { bits_per_value: 8.0 });
+        for cut in [0, 5, 12, packed.len() / 2] {
+            assert!(zfp_decompress::<f32>(&packed[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn floor_log2_is_exact_at_powers() {
+        assert_eq!(floor_log2(1.0), 0);
+        assert_eq!(floor_log2(2.0), 1);
+        assert_eq!(floor_log2(0.5), -1);
+        assert_eq!(floor_log2(0.9999999), -1);
+        assert_eq!(floor_log2(1e-4), -14);
+        assert_eq!(floor_log2(3.0), 1);
+    }
+
+    #[test]
+    fn frexp_exponent_matches_frexp_semantics() {
+        assert_eq!(frexp_exponent(1.0), 1); // 0.5 * 2^1
+        assert_eq!(frexp_exponent(0.5), 0);
+        assert_eq!(frexp_exponent(6.9), 3); // < 8
+        assert_eq!(frexp_exponent(1e11), 37);
+    }
+}

@@ -1,0 +1,95 @@
+//! Six-way codec comparison on one data set — a miniature of the paper's
+//! Figure 6 evaluation, runnable in seconds.
+//!
+//! Run with: `cargo run --release --example codec_shootout [atm|aps|hurricane]`
+
+use std::time::Instant;
+use szr::baselines::{fpzip, gzip, isabela, sz11, zfp};
+use szr::datagen::{dataset, DatasetKind, Scale};
+use szr::metrics::{compression_factor, max_abs_error, value_range};
+use szr::{compress, decompress, Config, ErrorBound, Tensor};
+
+fn main() {
+    let kind = match std::env::args().nth(1).as_deref() {
+        Some("aps") => DatasetKind::Aps,
+        Some("hurricane") => DatasetKind::Hurricane,
+        _ => DatasetKind::Atm,
+    };
+    let field = dataset(kind, Scale::Small, 11).remove(0);
+    let data = field.data;
+    let raw = data.len() * 4;
+    let range = value_range(data.as_slice());
+    let eb_rel = 1e-4;
+    let eb = eb_rel * range;
+    println!(
+        "data set: {} / {} ({} values, range {:.3e}), eb_rel = {eb_rel:.0e}\n",
+        kind.name(),
+        field.name,
+        data.len(),
+        range
+    );
+    println!(
+        "{:<10} {:>8} {:>12} {:>12} {:>10}",
+        "codec", "CF", "max-err", "respects-eb", "time"
+    );
+
+    let report = |name: &str, bytes: usize, recon: Option<&Tensor<f32>>, secs: f64| {
+        let (err, ok) = match recon {
+            Some(r) => {
+                let e = max_abs_error(data.as_slice(), r.as_slice());
+                (format!("{e:.3e}"), if e <= eb { "yes" } else { "NO" })
+            }
+            None => ("lossless".into(), "n/a"),
+        };
+        println!(
+            "{:<10} {:>7.2}x {:>12} {:>12} {:>9.2}s",
+            name,
+            compression_factor(raw, bytes),
+            err,
+            ok,
+            secs
+        );
+    };
+
+    // SZ-1.4 (this work)
+    let t = Instant::now();
+    let packed = compress(&data, &Config::new(ErrorBound::Absolute(eb))).unwrap();
+    let out: Tensor<f32> = decompress(&packed).unwrap();
+    report("SZ-1.4", packed.len(), Some(&out), t.elapsed().as_secs_f64());
+
+    // ZFP fixed accuracy
+    let t = Instant::now();
+    let packed = zfp::zfp_compress(&data, zfp::ZfpMode::FixedAccuracy { tolerance: eb });
+    let out: Tensor<f32> = zfp::zfp_decompress(&packed).unwrap();
+    report("ZFP", packed.len(), Some(&out), t.elapsed().as_secs_f64());
+
+    // SZ-1.1
+    let t = Instant::now();
+    let packed = sz11::sz11_compress(&data, eb);
+    let out: Tensor<f32> = sz11::sz11_decompress(&packed).unwrap();
+    report("SZ-1.1", packed.len(), Some(&out), t.elapsed().as_secs_f64());
+
+    // ISABELA
+    let t = Instant::now();
+    match isabela::isabela_compress(&data, &isabela::IsabelaConfig::new(eb)) {
+        Ok(packed) => {
+            let out: Tensor<f32> = isabela::isabela_decompress(&packed).unwrap();
+            report("ISABELA", packed.len(), Some(&out), t.elapsed().as_secs_f64());
+        }
+        Err(e) => println!("{:<10} failed: {e}", "ISABELA"),
+    }
+
+    // FPZIP (lossless)
+    let t = Instant::now();
+    let packed = fpzip::fpzip_compress(&data);
+    let out: Tensor<f32> = fpzip::fpzip_decompress(&packed).unwrap();
+    assert_eq!(out.as_slice(), data.as_slice());
+    report("FPZIP", packed.len(), None, t.elapsed().as_secs_f64());
+
+    // GZIP (lossless, on raw bytes)
+    let t = Instant::now();
+    let bytes: Vec<u8> = data.as_slice().iter().flat_map(|v| v.to_le_bytes()).collect();
+    let packed = gzip::gzip_compress(&bytes);
+    assert_eq!(gzip::gzip_decompress(&packed).unwrap(), bytes);
+    report("GZIP", packed.len(), None, t.elapsed().as_secs_f64());
+}

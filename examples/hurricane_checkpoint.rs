@@ -1,0 +1,97 @@
+//! In-situ checkpointing of a 3-D simulation with parallel compression.
+//!
+//! §VI of the paper: each rank compresses its own slab, no communication,
+//! and compression+write beats writing raw once enough ranks share the file
+//! system. This example runs the real threaded pipeline on a 3-D hurricane
+//! field, then evaluates the cluster-scale I/O trade-off with the Figure 10
+//! model.
+//!
+//! Run with: `cargo run --release --example hurricane_checkpoint`
+
+use std::time::Instant;
+use szr::datagen::{hurricane, Scale};
+use szr::parallel::{compress_chunked, decompress_chunked, io_breakdown, IoModel};
+use szr::{Config, ErrorBound, Tensor};
+
+fn main() {
+    let (l, r, c) = Scale::Medium.hurricane_dims();
+    let field = hurricane(l, r, c, 7);
+    let raw_bytes = field.len() * 4;
+    println!(
+        "hurricane field: {}x{}x{} ({:.1} MB)",
+        l,
+        r,
+        c,
+        raw_bytes as f64 / 1e6
+    );
+
+    let config = Config::new(ErrorBound::Relative(1e-4));
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+
+    // Checkpoint: every "rank" (thread) compresses one slab.
+    let t0 = Instant::now();
+    let archive = compress_chunked(&field, &config, threads, threads).expect("valid config");
+    let compress_s = t0.elapsed().as_secs_f64();
+    let cf = raw_bytes as f64 / archive.compressed_bytes() as f64;
+    println!(
+        "{} ranks: compressed to {:.1} MB (CF {:.1}x) in {:.2}s ({:.1} MB/s aggregate)",
+        threads,
+        archive.compressed_bytes() as f64 / 1e6,
+        cf,
+        compress_s,
+        raw_bytes as f64 / 1e6 / compress_s
+    );
+
+    // Restart: decompress in parallel and verify the bound.
+    let t1 = Instant::now();
+    let restored: Tensor<f32> = decompress_chunked(&archive, threads).expect("fresh archive");
+    println!(
+        "restart decompression: {:.2}s ({:.1} MB/s aggregate)",
+        t1.elapsed().as_secs_f64(),
+        raw_bytes as f64 / 1e6 / t1.elapsed().as_secs_f64()
+    );
+    let eb = {
+        let (mut lo, mut hi) = (f32::INFINITY, f32::NEG_INFINITY);
+        for &v in field.as_slice() {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        1e-4 * (hi - lo) as f64
+    };
+    for (&a, &b) in field.as_slice().iter().zip(restored.as_slice()) {
+        assert!((a as f64 - b as f64).absle(eb), "bound violated");
+    }
+    println!("checkpoint bound verified on all {} points.", field.len());
+
+    // Would this checkpoint pay off on a Blues-class cluster?
+    let model = IoModel {
+        fs_aggregate_bw: 2.2e9,
+        fs_per_process_bw: 0.2e9,
+        compress_rate: raw_bytes as f64 / compress_s / threads as f64,
+        decompress_rate: raw_bytes as f64 / t1.elapsed().as_secs_f64() / threads as f64,
+        compression_factor: cf,
+    };
+    println!("\ncluster I/O model (write path), 100 GB checkpoint:");
+    println!("{:>6} {:>12} {:>14} {:>12} {:>6}", "ranks", "compress(s)", "write-comp(s)", "write-raw(s)", "pays?");
+    for b in io_breakdown(&model, 100 << 30, &[1, 8, 32, 128, 1024], true) {
+        println!(
+            "{:>6} {:>12.1} {:>14.1} {:>12.1} {:>6}",
+            b.processes,
+            b.codec_seconds,
+            b.compressed_io_seconds,
+            b.initial_io_seconds,
+            if b.compression_pays() { "yes" } else { "no" }
+        );
+    }
+}
+
+/// `f64::abs() <= bound` helper so the assert reads naturally.
+trait AbsLe {
+    fn absle(self, bound: f64) -> bool;
+}
+
+impl AbsLe for f64 {
+    fn absle(self, bound: f64) -> bool {
+        self.abs() <= bound
+    }
+}

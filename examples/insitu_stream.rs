@@ -1,0 +1,87 @@
+//! In-situ streaming: compress a time-evolving simulation as it runs,
+//! in bounded memory, into a multi-snapshot archive.
+//!
+//! Each "time step" the simulation produces one 3-D field; the rank
+//! streams it level-by-level through a `StreamCompressor` (never holding
+//! more than one band) and files the result in a `Snapshot` container —
+//! the workflow §VI's in-situ scenario describes.
+//!
+//! Run with: `cargo run --release --example insitu_stream`
+
+use szr::container::Snapshot;
+use szr::datagen::hurricane_at;
+use szr::{Config, ErrorBound, StreamCompressor, StreamDecompressor, Tensor};
+
+fn main() {
+    let (levels, rows, cols) = (20usize, 100, 100);
+    let steps = 5usize;
+    let config = Config::new(ErrorBound::Relative(1e-4));
+    let mut snapshot = Snapshot::new();
+    let mut total_raw = 0usize;
+    let mut total_streamed = 0usize;
+
+    for step in 0..steps {
+        // The "simulation" advances…
+        let field = hurricane_at(levels, rows, cols, 99, step as f32);
+        total_raw += field.len() * 4;
+
+        // …and the rank streams it out level by level: memory held by the
+        // compressor is one band (4 levels), not the whole field.
+        let mut stream =
+            StreamCompressor::<f32>::new(&[rows, cols], 4, config).expect("valid config");
+        for level in field.as_slice().chunks(rows * cols) {
+            stream.push(level).expect("whole rows");
+        }
+        let bytes = stream.finish().expect("non-empty stream");
+        total_streamed += bytes.len();
+
+        // Verify the restart path before trusting the checkpoint.
+        let restored: Tensor<f32> = StreamDecompressor::new(&bytes)
+            .expect("fresh stream")
+            .collect_all()
+            .expect("fresh stream");
+        let (mut lo, mut hi) = (f32::INFINITY, f32::NEG_INFINITY);
+        for &v in field.as_slice() {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        let eb = 1e-4 * (hi - lo) as f64;
+        for (&a, &b) in field.as_slice().iter().zip(restored.as_slice()) {
+            assert!((a as f64 - b as f64).abs() <= eb);
+        }
+
+        // Also file the step as a named variable in the snapshot container
+        // (monolithic archive; a post-analysis tool can fetch one step).
+        snapshot
+            .add(&format!("Uf{step:02}"), &field, &config)
+            .expect("valid config");
+        println!(
+            "step {step}: streamed {} KB (verified within eb {eb:.3e})",
+            bytes.len() / 1024
+        );
+    }
+
+    let container_bytes = snapshot.to_bytes();
+    println!(
+        "\n{} steps: {:.1} MB raw -> {:.1} MB streamed ({:.1}x)",
+        steps,
+        total_raw as f64 / 1e6,
+        total_streamed as f64 / 1e6,
+        total_raw as f64 / total_streamed as f64
+    );
+    println!(
+        "snapshot container: {:.1} MB holding {:?}",
+        container_bytes.len() as f64 / 1e6,
+        snapshot.names().collect::<Vec<_>>()
+    );
+
+    // Post-analysis: pull a single step back out of the container.
+    let reread = Snapshot::from_bytes(&container_bytes).expect("fresh container");
+    let step3: Tensor<f32> = reread.get("Uf03").expect("present");
+    let info = reread.info("Uf03").expect("present");
+    println!(
+        "fetched Uf03 alone: {} values, stored at CF {:.1}x",
+        step3.len(),
+        info.compression_factor()
+    );
+}

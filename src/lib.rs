@@ -1,0 +1,114 @@
+//! # szr — error-bounded lossy compression for scientific data
+//!
+//! A complete Rust reproduction of **SZ-1.4** (Tao, Di, Chen & Cappello,
+//! *"Significantly Improving Lossy Compression for Scientific Data Sets
+//! Based on Multidimensional Prediction and Error-Controlled Quantization"*,
+//! IPDPS 2017), together with every baseline compressor the paper evaluates
+//! against, synthetic stand-ins for its data sets, the full metrics suite,
+//! and an experiment harness that regenerates each table and figure.
+//!
+//! This crate is a facade: it re-exports the workspace's public APIs under
+//! one roof. Depend on the individual `szr-*` crates instead if you only
+//! need one piece.
+//!
+//! ## Compressing a field
+//!
+//! ```
+//! use szr::{compress, decompress, Config, ErrorBound, Tensor};
+//!
+//! // A 2-D field with a value-range-based relative error bound of 1e-4.
+//! let data = Tensor::from_fn([180, 360], |ix| {
+//!     ((ix[0] as f32) * 0.05).sin() * 30.0 + (ix[1] as f32) * 0.01
+//! });
+//! let archive = compress(&data, &Config::new(ErrorBound::Relative(1e-4))).unwrap();
+//! let restored: Tensor<f32> = decompress(&archive).unwrap();
+//!
+//! let stats = szr::metrics::ErrorStats::compute(data.as_slice(), restored.as_slice());
+//! assert!(stats.max_rel <= 1e-4);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | root re-exports | `szr-core` | the SZ-1.4 compressor |
+//! | [`tensor`] | `szr-tensor` | N-d arrays, shapes, blocks |
+//! | [`metrics`] | `szr-metrics` | RMSE/NRMSE/PSNR, Pearson, autocorrelation, CF/bit-rate |
+//! | [`datagen`] | `szr-datagen` | ATM / APS / hurricane synthetic data sets |
+//! | [`baselines`] | `szr-{zfp,sz11,isabela,fpzip,deflate}` | the paper's six-way comparison |
+//! | [`parallel`] | `szr-parallel` | chunked threading, scaling + I/O models |
+
+pub use szr_core::{
+    choose_interval_bits, compress, compress_pointwise_rel, compress_slice_with_stats,
+    compress_with_stats, decompress, decompress_pointwise_rel, hit_rate_by_layer, inspect,
+    layer_coefficients, predict_at, quantization_histogram, ArchiveInfo, CompressionStats,
+    Config, ErrorBound, IntervalMode, PredictionBasis, Quantizer, Result, ScalarFloat, Stencil,
+    StencilSet, StreamCompressor, StreamDecompressor, SzError, UnpredictableCodec,
+};
+pub use szr_container::Snapshot;
+pub use szr_tensor::{Shape, Tensor};
+
+/// N-dimensional array substrate (`szr-tensor`).
+pub mod tensor {
+    pub use szr_tensor::*;
+}
+
+/// Bit- and byte-level IO substrate (`szr-bitstream`).
+pub mod bitstream {
+    pub use szr_bitstream::*;
+}
+
+/// Arbitrary-alphabet canonical Huffman coding (`szr-huffman`).
+pub mod huffman {
+    pub use szr_huffman::*;
+}
+
+/// Compression-quality metrics from §II of the paper (`szr-metrics`).
+pub mod metrics {
+    pub use szr_metrics::*;
+}
+
+/// Synthetic scientific data sets (`szr-datagen`).
+pub mod datagen {
+    pub use szr_datagen::*;
+}
+
+/// The five baseline compressors the paper compares against.
+pub mod baselines {
+    /// GZIP: DEFLATE/gzip, from scratch (`szr-deflate`).
+    pub mod gzip {
+        pub use szr_deflate::*;
+    }
+    /// ZFP 0.5-style transform codec (`szr-zfp`).
+    pub mod zfp {
+        pub use szr_zfp::*;
+    }
+    /// FPZIP-style lossless predictive coder (`szr-fpzip`).
+    pub mod fpzip {
+        pub use szr_fpzip::*;
+    }
+    /// ISABELA-style sort+spline compressor (`szr-isabela`).
+    pub mod isabela {
+        pub use szr_isabela::*;
+    }
+    /// SZ-1.1 bestfit curve fitting (`szr-sz11`).
+    pub mod sz11 {
+        pub use szr_sz11::*;
+    }
+    /// NUMARCK-style vector quantization (`szr-vq`) — the §IV-A contrast
+    /// case: good average error, unbounded pointwise error.
+    pub mod vq {
+        pub use szr_vq::*;
+    }
+}
+
+/// Parallel compression: chunking, strong scaling, I/O modelling
+/// (`szr-parallel`).
+pub mod parallel {
+    pub use szr_parallel::*;
+}
+
+/// Multi-variable snapshot container (`szr-container`).
+pub mod container {
+    pub use szr_container::*;
+}

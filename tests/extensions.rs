@@ -1,0 +1,131 @@
+//! Integration tests for the beyond-the-paper extensions: pointwise
+//! relative bounds, error decorrelation, streaming, containers, and the
+//! vector-quantization contrast.
+
+use szr::baselines::vq;
+use szr::container::Snapshot;
+use szr::datagen::{atm, dataset, hurricane_at, AtmVariable, DatasetKind, Scale};
+use szr::metrics::{autocorrelation, max_abs_error, value_range};
+use szr::{
+    compress, compress_pointwise_rel, decompress, decompress_pointwise_rel, Config, ErrorBound,
+    StreamCompressor, StreamDecompressor, Tensor,
+};
+
+#[test]
+fn pointwise_relative_mode_handles_the_huge_range_variable() {
+    // CDNUMC spans ~14 decades: range-relative bounds trivialize small
+    // values and absolute bounds are impossible; pointwise-relative is the
+    // right tool, and must hold per point.
+    let data = atm(AtmVariable::Cdnumc, 90, 180, 3);
+    let eb = 1e-3;
+    let cfg = Config::new(ErrorBound::Absolute(1.0));
+    let packed = compress_pointwise_rel(&data, eb, &cfg).unwrap();
+    let out: Tensor<f32> = decompress_pointwise_rel(&packed).unwrap();
+    for (i, (&a, &b)) in data.as_slice().iter().zip(out.as_slice()).enumerate() {
+        let (x, y) = (a as f64, b as f64);
+        assert!(
+            (x - y).abs() <= eb * x.abs() * (1.0 + 1e-9),
+            "point {i}: {x} vs {y}"
+        );
+    }
+    // And it should compress decently despite the range.
+    assert!(packed.len() < data.len() * 4 / 2);
+}
+
+#[test]
+fn decorrelation_whitens_high_cf_fields_within_the_bound() {
+    let data = atm(AtmVariable::Snowhlnd, 180, 360, 3);
+    let eb = 1e-4 * value_range(data.as_slice());
+    let plain = Config::new(ErrorBound::Absolute(eb));
+    let white = plain.with_decorrelation();
+    let max_acf = |config: &Config| -> f64 {
+        let packed = compress(&data, config).unwrap();
+        let out: Tensor<f32> = decompress(&packed).unwrap();
+        assert!(max_abs_error(data.as_slice(), out.as_slice()) <= eb);
+        let errors: Vec<f64> = data
+            .as_slice()
+            .iter()
+            .zip(out.as_slice())
+            .map(|(&a, &b)| a as f64 - b as f64)
+            .collect();
+        autocorrelation(&errors, 100)
+            .iter()
+            .fold(0.0f64, |m, &v| m.max(v.abs()))
+    };
+    let acf_plain = max_acf(&plain);
+    let acf_white = max_acf(&white);
+    assert!(
+        acf_white < acf_plain / 3.0,
+        "decorrelation should whiten: {acf_plain} -> {acf_white}"
+    );
+    assert!(acf_white < 0.05, "dithered ACF should be near zero: {acf_white}");
+}
+
+#[test]
+fn streamed_bands_decompress_with_the_plain_decoder() {
+    // Stream bands are complete szr archives: the chunked/streaming formats
+    // interoperate with the core decoder by construction.
+    let field = dataset(DatasetKind::Aps, Scale::Small, 4).remove(0).data;
+    let cols = field.dims()[1];
+    let config = Config::new(ErrorBound::Relative(1e-3));
+    let mut stream = StreamCompressor::<f32>::new(&[cols], 32, config).unwrap();
+    stream.push(field.as_slice()).unwrap();
+    let bytes = stream.finish().unwrap();
+    let mut reader = StreamDecompressor::<f32>::new(&bytes).unwrap();
+    let mut rows = 0usize;
+    while let Some(band) = reader.next_band() {
+        rows += band.unwrap().dims()[0];
+    }
+    assert_eq!(rows, field.dims()[0]);
+}
+
+#[test]
+fn snapshot_of_time_series_fetches_single_steps() {
+    let config = Config::new(ErrorBound::Relative(1e-3));
+    let mut snap = Snapshot::new();
+    for t in 0..4 {
+        let field = hurricane_at(5, 40, 40, 11, t as f32);
+        snap.add(&format!("step{t}"), &field, &config).unwrap();
+    }
+    let bytes = snap.to_bytes();
+    let back = Snapshot::from_bytes(&bytes).unwrap();
+    assert_eq!(back.len(), 4);
+    // Each step individually fetchable and bounded.
+    for t in 0..4 {
+        let orig = hurricane_at(5, 40, 40, 11, t as f32);
+        let eb = 1e-3 * value_range(orig.as_slice());
+        let got: Tensor<f32> = back.get(&format!("step{t}")).unwrap();
+        assert!(max_abs_error(orig.as_slice(), got.as_slice()) <= eb);
+    }
+}
+
+#[test]
+fn vector_quantization_beats_rmse_but_not_the_bound() {
+    // The §IV-A comparison as an end-to-end integration check.
+    let prev = hurricane_at(8, 60, 60, 5, 0.0);
+    let next = hurricane_at(8, 60, 60, 5, 1.0);
+    let eb = 1e-4 * value_range(next.as_slice());
+
+    let sz = compress(&next, &Config::new(ErrorBound::Absolute(eb))).unwrap();
+    let sz_out: Tensor<f32> = decompress(&sz).unwrap();
+    assert!(max_abs_error(next.as_slice(), sz_out.as_slice()) <= eb);
+
+    let packed = vq::vq_compress(&prev, &next, 8);
+    let vq_out = vq::vq_decompress(&packed, &prev).unwrap();
+    let vq_max = max_abs_error(next.as_slice(), vq_out.as_slice());
+    assert!(
+        vq_max > eb,
+        "VQ should not meet the pointwise bound: {vq_max} vs {eb}"
+    );
+}
+
+#[test]
+fn extensions_do_not_change_the_default_format() {
+    // A plain archive written before the extension flags existed in spirit:
+    // default config must produce decorrelate=false headers readable as v1.
+    let data = atm(AtmVariable::Ts, 40, 80, 1);
+    let packed = compress(&data, &Config::new(ErrorBound::Relative(1e-3))).unwrap();
+    let info = szr::inspect(&packed).unwrap();
+    assert!(!info.decorrelated);
+    assert_eq!(info.dims, vec![40, 80]);
+}

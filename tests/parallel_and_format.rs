@@ -1,0 +1,108 @@
+//! Parallel-equivalence and archive-format robustness integration tests.
+
+use szr::datagen::{dataset, hurricane, DatasetKind, Scale};
+use szr::metrics::{max_abs_error, value_range};
+use szr::parallel::{compress_chunked, decompress_chunked};
+use szr::{compress, decompress, Config, ErrorBound, Tensor};
+
+#[test]
+fn chunked_compression_respects_the_same_bound_as_serial() {
+    let data = hurricane(10, 60, 60, 4);
+    let eb = 1e-4 * value_range(data.as_slice());
+    let config = Config::new(ErrorBound::Absolute(eb));
+
+    let serial = compress(&data, &config).unwrap();
+    let serial_out: Tensor<f32> = decompress(&serial).unwrap();
+    assert!(max_abs_error(data.as_slice(), serial_out.as_slice()) <= eb);
+
+    for chunks in [2usize, 4, 8] {
+        let archive = compress_chunked(&data, &config, chunks, 2).unwrap();
+        let out: Tensor<f32> = decompress_chunked(&archive, 2).unwrap();
+        assert!(
+            max_abs_error(data.as_slice(), out.as_slice()) <= eb,
+            "{chunks} chunks violate bound"
+        );
+    }
+}
+
+#[test]
+fn chunked_archives_are_thread_count_invariant() {
+    let field = dataset(DatasetKind::Aps, Scale::Small, 8).remove(0);
+    let config = Config::new(ErrorBound::Relative(1e-4));
+    let a = compress_chunked(&field.data, &config, 6, 1).unwrap();
+    let b = compress_chunked(&field.data, &config, 6, 2).unwrap();
+    assert_eq!(a.chunks, b.chunks, "archives must not depend on scheduling");
+    let ra: Tensor<f32> = decompress_chunked(&a, 1).unwrap();
+    let rb: Tensor<f32> = decompress_chunked(&b, 2).unwrap();
+    assert_eq!(ra.as_slice(), rb.as_slice());
+}
+
+#[test]
+fn random_garbage_never_panics_any_decoder() {
+    // Feed deterministic pseudo-random bytes to every decoder; corrupt input
+    // must produce Err, never a panic or wild allocation.
+    let mut garbage = Vec::with_capacity(4096);
+    let mut h = 0x2545_F491_4F6C_DD1Du64;
+    for _ in 0..4096 {
+        h ^= h << 13;
+        h ^= h >> 7;
+        h ^= h << 17;
+        garbage.push((h >> 32) as u8);
+    }
+    for cut in [0usize, 1, 7, 64, 1024, 4096] {
+        let slice = &garbage[..cut];
+        assert!(decompress::<f32>(slice).is_err());
+        assert!(decompress::<f64>(slice).is_err());
+        assert!(szr::baselines::zfp::zfp_decompress::<f32>(slice).is_err());
+        assert!(szr::baselines::fpzip::fpzip_decompress::<f32>(slice).is_err());
+        assert!(szr::baselines::sz11::sz11_decompress::<f32>(slice).is_err());
+        assert!(szr::baselines::isabela::isabela_decompress::<f32>(slice).is_err());
+        assert!(szr::baselines::gzip::gzip_decompress(slice).is_err());
+    }
+}
+
+#[test]
+fn valid_magic_with_corrupt_body_never_panics() {
+    let data = Tensor::from_fn([32, 32], |ix| (ix[0] + ix[1]) as f32);
+    let packed = compress(&data, &Config::new(ErrorBound::Absolute(0.01))).unwrap();
+    // Flip every byte position one at a time (first 256 positions).
+    for pos in 0..packed.len().min(256) {
+        let mut copy = packed.clone();
+        copy[pos] = copy[pos].wrapping_add(0x5B);
+        let _ = decompress::<f32>(&copy); // Err or Ok both fine; no panic.
+    }
+}
+
+#[test]
+fn system_gzip_interoperates_when_available() {
+    // Cross-validation against the reference implementation; skipped when
+    // the host has no gzip binary.
+    use std::process::Command;
+    if Command::new("gzip").arg("--version").output().is_err() {
+        eprintln!("skipping: no system gzip");
+        return;
+    }
+    let data: Vec<u8> = (0..40_000u32)
+        .flat_map(|i| ((i as f32 * 0.001).sin()).to_le_bytes())
+        .collect();
+    let dir = std::env::temp_dir().join("szr_gzip_interop");
+    std::fs::create_dir_all(&dir).unwrap();
+    // Ours -> system gunzip.
+    let ours = dir.join("ours.gz");
+    std::fs::write(&ours, szr::baselines::gzip::gzip_compress(&data)).unwrap();
+    let out = Command::new("gzip")
+        .args(["-dc", ours.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "system gunzip rejected our stream");
+    assert_eq!(out.stdout, data);
+    // System gzip -> our decoder.
+    let raw = dir.join("raw.bin");
+    std::fs::write(&raw, &data).unwrap();
+    let sys = Command::new("gzip")
+        .args(["-c", raw.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(sys.status.success());
+    assert_eq!(szr::baselines::gzip::gzip_decompress(&sys.stdout).unwrap(), data);
+}
