@@ -33,9 +33,11 @@ fn bench_deflate(c: &mut Criterion) {
             b.iter(|| deflate_compress(data))
         });
         let packed = deflate_compress(data);
-        group.bench_with_input(BenchmarkId::new("decompress", name), &packed, |b, packed| {
-            b.iter(|| deflate_decompress(packed).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("decompress", name),
+            &packed,
+            |b, packed| b.iter(|| deflate_decompress(packed).unwrap()),
+        );
     }
     group.finish();
 }

@@ -27,17 +27,13 @@ fn bench_huffman(c: &mut Criterion) {
     for (alphabet, spread) in [(256u32, 1.5f64), (256, 8.0), (65_536, 1.5), (65_536, 64.0)] {
         let codes = synthetic_codes(n, alphabet, spread);
         let label = format!("a{alphabet}_s{spread}");
-        group.bench_with_input(
-            BenchmarkId::new("encode", &label),
-            &codes,
-            |b, codes| b.iter(|| compress_u32(codes, alphabet as usize)),
-        );
+        group.bench_with_input(BenchmarkId::new("encode", &label), &codes, |b, codes| {
+            b.iter(|| compress_u32(codes, alphabet as usize))
+        });
         let packed = compress_u32(&codes, alphabet as usize);
-        group.bench_with_input(
-            BenchmarkId::new("decode", &label),
-            &packed,
-            |b, packed| b.iter(|| decompress_u32(packed).unwrap()),
-        );
+        group.bench_with_input(BenchmarkId::new("decode", &label), &packed, |b, packed| {
+            b.iter(|| decompress_u32(packed).unwrap())
+        });
     }
     group.finish();
 }

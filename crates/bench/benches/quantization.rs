@@ -30,9 +30,13 @@ fn bench_adaptive_selection(c: &mut Criterion) {
     let eb = 1e-4 * value_range(data.as_slice());
     group.throughput(Throughput::Elements(data.len() as u64));
     for stride in [1usize, 5, 25] {
-        group.bench_with_input(BenchmarkId::from_parameter(stride), &stride, |b, &stride| {
-            b.iter(|| choose_interval_bits(data.as_slice(), &shape, 1, eb, 0.99, stride, 16))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(stride),
+            &stride,
+            |b, &stride| {
+                b.iter(|| choose_interval_bits(data.as_slice(), &shape, 1, eb, 0.99, stride, 16))
+            },
+        );
     }
     group.finish();
 }

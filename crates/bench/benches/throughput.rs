@@ -55,15 +55,13 @@ fn bench_parallel(c: &mut Criterion) {
     let data: Tensor<f32> = szr_datagen::hurricane(10, 100, 100, 3);
     group.throughput(Throughput::Bytes((data.len() * 4) as u64));
     let config = Config::new(ErrorBound::Relative(1e-4));
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     for threads in [1usize, cores] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(threads),
-            &threads,
-            |b, &t| {
-                b.iter(|| szr_parallel::compress_chunked(&data, &config, t, t).unwrap())
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| szr_parallel::compress_chunked(&data, &config, t, t).unwrap())
+        });
     }
     group.finish();
 }

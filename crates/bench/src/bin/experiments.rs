@@ -7,9 +7,9 @@
 //! IDs: table2 fig3 fig4 fig6 table5 fig7 fig8 table4 table6 fig9 table7
 //! table8 fig10 ablate vq-bound all
 
+use std::time::Instant;
 use szr_bench::{Context, Table};
 use szr_datagen::Scale;
-use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
@@ -71,8 +71,8 @@ fn main() {
 
     let ids: Vec<&str> = if id == "all" {
         vec![
-            "table2", "fig3", "fig4", "fig6", "table5", "fig7", "fig8", "table4", "table6",
-            "fig9", "scaling", "fig10", "ablate", "vq-bound",
+            "table2", "fig3", "fig4", "fig6", "table5", "fig7", "fig8", "table4", "table6", "fig9",
+            "scaling", "fig10", "ablate", "vq-bound",
         ]
     } else {
         vec![id.as_str()]

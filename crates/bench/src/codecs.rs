@@ -1,10 +1,10 @@
 //! Uniform adapters over the six compressors for the comparison
 //! experiments.
 
+use std::time::Instant;
 use szr_core::{Config, ErrorBound};
 use szr_metrics::value_range;
 use szr_tensor::Tensor;
-use std::time::Instant;
 
 /// The compressors of the paper's six-way comparison.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -164,7 +164,11 @@ pub fn run_codec(codec: Codec, data: &Tensor<f32>, eb: f64) -> RunResult {
             }
         }
         Codec::Gzip => {
-            let bytes: Vec<u8> = data.as_slice().iter().flat_map(|v| v.to_le_bytes()).collect();
+            let bytes: Vec<u8> = data
+                .as_slice()
+                .iter()
+                .flat_map(|v| v.to_le_bytes())
+                .collect();
             let t0 = Instant::now();
             let packed = szr_deflate::gzip_compress(&bytes);
             let ct = t0.elapsed().as_secs_f64();

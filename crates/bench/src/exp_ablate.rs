@@ -23,8 +23,8 @@ pub fn run(ctx: &Context) -> Vec<Table> {
         "Variable-length encoding ablation (ATM TS, eb_rel = 1e-3)",
         &["configuration", "bits/value for codes", "total CF"],
     );
-    let (bytes, stats) = compress_with_stats(&data, &Config::new(ErrorBound::Absolute(eb)))
-        .expect("valid config");
+    let (bytes, stats) =
+        compress_with_stats(&data, &Config::new(ErrorBound::Absolute(eb))).expect("valid config");
     let huff_bits_per_value = stats.huffman_bytes as f64 * 8.0 / data.len() as f64;
     let raw_bits_per_value = stats.interval_bits as f64;
     // Without VLE the code section would be m bits/value flat.

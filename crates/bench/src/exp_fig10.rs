@@ -2,10 +2,10 @@
 //! initial data, across process counts.
 
 use crate::harness::{fmt_pct, Context, Table};
+use std::time::Instant;
 use szr_core::{compress_with_stats, Config, ErrorBound};
 use szr_datagen::{atm, AtmVariable};
 use szr_parallel::{io_breakdown, IoModel};
-use std::time::Instant;
 
 /// Measures the host's single-thread compression rate + CF on ATM data,
 /// then evaluates the Blues-class shared-file-system model at the paper's
@@ -36,8 +36,16 @@ pub fn run(ctx: &Context) -> Vec<Table> {
 
     let mut tables = Vec::new();
     for (id, title, write) in [
-        ("fig10a", "Write path: compression + compressed write vs initial write", true),
-        ("fig10b", "Read path: decompression + compressed read vs initial read", false),
+        (
+            "fig10a",
+            "Write path: compression + compressed write vs initial write",
+            true,
+        ),
+        (
+            "fig10b",
+            "Read path: decompression + compressed read vs initial read",
+            false,
+        ),
     ] {
         let mut t = Table::new(
             id,

@@ -22,7 +22,9 @@ pub fn run(ctx: &Context) -> Vec<Table> {
                 kind.name(),
                 fields.len()
             ),
-            &["eb_rel", "SZ-1.4", "ZFP-0.5", "SZ-1.1", "ISABELA", "FPZIP", "GZIP"],
+            &[
+                "eb_rel", "SZ-1.4", "ZFP-0.5", "SZ-1.1", "ISABELA", "FPZIP", "GZIP",
+            ],
         );
         for eb_rel in [1e-3f64, 1e-4, 1e-5, 1e-6] {
             let mut row = vec![format!("{eb_rel:.0e}")];

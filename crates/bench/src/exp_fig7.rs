@@ -15,7 +15,12 @@ pub fn run(ctx: &Context) -> Vec<Table> {
         let mut t = Table::new(
             format!("fig7-{}", kind.name().to_lowercase()),
             format!("CF at matched max error ({} data)", kind.name()),
-            &["matched max error", "SZ-1.4 CF", "ZFP CF", "SZ-1.4 advantage"],
+            &[
+                "matched max error",
+                "SZ-1.4 CF",
+                "ZFP CF",
+                "SZ-1.4 advantage",
+            ],
         );
         for eb_rel in [1e-2f64, 1e-3, 1e-4, 1e-5, 1e-6] {
             // ZFP at the user bound; its realized max error becomes the

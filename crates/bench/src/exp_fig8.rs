@@ -43,9 +43,12 @@ pub fn run(ctx: &Context) -> Vec<Table> {
         }
         // ZFP: fixed-rate sweep.
         for rate in [1.0f64, 2.0, 4.0, 6.0, 8.0, 12.0, 16.0] {
-            let packed = szr_zfp::zfp_compress(data, szr_zfp::ZfpMode::FixedRate {
-                bits_per_value: rate,
-            });
+            let packed = szr_zfp::zfp_compress(
+                data,
+                szr_zfp::ZfpMode::FixedRate {
+                    bits_per_value: rate,
+                },
+            );
             let out: szr_tensor::Tensor<f32> =
                 szr_zfp::zfp_decompress(&packed).expect("fresh archive");
             let actual_rate = packed.len() as f64 * 8.0 / n as f64;

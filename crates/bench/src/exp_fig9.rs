@@ -18,7 +18,14 @@ pub fn run(ctx: &Context) -> Vec<Table> {
     let mut t = Table::new(
         "fig9",
         "Error autocorrelation (first 100 lags), eb_rel = 1e-4",
-        &["variable", "codec", "max |ACF|", "ACF lag 1", "ACF lag 2", "ACF lag 10"],
+        &[
+            "variable",
+            "codec",
+            "max |ACF|",
+            "ACF lag 1",
+            "ACF lag 2",
+            "ACF lag 10",
+        ],
     );
     for var in [AtmVariable::Freqsh, AtmVariable::Snowhlnd] {
         let data = atm(var, rows, cols, ctx.seed);
@@ -46,11 +53,9 @@ pub fn run(ctx: &Context) -> Vec<Table> {
             push_acf(codec.name().to_string(), r.reconstruction.as_ref().unwrap());
         }
         // The §VIII future-work fix: SZ-1.4 with error decorrelation.
-        let config = szr_core::Config::new(szr_core::ErrorBound::Absolute(eb))
-            .with_decorrelation();
+        let config = szr_core::Config::new(szr_core::ErrorBound::Absolute(eb)).with_decorrelation();
         let packed = szr_core::compress(&data, &config).expect("valid config");
-        let out: szr_tensor::Tensor<f32> =
-            szr_core::decompress(&packed).expect("fresh archive");
+        let out: szr_tensor::Tensor<f32> = szr_core::decompress(&packed).expect("fresh archive");
         push_acf("SZ-1.4+decorr".to_string(), &out);
     }
     vec![t]

@@ -17,19 +17,36 @@ pub fn run(ctx: &Context) -> Vec<Table> {
     let (rows, cols) = ctx.scale.atm_dims();
     let data = atm(AtmVariable::Ts, rows, cols, ctx.seed);
     let config = Config::new(ErrorBound::Relative(1e-4));
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let host_counts: Vec<usize> = (0..=cores.ilog2()).map(|p| 1usize << p).collect();
 
     let mut tables = Vec::new();
     for (id, title, direction) in [
-        ("table7", "Strong scaling of parallel compression", Direction::Compression),
-        ("table8", "Strong scaling of parallel decompression", Direction::Decompression),
+        (
+            "table7",
+            "Strong scaling of parallel compression",
+            Direction::Compression,
+        ),
+        (
+            "table8",
+            "Strong scaling of parallel decompression",
+            Direction::Decompression,
+        ),
     ] {
         let measured = measure_scaling(&data, &config, direction, &host_counts, 3);
         let mut t = Table::new(
             id,
             format!("{title} (measured ≤ {cores} host threads, Blues model beyond)"),
-            &["processes", "nodes", "speed (GB/s)", "speedup", "parallel efficiency", "source"],
+            &[
+                "processes",
+                "nodes",
+                "speed (GB/s)",
+                "speedup",
+                "parallel efficiency",
+                "source",
+            ],
         );
         for p in &measured {
             t.push(vec![

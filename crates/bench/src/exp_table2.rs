@@ -27,11 +27,7 @@ pub fn run(ctx: &Context) -> Vec<Table> {
         for layers in 1..=4usize {
             let orig = hit_rate_by_layer(&data, layers, eb, PredictionBasis::Original);
             let dec = hit_rate_by_layer(&data, layers, eb, PredictionBasis::Decompressed);
-            t.push(vec![
-                format!("{layers}-layer"),
-                fmt_pct(orig),
-                fmt_pct(dec),
-            ]);
+            t.push(vec![format!("{layers}-layer"), fmt_pct(orig), fmt_pct(dec)]);
         }
         tables.push(t);
     }

@@ -12,7 +12,14 @@ pub fn run(ctx: &Context) -> Vec<Table> {
     let mut t = Table::new(
         "table4",
         "Pearson correlation at matched maximum error",
-        &["data set", "matched max e_rel", "SZ-1.4", "ZFP-0.5", "SZ-1.1", "five nines?"],
+        &[
+            "data set",
+            "matched max e_rel",
+            "SZ-1.4",
+            "ZFP-0.5",
+            "SZ-1.1",
+            "five nines?",
+        ],
     );
     for kind in [DatasetKind::Atm, DatasetKind::Hurricane] {
         let field = dataset(kind, ctx.scale, ctx.seed).remove(0);

@@ -15,7 +15,13 @@ pub fn run(ctx: &Context) -> Vec<Table> {
     let mut t = Table::new(
         "table5",
         "Maximum compression error (normalized to range) vs user bound",
-        &["data set", "user eb_rel", "SZ-1.4 max e_rel", "ZFP max e_rel", "ZFP headroom"],
+        &[
+            "data set",
+            "user eb_rel",
+            "SZ-1.4 max e_rel",
+            "ZFP max e_rel",
+            "ZFP headroom",
+        ],
     );
     for kind in [DatasetKind::Atm, DatasetKind::Hurricane] {
         // The paper reports per-data-set maxima; use the first variable

@@ -41,7 +41,13 @@ pub fn run(ctx: &Context) -> Vec<Table> {
     let mut t = Table::new(
         "vq-bound",
         "Error control: AEQVE (SZ-1.4) vs NUMARCK-style vector quantization",
-        &["codec", "bytes", "RMSE", "max abs err", "max err / requested eb"],
+        &[
+            "codec",
+            "bytes",
+            "RMSE",
+            "max abs err",
+            "max err / requested eb",
+        ],
     );
     let eb = 1e-4 * range;
     // SZ-1.4 at the bound.
@@ -52,7 +58,10 @@ pub fn run(ctx: &Context) -> Vec<Table> {
         sz.len().to_string(),
         format!("{:.3e}", rmse(next.as_slice(), sz_out.as_slice())),
         format!("{:.3e}", max_abs_error(next.as_slice(), sz_out.as_slice())),
-        format!("{:.2}", max_abs_error(next.as_slice(), sz_out.as_slice()) / eb),
+        format!(
+            "{:.2}",
+            max_abs_error(next.as_slice(), sz_out.as_slice()) / eb
+        ),
     ]);
     // Vector quantization at increasing codebook sizes: average error
     // drops, max error stays orders of magnitude above the bound.

@@ -6,7 +6,11 @@ use proptest::prelude::*;
 /// A bit field: a value and the number of bits used to store it.
 fn arb_field() -> impl Strategy<Value = (u64, u32)> {
     (1u32..=64).prop_flat_map(|width| {
-        let max = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        let max = if width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        };
         (0..=max, Just(width))
     })
 }

@@ -92,7 +92,14 @@ mod tests {
     #[test]
     fn parses_flags_and_switches() {
         let a = Args::parse(
-            &strs(&["compress", "--input", "x.bin", "--rel", "1e-4", "--decorrelate"]),
+            &strs(&[
+                "compress",
+                "--input",
+                "x.bin",
+                "--rel",
+                "1e-4",
+                "--decorrelate",
+            ]),
             &["decorrelate"],
         )
         .unwrap();

@@ -1,10 +1,10 @@
 //! Subcommand implementations for the `szr` binary.
 
 use crate::args::{parse_dims, Args};
+use std::time::Instant;
 use szr_core::{Config, ErrorBound, ScalarFloat};
 use szr_metrics::ErrorStats;
 use szr_tensor::Tensor;
-use std::time::Instant;
 
 type CmdResult = Result<(), String>;
 
@@ -173,7 +173,11 @@ pub fn decompress(args: &Args) -> CmdResult {
         "{input} -> {output}: {} {} values ({}) in {:.2}s",
         info.len(),
         info.dtype,
-        info.dims.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("x"),
+        info.dims
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("x"),
         t0.elapsed().as_secs_f64()
     );
     Ok(())
@@ -188,7 +192,11 @@ pub fn inspect(args: &Args) -> CmdResult {
     println!("dtype           : {}", info.dtype);
     println!(
         "dims            : {}",
-        info.dims.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("x")
+        info.dims
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("x")
     );
     println!("points          : {}", info.len());
     println!("error bound     : {:.6e} (absolute)", info.error_bound);
@@ -223,9 +231,8 @@ pub fn eval(args: &Args) -> CmdResult {
             (packed, out)
         }
         "zfp" => {
-            let packed = szr_zfp::zfp_compress(&data, szr_zfp::ZfpMode::FixedAccuracy {
-                tolerance: eb,
-            });
+            let packed =
+                szr_zfp::zfp_compress(&data, szr_zfp::ZfpMode::FixedAccuracy { tolerance: eb });
             let out = szr_zfp::zfp_decompress(&packed).map_err(|e| e.to_string())?;
             (packed, out)
         }
@@ -235,9 +242,8 @@ pub fn eval(args: &Args) -> CmdResult {
             (packed, out)
         }
         "isabela" => {
-            let packed =
-                szr_isabela::isabela_compress(&data, &szr_isabela::IsabelaConfig::new(eb))
-                    .map_err(|e| e.to_string())?;
+            let packed = szr_isabela::isabela_compress(&data, &szr_isabela::IsabelaConfig::new(eb))
+                .map_err(|e| e.to_string())?;
             let out = szr_isabela::isabela_decompress(&packed).map_err(|e| e.to_string())?;
             (packed, out)
         }
@@ -247,7 +253,11 @@ pub fn eval(args: &Args) -> CmdResult {
             (packed, out)
         }
         "gzip" => {
-            let bytes: Vec<u8> = data.as_slice().iter().flat_map(|v| v.to_le_bytes()).collect();
+            let bytes: Vec<u8> = data
+                .as_slice()
+                .iter()
+                .flat_map(|v| v.to_le_bytes())
+                .collect();
             let packed = szr_deflate::gzip_compress(&bytes);
             let back = szr_deflate::gzip_decompress(&packed).map_err(|e| e.to_string())?;
             let floats: Vec<f32> = back
@@ -274,7 +284,10 @@ pub fn eval(args: &Args) -> CmdResult {
     println!("RMSE / NRMSE    : {:.6e} / {:.6e}", stats.rmse, stats.nrmse);
     println!("PSNR            : {:.2} dB", stats.psnr);
     println!("Pearson rho     : {:.9}", stats.pearson);
-    println!("bound respected : {}", if stats.max_abs <= eb { "yes" } else { "NO" });
+    println!(
+        "bound respected : {}",
+        if stats.max_abs <= eb { "yes" } else { "NO" }
+    );
     println!("round trip      : {elapsed:.2}s");
     Ok(())
 }
@@ -296,7 +309,7 @@ fn build_config_eval(args: &Args, eb: f64) -> Result<Config, String> {
 
 /// `szr gen`
 pub fn generate(args: &Args) -> CmdResult {
-    use szr_datagen::{atm, aps, hurricane, AtmVariable, Scale};
+    use szr_datagen::{aps, atm, hurricane, AtmVariable, Scale};
     let output = args.need("output")?;
     let dataset = args.need("dataset")?;
     let scale = match args.get("scale").unwrap_or("medium") {
@@ -332,7 +345,11 @@ pub fn generate(args: &Args) -> CmdResult {
     eprintln!(
         "wrote {output}: {} f32 values, dims {}",
         data.len(),
-        data.dims().iter().map(|d| d.to_string()).collect::<Vec<_>>().join("x")
+        data.dims()
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("x")
     );
     Ok(())
 }

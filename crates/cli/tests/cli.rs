@@ -21,11 +21,23 @@ fn full_pipeline_respects_bound() {
     let restored = tmp("pipe_out.bin");
 
     let gen = szr()
-        .args(["gen", "--dataset", "atm", "--variable", "TS", "--scale", "small"])
+        .args([
+            "gen",
+            "--dataset",
+            "atm",
+            "--variable",
+            "TS",
+            "--scale",
+            "small",
+        ])
         .args(["--seed", "7", "--output", raw.to_str().unwrap()])
         .output()
         .unwrap();
-    assert!(gen.status.success(), "{}", String::from_utf8_lossy(&gen.stderr));
+    assert!(
+        gen.status.success(),
+        "{}",
+        String::from_utf8_lossy(&gen.stderr)
+    );
 
     let comp = szr()
         .args(["compress", "--input", raw.to_str().unwrap()])
@@ -33,14 +45,22 @@ fn full_pipeline_respects_bound() {
         .args(["--output", packed.to_str().unwrap()])
         .output()
         .unwrap();
-    assert!(comp.status.success(), "{}", String::from_utf8_lossy(&comp.stderr));
+    assert!(
+        comp.status.success(),
+        "{}",
+        String::from_utf8_lossy(&comp.stderr)
+    );
 
     let dec = szr()
         .args(["decompress", "--input", packed.to_str().unwrap()])
         .args(["--output", restored.to_str().unwrap()])
         .output()
         .unwrap();
-    assert!(dec.status.success(), "{}", String::from_utf8_lossy(&dec.stderr));
+    assert!(
+        dec.status.success(),
+        "{}",
+        String::from_utf8_lossy(&dec.stderr)
+    );
 
     // Verify the bound directly on the file bytes.
     let orig = std::fs::read(&raw).unwrap();
@@ -139,6 +159,10 @@ fn pointwise_rel_mode_works_end_to_end() {
         .args(["--output", packed.to_str().unwrap()])
         .output()
         .unwrap();
-    assert!(comp.status.success(), "{}", String::from_utf8_lossy(&comp.stderr));
+    assert!(
+        comp.status.success(),
+        "{}",
+        String::from_utf8_lossy(&comp.stderr)
+    );
     assert!(std::fs::metadata(&packed).unwrap().len() < 10_000);
 }

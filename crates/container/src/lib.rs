@@ -19,10 +19,10 @@
 //! Offsets are relative to the end of the index, so the index can be read
 //! with a single small IO and each field fetched independently.
 
+use std::collections::BTreeMap;
 use szr_bitstream::{ByteReader, ByteWriter};
 use szr_core::{compress, decompress, ArchiveInfo, Config, Result, ScalarFloat, SzError};
 use szr_tensor::Tensor;
-use std::collections::BTreeMap;
 
 const MAGIC: [u8; 4] = *b"SZSN";
 const VERSION: u8 = 1;
@@ -82,7 +82,9 @@ impl Snapshot {
 
     /// Header info for one field without decompressing it.
     pub fn info(&self, name: &str) -> Option<ArchiveInfo> {
-        self.fields.get(name).and_then(|a| szr_core::inspect(a).ok())
+        self.fields
+            .get(name)
+            .and_then(|a| szr_core::inspect(a).ok())
     }
 
     /// Decompresses one field.
@@ -149,7 +151,9 @@ impl Snapshot {
                 .checked_add(length)
                 .ok_or_else(|| SzError::Corrupt("field extent overflows".into()))?;
             if end > bytes.len() {
-                return Err(SzError::Corrupt(format!("field {name:?} overruns snapshot")));
+                return Err(SzError::Corrupt(format!(
+                    "field {name:?} overruns snapshot"
+                )));
             }
             fields.insert(name, bytes[start..end].to_vec());
         }

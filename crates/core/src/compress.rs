@@ -2,8 +2,8 @@
 
 use crate::config::{Config, IntervalMode};
 use crate::float::ScalarFloat;
-use crate::predict::{predict_at, StencilSet};
-use crate::quant::{choose_interval_bits, Quantizer};
+use crate::kernel::ScanKernel;
+use crate::quant::{choose_interval_bits_with_kernel, Quantizer};
 use crate::unpred::UnpredictableCodec;
 use crate::Result;
 use szr_bitstream::{BitWriter, ByteWriter};
@@ -47,7 +47,14 @@ impl CompressionStats {
     }
 
     /// Compression factor versus the uncompressed representation.
+    ///
+    /// Returns 0 for a zero-byte archive (unreachable through [`compress`],
+    /// but stats can be aggregated or constructed by hand) instead of
+    /// dividing by zero.
     pub fn compression_factor<T: ScalarFloat>(&self) -> f64 {
+        if self.compressed_bytes == 0 {
+            return 0.0;
+        }
         (self.total * (T::BITS as usize / 8)) as f64 / self.compressed_bytes as f64
     }
 }
@@ -81,8 +88,49 @@ pub fn compress_slice_with_stats<T: ScalarFloat>(
     config: &Config,
 ) -> Result<(Vec<u8>, CompressionStats)> {
     config.validate()?;
+    let mut kernel = ScanKernel::for_shape(config.layers, shape);
+    compress_validated(values, shape, config, &mut kernel)
+}
+
+/// Compresses a flat slice using a caller-provided [`ScanKernel`].
+///
+/// A kernel is bound to a *(layer count, stride family)* and carries the
+/// specialized-dispatch decision plus the boundary-stencil cache, so callers
+/// compressing many same-family grids — `szr-parallel`'s chunked driver,
+/// the streaming compressor's bands — construct it once and reuse it here
+/// instead of paying setup per band.
+///
+/// # Errors
+/// In addition to [`compress_slice_with_stats`]'s errors, returns
+/// [`crate::SzError::InvalidConfig`] when the kernel's layer count or stride
+/// family does not match `config`/`shape`.
+pub fn compress_slice_with_kernel<T: ScalarFloat>(
+    values: &[T],
+    shape: &szr_tensor::Shape,
+    config: &Config,
+    kernel: &mut ScanKernel,
+) -> Result<(Vec<u8>, CompressionStats)> {
+    config.validate()?;
+    compress_validated(values, shape, config, kernel)
+}
+
+/// The pipeline body; `config` has already been validated by the caller
+/// (exactly once per public entry point).
+fn compress_validated<T: ScalarFloat>(
+    values: &[T],
+    shape: &szr_tensor::Shape,
+    config: &Config,
+    kernel: &mut ScanKernel,
+) -> Result<(Vec<u8>, CompressionStats)> {
     if values.len() != shape.len() {
-        return Err(crate::SzError::InvalidConfig("slice length does not match shape"));
+        return Err(crate::SzError::InvalidConfig(
+            "slice length does not match shape",
+        ));
+    }
+    if kernel.layers() != config.layers || !kernel.matches(shape) {
+        return Err(crate::SzError::InvalidConfig(
+            "kernel does not match shape and config",
+        ));
     }
     let n = config.layers;
 
@@ -105,23 +153,30 @@ pub fn compress_slice_with_stats<T: ScalarFloat>(
             theta,
             max_bits,
             sample_stride,
-        } => choose_interval_bits(values, shape, n, eb_q, theta, sample_stride, max_bits),
+        } => choose_interval_bits_with_kernel(
+            values,
+            shape,
+            kernel,
+            eb_q,
+            theta,
+            sample_stride,
+            max_bits,
+        ),
     };
     let quantizer = Quantizer::new(eb_q, bits);
     let unpred = UnpredictableCodec::new(eb);
 
-    // Scan loop: predict -> quantize -> record; reconstructed values feed
-    // later predictions so the decompressor sees identical state.
+    // Scan stage: the kernel owns the predict->visit traversal; the closure
+    // quantizes and records. Reconstructed values are stored back into the
+    // scan buffer, feeding later predictions so the decompressor sees
+    // identical state.
     let mut recon: Vec<T> = vec![T::from_f64(0.0); values.len()];
     let mut codes: Vec<u32> = Vec::with_capacity(values.len());
     let mut unpred_bits = BitWriter::new();
-    let mut stencils = StencilSet::new(n, shape.strides());
-    let mut index = vec![0usize; shape.ndim()];
     let mut predictable = 0usize;
 
-    for (flat, &value) in values.iter().enumerate() {
-        let stencil = stencils.for_index(&index);
-        let pred = predict_at(&recon, flat, stencil);
+    kernel.scan(shape, &mut recon, |flat, pred| {
+        let value = values[flat];
         let v64 = value.to_f64();
         // A quantization hit must survive narrowing to T: the stored
         // reconstruction is what the decompressor reproduces, so the bound
@@ -142,16 +197,15 @@ pub fn compress_slice_with_stats<T: ScalarFloat>(
         match quantized {
             Some((code, r)) => {
                 codes.push(code);
-                recon[flat] = r;
                 predictable += 1;
+                r
             }
             None => {
                 codes.push(0);
-                recon[flat] = unpred.encode(value, &mut unpred_bits);
+                unpred.encode(value, &mut unpred_bits)
             }
         }
-        shape.advance(&mut index);
-    }
+    });
 
     // Stage 3: variable-length encode the quantization codes (§IV).
     let huffman_block = szr_huffman::compress_u32(&codes, quantizer.alphabet());
@@ -242,9 +296,7 @@ mod tests {
 
     #[test]
     fn smooth_data_compresses_much_better_than_noise() {
-        let smooth = Tensor::from_fn([128, 128], |ix| {
-            ((ix[0] + ix[1]) as f32 * 0.01).sin()
-        });
+        let smooth = Tensor::from_fn([128, 128], |ix| ((ix[0] + ix[1]) as f32 * 0.01).sin());
         let noise = Tensor::from_fn([128, 128], |ix| {
             // splitmix-style hash: genuinely unpredictable cell values.
             let h = (ix[0] as u64)
@@ -269,7 +321,11 @@ mod tests {
         let data = Tensor::full([100, 100], 7.5f32);
         let config = Config::new(ErrorBound::Absolute(1e-6));
         let (bytes, stats) = compress_with_stats(&data, &config).unwrap();
-        assert!(bytes.len() < 2500, "constant field took {} bytes", bytes.len());
+        assert!(
+            bytes.len() < 2500,
+            "constant field took {} bytes",
+            bytes.len()
+        );
         let out: Tensor<f32> = decompress(&bytes).unwrap();
         check_bound(data.as_slice(), out.as_slice(), 1e-6);
         assert!(stats.hit_rate() > 0.99);
@@ -372,7 +428,11 @@ mod tests {
                 .map(|w| (w[0] - mean) * (w[1] - mean))
                 .sum();
             let den: f64 = errors.iter().map(|e| (e - mean) * (e - mean)).sum();
-            if den == 0.0 { 0.0 } else { num / den }
+            if den == 0.0 {
+                0.0
+            } else {
+                num / den
+            }
         };
         let mut acfs = Vec::new();
         for config in [plain, decorr] {
@@ -391,7 +451,10 @@ mod tests {
             acfs[1] < acfs[0] / 2.0,
             "decorrelation should cut lag-1 autocorrelation: {acfs:?}"
         );
-        assert!(acfs[1] < 0.1, "dithered errors should be near-white: {acfs:?}");
+        assert!(
+            acfs[1] < 0.1,
+            "dithered errors should be near-white: {acfs:?}"
+        );
     }
 
     #[test]
@@ -399,7 +462,11 @@ mod tests {
         // A mostly-constant field: the Huffman floor of 1 bit/value binds,
         // and the DEFLATE pass should break through it.
         let data = Tensor::from_fn([128, 128], |ix| {
-            if ix[0] > 100 && ix[1] > 100 { 3.5f32 } else { 0.0 }
+            if ix[0] > 100 && ix[1] > 100 {
+                3.5f32
+            } else {
+                0.0
+            }
         });
         let eb = 1e-4;
         let with = compress(&data, &Config::new(ErrorBound::Absolute(eb))).unwrap();

@@ -52,7 +52,9 @@ impl ErrorBound {
         if valid {
             Ok(())
         } else {
-            Err(SzError::InvalidConfig("error bounds must be finite and positive"))
+            Err(SzError::InvalidConfig(
+                "error bounds must be finite and positive",
+            ))
         }
     }
 }
@@ -169,12 +171,16 @@ impl Config {
                     return Err(SzError::InvalidConfig("interval bits must be in 2..=30"));
                 }
             }
-            IntervalMode::Adaptive { theta, max_bits, .. } => {
+            IntervalMode::Adaptive {
+                theta, max_bits, ..
+            } => {
                 if !(0.0..=1.0).contains(&theta) {
                     return Err(SzError::InvalidConfig("theta must be in 0..=1"));
                 }
                 if !(4..=30).contains(&max_bits) {
-                    return Err(SzError::InvalidConfig("max interval bits must be in 4..=30"));
+                    return Err(SzError::InvalidConfig(
+                        "max interval bits must be in 4..=30",
+                    ));
                 }
             }
         }
@@ -191,11 +197,19 @@ mod tests {
         assert_eq!(ErrorBound::Absolute(0.5).effective(100.0), 0.5);
         assert_eq!(ErrorBound::Relative(1e-3).effective(100.0), 0.1);
         assert_eq!(
-            ErrorBound::Both { abs: 0.05, rel: 1e-3 }.effective(100.0),
+            ErrorBound::Both {
+                abs: 0.05,
+                rel: 1e-3
+            }
+            .effective(100.0),
             0.05
         );
         assert_eq!(
-            ErrorBound::Both { abs: 0.5, rel: 1e-3 }.effective(100.0),
+            ErrorBound::Both {
+                abs: 0.5,
+                rel: 1e-3
+            }
+            .effective(100.0),
             0.1
         );
     }
@@ -209,7 +223,9 @@ mod tests {
     #[test]
     fn validation_rejects_bad_bounds() {
         assert!(Config::new(ErrorBound::Absolute(0.0)).validate().is_err());
-        assert!(Config::new(ErrorBound::Absolute(f64::NAN)).validate().is_err());
+        assert!(Config::new(ErrorBound::Absolute(f64::NAN))
+            .validate()
+            .is_err());
         assert!(Config::new(ErrorBound::Relative(-1.0)).validate().is_err());
         assert!(Config::new(ErrorBound::Absolute(1.0)).validate().is_ok());
     }

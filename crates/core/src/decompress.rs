@@ -2,7 +2,7 @@
 
 use crate::compress::{MAGIC, VERSION};
 use crate::float::ScalarFloat;
-use crate::predict::{predict_at, StencilSet};
+use crate::kernel::ScanKernel;
 use crate::quant::Quantizer;
 use crate::unpred::UnpredictableCodec;
 use crate::{Result, SzError};
@@ -167,31 +167,50 @@ pub fn decompress<T: ScalarFloat>(bytes: &[u8]) -> Result<Tensor<T>> {
         )));
     }
 
-    let eb_q = if header.decorrelate { header.eb / 2.0 } else { header.eb };
+    let eb_q = if header.decorrelate {
+        header.eb / 2.0
+    } else {
+        header.eb
+    };
     let quantizer = Quantizer::new(eb_q, header.interval_bits);
     let unpred = UnpredictableCodec::new(header.eb);
     let alphabet = quantizer.alphabet() as u32;
     let mut unpred_bits = BitReader::new(unpred_block);
-    let mut stencils = StencilSet::new(header.layers, header.shape.strides());
     let mut recon: Vec<T> = vec![T::from_f64(0.0); total];
-    let mut index = vec![0usize; header.shape.ndim()];
 
-    for (flat, &code) in codes.iter().enumerate() {
-        if code >= alphabet {
-            return Err(SzError::Corrupt(format!("code {code} outside alphabet")));
+    // Replay the compressor's scan through the same kernel. The visitor
+    // cannot early-return, so an out-of-alphabet code or a malformed
+    // unpredictable section parks its error and the remaining points decode
+    // as zero before the error surfaces (corrupt archives only; valid
+    // archives never hit this).
+    let mut kernel = ScanKernel::for_shape(header.layers, &header.shape);
+    let mut decode_err: Option<SzError> = None;
+    kernel.scan(&header.shape, &mut recon, |flat, pred| {
+        if decode_err.is_some() {
+            return T::from_f64(0.0);
         }
-        if code == 0 {
-            recon[flat] = unpred.decode(&mut unpred_bits)?;
+        let code = codes[flat];
+        if code >= alphabet {
+            decode_err = Some(SzError::Corrupt(format!("code {code} outside alphabet")));
+            T::from_f64(0.0)
+        } else if code == 0 {
+            match unpred.decode(&mut unpred_bits) {
+                Ok(v) => v,
+                Err(e) => {
+                    decode_err = Some(e.into());
+                    T::from_f64(0.0)
+                }
+            }
         } else {
-            let stencil = stencils.for_index(&index);
-            let pred = predict_at(&recon, flat, stencil);
             let mut r64 = quantizer.reconstruct(code, pred);
             if header.decorrelate {
                 r64 += crate::quant::dither_unit(flat) * header.eb;
             }
-            recon[flat] = T::from_f64(r64);
+            T::from_f64(r64)
         }
-        header.shape.advance(&mut index);
+    });
+    if let Some(e) = decode_err {
+        return Err(e);
     }
 
     Ok(Tensor::from_vec(header.shape, recon))
@@ -221,7 +240,13 @@ mod tests {
     fn wrong_scalar_type_is_detected() {
         let bytes = sample_archive();
         let err = decompress::<f64>(&bytes).unwrap_err();
-        assert!(matches!(err, SzError::WrongType { expected: "f64", found: "f32" }));
+        assert!(matches!(
+            err,
+            SzError::WrongType {
+                expected: "f64",
+                found: "f32"
+            }
+        ));
     }
 
     #[test]

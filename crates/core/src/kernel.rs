@@ -1,0 +1,828 @@
+//! The dimension-specialized predict→quantize scan pipeline.
+//!
+//! Every stage of the codec — compression, decompression, the adaptive
+//! interval sampler, and the hit-rate estimators — performs the same
+//! traversal: walk the grid in row-major order and predict each point from
+//! already-visited neighbors with the §III Eq. 11 multilayer predictor.
+//! [`ScanKernel`] owns that traversal exactly once.
+//!
+//! A kernel is instantiated per *(layer count, stride family)*, not per
+//! point. For the dominant configurations — 1-D/2-D/3-D grids with `n = 1`
+//! (the Lorenzo predictor, the paper's default) or `n = 2` — the kernel
+//! dispatches to closed-form loops whose Eq. 11 coefficients are unrolled as
+//! constants, with an explicit interior fast path and a boundary slow path.
+//! Everything else falls back to the generic [`StencilSet`] walker, so any
+//! `(d, n)` the config layer validates still works.
+//!
+//! Because bands of a chunked tensor share their inner extents (and
+//! therefore their strides), one kernel instance serves every band a
+//! parallel worker compresses: [`ScanKernel::scan`] takes the band's
+//! [`Shape`] per call and only the stride family is baked in.
+//!
+//! The specialized paths evaluate terms in the same order as
+//! [`predict_at`] over a built [`Stencil`] (lexicographic in the Eq. 11
+//! offset vector), so specialized and generic traversals produce identical
+//! codes and therefore byte-identical archives — pinned down by the
+//! property tests at the bottom of this file.
+
+use crate::float::ScalarFloat;
+use crate::predict::{predict_at, Stencil, StencilSet};
+use szr_tensor::Shape;
+
+/// Which traversal implementation a [`ScanKernel`] dispatches to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelKind {
+    /// Closed-form loops for `ndim ∈ 1..=3`, `layers ∈ 1..=2`.
+    Specialized {
+        /// Grid rank.
+        ndim: u8,
+        /// Prediction layer count.
+        layers: u8,
+    },
+    /// The HashMap-cached stencil walker (any rank, any layer count).
+    Generic,
+}
+
+/// One predict→visit traversal engine, reusable across same-stride grids.
+///
+/// Construction picks the implementation once; [`ScanKernel::scan`] then
+/// drives a visitor over every point. The visitor receives `(flat, pred)`
+/// and returns the value to store at `flat` — the value later predictions
+/// read, which is how the compressor feeds reconstructed (not original)
+/// values forward exactly like the decompressor will.
+pub struct ScanKernel {
+    layers: usize,
+    strides: Vec<usize>,
+    kind: KernelKind,
+    stencils: StencilSet,
+    /// Interior stencil terms for the 3-D two-layer fast path (26 terms:
+    /// looped over a dense slice instead of hand-unrolled).
+    interior_terms: Vec<(usize, f64)>,
+}
+
+impl ScanKernel {
+    /// Builds a kernel for `layers`-layer prediction on grids with the given
+    /// row-major `strides`, selecting a specialized implementation when one
+    /// exists.
+    ///
+    /// # Panics
+    /// Panics if `layers == 0` or `strides` is empty (rejected earlier by
+    /// [`crate::Config::validate`] on every public path).
+    pub fn new(layers: usize, strides: &[usize]) -> Self {
+        let kind = if (1..=3).contains(&strides.len()) && (1..=2).contains(&layers) {
+            KernelKind::Specialized {
+                ndim: strides.len() as u8,
+                layers: layers as u8,
+            }
+        } else {
+            KernelKind::Generic
+        };
+        Self::with_kind(layers, strides, kind)
+    }
+
+    /// Builds a kernel that always uses the generic stencil walker, even for
+    /// shapes a specialized kernel covers — the equivalence baseline used by
+    /// the property tests and the `scan_kernel` benchmark.
+    pub fn generic(layers: usize, strides: &[usize]) -> Self {
+        Self::with_kind(layers, strides, KernelKind::Generic)
+    }
+
+    /// Convenience constructor from a concrete shape.
+    pub fn for_shape(layers: usize, shape: &Shape) -> Self {
+        Self::new(layers, shape.strides())
+    }
+
+    fn with_kind(layers: usize, strides: &[usize], kind: KernelKind) -> Self {
+        assert!(layers >= 1, "ScanKernel requires at least one layer");
+        assert!(
+            !strides.is_empty(),
+            "ScanKernel requires at least one dimension"
+        );
+        let d = strides.len();
+        let interior_terms = if kind == (KernelKind::Specialized { ndim: 3, layers: 2 }) {
+            Stencil::build(&vec![layers; d], strides).terms().to_vec()
+        } else {
+            Vec::new()
+        };
+        Self {
+            layers,
+            strides: strides.to_vec(),
+            kind,
+            stencils: StencilSet::new(layers, strides),
+            interior_terms,
+        }
+    }
+
+    /// The selected implementation.
+    pub fn kind(&self) -> KernelKind {
+        self.kind
+    }
+
+    /// Prediction layer count the kernel was built for.
+    pub fn layers(&self) -> usize {
+        self.layers
+    }
+
+    /// The stride family the kernel serves.
+    pub fn strides(&self) -> &[usize] {
+        &self.strides
+    }
+
+    /// True when `shape` belongs to this kernel's grid family (same rank and
+    /// row-major strides; the leading extent is free, which is what lets
+    /// chunked bands share one kernel).
+    pub fn matches(&self, shape: &Shape) -> bool {
+        shape.strides() == &self.strides[..]
+    }
+
+    /// Drives `visit` over every point of `shape` in row-major order.
+    ///
+    /// For each flat index the kernel computes the Eq. 11 prediction from
+    /// the values already written to `buf` and stores the visitor's return
+    /// value back at that index.
+    ///
+    /// # Panics
+    /// Panics if `shape` is outside this kernel's grid family or `buf` is
+    /// not exactly `shape.len()` long. The check is O(rank) per scan (not
+    /// per point) and guards the specialized paths' unchecked stride
+    /// arithmetic in release builds too.
+    pub fn scan<T, F>(&mut self, shape: &Shape, buf: &mut [T], visit: F)
+    where
+        T: ScalarFloat,
+        F: FnMut(usize, f64) -> T,
+    {
+        assert!(
+            self.matches(shape),
+            "shape {shape} outside kernel stride family {:?}",
+            self.strides
+        );
+        assert_eq!(buf.len(), shape.len(), "buffer length does not match shape");
+        match self.kind {
+            KernelKind::Specialized { ndim: 1, layers: 1 } => {
+                scan_1d_n1(shape.dims()[0], buf, visit)
+            }
+            KernelKind::Specialized { ndim: 1, layers: 2 } => {
+                scan_1d_n2(shape.dims()[0], buf, visit)
+            }
+            KernelKind::Specialized { ndim: 2, layers: 1 } => scan_2d_n1(
+                shape.dims()[0],
+                shape.dims()[1],
+                self.strides[0],
+                buf,
+                visit,
+            ),
+            KernelKind::Specialized { ndim: 2, layers: 2 } => self.scan_2d_n2(shape, buf, visit),
+            KernelKind::Specialized { ndim: 3, layers: 1 } => {
+                let d = shape.dims();
+                scan_3d_n1(
+                    d[0],
+                    d[1],
+                    d[2],
+                    self.strides[0],
+                    self.strides[1],
+                    buf,
+                    visit,
+                )
+            }
+            KernelKind::Specialized { ndim: 3, layers: 2 } => self.scan_3d_n2(shape, buf, visit),
+            _ => self.scan_generic(shape, buf, visit),
+        }
+    }
+
+    /// Visits every *interior* point whose flat index is a multiple of
+    /// `stride`, predicting from `data` itself (read-only, original-value
+    /// prediction) — the traversal behind the §IV-B adaptive interval
+    /// sampler.
+    ///
+    /// Interior means every coordinate is `≥ layers`, so the full-strength
+    /// stencil applies; border prediction is weaker and would bias a
+    /// sampled estimate pessimistically.
+    ///
+    /// # Panics
+    /// Panics if `shape` is outside this kernel's grid family or `data` is
+    /// not exactly `shape.len()` long (see [`ScanKernel::scan`]).
+    pub fn sample_interior<T, F>(&mut self, shape: &Shape, data: &[T], stride: usize, visit: F)
+    where
+        T: ScalarFloat,
+        F: FnMut(usize, f64),
+    {
+        assert!(
+            self.matches(shape),
+            "shape {shape} outside kernel stride family {:?}",
+            self.strides
+        );
+        assert_eq!(data.len(), shape.len(), "data length does not match shape");
+        let stride = stride.max(1);
+        match self.kind {
+            KernelKind::Specialized { ndim: 1, .. } => {
+                self.sample_1d(shape.dims()[0], data, stride, visit)
+            }
+            KernelKind::Specialized { ndim: 2, .. } => self.sample_2d(shape, data, stride, visit),
+            KernelKind::Specialized { ndim: 3, .. } => self.sample_3d(shape, data, stride, visit),
+            _ => self.sample_generic(shape, data, stride, visit),
+        }
+    }
+
+    /// Boundary slow path: full Eq. 11 with per-axis shrunk layer counts.
+    #[inline]
+    fn slow_pred<T: ScalarFloat>(&mut self, index: &[usize], buf: &[T], flat: usize) -> f64 {
+        let stencil = self.stencils.for_index(index);
+        predict_at(buf, flat, stencil)
+    }
+
+    fn scan_generic<T, F>(&mut self, shape: &Shape, buf: &mut [T], mut visit: F)
+    where
+        T: ScalarFloat,
+        F: FnMut(usize, f64) -> T,
+    {
+        let mut index = vec![0usize; shape.ndim()];
+        for flat in 0..buf.len() {
+            let stencil = self.stencils.for_index(&index);
+            let pred = predict_at(buf, flat, stencil);
+            buf[flat] = visit(flat, pred);
+            shape.advance(&mut index);
+        }
+    }
+
+    fn scan_2d_n2<T, F>(&mut self, shape: &Shape, buf: &mut [T], mut visit: F)
+    where
+        T: ScalarFloat,
+        F: FnMut(usize, f64) -> T,
+    {
+        let (d0, d1) = (shape.dims()[0], shape.dims()[1]);
+        let s0 = self.strides[0];
+        for i in 0..d0 {
+            let row = i * s0;
+            let fast_row = i >= 2;
+            let border_cols = if fast_row { d1.min(2) } else { d1 };
+            for j in 0..border_cols {
+                let f = row + j;
+                let pred = self.slow_pred(&[i, j], buf, f);
+                buf[f] = visit(f, pred);
+            }
+            if fast_row {
+                for j in 2..d1 {
+                    let f = row + j;
+                    let pred = two_layer_2d(buf, f, s0);
+                    buf[f] = visit(f, pred);
+                }
+            }
+        }
+    }
+
+    fn scan_3d_n2<T, F>(&mut self, shape: &Shape, buf: &mut [T], mut visit: F)
+    where
+        T: ScalarFloat,
+        F: FnMut(usize, f64) -> T,
+    {
+        let (d0, d1, d2) = (shape.dims()[0], shape.dims()[1], shape.dims()[2]);
+        let (s0, s1) = (self.strides[0], self.strides[1]);
+        // Copy the 26 interior terms to the stack: reading them through
+        // `&self` inside the hot loop would alias-block hoisting against the
+        // `buf` writes.
+        let mut terms = [(0usize, 0.0f64); 26];
+        terms.copy_from_slice(&self.interior_terms);
+        for i in 0..d0 {
+            for j in 0..d1 {
+                let base = i * s0 + j * s1;
+                let fast_pencil = i >= 2 && j >= 2;
+                let border_depth = if fast_pencil { d2.min(2) } else { d2 };
+                for k in 0..border_depth {
+                    let f = base + k;
+                    let pred = self.slow_pred(&[i, j, k], buf, f);
+                    buf[f] = visit(f, pred);
+                }
+                if fast_pencil {
+                    for k in 2..d2 {
+                        let f = base + k;
+                        let mut pred = 0.0f64;
+                        for &(off, coeff) in &terms {
+                            pred += coeff * buf[f - off].to_f64();
+                        }
+                        buf[f] = visit(f, pred);
+                    }
+                }
+            }
+        }
+    }
+
+    fn sample_generic<T, F>(&mut self, shape: &Shape, data: &[T], stride: usize, mut visit: F)
+    where
+        T: ScalarFloat,
+        F: FnMut(usize, f64),
+    {
+        let n = self.layers;
+        let mut index = vec![0usize; shape.ndim()];
+        for flat in 0..data.len() {
+            if flat.is_multiple_of(stride) && index.iter().all(|&x| x >= n) {
+                let stencil = self.stencils.for_index(&index);
+                visit(flat, predict_at(data, flat, stencil));
+            }
+            shape.advance(&mut index);
+        }
+    }
+
+    fn sample_1d<T, F>(&mut self, d0: usize, data: &[T], stride: usize, mut visit: F)
+    where
+        T: ScalarFloat,
+        F: FnMut(usize, f64),
+    {
+        let n = self.layers;
+        for f in n..d0 {
+            if f.is_multiple_of(stride) {
+                let pred = if n == 1 {
+                    lorenzo_1d(data, f)
+                } else {
+                    two_layer_1d(data, f)
+                };
+                visit(f, pred);
+            }
+        }
+    }
+
+    fn sample_2d<T, F>(&mut self, shape: &Shape, data: &[T], stride: usize, mut visit: F)
+    where
+        T: ScalarFloat,
+        F: FnMut(usize, f64),
+    {
+        let n = self.layers;
+        let (d0, d1) = (shape.dims()[0], shape.dims()[1]);
+        let s0 = self.strides[0];
+        for i in n..d0 {
+            let row = i * s0;
+            for j in n..d1 {
+                let f = row + j;
+                if f.is_multiple_of(stride) {
+                    let pred = if n == 1 {
+                        lorenzo_2d(data, f, s0)
+                    } else {
+                        two_layer_2d(data, f, s0)
+                    };
+                    visit(f, pred);
+                }
+            }
+        }
+    }
+
+    fn sample_3d<T, F>(&mut self, shape: &Shape, data: &[T], stride: usize, mut visit: F)
+    where
+        T: ScalarFloat,
+        F: FnMut(usize, f64),
+    {
+        let n = self.layers;
+        let (d0, d1, d2) = (shape.dims()[0], shape.dims()[1], shape.dims()[2]);
+        let (s0, s1) = (self.strides[0], self.strides[1]);
+        let terms = &self.interior_terms[..];
+        for i in n..d0 {
+            for j in n..d1 {
+                let base = i * s0 + j * s1;
+                for k in n..d2 {
+                    let f = base + k;
+                    if f.is_multiple_of(stride) {
+                        let pred = if n == 1 {
+                            lorenzo_3d(data, f, s0, s1)
+                        } else {
+                            let mut acc = 0.0f64;
+                            for &(off, coeff) in terms {
+                                acc += coeff * data[f - off].to_f64();
+                            }
+                            acc
+                        };
+                        visit(f, pred);
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Closed-form interior predictors. Term order matches `Stencil::build`'s
+// lexicographic offset enumeration so results are identical (up to the sign
+// of zero) to `predict_at` over the equivalent stencil — the invariant that
+// keeps specialized and generic archives byte-identical.
+// ---------------------------------------------------------------------------
+
+/// 1-D Lorenzo: previous neighbor.
+#[inline(always)]
+fn lorenzo_1d<T: ScalarFloat>(b: &[T], f: usize) -> f64 {
+    b[f - 1].to_f64()
+}
+
+/// 2-D Lorenzo over axes with strides `(s, 1)`.
+#[inline(always)]
+fn lorenzo_2d<T: ScalarFloat>(b: &[T], f: usize, s: usize) -> f64 {
+    b[f - 1].to_f64() + b[f - s].to_f64() - b[f - s - 1].to_f64()
+}
+
+/// 3-D Lorenzo (7 terms, inclusion–exclusion over the unit cube).
+#[inline(always)]
+fn lorenzo_3d<T: ScalarFloat>(b: &[T], f: usize, s0: usize, s1: usize) -> f64 {
+    b[f - 1].to_f64() + b[f - s1].to_f64() - b[f - s1 - 1].to_f64() + b[f - s0].to_f64()
+        - b[f - s0 - 1].to_f64()
+        - b[f - s0 - s1].to_f64()
+        + b[f - s0 - s1 - 1].to_f64()
+}
+
+/// 1-D two-layer: linear extrapolation (Table I row n = 2, d = 1).
+#[inline(always)]
+fn two_layer_1d<T: ScalarFloat>(b: &[T], f: usize) -> f64 {
+    2.0 * b[f - 1].to_f64() - b[f - 2].to_f64()
+}
+
+/// 2-D two-layer: the 8-point Table I stencil, coefficients unrolled.
+#[inline(always)]
+fn two_layer_2d<T: ScalarFloat>(b: &[T], f: usize, s: usize) -> f64 {
+    2.0 * b[f - 1].to_f64() - b[f - 2].to_f64() + 2.0 * b[f - s].to_f64()
+        - 4.0 * b[f - s - 1].to_f64()
+        + 2.0 * b[f - s - 2].to_f64()
+        - b[f - 2 * s].to_f64()
+        + 2.0 * b[f - 2 * s - 1].to_f64()
+        - b[f - 2 * s - 2].to_f64()
+}
+
+// ---------------------------------------------------------------------------
+// Specialized traversals (free functions where no stencil fallback is
+// needed: every 1-layer boundary class is itself closed-form).
+// ---------------------------------------------------------------------------
+
+fn scan_1d_n1<T, F>(d0: usize, buf: &mut [T], mut visit: F)
+where
+    T: ScalarFloat,
+    F: FnMut(usize, f64) -> T,
+{
+    buf[0] = visit(0, 0.0);
+    for f in 1..d0 {
+        let pred = lorenzo_1d(buf, f);
+        buf[f] = visit(f, pred);
+    }
+}
+
+fn scan_1d_n2<T, F>(d0: usize, buf: &mut [T], mut visit: F)
+where
+    T: ScalarFloat,
+    F: FnMut(usize, f64) -> T,
+{
+    buf[0] = visit(0, 0.0);
+    if d0 > 1 {
+        // One usable neighbor: the layer count shrinks to 1 at x = 1.
+        let pred = lorenzo_1d(buf, 1);
+        buf[1] = visit(1, pred);
+    }
+    for f in 2..d0 {
+        let pred = two_layer_1d(buf, f);
+        buf[f] = visit(f, pred);
+    }
+}
+
+fn scan_2d_n1<T, F>(d0: usize, d1: usize, s0: usize, buf: &mut [T], mut visit: F)
+where
+    T: ScalarFloat,
+    F: FnMut(usize, f64) -> T,
+{
+    buf[0] = visit(0, 0.0);
+    for f in 1..d1 {
+        let pred = lorenzo_1d(buf, f);
+        buf[f] = visit(f, pred);
+    }
+    for i in 1..d0 {
+        let row = i * s0;
+        let pred = buf[row - s0].to_f64();
+        buf[row] = visit(row, pred);
+        for j in 1..d1 {
+            let f = row + j;
+            let pred = lorenzo_2d(buf, f, s0);
+            buf[f] = visit(f, pred);
+        }
+    }
+}
+
+fn scan_3d_n1<T, F>(
+    d0: usize,
+    d1: usize,
+    d2: usize,
+    s0: usize,
+    s1: usize,
+    buf: &mut [T],
+    mut visit: F,
+) where
+    T: ScalarFloat,
+    F: FnMut(usize, f64) -> T,
+{
+    for i in 0..d0 {
+        for j in 0..d1 {
+            let base = i * s0 + j * s1;
+            // Pencil start (k = 0): the predictor degrades to the plane of
+            // axes that still have a preceding neighbor.
+            let pred = match (i > 0, j > 0) {
+                (false, false) => 0.0,
+                (false, true) => buf[base - s1].to_f64(),
+                (true, false) => buf[base - s0].to_f64(),
+                (true, true) => {
+                    buf[base - s1].to_f64() + buf[base - s0].to_f64() - buf[base - s0 - s1].to_f64()
+                }
+            };
+            buf[base] = visit(base, pred);
+            match (i > 0, j > 0) {
+                (false, false) => {
+                    for k in 1..d2 {
+                        let f = base + k;
+                        let pred = lorenzo_1d(buf, f);
+                        buf[f] = visit(f, pred);
+                    }
+                }
+                (false, true) => {
+                    for k in 1..d2 {
+                        let f = base + k;
+                        let pred = lorenzo_2d(buf, f, s1);
+                        buf[f] = visit(f, pred);
+                    }
+                }
+                (true, false) => {
+                    for k in 1..d2 {
+                        let f = base + k;
+                        let pred = lorenzo_2d(buf, f, s0);
+                        buf[f] = visit(f, pred);
+                    }
+                }
+                (true, true) => {
+                    for k in 1..d2 {
+                        let f = base + k;
+                        let pred = lorenzo_3d(buf, f, s0, s1);
+                        buf[f] = visit(f, pred);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compress::{compress_slice_with_kernel, compress_slice_with_stats};
+    use crate::{decompress, Config, ErrorBound};
+    use szr_tensor::Tensor;
+
+    fn wavy(dims: &[usize]) -> Vec<f32> {
+        let len: usize = dims.iter().product();
+        (0..len)
+            .map(|f| ((f as f32) * 0.37).sin() * 8.0 + ((f as f32) * 0.011).cos() * 3.0)
+            .collect()
+    }
+
+    #[test]
+    fn kind_selection_covers_the_dominant_cases() {
+        for (strides, layers, specialized) in [
+            (vec![1usize], 1usize, true),
+            (vec![1], 2, true),
+            (vec![64, 1], 1, true),
+            (vec![64, 1], 2, true),
+            (vec![12, 4, 1], 1, true),
+            (vec![12, 4, 1], 2, true),
+            (vec![12, 4, 1], 3, false),
+            (vec![100, 20, 5, 1], 1, false),
+        ] {
+            let kernel = ScanKernel::new(layers, &strides);
+            assert_eq!(
+                kernel.kind() != KernelKind::Generic,
+                specialized,
+                "strides {strides:?} layers {layers}"
+            );
+        }
+    }
+
+    #[test]
+    fn scan_visits_every_point_in_flat_order() {
+        for dims in [
+            vec![17usize],
+            vec![5, 7],
+            vec![1, 9],
+            vec![3, 4, 5],
+            vec![2, 2, 9],
+        ] {
+            for layers in 1..=2usize {
+                let shape = Shape::new(&dims);
+                let mut kernel = ScanKernel::for_shape(layers, &shape);
+                let mut buf = vec![0.0f32; shape.len()];
+                let mut seen = Vec::new();
+                kernel.scan(&shape, &mut buf, |flat, _| {
+                    seen.push(flat);
+                    1.0
+                });
+                let expect: Vec<usize> = (0..shape.len()).collect();
+                assert_eq!(seen, expect, "dims {dims:?} layers {layers}");
+            }
+        }
+    }
+
+    /// Specialized and generic kernels must agree on every prediction (up
+    /// to zero-sign) and on every stored value — the invariant the archive
+    /// equivalence rests on.
+    #[test]
+    fn specialized_predictions_match_generic() {
+        for dims in [
+            vec![40usize],
+            vec![1, 23],
+            vec![23, 1],
+            vec![9, 11],
+            vec![2, 2, 17],
+            vec![1, 1, 13],
+            vec![6, 5, 4],
+        ] {
+            for layers in 1..=2usize {
+                let shape = Shape::new(&dims);
+                let data = wavy(&dims);
+                let mut spec = ScanKernel::for_shape(layers, &shape);
+                assert_ne!(spec.kind(), KernelKind::Generic);
+                let mut generic = ScanKernel::generic(layers, shape.strides());
+
+                let run = |kernel: &mut ScanKernel| {
+                    let mut buf = vec![0.0f32; shape.len()];
+                    let mut preds = Vec::with_capacity(shape.len());
+                    kernel.scan(&shape, &mut buf, |flat, pred| {
+                        preds.push(pred);
+                        // Store a quantized-ish reconstruction so later
+                        // predictions depend on earlier ones.
+                        (pred + (data[flat] as f64 - pred) * 0.5) as f32
+                    });
+                    (preds, buf)
+                };
+                let (pa, ba) = run(&mut spec);
+                let (pb, bb) = run(&mut generic);
+                assert_eq!(pa.len(), pb.len());
+                for (idx, (x, y)) in pa.iter().zip(&pb).enumerate() {
+                    assert!(
+                        x == y,
+                        "dims {dims:?} layers {layers} flat {idx}: {x} vs {y}"
+                    );
+                }
+                assert_eq!(ba, bb, "dims {dims:?} layers {layers}");
+            }
+        }
+    }
+
+    #[test]
+    fn sample_interior_agrees_with_generic_walker() {
+        for dims in [
+            vec![50usize],
+            vec![8, 9],
+            vec![1, 16],
+            vec![4, 5, 6],
+            vec![2, 2, 11],
+        ] {
+            for layers in 1..=2usize {
+                for stride in [1usize, 3, 5] {
+                    let shape = Shape::new(&dims);
+                    let data = wavy(&dims);
+                    let mut spec = ScanKernel::for_shape(layers, &shape);
+                    let mut generic = ScanKernel::generic(layers, shape.strides());
+                    let mut a: Vec<(usize, f64)> = Vec::new();
+                    let mut b: Vec<(usize, f64)> = Vec::new();
+                    spec.sample_interior(&shape, &data, stride, |f, p| a.push((f, p)));
+                    generic.sample_interior(&shape, &data, stride, |f, p| b.push((f, p)));
+                    assert_eq!(a, b, "dims {dims:?} layers {layers} stride {stride}");
+                }
+            }
+        }
+    }
+
+    /// One kernel instance serves grids that differ only in their leading
+    /// extent — the chunked-band reuse contract.
+    #[test]
+    fn kernel_reuse_across_band_heights_matches_fresh_kernels() {
+        let config = Config::new(ErrorBound::Absolute(1e-3));
+        let mut shared = ScanKernel::new(1, &[32, 1]);
+        for rows in [1usize, 2, 7, 19] {
+            let dims = vec![rows, 32];
+            let shape = Shape::new(&dims);
+            let data = wavy(&dims);
+            let (reused, _) =
+                compress_slice_with_kernel(&data, &shape, &config, &mut shared).unwrap();
+            let (fresh, _) = compress_slice_with_stats(&data, &shape, &config).unwrap();
+            assert_eq!(reused, fresh, "rows {rows}");
+        }
+    }
+
+    #[test]
+    fn mismatched_kernel_is_rejected() {
+        let config = Config::new(ErrorBound::Absolute(1e-3));
+        let shape = Shape::new(&[8, 8]);
+        let data = wavy(&[8, 8]);
+        // Wrong stride family.
+        let mut kernel = ScanKernel::new(1, &[16, 1]);
+        assert!(compress_slice_with_kernel(&data, &shape, &config, &mut kernel).is_err());
+        // Wrong layer count.
+        let mut kernel = ScanKernel::new(2, &[8, 1]);
+        assert!(compress_slice_with_kernel(&data, &shape, &config, &mut kernel).is_err());
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Shapes weighted toward the boundary-heavy degenerate cases the
+        /// issue calls out (`[1, N]`, `[2, 2, N]`, unit axes).
+        fn arb_dims() -> impl Strategy<Value = Vec<usize>> {
+            prop_oneof![
+                (1usize..=96).prop_map(|n| vec![n]),
+                (1usize..=14, 1usize..=14).prop_map(|(a, b)| vec![a, b]),
+                (1usize..=48).prop_map(|n| vec![1, n]),
+                (1usize..=48).prop_map(|n| vec![n, 1]),
+                (1usize..=6, 1usize..=6, 1usize..=6).prop_map(|(a, b, c)| vec![a, b, c]),
+                (1usize..=24).prop_map(|n| vec![2, 2, n]),
+                (1usize..=24).prop_map(|n| vec![1, 1, n]),
+            ]
+        }
+
+        fn arb_grid_f32() -> impl Strategy<Value = (Vec<usize>, Vec<f32>)> {
+            arb_dims().prop_flat_map(|dims| {
+                let len: usize = dims.iter().product();
+                (Just(dims), prop::collection::vec(-1e5f32..1e5, len..=len))
+            })
+        }
+
+        fn arb_grid_f64() -> impl Strategy<Value = (Vec<usize>, Vec<f64>)> {
+            arb_dims().prop_flat_map(|dims| {
+                let len: usize = dims.iter().product();
+                (Just(dims), prop::collection::vec(-1e9f64..1e9, len..=len))
+            })
+        }
+
+        fn assert_equivalent<T: ScalarFloat + std::fmt::Debug + PartialEq>(
+            dims: &[usize],
+            data: &[T],
+            config: &Config,
+        ) -> Result<(), crate::SzError> {
+            let shape = Shape::new(dims);
+            let mut spec = ScanKernel::for_shape(config.layers, &shape);
+            assert_ne!(spec.kind(), KernelKind::Generic);
+            let mut generic = ScanKernel::generic(config.layers, shape.strides());
+            let (a, sa) = compress_slice_with_kernel(data, &shape, config, &mut spec)?;
+            let (b, sb) = compress_slice_with_kernel(data, &shape, config, &mut generic)?;
+            assert_eq!(a, b, "archives diverge for dims {dims:?}");
+            assert_eq!(sa, sb);
+            let out: Tensor<T> = decompress(&a)?;
+            assert_eq!(out.dims(), dims);
+            for (x, y) in data.iter().zip(out.as_slice()) {
+                let err = (x.to_f64() - y.to_f64()).abs();
+                assert!(err <= sa.eb_abs, "bound violated: {err} > {}", sa.eb_abs);
+            }
+            Ok(())
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+
+            /// THE tentpole invariant: specialized kernels produce archives
+            /// byte-identical to the generic stencil walker — f32, fixed
+            /// interval counts.
+            #[test]
+            fn archives_identical_f32_fixed_bits(
+                (dims, data) in arb_grid_f32(),
+                layers in 1usize..=2,
+                eb in 1e-4f64..1.0,
+                bits in 2u32..=10,
+            ) {
+                let config = Config::new(ErrorBound::Absolute(eb))
+                    .with_layers(layers)
+                    .with_interval_bits(bits);
+                assert_equivalent(&dims, &data, &config).unwrap();
+            }
+
+            /// Same with the adaptive interval sampler in the loop, which
+            /// exercises `sample_interior` equivalence end-to-end.
+            #[test]
+            fn archives_identical_f32_adaptive_bits(
+                (dims, data) in arb_grid_f32(),
+                layers in 1usize..=2,
+                eb in 1e-4f64..1.0,
+            ) {
+                let config = Config::new(ErrorBound::Absolute(eb)).with_layers(layers);
+                assert_equivalent(&dims, &data, &config).unwrap();
+            }
+
+            /// And for f64 grids.
+            #[test]
+            fn archives_identical_f64(
+                (dims, data) in arb_grid_f64(),
+                layers in 1usize..=2,
+                eb in 1e-6f64..1e2,
+            ) {
+                let config = Config::new(ErrorBound::Absolute(eb)).with_layers(layers);
+                assert_equivalent(&dims, &data, &config).unwrap();
+            }
+
+            /// Decorrelation mode routes extra state (the per-index dither)
+            /// through the scan closure; equivalence must survive it.
+            #[test]
+            fn archives_identical_with_decorrelation(
+                (dims, data) in arb_grid_f32(),
+                eb in 1e-3f64..1.0,
+            ) {
+                let config = Config::new(ErrorBound::Absolute(eb)).with_decorrelation();
+                assert_equivalent(&dims, &data, &config).unwrap();
+            }
+        }
+    }
+}

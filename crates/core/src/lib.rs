@@ -44,6 +44,7 @@ mod compress;
 mod config;
 mod decompress;
 mod float;
+mod kernel;
 mod predict;
 mod pwrel;
 mod quant;
@@ -51,13 +52,17 @@ mod stats;
 mod stream;
 mod unpred;
 
-pub use compress::{compress, compress_slice_with_stats, compress_with_stats, CompressionStats};
+pub use compress::{
+    compress, compress_slice_with_kernel, compress_slice_with_stats, compress_with_stats,
+    CompressionStats,
+};
 pub use config::{Config, ErrorBound, IntervalMode};
 pub use decompress::{decompress, inspect, ArchiveInfo};
 pub use float::ScalarFloat;
+pub use kernel::{KernelKind, ScanKernel};
 pub use predict::{layer_coefficients, predict_at, Stencil, StencilSet};
 pub use pwrel::{compress_pointwise_rel, decompress_pointwise_rel};
-pub use quant::{choose_interval_bits, Quantizer};
+pub use quant::{choose_interval_bits, choose_interval_bits_with_kernel, Quantizer};
 pub use stats::{hit_rate_by_layer, quantization_histogram, PredictionBasis};
 pub use stream::{StreamCompressor, StreamDecompressor};
 pub use unpred::UnpredictableCodec;
@@ -70,7 +75,10 @@ pub enum SzError {
     /// The archive bytes are malformed or truncated.
     Corrupt(String),
     /// The archive encodes a different scalar type than requested.
-    WrongType { expected: &'static str, found: &'static str },
+    WrongType {
+        expected: &'static str,
+        found: &'static str,
+    },
 }
 
 impl std::fmt::Display for SzError {

@@ -258,9 +258,9 @@ mod tests {
                 let mut acc = 0.0;
                 for p in 0..=deg {
                     for q in 0..=(deg - p) {
-                        acc += 0.37 * ((p * 3 + q) as f64 + 1.0) * i.powi(p as i32)
-                            * j.powi(q as i32)
-                            / 50.0f64.powi((p + q) as i32);
+                        acc +=
+                            0.37 * ((p * 3 + q) as f64 + 1.0) * i.powi(p as i32) * j.powi(q as i32)
+                                / 50.0f64.powi((p + q) as i32);
                     }
                 }
                 acc

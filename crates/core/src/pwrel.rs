@@ -47,7 +47,9 @@ pub fn compress_pointwise_rel<T: ScalarFloat>(
     config: &Config,
 ) -> Result<Vec<u8>> {
     if !(eb > 0.0 && eb < 1.0) {
-        return Err(SzError::InvalidConfig("pointwise relative bound must be in (0,1)"));
+        return Err(SzError::InvalidConfig(
+            "pointwise relative bound must be in (0,1)",
+        ));
     }
     let n = data.len();
     let values = data.as_slice();
@@ -64,7 +66,11 @@ pub fn compress_pointwise_rel<T: ScalarFloat>(
             classes.push(Class::Zero);
             logs.push(last_log);
         } else if x.is_finite() {
-            classes.push(if x > 0.0 { Class::Positive } else { Class::Negative });
+            classes.push(if x > 0.0 {
+                Class::Positive
+            } else {
+                Class::Negative
+            });
             last_log = x.abs().log2();
             logs.push(last_log);
         } else {
@@ -181,7 +187,11 @@ mod tests {
                 // Zeros reconstruct as +0.0 (the sign of zero is dropped).
                 assert_eq!(y, 0.0, "point {i}: zero must reconstruct as zero");
             } else if !x.is_finite() {
-                assert_eq!(x.to_bits(), y.to_bits(), "point {i}: special value must be exact");
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "point {i}: special value must be exact"
+                );
             } else {
                 assert!(
                     (x - y).abs() <= eb * x.abs() * (1.0 + 1e-12),
@@ -215,7 +225,16 @@ mod tests {
     fn signs_zeros_and_infinities_are_preserved() {
         let data = Tensor::from_vec(
             [8],
-            vec![1.5f32, -2.5, 0.0, -0.0, f32::INFINITY, f32::NEG_INFINITY, 1e-30, -1e30],
+            vec![
+                1.5f32,
+                -2.5,
+                0.0,
+                -0.0,
+                f32::INFINITY,
+                f32::NEG_INFINITY,
+                1e-30,
+                -1e30,
+            ],
         );
         let packed = compress_pointwise_rel(&data, 1e-3, &config()).unwrap();
         let out: Tensor<f32> = decompress_pointwise_rel(&packed).unwrap();

@@ -2,7 +2,7 @@
 //! (§IV-B).
 
 use crate::float::ScalarFloat;
-use crate::predict::{predict_at, StencilSet};
+use crate::kernel::ScanKernel;
 use szr_tensor::Shape;
 
 /// The linear-scaling quantizer of Figure 2.
@@ -67,8 +67,9 @@ impl Quantizer {
     #[inline]
     pub fn quantize(&self, value: f64, pred: f64) -> Option<(u32, f64)> {
         let k = ((value - pred) / (2.0 * self.eb)).round();
-        if !(k.abs() < self.half as f64) {
-            // NaN comparisons land here too, falling back to unpredictable.
+        if k.is_nan() || k.abs() >= self.half as f64 {
+            // NaN (from a non-finite value or prediction) falls back to
+            // unpredictable storage alongside out-of-range offsets.
             return None;
         }
         let recon = pred + 2.0 * self.eb * k;
@@ -116,34 +117,42 @@ pub fn choose_interval_bits<T: ScalarFloat>(
     stride: usize,
     max_bits: u32,
 ) -> u32 {
+    let mut kernel = ScanKernel::for_shape(n, shape);
+    choose_interval_bits_with_kernel(data, shape, &mut kernel, eb, theta, stride, max_bits)
+}
+
+/// [`choose_interval_bits`] with a caller-provided [`ScanKernel`], so the
+/// compressor samples through the same kernel instance it then compresses
+/// with (and chunked callers amortize kernel setup across bands).
+///
+/// # Panics
+/// Panics if the kernel's stride family does not match `shape` (the
+/// kernel's own scan-time check; see [`ScanKernel::sample_interior`]).
+pub fn choose_interval_bits_with_kernel<T: ScalarFloat>(
+    data: &[T],
+    shape: &Shape,
+    kernel: &mut ScanKernel,
+    eb: f64,
+    theta: f64,
+    stride: usize,
+    max_bits: u32,
+) -> u32 {
     assert!(max_bits >= 4, "adaptive scheme needs max_bits >= 4");
-    let stride = stride.max(1);
-    let mut stencils = StencilSet::new(n, shape.strides());
     // Histogram of bits needed per sample: bucket b counts samples whose
-    // |k| fits in 2^(b-1) - 1 but not 2^(b-2) - 1.
+    // |k| fits in 2^(b-1) - 1 but not 2^(b-2) - 1. Only interior points are
+    // sampled (the kernel's contract): border prediction is weaker and
+    // would bias the estimate pessimistically on thin shells.
     let mut need = vec![0u64; (max_bits + 2) as usize];
     let mut samples = 0u64;
-    let mut index = vec![0usize; shape.ndim()];
-    let mut flat = 0usize;
-    loop {
-        // Only interior points are sampled: border prediction is weaker and
-        // would bias the estimate pessimistically on thin shells.
-        if flat.is_multiple_of(stride) && index.iter().all(|&x| x >= n) {
-            let stencil = stencils.for_index(&index);
-            let pred = predict_at(data, flat, stencil);
-            let k = ((data[flat].to_f64() - pred) / (2.0 * eb)).round().abs();
-            samples += 1;
-            let mut b = 2u32;
-            while b <= max_bits && k >= (1i64 << (b - 1)) as f64 {
-                b += 1;
-            }
-            need[b.min(max_bits + 1) as usize] += 1;
+    kernel.sample_interior(shape, data, stride, |flat, pred| {
+        let k = ((data[flat].to_f64() - pred) / (2.0 * eb)).round().abs();
+        samples += 1;
+        let mut b = 2u32;
+        while b <= max_bits && k >= (1i64 << (b - 1)) as f64 {
+            b += 1;
         }
-        flat += 1;
-        if !shape.advance(&mut index) {
-            break;
-        }
-    }
+        need[b.min(max_bits + 1) as usize] += 1;
+    });
     if samples == 0 {
         return 8; // degenerate grid (all border): the paper's 255 intervals
     }
@@ -212,8 +221,14 @@ mod tests {
     fn interval_count_matches_paper_configurations() {
         // The paper's named configurations: 15, 63, 255, 511, 2047, 4095,
         // 16383, 65535 intervals.
-        for (bits, intervals) in [(4u32, 15u32), (6, 63), (8, 255), (9, 511), (12, 4095), (16, 65535)]
-        {
+        for (bits, intervals) in [
+            (4u32, 15u32),
+            (6, 63),
+            (8, 255),
+            (9, 511),
+            (12, 4095),
+            (16, 65535),
+        ] {
             assert_eq!(Quantizer::new(0.1, bits).interval_count(), intervals);
         }
     }

@@ -1,7 +1,7 @@
 //! Analysis helpers behind the paper's Table II and Figures 3–4.
 
 use crate::float::ScalarFloat;
-use crate::predict::{predict_at, StencilSet};
+use crate::kernel::ScanKernel;
 use crate::quant::Quantizer;
 use szr_tensor::Tensor;
 
@@ -36,26 +36,29 @@ pub fn hit_rate_by_layer<T: ScalarFloat>(
     assert!(eb > 0.0, "error bound must be positive");
     let shape = data.shape();
     let values = data.as_slice();
-    let mut stencils = StencilSet::new(layers, shape.strides());
-    let mut index = vec![0usize; shape.ndim()];
+    let mut kernel = ScanKernel::for_shape(layers, shape);
     let mut hits = 0usize;
 
     match basis {
         PredictionBasis::Original => {
-            for (flat, &value) in values.iter().enumerate() {
-                let stencil = stencils.for_index(&index);
-                let pred = predict_at(values, flat, stencil);
+            // Seed the scan buffer with the originals and store each value
+            // back unchanged: predictions then always read original data.
+            // Costs one copy of the input — the price of sharing the
+            // kernel's write-back traversal until it grows a read-only
+            // full-grid scan (ROADMAP).
+            let mut buf: Vec<T> = values.to_vec();
+            kernel.scan(shape, &mut buf, |flat, pred| {
+                let value = values[flat];
                 if (value.to_f64() - pred).abs() <= eb {
                     hits += 1;
                 }
-                shape.advance(&mut index);
-            }
+                value
+            });
         }
         PredictionBasis::Decompressed => {
             let mut recon: Vec<T> = vec![T::from_f64(0.0); values.len()];
-            for (flat, &value) in values.iter().enumerate() {
-                let stencil = stencils.for_index(&index);
-                let pred = predict_at(&recon, flat, stencil);
+            kernel.scan(shape, &mut recon, |flat, pred| {
+                let value = values[flat];
                 let v64 = value.to_f64();
                 if (v64 - pred).abs() <= eb {
                     hits += 1;
@@ -65,13 +68,12 @@ pub fn hit_rate_by_layer<T: ScalarFloat>(
                 // isolating feedback effects from interval-count effects.
                 let k = ((v64 - pred) / (2.0 * eb)).round();
                 let r = T::from_f64(pred + 2.0 * eb * k);
-                recon[flat] = if (v64 - r.to_f64()).abs() <= eb {
+                if (v64 - r.to_f64()).abs() <= eb {
                     r
                 } else {
                     value // fall back to exact storage, as the escape path would
-                };
-                shape.advance(&mut index);
-            }
+                }
+            });
         }
     }
     hits as f64 / values.len() as f64
@@ -91,12 +93,10 @@ pub fn quantization_histogram<T: ScalarFloat>(
     let quantizer = Quantizer::new(eb, interval_bits);
     let mut hist = vec![0u64; quantizer.alphabet()];
     let mut recon: Vec<T> = vec![T::from_f64(0.0); values.len()];
-    let mut stencils = StencilSet::new(layers, shape.strides());
-    let mut index = vec![0usize; shape.ndim()];
+    let mut kernel = ScanKernel::for_shape(layers, shape);
 
-    for (flat, &value) in values.iter().enumerate() {
-        let stencil = stencils.for_index(&index);
-        let pred = predict_at(&recon, flat, stencil);
+    kernel.scan(shape, &mut recon, |flat, pred| {
+        let value = values[flat];
         let v64 = value.to_f64();
         let quantized = quantizer.quantize(v64, pred).and_then(|(code, r64)| {
             let r = T::from_f64(r64);
@@ -105,15 +105,14 @@ pub fn quantization_histogram<T: ScalarFloat>(
         match quantized {
             Some((code, r)) => {
                 hist[code as usize] += 1;
-                recon[flat] = r;
+                r
             }
             None => {
                 hist[0] += 1;
-                recon[flat] = value; // stand-in for binary-representation storage
+                value // stand-in for binary-representation storage
             }
         }
-        shape.advance(&mut index);
-    }
+    });
     hist
 }
 

@@ -14,10 +14,11 @@
 //! re-anchors), costing a fraction of a percent in ratio for typical band
 //! heights; the error bound is untouched.
 
-use crate::compress::compress_slice_with_stats;
+use crate::compress::compress_slice_with_kernel;
 use crate::config::{Config, ErrorBound};
 use crate::decompress::decompress;
 use crate::float::ScalarFloat;
+use crate::kernel::ScanKernel;
 use crate::{Result, SzError};
 use szr_bitstream::{ByteReader, ByteWriter};
 use szr_tensor::{Shape, Tensor};
@@ -41,6 +42,10 @@ pub struct StreamCompressor<T: ScalarFloat> {
     /// range; streaming uses the first slab's range as the estimate, which
     /// SZ's in-situ mode also does).
     resolved_eb: Option<f64>,
+    /// One scan kernel for every band: bands share their inner extents
+    /// (hence strides), so dispatch selection and the boundary-stencil
+    /// cache are paid once per stream, not once per flush.
+    kernel: Option<ScanKernel>,
 }
 
 impl<T: ScalarFloat> StreamCompressor<T> {
@@ -76,6 +81,7 @@ impl<T: ScalarFloat> StreamCompressor<T> {
             bands: 0,
             total_rows: 0,
             resolved_eb: None,
+            kernel: None,
         })
     }
 
@@ -120,7 +126,10 @@ impl<T: ScalarFloat> StreamCompressor<T> {
             },
             None => self.config,
         };
-        let (archive, stats) = compress_slice_with_stats(&band, &shape, &config)?;
+        let kernel = self
+            .kernel
+            .get_or_insert_with(|| ScanKernel::for_shape(config.layers, &shape));
+        let (archive, stats) = compress_slice_with_kernel(&band, &shape, &config, kernel)?;
         if self.resolved_eb.is_none() {
             self.resolved_eb = Some(stats.eb_abs);
         }
@@ -190,8 +199,7 @@ impl<'a, T: ScalarFloat> StreamDecompressor<'a, T> {
             // Attempt to read a band; when the remaining bytes parse as the
             // trailer (two varints that match), stop.
             let mut trailer_probe = probe.clone();
-            if let (Ok(b), Ok(_rows)) = (trailer_probe.read_varint(), trailer_probe.read_varint())
-            {
+            if let (Ok(b), Ok(_rows)) = (trailer_probe.read_varint(), trailer_probe.read_varint()) {
                 if trailer_probe.remaining() == 0 && b == bands {
                     break;
                 }
@@ -275,7 +283,10 @@ mod tests {
             stream.push(slab).unwrap();
         }
         let bytes = stream.finish().unwrap();
-        let out: Tensor<f32> = StreamDecompressor::new(&bytes).unwrap().collect_all().unwrap();
+        let out: Tensor<f32> = StreamDecompressor::new(&bytes)
+            .unwrap()
+            .collect_all()
+            .unwrap();
         assert_eq!(out.dims(), &[100, 64]);
         for (&a, &b) in data.as_slice().iter().zip(out.as_slice()) {
             assert!((a as f64 - b as f64).abs() <= 1e-3);
@@ -308,7 +319,10 @@ mod tests {
         stream.push(&first).unwrap();
         stream.push(&second).unwrap();
         let bytes = stream.finish().unwrap();
-        let out: Tensor<f32> = StreamDecompressor::new(&bytes).unwrap().collect_all().unwrap();
+        let out: Tensor<f32> = StreamDecompressor::new(&bytes)
+            .unwrap()
+            .collect_all()
+            .unwrap();
         let eb = 1e-3 * 127.0; // first band's range
         for (i, (&a, &b)) in first.iter().chain(&second).zip(out.as_slice()).enumerate() {
             assert!(
@@ -344,7 +358,10 @@ mod tests {
             stream.push(level).unwrap();
         }
         let bytes = stream.finish().unwrap();
-        let out: Tensor<f32> = StreamDecompressor::new(&bytes).unwrap().collect_all().unwrap();
+        let out: Tensor<f32> = StreamDecompressor::new(&bytes)
+            .unwrap()
+            .collect_all()
+            .unwrap();
         assert_eq!(out.dims(), &[12, 16, 16]);
         for (&a, &b) in data.as_slice().iter().zip(out.as_slice()) {
             assert!((a as f64 - b as f64).abs() <= 1e-4);

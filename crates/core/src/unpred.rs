@@ -135,7 +135,11 @@ mod tests {
             .map(|_| codec.decode::<T>(&mut r).unwrap())
             .collect();
         for (a, b) in recon_enc.iter().zip(&recon_dec) {
-            assert_eq!(a.to_bits_u64(), b.to_bits_u64(), "enc/dec reconstruction mismatch");
+            assert_eq!(
+                a.to_bits_u64(),
+                b.to_bits_u64(),
+                "enc/dec reconstruction mismatch"
+            );
         }
         recon_dec
     }
@@ -209,6 +213,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::excessive_precision)] // Avogadro, quoted in full
     fn full_precision_kept_when_bound_is_tiny() {
         // eb below one ulp of the value: k clamps to full mantissa, exact.
         let codec = UnpredictableCodec::new(1e-40);

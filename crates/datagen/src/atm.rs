@@ -73,7 +73,8 @@ fn planetary_base(rows: usize, cols: usize) -> Tensor<f32> {
         let lon = ix[1] as f32 / cols as f32;
         let latitudinal = (std::f32::consts::PI * lat).sin(); // warm equator
         let wave1 = (2.0 * std::f32::consts::TAU * lon + 3.0 * lat).sin();
-        let wave2 = (5.0 * std::f32::consts::TAU * lon).cos() * (2.5 * std::f32::consts::TAU * lat).sin();
+        let wave2 =
+            (5.0 * std::f32::consts::TAU * lon).cos() * (2.5 * std::f32::consts::TAU * lat).sin();
         latitudinal + 0.15 * wave1 + 0.08 * wave2
     })
 }
@@ -193,7 +194,11 @@ mod tests {
     fn cdnumc_spans_many_decades() {
         let t = atm(AtmVariable::Cdnumc, 120, 240, 11);
         let min = t.as_slice().iter().cloned().fold(f32::INFINITY, f32::min);
-        let max = t.as_slice().iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let max = t
+            .as_slice()
+            .iter()
+            .cloned()
+            .fold(f32::NEG_INFINITY, f32::max);
         assert!(min > 0.0);
         assert!(
             max / min > 1e12,

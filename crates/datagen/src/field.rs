@@ -70,7 +70,8 @@ pub fn smooth_separable(tensor: &mut Tensor<f32>, radius: usize, passes: usize) 
                     // (clamped).
                     let drop_ix = i.saturating_sub(radius).min(n - 1);
                     let add_ix = (i + radius + 1).min(n - 1);
-                    acc += data[base + add_ix * stride] as f64 - data[base + drop_ix * stride] as f64;
+                    acc +=
+                        data[base + add_ix * stride] as f64 - data[base + drop_ix * stride] as f64;
                 }
                 for (i, &v) in scratch.iter().enumerate() {
                     data[base + i * stride] = v;
@@ -115,7 +116,9 @@ pub fn add_spikes(tensor: &mut Tensor<f32>, count: usize, amplitude: f32, seed: 
         for (d, c) in center.iter_mut().enumerate() {
             *c = rng.random_range(0..dims[d]);
         }
-        let amp = amplitude * rng.random_range(0.2f32..1.0) * if rng.random::<bool>() { 1.0 } else { -1.0 };
+        let amp = amplitude
+            * rng.random_range(0.2f32..1.0)
+            * if rng.random::<bool>() { 1.0 } else { -1.0 };
         let radius = rng.random_range(1usize..4);
         // Stamp a small separable tent bump around the center.
         stamp_bump(tensor, &center, radius, amp);
@@ -196,7 +199,11 @@ mod tests {
         let mut t = white_noise([32, 32], 5);
         rescale(&mut t, 10.0, 20.0);
         let min = t.as_slice().iter().cloned().fold(f32::INFINITY, f32::min);
-        let max = t.as_slice().iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let max = t
+            .as_slice()
+            .iter()
+            .cloned()
+            .fold(f32::NEG_INFINITY, f32::max);
         assert!((min - 10.0).abs() < 1e-4);
         assert!((max - 20.0).abs() < 1e-4);
     }

@@ -116,10 +116,16 @@ mod tests {
         let step = diff(&a, &b);
         let jump = diff(&a, &c);
         assert!(step > 0.0, "consecutive steps must differ");
-        assert!(jump > step, "distant times should differ more: {step} vs {jump}");
+        assert!(
+            jump > step,
+            "distant times should differ more: {step} vs {jump}"
+        );
         // One step changes the field by a small fraction of its scale.
         let scale: f32 = a.as_slice().iter().cloned().fold(0.0, f32::max);
-        assert!(step < 0.2 * scale, "step {step} too violent vs scale {scale}");
+        assert!(
+            step < 0.2 * scale,
+            "step {step} too violent vs scale {scale}"
+        );
     }
 
     #[test]

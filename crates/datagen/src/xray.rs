@@ -25,7 +25,7 @@ pub fn aps(rows: usize, cols: usize, seed: u64) -> Tensor<f32> {
         let dc = ix[1] as f32 - cc;
         let r = (dr * dr + dc * dc).sqrt();
         let rn = r / rmax; // normalized radius
-        // Beamstop: flat noise floor region.
+                           // Beamstop: flat noise floor region.
         if rn < 0.04 {
             return 2.0 + 0.5 * noise[ix].abs();
         }
@@ -78,7 +78,10 @@ mod tests {
                 maxima += 1;
             }
         }
-        assert!(maxima >= 3, "expected ring oscillations, found {maxima} maxima");
+        assert!(
+            maxima >= 3,
+            "expected ring oscillations, found {maxima} maxima"
+        );
     }
 
     #[test]

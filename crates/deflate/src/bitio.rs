@@ -176,6 +176,9 @@ mod tests {
     }
 
     #[test]
+    // The 9-bit literals group as 8+1 on purpose: it makes the mirror-image
+    // relationship between input and expectation visible.
+    #[allow(clippy::unusual_byte_groupings)]
     fn reverse_bits_examples() {
         assert_eq!(reverse_bits(0b100, 3), 0b001);
         assert_eq!(reverse_bits(0b1, 1), 0b1);

@@ -6,8 +6,8 @@ use crate::{Error, Result};
 
 /// Length-code base values for symbols 257..=285.
 const LENGTH_BASE: [u16; 29] = [
-    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51, 59, 67, 83, 99, 115,
-    131, 163, 195, 227, 258,
+    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51, 59, 67, 83, 99, 115, 131,
+    163, 195, 227, 258,
 ];
 /// Extra bits per length code.
 const LENGTH_EXTRA: [u32; 29] = [
@@ -20,11 +20,13 @@ const DIST_BASE: [u16; 30] = [
 ];
 /// Extra bits per distance code.
 const DIST_EXTRA: [u32; 30] = [
-    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12,
-    13, 13,
+    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13,
+    13,
 ];
 /// Order in which code-length-code lengths are transmitted.
-const CLC_ORDER: [usize; 19] = [16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15];
+const CLC_ORDER: [usize; 19] = [
+    16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15,
+];
 
 /// Tokens per encoded block: bounds table-adaptation granularity.
 const TOKENS_PER_BLOCK: usize = 65_536;
@@ -317,11 +319,7 @@ fn rle_code_lengths(lengths: &[u32]) -> Vec<(u16, u32, u16)> {
     out
 }
 
-fn write_dynamic_header(
-    w: &mut LsbWriter,
-    litlen_lengths: &[u32],
-    dist_lengths: &[u32],
-) {
+fn write_dynamic_header(w: &mut LsbWriter, litlen_lengths: &[u32], dist_lengths: &[u32]) {
     // HLIT/HDIST: trailing zeros may be trimmed but minimums apply.
     let hlit = litlen_lengths
         .iter()
@@ -519,8 +517,7 @@ fn inflate_block(
             256 => return Ok(()),
             257..=285 => {
                 let idx = (sym - 257) as usize;
-                let len =
-                    LENGTH_BASE[idx] as usize + reader.read_bits(LENGTH_EXTRA[idx])? as usize;
+                let len = LENGTH_BASE[idx] as usize + reader.read_bits(LENGTH_EXTRA[idx])? as usize;
                 let dsym = dist.decode(reader)? as usize;
                 if dsym >= 30 {
                     return Err(Error::Corrupt("distance symbol out of range"));
@@ -558,7 +555,9 @@ fn read_dynamic_tables(reader: &mut LsbReader<'_>) -> Result<(HuffDecoder, HuffD
         match sym {
             0..=15 => all.push(sym as u32),
             16 => {
-                let &prev = all.last().ok_or(Error::Corrupt("repeat with no prior length"))?;
+                let &prev = all
+                    .last()
+                    .ok_or(Error::Corrupt("repeat with no prior length"))?;
                 let n = reader.read_bits(2)? as usize + 3;
                 all.extend(std::iter::repeat_n(prev, n));
             }
@@ -647,7 +646,10 @@ mod tests {
         // codes 010,011,100,101,110,00,1110,1111.
         let lengths = [3u32, 3, 3, 3, 3, 2, 4, 4];
         let codes = assign_codes(&lengths);
-        assert_eq!(codes, vec![0b010, 0b011, 0b100, 0b101, 0b110, 0b00, 0b1110, 0b1111]);
+        assert_eq!(
+            codes,
+            vec![0b010, 0b011, 0b100, 0b101, 0b110, 0b00, 0b1110, 0b1111]
+        );
     }
 
     #[test]

@@ -29,7 +29,8 @@ pub enum Token {
 #[inline]
 fn hash(window: &[u8], pos: usize) -> usize {
     // Multiplicative hash of the next 3 bytes.
-    let v = (window[pos] as u32) | ((window[pos + 1] as u32) << 8) | ((window[pos + 2] as u32) << 16);
+    let v =
+        (window[pos] as u32) | ((window[pos + 1] as u32) << 8) | ((window[pos + 2] as u32) << 16);
     (v.wrapping_mul(0x9E37_79B1) >> 17) as usize & (HASH_SIZE - 1)
 }
 

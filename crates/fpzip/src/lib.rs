@@ -345,7 +345,10 @@ mod tests {
     fn wrong_type_detected() {
         let data = Tensor::from_fn([8, 8], |ix| (ix[0] + ix[1]) as f32);
         let packed = fpzip_compress(&data);
-        assert_eq!(fpzip_decompress::<f64>(&packed).unwrap_err(), Error::WrongType);
+        assert_eq!(
+            fpzip_decompress::<f64>(&packed).unwrap_err(),
+            Error::WrongType
+        );
     }
 
     #[test]
@@ -361,7 +364,14 @@ mod tests {
     fn special_values_roundtrip() {
         let data = Tensor::from_vec(
             [6],
-            vec![0.0f32, -0.0, f32::INFINITY, f32::NEG_INFINITY, 1e-40, f32::MAX],
+            vec![
+                0.0f32,
+                -0.0,
+                f32::INFINITY,
+                f32::NEG_INFINITY,
+                1e-40,
+                f32::MAX,
+            ],
         );
         let packed = fpzip_compress(&data);
         let out: Tensor<f32> = fpzip_decompress(&packed).unwrap();

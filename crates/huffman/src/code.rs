@@ -145,7 +145,9 @@ impl HuffmanCodec {
             if n > 0 {
                 let offset = code.wrapping_sub(self.first_code[len]);
                 if offset < n as u64 {
-                    return Ok(self.sorted_symbols[(self.first_index[len] + offset as u32) as usize]);
+                    return Ok(
+                        self.sorted_symbols[(self.first_index[len] + offset as u32) as usize]
+                    );
                 }
             }
         }
@@ -194,7 +196,7 @@ fn build_lengths(freqs: &[u64]) -> Vec<u32> {
     let mut next_node = n;
 
     let take_min = |leaf_q: &mut usize,
-                        pkg_q: &mut std::collections::VecDeque<(u64, usize)>|
+                    pkg_q: &mut std::collections::VecDeque<(u64, usize)>|
      -> (u64, usize) {
         let leaf_w = leaves.get(*leaf_q).map(|&(w, _)| w);
         let pkg_w = pkg_q.front().map(|&(w, _)| w);

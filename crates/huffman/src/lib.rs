@@ -81,7 +81,9 @@ mod tests {
     #[test]
     fn skewed_stream_compresses_well() {
         // 95% zeros: entropy ≈ 0.29 bits/symbol, so 10k symbols ≈ 360 bytes.
-        let symbols: Vec<u32> = (0..10_000).map(|i| if i % 20 == 0 { 1 } else { 0 }).collect();
+        let symbols: Vec<u32> = (0..10_000)
+            .map(|i| if i % 20 == 0 { 1 } else { 0 })
+            .collect();
         let bytes = compress_u32(&symbols, 2);
         assert!(bytes.len() < 10_000 / 8 + 64, "got {} bytes", bytes.len());
         assert_eq!(decompress_u32(&bytes).unwrap(), symbols);

@@ -151,7 +151,10 @@ const ESCAPE_CLASS: u32 = 65;
 /// # Errors
 /// [`Error::ToleranceUnreachable`] when the correction stream would push the
 /// size past raw storage (the paper's "fails at low error bounds" regime).
-pub fn isabela_compress<T: ScalarFloat>(data: &Tensor<T>, config: &IsabelaConfig) -> Result<Vec<u8>> {
+pub fn isabela_compress<T: ScalarFloat>(
+    data: &Tensor<T>,
+    config: &IsabelaConfig,
+) -> Result<Vec<u8>> {
     assert!(config.window >= 8, "window must be at least 8");
     assert!(config.knots >= 2, "need at least 2 knots");
     assert!(
@@ -201,7 +204,11 @@ pub fn isabela_compress<T: ScalarFloat>(data: &Tensor<T>, config: &IsabelaConfig
         }
         // Corrections against the spline, on a 2·eb grid.
         for (rank, &s) in sorted.iter().enumerate() {
-            let fit = if w == 1 { sorted[0] } else { monotone_cubic(&knots, w, rank) };
+            let fit = if w == 1 {
+                sorted[0]
+            } else {
+                monotone_cubic(&knots, w, rank)
+            };
             let k = ((s - fit) / (2.0 * eb)).round();
             let recon = T::from_f64(fit + 2.0 * eb * k);
             if k.is_finite() && k.abs() < 9.0e15 && (s - recon.to_f64()).abs() <= eb {
@@ -301,7 +308,11 @@ pub fn isabela_decompress<T: ScalarFloat>(bytes: &[u8]) -> Result<Tensor<T>> {
         }
         for rank in 0..w {
             let class = classes[offset + rank];
-            let fit = if w == 1 { knots[0] } else { monotone_cubic(&knots, w, rank) };
+            let fit = if w == 1 {
+                knots[0]
+            } else {
+                monotone_cubic(&knots, w, rank)
+            };
             let value = match class {
                 0 => T::from_f64(fit),
                 c if c <= 64 => {
@@ -444,7 +455,10 @@ mod tests {
     fn wrong_type_and_truncation_error_cleanly() {
         let data = Tensor::from_fn([2048], |ix| ix[0] as f32);
         let packed = isabela_compress(&data, &IsabelaConfig::new(0.5)).unwrap();
-        assert_eq!(isabela_decompress::<f64>(&packed).unwrap_err(), Error::WrongType);
+        assert_eq!(
+            isabela_decompress::<f64>(&packed).unwrap_err(),
+            Error::WrongType
+        );
         assert!(isabela_decompress::<f32>(&packed[..packed.len() / 2]).is_err());
     }
 }

@@ -99,7 +99,9 @@ mod tests {
 
     #[test]
     fn autocorrelation_of_alternating_series_is_negative_at_lag_one() {
-        let series: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let series: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let acf = autocorrelation(&series, 2);
         assert!(acf[0] < -0.9, "lag-1 acf {} should be ~-1", acf[0]);
         assert!(acf[1] > 0.9, "lag-2 acf {} should be ~+1", acf[1]);

@@ -1,6 +1,11 @@
 //! Chunked (embarrassingly parallel) compression.
 
-use szr_core::{compress_slice_with_stats, decompress, Config, Result, ScalarFloat, SzError};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use szr_core::{
+    compress_slice_with_kernel, decompress, Config, Result, ScalarFloat, ScanKernel, SzError,
+};
 use szr_tensor::{Shape, Tensor};
 
 /// A tensor compressed as independent per-band archives.
@@ -25,7 +30,13 @@ impl ChunkedArchive {
 }
 
 /// Splits `extent` into `parts` contiguous ranges as evenly as possible.
+///
+/// An empty extent yields no ranges (rather than panicking on
+/// `clamp(1, 0)`): empty tensors have no bands.
 fn band_ranges(extent: usize, parts: usize) -> Vec<(usize, usize)> {
+    if extent == 0 {
+        return Vec::new();
+    }
     let parts = parts.clamp(1, extent);
     let base = extent / parts;
     let rem = extent % parts;
@@ -56,37 +67,44 @@ pub fn compress_chunked<T: ScalarFloat + Send + Sync>(
     let ranges = band_ranges(dims[0], num_chunks.max(1));
     let row_elems: usize = dims[1..].iter().product::<usize>().max(1);
     let values = data.as_slice();
-    let threads = threads.clamp(1, ranges.len());
+    let threads = threads.clamp(1, ranges.len().max(1));
 
     // Work queue: each worker claims the next band index atomically.
-    use std::sync::atomic::{AtomicUsize, Ordering};
     let next = AtomicUsize::new(0);
-    let results: Vec<parking_lot::Mutex<Option<Result<Vec<u8>>>>> =
-        (0..ranges.len()).map(|_| parking_lot::Mutex::new(None)).collect();
+    let results: Vec<Mutex<Option<Result<Vec<u8>>>>> =
+        (0..ranges.len()).map(|_| Mutex::new(None)).collect();
 
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         for _ in 0..threads {
-            s.spawn(|_| loop {
-                let band = next.fetch_add(1, Ordering::Relaxed);
-                if band >= ranges.len() {
-                    return;
+            s.spawn(|| {
+                // Bands share their inner extents, so every band a worker
+                // claims is served by one ScanKernel instance: the
+                // specialized-dispatch decision and the boundary-stencil
+                // cache are paid once per worker, not once per band.
+                let mut kernel: Option<ScanKernel> = None;
+                loop {
+                    let band = next.fetch_add(1, Ordering::Relaxed);
+                    if band >= ranges.len() {
+                        return;
+                    }
+                    let (r0, r1) = ranges[band];
+                    let mut band_dims = dims.clone();
+                    band_dims[0] = r1 - r0;
+                    let shape = Shape::new(&band_dims);
+                    let kernel =
+                        kernel.get_or_insert_with(|| ScanKernel::for_shape(config.layers, &shape));
+                    let slice = &values[r0 * row_elems..r1 * row_elems];
+                    let result = compress_slice_with_kernel(slice, &shape, config, kernel)
+                        .map(|(bytes, _)| bytes);
+                    *results[band].lock().unwrap() = Some(result);
                 }
-                let (r0, r1) = ranges[band];
-                let mut band_dims = dims.clone();
-                band_dims[0] = r1 - r0;
-                let shape = Shape::new(&band_dims);
-                let slice = &values[r0 * row_elems..r1 * row_elems];
-                let result =
-                    compress_slice_with_stats(slice, &shape, config).map(|(bytes, _)| bytes);
-                *results[band].lock() = Some(result);
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
 
     let mut chunks = Vec::with_capacity(ranges.len());
     for cell in results {
-        match cell.into_inner() {
+        match cell.into_inner().unwrap() {
             Some(Ok(bytes)) => chunks.push(bytes),
             Some(Err(e)) => return Err(e),
             None => unreachable!("every band is claimed exactly once"),
@@ -108,27 +126,27 @@ pub fn decompress_chunked<T: ScalarFloat + Send + Sync>(
 
     // Decode bands in parallel, then stitch; band extents are re-derived
     // from each chunk's own header so a corrupt archive fails loudly.
-    use std::sync::atomic::{AtomicUsize, Ordering};
     let next = AtomicUsize::new(0);
-    let decoded: Vec<parking_lot::Mutex<Option<Result<Tensor<T>>>>> =
-        (0..archive.chunks.len()).map(|_| parking_lot::Mutex::new(None)).collect();
-    crossbeam::scope(|s| {
+    let decoded: Vec<Mutex<Option<Result<Tensor<T>>>>> = (0..archive.chunks.len())
+        .map(|_| Mutex::new(None))
+        .collect();
+    std::thread::scope(|s| {
         for _ in 0..threads {
-            s.spawn(|_| loop {
+            s.spawn(|| loop {
                 let band = next.fetch_add(1, Ordering::Relaxed);
                 if band >= archive.chunks.len() {
                     return;
                 }
-                *decoded[band].lock() = Some(decompress::<T>(&archive.chunks[band]));
+                *decoded[band].lock().unwrap() = Some(decompress::<T>(&archive.chunks[band]));
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
 
     let mut row = 0usize;
     for cell in decoded {
         let band = cell
             .into_inner()
+            .unwrap()
             .expect("every band is claimed exactly once")?;
         if band.dims()[1..] != archive.dims[1..] {
             return Err(SzError::Corrupt("band inner dimensions disagree".into()));
@@ -141,7 +159,9 @@ pub fn decompress_chunked<T: ScalarFloat + Send + Sync>(
         row += rows;
     }
     if row != archive.dims[0] {
-        return Err(SzError::Corrupt("bands do not cover the original extent".into()));
+        return Err(SzError::Corrupt(
+            "bands do not cover the original extent".into(),
+        ));
     }
     Ok(Tensor::from_vec(shape, out))
 }
@@ -162,6 +182,14 @@ mod tests {
         assert_eq!(band_ranges(10, 3), vec![(0, 4), (4, 7), (7, 10)]);
         assert_eq!(band_ranges(4, 8), vec![(0, 1), (1, 2), (2, 3), (3, 4)]);
         assert_eq!(band_ranges(5, 1), vec![(0, 5)]);
+    }
+
+    #[test]
+    fn band_ranges_of_empty_extent_are_empty() {
+        // Regression: `parts.clamp(1, 0)` used to panic (clamp min > max).
+        assert_eq!(band_ranges(0, 1), vec![]);
+        assert_eq!(band_ranges(0, 8), vec![]);
+        assert_eq!(band_ranges(0, 0), vec![]);
     }
 
     #[test]

@@ -84,8 +84,7 @@ pub fn io_breakdown(
             } * p as f64;
             let codec_seconds = total_bytes as f64 / codec_rate;
             let bw = write_bw(model, p);
-            let compressed_io_seconds =
-                total_bytes as f64 / model.compression_factor / bw;
+            let compressed_io_seconds = total_bytes as f64 / model.compression_factor / bw;
             let initial_io_seconds = total_bytes as f64 / bw;
             IoBreakdown {
                 processes: p,
@@ -103,11 +102,11 @@ mod tests {
 
     fn blues_like() -> IoModel {
         IoModel {
-            fs_aggregate_bw: 2.2e9,       // GPFS-class aggregate
-            fs_per_process_bw: 0.2e9,     // per-rank before saturation
-            compress_rate: 0.09e9,        // paper Table VII, single process
-            decompress_rate: 0.20e9,      // paper Table VIII
-            compression_factor: 6.3,      // ATM at eb_rel 1e-4
+            fs_aggregate_bw: 2.2e9,   // GPFS-class aggregate
+            fs_per_process_bw: 0.2e9, // per-rank before saturation
+            compress_rate: 0.09e9,    // paper Table VII, single process
+            decompress_rate: 0.20e9,  // paper Table VIII
+            compression_factor: 6.3,  // ATM at eb_rel 1e-4
         }
     }
 

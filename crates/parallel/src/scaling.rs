@@ -2,9 +2,9 @@
 //! (Tables VII and VIII of the paper).
 
 use crate::chunked::{compress_chunked, decompress_chunked};
+use std::time::Instant;
 use szr_core::{Config, ScalarFloat};
 use szr_tensor::Tensor;
-use std::time::Instant;
 
 /// Whether a scaling run measures compression or decompression.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,8 +46,13 @@ pub fn measure_scaling<T: ScalarFloat + Send + Sync>(
     reps: usize,
 ) -> Vec<ScalingPoint> {
     let bytes = data.len() * (T::BITS as usize / 8);
-    let archive = compress_chunked(data, config, thread_counts.iter().copied().max().unwrap_or(1), 1)
-        .expect("valid config");
+    let archive = compress_chunked(
+        data,
+        config,
+        thread_counts.iter().copied().max().unwrap_or(1),
+        1,
+    )
+    .expect("valid config");
     let mut points = Vec::with_capacity(thread_counts.len());
     let mut base_rate = 0.0f64;
     for &t in thread_counts {
@@ -118,14 +123,16 @@ impl ClusterModel {
             cores_per_node: 16,
             base_rate,
             node_efficiency: vec![
-                1.0, 0.998, 0.96, 0.93, 0.905, 0.9, 0.9, 0.9, 0.905, 0.905, 0.91, 0.91, 0.91,
-                0.91, 0.91, 0.91,
+                1.0, 0.998, 0.96, 0.93, 0.905, 0.9, 0.9, 0.9, 0.905, 0.905, 0.91, 0.91, 0.91, 0.91,
+                0.91, 0.91,
             ],
         }
     }
 
     fn efficiency_at(&self, per_node: usize) -> f64 {
-        let ix = per_node.saturating_sub(1).min(self.node_efficiency.len() - 1);
+        let ix = per_node
+            .saturating_sub(1)
+            .min(self.node_efficiency.len() - 1);
         self.node_efficiency[ix]
     }
 }

@@ -65,7 +65,11 @@ const MAGIC: [u8; 4] = *b"SZ11";
 fn predictions<T: ScalarFloat>(recon: &[T], i: usize) -> [f64; 3] {
     let v = |k: usize| recon[k].to_f64();
     let p1 = if i >= 1 { v(i - 1) } else { 0.0 };
-    let p2 = if i >= 2 { 2.0 * v(i - 1) - v(i - 2) } else { p1 };
+    let p2 = if i >= 2 {
+        2.0 * v(i - 1) - v(i - 2)
+    } else {
+        p1
+    };
     let p3 = if i >= 3 {
         3.0 * v(i - 1) - 3.0 * v(i - 2) + v(i - 3)
     } else {
@@ -262,7 +266,10 @@ mod tests {
     fn wrong_type_and_truncation() {
         let data = Tensor::from_fn([256], |ix| ix[0] as f32);
         let packed = sz11_compress(&data, 0.1);
-        assert_eq!(sz11_decompress::<f64>(&packed).unwrap_err(), Error::WrongType);
+        assert_eq!(
+            sz11_decompress::<f64>(&packed).unwrap_err(),
+            Error::WrongType
+        );
         for cut in [0usize, 3, 8, packed.len() / 2] {
             assert!(sz11_decompress::<f32>(&packed[..cut]).is_err());
         }

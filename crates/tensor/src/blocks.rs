@@ -63,9 +63,8 @@ impl BlockGrid {
     /// Iterates block origins in row-major block order.
     pub fn origins(&self) -> impl Iterator<Item = Vec<usize>> + '_ {
         let grid_shape = Shape::new(&self.blocks_per_dim);
-        crate::IndexIter::new(grid_shape).map(move |bix| {
-            bix.iter().map(|&b| b * self.edge).collect::<Vec<usize>>()
-        })
+        crate::IndexIter::new(grid_shape)
+            .map(move |bix| bix.iter().map(|&b| b * self.edge).collect::<Vec<usize>>())
     }
 }
 
@@ -160,10 +159,7 @@ mod tests {
         let t = Tensor::from_vec([2, 2], vec![1, 2, 3, 4]);
         let mut block = vec![0; 16];
         gather_block(&t, &[0, 0], 4, &mut block);
-        assert_eq!(
-            block,
-            vec![1, 2, 2, 2, 3, 4, 4, 4, 3, 4, 4, 4, 3, 4, 4, 4]
-        );
+        assert_eq!(block, vec![1, 2, 2, 2, 3, 4, 4, 4, 3, 4, 4, 4, 3, 4, 4, 4]);
     }
 
     #[test]

@@ -100,22 +100,19 @@ impl Shape {
     }
 
     /// Inverse of [`Self::offset`]: delinearizes a flat offset.
-    pub fn unravel(&self, mut offset: usize) -> Vec<usize> {
+    pub fn unravel(&self, offset: usize) -> Vec<usize> {
         debug_assert!(offset < self.len());
         let mut index = vec![0usize; self.dims.len()];
-        for i in 0..self.dims.len() {
-            index[i] = offset / self.strides[i];
-            offset %= self.strides[i];
-        }
+        self.unravel_into(offset, &mut index);
         index
     }
 
     /// In-place variant of [`Self::unravel`] to avoid allocation in loops.
     pub fn unravel_into(&self, mut offset: usize, index: &mut [usize]) {
         debug_assert_eq!(index.len(), self.dims.len());
-        for i in 0..self.dims.len() {
-            index[i] = offset / self.strides[i];
-            offset %= self.strides[i];
+        for (ix, &stride) in index.iter_mut().zip(self.strides.iter()) {
+            *ix = offset / stride;
+            offset %= stride;
         }
     }
 

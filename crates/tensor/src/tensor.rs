@@ -97,9 +97,7 @@ impl<T> Tensor<T> {
 
     /// Checked multi-index write handle.
     pub fn get_mut(&mut self, index: &[usize]) -> Option<&mut T> {
-        self.shape
-            .offset_checked(index)
-            .map(|o| &mut self.data[o])
+        self.shape.offset_checked(index).map(|o| &mut self.data[o])
     }
 
     /// Iterator over all multi-indices in row-major order.
@@ -155,7 +153,12 @@ impl<T> IndexMut<&[usize]> for Tensor<T> {
 
 impl<T: fmt::Debug> fmt::Debug for Tensor<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Tensor({} elements, shape {})", self.data.len(), self.shape)
+        write!(
+            f,
+            "Tensor({} elements, shape {})",
+            self.data.len(),
+            self.shape
+        )
     }
 }
 

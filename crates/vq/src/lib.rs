@@ -88,9 +88,7 @@ fn kmeans_codebook(deltas: &[f64], k: usize) -> Vec<f64> {
         centroids.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
         let mut c = 0usize;
         for (i, &x) in sample.iter().enumerate() {
-            while c + 1 < k
-                && (centroids[c + 1] - x).abs() <= (centroids[c] - x).abs()
-            {
+            while c + 1 < k && (centroids[c + 1] - x).abs() <= (centroids[c] - x).abs() {
                 c += 1;
             }
             assignments[i] = c;
@@ -126,9 +124,7 @@ fn nearest(codebook: &[f64], x: f64) -> usize {
             hi = mid;
         }
     }
-    if lo + 1 < codebook.len()
-        && (codebook[lo + 1] - x).abs() < (codebook[lo] - x).abs()
-    {
+    if lo + 1 < codebook.len() && (codebook[lo + 1] - x).abs() < (codebook[lo] - x).abs() {
         lo + 1
     } else {
         lo
@@ -153,7 +149,10 @@ pub fn vq_compress<T: ScalarFloat>(prev: &Tensor<T>, next: &Tensor<T>, bits: u32
         .collect();
     let mut codebook = kmeans_codebook(&deltas, k);
     codebook.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-    let indices: Vec<u32> = deltas.iter().map(|&d| nearest(&codebook, d) as u32).collect();
+    let indices: Vec<u32> = deltas
+        .iter()
+        .map(|&d| nearest(&codebook, d) as u32)
+        .collect();
 
     let mut out = ByteWriter::new();
     out.write_bytes(&MAGIC);
@@ -285,17 +284,16 @@ mod tests {
             .zip(out.as_slice())
             .map(|(&a, &b)| (a as f64 - b as f64).abs())
             .fold(0.0f64, f64::max);
-        let mean_abs_delta = next
-            .as_slice()
-            .iter()
-            .map(|&v| v.abs() as f64)
-            .sum::<f64>()
-            / n as f64;
+        let mean_abs_delta =
+            next.as_slice().iter().map(|&v| v.abs() as f64).sum::<f64>() / n as f64;
         // Average behaviour is fine (NUMARCK's design point)…
         assert!(mean_abs_delta < 120.0);
         // …but the worst point errs by orders of magnitude more than any
         // bound a user could reasonably have requested.
-        assert!(max_err > 0.5, "expected unbounded pointwise error, got {max_err}");
+        assert!(
+            max_err > 0.5,
+            "expected unbounded pointwise error, got {max_err}"
+        );
     }
 
     #[test]

@@ -136,8 +136,8 @@ fn encode_plane(coeffs: &[u64], plane: u32, sig: &mut [bool], w: &mut BudgetWrit
     let n = coeffs.len();
     let bit = |i: usize| (coeffs[i] >> plane) & 1 == 1;
     // Refinement: one bit for every already-significant coefficient.
-    for i in 0..n {
-        if sig[i] && !w.put(bit(i)) {
+    for (i, &significant) in sig.iter().enumerate() {
+        if significant && !w.put(bit(i)) {
             return false;
         }
     }
@@ -175,7 +175,12 @@ fn encode_plane(coeffs: &[u64], plane: u32, sig: &mut [bool], w: &mut BudgetWrit
     true
 }
 
-fn decode_plane(coeffs: &mut [u64], plane: u32, sig: &mut [bool], r: &mut BudgetReader<'_, '_>) -> bool {
+fn decode_plane(
+    coeffs: &mut [u64],
+    plane: u32,
+    sig: &mut [bool],
+    r: &mut BudgetReader<'_, '_>,
+) -> bool {
     let n = coeffs.len();
     for (i, s) in sig.iter().enumerate() {
         if *s {
@@ -304,7 +309,11 @@ pub fn zfp_compress<T: ScalarFloat>(data: &Tensor<T>, mode: ZfpMode) -> Vec<u8> 
         let s_exp = intprec as i32 - 2 - emax;
         for (i, &v) in raw.iter().enumerate() {
             let x = v.to_f64();
-            ints[i] = if x.is_finite() { ldexp(x, s_exp) as i64 } else { 0 };
+            ints[i] = if x.is_finite() {
+                ldexp(x, s_exp) as i64
+            } else {
+                0
+            };
         }
         fwd_transform(&mut ints, ndim);
         for (s, &p) in perm.iter().enumerate() {
@@ -359,7 +368,9 @@ pub fn zfp_decompress<T: ScalarFloat>(bytes: &[u8]) -> Result<Tensor<T>> {
     let payload = reader.read_len_prefixed()?;
 
     let mode = match mode_tag {
-        0 => ZfpMode::FixedRate { bits_per_value: param },
+        0 => ZfpMode::FixedRate {
+            bits_per_value: param,
+        },
         1 => ZfpMode::FixedAccuracy { tolerance: param },
         _ => return Err(Error::Corrupt("unknown mode".into())),
     };
@@ -510,7 +521,12 @@ mod tests {
     fn fixed_rate_hits_requested_size() {
         let data = smooth_2d(64, 64);
         for rate in [4.0, 8.0, 16.0] {
-            let packed = zfp_compress(&data, ZfpMode::FixedRate { bits_per_value: rate });
+            let packed = zfp_compress(
+                &data,
+                ZfpMode::FixedRate {
+                    bits_per_value: rate,
+                },
+            );
             let payload_bits = (packed.len() as f64 - 30.0) * 8.0; // minus header
             let actual_rate = payload_bits / data.len() as f64;
             assert!(
@@ -525,7 +541,12 @@ mod tests {
         let data = smooth_2d(32, 32);
         let mut prev_err = f64::INFINITY;
         for rate in [2.0, 4.0, 8.0, 16.0] {
-            let packed = zfp_compress(&data, ZfpMode::FixedRate { bits_per_value: rate });
+            let packed = zfp_compress(
+                &data,
+                ZfpMode::FixedRate {
+                    bits_per_value: rate,
+                },
+            );
             let out: Tensor<f32> = zfp_decompress(&packed).unwrap();
             let rmse: f64 = {
                 let ss: f64 = data
@@ -536,10 +557,16 @@ mod tests {
                     .sum();
                 (ss / data.len() as f64).sqrt()
             };
-            assert!(rmse <= prev_err, "rate {rate}: rmse {rmse} vs prev {prev_err}");
+            assert!(
+                rmse <= prev_err,
+                "rate {rate}: rmse {rmse} vs prev {prev_err}"
+            );
             prev_err = rmse;
         }
-        assert!(prev_err < 1e-3, "16 bpv should be quite accurate: {prev_err}");
+        assert!(
+            prev_err < 1e-3,
+            "16 bpv should be quite accurate: {prev_err}"
+        );
     }
 
     #[test]
@@ -602,14 +629,27 @@ mod tests {
     #[test]
     fn wrong_type_detected() {
         let data = Tensor::full([4, 4], 1.0f32);
-        let packed = zfp_compress(&data, ZfpMode::FixedRate { bits_per_value: 8.0 });
-        assert_eq!(zfp_decompress::<f64>(&packed).unwrap_err(), Error::WrongType);
+        let packed = zfp_compress(
+            &data,
+            ZfpMode::FixedRate {
+                bits_per_value: 8.0,
+            },
+        );
+        assert_eq!(
+            zfp_decompress::<f64>(&packed).unwrap_err(),
+            Error::WrongType
+        );
     }
 
     #[test]
     fn truncation_errors_cleanly() {
         let data = smooth_2d(16, 16);
-        let packed = zfp_compress(&data, ZfpMode::FixedRate { bits_per_value: 8.0 });
+        let packed = zfp_compress(
+            &data,
+            ZfpMode::FixedRate {
+                bits_per_value: 8.0,
+            },
+        );
         for cut in [0, 5, 12, packed.len() / 2] {
             assert!(zfp_decompress::<f32>(&packed[..cut]).is_err());
         }

@@ -70,7 +70,9 @@ pub fn inv_transform(block: &mut [i64], ndim: usize) {
     let n = block.len();
     debug_assert_eq!(n, 4usize.pow(ndim as u32));
     for axis in (0..ndim).rev() {
-        for_each_line(n, ndim, axis, |base, stride| inv_lift(&mut block[base..], stride));
+        for_each_line(n, ndim, axis, |base, stride| {
+            inv_lift(&mut block[base..], stride)
+        });
     }
 }
 
@@ -78,7 +80,9 @@ fn transform(block: &mut [i64], ndim: usize, lift: impl Fn(&mut [i64], usize)) {
     let n = block.len();
     debug_assert_eq!(n, 4usize.pow(ndim as u32));
     for axis in 0..ndim {
-        for_each_line(n, ndim, axis, |base, stride| lift(&mut block[base..], stride));
+        for_each_line(n, ndim, axis, |base, stride| {
+            lift(&mut block[base..], stride)
+        });
     }
 }
 
@@ -194,8 +198,7 @@ mod tests {
         for ndim in 1..=3usize {
             let n = 4usize.pow(ndim as u32);
             for trial in 0..50u64 {
-                let mut block: Vec<i64> =
-                    (0..n as u64).map(|i| pseudo(trial * 64 + i)).collect();
+                let mut block: Vec<i64> = (0..n as u64).map(|i| pseudo(trial * 64 + i)).collect();
                 let orig = block.clone();
                 fwd_transform(&mut block, ndim);
                 inv_transform(&mut block, ndim);
@@ -238,7 +241,9 @@ mod tests {
 
     #[test]
     fn smooth_ramp_has_small_high_frequency_coefficients() {
-        let mut block: Vec<i64> = (0..16).map(|i| (i as i64 % 4) * 64 + (i as i64 / 4) * 32).collect();
+        let mut block: Vec<i64> = (0..16)
+            .map(|i| (i as i64 % 4) * 64 + (i as i64 / 4) * 32)
+            .collect();
         fwd_transform(&mut block, 2);
         let perm = sequency_permutation(2);
         let low: i64 = perm[..4].iter().map(|&p| block[p].abs()).sum();
@@ -277,7 +282,17 @@ mod tests {
 
     #[test]
     fn negabinary_roundtrips() {
-        for v in [0i64, 1, -1, 2, -2, 1 << 40, -(1 << 40), i64::MAX / 4, i64::MIN / 4] {
+        for v in [
+            0i64,
+            1,
+            -1,
+            2,
+            -2,
+            1 << 40,
+            -(1 << 40),
+            i64::MAX / 4,
+            i64::MIN / 4,
+        ] {
             assert_eq!(negabinary_to_int(int_to_negabinary(v)), v);
         }
     }

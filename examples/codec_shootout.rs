@@ -55,7 +55,12 @@ fn main() {
     let t = Instant::now();
     let packed = compress(&data, &Config::new(ErrorBound::Absolute(eb))).unwrap();
     let out: Tensor<f32> = decompress(&packed).unwrap();
-    report("SZ-1.4", packed.len(), Some(&out), t.elapsed().as_secs_f64());
+    report(
+        "SZ-1.4",
+        packed.len(),
+        Some(&out),
+        t.elapsed().as_secs_f64(),
+    );
 
     // ZFP fixed accuracy
     let t = Instant::now();
@@ -67,14 +72,24 @@ fn main() {
     let t = Instant::now();
     let packed = sz11::sz11_compress(&data, eb);
     let out: Tensor<f32> = sz11::sz11_decompress(&packed).unwrap();
-    report("SZ-1.1", packed.len(), Some(&out), t.elapsed().as_secs_f64());
+    report(
+        "SZ-1.1",
+        packed.len(),
+        Some(&out),
+        t.elapsed().as_secs_f64(),
+    );
 
     // ISABELA
     let t = Instant::now();
     match isabela::isabela_compress(&data, &isabela::IsabelaConfig::new(eb)) {
         Ok(packed) => {
             let out: Tensor<f32> = isabela::isabela_decompress(&packed).unwrap();
-            report("ISABELA", packed.len(), Some(&out), t.elapsed().as_secs_f64());
+            report(
+                "ISABELA",
+                packed.len(),
+                Some(&out),
+                t.elapsed().as_secs_f64(),
+            );
         }
         Err(e) => println!("{:<10} failed: {e}", "ISABELA"),
     }
@@ -88,7 +103,11 @@ fn main() {
 
     // GZIP (lossless, on raw bytes)
     let t = Instant::now();
-    let bytes: Vec<u8> = data.as_slice().iter().flat_map(|v| v.to_le_bytes()).collect();
+    let bytes: Vec<u8> = data
+        .as_slice()
+        .iter()
+        .flat_map(|v| v.to_le_bytes())
+        .collect();
     let packed = gzip::gzip_compress(&bytes);
     assert_eq!(gzip::gzip_decompress(&packed).unwrap(), bytes);
     report("GZIP", packed.len(), None, t.elapsed().as_secs_f64());

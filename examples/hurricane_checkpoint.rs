@@ -26,7 +26,9 @@ fn main() {
     );
 
     let config = Config::new(ErrorBound::Relative(1e-4));
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
 
     // Checkpoint: every "rank" (thread) compresses one slab.
     let t0 = Instant::now();
@@ -72,7 +74,10 @@ fn main() {
         compression_factor: cf,
     };
     println!("\ncluster I/O model (write path), 100 GB checkpoint:");
-    println!("{:>6} {:>12} {:>14} {:>12} {:>6}", "ranks", "compress(s)", "write-comp(s)", "write-raw(s)", "pays?");
+    println!(
+        "{:>6} {:>12} {:>14} {:>12} {:>6}",
+        "ranks", "compress(s)", "write-comp(s)", "write-raw(s)", "pays?"
+    );
     for b in io_breakdown(&model, 100 << 30, &[1, 8, 32, 128, 1024], true) {
         println!(
             "{:>6} {:>12.1} {:>14.1} {:>12.1} {:>6}",

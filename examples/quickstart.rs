@@ -16,7 +16,11 @@ fn main() {
             + ((ix[0] * 31 + ix[1] * 17) % 97) as f32 * 0.01
     });
     let raw_bytes = data.len() * 4;
-    println!("input: {} grid, {} MB raw", data.shape(), raw_bytes / (1 << 20));
+    println!(
+        "input: {} grid, {} MB raw",
+        data.shape(),
+        raw_bytes / (1 << 20)
+    );
 
     // The paper's default setup: 1-layer prediction, adaptive interval
     // count, value-range-based relative bound 1e-4.
@@ -24,7 +28,10 @@ fn main() {
     let (archive, stats) = compress_with_stats(&data, &config).expect("valid config");
 
     println!("effective absolute bound : {:.3e}", stats.eb_abs);
-    println!("prediction hitting rate  : {:.2}%", stats.hit_rate() * 100.0);
+    println!(
+        "prediction hitting rate  : {:.2}%",
+        stats.hit_rate() * 100.0
+    );
     println!("quantization intervals   : 2^{} - 1", stats.interval_bits);
     println!(
         "compressed               : {} bytes (CF = {:.2}, {:.2} bits/value)",
@@ -35,10 +42,16 @@ fn main() {
 
     let restored: Tensor<f32> = decompress(&archive).expect("fresh archive");
     let quality = ErrorStats::compute(data.as_slice(), restored.as_slice());
-    println!("max abs error            : {:.3e} (bound {:.3e})", quality.max_abs, stats.eb_abs);
+    println!(
+        "max abs error            : {:.3e} (bound {:.3e})",
+        quality.max_abs, stats.eb_abs
+    );
     println!("max rel error            : {:.3e}", quality.max_rel);
     println!("PSNR                     : {:.1} dB", quality.psnr);
     println!("Pearson correlation      : {:.9}", quality.pearson);
-    assert!(quality.max_abs <= stats.eb_abs, "the error bound is a guarantee");
+    assert!(
+        quality.max_abs <= stats.eb_abs,
+        "the error bound is a guarantee"
+    );
     println!("bound verified on every point.");
 }

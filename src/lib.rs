@@ -37,15 +37,42 @@
 //! | [`datagen`] | `szr-datagen` | ATM / APS / hurricane synthetic data sets |
 //! | [`baselines`] | `szr-{zfp,sz11,isabela,fpzip,deflate}` | the paper's six-way comparison |
 //! | [`parallel`] | `szr-parallel` | chunked threading, scaling + I/O models |
+//!
+//! ## The scan-kernel pipeline
+//!
+//! Every predict→quantize traversal in the codec runs through one engine:
+//! [`ScanKernel`] (in `szr-core`). A kernel is instantiated per
+//! *(layer count, stride family)* and dispatches to closed-form loops for
+//! the dominant cases — 1-D/2-D/3-D grids with 1-layer (Lorenzo) or
+//! 2-layer prediction, Eq. 11 coefficients unrolled as constants, interior
+//! fast path separated from the boundary slow path — falling back to the
+//! generic stencil walker for any other `(d, n)`.
+//!
+//! Four call sites consume it, so they cannot drift apart:
+//!
+//! * [`compress`] / [`compress_slice_with_stats`] — quantization scan over
+//!   the reconstruction buffer ([`compress_slice_with_kernel`] accepts a
+//!   caller-owned kernel);
+//! * [`decompress`] — replays the identical traversal from decoded codes;
+//! * the §IV-B adaptive interval sampler
+//!   ([`choose_interval_bits`] / [`choose_interval_bits_with_kernel`]);
+//! * the Table II hit-rate estimators ([`hit_rate_by_layer`],
+//!   [`quantization_histogram`]).
+//!
+//! `szr-parallel`'s chunked driver threads one kernel instance through all
+//! bands a worker compresses (bands share their stride family), and
+//! `crates/bench/benches/prediction.rs` races the specialized kernels
+//! against the generic walker (`scan_kernel/*`).
 
-pub use szr_core::{
-    choose_interval_bits, compress, compress_pointwise_rel, compress_slice_with_stats,
-    compress_with_stats, decompress, decompress_pointwise_rel, hit_rate_by_layer, inspect,
-    layer_coefficients, predict_at, quantization_histogram, ArchiveInfo, CompressionStats,
-    Config, ErrorBound, IntervalMode, PredictionBasis, Quantizer, Result, ScalarFloat, Stencil,
-    StencilSet, StreamCompressor, StreamDecompressor, SzError, UnpredictableCodec,
-};
 pub use szr_container::Snapshot;
+pub use szr_core::{
+    choose_interval_bits, choose_interval_bits_with_kernel, compress, compress_pointwise_rel,
+    compress_slice_with_kernel, compress_slice_with_stats, compress_with_stats, decompress,
+    decompress_pointwise_rel, hit_rate_by_layer, inspect, layer_coefficients, predict_at,
+    quantization_histogram, ArchiveInfo, CompressionStats, Config, ErrorBound, IntervalMode,
+    KernelKind, PredictionBasis, Quantizer, Result, ScalarFloat, ScanKernel, Stencil, StencilSet,
+    StreamCompressor, StreamDecompressor, SzError, UnpredictableCodec,
+};
 pub use szr_tensor::{Shape, Tensor};
 
 /// N-dimensional array substrate (`szr-tensor`).

@@ -58,7 +58,10 @@ fn decorrelation_whitens_high_cf_fields_within_the_bound() {
         acf_white < acf_plain / 3.0,
         "decorrelation should whiten: {acf_plain} -> {acf_white}"
     );
-    assert!(acf_white < 0.05, "dithered ACF should be near zero: {acf_white}");
+    assert!(
+        acf_white < 0.05,
+        "dithered ACF should be near zero: {acf_white}"
+    );
 }
 
 #[test]

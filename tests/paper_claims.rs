@@ -5,8 +5,8 @@ use szr::baselines::{sz11, zfp};
 use szr::datagen::{atm, dataset, AtmVariable, DatasetKind, Scale};
 use szr::metrics::{psnr, value_range, ErrorStats};
 use szr::{
-    compress_with_stats, decompress, hit_rate_by_layer, quantization_histogram, Config,
-    ErrorBound, PredictionBasis, Tensor,
+    compress_with_stats, decompress, hit_rate_by_layer, quantization_histogram, Config, ErrorBound,
+    PredictionBasis, Tensor,
 };
 
 /// §V-A / Figure 6: SZ-1.4 beats both ZFP and SZ-1.1 on compression factor
@@ -105,8 +105,14 @@ fn zfp_overshoots_sz14_matches_the_bound() {
     let zfp_out: Tensor<f32> = zfp::zfp_decompress(&zfp_bytes).unwrap();
     let zfp_err = ErrorStats::compute(data.as_slice(), zfp_out.as_slice()).max_abs;
 
-    assert!(sz_err <= eb && sz_err > eb * 0.5, "SZ should use the bound: {sz_err} vs {eb}");
-    assert!(zfp_err < eb * 0.5, "ZFP should overshoot: {zfp_err} vs {eb}");
+    assert!(
+        sz_err <= eb && sz_err > eb * 0.5,
+        "SZ should use the bound: {sz_err} vs {eb}"
+    );
+    assert!(
+        zfp_err < eb * 0.5,
+        "ZFP should overshoot: {zfp_err} vs {eb}"
+    );
 }
 
 /// Figure 7: when SZ-1.4 is re-run at ZFP's *realized* max error, it still

@@ -104,5 +104,8 @@ fn system_gzip_interoperates_when_available() {
         .output()
         .unwrap();
     assert!(sys.status.success());
-    assert_eq!(szr::baselines::gzip::gzip_decompress(&sys.stdout).unwrap(), data);
+    assert_eq!(
+        szr::baselines::gzip::gzip_decompress(&sys.stdout).unwrap(),
+        data
+    );
 }

@@ -117,7 +117,11 @@ fn fpzip_is_bit_exact_on_all_datasets() {
 #[test]
 fn gzip_is_bit_exact_on_all_datasets() {
     for (name, data) in all_small_fields() {
-        let bytes: Vec<u8> = data.as_slice().iter().flat_map(|v| v.to_le_bytes()).collect();
+        let bytes: Vec<u8> = data
+            .as_slice()
+            .iter()
+            .flat_map(|v| v.to_le_bytes())
+            .collect();
         let packed = gzip::gzip_compress(&bytes);
         assert_eq!(gzip::gzip_decompress(&packed).unwrap(), bytes, "{name}");
     }

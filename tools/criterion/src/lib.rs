@@ -1,0 +1,270 @@
+//! An offline, self-contained subset of the `criterion` benchmarking crate.
+//!
+//! The build environment has no crates.io access, so this shim provides the
+//! slice of criterion's API the workspace benches use: `criterion_group!` /
+//! `criterion_main!`, benchmark groups with throughput annotations,
+//! `bench_function` / `bench_with_input`, and `Bencher::iter`.
+//!
+//! Measurement is deliberately simple: a short warm-up, then timed batches
+//! until a wall-clock budget is spent, reporting the per-iteration median
+//! batch time. That is enough to compare implementations in this workspace
+//! (e.g. specialized vs. generic scan kernels); it is not a statistics
+//! suite. Results print to stdout in a `name: time/iter (throughput)` line
+//! format.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Wall-clock budget spent measuring each benchmark.
+const MEASURE_BUDGET: Duration = Duration::from_millis(300);
+/// Warm-up budget before measurement starts.
+const WARMUP_BUDGET: Duration = Duration::from_millis(60);
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation: turns time/iter into a rate in the report.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier (`group/function/parameter` in the report).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Identifier with a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            name: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Identifier from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self {
+            name: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { name: s }
+    }
+}
+
+/// Passed to the benchmark closure; runs and times the workload.
+pub struct Bencher {
+    /// Median per-iteration time of the measured batches.
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the per-iteration cost.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: also discovers a batch size that amortizes timer overhead.
+        let warm_start = Instant::now();
+        let mut iters_per_batch = 0u64;
+        while warm_start.elapsed() < WARMUP_BUDGET || iters_per_batch == 0 {
+            black_box(routine());
+            iters_per_batch += 1;
+            if iters_per_batch >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_nanos() as f64 / iters_per_batch as f64;
+        // Aim for ~10 batches inside the budget, at least 1 iter per batch.
+        let batch = ((MEASURE_BUDGET.as_nanos() as f64 / 10.0 / per_iter).ceil() as u64).max(1);
+
+        let mut samples: Vec<f64> = Vec::new();
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < MEASURE_BUDGET || samples.is_empty() {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            samples.push(t.elapsed().as_nanos() as f64 / batch as f64);
+            if samples.len() >= 200 {
+                break;
+            }
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.ns_per_iter = samples[samples.len() / 2];
+    }
+}
+
+fn format_time(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+fn report(path: &str, ns: f64, throughput: Option<Throughput>) {
+    let rate = match throughput {
+        Some(Throughput::Bytes(n)) => {
+            let mbps = n as f64 / (ns / 1e9) / 1e6;
+            format!(" ({mbps:.1} MB/s)")
+        }
+        Some(Throughput::Elements(n)) => {
+            let eps = n as f64 / (ns / 1e9) / 1e6;
+            format!(" ({eps:.1} Melem/s)")
+        }
+        None => String::new(),
+    };
+    println!("bench {path}: {}/iter{rate}", format_time(ns));
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim sizes batches by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim uses a fixed budget.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `routine` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        routine(&mut b);
+        report(
+            &format!("{}/{}", self.name, id.name),
+            b.ns_per_iter,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Benchmarks `routine` with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        routine(&mut b, input);
+        report(
+            &format!("{}/{}", self.name, id.name),
+            b.ns_per_iter,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Ends the group (report lines were already printed eagerly).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        routine(&mut b);
+        report(name, b.ns_per_iter, None);
+        self
+    }
+}
+
+/// Bundles benchmark functions into one callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim_selftest");
+        group.throughput(Throughput::Elements(1000));
+        group.bench_function("sum", |b| b.iter(|| (0u64..1000).sum::<u64>()));
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 3).name, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("p").name, "p");
+    }
+}
