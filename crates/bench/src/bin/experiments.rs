@@ -5,7 +5,7 @@
 //! ```
 //!
 //! IDs: table2 fig3 fig4 fig6 table5 fig7 fig8 table4 table6 fig9 table7
-//! table8 fig10 ablate vq-bound all
+//! table8 fig10 planner ablate vq-bound all
 
 use std::time::Instant;
 use szr_bench::{Context, Table};
@@ -14,7 +14,7 @@ use szr_datagen::Scale;
 fn usage() -> ! {
     eprintln!(
         "usage: experiments <id> [--scale small|medium|full] [--out DIR]\n\
-         ids: table2 fig3 fig4 fig6 table5 fig7 fig8 table4 table6 fig9 scaling fig10 ablate vq-bound all"
+         ids: table2 fig3 fig4 fig6 table5 fig7 fig8 table4 table6 fig9 scaling fig10 planner ablate vq-bound all"
     );
     std::process::exit(2);
 }
@@ -33,6 +33,7 @@ fn run_one(id: &str, ctx: &Context) -> Vec<Table> {
         "fig9" => szr_bench::exp_fig9::run(ctx),
         "scaling" | "table7" | "table8" => szr_bench::exp_scaling::run(ctx),
         "fig10" => szr_bench::exp_fig10::run(ctx),
+        "planner" => szr_bench::exp_planner::run(ctx),
         "ablate" => szr_bench::exp_ablate::run(ctx),
         "vq-bound" => szr_bench::exp_vq::run(ctx),
         _ => usage(),
@@ -72,7 +73,7 @@ fn main() {
     let ids: Vec<&str> = if id == "all" {
         vec![
             "table2", "fig3", "fig4", "fig6", "table5", "fig7", "fig8", "table4", "table6", "fig9",
-            "scaling", "fig10", "ablate", "vq-bound",
+            "scaling", "fig10", "planner", "ablate", "vq-bound",
         ]
     } else {
         vec![id.as_str()]

@@ -1,0 +1,187 @@
+//! Planner validation: estimated versus actual compression ratios, and
+//! target-ratio plans versus the archives they promise.
+//!
+//! Two tables:
+//!
+//! * `planner-estimate` — for every synthetic field and bound, plan a
+//!   max-error goal and compare the chosen candidate's *estimated* ratio
+//!   against the *actual* full-tensor archive. The run panics if fewer than
+//!   80% of rows land within 25% — the estimator-drift tripwire CI relies
+//!   on.
+//! * `planner-target` — target-ratio plans across f32/f64 and 1-D/2-D/3-D:
+//!   each either achieves ≥ 85% of the promised ratio on the real archive
+//!   or reported infeasibility up front. Any silent miss panics.
+
+use crate::harness::{fmt_f, fmt_pct, Context, Table};
+use szr_datagen::{dataset, DatasetKind, Field};
+use szr_planner::{Goal, PlanError, Planner};
+use szr_tensor::Tensor;
+
+/// Acceptance thresholds (mirrored in the PR's acceptance criteria).
+const EST_TOLERANCE: f64 = 0.25;
+const EST_PASS_FRACTION: f64 = 0.8;
+const TARGET_SLACK: f64 = 0.85;
+
+fn all_fields(ctx: &Context) -> Vec<Field> {
+    [DatasetKind::Atm, DatasetKind::Aps, DatasetKind::Hurricane]
+        .into_iter()
+        .flat_map(|kind| dataset(kind, ctx.scale, ctx.seed))
+        .collect()
+}
+
+/// Regenerates the planner validation tables.
+pub fn run(ctx: &Context) -> Vec<Table> {
+    let fields = all_fields(ctx);
+    vec![estimate_table(&fields), target_table(&fields)]
+}
+
+fn estimate_table(fields: &[Field]) -> Table {
+    let mut t = Table::new(
+        "planner-estimate",
+        "Planner estimated vs actual compression ratio (max-error goals)",
+        &[
+            "field",
+            "eb_rel",
+            "codec",
+            "est CF",
+            "actual CF",
+            "deviation",
+            "ok",
+        ],
+    );
+    let mut hits = 0usize;
+    let mut total = 0usize;
+    for field in fields {
+        for eb_rel in [1e-3f64, 1e-4] {
+            let planner = Planner::new(&field.data);
+            let goal = Goal::MaxError {
+                bound: szr_core::ErrorBound::Relative(eb_rel),
+            };
+            let report = planner.plan(&goal).expect("max-error goals always plan");
+            let chosen = report.chosen();
+            let bytes = chosen
+                .codec
+                .compress(&field.data)
+                .expect("planned configs compress");
+            let actual = (field.data.len() * 4) as f64 / bytes.len() as f64;
+            let est = chosen.estimate.ratio;
+            let dev = est / actual - 1.0;
+            let ok = dev.abs() <= EST_TOLERANCE;
+            hits += usize::from(ok);
+            total += 1;
+            t.push(vec![
+                field.name.clone(),
+                format!("{eb_rel:.0e}"),
+                chosen.codec.name().to_string(),
+                fmt_f(est),
+                fmt_f(actual),
+                fmt_pct(dev),
+                if ok { "yes" } else { "NO" }.to_string(),
+            ]);
+        }
+    }
+    let frac = hits as f64 / total as f64;
+    t.push(vec![
+        "(summary)".into(),
+        String::new(),
+        String::new(),
+        String::new(),
+        String::new(),
+        format!("{} of {} within 25%", hits, total),
+        fmt_pct(frac),
+    ]);
+    assert!(
+        frac >= EST_PASS_FRACTION,
+        "planner estimate accuracy regressed: only {:.0}% of fields within 25%",
+        frac * 100.0
+    );
+    t
+}
+
+fn target_table(fields: &[Field]) -> Table {
+    let mut t = Table::new(
+        "planner-target",
+        "Target-ratio plans vs real archives (achieve >= 85% of target or decline)",
+        &["field", "dtype dims", "target", "result", "achieved", "ok"],
+    );
+    // The acceptance matrix wants f32 and f64 across 1-3 dimensions; the
+    // synthetic fields cover f32 2-D/3-D, so derive a 1-D trace and an f64
+    // field from the first one.
+    let trace_1d: Tensor<f32> = {
+        let src = &fields[0].data;
+        let n = src.len().min(10_000);
+        Tensor::from_vec([n], src.as_slice()[..n].to_vec())
+    };
+    let field_f64: Tensor<f64> = {
+        let src = &fields[0].data;
+        let values: Vec<f64> = src.as_slice().iter().map(|&v| v as f64).collect();
+        Tensor::from_vec(src.shape().clone(), values)
+    };
+
+    for target in [5.0f64, 20.0] {
+        for field in fields {
+            let planner = Planner::new(&field.data);
+            push_target_row(&mut t, &field.name, "f32", &field.data, &planner, target);
+        }
+        {
+            let planner = Planner::new(&trace_1d);
+            push_target_row(&mut t, "TS-trace", "f32", &trace_1d, &planner, target);
+        }
+        {
+            let planner = Planner::new(&field_f64);
+            push_target_row(&mut t, "TS-f64", "f64", &field_f64, &planner, target);
+        }
+    }
+    t
+}
+
+fn push_target_row<T: szr_core::ScalarFloat + szr_metrics::Real>(
+    t: &mut Table,
+    name: &str,
+    dtype: &str,
+    data: &Tensor<T>,
+    planner: &Planner<T>,
+    target: f64,
+) {
+    let dims = data
+        .dims()
+        .iter()
+        .map(|d| d.to_string())
+        .collect::<Vec<_>>()
+        .join("x");
+    let label = format!("{dtype} {dims}");
+    match planner.plan(&Goal::TargetRatio { ratio: target }) {
+        Ok(report) => {
+            let chosen = report.chosen();
+            let bytes = chosen
+                .codec
+                .compress(data)
+                .expect("planned configs compress");
+            let achieved = (data.len() * (T::BITS as usize / 8)) as f64 / bytes.len() as f64;
+            let ok = achieved >= target * TARGET_SLACK;
+            assert!(
+                ok,
+                "{name}: planner promised {target}x but delivered {achieved:.2}x"
+            );
+            t.push(vec![
+                name.to_string(),
+                label,
+                fmt_f(target),
+                chosen.codec.name().to_string(),
+                fmt_f(achieved),
+                "yes".to_string(),
+            ]);
+        }
+        Err(PlanError::Infeasible(_)) => {
+            t.push(vec![
+                name.to_string(),
+                label,
+                fmt_f(target),
+                "infeasible".to_string(),
+                "-".to_string(),
+                "yes".to_string(),
+            ]);
+        }
+        Err(e) => panic!("{name}: unexpected planning error {e}"),
+    }
+}

@@ -21,6 +21,7 @@ pub mod exp_fig6;
 pub mod exp_fig7;
 pub mod exp_fig8;
 pub mod exp_fig9;
+pub mod exp_planner;
 pub mod exp_scaling;
 pub mod exp_table2;
 pub mod exp_table4;

@@ -66,6 +66,58 @@ fn build_config(args: &Args) -> Result<Config, String> {
     Ok(config)
 }
 
+/// Builds the planning goal from `--target-ratio` / `--abs` / `--rel`.
+fn plan_goal(args: &Args) -> Result<szr_planner::Goal, String> {
+    let abs = args.get_parse::<f64>("abs")?;
+    let rel = args.get_parse::<f64>("rel")?;
+    if let Some(ratio) = args.get_parse::<f64>("target-ratio")? {
+        // A target-ratio plan picks its own error bound, so a bound flag
+        // alongside it would be silently ignored — reject the combination
+        // instead of letting a stated bound go unenforced.
+        if abs.is_some() || rel.is_some() {
+            return Err(
+                "--target-ratio and --abs/--rel are different goals; give exactly one".into(),
+            );
+        }
+        return Ok(szr_planner::Goal::TargetRatio { ratio });
+    }
+    let bound = match (abs, rel) {
+        (Some(a), Some(r)) => ErrorBound::Both { abs: a, rel: r },
+        (Some(a), None) => ErrorBound::Absolute(a),
+        (None, Some(r)) => ErrorBound::Relative(r),
+        (None, None) => return Err("need --target-ratio, --abs, or --rel".into()),
+    };
+    Ok(szr_planner::Goal::MaxError { bound })
+}
+
+/// Plans an SZ config for `compress --auto` and logs the choice.
+fn auto_config<T: ScalarFloat + szr_metrics::Real>(
+    args: &Args,
+    data: &Tensor<T>,
+) -> Result<szr_core::Config, String> {
+    let goal = plan_goal(args)?;
+    let planner =
+        szr_planner::Planner::with_options(data, szr_planner::PlannerOptions::default().sz_only());
+    let report = planner.plan(&goal).map_err(|e| e.to_string())?;
+    let chosen = report.chosen();
+    let config = chosen
+        .codec
+        .sz_config()
+        .expect("sz-only plans always choose the SZ codec");
+    eprintln!(
+        "auto: layers {} / 2^{} - 1 intervals at eb {:.6e} (est {:.2}x, {:.2} bits/value)",
+        config.layers,
+        match config.intervals {
+            szr_core::IntervalMode::Fixed { bits } => bits,
+            _ => unreachable!("planned configs pin interval bits"),
+        },
+        chosen.estimate.max_abs_error,
+        chosen.estimate.ratio,
+        chosen.estimate.bits_per_value,
+    );
+    Ok(config)
+}
+
 /// `szr compress`
 pub fn compress(args: &Args) -> CmdResult {
     let input = args.need("input")?;
@@ -73,32 +125,39 @@ pub fn compress(args: &Args) -> CmdResult {
     let dims = parse_dims(args.need("dims")?)?;
     let dtype = args.get("dtype").unwrap_or("f32");
     let pw = args.get_parse::<f64>("pointwise-rel")?;
+    let auto = args.switch("auto");
 
     let t0 = Instant::now();
+    fn pack<T: ScalarFloat + szr_metrics::Real>(
+        args: &Args,
+        data: &Tensor<T>,
+        pw: Option<f64>,
+        auto: bool,
+    ) -> Result<Vec<u8>, String> {
+        match (pw, auto) {
+            (Some(_), true) => {
+                Err("--auto does not support --pointwise-rel (log-domain mode)".into())
+            }
+            (Some(eb), false) => {
+                let cfg = build_config_pw(args)?;
+                szr_core::compress_pointwise_rel(data, eb, &cfg).map_err(|e| e.to_string())
+            }
+            (None, true) => {
+                szr_core::compress(data, &auto_config(args, data)?).map_err(|e| e.to_string())
+            }
+            (None, false) => {
+                szr_core::compress(data, &build_config(args)?).map_err(|e| e.to_string())
+            }
+        }
+    }
     let (archive, raw_bytes) = match dtype {
         "f32" => {
             let data = read_raw::<f32>(input, &dims)?;
-            let archive = match pw {
-                Some(eb) => {
-                    let cfg = build_config_pw(args)?;
-                    szr_core::compress_pointwise_rel(&data, eb, &cfg)
-                }
-                None => szr_core::compress(&data, &build_config(args)?),
-            }
-            .map_err(|e| e.to_string())?;
-            (archive, data.len() * 4)
+            (pack(args, &data, pw, auto)?, data.len() * 4)
         }
         "f64" => {
             let data = read_raw::<f64>(input, &dims)?;
-            let archive = match pw {
-                Some(eb) => {
-                    let cfg = build_config_pw(args)?;
-                    szr_core::compress_pointwise_rel(&data, eb, &cfg)
-                }
-                None => szr_core::compress(&data, &build_config(args)?),
-            }
-            .map_err(|e| e.to_string())?;
-            (archive, data.len() * 8)
+            (pack(args, &data, pw, auto)?, data.len() * 8)
         }
         other => return Err(format!("unknown --dtype {other:?}")),
     };
@@ -305,6 +364,67 @@ fn build_config_eval(args: &Args, eb: f64) -> Result<Config, String> {
     }
     config.validate().map_err(|e| e.to_string())?;
     Ok(config)
+}
+
+/// `szr plan` — estimate ratio/quality per codec and pick a configuration
+/// without compressing the full file.
+pub fn plan(args: &Args) -> CmdResult {
+    let input = args.need("input")?;
+    let dims = parse_dims(args.need("dims")?)?;
+    match args.get("dtype").unwrap_or("f32") {
+        "f32" => plan_typed(args, read_raw::<f32>(input, &dims)?),
+        "f64" => plan_typed(args, read_raw::<f64>(input, &dims)?),
+        other => Err(format!("unknown --dtype {other:?}")),
+    }
+}
+
+fn plan_typed<T: ScalarFloat + szr_metrics::Real>(args: &Args, data: Tensor<T>) -> CmdResult {
+    let goal = plan_goal(args)?;
+    let mut opts = szr_planner::PlannerOptions::default();
+    if let Some(list) = args.get("codecs") {
+        opts.codecs = list
+            .split(',')
+            .map(|name| {
+                szr_planner::CodecKind::parse(name.trim())
+                    .ok_or_else(|| format!("unknown codec {name:?} in --codecs"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+    }
+    let t0 = Instant::now();
+    let planner = szr_planner::Planner::with_options(&data, opts);
+    match planner.plan(&goal) {
+        Ok(report) => {
+            let chosen = report.chosen();
+            let text = report.to_text();
+            if let Some(path) = args.get("report") {
+                std::fs::write(path, &text).map_err(|e| format!("cannot write {path}: {e}"))?;
+            }
+            print!("{text}");
+            eprintln!(
+                "plan: {} — est {:.2}x ({:.2} bits/value), est max err {:.3e}, \
+                 {} candidates in {:.2}s",
+                chosen.codec.name(),
+                chosen.estimate.ratio,
+                chosen.estimate.bits_per_value,
+                chosen.estimate.max_abs_error,
+                report.candidates.len(),
+                t0.elapsed().as_secs_f64()
+            );
+            Ok(())
+        }
+        // Infeasibility is a successful answer, not a failure: report it on
+        // stdout — and into --report, so a sweep never reads a stale file
+        // from an earlier feasible run — then exit 0.
+        Err(szr_planner::PlanError::Infeasible(msg)) => {
+            let line = format!("infeasible: {msg}\n");
+            if let Some(path) = args.get("report") {
+                std::fs::write(path, &line).map_err(|e| format!("cannot write {path}: {e}"))?;
+            }
+            print!("{line}");
+            Ok(())
+        }
+        Err(e) => Err(e.to_string()),
+    }
 }
 
 /// `szr gen`

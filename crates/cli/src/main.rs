@@ -5,6 +5,7 @@
 //! szr decompress --input data.szr --output data.bin
 //! szr inspect    --input data.szr
 //! szr eval       --input data.bin --dims 1800x3600 --dtype f32 --rel 1e-4 [--codec sz14]
+//! szr plan       --input data.bin --dims 1800x3600 --target-ratio 20
 //! szr gen        --dataset atm --variable TS --scale medium --output ts.bin
 //! ```
 //!
@@ -24,6 +25,7 @@ USAGE:
   szr decompress --input FILE --output FILE
   szr inspect    --input FILE
   szr eval       --input FILE --dims AxBxC (--rel EB | --abs EB) [--codec NAME]
+  szr plan       --input FILE --dims AxBxC (--target-ratio R | --rel EB | --abs EB) [options]
   szr gen        --dataset atm|aps|hurricane [--variable V] [--scale S] --output FILE
 
 COMPRESS OPTIONS:
@@ -35,9 +37,18 @@ COMPRESS OPTIONS:
   --bits M               fixed 2^M-1 quantization intervals (default adaptive)
   --decorrelate          whiten error autocorrelation (costs ~1 bit/value)
   --no-lossless-pass     skip the DEFLATE post-pass (faster, larger)
+  --auto                 plan the configuration from a sample first
+                         (with --abs/--rel: smallest output under the bound;
+                         with --target-ratio R: best quality reaching R)
 
 EVAL OPTIONS:
   --codec sz14|zfp|sz11|isabela|fpzip|gzip   (default sz14)
+
+PLAN OPTIONS:
+  --target-ratio R       reach compression ratio >= R with the least error
+  --codecs a,b,c         restrict the search (default sz14,zfp,sz11,isabela,fpzip)
+  --report FILE          also write the plan report to FILE
+  (prints 'infeasible: ...' and exits 0 when no config reaches the goal)
 
 GEN OPTIONS:
   --variable TS|FREQSH|SNOWHLND|CDNUMC       (ATM only; default TS)
@@ -51,7 +62,7 @@ fn main() {
         eprint!("{USAGE}");
         std::process::exit(if raw.is_empty() { 2 } else { 0 });
     }
-    let parsed = match Args::parse(&raw, &["decorrelate", "no-lossless-pass"]) {
+    let parsed = match Args::parse(&raw, &["decorrelate", "no-lossless-pass", "auto"]) {
         Ok(p) => p,
         Err(e) => {
             eprintln!("error: {e}\n\n{USAGE}");
@@ -63,6 +74,7 @@ fn main() {
         "decompress" => commands::decompress(&parsed),
         "inspect" => commands::inspect(&parsed),
         "eval" => commands::eval(&parsed),
+        "plan" => commands::plan(&parsed),
         "gen" => commands::generate(&parsed),
         other => Err(format!("unknown subcommand {other:?}")),
     };

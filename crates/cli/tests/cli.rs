@@ -145,6 +145,93 @@ fn missing_args_print_usage() {
 }
 
 #[test]
+fn plan_recommends_and_auto_compress_honors_it() {
+    let raw = tmp("plan.bin");
+    szr()
+        .args(["gen", "--dataset", "atm", "--scale", "small"])
+        .args(["--seed", "3", "--output", raw.to_str().unwrap()])
+        .status()
+        .unwrap();
+
+    // Target-ratio plan: parseable report, chosen candidate first.
+    let report_path = tmp("plan.report");
+    let out = szr()
+        .args(["plan", "--input", raw.to_str().unwrap()])
+        .args(["--dims", "90x180", "--target-ratio", "10"])
+        .args(["--report", report_path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.starts_with("szr-plan v1"), "{text}");
+    assert!(text.contains("candidate="), "{text}");
+    assert_eq!(std::fs::read_to_string(&report_path).unwrap(), text);
+
+    // Auto compress against the same goal: output must reach ~the target.
+    let packed = tmp("plan_auto.szr");
+    let comp = szr()
+        .args(["compress", "--input", raw.to_str().unwrap()])
+        .args(["--dims", "90x180", "--auto", "--target-ratio", "10"])
+        .args(["--output", packed.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        comp.status.success(),
+        "{}",
+        String::from_utf8_lossy(&comp.stderr)
+    );
+    let raw_bytes = std::fs::metadata(&raw).unwrap().len() as f64;
+    let packed_bytes = std::fs::metadata(&packed).unwrap().len() as f64;
+    assert!(
+        raw_bytes / packed_bytes >= 10.0 * 0.85,
+        "achieved only {:.2}x",
+        raw_bytes / packed_bytes
+    );
+}
+
+#[test]
+fn unreachable_plan_targets_report_infeasible() {
+    let raw = tmp("plan_inf.bin");
+    szr()
+        .args(["gen", "--dataset", "aps", "--scale", "small"])
+        .args(["--output", raw.to_str().unwrap()])
+        .status()
+        .unwrap();
+    let report = tmp("plan_inf.report");
+    // Pre-seed the report file: an infeasible run must overwrite it, not
+    // leave a stale feasible plan behind for scripted sweeps to misread.
+    std::fs::write(&report, "szr-plan v1\nstale\n").unwrap();
+    let out = szr()
+        .args(["plan", "--input", raw.to_str().unwrap()])
+        .args(["--dims", "128x128", "--target-ratio", "100000"])
+        .args(["--codecs", "sz14,fpzip"])
+        .args(["--report", report.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.starts_with("infeasible:"), "{text}");
+    assert_eq!(std::fs::read_to_string(&report).unwrap(), text);
+
+    // Conflicting goals are rejected, not silently resolved by precedence.
+    let out = szr()
+        .args(["plan", "--input", raw.to_str().unwrap()])
+        .args(["--dims", "128x128", "--target-ratio", "10", "--rel", "1e-6"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("exactly one"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
 fn pointwise_rel_mode_works_end_to_end() {
     let raw = tmp("pw.bin");
     let packed = tmp("pw.szr");

@@ -55,6 +55,35 @@ impl Snapshot {
         Ok(())
     }
 
+    /// Compresses and adds a field with a per-field planned configuration:
+    /// `szr-planner` picks the layer count and interval sizing that
+    /// minimizes this variable's archive under `bound` (snapshots hold
+    /// dozens of variables with very different personalities — one shared
+    /// config leaves size on the table).
+    ///
+    /// Returns the chosen configuration for inspection/logging.
+    pub fn add_auto<T: ScalarFloat + szr_metrics::Real>(
+        &mut self,
+        name: &str,
+        data: &Tensor<T>,
+        bound: szr_core::ErrorBound,
+    ) -> Result<Config> {
+        let planner = szr_planner::Planner::with_options(
+            data,
+            szr_planner::PlannerOptions::default().sz_only(),
+        );
+        let report = planner
+            .plan(&szr_planner::Goal::MaxError { bound })
+            .map_err(|_| SzError::InvalidConfig("bound is unplannable"))?;
+        let config = report
+            .chosen()
+            .codec
+            .sz_config()
+            .expect("sz-only plans always choose the SZ codec");
+        self.add(name, data, &config)?;
+        Ok(config)
+    }
+
     /// Adds a pre-compressed archive verbatim (e.g. produced elsewhere).
     ///
     /// The archive header is validated so a corrupt blob fails here rather
@@ -205,6 +234,28 @@ mod tests {
         assert_eq!(ts.dims(), &[32, 48]);
         let u: Tensor<f32> = back.get("U").unwrap();
         assert_eq!(u.dims(), &[16, 16, 16]);
+    }
+
+    #[test]
+    fn add_auto_plans_per_field_and_respects_bound() {
+        let mut snap = Snapshot::new();
+        // Two personalities: near-linear (tiny intervals suffice) and hash
+        // noise (needs many intervals).
+        let smooth = Tensor::from_fn([40, 40], |ix| (ix[0] * 40 + ix[1]) as f32 * 1e-4);
+        let noisy = Tensor::from_fn([40, 40], |ix| {
+            let h = (ix[0] as u64 * 40 + ix[1] as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            ((h >> 40) % 4096) as f32
+        });
+        let bound = ErrorBound::Absolute(1e-3);
+        let c_smooth = snap.add_auto("SMOOTH", &smooth, bound).unwrap();
+        let c_noisy = snap.add_auto("NOISY", &noisy, bound).unwrap();
+        assert_ne!(c_smooth.intervals, c_noisy.intervals);
+        for (name, data) in [("SMOOTH", &smooth), ("NOISY", &noisy)] {
+            let back: Tensor<f32> = snap.get(name).unwrap();
+            for (&a, &b) in data.as_slice().iter().zip(back.as_slice()) {
+                assert!((a as f64 - b as f64).abs() <= 1e-3);
+            }
+        }
     }
 
     #[test]

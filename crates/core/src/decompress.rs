@@ -131,6 +131,44 @@ pub fn inspect(bytes: &[u8]) -> Result<ArchiveInfo> {
 pub fn decompress<T: ScalarFloat>(bytes: &[u8]) -> Result<Tensor<T>> {
     let mut reader = ByteReader::new(bytes);
     let header = parse_header(&mut reader)?;
+    let mut kernel = ScanKernel::for_shape(header.layers, &header.shape);
+    decompress_parsed(header, reader, &mut kernel)
+}
+
+/// Decompresses an archive using a caller-provided [`ScanKernel`] — the
+/// decompression mirror of [`crate::compress_slice_with_kernel`].
+///
+/// A kernel is bound to a *(layer count, stride family)*, so callers
+/// decoding many same-family archives — `szr-parallel`'s chunked driver
+/// stitching band archives — construct it once (per layer count seen) and
+/// reuse it here instead of paying setup per archive. Use [`inspect`] to
+/// read an archive's layer count and dims cheaply before picking a kernel.
+///
+/// # Errors
+/// In addition to [`decompress`]'s errors, returns
+/// [`SzError::InvalidConfig`] when the kernel's layer count or stride family
+/// does not match the archive header.
+pub fn decompress_with_kernel<T: ScalarFloat>(
+    bytes: &[u8],
+    kernel: &mut ScanKernel,
+) -> Result<Tensor<T>> {
+    let mut reader = ByteReader::new(bytes);
+    let header = parse_header(&mut reader)?;
+    if kernel.layers() != header.layers || !kernel.matches(&header.shape) {
+        return Err(SzError::InvalidConfig(
+            "kernel does not match archive shape and layer count",
+        ));
+    }
+    decompress_parsed(header, reader, kernel)
+}
+
+/// Payload decode shared by [`decompress`] and [`decompress_with_kernel`];
+/// `reader` is positioned just past the header and `kernel` matches it.
+fn decompress_parsed<T: ScalarFloat>(
+    header: Header,
+    mut reader: ByteReader<'_>,
+    kernel: &mut ScanKernel,
+) -> Result<Tensor<T>> {
     if header.type_tag != T::TYPE_TAG {
         return Err(SzError::WrongType {
             expected: T::NAME,
@@ -183,7 +221,6 @@ pub fn decompress<T: ScalarFloat>(bytes: &[u8]) -> Result<Tensor<T>> {
     // unpredictable section parks its error and the remaining points decode
     // as zero before the error surfaces (corrupt archives only; valid
     // archives never hit this).
-    let mut kernel = ScanKernel::for_shape(header.layers, &header.shape);
     let mut decode_err: Option<SzError> = None;
     kernel.scan(&header.shape, &mut recon, |flat, pred| {
         if decode_err.is_some() {
@@ -275,6 +312,35 @@ mod tests {
         let mut bytes = sample_archive();
         bytes[4] = 99;
         assert!(decompress::<f32>(&bytes).is_err());
+    }
+
+    #[test]
+    fn reused_kernel_decodes_same_family_archives() {
+        let config = Config::new(ErrorBound::Absolute(0.01));
+        // Same inner extent, different leading extents: one kernel serves all.
+        let mut kernel = ScanKernel::new(1, &[16, 1]);
+        for rows in [3usize, 16, 31] {
+            let data = Tensor::from_fn([rows, 16], |ix| (ix[0] * 2 + ix[1]) as f32 * 0.3);
+            let bytes = compress(&data, &config).unwrap();
+            let fresh: Tensor<f32> = decompress(&bytes).unwrap();
+            let reused: Tensor<f32> = decompress_with_kernel(&bytes, &mut kernel).unwrap();
+            assert_eq!(fresh.as_slice(), reused.as_slice(), "rows {rows}");
+        }
+    }
+
+    #[test]
+    fn mismatched_kernel_is_rejected() {
+        let bytes = sample_archive(); // 16x16, 1 layer
+        let mut wrong_strides = ScanKernel::new(1, &[32, 1]);
+        assert!(matches!(
+            decompress_with_kernel::<f32>(&bytes, &mut wrong_strides),
+            Err(SzError::InvalidConfig(_))
+        ));
+        let mut wrong_layers = ScanKernel::new(2, &[16, 1]);
+        assert!(matches!(
+            decompress_with_kernel::<f32>(&bytes, &mut wrong_layers),
+            Err(SzError::InvalidConfig(_))
+        ));
     }
 }
 

@@ -189,6 +189,67 @@ impl ScanKernel {
         }
     }
 
+    /// Drives `visit` over every point of `shape` in row-major order,
+    /// predicting each point from the *original* values in `data` without
+    /// writing anything back — the read-only sibling of [`ScanKernel::scan`].
+    ///
+    /// This is the traversal behind [`crate::hit_rate_by_layer`] with
+    /// [`crate::PredictionBasis::Original`] and the planner's offset
+    /// statistics: both want full-grid original-value prediction (borders
+    /// included) and previously paid an input copy to reuse the write-back
+    /// scan. Dispatch mirrors [`ScanKernel::scan`], so the specialized
+    /// closed-form loops serve the same grid families.
+    ///
+    /// # Panics
+    /// Panics if `shape` is outside this kernel's grid family or `data` is
+    /// not exactly `shape.len()` long (see [`ScanKernel::scan`]).
+    pub fn scan_readonly<T, F>(&mut self, shape: &Shape, data: &[T], visit: F)
+    where
+        T: ScalarFloat,
+        F: FnMut(usize, f64),
+    {
+        assert!(
+            self.matches(shape),
+            "shape {shape} outside kernel stride family {:?}",
+            self.strides
+        );
+        assert_eq!(data.len(), shape.len(), "data length does not match shape");
+        match self.kind {
+            KernelKind::Specialized { ndim: 1, layers: 1 } => {
+                readonly_1d_n1(shape.dims()[0], data, visit)
+            }
+            KernelKind::Specialized { ndim: 1, layers: 2 } => {
+                readonly_1d_n2(shape.dims()[0], data, visit)
+            }
+            KernelKind::Specialized { ndim: 2, layers: 1 } => readonly_2d_n1(
+                shape.dims()[0],
+                shape.dims()[1],
+                self.strides[0],
+                data,
+                visit,
+            ),
+            KernelKind::Specialized { ndim: 2, layers: 2 } => {
+                self.readonly_2d_n2(shape, data, visit)
+            }
+            KernelKind::Specialized { ndim: 3, layers: 1 } => {
+                let d = shape.dims();
+                readonly_3d_n1(
+                    d[0],
+                    d[1],
+                    d[2],
+                    self.strides[0],
+                    self.strides[1],
+                    data,
+                    visit,
+                )
+            }
+            KernelKind::Specialized { ndim: 3, layers: 2 } => {
+                self.readonly_3d_n2(shape, data, visit)
+            }
+            _ => self.readonly_generic(shape, data, visit),
+        }
+    }
+
     /// Visits every *interior* point whose flat index is a multiple of
     /// `stride`, predicting from `data` itself (read-only, original-value
     /// prediction) — the traversal behind the §IV-B adaptive interval
@@ -300,6 +361,77 @@ impl ScanKernel {
                             pred += coeff * buf[f - off].to_f64();
                         }
                         buf[f] = visit(f, pred);
+                    }
+                }
+            }
+        }
+    }
+
+    fn readonly_generic<T, F>(&mut self, shape: &Shape, data: &[T], mut visit: F)
+    where
+        T: ScalarFloat,
+        F: FnMut(usize, f64),
+    {
+        let mut index = vec![0usize; shape.ndim()];
+        for flat in 0..data.len() {
+            let stencil = self.stencils.for_index(&index);
+            visit(flat, predict_at(data, flat, stencil));
+            shape.advance(&mut index);
+        }
+    }
+
+    fn readonly_2d_n2<T, F>(&mut self, shape: &Shape, data: &[T], mut visit: F)
+    where
+        T: ScalarFloat,
+        F: FnMut(usize, f64),
+    {
+        let (d0, d1) = (shape.dims()[0], shape.dims()[1]);
+        let s0 = self.strides[0];
+        for i in 0..d0 {
+            let row = i * s0;
+            let fast_row = i >= 2;
+            let border_cols = if fast_row { d1.min(2) } else { d1 };
+            for j in 0..border_cols {
+                let f = row + j;
+                let pred = self.slow_pred(&[i, j], data, f);
+                visit(f, pred);
+            }
+            if fast_row {
+                for j in 2..d1 {
+                    let f = row + j;
+                    visit(f, two_layer_2d(data, f, s0));
+                }
+            }
+        }
+    }
+
+    fn readonly_3d_n2<T, F>(&mut self, shape: &Shape, data: &[T], mut visit: F)
+    where
+        T: ScalarFloat,
+        F: FnMut(usize, f64),
+    {
+        let (d0, d1, d2) = (shape.dims()[0], shape.dims()[1], shape.dims()[2]);
+        let (s0, s1) = (self.strides[0], self.strides[1]);
+        let mut terms = [(0usize, 0.0f64); 26];
+        terms.copy_from_slice(&self.interior_terms);
+        for i in 0..d0 {
+            for j in 0..d1 {
+                let base = i * s0 + j * s1;
+                let fast_pencil = i >= 2 && j >= 2;
+                let border_depth = if fast_pencil { d2.min(2) } else { d2 };
+                for k in 0..border_depth {
+                    let f = base + k;
+                    let pred = self.slow_pred(&[i, j, k], data, f);
+                    visit(f, pred);
+                }
+                if fast_pencil {
+                    for k in 2..d2 {
+                        let f = base + k;
+                        let mut pred = 0.0f64;
+                        for (off, coeff) in terms {
+                            pred += coeff * data[f - off].to_f64();
+                        }
+                        visit(f, pred);
                     }
                 }
             }
@@ -557,6 +689,111 @@ fn scan_3d_n1<T, F>(
     }
 }
 
+// ---------------------------------------------------------------------------
+// Read-only traversals: the same visit order and predictions as the scan_*
+// functions above, but predicting from the caller's immutable data instead
+// of a write-back buffer (original-value prediction).
+// ---------------------------------------------------------------------------
+
+fn readonly_1d_n1<T, F>(d0: usize, data: &[T], mut visit: F)
+where
+    T: ScalarFloat,
+    F: FnMut(usize, f64),
+{
+    visit(0, 0.0);
+    for f in 1..d0 {
+        visit(f, lorenzo_1d(data, f));
+    }
+}
+
+fn readonly_1d_n2<T, F>(d0: usize, data: &[T], mut visit: F)
+where
+    T: ScalarFloat,
+    F: FnMut(usize, f64),
+{
+    visit(0, 0.0);
+    if d0 > 1 {
+        visit(1, lorenzo_1d(data, 1));
+    }
+    for f in 2..d0 {
+        visit(f, two_layer_1d(data, f));
+    }
+}
+
+fn readonly_2d_n1<T, F>(d0: usize, d1: usize, s0: usize, data: &[T], mut visit: F)
+where
+    T: ScalarFloat,
+    F: FnMut(usize, f64),
+{
+    visit(0, 0.0);
+    for f in 1..d1 {
+        visit(f, lorenzo_1d(data, f));
+    }
+    for i in 1..d0 {
+        let row = i * s0;
+        visit(row, data[row - s0].to_f64());
+        for j in 1..d1 {
+            let f = row + j;
+            visit(f, lorenzo_2d(data, f, s0));
+        }
+    }
+}
+
+fn readonly_3d_n1<T, F>(
+    d0: usize,
+    d1: usize,
+    d2: usize,
+    s0: usize,
+    s1: usize,
+    data: &[T],
+    mut visit: F,
+) where
+    T: ScalarFloat,
+    F: FnMut(usize, f64),
+{
+    for i in 0..d0 {
+        for j in 0..d1 {
+            let base = i * s0 + j * s1;
+            let pred = match (i > 0, j > 0) {
+                (false, false) => 0.0,
+                (false, true) => data[base - s1].to_f64(),
+                (true, false) => data[base - s0].to_f64(),
+                (true, true) => {
+                    data[base - s1].to_f64() + data[base - s0].to_f64()
+                        - data[base - s0 - s1].to_f64()
+                }
+            };
+            visit(base, pred);
+            match (i > 0, j > 0) {
+                (false, false) => {
+                    for k in 1..d2 {
+                        let f = base + k;
+                        visit(f, lorenzo_1d(data, f));
+                    }
+                }
+                (false, true) => {
+                    for k in 1..d2 {
+                        let f = base + k;
+                        visit(f, lorenzo_2d(data, f, s1));
+                    }
+                }
+                (true, false) => {
+                    for k in 1..d2 {
+                        let f = base + k;
+                        visit(f, lorenzo_2d(data, f, s0));
+                    }
+                }
+                (true, true) => {
+                    for k in 1..d2 {
+                        let f = base + k;
+                        visit(f, lorenzo_3d(data, f, s0, s1));
+                    }
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -658,6 +895,42 @@ mod tests {
                     );
                 }
                 assert_eq!(ba, bb, "dims {dims:?} layers {layers}");
+            }
+        }
+    }
+
+    /// `scan_readonly` must produce exactly the predictions of a write-back
+    /// scan whose buffer is seeded with the originals and whose visitor
+    /// stores each original back unchanged — the copy-based implementation
+    /// `hit_rate_by_layer(Original)` used before the read-only path existed.
+    #[test]
+    fn readonly_scan_matches_copy_based_scan() {
+        for dims in [
+            vec![40usize],
+            vec![1, 23],
+            vec![23, 1],
+            vec![9, 11],
+            vec![2, 2, 17],
+            vec![1, 1, 13],
+            vec![6, 5, 4],
+            vec![3, 4, 5, 2], // generic fallback
+        ] {
+            for layers in 1..=3usize {
+                let shape = Shape::new(&dims);
+                let data = wavy(&dims);
+                let mut kernel = ScanKernel::for_shape(layers, &shape);
+
+                let mut copied: Vec<(usize, f64)> = Vec::new();
+                let mut buf = data.clone();
+                kernel.scan(&shape, &mut buf, |flat, pred| {
+                    copied.push((flat, pred));
+                    data[flat]
+                });
+
+                let mut readonly: Vec<(usize, f64)> = Vec::new();
+                kernel.scan_readonly(&shape, &data, |flat, pred| readonly.push((flat, pred)));
+
+                assert_eq!(readonly, copied, "dims {dims:?} layers {layers}");
             }
         }
     }

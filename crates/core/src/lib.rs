@@ -57,7 +57,7 @@ pub use compress::{
     CompressionStats,
 };
 pub use config::{Config, ErrorBound, IntervalMode};
-pub use decompress::{decompress, inspect, ArchiveInfo};
+pub use decompress::{decompress, decompress_with_kernel, inspect, ArchiveInfo};
 pub use float::ScalarFloat;
 pub use kernel::{KernelKind, ScanKernel};
 pub use predict::{layer_coefficients, predict_at, Stencil, StencilSet};

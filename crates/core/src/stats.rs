@@ -41,18 +41,12 @@ pub fn hit_rate_by_layer<T: ScalarFloat>(
 
     match basis {
         PredictionBasis::Original => {
-            // Seed the scan buffer with the originals and store each value
-            // back unchanged: predictions then always read original data.
-            // Costs one copy of the input — the price of sharing the
-            // kernel's write-back traversal until it grows a read-only
-            // full-grid scan (ROADMAP).
-            let mut buf: Vec<T> = values.to_vec();
-            kernel.scan(shape, &mut buf, |flat, pred| {
-                let value = values[flat];
-                if (value.to_f64() - pred).abs() <= eb {
+            // Read-only full-grid scan: predictions always read the original
+            // data in place, no input copy (the planner hammers this path).
+            kernel.scan_readonly(shape, values, |flat, pred| {
+                if (values[flat].to_f64() - pred).abs() <= eb {
                     hits += 1;
                 }
-                value
             });
         }
         PredictionBasis::Decompressed => {

@@ -4,8 +4,11 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use szr_core::{
-    compress_slice_with_kernel, decompress, Config, Result, ScalarFloat, ScanKernel, SzError,
+    compress_slice_with_kernel, decompress_with_kernel, inspect, Config, ErrorBound, Result,
+    ScalarFloat, ScanKernel, SzError,
 };
+use szr_metrics::{value_range, Real};
+use szr_planner::plan_band_config;
 use szr_tensor::{Shape, Tensor};
 
 /// A tensor compressed as independent per-band archives.
@@ -113,6 +116,84 @@ pub fn compress_chunked<T: ScalarFloat + Send + Sync>(
     Ok(ChunkedArchive { dims, chunks })
 }
 
+/// Compresses `data` as independent band archives, letting the planner pick
+/// a per-band configuration (layer count + pinned interval bits) so
+/// heterogeneous slabs — a smooth troposphere above a turbulent boundary
+/// layer, say — each get the config that suits them.
+///
+/// The bound is resolved against the *full* tensor's value range once, so
+/// every band honors the same absolute guarantee regardless of its local
+/// range. Returns the archive plus the per-band configs (band order) for
+/// inspection. Like [`compress_chunked`], the result is deterministic and
+/// independent of thread scheduling.
+pub fn compress_chunked_planned<T: ScalarFloat + Real + Send + Sync>(
+    data: &Tensor<T>,
+    bound: ErrorBound,
+    num_chunks: usize,
+    threads: usize,
+) -> Result<(ChunkedArchive, Vec<Config>)> {
+    // Validate the bound spec through a throwaway config before resolving.
+    Config::new(bound).validate()?;
+    let eb_abs = bound.effective(value_range(data.as_slice()));
+    let dims = data.dims().to_vec();
+    let ranges = band_ranges(dims[0], num_chunks.max(1));
+    let row_elems: usize = dims[1..].iter().product::<usize>().max(1);
+    let values = data.as_slice();
+    let threads = threads.clamp(1, ranges.len().max(1));
+
+    let next = AtomicUsize::new(0);
+    type Planned = (Vec<u8>, Config);
+    let results: Vec<Mutex<Option<Result<Planned>>>> =
+        (0..ranges.len()).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| {
+                // Per-band planning may pick different layer counts, so each
+                // worker keeps one kernel per layer count it encounters
+                // (bands still share the stride family).
+                let mut kernels: Vec<ScanKernel> = Vec::new();
+                loop {
+                    let band = next.fetch_add(1, Ordering::Relaxed);
+                    if band >= ranges.len() {
+                        return;
+                    }
+                    let (r0, r1) = ranges[band];
+                    let mut band_dims = dims.clone();
+                    band_dims[0] = r1 - r0;
+                    let shape = Shape::new(&band_dims);
+                    let slice = &values[r0 * row_elems..r1 * row_elems];
+                    let config = plan_band_config(slice, &shape, eb_abs);
+                    let kernel = match kernels.iter().position(|k| k.layers() == config.layers) {
+                        Some(i) => &mut kernels[i],
+                        None => {
+                            kernels.push(ScanKernel::for_shape(config.layers, &shape));
+                            kernels.last_mut().unwrap()
+                        }
+                    };
+                    let result = compress_slice_with_kernel(slice, &shape, &config, kernel)
+                        .map(|(bytes, _)| (bytes, config));
+                    *results[band].lock().unwrap() = Some(result);
+                }
+            });
+        }
+    });
+
+    let mut chunks = Vec::with_capacity(ranges.len());
+    let mut configs = Vec::with_capacity(ranges.len());
+    for cell in results {
+        match cell.into_inner().unwrap() {
+            Some(Ok((bytes, config))) => {
+                chunks.push(bytes);
+                configs.push(config);
+            }
+            Some(Err(e)) => return Err(e),
+            None => unreachable!("every band is claimed exactly once"),
+        }
+    }
+    Ok((ChunkedArchive { dims, chunks }, configs))
+}
+
 /// Decompresses a [`ChunkedArchive`] back into one tensor using up to
 /// `threads` worker threads.
 pub fn decompress_chunked<T: ScalarFloat + Send + Sync>(
@@ -132,12 +213,19 @@ pub fn decompress_chunked<T: ScalarFloat + Send + Sync>(
         .collect();
     std::thread::scope(|s| {
         for _ in 0..threads {
-            s.spawn(|| loop {
-                let band = next.fetch_add(1, Ordering::Relaxed);
-                if band >= archive.chunks.len() {
-                    return;
+            s.spawn(|| {
+                // Mirror of the compress side's reuse: one kernel per
+                // (layer count, stride family) a worker sees, fed through
+                // `decompress_with_kernel` instead of rebuilding per band.
+                let mut kernels: Vec<ScanKernel> = Vec::new();
+                loop {
+                    let band = next.fetch_add(1, Ordering::Relaxed);
+                    if band >= archive.chunks.len() {
+                        return;
+                    }
+                    let result = decompress_band(&archive.chunks[band], &mut kernels);
+                    *decoded[band].lock().unwrap() = Some(result);
                 }
-                *decoded[band].lock().unwrap() = Some(decompress::<T>(&archive.chunks[band]));
             });
         }
     });
@@ -164,6 +252,27 @@ pub fn decompress_chunked<T: ScalarFloat + Send + Sync>(
         ));
     }
     Ok(Tensor::from_vec(shape, out))
+}
+
+/// Decodes one band archive through a worker's kernel cache, creating a
+/// kernel for any (layer count, stride family) not yet seen.
+fn decompress_band<T: ScalarFloat>(
+    archive: &[u8],
+    kernels: &mut Vec<ScanKernel>,
+) -> Result<Tensor<T>> {
+    let info = inspect(archive)?;
+    let shape = Shape::new(&info.dims);
+    let idx = match kernels
+        .iter()
+        .position(|k| k.layers() == info.layers && k.matches(&shape))
+    {
+        Some(i) => i,
+        None => {
+            kernels.push(ScanKernel::for_shape(info.layers, &shape));
+            kernels.len() - 1
+        }
+    };
+    decompress_with_kernel(archive, &mut kernels[idx])
 }
 
 #[cfg(test)]
@@ -243,6 +352,77 @@ mod tests {
         let mut archive = compress_chunked(&data, &config, 4, 2).unwrap();
         archive.chunks[2][0] ^= 0xFF;
         assert!(decompress_chunked::<f32>(&archive, 2).is_err());
+    }
+
+    #[test]
+    fn planned_chunks_give_heterogeneous_bands_distinct_configs() {
+        // Top slab: near-linear (tiny residuals); bottom slab: hash noise
+        // far above the bound. The planner should size intervals very
+        // differently for the two.
+        let data = Tensor::from_fn([96, 64], |ix| {
+            if ix[0] < 48 {
+                (ix[0] * 64 + ix[1]) as f32 * 1e-4
+            } else {
+                let h = (ix[0] as u64 * 64 + ix[1] as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                ((h >> 40) % 4096) as f32
+            }
+        });
+        let eb = ErrorBound::Absolute(1e-3);
+        let (archive, configs) = compress_chunked_planned(&data, eb, 2, 2).unwrap();
+        assert_eq!(configs.len(), 2);
+        let bits = |c: &Config| match c.intervals {
+            szr_core::IntervalMode::Fixed { bits } => bits,
+            _ => panic!("planned configs pin their interval bits"),
+        };
+        assert!(
+            bits(&configs[0]) < bits(&configs[1]),
+            "smooth band {:?} should use fewer interval bits than noisy band {:?}",
+            configs[0],
+            configs[1]
+        );
+        let out: Tensor<f32> = decompress_chunked(&archive, 2).unwrap();
+        for (&a, &b) in data.as_slice().iter().zip(out.as_slice()) {
+            assert!((a as f64 - b as f64).abs() <= 1e-3);
+        }
+    }
+
+    #[test]
+    fn planned_chunking_is_deterministic_and_never_larger_capped() {
+        let data = field();
+        let eb = ErrorBound::Relative(1e-4);
+        let (a, ca) = compress_chunked_planned(&data, eb, 8, 1).unwrap();
+        let (b, cb) = compress_chunked_planned(&data, eb, 8, 4).unwrap();
+        assert_eq!(a.chunks, b.chunks);
+        assert_eq!(ca, cb);
+        let out: Tensor<f32> = decompress_chunked(&a, 4).unwrap();
+        let range = szr_metrics::value_range(data.as_slice());
+        for (&x, &y) in data.as_slice().iter().zip(out.as_slice()) {
+            assert!((x as f64 - y as f64).abs() <= 1e-4 * range);
+        }
+    }
+
+    #[test]
+    fn mixed_layer_band_archives_decode_through_the_kernel_cache() {
+        // Hand-assemble a chunked archive whose bands disagree on layer
+        // count: the decompression kernel cache must key on layers, not
+        // assume homogeneity.
+        let data = field();
+        let mut chunks = Vec::new();
+        for (r0, r1, layers) in [(0usize, 30usize, 1usize), (30, 60, 2), (60, 97, 1)] {
+            let band = Tensor::from_fn([r1 - r0, 64], |ix| {
+                data.as_slice()[(r0 + ix[0]) * 64 + ix[1]]
+            });
+            let config = Config::new(ErrorBound::Absolute(1e-3)).with_layers(layers);
+            chunks.push(szr_core::compress(&band, &config).unwrap());
+        }
+        let archive = ChunkedArchive {
+            dims: vec![97, 64],
+            chunks,
+        };
+        let out: Tensor<f32> = decompress_chunked(&archive, 2).unwrap();
+        for (&a, &b) in data.as_slice().iter().zip(out.as_slice()) {
+            assert!((a as f64 - b as f64).abs() <= 1e-3);
+        }
     }
 
     #[test]

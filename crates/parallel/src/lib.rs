@@ -6,8 +6,11 @@
 //! reproduces that shape on a single machine and models the cluster:
 //!
 //! * [`chunked`] — split a tensor into contiguous row bands, compress each
-//!   band as an independent archive (crossbeam scoped threads, no locks on
-//!   the data path), reassemble on decompression;
+//!   band as an independent archive (scoped threads, no locks on the data
+//!   path), reassemble on decompression; `compress_chunked_planned` lets
+//!   `szr-planner` pick a per-band configuration so heterogeneous slabs
+//!   each get suitable layer counts and interval sizes, and both directions
+//!   reuse one `ScanKernel` per (layer count, stride family) per worker;
 //! * [`scaling`] — the strong-scaling harness behind Tables VII/VIII:
 //!   measured thread-scaling on the host plus an analytical Blues-cluster
 //!   model (ideal inter-node scaling — justified by zero communication —
@@ -20,6 +23,6 @@ mod chunked;
 mod io_model;
 mod scaling;
 
-pub use chunked::{compress_chunked, decompress_chunked, ChunkedArchive};
+pub use chunked::{compress_chunked, compress_chunked_planned, decompress_chunked, ChunkedArchive};
 pub use io_model::{io_breakdown, IoBreakdown, IoModel};
 pub use scaling::{measure_scaling, model_cluster_scaling, ClusterModel, Direction, ScalingPoint};

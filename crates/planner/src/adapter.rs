@@ -1,0 +1,344 @@
+//! The [`CodecAdapter`] trait: one uniform surface over every in-tree
+//! compressor backend.
+//!
+//! The planner treats the alternative backends as black boxes (Underwood et
+//! al., arXiv:2305.08801): it compresses a *sample* through an adapter,
+//! measures size and reconstruction error, and extrapolates. Adapters are
+//! deliberately tiny — `compress` at an absolute bound, `decompress`, and a
+//! [`PlannedCodec`] that pins the parameters for later execution — so
+//! adding a backend to the planner's search space is a dozen lines.
+
+use crate::report::PlannedCodec;
+use szr_core::{Config, ErrorBound, ScalarFloat};
+use szr_tensor::Tensor;
+
+/// A compressor backend the planner can evaluate and recommend.
+///
+/// Implementations must be deterministic (same data + bound ⇒ same bytes):
+/// the planner's estimates are extrapolated from one sampled trial.
+pub trait CodecAdapter<T: ScalarFloat> {
+    /// Stable identifier (also the `PlannedCodec` name).
+    fn name(&self) -> &'static str;
+
+    /// False for lossless backends, which ignore `eb_abs` and reconstruct
+    /// exactly.
+    fn lossy(&self) -> bool {
+        true
+    }
+
+    /// Compresses `data` under absolute bound `eb_abs`.
+    ///
+    /// # Errors
+    /// Returns a human-readable message when the backend declines the
+    /// configuration (e.g. ISABELA at bounds tighter than its spline can
+    /// honor); the planner records it as an infeasibility note.
+    fn compress(&self, data: &Tensor<T>, eb_abs: f64) -> Result<Vec<u8>, String>;
+
+    /// Decompresses bytes produced by [`CodecAdapter::compress`].
+    fn decompress(&self, bytes: &[u8]) -> Result<Tensor<T>, String>;
+
+    /// The executable plan entry for this backend at `eb_abs`.
+    fn planned(&self, eb_abs: f64) -> PlannedCodec;
+}
+
+/// The backends the planner knows how to search over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodecKind {
+    /// The SZ-1.4 core compressor (model-driven, not black-box).
+    Sz14,
+    /// ZFP fixed-accuracy mode.
+    Zfp,
+    /// SZ-1.1 bestfit curve fitting.
+    Sz11,
+    /// ISABELA sort + spline.
+    Isabela,
+    /// FPZIP lossless predictive coding.
+    Fpzip,
+}
+
+impl CodecKind {
+    /// All backends in default search order.
+    pub fn all() -> [CodecKind; 5] {
+        [
+            CodecKind::Sz14,
+            CodecKind::Zfp,
+            CodecKind::Sz11,
+            CodecKind::Isabela,
+            CodecKind::Fpzip,
+        ]
+    }
+
+    /// Stable identifier (accepted by [`CodecKind::parse`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            CodecKind::Sz14 => "sz14",
+            CodecKind::Zfp => "zfp",
+            CodecKind::Sz11 => "sz11",
+            CodecKind::Isabela => "isabela",
+            CodecKind::Fpzip => "fpzip",
+        }
+    }
+
+    /// Parses an identifier as printed by [`CodecKind::name`].
+    pub fn parse(s: &str) -> Option<CodecKind> {
+        CodecKind::all().into_iter().find(|k| k.name() == s)
+    }
+}
+
+/// Builds the black-box adapter for a backend.
+///
+/// [`CodecKind::Sz14`] has no black-box adapter here — the planner drives it
+/// through the ratio–quality model and [`SzAdapter`] (which pins layer count
+/// and interval bits) instead; asking for it returns `None`.
+pub fn builtin_adapter<T: ScalarFloat>(kind: CodecKind) -> Option<Box<dyn CodecAdapter<T>>> {
+    match kind {
+        CodecKind::Sz14 => None,
+        CodecKind::Zfp => Some(Box::new(ZfpAdapter)),
+        CodecKind::Sz11 => Some(Box::new(Sz11Adapter)),
+        CodecKind::Isabela => Some(Box::new(IsabelaAdapter)),
+        CodecKind::Fpzip => Some(Box::new(FpzipAdapter)),
+    }
+}
+
+/// The core compressor behind the adapter surface, with the configuration
+/// details the model search picked (layer count, pinned interval bits).
+#[derive(Debug, Clone, Copy)]
+pub struct SzAdapter {
+    /// Prediction layers.
+    pub layers: usize,
+    /// Pinned `m` (`2^m − 1` intervals).
+    pub interval_bits: u32,
+}
+
+impl SzAdapter {
+    pub(crate) fn config(&self, eb_abs: f64) -> Config {
+        Config::new(ErrorBound::Absolute(eb_abs))
+            .with_layers(self.layers)
+            .with_interval_bits(self.interval_bits)
+    }
+}
+
+impl<T: ScalarFloat> CodecAdapter<T> for SzAdapter {
+    fn name(&self) -> &'static str {
+        "sz14"
+    }
+
+    fn compress(&self, data: &Tensor<T>, eb_abs: f64) -> Result<Vec<u8>, String> {
+        szr_core::compress(data, &self.config(eb_abs)).map_err(|e| e.to_string())
+    }
+
+    fn decompress(&self, bytes: &[u8]) -> Result<Tensor<T>, String> {
+        szr_core::decompress(bytes).map_err(|e| e.to_string())
+    }
+
+    fn planned(&self, eb_abs: f64) -> PlannedCodec {
+        PlannedCodec::Sz {
+            eb_abs,
+            layers: self.layers,
+            interval_bits: self.interval_bits,
+        }
+    }
+}
+
+struct ZfpAdapter;
+
+impl<T: ScalarFloat> CodecAdapter<T> for ZfpAdapter {
+    fn name(&self) -> &'static str {
+        "zfp"
+    }
+
+    fn compress(&self, data: &Tensor<T>, eb_abs: f64) -> Result<Vec<u8>, String> {
+        Ok(szr_zfp::zfp_compress(
+            data,
+            szr_zfp::ZfpMode::FixedAccuracy { tolerance: eb_abs },
+        ))
+    }
+
+    fn decompress(&self, bytes: &[u8]) -> Result<Tensor<T>, String> {
+        szr_zfp::zfp_decompress(bytes).map_err(|e| e.to_string())
+    }
+
+    fn planned(&self, eb_abs: f64) -> PlannedCodec {
+        PlannedCodec::Zfp { tolerance: eb_abs }
+    }
+}
+
+struct Sz11Adapter;
+
+impl<T: ScalarFloat> CodecAdapter<T> for Sz11Adapter {
+    fn name(&self) -> &'static str {
+        "sz11"
+    }
+
+    fn compress(&self, data: &Tensor<T>, eb_abs: f64) -> Result<Vec<u8>, String> {
+        Ok(szr_sz11::sz11_compress(data, eb_abs))
+    }
+
+    fn decompress(&self, bytes: &[u8]) -> Result<Tensor<T>, String> {
+        szr_sz11::sz11_decompress(bytes).map_err(|e| e.to_string())
+    }
+
+    fn planned(&self, eb_abs: f64) -> PlannedCodec {
+        PlannedCodec::Sz11 { eb_abs }
+    }
+}
+
+struct IsabelaAdapter;
+
+impl<T: ScalarFloat> CodecAdapter<T> for IsabelaAdapter {
+    fn name(&self) -> &'static str {
+        "isabela"
+    }
+
+    fn compress(&self, data: &Tensor<T>, eb_abs: f64) -> Result<Vec<u8>, String> {
+        szr_isabela::isabela_compress(data, &szr_isabela::IsabelaConfig::new(eb_abs))
+            .map_err(|e| e.to_string())
+    }
+
+    fn decompress(&self, bytes: &[u8]) -> Result<Tensor<T>, String> {
+        szr_isabela::isabela_decompress(bytes).map_err(|e| e.to_string())
+    }
+
+    fn planned(&self, eb_abs: f64) -> PlannedCodec {
+        PlannedCodec::Isabela { eb_abs }
+    }
+}
+
+struct FpzipAdapter;
+
+impl<T: ScalarFloat> CodecAdapter<T> for FpzipAdapter {
+    fn name(&self) -> &'static str {
+        "fpzip"
+    }
+
+    fn lossy(&self) -> bool {
+        false
+    }
+
+    fn compress(&self, data: &Tensor<T>, _eb_abs: f64) -> Result<Vec<u8>, String> {
+        Ok(szr_fpzip::fpzip_compress(data))
+    }
+
+    fn decompress(&self, bytes: &[u8]) -> Result<Tensor<T>, String> {
+        szr_fpzip::fpzip_decompress(bytes).map_err(|e| e.to_string())
+    }
+
+    fn planned(&self, _eb_abs: f64) -> PlannedCodec {
+        PlannedCodec::Fpzip
+    }
+}
+
+impl PlannedCodec {
+    /// Executes the plan: compresses `data` with the pinned parameters.
+    ///
+    /// # Errors
+    /// Returns [`crate::PlanError::Invalid`] when the backend declines the
+    /// configuration on the full data (rare: the planner validated it on
+    /// the sample).
+    pub fn compress<T: ScalarFloat>(&self, data: &Tensor<T>) -> crate::Result<Vec<u8>> {
+        let (adapter, eb): (Box<dyn CodecAdapter<T>>, f64) = match *self {
+            PlannedCodec::Sz {
+                eb_abs,
+                layers,
+                interval_bits,
+            } => (
+                Box::new(SzAdapter {
+                    layers,
+                    interval_bits,
+                }),
+                eb_abs,
+            ),
+            PlannedCodec::Zfp { tolerance } => {
+                (builtin_adapter(CodecKind::Zfp).unwrap(), tolerance)
+            }
+            PlannedCodec::Sz11 { eb_abs } => (builtin_adapter(CodecKind::Sz11).unwrap(), eb_abs),
+            PlannedCodec::Isabela { eb_abs } => {
+                (builtin_adapter(CodecKind::Isabela).unwrap(), eb_abs)
+            }
+            PlannedCodec::Fpzip => (builtin_adapter(CodecKind::Fpzip).unwrap(), 0.0),
+        };
+        adapter
+            .compress(data, eb)
+            .map_err(crate::PlanError::Invalid)
+    }
+
+    /// Decompresses bytes produced by [`PlannedCodec::compress`].
+    pub fn decompress<T: ScalarFloat>(&self, bytes: &[u8]) -> crate::Result<Tensor<T>> {
+        let adapter: Box<dyn CodecAdapter<T>> = match *self {
+            PlannedCodec::Sz {
+                layers,
+                interval_bits,
+                ..
+            } => Box::new(SzAdapter {
+                layers,
+                interval_bits,
+            }),
+            PlannedCodec::Zfp { .. } => builtin_adapter(CodecKind::Zfp).unwrap(),
+            PlannedCodec::Sz11 { .. } => builtin_adapter(CodecKind::Sz11).unwrap(),
+            PlannedCodec::Isabela { .. } => builtin_adapter(CodecKind::Isabela).unwrap(),
+            PlannedCodec::Fpzip => builtin_adapter(CodecKind::Fpzip).unwrap(),
+        };
+        adapter.decompress(bytes).map_err(crate::PlanError::Invalid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn field() -> Tensor<f32> {
+        Tensor::from_fn([20, 24], |ix| {
+            ((ix[0] + 2 * ix[1]) as f32 * 0.1).sin() * 4.0
+        })
+    }
+
+    #[test]
+    fn every_adapter_roundtrips_the_sample() {
+        let data = field();
+        let eb = 1e-3;
+        for kind in CodecKind::all() {
+            let adapter: Box<dyn CodecAdapter<f32>> = match builtin_adapter(kind) {
+                Some(a) => a,
+                None => Box::new(SzAdapter {
+                    layers: 1,
+                    interval_bits: 8,
+                }),
+            };
+            let bytes = adapter.compress(&data, eb).unwrap();
+            let out = adapter.decompress(&bytes).unwrap();
+            assert_eq!(out.dims(), data.dims(), "{}", adapter.name());
+            if adapter.lossy() {
+                let err = szr_metrics::max_abs_error(data.as_slice(), out.as_slice());
+                assert!(err <= eb, "{}: {err} > {eb}", adapter.name());
+            } else {
+                assert_eq!(out.as_slice(), data.as_slice(), "{}", adapter.name());
+            }
+        }
+    }
+
+    #[test]
+    fn planned_codec_executes_and_inverts() {
+        let data = field();
+        for planned in [
+            PlannedCodec::Sz {
+                eb_abs: 1e-3,
+                layers: 2,
+                interval_bits: 6,
+            },
+            PlannedCodec::Zfp { tolerance: 1e-3 },
+            PlannedCodec::Fpzip,
+        ] {
+            let bytes = planned.compress(&data).unwrap();
+            let out: Tensor<f32> = planned.decompress(&bytes).unwrap();
+            assert_eq!(out.dims(), data.dims(), "{}", planned.name());
+        }
+    }
+
+    #[test]
+    fn kind_names_parse_back() {
+        for kind in CodecKind::all() {
+            assert_eq!(CodecKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(CodecKind::parse("gzip"), None);
+    }
+}

@@ -1,0 +1,95 @@
+//! # szr-planner — sampling-based ratio–quality estimation and automatic
+//! codec/config selection
+//!
+//! Everything the core compressor chooses adaptively, it chooses from a
+//! *sampled* statistic (the §IV-B interval scheme). This crate extends that
+//! idea to the whole configuration space, in the spirit of ratio–quality
+//! modeling (Jin et al., arXiv:2111.09815) and black-box ratio prediction
+//! (Underwood et al., arXiv:2305.08801): sample the tensor once, estimate
+//! compressed size and reconstruction quality for each candidate
+//! configuration *before* compressing, and pick the best candidate for a
+//! user goal.
+//!
+//! Two estimators power the search:
+//!
+//! * **The SZ ratio–quality model** — run the real predict→quantize pipeline
+//!   (via the `ScanKernel`-backed [`szr_core::quantization_histogram`]) over
+//!   a small sample, and turn the resulting quantization-code distribution
+//!   into an estimated bit rate: Shannon entropy of the codes plus the
+//!   binary-representation cost of the unpredictable fraction plus
+//!   per-archive overhead. Quality follows from the bound (`rmse ≈ eb/√3`
+//!   for uniform in-interval error).
+//! * **Black-box trials** — the alternative backends (`szr-zfp`,
+//!   `szr-fpzip`, `szr-isabela`, `szr-sz11`) are measured by actually
+//!   compressing the sample through a [`CodecAdapter`] and extrapolating,
+//!   which also catches bound violations (e.g. ZFP's exponent alignment on
+//!   huge-dynamic-range fields) on the sample before they reach production.
+//!
+//! ## Goals
+//!
+//! [`Goal::MaxError`] — "stay within this bound, smallest output": every
+//! candidate is evaluated at the resolved absolute bound and the smallest
+//! estimated archive wins. [`Goal::TargetRatio`] — "reach ratio ≥ R, best
+//! quality": the planner bisects the error bound per codec (model-guided for
+//! SZ, black-box for the rest) and picks the feasible candidate with the
+//! smallest achieved error.
+//!
+//! ## Example
+//!
+//! ```
+//! use szr_planner::{Goal, Planner};
+//! use szr_tensor::Tensor;
+//!
+//! let data = Tensor::from_fn([64, 96], |ix| {
+//!     ((ix[0] as f32) * 0.05).sin() * 10.0 + ((ix[1] as f32) * 0.03).cos()
+//! });
+//! let planner = Planner::new(&data);
+//! let report = planner.plan(&Goal::TargetRatio { ratio: 8.0 }).unwrap();
+//! let archive = report.chosen().codec.compress(&data).unwrap();
+//! let achieved = (data.len() * 4) as f64 / archive.len() as f64;
+//! assert!(achieved >= 8.0 * 0.85, "achieved {achieved}");
+//! ```
+//!
+//! The CLI front-end is `szr plan` (and `szr compress --auto`); the
+//! validation experiment is `experiments planner` in `szr-bench`, which
+//! scores estimated against actual ratios on the synthetic data sets.
+//! Estimator caveats are recorded in ROADMAP.md: accuracy degrades with the
+//! sampled fraction, and per-archive overhead is amortized differently on
+//! the sample than on the full tensor.
+
+mod adapter;
+mod model;
+mod planner;
+mod report;
+
+pub use adapter::{builtin_adapter, CodecAdapter, CodecKind};
+pub use model::SzSizeModel;
+pub use planner::{plan_band_config, Planner, PlannerOptions};
+pub use report::{Candidate, Estimate, Goal, PlanReport, PlannedCodec};
+
+/// Errors surfaced by planning.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanError {
+    /// No candidate configuration satisfies the goal; the message names the
+    /// closest miss.
+    Infeasible(String),
+    /// The goal or the data is unusable (message explains why).
+    Invalid(String),
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::Infeasible(msg) => write!(f, "goal is infeasible: {msg}"),
+            PlanError::Invalid(msg) => write!(f, "invalid planning request: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, PlanError>;
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,205 @@
+//! Property tests for the planner: monotone size estimates, goal
+//! satisfaction on real roundtrips, and report serialization.
+
+use crate::{Candidate, Estimate, Goal, PlanReport, PlannedCodec, Planner, PlannerOptions};
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+use szr_core::ErrorBound;
+use szr_tensor::Tensor;
+
+/// Random 1-D/2-D/3-D grids, small enough that the sample is the whole
+/// tensor (so sampled feasibility checks equal full-data checks).
+fn arb_dims() -> impl Strategy<Value = Vec<usize>> {
+    prop_oneof![
+        (24usize..=400).prop_map(|n| vec![n]),
+        (6usize..=24, 6usize..=24).prop_map(|(a, b)| vec![a, b]),
+        (3usize..=8, 3usize..=8, 3usize..=8).prop_map(|(a, b, c)| vec![a, b, c]),
+    ]
+}
+
+/// Smooth multi-wave fields with randomized frequencies and amplitudes —
+/// the compressible structure scientific data shares, which keeps the
+/// planner's search in its designed regime.
+fn arb_field() -> impl Strategy<Value = Tensor<f32>> {
+    (arb_dims(), 0.01f64..0.5, 0.5f64..30.0, 0.0f64..0.2).prop_map(|(dims, freq, amp, noise)| {
+        let shape = szr_tensor::Shape::new(&dims);
+        let mut state = 0x9E37_79B9u64;
+        Tensor::from_fn(&dims[..], |ix| {
+            let phase: f64 = ix
+                .iter()
+                .enumerate()
+                .map(|(axis, &x)| (x as f64) * freq * (axis + 1) as f64)
+                .sum();
+            state = state
+                .wrapping_mul(0x5851_F42D_4C95_7F2D)
+                .wrapping_add(shape.offset(ix) as u64);
+            let dither = ((state >> 33) as f64 / (1u64 << 31) as f64 - 0.5) * noise;
+            ((phase.sin() * amp) + dither) as f32
+        })
+    })
+}
+
+fn finite_f64() -> impl Strategy<Value = f64> {
+    prop_oneof![-1e9f64..1e9, Just(0.0), Just(f64::INFINITY), 1e-30f64..1e-3,]
+}
+
+fn arb_codec() -> impl Strategy<Value = PlannedCodec> {
+    prop_oneof![
+        ((1e-9f64..1.0), 1usize..=4, 4u32..=16).prop_map(|(eb, layers, bits)| {
+            PlannedCodec::Sz {
+                eb_abs: eb,
+                layers,
+                interval_bits: bits,
+            }
+        }),
+        (1e-9f64..1.0).prop_map(|eb| PlannedCodec::Zfp { tolerance: eb }),
+        (1e-9f64..1.0).prop_map(|eb| PlannedCodec::Sz11 { eb_abs: eb }),
+        (1e-9f64..1.0).prop_map(|eb| PlannedCodec::Isabela { eb_abs: eb }),
+        Just(PlannedCodec::Fpzip),
+    ]
+}
+
+fn arb_candidate() -> impl Strategy<Value = Candidate> {
+    (
+        arb_codec(),
+        (finite_f64(), finite_f64(), finite_f64(), finite_f64()),
+        prop_oneof![
+            Just(String::new()),
+            Just("bound violated on sample (max error 1.2e-3)".to_string()),
+            Just("reaches only 4.20x at eb 2.5e-1".to_string()),
+        ],
+        any::<bool>(),
+    )
+        .prop_map(
+            |(codec, (bpv, ratio, maxerr, psnr), note, feasible)| Candidate {
+                codec,
+                estimate: Estimate {
+                    bits_per_value: bpv,
+                    ratio,
+                    max_abs_error: maxerr,
+                    psnr_db: psnr,
+                },
+                feasible,
+                note,
+            },
+        )
+}
+
+fn arb_goal() -> impl Strategy<Value = Goal> {
+    prop_oneof![
+        (1e-9f64..1.0).prop_map(|abs| Goal::MaxError {
+            bound: ErrorBound::Absolute(abs)
+        }),
+        (1e-9f64..1e-1).prop_map(|rel| Goal::MaxError {
+            bound: ErrorBound::Relative(rel)
+        }),
+        ((1e-9f64..1.0), (1e-9f64..1e-1)).prop_map(|(abs, rel)| Goal::MaxError {
+            bound: ErrorBound::Both { abs, rel }
+        }),
+        (1.0f64..500.0).prop_map(|ratio| Goal::TargetRatio { ratio }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Satellite invariant 1: the planner's size estimates are monotone in
+    /// the error bound — loosening the bound never grows the estimated
+    /// archive, at every point of the estimate curve.
+    #[test]
+    fn size_estimates_are_monotone_in_error_bound(
+        data in arb_field(),
+        lo_exp in -6.0f64..-2.0,
+        step in 1.5f64..4.0,
+        layers in 1usize..=2,
+    ) {
+        let planner = Planner::new(&data);
+        let range = planner.range().max(1e-6);
+        let ladder: Vec<f64> = (0..10).map(|i| range * 10f64.powf(lo_exp) * step.powi(i)).collect();
+        let curve = planner.sz_size_curve(layers, 0.99, &ladder);
+        for pair in curve.windows(2) {
+            prop_assert!(
+                pair[1].bits_per_value <= pair[0].bits_per_value + 1e-12,
+                "estimate grew with a looser bound: {} -> {}",
+                pair[0].bits_per_value,
+                pair[1].bits_per_value
+            );
+            prop_assert!(pair[1].ratio + 1e-9 >= pair[0].ratio);
+        }
+        // The raw (un-enveloped) model also trends down across a wide
+        // separation — the envelope only smooths local sampling noise.
+        let model_lo = planner.sz_size_curve(layers, 0.99, &[ladder[0]])[0];
+        let model_hi = planner.sz_size_curve(layers, 0.99, &[ladder[9]])[0];
+        prop_assert!(model_hi.bits_per_value <= model_lo.bits_per_value * 1.05 + 0.1);
+    }
+
+    /// Satellite invariant 2: whatever the planner chooses for a max-error
+    /// goal honors the bound after a *real* compress→decompress roundtrip
+    /// of the full tensor.
+    #[test]
+    fn chosen_config_meets_error_goal_end_to_end(
+        data in arb_field(),
+        rel in 1e-4f64..1e-1,
+    ) {
+        let goal = Goal::MaxError { bound: ErrorBound::Relative(rel) };
+        let planner = Planner::new(&data);
+        let report = planner.plan(&goal).unwrap();
+        let chosen = report.chosen();
+        prop_assert!(chosen.feasible);
+        let eb = rel * planner.range();
+        let bytes = chosen.codec.compress(&data).unwrap();
+        let out: Tensor<f32> = chosen.codec.decompress(&bytes).unwrap();
+        let err = szr_metrics::max_abs_error(data.as_slice(), out.as_slice());
+        prop_assert!(
+            err <= eb * (1.0 + 1e-9),
+            "{} violated the bound: {err} > {eb}",
+            chosen.codec.name()
+        );
+    }
+
+    /// Satellite invariant 3: PlanReport text serialization round-trips
+    /// exactly for arbitrary well-formed reports.
+    #[test]
+    fn plan_report_serialization_roundtrips(
+        goal in arb_goal(),
+        dims in arb_dims(),
+        sample_len in 1usize..1_000_000,
+        candidates in prop::collection::vec(arb_candidate(), 1..5),
+        chosen_seed in 0usize..64,
+    ) {
+        let report = PlanReport {
+            dtype: "f32".to_string(),
+            dims,
+            sample_len,
+            goal,
+            chosen: chosen_seed % candidates.len(),
+            candidates,
+        };
+        let text = report.to_text();
+        let back = PlanReport::from_text(&text)
+            .map_err(|e| TestCaseError::fail(format!("parse failed: {e}\n{text}")))?;
+        prop_assert_eq!(back, report);
+    }
+
+    /// Target-ratio plans either land within 15% of the target on the real
+    /// archive or report infeasibility — the acceptance bar, as a property.
+    #[test]
+    fn target_ratio_plans_land_or_decline(
+        data in arb_field(),
+        target in 4.0f64..64.0,
+    ) {
+        let planner = Planner::with_options(&data, PlannerOptions::default().sz_only());
+        match planner.plan(&Goal::TargetRatio { ratio: target }) {
+            Ok(report) => {
+                let bytes = report.chosen().codec.compress(&data).unwrap();
+                let achieved = (data.len() * 4) as f64 / bytes.len() as f64;
+                prop_assert!(
+                    achieved >= target * 0.85,
+                    "promised {target}x, achieved {achieved:.2}x"
+                );
+            }
+            Err(crate::PlanError::Infeasible(_)) => {}
+            Err(e) => return Err(TestCaseError::fail(format!("unexpected error {e}"))),
+        }
+    }
+}

@@ -1,0 +1,469 @@
+//! Plan data model and its text serialization.
+//!
+//! A [`PlanReport`] is the planner's full answer: every candidate it
+//! evaluated with its estimates, which one it chose, and the goal it was
+//! solving. The report serializes to a line-oriented `key=value` text format
+//! (stable, diff-able, no external dependencies) so plans can be saved next
+//! to archives and replayed later; [`PlanReport::from_text`] inverts
+//! [`PlanReport::to_text`] exactly.
+
+use szr_core::ErrorBound;
+
+/// What the user asked the planner to optimize.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Goal {
+    /// Respect the bound; minimize the compressed size.
+    MaxError {
+        /// The pointwise error guarantee every candidate must honor.
+        bound: ErrorBound,
+    },
+    /// Reach at least this compression ratio; minimize the error.
+    TargetRatio {
+        /// Required ratio of raw bytes to compressed bytes.
+        ratio: f64,
+    },
+}
+
+/// A fully-parameterized compressor choice — enough to execute the plan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PlannedCodec {
+    /// The SZ-1.4 core compressor with a pinned configuration.
+    Sz {
+        /// Resolved absolute error bound.
+        eb_abs: f64,
+        /// Prediction layer count.
+        layers: usize,
+        /// `m`: `2^m − 1` quantization intervals (pinned, not re-sampled).
+        interval_bits: u32,
+    },
+    /// ZFP fixed-accuracy mode.
+    Zfp {
+        /// Absolute tolerance handed to ZFP.
+        tolerance: f64,
+    },
+    /// SZ-1.1 bestfit curve fitting.
+    Sz11 {
+        /// Resolved absolute error bound.
+        eb_abs: f64,
+    },
+    /// ISABELA sort + spline.
+    Isabela {
+        /// Resolved absolute error bound.
+        eb_abs: f64,
+    },
+    /// FPZIP (lossless; no bound parameter).
+    Fpzip,
+}
+
+impl PlannedCodec {
+    /// Display name matching the paper's comparison tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PlannedCodec::Sz { .. } => "sz14",
+            PlannedCodec::Zfp { .. } => "zfp",
+            PlannedCodec::Sz11 { .. } => "sz11",
+            PlannedCodec::Isabela { .. } => "isabela",
+            PlannedCodec::Fpzip => "fpzip",
+        }
+    }
+
+    /// The core-compressor [`szr_core::Config`] this plan pins down, when
+    /// the choice is the SZ codec (used by `szr compress --auto`).
+    pub fn sz_config(&self) -> Option<szr_core::Config> {
+        match *self {
+            PlannedCodec::Sz {
+                eb_abs,
+                layers,
+                interval_bits,
+            } => Some(
+                szr_core::Config::new(ErrorBound::Absolute(eb_abs))
+                    .with_layers(layers)
+                    .with_interval_bits(interval_bits),
+            ),
+            _ => None,
+        }
+    }
+}
+
+/// Predicted size and quality for one candidate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Estimate {
+    /// Estimated compressed bits per value (archive overhead amortized).
+    pub bits_per_value: f64,
+    /// Estimated compression ratio (raw bytes / compressed bytes).
+    pub ratio: f64,
+    /// Estimated maximum absolute error (the guarantee for SZ; measured on
+    /// the sample for black-box candidates; 0 for lossless).
+    pub max_abs_error: f64,
+    /// Estimated PSNR in dB (`inf` for lossless or constant data).
+    pub psnr_db: f64,
+}
+
+/// One evaluated configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    /// The executable codec choice.
+    pub codec: PlannedCodec,
+    /// Predicted size and quality.
+    pub estimate: Estimate,
+    /// Whether the candidate satisfies the goal.
+    pub feasible: bool,
+    /// Why the candidate was rejected (or extra context); never multi-line.
+    pub note: String,
+}
+
+/// The planner's full answer: ranked candidates plus the chosen one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanReport {
+    /// `"f32"` or `"f64"`.
+    pub dtype: String,
+    /// Full-tensor dimensions the plan applies to.
+    pub dims: Vec<usize>,
+    /// Number of sampled values the estimates were fitted on.
+    pub sample_len: usize,
+    /// The goal the planner solved.
+    pub goal: Goal,
+    /// Index of the chosen candidate in `candidates`.
+    pub chosen: usize,
+    /// Every candidate evaluated, feasible ones ranked first.
+    pub candidates: Vec<Candidate>,
+}
+
+impl PlanReport {
+    /// The chosen candidate.
+    ///
+    /// # Panics
+    /// Panics if the report is malformed (`chosen` out of range); reports
+    /// built by [`crate::Planner::plan`] or parsed by
+    /// [`PlanReport::from_text`] are always well-formed.
+    pub fn chosen(&self) -> &Candidate {
+        &self.candidates[self.chosen]
+    }
+
+    /// Total number of points in the full tensor.
+    pub fn total_len(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Serializes the report to its line-oriented text format.
+    ///
+    /// Notes are sanitized (`;` and newlines become `,` / space) so the
+    /// format stays parseable; everything else round-trips exactly.
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("szr-plan v1\n");
+        out.push_str(&format!("dtype={}\n", self.dtype));
+        out.push_str(&format!("dims={}\n", join_dims(&self.dims)));
+        out.push_str(&format!("sample={}\n", self.sample_len));
+        out.push_str(&format!("goal={}\n", goal_to_text(&self.goal)));
+        out.push_str(&format!("chosen={}\n", self.chosen));
+        for c in &self.candidates {
+            out.push_str(&candidate_to_text(c));
+            out.push('\n');
+        }
+        out.push_str("end\n");
+        out
+    }
+
+    /// Parses a report previously produced by [`PlanReport::to_text`].
+    pub fn from_text(text: &str) -> Result<Self, String> {
+        let mut lines = text.lines();
+        if lines.next() != Some("szr-plan v1") {
+            return Err("missing szr-plan v1 header".into());
+        }
+        let mut dtype = None;
+        let mut dims = None;
+        let mut sample_len = None;
+        let mut goal = None;
+        let mut chosen = None;
+        let mut candidates = Vec::new();
+        for line in lines {
+            if line == "end" {
+                break;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("malformed line {line:?}"))?;
+            match key {
+                "dtype" => dtype = Some(value.to_string()),
+                "dims" => dims = Some(parse_dims(value)?),
+                "sample" => {
+                    sample_len = Some(value.parse().map_err(|_| format!("bad sample {value:?}"))?)
+                }
+                "goal" => goal = Some(goal_from_text(value)?),
+                "chosen" => {
+                    chosen = Some(value.parse().map_err(|_| format!("bad chosen {value:?}"))?)
+                }
+                "candidate" => candidates.push(candidate_from_text(value)?),
+                other => return Err(format!("unknown key {other:?}")),
+            }
+        }
+        let report = PlanReport {
+            dtype: dtype.ok_or("missing dtype")?,
+            dims: dims.ok_or("missing dims")?,
+            sample_len: sample_len.ok_or("missing sample")?,
+            goal: goal.ok_or("missing goal")?,
+            chosen: chosen.ok_or("missing chosen")?,
+            candidates,
+        };
+        if report.candidates.is_empty() || report.chosen >= report.candidates.len() {
+            return Err("chosen index outside candidate list".into());
+        }
+        Ok(report)
+    }
+}
+
+fn join_dims(dims: &[usize]) -> String {
+    dims.iter()
+        .map(|d| d.to_string())
+        .collect::<Vec<_>>()
+        .join("x")
+}
+
+fn parse_dims(s: &str) -> Result<Vec<usize>, String> {
+    s.split('x')
+        .map(|d| d.parse().map_err(|_| format!("bad dims {s:?}")))
+        .collect()
+}
+
+fn goal_to_text(goal: &Goal) -> String {
+    match *goal {
+        Goal::MaxError { bound } => match bound {
+            ErrorBound::Absolute(abs) => format!("max-error;abs={abs}"),
+            ErrorBound::Relative(rel) => format!("max-error;rel={rel}"),
+            ErrorBound::Both { abs, rel } => format!("max-error;abs={abs};rel={rel}"),
+        },
+        Goal::TargetRatio { ratio } => format!("target-ratio;ratio={ratio}"),
+    }
+}
+
+fn parse_f64(value: &str) -> Result<f64, String> {
+    value.parse().map_err(|_| format!("bad float {value:?}"))
+}
+
+fn goal_from_text(s: &str) -> Result<Goal, String> {
+    let mut parts = s.split(';');
+    let kind = parts.next().unwrap_or_default();
+    let mut abs = None;
+    let mut rel = None;
+    let mut ratio = None;
+    for part in parts {
+        let (k, v) = part
+            .split_once('=')
+            .ok_or_else(|| format!("malformed goal field {part:?}"))?;
+        match k {
+            "abs" => abs = Some(parse_f64(v)?),
+            "rel" => rel = Some(parse_f64(v)?),
+            "ratio" => ratio = Some(parse_f64(v)?),
+            other => return Err(format!("unknown goal field {other:?}")),
+        }
+    }
+    match kind {
+        "max-error" => {
+            let bound = match (abs, rel) {
+                (Some(abs), Some(rel)) => ErrorBound::Both { abs, rel },
+                (Some(abs), None) => ErrorBound::Absolute(abs),
+                (None, Some(rel)) => ErrorBound::Relative(rel),
+                (None, None) => return Err("max-error goal without a bound".into()),
+            };
+            Ok(Goal::MaxError { bound })
+        }
+        "target-ratio" => Ok(Goal::TargetRatio {
+            ratio: ratio.ok_or("target-ratio goal without ratio")?,
+        }),
+        other => Err(format!("unknown goal kind {other:?}")),
+    }
+}
+
+fn candidate_to_text(c: &Candidate) -> String {
+    let mut out = format!("candidate={}", c.codec.name());
+    match c.codec {
+        PlannedCodec::Sz {
+            eb_abs,
+            layers,
+            interval_bits,
+        } => {
+            out.push_str(&format!(
+                ";eb={eb_abs};layers={layers};bits={interval_bits}"
+            ));
+        }
+        PlannedCodec::Zfp { tolerance } => out.push_str(&format!(";eb={tolerance}")),
+        PlannedCodec::Sz11 { eb_abs } | PlannedCodec::Isabela { eb_abs } => {
+            out.push_str(&format!(";eb={eb_abs}"))
+        }
+        PlannedCodec::Fpzip => {}
+    }
+    let e = &c.estimate;
+    out.push_str(&format!(
+        ";feasible={};bpv={};ratio={};maxerr={};psnr={}",
+        u8::from(c.feasible),
+        e.bits_per_value,
+        e.ratio,
+        e.max_abs_error,
+        e.psnr_db
+    ));
+    // The note is free text: sanitize the two structural characters and put
+    // it last so its content never splits a field.
+    let note = c.note.replace(';', ",").replace(['\n', '\r'], " ");
+    out.push_str(&format!(";note={note}"));
+    out
+}
+
+fn candidate_from_text(s: &str) -> Result<Candidate, String> {
+    let (name, rest) = match s.split_once(';') {
+        Some((n, r)) => (n, r),
+        None => (s, ""),
+    };
+    let mut eb = None;
+    let mut layers = None;
+    let mut bits = None;
+    let mut feasible = None;
+    let mut bpv = None;
+    let mut ratio = None;
+    let mut maxerr = None;
+    let mut psnr = None;
+    let mut note = String::new();
+    let mut remaining = rest;
+    while !remaining.is_empty() {
+        // `note` consumes the rest of the line (it may contain `=`).
+        if let Some(n) = remaining.strip_prefix("note=") {
+            note = n.to_string();
+            break;
+        }
+        let (field, tail) = match remaining.split_once(';') {
+            Some((f, t)) => (f, t),
+            None => (remaining, ""),
+        };
+        let (k, v) = field
+            .split_once('=')
+            .ok_or_else(|| format!("malformed candidate field {field:?}"))?;
+        match k {
+            "eb" => eb = Some(parse_f64(v)?),
+            "layers" => layers = Some(v.parse().map_err(|_| format!("bad layers {v:?}"))?),
+            "bits" => bits = Some(v.parse().map_err(|_| format!("bad bits {v:?}"))?),
+            "feasible" => feasible = Some(v == "1"),
+            "bpv" => bpv = Some(parse_f64(v)?),
+            "ratio" => ratio = Some(parse_f64(v)?),
+            "maxerr" => maxerr = Some(parse_f64(v)?),
+            "psnr" => psnr = Some(parse_f64(v)?),
+            other => return Err(format!("unknown candidate field {other:?}")),
+        }
+        remaining = tail;
+    }
+    let need_eb = || eb.ok_or_else(|| format!("candidate {name} missing eb"));
+    let codec = match name {
+        "sz14" => PlannedCodec::Sz {
+            eb_abs: need_eb()?,
+            layers: layers.ok_or("sz14 candidate missing layers")?,
+            interval_bits: bits.ok_or("sz14 candidate missing bits")?,
+        },
+        "zfp" => PlannedCodec::Zfp {
+            tolerance: need_eb()?,
+        },
+        "sz11" => PlannedCodec::Sz11 { eb_abs: need_eb()? },
+        "isabela" => PlannedCodec::Isabela { eb_abs: need_eb()? },
+        "fpzip" => PlannedCodec::Fpzip,
+        other => return Err(format!("unknown codec {other:?}")),
+    };
+    Ok(Candidate {
+        codec,
+        estimate: Estimate {
+            bits_per_value: bpv.ok_or("candidate missing bpv")?,
+            ratio: ratio.ok_or("candidate missing ratio")?,
+            max_abs_error: maxerr.ok_or("candidate missing maxerr")?,
+            psnr_db: psnr.ok_or("candidate missing psnr")?,
+        },
+        feasible: feasible.ok_or("candidate missing feasible")?,
+        note,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> PlanReport {
+        PlanReport {
+            dtype: "f32".into(),
+            dims: vec![90, 180],
+            sample_len: 16_200,
+            goal: Goal::TargetRatio { ratio: 20.0 },
+            chosen: 0,
+            candidates: vec![
+                Candidate {
+                    codec: PlannedCodec::Sz {
+                        eb_abs: 1.25e-3,
+                        layers: 1,
+                        interval_bits: 8,
+                    },
+                    estimate: Estimate {
+                        bits_per_value: 1.6,
+                        ratio: 20.4,
+                        max_abs_error: 1.25e-3,
+                        psnr_db: 84.25,
+                    },
+                    feasible: true,
+                    note: String::new(),
+                },
+                Candidate {
+                    codec: PlannedCodec::Fpzip,
+                    estimate: Estimate {
+                        bits_per_value: 14.2,
+                        ratio: 2.25,
+                        max_abs_error: 0.0,
+                        psnr_db: f64::INFINITY,
+                    },
+                    feasible: false,
+                    note: "lossless ratio 2.25x below target".into(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn report_roundtrips() {
+        let report = sample_report();
+        let text = report.to_text();
+        let back = PlanReport::from_text(&text).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn notes_are_sanitized_not_corrupting() {
+        let mut report = sample_report();
+        report.candidates[1].note = "a;b\nc=d".into();
+        let back = PlanReport::from_text(&report.to_text()).unwrap();
+        assert_eq!(back.candidates[1].note, "a,b c=d");
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        assert!(PlanReport::from_text("").is_err());
+        assert!(PlanReport::from_text("szr-plan v1\nend\n").is_err());
+        assert!(PlanReport::from_text("szr-plan v2\n").is_err());
+        let truncated = sample_report().to_text().replace("chosen=0\n", "");
+        assert!(PlanReport::from_text(&truncated).is_err());
+    }
+
+    #[test]
+    fn every_goal_shape_roundtrips() {
+        for goal in [
+            Goal::MaxError {
+                bound: ErrorBound::Absolute(0.5),
+            },
+            Goal::MaxError {
+                bound: ErrorBound::Relative(1e-4),
+            },
+            Goal::MaxError {
+                bound: ErrorBound::Both {
+                    abs: 0.1,
+                    rel: 1e-3,
+                },
+            },
+            Goal::TargetRatio { ratio: 12.5 },
+        ] {
+            let mut report = sample_report();
+            report.goal = goal;
+            assert_eq!(PlanReport::from_text(&report.to_text()).unwrap().goal, goal);
+        }
+    }
+}

@@ -37,6 +37,8 @@
 //! | [`datagen`] | `szr-datagen` | ATM / APS / hurricane synthetic data sets |
 //! | [`baselines`] | `szr-{zfp,sz11,isabela,fpzip,deflate}` | the paper's six-way comparison |
 //! | [`parallel`] | `szr-parallel` | chunked threading, scaling + I/O models |
+//! | [`planner`] | `szr-planner` | sampled ratio–quality estimation, codec/config auto-selection |
+//! | [`container`] | `szr-container` | multi-variable snapshot container |
 //!
 //! ## The scan-kernel pipeline
 //!
@@ -53,25 +55,28 @@
 //! * [`compress`] / [`compress_slice_with_stats`] — quantization scan over
 //!   the reconstruction buffer ([`compress_slice_with_kernel`] accepts a
 //!   caller-owned kernel);
-//! * [`decompress`] — replays the identical traversal from decoded codes;
+//! * [`decompress`] — replays the identical traversal from decoded codes
+//!   ([`decompress_with_kernel`] accepts a caller-owned kernel);
 //! * the §IV-B adaptive interval sampler
 //!   ([`choose_interval_bits`] / [`choose_interval_bits_with_kernel`]);
 //! * the Table II hit-rate estimators ([`hit_rate_by_layer`],
-//!   [`quantization_histogram`]).
+//!   [`quantization_histogram`]) — the Original basis runs the kernel's
+//!   read-only full-grid scan (`ScanKernel::scan_readonly`), no input copy.
 //!
-//! `szr-parallel`'s chunked driver threads one kernel instance through all
-//! bands a worker compresses (bands share their stride family), and
-//! `crates/bench/benches/prediction.rs` races the specialized kernels
-//! against the generic walker (`scan_kernel/*`).
+//! `szr-parallel`'s chunked driver threads one kernel instance per
+//! (layer count, stride family) through all bands a worker touches — both
+//! directions — and `crates/bench/benches/prediction.rs` races the
+//! specialized kernels against the generic walker (`scan_kernel/*`).
 
 pub use szr_container::Snapshot;
 pub use szr_core::{
     choose_interval_bits, choose_interval_bits_with_kernel, compress, compress_pointwise_rel,
     compress_slice_with_kernel, compress_slice_with_stats, compress_with_stats, decompress,
-    decompress_pointwise_rel, hit_rate_by_layer, inspect, layer_coefficients, predict_at,
-    quantization_histogram, ArchiveInfo, CompressionStats, Config, ErrorBound, IntervalMode,
-    KernelKind, PredictionBasis, Quantizer, Result, ScalarFloat, ScanKernel, Stencil, StencilSet,
-    StreamCompressor, StreamDecompressor, SzError, UnpredictableCodec,
+    decompress_pointwise_rel, decompress_with_kernel, hit_rate_by_layer, inspect,
+    layer_coefficients, predict_at, quantization_histogram, ArchiveInfo, CompressionStats, Config,
+    ErrorBound, IntervalMode, KernelKind, PredictionBasis, Quantizer, Result, ScalarFloat,
+    ScanKernel, Stencil, StencilSet, StreamCompressor, StreamDecompressor, SzError,
+    UnpredictableCodec,
 };
 pub use szr_tensor::{Shape, Tensor};
 
@@ -133,6 +138,20 @@ pub mod baselines {
 /// (`szr-parallel`).
 pub mod parallel {
     pub use szr_parallel::*;
+}
+
+/// Sampling-based ratio–quality estimation and automatic codec/config
+/// selection (`szr-planner`).
+///
+/// [`planner::Planner`] samples a tensor, prices SZ configurations with a
+/// ratio–quality model fitted on the real predict→quantize pipeline, and
+/// measures the alternative backends black-box through the
+/// [`planner::CodecAdapter`] trait, answering goals like "target ratio
+/// ≥ 20×" or "max error ≤ 1e-4, smallest output" with a serializable
+/// [`planner::PlanReport`]. The CLI front-ends are `szr plan` and
+/// `szr compress --auto`.
+pub mod planner {
+    pub use szr_planner::*;
 }
 
 /// Multi-variable snapshot container (`szr-container`).
