@@ -1,0 +1,116 @@
+//! Entropy-engine microbenches: bitstream word-at-a-time IO and
+//! table-driven Huffman coding.
+//!
+//! `huffman/decode_lut` vs `huffman/decode_oracle` races the two-level
+//! lookup table against the bit-walking canonical decoder on the same
+//! payload — the ratio is the headline number of the word-at-a-time entropy
+//! engine (the acceptance bar is ≥ 3×). Alphabets mirror the paper's
+//! configurations: 256 (default 8-bit intervals) and 65 535 (the hurricane
+//! tight-bound setup).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use szr_bench::entropy_data::synthetic_codes;
+use szr_bitstream::{BitReader, BitWriter};
+use szr_huffman::HuffmanCodec;
+
+fn codec_for(codes: &[u32], alphabet: usize) -> HuffmanCodec {
+    let mut freqs = vec![0u64; alphabet];
+    for &c in codes {
+        freqs[c as usize] += 1;
+    }
+    HuffmanCodec::from_frequencies(&freqs)
+}
+
+fn bench_bitstream(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bitstream");
+    let n = 1 << 20;
+    // 13-bit fields: representative of mid-size Huffman codewords, and
+    // never byte-aligned, so the accumulator paths are always exercised.
+    let fields: Vec<u64> = (0..n as u64)
+        .map(|i| i.wrapping_mul(0x9E37) & 0x1FFF)
+        .collect();
+    group.throughput(Throughput::Bytes((n * 13 / 8) as u64));
+    group.bench_function("write_13bit", |b| {
+        b.iter(|| {
+            let mut w = BitWriter::with_capacity(n * 13 / 8 + 1);
+            for &f in &fields {
+                w.write_bits(f, 13);
+            }
+            w.into_bytes()
+        })
+    });
+    let mut w = BitWriter::new();
+    for &f in &fields {
+        w.write_bits(f, 13);
+    }
+    let bytes = w.into_bytes();
+    group.bench_function("read_13bit", |b| {
+        b.iter(|| {
+            let mut r = BitReader::new(&bytes);
+            let mut acc = 0u64;
+            for _ in 0..n {
+                acc ^= r.read_bits(13).unwrap();
+            }
+            acc
+        })
+    });
+    group.bench_function("peek_consume_13bit", |b| {
+        b.iter(|| {
+            let mut r = BitReader::new(&bytes);
+            let mut acc = 0u64;
+            for _ in 0..n {
+                acc ^= r.peek_bits(13);
+                r.consume(13);
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+fn bench_huffman(c: &mut Criterion) {
+    let mut group = c.benchmark_group("huffman");
+    let n = 1 << 18;
+    group.throughput(Throughput::Elements(n as u64));
+    for (alphabet, spread) in [(256usize, 8.0f64), (65_535, 64.0)] {
+        let codes = synthetic_codes(n, alphabet as u32, spread);
+        let codec = codec_for(&codes, alphabet);
+        let label = format!("a{alphabet}");
+        group.bench_with_input(BenchmarkId::new("encode", &label), &codes, |b, codes| {
+            b.iter(|| {
+                let mut w = BitWriter::new();
+                codec.encode_all(codes, &mut w);
+                w.into_bytes()
+            })
+        });
+        let mut w = BitWriter::new();
+        codec.encode_all(&codes, &mut w);
+        let payload = w.into_bytes();
+        group.bench_with_input(
+            BenchmarkId::new("decode_lut", &label),
+            &payload,
+            |b, payload| {
+                let mut out = Vec::with_capacity(n);
+                b.iter(|| {
+                    let mut r = BitReader::new(payload);
+                    codec.decode_all_into(&mut r, n, &mut out).unwrap();
+                    out.len()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("decode_oracle", &label),
+            &payload,
+            |b, payload| {
+                b.iter(|| {
+                    let mut r = BitReader::new(payload);
+                    codec.decode_all_slow(&mut r, n).unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bitstream, bench_huffman);
+criterion_main!(benches);

@@ -2,23 +2,8 @@
 //! (255 / 65535 intervals) and skew levels.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use szr_bench::entropy_data::synthetic_codes;
 use szr_huffman::{compress_u32, decompress_u32};
-
-/// Quantization-code-like stream: geometric around the center code.
-fn synthetic_codes(n: usize, alphabet: u32, spread: f64) -> Vec<u32> {
-    let center = alphabet / 2;
-    (0..n)
-        .map(|i| {
-            let mut h = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-            h = (h ^ (h >> 31)).wrapping_mul(0xD6E8_FEB8_6659_FD93);
-            let u = (h >> 11) as f64 / (1u64 << 53) as f64;
-            // two-sided geometric
-            let sign = if h & 1 == 0 { 1.0 } else { -1.0 };
-            let mag = (-u.max(1e-12).ln() * spread) as i64;
-            (center as i64 + sign as i64 * mag).clamp(1, alphabet as i64 - 1) as u32
-        })
-        .collect()
-}
 
 fn bench_huffman(c: &mut Criterion) {
     let mut group = c.benchmark_group("huffman");

@@ -1,0 +1,146 @@
+//! Entropy-engine throughput recorder: measures the word-at-a-time
+//! bitstream and the table-driven Huffman coder with plain wall-clock
+//! timing and writes `BENCH_entropy.json`, the first point of the repo's
+//! perf trajectory.
+//!
+//! ```text
+//! cargo run --release -p szr-bench --bin bench_entropy [-- --out DIR]
+//! ```
+//!
+//! The JSON holds throughputs (MB/s for bitstream IO, Msymbols/s for
+//! Huffman) plus the LUT-vs-oracle decode speedup, so successive runs can
+//! be diffed by any script without parsing bench logs.
+
+use std::time::Instant;
+use szr_bench::entropy_data::synthetic_codes;
+use szr_bitstream::{BitReader, BitWriter};
+use szr_huffman::HuffmanCodec;
+
+/// Median-of-`reps` wall-clock seconds for one invocation of `f`.
+fn time_median<F: FnMut() -> u64>(reps: usize, mut f: F) -> f64 {
+    let mut samples = Vec::with_capacity(reps);
+    let mut sink = 0u64;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        sink ^= f();
+        samples.push(t0.elapsed().as_secs_f64());
+    }
+    std::hint::black_box(sink);
+    samples.sort_by(f64::total_cmp);
+    samples[reps / 2]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_dir = ".".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                out_dir = args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("usage: bench_entropy [--out DIR]");
+                    std::process::exit(2);
+                });
+            }
+            _ => {
+                eprintln!("usage: bench_entropy [--out DIR]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let reps = 7;
+    let mut fields = Vec::new();
+
+    // Bitstream: 1M 13-bit writes/reads (never byte-aligned).
+    let n_bits = 1usize << 20;
+    let values: Vec<u64> = (0..n_bits as u64)
+        .map(|i| i.wrapping_mul(0x9E37) & 0x1FFF)
+        .collect();
+    let mb = (n_bits * 13) as f64 / 8.0 / 1e6;
+    let t_write = time_median(reps, || {
+        let mut w = BitWriter::with_capacity(n_bits * 13 / 8 + 1);
+        for &v in &values {
+            w.write_bits(v, 13);
+        }
+        w.into_bytes().len() as u64
+    });
+    let mut w = BitWriter::new();
+    for &v in &values {
+        w.write_bits(v, 13);
+    }
+    let bytes = w.into_bytes();
+    let t_read = time_median(reps, || {
+        let mut r = BitReader::new(&bytes);
+        let mut acc = 0u64;
+        for _ in 0..n_bits {
+            acc ^= r.read_bits(13).unwrap();
+        }
+        acc
+    });
+    fields.push(("bitstream_write_mb_s".to_string(), mb / t_write));
+    fields.push(("bitstream_read_mb_s".to_string(), mb / t_read));
+
+    // Huffman at the paper's two alphabet scales.
+    for (alphabet, spread) in [(256usize, 8.0f64), (65_535, 64.0)] {
+        let n = 1usize << 18;
+        let codes = synthetic_codes(n, alphabet as u32, spread);
+        let mut freqs = vec![0u64; alphabet];
+        for &c in &codes {
+            freqs[c as usize] += 1;
+        }
+        let codec = HuffmanCodec::from_frequencies(&freqs);
+        let msyms = n as f64 / 1e6;
+        let t_encode = time_median(reps, || {
+            let mut w = BitWriter::new();
+            codec.encode_all(&codes, &mut w);
+            w.into_bytes().len() as u64
+        });
+        let mut w = BitWriter::new();
+        codec.encode_all(&codes, &mut w);
+        let payload = w.into_bytes();
+        let mut out = Vec::with_capacity(n);
+        let t_lut = time_median(reps, || {
+            let mut r = BitReader::new(&payload);
+            codec.decode_all_into(&mut r, n, &mut out).unwrap();
+            out.len() as u64
+        });
+        let t_oracle = time_median(reps, || {
+            let mut r = BitReader::new(&payload);
+            codec.decode_all_slow(&mut r, n).unwrap().len() as u64
+        });
+        fields.push((
+            format!("huffman_encode_a{alphabet}_msyms_s"),
+            msyms / t_encode,
+        ));
+        fields.push((
+            format!("huffman_decode_lut_a{alphabet}_msyms_s"),
+            msyms / t_lut,
+        ));
+        fields.push((
+            format!("huffman_decode_oracle_a{alphabet}_msyms_s"),
+            msyms / t_oracle,
+        ));
+        fields.push((
+            format!("huffman_decode_speedup_a{alphabet}"),
+            t_oracle / t_lut,
+        ));
+    }
+
+    let mut json = String::from("{\n");
+    for (i, (k, v)) in fields.iter().enumerate() {
+        let comma = if i + 1 < fields.len() { "," } else { "" };
+        json.push_str(&format!("  \"{k}\": {v:.2}{comma}\n"));
+    }
+    json.push_str("}\n");
+
+    let path = std::path::Path::new(&out_dir).join("BENCH_entropy.json");
+    if let Some(parent) = path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    std::fs::write(&path, &json).expect("write BENCH_entropy.json");
+    print!("{json}");
+    eprintln!("wrote {}", path.display());
+}

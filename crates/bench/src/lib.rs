@@ -11,6 +11,7 @@
 //! crossovers sit.
 
 pub mod codecs;
+pub mod entropy_data;
 pub mod harness;
 
 pub mod exp_ablate;

@@ -1,4 +1,11 @@
 //! MSB-first bit-level reader and writer.
+//!
+//! Both ends work a word at a time. The writer packs bits into a 64-bit
+//! accumulator and flushes whole 32-bit words to the byte buffer; the reader
+//! serves [`BitReader::peek_bits`] from a single unaligned 64-bit load. The
+//! wire format is unchanged from the historical bit-at-a-time
+//! implementation: the first bit written is the most significant bit of the
+//! first byte, and the final byte is zero-padded.
 
 use crate::{Error, Result};
 
@@ -7,11 +14,21 @@ use crate::{Error, Result};
 /// The first bit written becomes the most significant bit of the first byte,
 /// so a canonical-Huffman decoder can consume codewords by reading one bit at
 /// a time in natural (left-to-right) order.
+///
+/// # Accumulator invariants
+///
+/// Pending bits live in the low `acc_bits` bits of `acc` (`acc_bits < 32`
+/// between calls); bit `acc_bits - 1` is the oldest pending bit — the next
+/// one on the wire. Bits at or above `acc_bits` are unspecified garbage, so
+/// every flush masks by extraction width rather than trusting the high bits.
+/// Whole 32-bit words are flushed with a single big-endian byte-slice append.
 #[derive(Default, Clone)]
 pub struct BitWriter {
     bytes: Vec<u8>,
-    /// Bits already occupied in the final byte (0..=7); 0 means byte-aligned.
-    partial_bits: u32,
+    /// Pending bits (low `acc_bits` bits are valid, MSB-first).
+    acc: u64,
+    /// Number of pending bits in `acc` (0..=31 between calls).
+    acc_bits: u32,
 }
 
 impl BitWriter {
@@ -24,30 +41,20 @@ impl BitWriter {
     pub fn with_capacity(bytes: usize) -> Self {
         Self {
             bytes: Vec::with_capacity(bytes),
-            partial_bits: 0,
+            acc: 0,
+            acc_bits: 0,
         }
     }
 
     /// Total number of bits written so far.
     pub fn bit_len(&self) -> usize {
-        if self.partial_bits == 0 {
-            self.bytes.len() * 8
-        } else {
-            (self.bytes.len() - 1) * 8 + self.partial_bits as usize
-        }
+        self.bytes.len() * 8 + self.acc_bits as usize
     }
 
     /// Appends a single bit.
     #[inline]
     pub fn write_bit(&mut self, bit: bool) {
-        if self.partial_bits == 0 {
-            self.bytes.push(0);
-        }
-        if bit {
-            let last = self.bytes.last_mut().expect("byte pushed above");
-            *last |= 1 << (7 - self.partial_bits);
-        }
-        self.partial_bits = (self.partial_bits + 1) & 7;
+        self.push(bit as u64, 1);
     }
 
     /// Appends the low `count` bits of `value`, most significant first.
@@ -57,31 +64,75 @@ impl BitWriter {
     #[inline]
     pub fn write_bits(&mut self, value: u64, count: u32) {
         assert!(count <= 64, "cannot write more than 64 bits at once");
-        // Write whole leading bits; loop is branch-light and fast enough for
-        // the codecs here (profiled against a table-driven variant).
-        for shift in (0..count).rev() {
-            self.write_bit((value >> shift) & 1 == 1);
+        if count > 32 {
+            let low = count - 32;
+            self.push((value >> low) & 0xFFFF_FFFF, 32);
+            self.push(value & (u64::MAX >> (64 - low)), low);
+        } else if count > 0 {
+            self.push(value & (u64::MAX >> (64 - count)), count);
+        }
+    }
+
+    /// Accumulates `count` (1..=32) already-masked bits, flushing a whole
+    /// 32-bit word when one is available.
+    #[inline]
+    fn push(&mut self, value: u64, count: u32) {
+        debug_assert!((1..=32).contains(&count));
+        debug_assert!(count == 64 || value < (1u64 << count));
+        // acc_bits <= 31 on entry, so the shift stays within the u64.
+        self.acc = (self.acc << count) | value;
+        self.acc_bits += count;
+        if self.acc_bits >= 32 {
+            self.acc_bits -= 32;
+            let word = (self.acc >> self.acc_bits) as u32;
+            self.bytes.extend_from_slice(&word.to_be_bytes());
+        }
+    }
+
+    /// Flushes every whole pending byte to the buffer (`acc_bits < 8`
+    /// afterwards).
+    fn flush_whole_bytes(&mut self) {
+        while self.acc_bits >= 8 {
+            self.acc_bits -= 8;
+            self.bytes.push((self.acc >> self.acc_bits) as u8);
         }
     }
 
     /// Pads with zero bits to the next byte boundary.
     pub fn align_to_byte(&mut self) {
-        self.partial_bits = 0;
+        let pad = (8 - (self.acc_bits & 7)) & 7;
+        if pad > 0 {
+            self.push(0, pad);
+        }
+        self.flush_whole_bytes();
     }
 
     /// Consumes the writer, returning the byte buffer (final byte
     /// zero-padded).
-    pub fn into_bytes(self) -> Vec<u8> {
+    pub fn into_bytes(mut self) -> Vec<u8> {
+        self.flush_whole_bytes();
+        if self.acc_bits > 0 {
+            let byte = ((self.acc as u32) << (8 - self.acc_bits)) as u8;
+            self.bytes.push(byte);
+        }
         self.bytes
-    }
-
-    /// Borrow the bytes written so far (final byte zero-padded).
-    pub fn as_bytes(&self) -> &[u8] {
-        &self.bytes
     }
 }
 
 /// Reads bits MSB-first from a byte slice.
+///
+/// Two access styles share one cursor:
+///
+/// * exact reads — [`read_bit`](Self::read_bit) /
+///   [`read_bits`](Self::read_bits) return [`Error::UnexpectedEof`] when the
+///   stream runs dry;
+/// * speculative reads — [`peek_bits`](Self::peek_bits) returns up to
+///   [`PEEK_MAX`](Self::PEEK_MAX) upcoming bits **zero-padded past the end
+///   of the stream** without advancing, and [`consume`](Self::consume)
+///   advances after the caller has validated the decode. Table-driven
+///   Huffman decoding peeks a fixed window, looks the entry up, checks the
+///   entry's true length against [`remaining_bits`](Self::remaining_bits),
+///   and only then consumes.
 #[derive(Clone)]
 pub struct BitReader<'a> {
     bytes: &'a [u8],
@@ -90,6 +141,10 @@ pub struct BitReader<'a> {
 }
 
 impl<'a> BitReader<'a> {
+    /// Largest `count` a single [`peek_bits`](Self::peek_bits) can serve:
+    /// one unaligned 64-bit load minus up to 7 bits of intra-byte offset.
+    pub const PEEK_MAX: u32 = 57;
+
     /// Creates a reader over `bytes`.
     pub fn new(bytes: &'a [u8]) -> Self {
         Self { bytes, pos: 0 }
@@ -105,14 +160,51 @@ impl<'a> BitReader<'a> {
         self.pos
     }
 
+    /// Returns the next `count` bits without advancing, zero-padded when the
+    /// stream has fewer than `count` bits left.
+    ///
+    /// # Panics
+    /// Panics (debug) if `count > PEEK_MAX`.
+    #[inline]
+    pub fn peek_bits(&self, count: u32) -> u64 {
+        debug_assert!(count <= Self::PEEK_MAX, "peek window exceeds 57 bits");
+        if count == 0 {
+            return 0;
+        }
+        let byte_ix = self.pos >> 3;
+        let bit_off = (self.pos & 7) as u32;
+        let word = if byte_ix + 8 <= self.bytes.len() {
+            u64::from_be_bytes(self.bytes[byte_ix..byte_ix + 8].try_into().unwrap())
+        } else {
+            let mut buf = [0u8; 8];
+            if byte_ix < self.bytes.len() {
+                let n = self.bytes.len() - byte_ix;
+                buf[..n].copy_from_slice(&self.bytes[byte_ix..]);
+            }
+            u64::from_be_bytes(buf)
+        };
+        (word << bit_off) >> (64 - count)
+    }
+
+    /// Advances past `count` bits previously validated via
+    /// [`peek_bits`](Self::peek_bits).
+    ///
+    /// Saturates at the end of the stream, so a decoder bug cannot push the
+    /// cursor out of range; callers check
+    /// [`remaining_bits`](Self::remaining_bits) before consuming.
+    #[inline]
+    pub fn consume(&mut self, count: u32) {
+        debug_assert!(count as usize <= self.remaining_bits(), "consume overrun");
+        self.pos = (self.pos + count as usize).min(self.bytes.len() * 8);
+    }
+
     /// Reads a single bit.
     #[inline]
     pub fn read_bit(&mut self) -> Result<bool> {
-        let byte_ix = self.pos >> 3;
-        if byte_ix >= self.bytes.len() {
+        if self.pos >= self.bytes.len() * 8 {
             return Err(Error::UnexpectedEof);
         }
-        let bit = (self.bytes[byte_ix] >> (7 - (self.pos & 7))) & 1;
+        let bit = self.peek_bits(1);
         self.pos += 1;
         Ok(bit == 1)
     }
@@ -127,11 +219,21 @@ impl<'a> BitReader<'a> {
         if self.remaining_bits() < count as usize {
             return Err(Error::UnexpectedEof);
         }
-        let mut value = 0u64;
-        for _ in 0..count {
-            value = (value << 1) | self.read_bit()? as u64;
+        if count == 0 {
+            return Ok(0);
         }
-        Ok(value)
+        if count <= Self::PEEK_MAX {
+            let value = self.peek_bits(count);
+            self.pos += count as usize;
+            Ok(value)
+        } else {
+            let low = count - 32;
+            let hi = self.peek_bits(32);
+            self.pos += 32;
+            let lo = self.peek_bits(low);
+            self.pos += low as usize;
+            Ok((hi << low) | lo)
+        }
     }
 
     /// Skips forward to the next byte boundary.
@@ -166,6 +268,38 @@ mod tests {
         assert_eq!(r.read_bits(16).unwrap(), 0xFFFF);
         assert_eq!(r.read_bits(5).unwrap(), 0);
         assert_eq!(r.read_bits(64).unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn high_garbage_bits_are_masked() {
+        // write_bits must use only the low `count` bits of the value.
+        let mut w = BitWriter::new();
+        w.write_bits(u64::MAX, 3);
+        w.write_bits(u64::MAX, 5);
+        assert_eq!(w.into_bytes(), vec![0xFF]);
+    }
+
+    #[test]
+    fn high_garbage_bits_are_masked_in_split_writes() {
+        // Regression: counts of 33..=63 go through the two-halves path,
+        // whose high half must also be masked — garbage above `count` used
+        // to corrupt pending accumulator bits.
+        for count in [33u32, 40, 57, 63] {
+            let mut w = BitWriter::new();
+            w.write_bit(false);
+            w.write_bits(u64::MAX, count);
+            let bytes = w.into_bytes();
+            let mut r = BitReader::new(&bytes);
+            assert!(
+                !r.read_bit().unwrap(),
+                "leading bit dirtied (count {count})"
+            );
+            assert_eq!(
+                r.read_bits(count).unwrap(),
+                u64::MAX >> (64 - count),
+                "count {count}"
+            );
+        }
     }
 
     #[test]
@@ -217,5 +351,50 @@ mod tests {
         r.read_bits(5).unwrap();
         assert_eq!(r.remaining_bits(), 27);
         assert_eq!(r.bit_pos(), 5);
+    }
+
+    #[test]
+    fn peek_does_not_advance_and_zero_pads() {
+        let bytes = [0b1011_0001u8, 0xFF];
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.peek_bits(4), 0b1011);
+        assert_eq!(r.peek_bits(4), 0b1011, "peek must not advance");
+        r.consume(4);
+        assert_eq!(r.peek_bits(4), 0b0001);
+        r.consume(4);
+        // 8 bits remain; a 12-bit peek zero-pads the tail.
+        assert_eq!(r.peek_bits(12), 0b1111_1111_0000);
+        assert_eq!(r.remaining_bits(), 8);
+    }
+
+    #[test]
+    fn peek_beyond_empty_stream_is_zero() {
+        let r = BitReader::new(&[]);
+        assert_eq!(r.peek_bits(57), 0);
+    }
+
+    #[test]
+    fn peek_window_spans_unaligned_word_boundaries() {
+        let bytes: Vec<u8> = (0..16).map(|i| (i * 37) as u8).collect();
+        let mut r = BitReader::new(&bytes);
+        r.consume(5);
+        let peeked = r.peek_bits(57);
+        let mut check = r.clone();
+        assert_eq!(check.read_bits(57).unwrap(), peeked);
+    }
+
+    #[test]
+    fn consume_saturates_at_end() {
+        let bytes = [0u8; 2];
+        let mut r = BitReader::new(&bytes);
+        r.read_bits(15).unwrap();
+        // Saturating consume: only 1 bit remains, but a (buggy) larger
+        // consume must not push the cursor out of range in release builds.
+        if cfg!(debug_assertions) {
+            r.consume(1);
+        } else {
+            r.consume(8);
+        }
+        assert_eq!(r.remaining_bits(), 0);
     }
 }

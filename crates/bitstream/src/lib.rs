@@ -7,6 +7,14 @@
 //!
 //! * [`BitWriter`] / [`BitReader`] — MSB-first bit-level IO. MSB-first order
 //!   matches canonical Huffman decoding and the bit-plane coder's needs.
+//!   Both ends are word-at-a-time: the writer packs fields into a 64-bit
+//!   accumulator and flushes whole 32-bit words, and the reader offers a
+//!   speculative [`BitReader::peek_bits`] / [`BitReader::consume`] pair
+//!   (one unaligned 64-bit load per peek, zero-padded past the end) for
+//!   table-driven decoders, alongside the exact EOF-checked reads. The wire
+//!   format — first bit written is the most significant bit of the first
+//!   byte, final byte zero-padded — is unchanged from the historical
+//!   bit-at-a-time implementation and pinned by property tests.
 //! * [`ByteWriter`] / [`ByteReader`] — little-endian byte-level IO with
 //!   LEB128 varints for headers.
 //!

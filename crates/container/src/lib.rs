@@ -12,9 +12,16 @@
 //!
 //! ```text
 //! "SZSN" | version u8 | field count varint
-//! per field: name (len-prefixed UTF-8) | offset varint | length varint
-//! ...field archives (plain szr-core archives), back to back...
+//! per field: name (len-prefixed UTF-8) | [v2: kind u8] | offset varint | length varint
+//! ...field payloads, back to back...
 //! ```
+//!
+//! Version 1 holds plain `szr-core` archives only. Version 2 adds a kind
+//! byte per index entry so a field can also be a serialized
+//! [`szr_parallel::ChunkedArchive`] — the banded layout whose bands share
+//! one Huffman table. Writers emit version 1 whenever every field is plain
+//! (existing snapshots stay byte-identical) and version 2 only when a
+//! chunked field is present; readers accept both.
 //!
 //! Offsets are relative to the end of the index, so the index can be read
 //! with a single small IO and each field fetched independently.
@@ -22,10 +29,30 @@
 use std::collections::BTreeMap;
 use szr_bitstream::{ByteReader, ByteWriter};
 use szr_core::{compress, decompress, ArchiveInfo, Config, Result, ScalarFloat, SzError};
+use szr_parallel::{compress_chunked_shared, decompress_chunked, ChunkedArchive};
 use szr_tensor::Tensor;
 
 const MAGIC: [u8; 4] = *b"SZSN";
-const VERSION: u8 = 1;
+/// Legacy version: every field is a plain archive.
+const VERSION_PLAIN: u8 = 1;
+/// Kinded version: fields carry a kind byte (plain or chunked).
+const VERSION_KINDED: u8 = 2;
+
+/// What a snapshot field holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FieldKind {
+    /// A self-contained `szr-core` archive.
+    Plain,
+    /// A serialized [`ChunkedArchive`] (banded, possibly with a shared
+    /// Huffman table).
+    Chunked,
+}
+
+#[derive(Clone)]
+struct Field {
+    kind: FieldKind,
+    bytes: Vec<u8>,
+}
 
 /// An in-memory snapshot being assembled or read.
 ///
@@ -33,7 +60,7 @@ const VERSION: u8 = 1;
 /// also makes snapshots byte-deterministic regardless of insertion order).
 #[derive(Default, Clone)]
 pub struct Snapshot {
-    fields: BTreeMap<String, Vec<u8>>,
+    fields: BTreeMap<String, Field>,
 }
 
 impl Snapshot {
@@ -51,7 +78,35 @@ impl Snapshot {
         config: &Config,
     ) -> Result<()> {
         let archive = compress(data, config)?;
-        self.fields.insert(name.to_string(), archive);
+        self.fields.insert(
+            name.to_string(),
+            Field {
+                kind: FieldKind::Plain,
+                bytes: archive,
+            },
+        );
+        Ok(())
+    }
+
+    /// Compresses and adds a field as a banded [`ChunkedArchive`] whose
+    /// bands share one Huffman table — the layout for large variables that
+    /// will be (de)compressed band-parallel straight out of the container.
+    pub fn add_chunked<T: ScalarFloat + Send + Sync>(
+        &mut self,
+        name: &str,
+        data: &Tensor<T>,
+        config: &Config,
+        num_chunks: usize,
+        threads: usize,
+    ) -> Result<()> {
+        let archive = compress_chunked_shared(data, config, num_chunks, threads)?;
+        self.fields.insert(
+            name.to_string(),
+            Field {
+                kind: FieldKind::Chunked,
+                bytes: archive.to_bytes(),
+            },
+        );
         Ok(())
     }
 
@@ -87,10 +142,22 @@ impl Snapshot {
     /// Adds a pre-compressed archive verbatim (e.g. produced elsewhere).
     ///
     /// The archive header is validated so a corrupt blob fails here rather
-    /// than at read time.
+    /// than at read time; a version-2 band archive is rejected because its
+    /// Huffman table lives in the chunked container it was cut from.
     pub fn add_archive(&mut self, name: &str, archive: Vec<u8>) -> Result<()> {
-        szr_core::inspect(&archive)?;
-        self.fields.insert(name.to_string(), archive);
+        let info = szr_core::inspect(&archive)?;
+        if info.shared_stream {
+            return Err(SzError::InvalidConfig(
+                "band archive depends on a shared table; add the whole chunked archive",
+            ));
+        }
+        self.fields.insert(
+            name.to_string(),
+            Field {
+                kind: FieldKind::Plain,
+                bytes: archive,
+            },
+        );
         Ok(())
     }
 
@@ -109,54 +176,92 @@ impl Snapshot {
         self.fields.is_empty()
     }
 
-    /// Header info for one field without decompressing it.
+    /// Storage kind of one field.
+    pub fn kind(&self, name: &str) -> Option<FieldKind> {
+        self.fields.get(name).map(|f| f.kind)
+    }
+
+    /// Header info for one field without decompressing it (for a chunked
+    /// field, the first band's header carries the shared metadata; its dims
+    /// are widened to the full tensor).
     pub fn info(&self, name: &str) -> Option<ArchiveInfo> {
-        self.fields
-            .get(name)
-            .and_then(|a| szr_core::inspect(a).ok())
+        let field = self.fields.get(name)?;
+        match field.kind {
+            FieldKind::Plain => szr_core::inspect(&field.bytes).ok(),
+            FieldKind::Chunked => {
+                // Header-only peek: no band payloads are copied.
+                let (dims, first) = ChunkedArchive::peek_dims_and_first_band(&field.bytes).ok()?;
+                let mut info = szr_core::inspect(first?).ok()?;
+                info.dims = dims;
+                info.archive_bytes = field.bytes.len();
+                Some(info)
+            }
+        }
     }
 
     /// Decompresses one field.
-    pub fn get<T: ScalarFloat>(&self, name: &str) -> Result<Tensor<T>> {
-        let archive = self
+    pub fn get<T: ScalarFloat + Send + Sync>(&self, name: &str) -> Result<Tensor<T>> {
+        let field = self
             .fields
             .get(name)
             .ok_or_else(|| SzError::Corrupt(format!("no field named {name:?}")))?;
-        decompress(archive)
+        match field.kind {
+            FieldKind::Plain => decompress(&field.bytes),
+            FieldKind::Chunked => {
+                let archive = ChunkedArchive::from_bytes(&field.bytes)?;
+                let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+                decompress_chunked(&archive, threads)
+            }
+        }
     }
 
-    /// Raw archive bytes of one field (for re-export).
+    /// Raw stored bytes of one field (for re-export): the archive itself
+    /// for plain fields, the serialized [`ChunkedArchive`] for chunked
+    /// ones.
     pub fn raw(&self, name: &str) -> Option<&[u8]> {
-        self.fields.get(name).map(Vec::as_slice)
+        self.fields.get(name).map(|f| f.bytes.as_slice())
     }
 
-    /// Serializes the snapshot.
+    /// Serializes the snapshot. Emits the legacy version-1 layout whenever
+    /// every field is plain, so pre-chunking snapshots stay byte-identical.
     pub fn to_bytes(&self) -> Vec<u8> {
+        let kinded = self.fields.values().any(|f| f.kind != FieldKind::Plain);
         let mut index = ByteWriter::new();
         index.write_bytes(&MAGIC);
-        index.write_u8(VERSION);
+        index.write_u8(if kinded {
+            VERSION_KINDED
+        } else {
+            VERSION_PLAIN
+        });
         index.write_varint(self.fields.len() as u64);
         let mut offset = 0u64;
-        for (name, archive) in &self.fields {
+        for (name, field) in &self.fields {
             index.write_len_prefixed(name.as_bytes());
+            if kinded {
+                index.write_u8(match field.kind {
+                    FieldKind::Plain => 0,
+                    FieldKind::Chunked => 1,
+                });
+            }
             index.write_varint(offset);
-            index.write_varint(archive.len() as u64);
-            offset += archive.len() as u64;
+            index.write_varint(field.bytes.len() as u64);
+            offset += field.bytes.len() as u64;
         }
         let mut out = index.into_bytes();
-        for archive in self.fields.values() {
-            out.extend_from_slice(archive);
+        for field in self.fields.values() {
+            out.extend_from_slice(&field.bytes);
         }
         out
     }
 
-    /// Parses a snapshot from bytes.
+    /// Parses a snapshot from bytes (version 1 or 2).
     pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
         let mut reader = ByteReader::new(bytes);
         if reader.read_bytes(4)? != MAGIC {
             return Err(SzError::Corrupt("bad snapshot magic".into()));
         }
-        if reader.read_u8()? != VERSION {
+        let version = reader.read_u8()?;
+        if version != VERSION_PLAIN && version != VERSION_KINDED {
             return Err(SzError::Corrupt("unsupported snapshot version".into()));
         }
         let count = reader.read_varint()? as usize;
@@ -168,13 +273,24 @@ impl Snapshot {
             let name = std::str::from_utf8(reader.read_len_prefixed()?)
                 .map_err(|_| SzError::Corrupt("field name is not UTF-8".into()))?
                 .to_string();
+            let kind = if version == VERSION_KINDED {
+                match reader.read_u8()? {
+                    0 => FieldKind::Plain,
+                    1 => FieldKind::Chunked,
+                    k => {
+                        return Err(SzError::Corrupt(format!("unknown field kind {k}")));
+                    }
+                }
+            } else {
+                FieldKind::Plain
+            };
             let offset = reader.read_varint()? as usize;
             let length = reader.read_varint()? as usize;
-            entries.push((name, offset, length));
+            entries.push((name, kind, offset, length));
         }
         let payload_start = reader.pos();
         let mut fields = BTreeMap::new();
-        for (name, offset, length) in entries {
+        for (name, kind, offset, length) in entries {
             let start = payload_start + offset;
             let end = start
                 .checked_add(length)
@@ -184,7 +300,13 @@ impl Snapshot {
                     "field {name:?} overruns snapshot"
                 )));
             }
-            fields.insert(name, bytes[start..end].to_vec());
+            fields.insert(
+                name,
+                Field {
+                    kind,
+                    bytes: bytes[start..end].to_vec(),
+                },
+            );
         }
         Ok(Self { fields })
     }
@@ -302,6 +424,58 @@ mod tests {
         assert!(snap.add_archive("good", archive).is_ok());
         let out: Tensor<f32> = snap.get("good").unwrap();
         assert_eq!(out.dims(), &[4]);
+    }
+
+    #[test]
+    fn chunked_fields_roundtrip_through_version_2() {
+        let mut snap = sample(); // two plain fields
+        let big = Tensor::from_fn([128, 64], |ix| {
+            ((ix[0] as f32) * 0.06).sin() * 3.0 + ((ix[1] as f32) * 0.04).cos()
+        });
+        let config = Config::new(ErrorBound::Absolute(1e-4));
+        snap.add_chunked("BIG", &big, &config, 16, 2).unwrap();
+        assert_eq!(snap.kind("BIG"), Some(FieldKind::Chunked));
+        assert_eq!(snap.kind("TS"), Some(FieldKind::Plain));
+        let bytes = snap.to_bytes();
+        // Version byte is 2 once a chunked field is present.
+        assert_eq!(bytes[4], 2);
+        let back = Snapshot::from_bytes(&bytes).unwrap();
+        assert_eq!(back.kind("BIG"), Some(FieldKind::Chunked));
+        let out: Tensor<f32> = back.get("BIG").unwrap();
+        assert_eq!(out.dims(), &[128, 64]);
+        for (&a, &b) in big.as_slice().iter().zip(out.as_slice()) {
+            assert!((a as f64 - b as f64).abs() <= 1e-4);
+        }
+        // Plain fields still read back.
+        let ts: Tensor<f32> = back.get("TS").unwrap();
+        assert_eq!(ts.dims(), &[32, 48]);
+        // Info widens band dims to the full tensor.
+        let info = back.info("BIG").unwrap();
+        assert_eq!(info.dims, vec![128, 64]);
+    }
+
+    #[test]
+    fn plain_only_snapshots_keep_the_version_1_layout() {
+        let snap = sample();
+        let bytes = snap.to_bytes();
+        assert_eq!(bytes[4], 1, "all-plain snapshots must stay version 1");
+        assert!(Snapshot::from_bytes(&bytes).is_ok());
+    }
+
+    #[test]
+    fn shared_band_archive_is_rejected_as_plain_field() {
+        // A version-2 band cut out of a chunked archive cannot stand alone.
+        let data = Tensor::from_fn([64, 32], |ix| ((ix[0] + ix[1]) as f32 * 0.1).sin());
+        let config = Config::new(ErrorBound::Absolute(1e-3));
+        let chunked = szr_parallel::compress_chunked_shared(&data, &config, 8, 2).unwrap();
+        let band = chunked
+            .chunks
+            .iter()
+            .find(|c| szr_core::inspect(c).unwrap().shared_stream)
+            .expect("homogeneous bands share their table")
+            .clone();
+        let mut snap = Snapshot::new();
+        assert!(snap.add_archive("band", band).is_err());
     }
 
     #[test]

@@ -7,12 +7,19 @@ use crate::quant::{choose_interval_bits_with_kernel, Quantizer};
 use crate::unpred::UnpredictableCodec;
 use crate::Result;
 use szr_bitstream::{BitWriter, ByteWriter};
+use szr_huffman::HuffmanCodec;
 use szr_tensor::Tensor;
 
 /// Archive magic bytes ("SZR1").
 pub(crate) const MAGIC: [u8; 4] = *b"SZR1";
-/// Current archive format version.
+/// Current archive format version (self-contained: embedded Huffman table).
 pub(crate) const VERSION: u8 = 1;
+/// Version tag for band archives whose Huffman table lives *outside* the
+/// archive — the chunked driver shares one table across bands. Such an
+/// archive decodes only through
+/// [`crate::decompress_shared_with_kernel`] with the owning container's
+/// codec.
+pub(crate) const VERSION_SHARED: u8 = 2;
 
 /// Per-run statistics reported alongside the archive.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -122,6 +129,75 @@ fn compress_validated<T: ScalarFloat>(
     config: &Config,
     kernel: &mut ScanKernel,
 ) -> Result<(Vec<u8>, CompressionStats)> {
+    let band = quantize_validated(values, shape, config, kernel)?;
+    Ok(encode_quantized(&band, HuffmanTable::PerBand))
+}
+
+/// The predict→quantize half of the pipeline, detached from entropy coding.
+///
+/// Holds everything the entropy stage needs — the quantization-code stream,
+/// the binary-representation escapes, and the header fields — so a
+/// multi-band driver can histogram codes *across* bands and entropy-code
+/// them under one shared Huffman table (see [`encode_quantized`]).
+pub struct QuantizedBand {
+    type_tag: u8,
+    dims: Vec<usize>,
+    layers: usize,
+    interval_bits: u32,
+    decorrelate: bool,
+    lossless_pass: bool,
+    eb: f64,
+    range: f64,
+    predictable: usize,
+    codes: Vec<u32>,
+    unpred: Vec<u8>,
+}
+
+impl QuantizedBand {
+    /// Quantization codes, one per point (0 = unpredictable escape).
+    pub fn codes(&self) -> &[u32] {
+        &self.codes
+    }
+
+    /// Entropy-coder alphabet size (`2^m`: intervals + escape code).
+    pub fn alphabet(&self) -> usize {
+        1usize << self.interval_bits
+    }
+
+    /// Number of points in the band.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// True when the band holds no points (unreachable through the public
+    /// quantize entry points, which reject empty shapes).
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+}
+
+/// Quantizes a flat slice using a caller-provided kernel — the first half
+/// of [`compress_slice_with_kernel`], exposed for drivers that entropy-code
+/// several bands together.
+///
+/// # Errors
+/// Same conditions as [`compress_slice_with_kernel`].
+pub fn quantize_slice_with_kernel<T: ScalarFloat>(
+    values: &[T],
+    shape: &szr_tensor::Shape,
+    config: &Config,
+    kernel: &mut ScanKernel,
+) -> Result<QuantizedBand> {
+    config.validate()?;
+    quantize_validated(values, shape, config, kernel)
+}
+
+fn quantize_validated<T: ScalarFloat>(
+    values: &[T],
+    shape: &szr_tensor::Shape,
+    config: &Config,
+    kernel: &mut ScanKernel,
+) -> Result<QuantizedBand> {
     if values.len() != shape.len() {
         return Err(crate::SzError::InvalidConfig(
             "slice length does not match shape",
@@ -132,7 +208,6 @@ fn compress_validated<T: ScalarFloat>(
             "kernel does not match shape and config",
         ));
     }
-    let n = config.layers;
 
     // Resolve the relative bound against the actual value range (Metric 1).
     let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
@@ -207,20 +282,60 @@ fn compress_validated<T: ScalarFloat>(
         }
     });
 
-    // Stage 3: variable-length encode the quantization codes (§IV).
-    let huffman_block = szr_huffman::compress_u32(&codes, quantizer.alphabet());
-    let unpred_block = unpred_bits.into_bytes();
+    Ok(QuantizedBand {
+        type_tag: T::TYPE_TAG,
+        dims: shape.dims().to_vec(),
+        layers: config.layers,
+        interval_bits: bits,
+        decorrelate: config.decorrelate,
+        lossless_pass: config.lossless_pass,
+        eb,
+        range,
+        predictable,
+        codes,
+        unpred: unpred_bits.into_bytes(),
+    })
+}
+
+/// How the entropy stage obtains its Huffman table.
+pub enum HuffmanTable<'a> {
+    /// Build the table from this band's own histogram and embed it — the
+    /// standard self-contained version-1 archive.
+    PerBand,
+    /// Encode through a caller-owned codec shared across bands. The archive
+    /// (version 2) carries only the code stream and decodes exclusively via
+    /// [`crate::decompress_shared_with_kernel`] with the same codec.
+    Shared(&'a HuffmanCodec),
+}
+
+/// Entropy-codes a quantized band into an archive (§IV) — the second half
+/// of the pipeline.
+pub fn encode_quantized(
+    band: &QuantizedBand,
+    table: HuffmanTable<'_>,
+) -> (Vec<u8>, CompressionStats) {
+    let (version, huffman_block) = match table {
+        HuffmanTable::PerBand => (
+            VERSION,
+            szr_huffman::compress_u32(&band.codes, band.alphabet()),
+        ),
+        HuffmanTable::Shared(codec) => (
+            VERSION_SHARED,
+            szr_huffman::compress_u32_with_codec(&band.codes, codec),
+        ),
+    };
+    let unpred_block = &band.unpred;
 
     let mut out = ByteWriter::with_capacity(huffman_block.len() + unpred_block.len() + 64);
     out.write_bytes(&MAGIC);
-    out.write_u8(VERSION);
-    out.write_u8(T::TYPE_TAG);
-    out.write_u8(n as u8);
-    out.write_u8(bits as u8);
-    out.write_u8(config.decorrelate as u8);
-    out.write_f64(eb);
-    out.write_varint(shape.ndim() as u64);
-    for &d in shape.dims() {
+    out.write_u8(version);
+    out.write_u8(band.type_tag);
+    out.write_u8(band.layers as u8);
+    out.write_u8(band.interval_bits as u8);
+    out.write_u8(band.decorrelate as u8);
+    out.write_f64(band.eb);
+    out.write_varint(band.dims.len() as u64);
+    for &d in &band.dims {
         out.write_varint(d as u64);
     }
     // Payload: the two sections, optionally behind SZ's "best compression"
@@ -228,8 +343,8 @@ fn compress_validated<T: ScalarFloat>(
     // DEFLATE's match layer can break on low-entropy code streams).
     let mut payload = ByteWriter::with_capacity(huffman_block.len() + unpred_block.len() + 8);
     payload.write_len_prefixed(&huffman_block);
-    payload.write_len_prefixed(&unpred_block);
-    if config.lossless_pass {
+    payload.write_len_prefixed(unpred_block);
+    if band.lossless_pass {
         let deflated = szr_deflate::deflate_compress(payload.as_bytes());
         if deflated.len() < payload.len() {
             out.write_u8(1);
@@ -245,17 +360,17 @@ fn compress_validated<T: ScalarFloat>(
     let bytes = out.into_bytes();
 
     let stats = CompressionStats {
-        total: values.len(),
-        predictable,
-        eb_abs: eb,
-        range,
-        interval_bits: bits,
-        layers: n,
+        total: band.codes.len(),
+        predictable: band.predictable,
+        eb_abs: band.eb,
+        range: band.range,
+        interval_bits: band.interval_bits,
+        layers: band.layers,
         compressed_bytes: bytes.len(),
         huffman_bytes: huffman_block.len(),
         unpredictable_bytes: unpred_block.len(),
     };
-    Ok((bytes, stats))
+    (bytes, stats)
 }
 
 #[cfg(test)]
@@ -455,6 +570,53 @@ mod tests {
             acfs[1] < 0.1,
             "dithered errors should be near-white: {acfs:?}"
         );
+    }
+
+    #[test]
+    fn quantize_then_encode_equals_one_shot_compress() {
+        // The staged pipeline must be byte-identical to the monolithic one.
+        let data = Tensor::from_fn([48, 80], |ix| {
+            ((ix[0] as f32) * 0.07).sin() * 4.0 + (ix[1] as f32) * 0.01
+        });
+        let config = Config::new(ErrorBound::Absolute(1e-3));
+        let one_shot = compress(&data, &config).unwrap();
+        let mut kernel = ScanKernel::for_shape(config.layers, data.shape());
+        let band = quantize_slice_with_kernel(data.as_slice(), data.shape(), &config, &mut kernel)
+            .unwrap();
+        let (staged, stats) = encode_quantized(&band, HuffmanTable::PerBand);
+        assert_eq!(staged, one_shot);
+        assert_eq!(stats.compressed_bytes, one_shot.len());
+    }
+
+    #[test]
+    fn shared_table_band_roundtrips_and_rejects_codec_free_decode() {
+        let data = Tensor::from_fn([32, 64], |ix| {
+            ((ix[0] as f32) * 0.11).sin() + ((ix[1] as f32) * 0.05).cos()
+        });
+        let config = Config::new(ErrorBound::Absolute(1e-4));
+        let mut kernel = ScanKernel::for_shape(config.layers, data.shape());
+        let band = quantize_slice_with_kernel(data.as_slice(), data.shape(), &config, &mut kernel)
+            .unwrap();
+        let mut freqs = vec![0u64; band.codes().iter().max().map_or(1, |&m| m as usize + 1)];
+        for &c in band.codes() {
+            freqs[c as usize] += 1;
+        }
+        let codec = szr_huffman::HuffmanCodec::from_frequencies(&freqs);
+        let (bytes, _) = encode_quantized(&band, HuffmanTable::Shared(&codec));
+        // Without the codec the archive must refuse, not misdecode.
+        assert!(decompress::<f32>(&bytes).is_err());
+        let info = crate::inspect(&bytes).unwrap();
+        assert!(info.shared_stream);
+        // With the codec it reconstructs within the bound.
+        let out: Tensor<f32> =
+            crate::decompress_shared_with_kernel(&bytes, &codec, &mut kernel).unwrap();
+        check_bound(data.as_slice(), out.as_slice(), 1e-4);
+        // A self-contained archive fed through the shared entry point also
+        // decodes (codec ignored).
+        let (plain, _) = encode_quantized(&band, HuffmanTable::PerBand);
+        let out2: Tensor<f32> =
+            crate::decompress_shared_with_kernel(&plain, &codec, &mut kernel).unwrap();
+        assert_eq!(out.as_slice(), out2.as_slice());
     }
 
     #[test]

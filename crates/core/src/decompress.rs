@@ -1,12 +1,13 @@
 //! Decompression: replay the prediction loop from reconstructed values.
 
-use crate::compress::{MAGIC, VERSION};
+use crate::compress::{MAGIC, VERSION, VERSION_SHARED};
 use crate::float::ScalarFloat;
 use crate::kernel::ScanKernel;
 use crate::quant::Quantizer;
 use crate::unpred::UnpredictableCodec;
 use crate::{Result, SzError};
 use szr_bitstream::{BitReader, ByteReader};
+use szr_huffman::HuffmanCodec;
 use szr_tensor::{Shape, Tensor};
 
 /// Parsed archive header (everything before the payload sections).
@@ -15,6 +16,8 @@ struct Header {
     layers: usize,
     interval_bits: u32,
     decorrelate: bool,
+    /// Version-2 archive: the Huffman table lives in the owning container.
+    shared_stream: bool,
     eb: f64,
     shape: Shape,
 }
@@ -25,9 +28,10 @@ fn parse_header(reader: &mut ByteReader<'_>) -> Result<Header> {
         return Err(SzError::Corrupt("bad magic bytes".into()));
     }
     let version = reader.read_u8()?;
-    if version != VERSION {
+    if version != VERSION && version != VERSION_SHARED {
         return Err(SzError::Corrupt(format!("unsupported version {version}")));
     }
+    let shared_stream = version == VERSION_SHARED;
     let type_tag = reader.read_u8()?;
     let layers = reader.read_u8()? as usize;
     let interval_bits = reader.read_u8()? as u32;
@@ -65,6 +69,7 @@ fn parse_header(reader: &mut ByteReader<'_>) -> Result<Header> {
         layers,
         interval_bits,
         decorrelate,
+        shared_stream,
         eb,
         shape: Shape::new(&dims),
     })
@@ -85,6 +90,10 @@ pub struct ArchiveInfo {
     pub interval_bits: u32,
     /// Whether error-decorrelation mode was active.
     pub decorrelated: bool,
+    /// Version-2 band archive: its Huffman table is shared and lives in the
+    /// owning container, so it decodes only via
+    /// [`decompress_shared_with_kernel`].
+    pub shared_stream: bool,
     /// Total archive size in bytes.
     pub archive_bytes: usize,
 }
@@ -119,6 +128,7 @@ pub fn inspect(bytes: &[u8]) -> Result<ArchiveInfo> {
         layers: header.layers,
         interval_bits: header.interval_bits,
         decorrelated: header.decorrelate,
+        shared_stream: header.shared_stream,
         archive_bytes: bytes.len(),
     })
 }
@@ -132,7 +142,7 @@ pub fn decompress<T: ScalarFloat>(bytes: &[u8]) -> Result<Tensor<T>> {
     let mut reader = ByteReader::new(bytes);
     let header = parse_header(&mut reader)?;
     let mut kernel = ScanKernel::for_shape(header.layers, &header.shape);
-    decompress_parsed(header, reader, &mut kernel)
+    decompress_parsed(header, reader, &mut kernel, None)
 }
 
 /// Decompresses an archive using a caller-provided [`ScanKernel`] — the
@@ -159,15 +169,41 @@ pub fn decompress_with_kernel<T: ScalarFloat>(
             "kernel does not match archive shape and layer count",
         ));
     }
-    decompress_parsed(header, reader, kernel)
+    decompress_parsed(header, reader, kernel, None)
 }
 
-/// Payload decode shared by [`decompress`] and [`decompress_with_kernel`];
-/// `reader` is positioned just past the header and `kernel` matches it.
+/// Decompresses a version-2 band archive whose Huffman table is shared:
+/// `codec` is the container-owned table every shared band was encoded with
+/// (see [`crate::HuffmanTable::Shared`]). Self-contained version-1 archives
+/// also decode through this entry point (the codec is simply ignored), so a
+/// chunked driver can feed mixed bands through one call.
+///
+/// # Errors
+/// Same conditions as [`decompress_with_kernel`].
+pub fn decompress_shared_with_kernel<T: ScalarFloat>(
+    bytes: &[u8],
+    codec: &HuffmanCodec,
+    kernel: &mut ScanKernel,
+) -> Result<Tensor<T>> {
+    let mut reader = ByteReader::new(bytes);
+    let header = parse_header(&mut reader)?;
+    if kernel.layers() != header.layers || !kernel.matches(&header.shape) {
+        return Err(SzError::InvalidConfig(
+            "kernel does not match archive shape and layer count",
+        ));
+    }
+    decompress_parsed(header, reader, kernel, Some(codec))
+}
+
+/// Payload decode shared by every decompress entry point; `reader` is
+/// positioned just past the header, `kernel` matches it, and `codec` is the
+/// shared Huffman table (required for version-2 archives, ignored
+/// otherwise).
 fn decompress_parsed<T: ScalarFloat>(
     header: Header,
     mut reader: ByteReader<'_>,
     kernel: &mut ScanKernel,
+    codec: Option<&HuffmanCodec>,
 ) -> Result<Tensor<T>> {
     if header.type_tag != T::TYPE_TAG {
         return Err(SzError::WrongType {
@@ -195,7 +231,14 @@ fn decompress_parsed<T: ScalarFloat>(
         _ => return Err(SzError::Corrupt("unknown payload post-pass".into())),
     };
 
-    let codes = szr_huffman::decompress_u32(huffman_block)?;
+    let codes = if header.shared_stream {
+        let codec = codec.ok_or_else(|| {
+            SzError::Corrupt("archive needs its container's shared huffman table".into())
+        })?;
+        szr_huffman::decompress_u32_with_codec(huffman_block, codec)?
+    } else {
+        szr_huffman::decompress_u32(huffman_block)?
+    };
     let total = header.shape.len();
     if codes.len() != total {
         return Err(SzError::Corrupt(format!(

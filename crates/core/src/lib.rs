@@ -54,10 +54,12 @@ mod unpred;
 
 pub use compress::{
     compress, compress_slice_with_kernel, compress_slice_with_stats, compress_with_stats,
-    CompressionStats,
+    encode_quantized, quantize_slice_with_kernel, CompressionStats, HuffmanTable, QuantizedBand,
 };
 pub use config::{Config, ErrorBound, IntervalMode};
-pub use decompress::{decompress, decompress_with_kernel, inspect, ArchiveInfo};
+pub use decompress::{
+    decompress, decompress_shared_with_kernel, decompress_with_kernel, inspect, ArchiveInfo,
+};
 pub use float::ScalarFloat;
 pub use kernel::{KernelKind, ScanKernel};
 pub use predict::{layer_coefficients, predict_at, Stencil, StencilSet};

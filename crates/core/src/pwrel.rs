@@ -94,7 +94,7 @@ pub fn compress_pointwise_rel<T: ScalarFloat>(
     for &c in &classes {
         class_bits.write_bits(c as u64, 2);
     }
-    let class_block = szr_deflate::deflate_compress(class_bits.as_bytes());
+    let class_block = szr_deflate::deflate_compress(&class_bits.into_bytes());
 
     let mut out = ByteWriter::with_capacity(log_archive.len() + class_block.len() + 64);
     out.write_bytes(&MAGIC);

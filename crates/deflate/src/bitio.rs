@@ -84,6 +84,34 @@ impl<'a> LsbReader<'a> {
         }
     }
 
+    /// Returns the next `count` bits (low bits of the result, LSB-first)
+    /// without consuming, zero-padded when fewer bits remain — the
+    /// speculative half of table-driven Huffman decoding.
+    #[inline]
+    pub fn peek_bits(&mut self, count: u32) -> u64 {
+        debug_assert!(count <= 56);
+        if count == 0 {
+            return 0;
+        }
+        self.refill();
+        self.bit_buf & (u64::MAX >> (64 - count))
+    }
+
+    /// Consumes `count` bits previously validated via
+    /// [`peek_bits`](Self::peek_bits).
+    ///
+    /// # Errors
+    /// [`Error::UnexpectedEof`] when fewer than `count` bits remain.
+    #[inline]
+    pub fn consume(&mut self, count: u32) -> Result<()> {
+        if self.bit_count < count {
+            return Err(Error::UnexpectedEof);
+        }
+        self.bit_buf >>= count;
+        self.bit_count -= count;
+        Ok(())
+    }
+
     /// Reads `count` bits LSB-first.
     #[inline]
     pub fn read_bits(&mut self, count: u32) -> Result<u64> {

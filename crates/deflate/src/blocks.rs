@@ -3,6 +3,7 @@
 use crate::bitio::{reverse_bits, LsbReader, LsbWriter};
 use crate::lz77::{tokenize, Token};
 use crate::{Error, Result};
+use szr_huffman::lut::{BitOrder, DecodeLut, Lookup};
 
 /// Length-code base values for symbols 257..=285.
 const LENGTH_BASE: [u16; 29] = [
@@ -172,7 +173,9 @@ fn assign_codes(lengths: &[u32]) -> Vec<u32> {
         .collect()
 }
 
-/// Canonical decoder over (length, symbol) pairs.
+/// Canonical decoder: a shared two-level LUT (LSB bit order) over the code
+/// lengths, with the historical bit-walking loop kept as the fallback for
+/// table escapes and as the equivalence oracle in tests.
 struct HuffDecoder {
     /// count[l] = number of codes of length l.
     count: [u32; 16],
@@ -182,6 +185,9 @@ struct HuffDecoder {
     first_index: [u32; 16],
     /// symbols sorted by (length, symbol).
     symbols: Vec<u16>,
+    /// Table-driven decode path (max DEFLATE code length is 15, so every
+    /// code resolves in the primary table or one subtable — never Slow).
+    lut: DecodeLut,
 }
 
 impl HuffDecoder {
@@ -217,16 +223,40 @@ impl HuffDecoder {
             .filter(|&s| lengths[s as usize] > 0)
             .collect();
         symbols.sort_by_key(|&s| (lengths[s as usize], s));
+        let codes: Vec<u64> = assign_codes(lengths).iter().map(|&c| c as u64).collect();
+        let lut = DecodeLut::build(lengths, &codes, BitOrder::Lsb);
         Ok(Self {
             count,
             first_code,
             first_index,
             symbols,
+            lut,
         })
     }
 
     #[inline]
     fn decode(&self, reader: &mut LsbReader<'_>) -> Result<u16> {
+        let primary = self.lut.primary_bits();
+        let lookup = match self.lut.root(reader.peek_bits(primary)) {
+            Lookup::Sub { base, bits } => {
+                let window = reader.peek_bits(primary + bits);
+                self.lut.sub(base, bits, window >> primary)
+            }
+            other => other,
+        };
+        match lookup {
+            Lookup::Symbol { symbol, len } => {
+                reader.consume(len)?;
+                Ok(symbol as u16)
+            }
+            Lookup::Slow => self.decode_walk(reader),
+            Lookup::Invalid | Lookup::Sub { .. } => Err(Error::Corrupt("invalid huffman code")),
+        }
+    }
+
+    /// Bit-at-a-time canonical decode: the LUT's fallback and oracle.
+    #[cold]
+    fn decode_walk(&self, reader: &mut LsbReader<'_>) -> Result<u16> {
         let mut code = 0u32;
         for len in 1..=15usize {
             code = (code << 1) | reader.read_bit()?;

@@ -1,5 +1,6 @@
 //! Canonical Huffman code construction, encoding, and decoding.
 
+use crate::lut::{BitOrder, DecodeLut, Lookup};
 use szr_bitstream::{BitReader, BitWriter, Error, Result};
 
 /// Hard ceiling on codeword length.
@@ -28,6 +29,10 @@ pub struct HuffmanCodec {
     first_index: [u32; (MAX_CODE_LEN + 1) as usize],
     /// Number of codes of each length.
     count: [u32; (MAX_CODE_LEN + 1) as usize],
+    /// Two-level decode table, built lazily on the first table-driven
+    /// decode so encode-only codecs (compression, size estimation) never
+    /// pay for it.
+    lut: std::sync::OnceLock<DecodeLut>,
 }
 
 impl HuffmanCodec {
@@ -95,6 +100,7 @@ impl HuffmanCodec {
             first_code,
             first_index,
             count,
+            lut: std::sync::OnceLock::new(),
         })
     }
 
@@ -135,7 +141,9 @@ impl HuffmanCodec {
         }
     }
 
-    /// Decodes one symbol by canonical first-code walking.
+    /// Decodes one symbol by canonical first-code walking — the bit-at-a-time
+    /// oracle the table-driven path falls back to (and is property-tested
+    /// against).
     #[inline]
     pub fn decode(&self, bits: &mut BitReader<'_>) -> Result<u32> {
         let mut code = 0u64;
@@ -154,8 +162,70 @@ impl HuffmanCodec {
         Err(Error::Corrupt("huffman code exceeds maximum length"))
     }
 
+    /// Decodes one symbol through the two-level table: peek the primary
+    /// window, look up, validate the true length against the bits actually
+    /// remaining, consume. Codes deeper than the table covers fall back to
+    /// [`Self::decode`].
+    #[inline]
+    fn decode_fast(&self, lut: &DecodeLut, bits: &mut BitReader<'_>) -> Result<u32> {
+        let lookup = match lut.root(bits.peek_bits(lut.primary_bits())) {
+            Lookup::Sub { base, bits: sub } => {
+                let window = bits.peek_bits(lut.primary_bits() + sub);
+                lut.sub(base, sub, window)
+            }
+            other => other,
+        };
+        match lookup {
+            Lookup::Symbol { symbol, len } => {
+                if bits.remaining_bits() < len as usize {
+                    return Err(Error::UnexpectedEof);
+                }
+                bits.consume(len);
+                Ok(symbol)
+            }
+            Lookup::Slow => self.decode(bits),
+            // Zero padding past the true end of the stream can steer the
+            // peek into a hole of the table; either way no codeword starts
+            // with these bits.
+            Lookup::Invalid | Lookup::Sub { .. } => {
+                if bits.remaining_bits() < MAX_CODE_LEN as usize {
+                    Err(Error::UnexpectedEof)
+                } else {
+                    Err(Error::Corrupt("no huffman code starts with peeked bits"))
+                }
+            }
+        }
+    }
+
     /// Decodes exactly `n` symbols.
     pub fn decode_all(&self, bits: &mut BitReader<'_>, n: usize) -> Result<Vec<u32>> {
+        let mut out = Vec::with_capacity(n);
+        self.decode_all_into(bits, n, &mut out)?;
+        Ok(out)
+    }
+
+    /// Decodes exactly `n` symbols into a caller-provided buffer (cleared
+    /// first), so batch consumers can reuse one allocation across streams.
+    pub fn decode_all_into(
+        &self,
+        bits: &mut BitReader<'_>,
+        n: usize,
+        out: &mut Vec<u32>,
+    ) -> Result<()> {
+        out.clear();
+        out.reserve(n);
+        let lut = self
+            .lut
+            .get_or_init(|| DecodeLut::build(&self.lengths, &self.codes, BitOrder::Msb));
+        for _ in 0..n {
+            out.push(self.decode_fast(lut, bits)?);
+        }
+        Ok(())
+    }
+
+    /// Decodes exactly `n` symbols through the bit-walking oracle — kept
+    /// public as the baseline for equivalence tests and the entropy bench.
+    pub fn decode_all_slow(&self, bits: &mut BitReader<'_>, n: usize) -> Result<Vec<u32>> {
         let mut out = Vec::with_capacity(n);
         for _ in 0..n {
             out.push(self.decode(bits)?);

@@ -12,13 +12,23 @@
 //!   zlib uses), so a codeword always fits in a `u64`;
 //! * codes are **canonical**, so the serialized table is just the code-length
 //!   array (run-length encoded — quantization-code tables are mostly zeros);
-//! * decoding walks the canonical first-code table bit by bit, O(length) per
-//!   symbol with no heap-allocated tree.
+//! * decoding is table-driven: every codec builds a two-level lookup table
+//!   ([`lut::DecodeLut`]) once — an 11-bit primary table plus overflow
+//!   subtables up to 22 bits — and [`HuffmanCodec::decode_all`] peeks a
+//!   window, indexes, and consumes, one unaligned load per symbol. The
+//!   historical bit-walking decoder survives as [`HuffmanCodec::decode`],
+//!   the slow-path fallback for pathologically deep codes and the oracle the
+//!   property tests pin the fast path against. MSB-first wire order is
+//!   unchanged.
 //!
 //! One-shot helpers [`compress_u32`] / [`decompress_u32`] bundle table +
-//! payload for callers that don't manage their own containers.
+//! payload for callers that don't manage their own containers;
+//! [`compress_u32_with_codec`] / [`decompress_u32_with_codec`] emit payload
+//! only for callers that share one table across many streams (the chunked
+//! driver's per-band sharing).
 
 mod code;
+pub mod lut;
 mod table;
 
 pub use code::{HuffmanCodec, MAX_CODE_LEN};
@@ -26,24 +36,38 @@ pub use table::{read_lengths, write_lengths};
 
 use szr_bitstream::{BitReader, BitWriter, ByteReader, ByteWriter};
 
+/// Documented ceiling on alphabet sizes (2^28 symbols); larger values in an
+/// archive header are rejected as corruption before any allocation.
+pub const MAX_ALPHABET: usize = 1 << 28;
+
 /// Compresses a symbol stream into a self-describing byte buffer
 /// (code-length table + bit payload).
 ///
-/// `alphabet` must exceed every symbol in `symbols`.
+/// `alphabet` must exceed every symbol in `symbols`; only the occupied
+/// range `0..=max_symbol` is histogrammed and serialized, so a sparse
+/// stream over a huge nominal alphabet (up to 2^28) does not allocate
+/// frequency tables for symbols that never occur.
 ///
 /// # Panics
 /// Panics if a symbol is out of range (caller bug, not data corruption).
 pub fn compress_u32(symbols: &[u32], alphabet: usize) -> Vec<u8> {
-    let mut freqs = vec![0u64; alphabet];
+    // Histogram only 0..=max symbol; the serialized alphabet is clamped to
+    // match (decoders read whatever alphabet the header declares, so
+    // archives written with the full nominal alphabet still decode).
+    let used = symbols.iter().max().map_or(0, |&m| m as usize + 1);
+    assert!(used <= alphabet, "symbol out of range for alphabet");
+    let mut freqs = vec![0u64; used];
     for &s in symbols {
         freqs[s as usize] += 1;
     }
     let codec = HuffmanCodec::from_frequencies(&freqs);
     let mut header = ByteWriter::new();
-    header.write_varint(alphabet as u64);
+    header.write_varint(used as u64);
     header.write_varint(symbols.len() as u64);
     write_lengths(&mut header, codec.lengths());
-    let mut bits = BitWriter::with_capacity(symbols.len() / 2);
+    // The bit writer's capacity is exact: the codec already knows the
+    // payload length for these frequencies.
+    let mut bits = BitWriter::with_capacity((codec.payload_bits(&freqs) as usize).div_ceil(8));
     codec.encode_all(symbols, &mut bits);
     let mut out = header.into_bytes();
     let payload = bits.into_bytes();
@@ -55,13 +79,81 @@ pub fn compress_u32(symbols: &[u32], alphabet: usize) -> Vec<u8> {
 pub fn decompress_u32(bytes: &[u8]) -> szr_bitstream::Result<Vec<u32>> {
     let mut reader = ByteReader::new(bytes);
     let alphabet = reader.read_varint()? as usize;
+    if alphabet > MAX_ALPHABET {
+        return Err(szr_bitstream::Error::Corrupt("implausible alphabet size"));
+    }
     let count = reader.read_varint()? as usize;
     let lengths = read_lengths(&mut reader, alphabet)?;
     let codec = HuffmanCodec::from_lengths(&lengths)
         .ok_or(szr_bitstream::Error::Corrupt("invalid huffman lengths"))?;
     let payload = reader.read_bytes(reader.remaining())?;
+    // Every symbol costs at least one bit, so a count the payload cannot
+    // hold is corruption — checked before the output allocation.
+    if count > payload.len() * 8 {
+        return Err(szr_bitstream::Error::Corrupt(
+            "symbol count exceeds payload",
+        ));
+    }
     let mut bits = BitReader::new(payload);
     codec.decode_all(&mut bits, count)
+}
+
+/// Compresses a symbol stream as payload only (varint count + code bits),
+/// with the table owned by the caller — the shared-table companion of
+/// [`compress_u32`]. Decode with [`decompress_u32_with_codec`] and the same
+/// codec.
+///
+/// # Panics
+/// Panics if a symbol has no code in `codec` (caller bug).
+pub fn compress_u32_with_codec(symbols: &[u32], codec: &HuffmanCodec) -> Vec<u8> {
+    let payload_bits: u64 = symbols
+        .iter()
+        .map(|&s| codec.lengths()[s as usize] as u64)
+        .sum();
+    let mut out = ByteWriter::with_capacity((payload_bits as usize).div_ceil(8) + 5);
+    out.write_varint(symbols.len() as u64);
+    let mut bits = BitWriter::with_capacity((payload_bits as usize).div_ceil(8));
+    codec.encode_all(symbols, &mut bits);
+    out.write_bytes(&bits.into_bytes());
+    out.into_bytes()
+}
+
+/// Inverse of [`compress_u32_with_codec`].
+pub fn decompress_u32_with_codec(
+    bytes: &[u8],
+    codec: &HuffmanCodec,
+) -> szr_bitstream::Result<Vec<u32>> {
+    let mut reader = ByteReader::new(bytes);
+    let count = reader.read_varint()? as usize;
+    let payload = reader.read_bytes(reader.remaining())?;
+    if count > payload.len() * 8 {
+        return Err(szr_bitstream::Error::Corrupt(
+            "symbol count exceeds payload",
+        ));
+    }
+    let mut bits = BitReader::new(payload);
+    codec.decode_all(&mut bits, count)
+}
+
+/// Serializes a codec's code-length table (alphabet varint + RLE lengths)
+/// for embedding in a container that shares one table across streams.
+pub fn serialize_codec(codec: &HuffmanCodec) -> Vec<u8> {
+    let mut out = ByteWriter::new();
+    out.write_varint(codec.lengths().len() as u64);
+    write_lengths(&mut out, codec.lengths());
+    out.into_bytes()
+}
+
+/// Inverse of [`serialize_codec`].
+pub fn deserialize_codec(bytes: &[u8]) -> szr_bitstream::Result<HuffmanCodec> {
+    let mut reader = ByteReader::new(bytes);
+    let alphabet = reader.read_varint()? as usize;
+    if alphabet > MAX_ALPHABET {
+        return Err(szr_bitstream::Error::Corrupt("implausible alphabet size"));
+    }
+    let lengths = read_lengths(&mut reader, alphabet)?;
+    HuffmanCodec::from_lengths(&lengths)
+        .ok_or(szr_bitstream::Error::Corrupt("invalid huffman lengths"))
 }
 
 #[cfg(test)]

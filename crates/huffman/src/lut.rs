@@ -1,0 +1,370 @@
+//! Two-level table-driven canonical-Huffman decoding.
+//!
+//! A [`DecodeLut`] turns "walk the first-code table one bit at a time" into
+//! "peek a fixed window, index a table": codes of at most
+//! [`PRIMARY_BITS`] bits resolve with a single lookup on the peeked window;
+//! longer codes land on a *subtable* entry whose overflow table covers up to
+//! [`MAX_SUB_BITS`] further bits. Codes deeper than
+//! `PRIMARY_BITS + MAX_SUB_BITS` (only reachable with adversarial frequency
+//! profiles — [`crate::MAX_CODE_LEN`] is 48) are marked [`Lookup::Slow`] and
+//! the caller falls back to its bit-walking oracle.
+//!
+//! The table is bit-order agnostic so one builder serves both the MSB-first
+//! quantization-code stream (`szr-huffman` proper) and DEFLATE's LSB-first
+//! packing (`szr-deflate`), where codewords appear bit-reversed in the
+//! peeked window:
+//!
+//! * [`BitOrder::Msb`] — index = upcoming bits read left to right; a code of
+//!   length `l ≤ P` owns the contiguous range `code << (P-l) ..` of the
+//!   primary table.
+//! * [`BitOrder::Lsb`] — index = upcoming bits in the low bits of the peek
+//!   window; the same code owns every index whose low `l` bits equal the
+//!   bit-reversed code.
+//!
+//! Entries pack into a `u64` (symbol ≤ 2^28 exceeds what a `u32` entry can
+//! carry next to a length): payload in the high 32 bits, kind in bits 6–7,
+//! length (or subtable width) in bits 0–5.
+
+/// Width of the primary lookup table in bits (2^11 × 8 B = 16 KiB).
+pub const PRIMARY_BITS: u32 = 11;
+
+/// Maximum overflow-subtable width; codes longer than
+/// `PRIMARY_BITS + MAX_SUB_BITS` decode via the caller's slow path.
+pub const MAX_SUB_BITS: u32 = 11;
+
+// Kind 0 is Invalid: a zeroed entry (the table's initial state) decodes to
+// "no codeword starts here".
+const KIND_DIRECT: u64 = 1;
+const KIND_SUB: u64 = 2;
+const KIND_SLOW: u64 = 3;
+
+#[inline]
+fn pack(kind: u64, payload: u32, n: u32) -> u64 {
+    ((payload as u64) << 32) | (kind << 6) | n as u64
+}
+
+/// Bit packing order of the stream the table will decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BitOrder {
+    /// Codewords arrive most-significant-bit first (szr archives).
+    Msb,
+    /// Codewords arrive bit-reversed in an LSB-first stream (DEFLATE).
+    Lsb,
+}
+
+/// Result of a primary- or subtable lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lookup {
+    /// A complete codeword: consume `len` bits, emit `symbol`.
+    Symbol {
+        /// Decoded symbol.
+        symbol: u32,
+        /// True codeword length in bits (what the caller must consume).
+        len: u32,
+    },
+    /// The peeked prefix continues into an overflow subtable: peek
+    /// `primary_bits + bits` in total and call [`DecodeLut::sub`].
+    Sub {
+        /// Subtable base (opaque, pass to [`DecodeLut::sub`]).
+        base: u32,
+        /// Subtable index width in bits.
+        bits: u32,
+    },
+    /// Code is deeper than the table covers: use the bit-walking fallback.
+    Slow,
+    /// No codeword starts with the peeked bits: the stream is corrupt (or
+    /// truncated into the zero padding).
+    Invalid,
+}
+
+#[inline]
+fn unpack(entry: u64) -> Lookup {
+    let payload = (entry >> 32) as u32;
+    let n = (entry & 0x3F) as u32;
+    match (entry >> 6) & 0x3 {
+        KIND_DIRECT => Lookup::Symbol {
+            symbol: payload,
+            len: n,
+        },
+        KIND_SUB => Lookup::Sub {
+            base: payload,
+            bits: n,
+        },
+        KIND_SLOW => Lookup::Slow,
+        _ => Lookup::Invalid,
+    }
+}
+
+/// Reverses the low `count` bits of `code`.
+#[inline]
+fn reverse(code: u64, count: u32) -> u64 {
+    code.reverse_bits() >> (64 - count)
+}
+
+/// A two-level decode table over canonical-Huffman (length, code) pairs.
+pub struct DecodeLut {
+    /// Primary index width (`min(PRIMARY_BITS, max code length)`).
+    primary_bits: u32,
+    /// Primary table (first `1 << primary_bits` entries) + subtables.
+    entries: Vec<u64>,
+}
+
+impl DecodeLut {
+    /// Builds the table from per-symbol code lengths and canonical code
+    /// values (`codes[s]` is valid where `lengths[s] > 0`).
+    ///
+    /// The lengths must describe a Kraft-feasible code (the caller has
+    /// already validated them); unreached indices stay [`Lookup::Invalid`].
+    pub fn build(lengths: &[u32], codes: &[u64], order: BitOrder) -> Self {
+        let max_len = lengths.iter().copied().max().unwrap_or(0);
+        let primary_bits = max_len.clamp(1, PRIMARY_BITS);
+        let psize = 1usize << primary_bits;
+        let mut entries = vec![0u64; psize];
+
+        // Short codes fill their share of the primary table directly.
+        for (sym, (&len, &code)) in lengths.iter().zip(codes).enumerate() {
+            if len == 0 || len > primary_bits {
+                continue;
+            }
+            let entry = pack(KIND_DIRECT, sym as u32, len);
+            let copies = 1usize << (primary_bits - len);
+            match order {
+                BitOrder::Msb => {
+                    let start = (code << (primary_bits - len)) as usize;
+                    entries[start..start + copies].fill(entry);
+                }
+                BitOrder::Lsb => {
+                    let rev = reverse(code, len) as usize;
+                    for m in 0..copies {
+                        entries[rev | (m << len)] = entry;
+                    }
+                }
+            }
+        }
+
+        // Long codes group by their primary-width prefix; each group gets an
+        // overflow subtable sized for its deepest member (or a Slow marker
+        // when even MAX_SUB_BITS cannot reach it).
+        let mut group_depth: std::collections::BTreeMap<usize, u32> =
+            std::collections::BTreeMap::new();
+        for (&len, &code) in lengths.iter().zip(codes) {
+            if len <= primary_bits {
+                continue;
+            }
+            let prefix = match order {
+                BitOrder::Msb => (code >> (len - primary_bits)) as usize,
+                BitOrder::Lsb => (reverse(code, len) as usize) & (psize - 1),
+            };
+            let d = group_depth.entry(prefix).or_insert(0);
+            *d = (*d).max(len - primary_bits);
+        }
+        let mut group_base: std::collections::BTreeMap<usize, (u32, u32)> =
+            std::collections::BTreeMap::new();
+        for (&prefix, &depth) in &group_depth {
+            if depth > MAX_SUB_BITS {
+                entries[prefix] = pack(KIND_SLOW, 0, 0);
+            } else {
+                let base = entries.len() as u32;
+                entries.resize(entries.len() + (1usize << depth), 0);
+                entries[prefix] = pack(KIND_SUB, base, depth);
+                group_base.insert(prefix, (base, depth));
+            }
+        }
+        for (sym, (&len, &code)) in lengths.iter().zip(codes).enumerate() {
+            if len <= primary_bits {
+                continue;
+            }
+            let entry = pack(KIND_DIRECT, sym as u32, len);
+            let tail = len - primary_bits;
+            match order {
+                BitOrder::Msb => {
+                    let prefix = (code >> tail) as usize;
+                    let Some(&(base, depth)) = group_base.get(&prefix) else {
+                        continue; // Slow-marked group
+                    };
+                    let rel = (code & ((1u64 << tail) - 1)) as usize;
+                    let start = base as usize + (rel << (depth - tail));
+                    let copies = 1usize << (depth - tail);
+                    entries[start..start + copies].fill(entry);
+                }
+                BitOrder::Lsb => {
+                    let rev = reverse(code, len) as usize;
+                    let prefix = rev & (psize - 1);
+                    let Some(&(base, depth)) = group_base.get(&prefix) else {
+                        continue;
+                    };
+                    let rel = rev >> primary_bits;
+                    for m in 0..1usize << (depth - tail) {
+                        entries[base as usize + (rel | (m << tail))] = entry;
+                    }
+                }
+            }
+        }
+
+        Self {
+            primary_bits,
+            entries,
+        }
+    }
+
+    /// Primary index width: peek this many bits for [`Self::root`].
+    #[inline]
+    pub fn primary_bits(&self) -> u32 {
+        self.primary_bits
+    }
+
+    /// Looks up the peeked primary window (`primary_bits` upcoming bits; for
+    /// MSB streams the window as peeked, for LSB streams its low bits).
+    #[inline]
+    pub fn root(&self, peeked: u64) -> Lookup {
+        unpack(self.entries[(peeked as usize) & ((1 << self.primary_bits) - 1)])
+    }
+
+    /// Resolves an overflow lookup: `index` is the `bits` stream bits that
+    /// follow the primary window (for an MSB peek of `primary_bits + bits`,
+    /// the low `bits` bits; for LSB, bits `primary_bits..` of the window).
+    #[inline]
+    pub fn sub(&self, base: u32, bits: u32, index: u64) -> Lookup {
+        unpack(self.entries[base as usize + ((index as usize) & ((1 << bits) - 1))])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Canonical codes from lengths (msb convention, as HuffmanCodec).
+    fn canonical_codes(lengths: &[u32]) -> Vec<u64> {
+        let max = lengths.iter().copied().max().unwrap_or(0);
+        let mut count = vec![0u64; max as usize + 1];
+        for &l in lengths {
+            if l > 0 {
+                count[l as usize] += 1;
+            }
+        }
+        let mut next = vec![0u64; max as usize + 2];
+        let mut code = 0u64;
+        for l in 1..=max as usize {
+            code = (code + count[l - 1]) << 1;
+            next[l] = code;
+        }
+        lengths
+            .iter()
+            .map(|&l| {
+                if l == 0 {
+                    0
+                } else {
+                    let c = next[l as usize];
+                    next[l as usize] += 1;
+                    c
+                }
+            })
+            .collect()
+    }
+
+    /// Decodes one symbol from explicit bits using the table (MSB order).
+    fn decode_msb(lut: &DecodeLut, bits: &[bool]) -> Option<(u32, u32)> {
+        let peek = |n: u32| -> u64 {
+            let mut v = 0u64;
+            for i in 0..n as usize {
+                v = (v << 1) | bits.get(i).map_or(0, |&b| b as u64);
+            }
+            v
+        };
+        match lut.root(peek(lut.primary_bits())) {
+            Lookup::Symbol { symbol, len } => Some((symbol, len)),
+            Lookup::Sub { base, bits: sb } => {
+                match lut.sub(base, sb, peek(lut.primary_bits() + sb)) {
+                    Lookup::Symbol { symbol, len } => Some((symbol, len)),
+                    _ => None,
+                }
+            }
+            _ => None,
+        }
+    }
+
+    #[test]
+    fn short_codes_resolve_in_the_primary_table() {
+        // RFC-style example: lengths 2,3,3,3,3,3,4,4 over 8 symbols.
+        let lengths = [2u32, 3, 3, 3, 3, 3, 4, 4];
+        let codes = canonical_codes(&lengths);
+        let lut = DecodeLut::build(&lengths, &codes, BitOrder::Msb);
+        for (sym, (&len, &code)) in lengths.iter().zip(&codes).enumerate() {
+            let bits: Vec<bool> = (0..len).rev().map(|i| (code >> i) & 1 == 1).collect();
+            assert_eq!(decode_msb(&lut, &bits), Some((sym as u32, len)));
+        }
+    }
+
+    #[test]
+    fn long_codes_route_through_subtables() {
+        // A skewed chain: symbol s has length s+1 (up to 16) — symbols 11..
+        // exceed PRIMARY_BITS and must land in a subtable.
+        let lengths: Vec<u32> = (1..=16).collect();
+        // Kraft sum: sum 2^-l for l=1..16 < 1, feasible.
+        let codes = canonical_codes(&lengths);
+        let lut = DecodeLut::build(&lengths, &codes, BitOrder::Msb);
+        for (sym, (&len, &code)) in lengths.iter().zip(&codes).enumerate() {
+            let bits: Vec<bool> = (0..len).rev().map(|i| (code >> i) & 1 == 1).collect();
+            assert_eq!(
+                decode_msb(&lut, &bits),
+                Some((sym as u32, len)),
+                "sym {sym}"
+            );
+        }
+    }
+
+    #[test]
+    fn codes_beyond_table_reach_are_marked_slow() {
+        // Lengths up to 24 > PRIMARY_BITS + MAX_SUB_BITS = 22.
+        let lengths: Vec<u32> = (1..=24).collect();
+        let codes = canonical_codes(&lengths);
+        let lut = DecodeLut::build(&lengths, &codes, BitOrder::Msb);
+        // The deepest chain shares the all-ones prefix; its primary entry
+        // must be Slow.
+        let deep_code = codes[23];
+        let prefix = deep_code >> (24 - lut.primary_bits());
+        assert_eq!(lut.root(prefix), Lookup::Slow);
+        // Short codes still decode directly.
+        let bits: Vec<bool> = vec![false]; // code 0, length 1
+        assert_eq!(decode_msb(&lut, &bits), Some((0, 1)));
+    }
+
+    #[test]
+    fn unreached_indices_are_invalid() {
+        // Single 1-bit code: index 1 has no codeword.
+        let lut = DecodeLut::build(&[1], &[0], BitOrder::Msb);
+        assert_eq!(lut.root(0), Lookup::Symbol { symbol: 0, len: 1 });
+        assert_eq!(lut.root(1), Lookup::Invalid);
+    }
+
+    #[test]
+    fn lsb_order_mirrors_msb_decisions() {
+        let lengths = [2u32, 2, 3, 4, 4, 3];
+        let codes = canonical_codes(&lengths);
+        let msb = DecodeLut::build(&lengths, &codes, BitOrder::Msb);
+        let lsb = DecodeLut::build(&lengths, &codes, BitOrder::Lsb);
+        for (sym, (&len, &code)) in lengths.iter().zip(&codes).enumerate() {
+            // MSB index: code left-aligned in the window.
+            let msb_ix = code << (msb.primary_bits() - len);
+            assert_eq!(
+                msb.root(msb_ix),
+                Lookup::Symbol {
+                    symbol: sym as u32,
+                    len
+                }
+            );
+            // LSB index: bit-reversed code in the low bits; fill the rest
+            // with an arbitrary pattern to prove it is ignored.
+            let rev = reverse(code, len);
+            let filler = 0b1010_1010u64 << len;
+            let lsb_ix = (rev | filler) & ((1 << lsb.primary_bits()) - 1);
+            assert_eq!(
+                lsb.root(lsb_ix),
+                Lookup::Symbol {
+                    symbol: sym as u32,
+                    len
+                }
+            );
+        }
+    }
+}

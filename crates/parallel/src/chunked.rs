@@ -3,10 +3,13 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use szr_bitstream::{ByteReader, ByteWriter};
 use szr_core::{
-    compress_slice_with_kernel, decompress_with_kernel, inspect, Config, ErrorBound, Result,
-    ScalarFloat, ScanKernel, SzError,
+    compress_slice_with_kernel, decompress_shared_with_kernel, decompress_with_kernel,
+    encode_quantized, inspect, quantize_slice_with_kernel, Config, ErrorBound, HuffmanTable,
+    QuantizedBand, Result, ScalarFloat, ScanKernel, SzError,
 };
+use szr_huffman::HuffmanCodec;
 use szr_metrics::{value_range, Real};
 use szr_planner::plan_band_config;
 use szr_tensor::{Shape, Tensor};
@@ -16,19 +19,144 @@ use szr_tensor::{Shape, Tensor};
 /// Bands split the slowest dimension, so each band is a contiguous slice of
 /// the row-major buffer and carries a complete self-describing archive —
 /// exactly the paper's in-situ model where every rank owns a horizontal
-/// slab.
+/// slab. [`compress_chunked_shared`] amortizes the entropy stage instead:
+/// one Huffman table built from the merged per-band histograms, stored once
+/// in `shared_table` and referenced by version-2 band archives (bands whose
+/// distribution diverges from the merge keep their own embedded table).
 #[derive(Debug, Clone)]
 pub struct ChunkedArchive {
     /// Original tensor dimensions.
     pub dims: Vec<usize>,
     /// One complete archive per band, in band order.
     pub chunks: Vec<Vec<u8>>,
+    /// Serialized shared Huffman table (present when at least one band is a
+    /// version-2 shared-stream archive).
+    pub shared_table: Option<Vec<u8>>,
 }
 
+/// Serialized [`ChunkedArchive`] magic bytes.
+const CHUNKED_MAGIC: [u8; 4] = *b"SZCK";
+/// Serialized format version. Version 1 introduces the flagged, versioned
+/// shared-table field; readers reject higher versions loudly.
+const CHUNKED_VERSION: u8 = 1;
+
 impl ChunkedArchive {
-    /// Total compressed size in bytes (sum of all chunk archives).
+    /// Total compressed size in bytes (band archives + shared table).
     pub fn compressed_bytes(&self) -> usize {
-        self.chunks.iter().map(Vec::len).sum()
+        self.chunks.iter().map(Vec::len).sum::<usize>()
+            + self.shared_table.as_ref().map_or(0, Vec::len)
+    }
+
+    /// Serializes the archive (header, optional shared table, bands).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = ByteWriter::with_capacity(self.compressed_bytes() + 64);
+        out.write_bytes(&CHUNKED_MAGIC);
+        out.write_u8(CHUNKED_VERSION);
+        out.write_u8(self.shared_table.is_some() as u8);
+        out.write_varint(self.dims.len() as u64);
+        for &d in &self.dims {
+            out.write_varint(d as u64);
+        }
+        if let Some(table) = &self.shared_table {
+            out.write_len_prefixed(table);
+        }
+        out.write_varint(self.chunks.len() as u64);
+        for chunk in &self.chunks {
+            out.write_len_prefixed(chunk);
+        }
+        out.into_bytes()
+    }
+
+    /// Parses a serialized archive produced by [`Self::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        let mut reader = ByteReader::new(bytes);
+        if reader.read_bytes(4)? != CHUNKED_MAGIC {
+            return Err(SzError::Corrupt("bad chunked-archive magic".into()));
+        }
+        let version = reader.read_u8()?;
+        if version != CHUNKED_VERSION {
+            return Err(SzError::Corrupt(format!(
+                "unsupported chunked-archive version {version}"
+            )));
+        }
+        let has_shared = match reader.read_u8()? {
+            0 => false,
+            1 => true,
+            _ => return Err(SzError::Corrupt("bad shared-table flag".into())),
+        };
+        let ndim = reader.read_varint()? as usize;
+        if !(1..=16).contains(&ndim) {
+            return Err(SzError::Corrupt("implausible chunked rank".into()));
+        }
+        let mut dims = Vec::with_capacity(ndim);
+        let mut product: u128 = 1;
+        for _ in 0..ndim {
+            let d = reader.read_varint()? as usize;
+            if d == 0 {
+                return Err(SzError::Corrupt("zero-extent dimension".into()));
+            }
+            product *= d as u128;
+            // Same plausibility ceiling as the core archive header: corrupt
+            // dims must error here, not drive a wild allocation in
+            // decompress_chunked's output buffer.
+            if product > (1u128 << 40) {
+                return Err(SzError::Corrupt("element count implausibly large".into()));
+            }
+            dims.push(d);
+        }
+        let shared_table = if has_shared {
+            Some(reader.read_len_prefixed()?.to_vec())
+        } else {
+            None
+        };
+        let count = reader.read_varint()? as usize;
+        if count > reader.remaining() {
+            return Err(SzError::Corrupt("implausible band count".into()));
+        }
+        let mut chunks = Vec::with_capacity(count);
+        for _ in 0..count {
+            chunks.push(reader.read_len_prefixed()?.to_vec());
+        }
+        Ok(Self {
+            dims,
+            chunks,
+            shared_table,
+        })
+    }
+
+    /// Header-only parse of a serialized archive: full-tensor dims and a
+    /// *borrowed* first band. Metadata queries (e.g. a container `info`)
+    /// stay O(header) instead of deep-copying every band payload.
+    pub fn peek_dims_and_first_band(bytes: &[u8]) -> Result<(Vec<usize>, Option<&[u8]>)> {
+        let mut reader = ByteReader::new(bytes);
+        if reader.read_bytes(4)? != CHUNKED_MAGIC {
+            return Err(SzError::Corrupt("bad chunked-archive magic".into()));
+        }
+        let version = reader.read_u8()?;
+        if version != CHUNKED_VERSION {
+            return Err(SzError::Corrupt(format!(
+                "unsupported chunked-archive version {version}"
+            )));
+        }
+        let has_shared = reader.read_u8()? == 1;
+        let ndim = reader.read_varint()? as usize;
+        if !(1..=16).contains(&ndim) {
+            return Err(SzError::Corrupt("implausible chunked rank".into()));
+        }
+        let mut dims = Vec::with_capacity(ndim);
+        for _ in 0..ndim {
+            dims.push(reader.read_varint()? as usize);
+        }
+        if has_shared {
+            reader.read_len_prefixed()?;
+        }
+        let count = reader.read_varint()? as usize;
+        let first = if count > 0 {
+            Some(reader.read_len_prefixed()?)
+        } else {
+            None
+        };
+        Ok((dims, first))
     }
 }
 
@@ -113,7 +241,11 @@ pub fn compress_chunked<T: ScalarFloat + Send + Sync>(
             None => unreachable!("every band is claimed exactly once"),
         }
     }
-    Ok(ChunkedArchive { dims, chunks })
+    Ok(ChunkedArchive {
+        dims,
+        chunks,
+        shared_table: None,
+    })
 }
 
 /// Compresses `data` as independent band archives, letting the planner pick
@@ -191,7 +323,159 @@ pub fn compress_chunked_planned<T: ScalarFloat + Real + Send + Sync>(
             None => unreachable!("every band is claimed exactly once"),
         }
     }
-    Ok((ChunkedArchive { dims, chunks }, configs))
+    Ok((
+        ChunkedArchive {
+            dims,
+            chunks,
+            shared_table: None,
+        },
+        configs,
+    ))
+}
+
+/// Compresses `data` as band archives that share **one Huffman table**,
+/// built from the merged per-band code histograms.
+///
+/// Per-band tables are the dominant fixed cost of fine-grained chunking
+/// (each band serializes its own RLE length table and pays its own code
+/// build); bands of one field usually quantize to near-identical code
+/// distributions, so one merged table costs a fraction of the per-band sum
+/// at nearly the same code lengths. A band whose own table + payload would
+/// be strictly smaller than its shared-table payload — a genuinely
+/// divergent distribution, e.g. one turbulent slab in a smooth field —
+/// falls back to a self-contained version-1 archive; the comparison is
+/// exact (integer bit counts), so the result is deterministic.
+///
+/// The output interoperates with [`decompress_chunked`], which rebuilds the
+/// codec from [`ChunkedArchive::shared_table`] once and feeds it to every
+/// version-2 band.
+pub fn compress_chunked_shared<T: ScalarFloat + Send + Sync>(
+    data: &Tensor<T>,
+    config: &Config,
+    num_chunks: usize,
+    threads: usize,
+) -> Result<ChunkedArchive> {
+    config.validate()?;
+    let dims = data.dims().to_vec();
+    let ranges = band_ranges(dims[0], num_chunks.max(1));
+    let row_elems: usize = dims[1..].iter().product::<usize>().max(1);
+    let values = data.as_slice();
+    let threads = threads.clamp(1, ranges.len().max(1));
+
+    // Phase A (parallel): predict→quantize each band, holding the code
+    // streams in memory (4 bytes/point, transient).
+    let next = AtomicUsize::new(0);
+    let quantized: Vec<Mutex<Option<Result<QuantizedBand>>>> =
+        (0..ranges.len()).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| {
+                let mut kernel: Option<ScanKernel> = None;
+                loop {
+                    let band = next.fetch_add(1, Ordering::Relaxed);
+                    if band >= ranges.len() {
+                        return;
+                    }
+                    let (r0, r1) = ranges[band];
+                    let mut band_dims = dims.clone();
+                    band_dims[0] = r1 - r0;
+                    let shape = Shape::new(&band_dims);
+                    let kernel =
+                        kernel.get_or_insert_with(|| ScanKernel::for_shape(config.layers, &shape));
+                    let slice = &values[r0 * row_elems..r1 * row_elems];
+                    let result = quantize_slice_with_kernel(slice, &shape, config, kernel);
+                    *quantized[band].lock().unwrap() = Some(result);
+                }
+            });
+        }
+    });
+    let mut bands = Vec::with_capacity(ranges.len());
+    for cell in quantized {
+        match cell.into_inner().unwrap() {
+            Some(Ok(band)) => bands.push(band),
+            Some(Err(e)) => return Err(e),
+            None => unreachable!("every band is claimed exactly once"),
+        }
+    }
+
+    // Phase B (serial): merge histograms, build the shared codec, and
+    // decide per band whether sharing actually wins.
+    let max_code = bands
+        .iter()
+        .flat_map(|b| b.codes().iter())
+        .max()
+        .map_or(0, |&m| m as usize + 1);
+    let mut merged = vec![0u64; max_code.max(1)];
+    let mut band_freqs: Vec<Vec<u64>> = Vec::with_capacity(bands.len());
+    for band in &bands {
+        let mut freqs = vec![0u64; max_code.max(1)];
+        for &c in band.codes() {
+            freqs[c as usize] += 1;
+        }
+        for (m, f) in merged.iter_mut().zip(&freqs) {
+            *m += f;
+        }
+        band_freqs.push(freqs);
+    }
+    let shared = HuffmanCodec::from_frequencies(&merged);
+    let shared_table_bits = 8 * szr_huffman::serialize_codec(&shared).len() as u64;
+    let mut saved_bits = 0u64;
+    let use_shared: Vec<bool> = band_freqs
+        .iter()
+        .map(|freqs| {
+            let shared_bits = shared.payload_bits(freqs);
+            let own = HuffmanCodec::from_frequencies(freqs);
+            let own_total =
+                own.payload_bits(freqs) + 8 * szr_huffman::serialize_codec(&own).len() as u64;
+            // Exact comparison: shared loses only when the band's own table
+            // *plus* its shorter payload still undercuts the shared payload.
+            if shared_bits <= own_total {
+                saved_bits += own_total - shared_bits;
+                true
+            } else {
+                false
+            }
+        })
+        .collect();
+    // Sharing must win *net of storing the table once*: otherwise a set of
+    // marginal bands could pay for a table nobody amortizes and the archive
+    // would come out larger than plain per-band chunking.
+    let any_shared = bands.len() > 1 && saved_bits >= shared_table_bits;
+
+    // Phase C (parallel): entropy-code each band under its chosen table.
+    let next = AtomicUsize::new(0);
+    let encoded: Vec<Mutex<Option<Vec<u8>>>> = (0..bands.len()).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let band = next.fetch_add(1, Ordering::Relaxed);
+                if band >= bands.len() {
+                    return;
+                }
+                let table = if any_shared && use_shared[band] {
+                    HuffmanTable::Shared(&shared)
+                } else {
+                    HuffmanTable::PerBand
+                };
+                let (bytes, _) = encode_quantized(&bands[band], table);
+                *encoded[band].lock().unwrap() = Some(bytes);
+            });
+        }
+    });
+    let chunks: Vec<Vec<u8>> = encoded
+        .into_iter()
+        .map(|cell| {
+            cell.into_inner()
+                .unwrap()
+                .expect("every band is claimed exactly once")
+        })
+        .collect();
+
+    Ok(ChunkedArchive {
+        dims,
+        chunks,
+        shared_table: any_shared.then(|| szr_huffman::serialize_codec(&shared)),
+    })
 }
 
 /// Decompresses a [`ChunkedArchive`] back into one tensor using up to
@@ -204,6 +488,15 @@ pub fn decompress_chunked<T: ScalarFloat + Send + Sync>(
     let row_elems: usize = archive.dims[1..].iter().product::<usize>().max(1);
     let mut out: Vec<T> = vec![T::from_f64(0.0); shape.len()];
     let threads = threads.clamp(1, archive.chunks.len().max(1));
+
+    // The shared codec (if any) is rebuilt once and lent to every worker;
+    // version-1 bands ignore it.
+    let shared = archive
+        .shared_table
+        .as_deref()
+        .map(szr_huffman::deserialize_codec)
+        .transpose()
+        .map_err(|e| SzError::Corrupt(format!("shared huffman table: {e}")))?;
 
     // Decode bands in parallel, then stitch; band extents are re-derived
     // from each chunk's own header so a corrupt archive fails loudly.
@@ -223,7 +516,8 @@ pub fn decompress_chunked<T: ScalarFloat + Send + Sync>(
                     if band >= archive.chunks.len() {
                         return;
                     }
-                    let result = decompress_band(&archive.chunks[band], &mut kernels);
+                    let result =
+                        decompress_band(&archive.chunks[band], shared.as_ref(), &mut kernels);
                     *decoded[band].lock().unwrap() = Some(result);
                 }
             });
@@ -255,9 +549,11 @@ pub fn decompress_chunked<T: ScalarFloat + Send + Sync>(
 }
 
 /// Decodes one band archive through a worker's kernel cache, creating a
-/// kernel for any (layer count, stride family) not yet seen.
+/// kernel for any (layer count, stride family) not yet seen. Version-2
+/// bands decode through `shared`; a missing table fails loudly.
 fn decompress_band<T: ScalarFloat>(
     archive: &[u8],
+    shared: Option<&HuffmanCodec>,
     kernels: &mut Vec<ScanKernel>,
 ) -> Result<Tensor<T>> {
     let info = inspect(archive)?;
@@ -272,7 +568,14 @@ fn decompress_band<T: ScalarFloat>(
             kernels.len() - 1
         }
     };
-    decompress_with_kernel(archive, &mut kernels[idx])
+    if info.shared_stream {
+        let codec = shared.ok_or_else(|| {
+            SzError::Corrupt("band needs a shared huffman table the archive does not carry".into())
+        })?;
+        decompress_shared_with_kernel(archive, codec, &mut kernels[idx])
+    } else {
+        decompress_with_kernel(archive, &mut kernels[idx])
+    }
 }
 
 #[cfg(test)]
@@ -418,11 +721,136 @@ mod tests {
         let archive = ChunkedArchive {
             dims: vec![97, 64],
             chunks,
+            shared_table: None,
         };
         let out: Tensor<f32> = decompress_chunked(&archive, 2).unwrap();
         for (&a, &b) in data.as_slice().iter().zip(out.as_slice()) {
             assert!((a as f64 - b as f64).abs() <= 1e-3);
         }
+    }
+
+    #[test]
+    fn shared_table_roundtrip_and_size_win() {
+        // Many fine bands: per-band tables dominate the plain chunked
+        // overhead, so the shared table must shrink the archive.
+        let data = Tensor::from_fn([256, 96], |ix| {
+            ((ix[0] as f32) * 0.04).sin() * 6.0 + ((ix[1] as f32) * 0.09).cos() * 2.0
+        });
+        let config = Config::new(ErrorBound::Absolute(1e-4));
+        let per_band = compress_chunked(&data, &config, 32, 4).unwrap();
+        let shared = compress_chunked_shared(&data, &config, 32, 4).unwrap();
+        assert!(
+            shared.shared_table.is_some(),
+            "homogeneous bands must share"
+        );
+        assert!(
+            shared.compressed_bytes() < per_band.compressed_bytes(),
+            "shared {} vs per-band {}",
+            shared.compressed_bytes(),
+            per_band.compressed_bytes()
+        );
+        let out: Tensor<f32> = decompress_chunked(&shared, 4).unwrap();
+        assert_eq!(out.dims(), data.dims());
+        for (&a, &b) in data.as_slice().iter().zip(out.as_slice()) {
+            assert!((a as f64 - b as f64).abs() <= 1e-4);
+        }
+    }
+
+    #[test]
+    fn shared_table_compression_is_deterministic() {
+        let data = field();
+        let config = Config::new(ErrorBound::Absolute(1e-4));
+        let a = compress_chunked_shared(&data, &config, 8, 1).unwrap();
+        let b = compress_chunked_shared(&data, &config, 8, 4).unwrap();
+        assert_eq!(a.chunks, b.chunks);
+        assert_eq!(a.shared_table, b.shared_table);
+    }
+
+    #[test]
+    fn divergent_band_falls_back_to_its_own_table() {
+        // Bottom slab is hash noise over a huge alphabet; merging it into
+        // the smooth bands' table would bloat everyone, so at least the
+        // outlier keeps a per-band (version-1) archive.
+        let data = Tensor::from_fn([96, 64], |ix| {
+            if ix[0] < 72 {
+                ((ix[0] * 64 + ix[1]) as f32 * 1e-4).sin()
+            } else {
+                let h = (ix[0] as u64 * 64 + ix[1] as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                ((h >> 40) % 65_536) as f32
+            }
+        });
+        let config = Config::new(ErrorBound::Absolute(1e-5));
+        let archive = compress_chunked_shared(&data, &config, 4, 2).unwrap();
+        let kinds: Vec<bool> = archive
+            .chunks
+            .iter()
+            .map(|c| inspect(c).unwrap().shared_stream)
+            .collect();
+        assert!(
+            kinds.iter().any(|&k| !k),
+            "the noisy band should keep its own table: {kinds:?}"
+        );
+        let out: Tensor<f32> = decompress_chunked(&archive, 2).unwrap();
+        for (&a, &b) in data.as_slice().iter().zip(out.as_slice()) {
+            assert!((a as f64 - b as f64).abs() <= 1e-5);
+        }
+    }
+
+    #[test]
+    fn serialized_chunked_archive_roundtrips() {
+        let data = field();
+        let config = Config::new(ErrorBound::Absolute(1e-3));
+        for archive in [
+            compress_chunked(&data, &config, 4, 2).unwrap(),
+            compress_chunked_shared(&data, &config, 6, 2).unwrap(),
+        ] {
+            let bytes = archive.to_bytes();
+            let back = ChunkedArchive::from_bytes(&bytes).unwrap();
+            assert_eq!(back.dims, archive.dims);
+            assert_eq!(back.chunks, archive.chunks);
+            assert_eq!(back.shared_table, archive.shared_table);
+            let out: Tensor<f32> = decompress_chunked(&back, 2).unwrap();
+            for (&a, &b) in data.as_slice().iter().zip(out.as_slice()) {
+                assert!((a as f64 - b as f64).abs() <= 1e-3);
+            }
+        }
+        // Truncations and a bad magic must error, not panic.
+        let bytes = compress_chunked_shared(&data, &config, 6, 2)
+            .unwrap()
+            .to_bytes();
+        for cut in [0usize, 3, 9, bytes.len() / 2, bytes.len() - 1] {
+            assert!(ChunkedArchive::from_bytes(&bytes[..cut]).is_err());
+        }
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(ChunkedArchive::from_bytes(&bad).is_err());
+    }
+
+    #[test]
+    fn implausible_serialized_dims_are_rejected_before_allocation() {
+        // Regression: a crafted header with astronomical dims must error in
+        // from_bytes, not drive decompress_chunked into a wild allocation.
+        let mut bytes = vec![b'S', b'Z', b'C', b'K', 1, 0];
+        bytes.push(1); // ndim = 1
+                       // dim = 2^60 as LEB128.
+        let mut d = 1u64 << 60;
+        while d >= 0x80 {
+            bytes.push((d & 0x7F) as u8 | 0x80);
+            d >>= 7;
+        }
+        bytes.push(d as u8);
+        bytes.push(0); // zero bands
+        assert!(ChunkedArchive::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn stripped_shared_table_fails_loudly() {
+        let data = field();
+        let config = Config::new(ErrorBound::Absolute(1e-3));
+        let mut archive = compress_chunked_shared(&data, &config, 8, 2).unwrap();
+        assert!(archive.shared_table.is_some());
+        archive.shared_table = None;
+        assert!(decompress_chunked::<f32>(&archive, 2).is_err());
     }
 
     #[test]

@@ -23,6 +23,9 @@ mod chunked;
 mod io_model;
 mod scaling;
 
-pub use chunked::{compress_chunked, compress_chunked_planned, decompress_chunked, ChunkedArchive};
+pub use chunked::{
+    compress_chunked, compress_chunked_planned, compress_chunked_shared, decompress_chunked,
+    ChunkedArchive,
+};
 pub use io_model::{io_breakdown, IoBreakdown, IoModel};
 pub use scaling::{measure_scaling, model_cluster_scaling, ClusterModel, Direction, ScalingPoint};

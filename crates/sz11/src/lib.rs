@@ -121,8 +121,8 @@ pub fn sz11_compress<T: ScalarFloat>(data: &Tensor<T>, eb_abs: f64) -> Vec<u8> {
 
     // SZ-1.1 pipes its byte output through a lossless pass.
     let mut payload = ByteWriter::new();
-    payload.write_len_prefixed(codes.as_bytes());
-    payload.write_len_prefixed(unpred_bits.as_bytes());
+    payload.write_len_prefixed(&codes.into_bytes());
+    payload.write_len_prefixed(&unpred_bits.into_bytes());
     let deflated = szr_deflate::deflate_compress(payload.as_bytes());
 
     let mut out = ByteWriter::with_capacity(deflated.len() + 32);

@@ -2,7 +2,9 @@
 
 use szr::datagen::{dataset, hurricane, DatasetKind, Scale};
 use szr::metrics::{max_abs_error, value_range};
-use szr::parallel::{compress_chunked, decompress_chunked};
+use szr::parallel::{
+    compress_chunked, compress_chunked_shared, decompress_chunked, ChunkedArchive,
+};
 use szr::{compress, decompress, Config, ErrorBound, Tensor};
 
 #[test]
@@ -35,6 +37,47 @@ fn chunked_archives_are_thread_count_invariant() {
     let ra: Tensor<f32> = decompress_chunked(&a, 1).unwrap();
     let rb: Tensor<f32> = decompress_chunked(&b, 2).unwrap();
     assert_eq!(ra.as_slice(), rb.as_slice());
+}
+
+#[test]
+fn shared_table_chunked_roundtrip_on_real_datasets() {
+    // The shared-Huffman-table banded layout must honor the bound, shrink
+    // the per-band-table overhead, survive serialization, and stay
+    // scheduling-invariant on every paper dataset family.
+    for kind in [DatasetKind::Atm, DatasetKind::Aps, DatasetKind::Hurricane] {
+        let field = dataset(kind, Scale::Small, 11).remove(0);
+        let data = field.data;
+        let eb = 1e-4 * value_range(data.as_slice());
+        // Pin the interval bits: adaptive mode may size intervals per band,
+        // and bands quantized onto different alphabets legitimately decline
+        // the shared table (the per-band fallback). With one alphabet, the
+        // bands of a single field must share.
+        let config = Config::new(ErrorBound::Absolute(eb)).with_interval_bits(10);
+
+        let per_band = compress_chunked(&data, &config, 16, 2).unwrap();
+        let shared = compress_chunked_shared(&data, &config, 16, 2).unwrap();
+        assert!(
+            shared.shared_table.is_some(),
+            "{kind:?}: bands of one field should share a table"
+        );
+        assert!(
+            shared.compressed_bytes() <= per_band.compressed_bytes(),
+            "{kind:?}: shared {} vs per-band {}",
+            shared.compressed_bytes(),
+            per_band.compressed_bytes()
+        );
+
+        let direct: Tensor<f32> = decompress_chunked(&shared, 2).unwrap();
+        assert!(max_abs_error(data.as_slice(), direct.as_slice()) <= eb);
+
+        let reread = ChunkedArchive::from_bytes(&shared.to_bytes()).unwrap();
+        let out: Tensor<f32> = decompress_chunked(&reread, 4).unwrap();
+        assert_eq!(direct.as_slice(), out.as_slice());
+
+        let single = compress_chunked_shared(&data, &config, 16, 1).unwrap();
+        assert_eq!(single.chunks, shared.chunks, "{kind:?}: scheduling leak");
+        assert_eq!(single.shared_table, shared.shared_table);
+    }
 }
 
 #[test]
