@@ -1,0 +1,119 @@
+//! Scan-engine throughput recorder: measures the row-at-a-time
+//! predict→quantize path against the retained point-visitor oracle and the
+//! end-to-end codec on the datagen fields, writing `BENCH_scan.json` — the
+//! perf-trajectory point for the row-engine refactor (the entropy sibling
+//! is `bench_entropy` / `BENCH_entropy.json`).
+//!
+//! ```text
+//! cargo run --release -p szr-bench --bin bench_scan [-- --out DIR]
+//! ```
+//!
+//! The JSON holds MB/s for quantization (row vs oracle, 2-D and 3-D) with
+//! the row-over-oracle speedup, plus `sz14` compress/decompress MB/s on the
+//! three paper dataset families at `eb_rel = 1e-4` — comparable across runs
+//! without parsing bench logs.
+
+use std::time::Instant;
+use szr_bench::codecs::absolute_bound;
+use szr_core::{
+    compress, decompress, quantize_slice_with_kernel, quantize_slice_with_kernel_oracle, Config,
+    ErrorBound, ScanKernel,
+};
+use szr_datagen::{dataset, DatasetKind, Scale};
+use szr_tensor::{Shape, Tensor};
+
+/// Median-of-`reps` wall-clock seconds for one invocation of `f`.
+fn time_median<F: FnMut() -> u64>(reps: usize, mut f: F) -> f64 {
+    let mut samples = Vec::with_capacity(reps);
+    let mut sink = 0u64;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        sink ^= f();
+        samples.push(t0.elapsed().as_secs_f64());
+    }
+    std::hint::black_box(sink);
+    samples.sort_by(f64::total_cmp);
+    samples[reps / 2]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_dir = ".".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                out_dir = args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("usage: bench_scan [--out DIR]");
+                    std::process::exit(2);
+                });
+            }
+            _ => {
+                eprintln!("usage: bench_scan [--out DIR]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let reps = 7;
+    let mut fields = Vec::new();
+
+    // Row-vs-oracle quantization on interior-dominated synthetic grids.
+    for (name, dims) in [("2d", vec![512usize, 512]), ("3d", vec![64, 64, 64])] {
+        let shape = Shape::new(&dims);
+        let data = Tensor::from_fn(&dims[..], |ix| {
+            let s: usize = ix.iter().sum();
+            (s as f32 * 0.013).sin() * 40.0
+        });
+        let values = data.as_slice();
+        let mb = (values.len() * 4) as f64 / 1e6;
+        let config = Config::new(ErrorBound::Relative(1e-4));
+        let mut kernel = ScanKernel::for_shape(config.layers, &shape);
+        let t_rows = time_median(reps, || {
+            quantize_slice_with_kernel(values, &shape, &config, &mut kernel)
+                .unwrap()
+                .len() as u64
+        });
+        let t_oracle = time_median(reps, || {
+            quantize_slice_with_kernel_oracle(values, &shape, &config, &mut kernel)
+                .unwrap()
+                .len() as u64
+        });
+        fields.push((format!("quantize_rows_{name}_mb_s"), mb / t_rows));
+        fields.push((format!("quantize_oracle_{name}_mb_s"), mb / t_oracle));
+        fields.push((format!("quantize_row_speedup_{name}"), t_oracle / t_rows));
+    }
+
+    // End-to-end codec throughput on the paper dataset families (the
+    // `codec_throughput/sz14_*` acceptance numbers, wall-clock form).
+    for kind in [DatasetKind::Atm, DatasetKind::Aps, DatasetKind::Hurricane] {
+        let field = dataset(kind, Scale::Small, 7).remove(0);
+        let data = field.data;
+        let mb = (data.len() * 4) as f64 / 1e6;
+        let eb = absolute_bound(&data, 1e-4);
+        let config = Config::new(ErrorBound::Absolute(eb));
+        let t_comp = time_median(reps, || compress(&data, &config).unwrap().len() as u64);
+        let packed = compress(&data, &config).unwrap();
+        let t_dec = time_median(reps, || decompress::<f32>(&packed).unwrap().len() as u64);
+        let name = kind.name().to_lowercase();
+        fields.push((format!("sz14_compress_{name}_mb_s"), mb / t_comp));
+        fields.push((format!("sz14_decompress_{name}_mb_s"), mb / t_dec));
+    }
+
+    let mut json = String::from("{\n");
+    for (i, (k, v)) in fields.iter().enumerate() {
+        let comma = if i + 1 < fields.len() { "," } else { "" };
+        json.push_str(&format!("  \"{k}\": {v:.2}{comma}\n"));
+    }
+    json.push_str("}\n");
+
+    let path = std::path::Path::new(&out_dir).join("BENCH_scan.json");
+    if let Some(parent) = path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    std::fs::write(&path, &json).expect("write BENCH_scan.json");
+    print!("{json}");
+    eprintln!("wrote {}", path.display());
+}

@@ -13,6 +13,15 @@ use szr_tensor::Tensor;
 /// Archive magic bytes ("SZR1").
 pub(crate) const MAGIC: [u8; 4] = *b"SZR1";
 /// Current archive format version (self-contained: embedded Huffman table).
+///
+/// The wire layout is stable, but reconstruction replays the compressor's
+/// floating-point prediction order, which is a property of the build, not
+/// the format: PR 4 canonicalized Eq. 11 term accumulation (finished-row
+/// terms first), perturbing predictions by ulps relative to earlier
+/// builds. Decode archives with the build that wrote them when bit-exact
+/// reproduction matters; the error bound itself is validated against the
+/// writer's reconstruction, so a cross-build decode can drift past `eb` by
+/// the accumulated rounding difference in pathological cases.
 pub(crate) const VERSION: u8 = 1;
 /// Version tag for band archives whose Huffman table lives *outside* the
 /// archive — the chunked driver shares one table across bands. Such an
@@ -180,6 +189,10 @@ impl QuantizedBand {
 /// of [`compress_slice_with_kernel`], exposed for drivers that entropy-code
 /// several bands together.
 ///
+/// Runs the row-granular fast path ([`ScanKernel::scan_rows`] +
+/// [`Quantizer::quantize_row`]) except in decorrelation mode, which carries
+/// per-index dither state and stays on the point visitor.
+///
 /// # Errors
 /// Same conditions as [`compress_slice_with_kernel`].
 pub fn quantize_slice_with_kernel<T: ScalarFloat>(
@@ -192,11 +205,110 @@ pub fn quantize_slice_with_kernel<T: ScalarFloat>(
     quantize_validated(values, shape, config, kernel)
 }
 
+/// [`quantize_slice_with_kernel`] forced onto the per-point visitor — the
+/// slow-path oracle the row engine is property-tested against. Produces a
+/// band whose encoded archive is byte-identical to the row path's.
+///
+/// # Errors
+/// Same conditions as [`compress_slice_with_kernel`].
+pub fn quantize_slice_with_kernel_oracle<T: ScalarFloat>(
+    values: &[T],
+    shape: &szr_tensor::Shape,
+    config: &Config,
+    kernel: &mut ScanKernel,
+) -> Result<QuantizedBand> {
+    config.validate()?;
+    quantize_validated_impl(values, shape, config, kernel, true)
+}
+
 fn quantize_validated<T: ScalarFloat>(
     values: &[T],
     shape: &szr_tensor::Shape,
     config: &Config,
     kernel: &mut ScanKernel,
+) -> Result<QuantizedBand> {
+    quantize_validated_impl(values, shape, config, kernel, false)
+}
+
+/// The row-path quantization visitor: interior rows run through
+/// [`Quantizer::quantize_row`] with escape bits serialized from the
+/// collected miss list after each row; border points replicate the point
+/// oracle inline.
+struct RowQuantizer<'a, T: ScalarFloat> {
+    values: &'a [T],
+    quantizer: Quantizer,
+    unpred: UnpredictableCodec,
+    eb: f64,
+    codes: Vec<u32>,
+    bits: BitWriter,
+    predictable: usize,
+    misses: Vec<u32>,
+}
+
+impl<T: ScalarFloat> crate::kernel::RowVisitor<T> for RowQuantizer<'_, T> {
+    type Error = std::convert::Infallible;
+
+    fn point(&mut self, flat: usize, pred: f64) -> std::result::Result<T, Self::Error> {
+        let value = self.values[flat];
+        let v64 = value.to_f64();
+        let quantized = self.quantizer.quantize(v64, pred).and_then(|(code, r64)| {
+            let r = T::from_f64(r64);
+            if (v64 - r.to_f64()).abs() <= self.eb {
+                Some((code, r))
+            } else {
+                None
+            }
+        });
+        Ok(match quantized {
+            Some((code, r)) => {
+                self.codes.push(code);
+                self.predictable += 1;
+                r
+            }
+            None => {
+                self.codes.push(0);
+                self.unpred.encode(value, &mut self.bits)
+            }
+        })
+    }
+
+    fn row(
+        &mut self,
+        flat: usize,
+        partials: &[f64],
+        carry: crate::kernel::Carry,
+        row: &mut [T],
+        prev: [T; 2],
+    ) -> std::result::Result<(), Self::Error> {
+        self.predictable += self.quantizer.quantize_row(
+            &self.values[flat..flat + row.len()],
+            partials,
+            carry,
+            prev,
+            self.eb,
+            &self.unpred,
+            &mut self.codes,
+            row,
+            &mut self.misses,
+        );
+        // Escape bits for this row's misses, in scan order (border points of
+        // the same row were already serialized by `point` above, and the
+        // next row's come after).
+        for &i in &self.misses {
+            self.unpred
+                .encode(self.values[flat + i as usize], &mut self.bits);
+        }
+        self.misses.clear();
+        Ok(())
+    }
+}
+
+fn quantize_validated_impl<T: ScalarFloat>(
+    values: &[T],
+    shape: &szr_tensor::Shape,
+    config: &Config,
+    kernel: &mut ScanKernel,
+    force_point_oracle: bool,
 ) -> Result<QuantizedBand> {
     if values.len() != shape.len() {
         return Err(crate::SzError::InvalidConfig(
@@ -241,46 +353,69 @@ fn quantize_validated<T: ScalarFloat>(
     let quantizer = Quantizer::new(eb_q, bits);
     let unpred = UnpredictableCodec::new(eb);
 
-    // Scan stage: the kernel owns the predict->visit traversal; the closure
+    // Scan stage: the kernel owns the predict->visit traversal; the visitor
     // quantizes and records. Reconstructed values are stored back into the
     // scan buffer, feeding later predictions so the decompressor sees
-    // identical state.
+    // identical state. Decorrelation mode threads per-index dither through
+    // the point visitor; everything else batches row at a time.
     let mut recon: Vec<T> = vec![T::from_f64(0.0); values.len()];
-    let mut codes: Vec<u32> = Vec::with_capacity(values.len());
-    let mut unpred_bits = BitWriter::new();
-    let mut predictable = 0usize;
-
-    kernel.scan(shape, &mut recon, |flat, pred| {
-        let value = values[flat];
-        let v64 = value.to_f64();
-        // A quantization hit must survive narrowing to T: the stored
-        // reconstruction is what the decompressor reproduces, so the bound
-        // is checked on the narrowed value.
-        let quantized = quantizer.quantize(v64, pred).and_then(|(code, r64)| {
-            let r64 = if config.decorrelate {
-                r64 + crate::quant::dither_unit(flat) * eb
-            } else {
-                r64
-            };
-            let r = T::from_f64(r64);
-            if (v64 - r.to_f64()).abs() <= eb {
-                Some((code, r))
-            } else {
-                None
+    let (codes, unpred_bytes, predictable) = if config.decorrelate || force_point_oracle {
+        let mut codes: Vec<u32> = Vec::with_capacity(values.len());
+        let mut unpred_bits = BitWriter::new();
+        let mut predictable = 0usize;
+        kernel.scan(shape, &mut recon, |flat, pred| {
+            let value = values[flat];
+            let v64 = value.to_f64();
+            // A quantization hit must survive narrowing to T: the stored
+            // reconstruction is what the decompressor reproduces, so the
+            // bound is checked on the narrowed value.
+            let quantized = quantizer.quantize(v64, pred).and_then(|(code, r64)| {
+                let r64 = if config.decorrelate {
+                    r64 + crate::quant::dither_unit(flat) * eb
+                } else {
+                    r64
+                };
+                let r = T::from_f64(r64);
+                if (v64 - r.to_f64()).abs() <= eb {
+                    Some((code, r))
+                } else {
+                    None
+                }
+            });
+            match quantized {
+                Some((code, r)) => {
+                    codes.push(code);
+                    predictable += 1;
+                    r
+                }
+                None => {
+                    codes.push(0);
+                    unpred.encode(value, &mut unpred_bits)
+                }
             }
         });
-        match quantized {
-            Some((code, r)) => {
-                codes.push(code);
-                predictable += 1;
-                r
-            }
-            None => {
-                codes.push(0);
-                unpred.encode(value, &mut unpred_bits)
-            }
+        (codes, unpred_bits.into_bytes(), predictable)
+    } else {
+        let mut visitor = RowQuantizer {
+            values,
+            quantizer,
+            unpred,
+            eb,
+            codes: Vec::with_capacity(values.len()),
+            bits: BitWriter::new(),
+            predictable: 0,
+            misses: Vec::new(),
+        };
+        match kernel.scan_rows(shape, &mut recon, &mut visitor) {
+            Ok(()) => {}
+            Err(e) => match e {},
         }
-    });
+        (
+            visitor.codes,
+            visitor.bits.into_bytes(),
+            visitor.predictable,
+        )
+    };
 
     Ok(QuantizedBand {
         type_tag: T::TYPE_TAG,
@@ -293,7 +428,7 @@ fn quantize_validated<T: ScalarFloat>(
         range,
         predictable,
         codes,
-        unpred: unpred_bits.into_bytes(),
+        unpred: unpred_bytes,
     })
 }
 

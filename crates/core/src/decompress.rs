@@ -259,41 +259,100 @@ fn decompress_parsed<T: ScalarFloat>(
     let mut unpred_bits = BitReader::new(unpred_block);
     let mut recon: Vec<T> = vec![T::from_f64(0.0); total];
 
-    // Replay the compressor's scan through the same kernel. The visitor
-    // cannot early-return, so an out-of-alphabet code or a malformed
-    // unpredictable section parks its error and the remaining points decode
-    // as zero before the error surfaces (corrupt archives only; valid
-    // archives never hit this).
-    let mut decode_err: Option<SzError> = None;
-    kernel.scan(&header.shape, &mut recon, |flat, pred| {
-        if decode_err.is_some() {
-            return T::from_f64(0.0);
-        }
-        let code = codes[flat];
-        if code >= alphabet {
-            decode_err = Some(SzError::Corrupt(format!("code {code} outside alphabet")));
-            T::from_f64(0.0)
-        } else if code == 0 {
-            match unpred.decode(&mut unpred_bits) {
-                Ok(v) => v,
-                Err(e) => {
-                    decode_err = Some(e.into());
-                    T::from_f64(0.0)
+    if header.decorrelate {
+        // Decorrelation mode threads per-index dither through the point
+        // visitor, which cannot early-return: an out-of-alphabet code or a
+        // malformed unpredictable section parks its error and the remaining
+        // points decode as zero before the error surfaces (corrupt archives
+        // only; valid archives never hit this).
+        let mut decode_err: Option<SzError> = None;
+        kernel.scan(&header.shape, &mut recon, |flat, pred| {
+            if decode_err.is_some() {
+                return T::from_f64(0.0);
+            }
+            let code = codes[flat];
+            if code >= alphabet {
+                decode_err = Some(SzError::Corrupt(format!("code {code} outside alphabet")));
+                T::from_f64(0.0)
+            } else if code == 0 {
+                match unpred.decode(&mut unpred_bits) {
+                    Ok(v) => v,
+                    Err(e) => {
+                        decode_err = Some(e.into());
+                        T::from_f64(0.0)
+                    }
                 }
-            }
-        } else {
-            let mut r64 = quantizer.reconstruct(code, pred);
-            if header.decorrelate {
+            } else {
+                let mut r64 = quantizer.reconstruct(code, pred);
                 r64 += crate::quant::dither_unit(flat) * header.eb;
+                T::from_f64(r64)
             }
-            T::from_f64(r64)
+        });
+        if let Some(e) = decode_err {
+            return Err(e);
         }
-    });
-    if let Some(e) = decode_err {
-        return Err(e);
+    } else {
+        // The hot path: row-granular reconstruction through the fallible
+        // row scan, which aborts at the first corrupt symbol instead of
+        // decoding the full grid.
+        let mut visitor = RowDecoder {
+            codes: &codes,
+            alphabet,
+            quantizer,
+            unpred,
+            bits: unpred_bits,
+        };
+        kernel.scan_rows(&header.shape, &mut recon, &mut visitor)?;
     }
 
     Ok(Tensor::from_vec(header.shape, recon))
+}
+
+/// Row-path decode visitor: interior rows reconstruct in a tight
+/// carry-folding loop; the first bad symbol aborts the whole scan.
+struct RowDecoder<'a> {
+    codes: &'a [u32],
+    alphabet: u32,
+    quantizer: Quantizer,
+    unpred: UnpredictableCodec,
+    bits: BitReader<'a>,
+}
+
+impl<T: ScalarFloat> crate::kernel::RowVisitor<T> for RowDecoder<'_> {
+    type Error = SzError;
+
+    fn point(&mut self, flat: usize, pred: f64) -> std::result::Result<T, SzError> {
+        let code = self.codes[flat];
+        if code >= self.alphabet {
+            return Err(SzError::Corrupt(format!("code {code} outside alphabet")));
+        }
+        if code == 0 {
+            Ok(self.unpred.decode(&mut self.bits)?)
+        } else {
+            Ok(T::from_f64(self.quantizer.reconstruct(code, pred)))
+        }
+    }
+
+    fn row(
+        &mut self,
+        flat: usize,
+        partials: &[f64],
+        carry: crate::kernel::Carry,
+        row: &mut [T],
+        prev: [T; 2],
+    ) -> std::result::Result<(), SzError> {
+        let codes = &self.codes[flat..flat + row.len()];
+        carry.fold(partials, prev, row, |i, pred| {
+            let code = codes[i];
+            if code == 0 {
+                Ok(self.unpred.decode::<T>(&mut self.bits)?)
+            } else if code < self.alphabet {
+                Ok(T::from_f64(self.quantizer.reconstruct(code, pred)))
+            } else {
+                Err(SzError::Corrupt(format!("code {code} outside alphabet")))
+            }
+        })
+    }
 }
 
 #[cfg(test)]

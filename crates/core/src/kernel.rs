@@ -19,15 +19,138 @@
 //! parallel worker compresses: [`ScanKernel::scan`] takes the band's
 //! [`Shape`] per call and only the stride family is baked in.
 //!
+//! ## Row-granular traversal
+//!
+//! [`ScanKernel::scan`] drives a per-point visitor — the slow-path *oracle*
+//! the property tests pin everything against. The hot paths run through
+//! [`ScanKernel::scan_rows`] instead, which exploits the structure of a
+//! row-major Eq. 11 scan: for an interior row, every stencil term except the
+//! pure last-axis (loop-carried) neighbors reads an *already-finished* row,
+//! so the bulk of the prediction is row-invariant. `scan_rows` precomputes
+//! that prefix into a reusable partial-sum scratch row with tight,
+//! autovectorizable slice loops, then hands the whole row segment to a
+//! [`RowVisitor`] that only has to fold in the [`Carry`] tail (one or two
+//! previous reconstructions) per point. [`Stencil`]'s canonical term order —
+//! finished-row terms first, in-row terms last — makes the split
+//! *bit-identical* to per-point evaluation, so row and point traversals
+//! produce byte-identical archives.
+//!
+//! The read-only sibling [`ScanKernel::readonly_rows`] goes further: with no
+//! write-back feedback, even the in-row terms are batchable, so interior
+//! rows arrive as fully materialized prediction slices.
+//!
 //! The specialized paths evaluate terms in the same order as
-//! [`predict_at`] over a built [`Stencil`] (lexicographic in the Eq. 11
-//! offset vector), so specialized and generic traversals produce identical
-//! codes and therefore byte-identical archives — pinned down by the
-//! property tests at the bottom of this file.
+//! [`predict_at`] over a built [`Stencil`], so specialized, generic, row,
+//! and point traversals all produce identical codes and therefore
+//! byte-identical archives — pinned down by the property tests at the
+//! bottom of this file.
 
 use crate::float::ScalarFloat;
 use crate::predict::{predict_at, Stencil, StencilSet};
 use szr_tensor::Shape;
+
+/// The loop-carried tail of an interior-row prediction: the pure last-axis
+/// stencil terms that read the current row's just-written reconstructions
+/// and therefore cannot be batched ahead of time.
+///
+/// The coefficients are Eq. 11's last-axis binomial row: `+1` for one layer,
+/// `+2, −1` for two. [`Carry::pred`] folds them onto a precomputed
+/// row-invariant partial in exactly the floating-point order
+/// [`predict_at`] would use, which is what keeps row-path archives
+/// byte-identical to the point-visitor oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Carry {
+    /// One-layer tail: `pred = partial + prev1`.
+    One,
+    /// Two-layer tail: `pred = (partial + 2·prev1) − prev2`.
+    Two,
+}
+
+impl Carry {
+    /// Completes a prediction from its row-invariant `partial` and the one
+    /// or two preceding reconstructions.
+    #[inline(always)]
+    pub fn pred(self, partial: f64, prev1: f64, prev2: f64) -> f64 {
+        match self {
+            Carry::One => partial + prev1,
+            Carry::Two => (partial + 2.0 * prev1) - prev2,
+        }
+    }
+
+    /// Number of loop-carried neighbors (1 or 2).
+    pub fn width(self) -> usize {
+        match self {
+            Carry::One => 1,
+            Carry::Two => 2,
+        }
+    }
+
+    /// Runs the canonical scalar tail over one row segment: for each point,
+    /// completes the prediction from `partials[i]` and the running
+    /// reconstructions, calls `f(i, pred)` for the value to store, writes it
+    /// to `row[i]`, and shifts the carry. The one place the
+    /// bit-identity-critical fold order lives — every row visitor
+    /// (quantize, decode, the stats measurers) drives its loop through
+    /// here. The first error aborts the fold.
+    #[inline]
+    pub fn fold<T, E, F>(
+        self,
+        partials: &[f64],
+        prev: [T; 2],
+        row: &mut [T],
+        mut f: F,
+    ) -> std::result::Result<(), E>
+    where
+        T: ScalarFloat,
+        F: FnMut(usize, f64) -> std::result::Result<T, E>,
+    {
+        let mut p1 = prev[0].to_f64();
+        let mut p2 = prev[1].to_f64();
+        for i in 0..row.len() {
+            let r = f(i, self.pred(partials[i], p1, p2))?;
+            row[i] = r;
+            p2 = p1;
+            p1 = r.to_f64();
+        }
+        Ok(())
+    }
+}
+
+/// A row-granular visitor driven by [`ScanKernel::scan_rows`].
+///
+/// Grid borders (where the stencil shrinks per point) arrive one point at a
+/// time through [`RowVisitor::point`]; interior row segments arrive whole
+/// through [`RowVisitor::row`] with their row-invariant partial sums already
+/// materialized. Both methods are fallible: the first error aborts the scan
+/// immediately — this is the `try_scan` early-exit path corrupt-archive
+/// decoding rides. Infallible visitors (compression) use
+/// `Error = std::convert::Infallible`, which compiles the checks away.
+pub trait RowVisitor<T: ScalarFloat> {
+    /// Error type propagated out of [`ScanKernel::scan_rows`].
+    type Error;
+
+    /// Visits one border point. `pred` is the full Eq. 11 prediction; the
+    /// returned value is stored at `flat` and feeds later predictions.
+    fn point(&mut self, flat: usize, pred: f64) -> std::result::Result<T, Self::Error>;
+
+    /// Visits one interior row segment starting at `flat`.
+    ///
+    /// `partials[i]` is the row-invariant prediction prefix for point
+    /// `flat + i`; the full prediction is `carry.pred(partials[i], p1, p2)`
+    /// where `p1`/`p2` are the reconstructions at `flat + i − 1` /
+    /// `flat + i − 2` — seeded from `prev` (`prev[0]` = value at `flat − 1`,
+    /// `prev[1]` = value at `flat − 2`, meaningful only for [`Carry::Two`])
+    /// and thereafter the visitor's own writes. The visitor must fill
+    /// `row[i]` for every `i`, in order.
+    fn row(
+        &mut self,
+        flat: usize,
+        partials: &[f64],
+        carry: Carry,
+        row: &mut [T],
+        prev: [T; 2],
+    ) -> std::result::Result<(), Self::Error>;
+}
 
 /// Which traversal implementation a [`ScanKernel`] dispatches to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,6 +181,23 @@ pub struct ScanKernel {
     /// Interior stencil terms for the 3-D two-layer fast path (26 terms:
     /// looped over a dense slice instead of hand-unrolled).
     interior_terms: Vec<(usize, f64)>,
+    /// Per-row-class plans for the row-granular traversals, indexed by the
+    /// clamped leading coordinates (empty for generic kernels).
+    row_plans: Vec<RowPlan>,
+    /// Reusable partial-sum scratch row, grown to the longest row seen.
+    /// Lives in the kernel so chunked workers, the streaming compressor, and
+    /// the planner's samplers pay the allocation once per kernel, not per
+    /// band or per call.
+    row_scratch: Vec<f64>,
+}
+
+/// The stencil of one row class (fixed clamped leading coordinates, full
+/// last-axis layers), split at the prior/in-row boundary.
+struct RowPlan {
+    /// Canonical-order terms: `[..prior_len]` read finished rows,
+    /// `[prior_len..]` are the in-row loop-carried terms.
+    terms: Vec<(usize, f64)>,
+    prior_len: usize,
 }
 
 impl ScanKernel {
@@ -104,12 +244,37 @@ impl ScanKernel {
         } else {
             Vec::new()
         };
+        // Row classes: clamped leading coordinates, full last-axis layers.
+        // At most (n+1)^(d−1) ≤ 9 tiny stencils for the specialized kinds.
+        let row_plans = if matches!(kind, KernelKind::Specialized { .. }) {
+            let lead = d - 1;
+            let classes = (layers + 1).pow(lead as u32);
+            (0..classes)
+                .map(|mut c| {
+                    let mut n_eff = vec![0usize; d];
+                    n_eff[d - 1] = layers;
+                    for axis in (0..lead).rev() {
+                        n_eff[axis] = c % (layers + 1);
+                        c /= layers + 1;
+                    }
+                    let stencil = Stencil::build(&n_eff, strides);
+                    RowPlan {
+                        prior_len: stencil.prior_terms().len(),
+                        terms: stencil.terms().to_vec(),
+                    }
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
         Self {
             layers,
             strides: strides.to_vec(),
             kind,
             stencils: StencilSet::new(layers, strides),
             interior_terms,
+            row_plans,
+            row_scratch: Vec::new(),
         }
     }
 
@@ -186,6 +351,276 @@ impl ScanKernel {
             }
             KernelKind::Specialized { ndim: 3, layers: 2 } => self.scan_3d_n2(shape, buf, visit),
             _ => self.scan_generic(shape, buf, visit),
+        }
+    }
+
+    /// Drives a [`RowVisitor`] over every point of `shape` in row-major
+    /// order — the row-granular sibling of [`ScanKernel::scan`] and the
+    /// traversal behind the compression/decompression hot paths.
+    ///
+    /// Border points (where the Eq. 11 stencil shrinks per point) are
+    /// delivered one at a time through [`RowVisitor::point`]; each interior
+    /// row segment is delivered whole through [`RowVisitor::row`] with its
+    /// row-invariant partial sums precomputed into the kernel's reusable
+    /// scratch row by tight slice loops. Generic kernels (rank > 3 or
+    /// layers > 2) fall back to per-point delivery; results are identical.
+    ///
+    /// The scan aborts at the visitor's first error — the `try_scan` path:
+    /// decompression stops scanning a corrupt archive at the first bad
+    /// symbol instead of decoding the full grid. Infallible visitors use
+    /// `Error = std::convert::Infallible`.
+    ///
+    /// # Panics
+    /// Panics if `shape` is outside this kernel's grid family or `buf` is
+    /// not exactly `shape.len()` long (see [`ScanKernel::scan`]).
+    pub fn scan_rows<T, V>(
+        &mut self,
+        shape: &Shape,
+        buf: &mut [T],
+        visitor: &mut V,
+    ) -> std::result::Result<(), V::Error>
+    where
+        T: ScalarFloat,
+        V: RowVisitor<T>,
+    {
+        assert!(
+            self.matches(shape),
+            "shape {shape} outside kernel stride family {:?}",
+            self.strides
+        );
+        assert_eq!(buf.len(), shape.len(), "buffer length does not match shape");
+        match self.kind {
+            KernelKind::Specialized { .. } => self.scan_rows_specialized(shape, buf, visitor),
+            KernelKind::Generic => {
+                let mut index = vec![0usize; shape.ndim()];
+                for flat in 0..buf.len() {
+                    let stencil = self.stencils.for_index(&index);
+                    let pred = predict_at(buf, flat, stencil);
+                    buf[flat] = visitor.point(flat, pred)?;
+                    shape.advance(&mut index);
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn scan_rows_specialized<T, V>(
+        &mut self,
+        shape: &Shape,
+        buf: &mut [T],
+        visitor: &mut V,
+    ) -> std::result::Result<(), V::Error>
+    where
+        T: ScalarFloat,
+        V: RowVisitor<T>,
+    {
+        let dims = shape.dims();
+        let d = dims.len();
+        let d_last = dims[d - 1];
+        let carry = if self.layers == 1 {
+            Carry::One
+        } else {
+            Carry::Two
+        };
+        let mut scratch = std::mem::take(&mut self.row_scratch);
+        if scratch.len() < d_last {
+            scratch.resize(d_last, 0.0);
+        }
+        let mut result = Ok(());
+        match d {
+            1 => result = self.row_pass(&[], 0, d_last, carry, &mut scratch, buf, visitor),
+            2 => {
+                let s0 = self.strides[0];
+                for i in 0..dims[0] {
+                    result = self.row_pass(&[i], i * s0, d_last, carry, &mut scratch, buf, visitor);
+                    if result.is_err() {
+                        break;
+                    }
+                }
+            }
+            _ => {
+                let (s0, s1) = (self.strides[0], self.strides[1]);
+                'rows: for i in 0..dims[0] {
+                    for j in 0..dims[1] {
+                        result = self.row_pass(
+                            &[i, j],
+                            i * s0 + j * s1,
+                            d_last,
+                            carry,
+                            &mut scratch,
+                            buf,
+                            visitor,
+                        );
+                        if result.is_err() {
+                            break 'rows;
+                        }
+                    }
+                }
+            }
+        }
+        self.row_scratch = scratch;
+        result
+    }
+
+    /// One row of the row-granular scan: border columns through the
+    /// per-point slow path, then the interior segment through the visitor
+    /// with partials precomputed from this row's class plan.
+    #[allow(clippy::too_many_arguments)]
+    fn row_pass<T, V>(
+        &mut self,
+        lead: &[usize],
+        base: usize,
+        d_last: usize,
+        carry: Carry,
+        scratch: &mut [f64],
+        buf: &mut [T],
+        visitor: &mut V,
+    ) -> std::result::Result<(), V::Error>
+    where
+        T: ScalarFloat,
+        V: RowVisitor<T>,
+    {
+        let n = self.layers;
+        let mut idx = [0usize; 3];
+        idx[..lead.len()].copy_from_slice(lead);
+        for j in 0..d_last.min(n) {
+            idx[lead.len()] = j;
+            let f = base + j;
+            let pred = self.slow_pred(&idx[..=lead.len()], buf, f);
+            buf[f] = visitor.point(f, pred)?;
+        }
+        if d_last > n {
+            let seg = base + n;
+            let len = d_last - n;
+            let plan = &self.row_plans[plan_index(self.layers, lead)];
+            fill_partials(&plan.terms[..plan.prior_len], buf, seg, &mut scratch[..len]);
+            let prev2 = if n == 2 {
+                buf[seg - 2]
+            } else {
+                T::from_f64(0.0)
+            };
+            let prev = [buf[seg - 1], prev2];
+            let (_, rest) = buf.split_at_mut(seg);
+            visitor.row(seg, &scratch[..len], carry, &mut rest[..len], prev)?;
+        }
+        Ok(())
+    }
+
+    /// Read-only row-granular traversal: like [`ScanKernel::scan_rows`] but
+    /// predicting every point from `data` in place, nothing written back.
+    ///
+    /// With no write-back feedback even the in-row terms are row-invariant,
+    /// so `on_row` receives *complete* predictions for every interior row
+    /// segment (`on_row(flat, preds)` covers points `flat..flat + preds.len()`);
+    /// border points arrive through `on_point`. This is the traversal behind
+    /// [`crate::hit_rate_by_layer`]'s `Original` basis.
+    ///
+    /// # Panics
+    /// Panics if `shape` is outside this kernel's grid family or `data` is
+    /// not exactly `shape.len()` long (see [`ScanKernel::scan`]).
+    pub fn readonly_rows<T, P, R>(
+        &mut self,
+        shape: &Shape,
+        data: &[T],
+        mut on_point: P,
+        mut on_row: R,
+    ) where
+        T: ScalarFloat,
+        P: FnMut(usize, f64),
+        R: FnMut(usize, &[f64]),
+    {
+        assert!(
+            self.matches(shape),
+            "shape {shape} outside kernel stride family {:?}",
+            self.strides
+        );
+        assert_eq!(data.len(), shape.len(), "data length does not match shape");
+        if self.kind == KernelKind::Generic {
+            return self.readonly_generic(shape, data, on_point);
+        }
+        let dims = shape.dims();
+        let d = dims.len();
+        let d_last = dims[d - 1];
+        let mut scratch = std::mem::take(&mut self.row_scratch);
+        if scratch.len() < d_last {
+            scratch.resize(d_last, 0.0);
+        }
+        match d {
+            1 => self.readonly_row_pass(
+                &[],
+                0,
+                d_last,
+                &mut scratch,
+                data,
+                &mut on_point,
+                &mut on_row,
+            ),
+            2 => {
+                let s0 = self.strides[0];
+                for i in 0..dims[0] {
+                    self.readonly_row_pass(
+                        &[i],
+                        i * s0,
+                        d_last,
+                        &mut scratch,
+                        data,
+                        &mut on_point,
+                        &mut on_row,
+                    );
+                }
+            }
+            _ => {
+                let (s0, s1) = (self.strides[0], self.strides[1]);
+                for i in 0..dims[0] {
+                    for j in 0..dims[1] {
+                        self.readonly_row_pass(
+                            &[i, j],
+                            i * s0 + j * s1,
+                            d_last,
+                            &mut scratch,
+                            data,
+                            &mut on_point,
+                            &mut on_row,
+                        );
+                    }
+                }
+            }
+        }
+        self.row_scratch = scratch;
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn readonly_row_pass<T, P, R>(
+        &mut self,
+        lead: &[usize],
+        base: usize,
+        d_last: usize,
+        scratch: &mut [f64],
+        data: &[T],
+        on_point: &mut P,
+        on_row: &mut R,
+    ) where
+        T: ScalarFloat,
+        P: FnMut(usize, f64),
+        R: FnMut(usize, &[f64]),
+    {
+        let n = self.layers;
+        let mut idx = [0usize; 3];
+        idx[..lead.len()].copy_from_slice(lead);
+        for j in 0..d_last.min(n) {
+            idx[lead.len()] = j;
+            let f = base + j;
+            let pred = self.slow_pred(&idx[..=lead.len()], data, f);
+            on_point(f, pred);
+        }
+        if d_last > n {
+            let seg = base + n;
+            let len = d_last - n;
+            let plan = &self.row_plans[plan_index(self.layers, lead)];
+            // Full term list: in-row neighbors read `data`, which is fixed,
+            // so the whole prediction is batchable.
+            fill_partials(&plan.terms, data, seg, &mut scratch[..len]);
+            on_row(seg, &scratch[..len]);
         }
     }
 
@@ -274,6 +709,13 @@ impl ScanKernel {
         );
         assert_eq!(data.len(), shape.len(), "data length does not match shape");
         let stride = stride.max(1);
+        // Dense sampling rides the row engine: interior-row predictions are
+        // materialized wholesale by the vectorized full-term pass, then
+        // visited at the sampling stride. Sparse sampling keeps the
+        // closed-form point path, which only touches sampled points.
+        if stride <= 4 && matches!(self.kind, KernelKind::Specialized { .. }) {
+            return self.sample_rows(shape, data, stride, visit);
+        }
         match self.kind {
             KernelKind::Specialized { ndim: 1, .. } => {
                 self.sample_1d(shape.dims()[0], data, stride, visit)
@@ -282,6 +724,59 @@ impl ScanKernel {
             KernelKind::Specialized { ndim: 3, .. } => self.sample_3d(shape, data, stride, visit),
             _ => self.sample_generic(shape, data, stride, visit),
         }
+    }
+
+    /// Row-engine implementation of [`ScanKernel::sample_interior`] for
+    /// dense strides: one vectorized full-prediction pass per interior row,
+    /// then a strided visit over the materialized predictions.
+    fn sample_rows<T, F>(&mut self, shape: &Shape, data: &[T], stride: usize, mut visit: F)
+    where
+        T: ScalarFloat,
+        F: FnMut(usize, f64),
+    {
+        let n = self.layers;
+        let dims = shape.dims();
+        let d = dims.len();
+        let d_last = dims[d - 1];
+        if d_last <= n {
+            return; // no interior columns
+        }
+        let mut scratch = std::mem::take(&mut self.row_scratch);
+        if scratch.len() < d_last {
+            scratch.resize(d_last, 0.0);
+        }
+        // The interior row class: every leading coordinate clamps to n.
+        let interior = [n; 2];
+        let plan = &self.row_plans[plan_index(n, &interior[..d - 1])];
+        let len = d_last - n;
+        let mut per_row = |base: usize, scratch: &mut [f64]| {
+            let seg = base + n;
+            fill_partials(&plan.terms, data, seg, &mut scratch[..len]);
+            for (i, &pred) in scratch[..len].iter().enumerate() {
+                let f = seg + i;
+                if f.is_multiple_of(stride) {
+                    visit(f, pred);
+                }
+            }
+        };
+        match d {
+            1 => per_row(0, &mut scratch),
+            2 => {
+                let s0 = self.strides[0];
+                for i in n..dims[0] {
+                    per_row(i * s0, &mut scratch);
+                }
+            }
+            _ => {
+                let (s0, s1) = (self.strides[0], self.strides[1]);
+                for i in n..dims[0] {
+                    for j in n..dims[1] {
+                        per_row(i * s0 + j * s1, &mut scratch);
+                    }
+                }
+            }
+        }
+        self.row_scratch = scratch;
     }
 
     /// Boundary slow path: full Eq. 11 with per-axis shrunk layer counts.
@@ -529,10 +1024,93 @@ impl ScanKernel {
 }
 
 // ---------------------------------------------------------------------------
+// The row-engine helpers.
+// ---------------------------------------------------------------------------
+
+/// Index into `row_plans` for the row with the given leading coordinates:
+/// clamped per-axis layer digits in base `layers + 1`.
+#[inline]
+fn plan_index(layers: usize, lead: &[usize]) -> usize {
+    let mut idx = 0usize;
+    for &c in lead {
+        idx = idx * (layers + 1) + c.min(layers);
+    }
+    idx
+}
+
+/// Accumulates `terms` into `out` for the row segment starting at
+/// `seg_start`: `out[i] = Σ_t coeff_t · buf[seg_start + i − off_t]`.
+///
+/// The per-point accumulation order (terms in canonical order) matches
+/// [`predict_at`] up to the sign of zero, which keeps the batched
+/// predictions numerically identical to the per-point oracle. The dominant
+/// small stencils (2-term Lorenzo-2D prior, 6-term Lorenzo-3D and
+/// two-layer-2D priors) run as single fused vectorizable passes; larger
+/// ones (e.g. the 24-term 3-D two-layer prior) go term-major, one tight
+/// slice pass per term.
+fn fill_partials<T: ScalarFloat>(
+    terms: &[(usize, f64)],
+    buf: &[T],
+    seg_start: usize,
+    out: &mut [f64],
+) {
+    let n = out.len();
+    let src = |off: usize| &buf[seg_start - off..seg_start - off + n];
+    match terms {
+        [] => out.fill(0.0),
+        [(o0, c0)] => {
+            for (acc, v) in out.iter_mut().zip(src(*o0)) {
+                *acc = c0 * v.to_f64();
+            }
+        }
+        [(o0, c0), (o1, c1)] if *c0 == 1.0 && *c1 == -1.0 => {
+            // The Lorenzo-2D prior (and friends): ±1 coefficients make the
+            // multiplies exact no-ops, so skip them.
+            let (s0, s1) = (src(*o0), src(*o1));
+            for i in 0..n {
+                out[i] = s0[i].to_f64() - s1[i].to_f64();
+            }
+        }
+        [(o0, c0), (o1, c1)] => {
+            let (s0, s1) = (src(*o0), src(*o1));
+            for i in 0..n {
+                out[i] = c0 * s0[i].to_f64() + c1 * s1[i].to_f64();
+            }
+        }
+        [(o0, c0), (o1, c1), (o2, c2), (o3, c3), (o4, c4), (o5, c5)] => {
+            let (s0, s1, s2) = (src(*o0), src(*o1), src(*o2));
+            let (s3, s4, s5) = (src(*o3), src(*o4), src(*o5));
+            for i in 0..n {
+                out[i] = c0 * s0[i].to_f64()
+                    + c1 * s1[i].to_f64()
+                    + c2 * s2[i].to_f64()
+                    + c3 * s3[i].to_f64()
+                    + c4 * s4[i].to_f64()
+                    + c5 * s5[i].to_f64();
+            }
+        }
+        _ => {
+            let (first, rest) = terms.split_first().unwrap();
+            let (o0, c0) = *first;
+            for (acc, v) in out.iter_mut().zip(src(o0)) {
+                *acc = c0 * v.to_f64();
+            }
+            for &(off, coeff) in rest {
+                for (acc, v) in out.iter_mut().zip(src(off)) {
+                    *acc += coeff * v.to_f64();
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Closed-form interior predictors. Term order matches `Stencil::build`'s
-// lexicographic offset enumeration so results are identical (up to the sign
-// of zero) to `predict_at` over the equivalent stencil — the invariant that
-// keeps specialized and generic archives byte-identical.
+// canonical enumeration — finished-row terms first (lexicographic), in-row
+// terms last — so results are identical (up to the sign of zero) to
+// `predict_at` over the equivalent stencil AND to the row engine's
+// partial-sum + carry split. That shared order is the invariant that keeps
+// specialized, generic, row, and point archives byte-identical.
 // ---------------------------------------------------------------------------
 
 /// 1-D Lorenzo: previous neighbor.
@@ -541,19 +1119,21 @@ fn lorenzo_1d<T: ScalarFloat>(b: &[T], f: usize) -> f64 {
     b[f - 1].to_f64()
 }
 
-/// 2-D Lorenzo over axes with strides `(s, 1)`.
+/// 2-D Lorenzo over axes with strides `(s, 1)`: finished-row pair, then the
+/// loop-carried previous neighbor.
 #[inline(always)]
 fn lorenzo_2d<T: ScalarFloat>(b: &[T], f: usize, s: usize) -> f64 {
-    b[f - 1].to_f64() + b[f - s].to_f64() - b[f - s - 1].to_f64()
+    (b[f - s].to_f64() - b[f - s - 1].to_f64()) + b[f - 1].to_f64()
 }
 
 /// 3-D Lorenzo (7 terms, inclusion–exclusion over the unit cube).
 #[inline(always)]
 fn lorenzo_3d<T: ScalarFloat>(b: &[T], f: usize, s0: usize, s1: usize) -> f64 {
-    b[f - 1].to_f64() + b[f - s1].to_f64() - b[f - s1 - 1].to_f64() + b[f - s0].to_f64()
+    b[f - s1].to_f64() - b[f - s1 - 1].to_f64() + b[f - s0].to_f64()
         - b[f - s0 - 1].to_f64()
         - b[f - s0 - s1].to_f64()
         + b[f - s0 - s1 - 1].to_f64()
+        + b[f - 1].to_f64()
 }
 
 /// 1-D two-layer: linear extrapolation (Table I row n = 2, d = 1).
@@ -562,15 +1142,16 @@ fn two_layer_1d<T: ScalarFloat>(b: &[T], f: usize) -> f64 {
     2.0 * b[f - 1].to_f64() - b[f - 2].to_f64()
 }
 
-/// 2-D two-layer: the 8-point Table I stencil, coefficients unrolled.
+/// 2-D two-layer: the 8-point Table I stencil, coefficients unrolled;
+/// finished-row terms first, the two loop-carried neighbors last.
 #[inline(always)]
 fn two_layer_2d<T: ScalarFloat>(b: &[T], f: usize, s: usize) -> f64 {
-    2.0 * b[f - 1].to_f64() - b[f - 2].to_f64() + 2.0 * b[f - s].to_f64()
-        - 4.0 * b[f - s - 1].to_f64()
-        + 2.0 * b[f - s - 2].to_f64()
+    2.0 * b[f - s].to_f64() - 4.0 * b[f - s - 1].to_f64() + 2.0 * b[f - s - 2].to_f64()
         - b[f - 2 * s].to_f64()
         + 2.0 * b[f - 2 * s - 1].to_f64()
         - b[f - 2 * s - 2].to_f64()
+        + 2.0 * b[f - 1].to_f64()
+        - b[f - 2].to_f64()
 }
 
 // ---------------------------------------------------------------------------
@@ -935,6 +1516,235 @@ mod tests {
         }
     }
 
+    /// `scan_rows` must visit every point exactly once in flat order,
+    /// split between border `point`s and interior `row` segments.
+    #[test]
+    fn scan_rows_covers_the_grid_in_order() {
+        struct Recorder {
+            seen: Vec<usize>,
+        }
+        impl<T: ScalarFloat> RowVisitor<T> for Recorder {
+            type Error = std::convert::Infallible;
+            fn point(&mut self, flat: usize, _pred: f64) -> Result<T, Self::Error> {
+                self.seen.push(flat);
+                Ok(T::from_f64(1.0))
+            }
+            fn row(
+                &mut self,
+                flat: usize,
+                partials: &[f64],
+                _carry: Carry,
+                row: &mut [T],
+                _prev: [T; 2],
+            ) -> Result<(), Self::Error> {
+                assert_eq!(partials.len(), row.len());
+                for (i, r) in row.iter_mut().enumerate() {
+                    self.seen.push(flat + i);
+                    *r = T::from_f64(1.0);
+                }
+                Ok(())
+            }
+        }
+        for dims in [
+            vec![17usize],
+            vec![1, 1],
+            vec![5, 7],
+            vec![1, 9],
+            vec![9, 1],
+            vec![3, 4, 5],
+            vec![2, 2, 9],
+            vec![1, 1, 2],
+            vec![4, 3, 2, 2], // generic fallback
+        ] {
+            for layers in 1..=2usize {
+                let shape = Shape::new(&dims);
+                let mut kernel = ScanKernel::for_shape(layers, &shape);
+                let mut buf = vec![0.0f32; shape.len()];
+                let mut rec = Recorder { seen: Vec::new() };
+                match kernel.scan_rows(&shape, &mut buf, &mut rec) {
+                    Ok(()) => {}
+                    Err(e) => match e {},
+                }
+                let expect: Vec<usize> = (0..shape.len()).collect();
+                assert_eq!(rec.seen, expect, "dims {dims:?} layers {layers}");
+            }
+        }
+    }
+
+    /// Row-path predictions and stored values must match the point-visitor
+    /// oracle bit for bit — the invariant row-path archives rest on.
+    #[test]
+    fn scan_rows_matches_point_oracle() {
+        struct Mimic<'a> {
+            data: &'a [f32],
+            preds: Vec<f64>,
+        }
+        impl Mimic<'_> {
+            fn store(&mut self, flat: usize, pred: f64) -> f32 {
+                self.preds.push(pred);
+                (pred + (self.data[flat] as f64 - pred) * 0.5) as f32
+            }
+        }
+        impl RowVisitor<f32> for Mimic<'_> {
+            type Error = std::convert::Infallible;
+            fn point(&mut self, flat: usize, pred: f64) -> Result<f32, Self::Error> {
+                Ok(self.store(flat, pred))
+            }
+            fn row(
+                &mut self,
+                flat: usize,
+                partials: &[f64],
+                carry: Carry,
+                row: &mut [f32],
+                prev: [f32; 2],
+            ) -> Result<(), Self::Error> {
+                let mut p1 = prev[0] as f64;
+                let mut p2 = prev[1] as f64;
+                for i in 0..row.len() {
+                    let pred = carry.pred(partials[i], p1, p2);
+                    let r = self.store(flat + i, pred);
+                    row[i] = r;
+                    p2 = p1;
+                    p1 = r as f64;
+                }
+                Ok(())
+            }
+        }
+        for dims in [
+            vec![40usize],
+            vec![1, 23],
+            vec![23, 1],
+            vec![9, 11],
+            vec![2, 2, 17],
+            vec![1, 1, 13],
+            vec![6, 5, 4],
+            vec![3, 4, 5, 2], // generic fallback: every point via `point`
+        ] {
+            for layers in 1..=2usize {
+                let shape = Shape::new(&dims);
+                let data = wavy(&dims);
+                let mut kernel = ScanKernel::for_shape(layers, &shape);
+
+                let mut point_buf = vec![0.0f32; shape.len()];
+                let mut point_preds = Vec::new();
+                kernel.scan(&shape, &mut point_buf, |flat, pred| {
+                    point_preds.push(pred);
+                    (pred + (data[flat] as f64 - pred) * 0.5) as f32
+                });
+
+                let mut row_buf = vec![0.0f32; shape.len()];
+                let mut mimic = Mimic {
+                    data: &data,
+                    preds: Vec::new(),
+                };
+                match kernel.scan_rows(&shape, &mut row_buf, &mut mimic) {
+                    Ok(()) => {}
+                    Err(e) => match e {},
+                }
+
+                for (f, (a, b)) in point_preds.iter().zip(&mimic.preds).enumerate() {
+                    assert!(a == b, "dims {dims:?} layers {layers} flat {f}: {a} vs {b}");
+                }
+                assert_eq!(point_buf, row_buf, "dims {dims:?} layers {layers}");
+            }
+        }
+    }
+
+    /// `readonly_rows` materializes exactly the predictions `scan_readonly`
+    /// delivers point by point.
+    #[test]
+    fn readonly_rows_matches_point_readonly() {
+        for dims in [
+            vec![40usize],
+            vec![1, 23],
+            vec![9, 11],
+            vec![2, 2, 17],
+            vec![6, 5, 4],
+            vec![3, 4, 5, 2], // generic fallback
+        ] {
+            for layers in 1..=2usize {
+                let shape = Shape::new(&dims);
+                let data = wavy(&dims);
+                let mut kernel = ScanKernel::for_shape(layers, &shape);
+
+                let mut point: Vec<(usize, f64)> = Vec::new();
+                kernel.scan_readonly(&shape, &data, |flat, pred| point.push((flat, pred)));
+
+                let mut rows: Vec<(usize, f64)> = Vec::new();
+                let mut border: Vec<(usize, f64)> = Vec::new();
+                kernel.readonly_rows(
+                    &shape,
+                    &data,
+                    |flat, pred| border.push((flat, pred)),
+                    |flat, preds| {
+                        rows.extend(preds.iter().enumerate().map(|(i, &p)| (flat + i, p)))
+                    },
+                );
+                let mut merged = border;
+                merged.append(&mut rows);
+                merged.sort_by_key(|&(f, _)| f);
+
+                assert_eq!(merged.len(), point.len());
+                for ((fa, pa), (fb, pb)) in point.iter().zip(&merged) {
+                    assert_eq!(fa, fb);
+                    assert!(
+                        pa == pb,
+                        "dims {dims:?} layers {layers} flat {fa}: {pa} vs {pb}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// A failing visitor aborts the scan at the first error instead of
+    /// walking the rest of the grid — the `try_scan` early-exit contract
+    /// corrupt-archive decoding relies on.
+    #[test]
+    fn scan_rows_aborts_on_first_error() {
+        struct FailAt {
+            fail_flat: usize,
+            visited: usize,
+        }
+        impl RowVisitor<f32> for FailAt {
+            type Error = ();
+            fn point(&mut self, flat: usize, _pred: f64) -> Result<f32, ()> {
+                if flat >= self.fail_flat {
+                    return Err(());
+                }
+                self.visited += 1;
+                Ok(0.0)
+            }
+            fn row(
+                &mut self,
+                flat: usize,
+                _partials: &[f64],
+                _carry: Carry,
+                row: &mut [f32],
+                _prev: [f32; 2],
+            ) -> Result<(), ()> {
+                for i in 0..row.len() {
+                    if flat + i >= self.fail_flat {
+                        return Err(());
+                    }
+                    self.visited += 1;
+                }
+                Ok(())
+            }
+        }
+        for dims in [vec![64usize], vec![12, 12], vec![4, 5, 6]] {
+            let shape = Shape::new(&dims);
+            let fail_flat = shape.len() / 2;
+            let mut kernel = ScanKernel::for_shape(1, &shape);
+            let mut buf = vec![0.0f32; shape.len()];
+            let mut visitor = FailAt {
+                fail_flat,
+                visited: 0,
+            };
+            assert!(kernel.scan_rows(&shape, &mut buf, &mut visitor).is_err());
+            assert_eq!(visitor.visited, fail_flat, "dims {dims:?}");
+        }
+    }
+
     #[test]
     fn sample_interior_agrees_with_generic_walker() {
         for dims in [
@@ -1027,6 +1837,9 @@ mod tests {
             data: &[T],
             config: &Config,
         ) -> Result<(), crate::SzError> {
+            use crate::compress::{encode_quantized, HuffmanTable};
+            use crate::quantize_slice_with_kernel_oracle;
+
             let shape = Shape::new(dims);
             let mut spec = ScanKernel::for_shape(config.layers, &shape);
             assert_ne!(spec.kind(), KernelKind::Generic);
@@ -1035,6 +1848,12 @@ mod tests {
             let (b, sb) = compress_slice_with_kernel(data, &shape, config, &mut generic)?;
             assert_eq!(a, b, "archives diverge for dims {dims:?}");
             assert_eq!(sa, sb);
+            // The row engine vs the retained point-visitor oracle: archive
+            // bytes AND stats (hit counts, section sizes) must be identical.
+            let band = quantize_slice_with_kernel_oracle(data, &shape, config, &mut spec)?;
+            let (oracle, so) = encode_quantized(&band, HuffmanTable::PerBand);
+            assert_eq!(a, oracle, "row path diverges from point oracle {dims:?}");
+            assert_eq!(sa, so);
             let out: Tensor<T> = decompress(&a)?;
             assert_eq!(out.dims(), dims);
             for (x, y) in data.iter().zip(out.as_slice()) {

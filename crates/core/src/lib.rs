@@ -54,18 +54,21 @@ mod unpred;
 
 pub use compress::{
     compress, compress_slice_with_kernel, compress_slice_with_stats, compress_with_stats,
-    encode_quantized, quantize_slice_with_kernel, CompressionStats, HuffmanTable, QuantizedBand,
+    encode_quantized, quantize_slice_with_kernel, quantize_slice_with_kernel_oracle,
+    CompressionStats, HuffmanTable, QuantizedBand,
 };
 pub use config::{Config, ErrorBound, IntervalMode};
 pub use decompress::{
     decompress, decompress_shared_with_kernel, decompress_with_kernel, inspect, ArchiveInfo,
 };
 pub use float::ScalarFloat;
-pub use kernel::{KernelKind, ScanKernel};
+pub use kernel::{Carry, KernelKind, RowVisitor, ScanKernel};
 pub use predict::{layer_coefficients, predict_at, Stencil, StencilSet};
 pub use pwrel::{compress_pointwise_rel, decompress_pointwise_rel};
 pub use quant::{choose_interval_bits, choose_interval_bits_with_kernel, Quantizer};
-pub use stats::{hit_rate_by_layer, quantization_histogram, PredictionBasis};
+pub use stats::{
+    hit_rate_by_layer, quantization_histogram, quantization_histogram_with_kernel, PredictionBasis,
+};
 pub use stream::{StreamCompressor, StreamDecompressor};
 pub use unpred::UnpredictableCodec;
 

@@ -63,9 +63,21 @@ pub fn layer_coefficients(n_eff: &[usize], ks: &[usize]) -> f64 {
 /// Offsets are *subtracted* from the current flat position; because the scan
 /// is row-major and all neighbor offsets are non-negative in every axis, all
 /// referenced positions precede the current point.
+///
+/// **Canonical term order.** Terms that touch a *finished row* (any nonzero
+/// offset along a non-last axis) come first, in lexicographic Eq. 11 offset
+/// order; the in-row terms (pure last-axis offsets, the loop-carried
+/// neighbors of a row-major scan) come last, also lexicographic. Putting the
+/// row-invariant prefix first is what lets the row-granular scan engine
+/// precompute it into a partial-sum row with *bit-identical* floating-point
+/// results: every evaluator — [`predict_at`], the closed-form kernels, and
+/// the batched row passes — accumulates the same terms in the same order.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Stencil {
     terms: Vec<(usize, f64)>,
+    /// Terms `[..prior_len]` read finished rows; `[prior_len..]` are the
+    /// in-row (pure last-axis) loop-carried terms.
+    prior_len: usize,
 }
 
 impl Stencil {
@@ -74,13 +86,20 @@ impl Stencil {
     pub fn build(n_eff: &[usize], strides: &[usize]) -> Self {
         assert_eq!(n_eff.len(), strides.len());
         let d = n_eff.len();
-        let mut terms = Vec::new();
+        let mut prior = Vec::new();
+        let mut row = Vec::new();
         let mut ks = vec![0usize; d];
         'outer: loop {
             let coeff = layer_coefficients(n_eff, &ks);
             if coeff != 0.0 {
                 let off: usize = ks.iter().zip(strides).map(|(&k, &s)| k * s).sum();
-                terms.push((off, coeff));
+                // In-row terms have every non-last coordinate zero; with
+                // d = 1 every term is in-row.
+                if ks[..d - 1].iter().all(|&k| k == 0) {
+                    row.push((off, coeff));
+                } else {
+                    prior.push((off, coeff));
+                }
             }
             // Advance ks over the box [0, n_eff].
             for i in (0..d).rev() {
@@ -92,7 +111,12 @@ impl Stencil {
             }
             break;
         }
-        Self { terms }
+        let prior_len = prior.len();
+        prior.extend_from_slice(&row);
+        Self {
+            terms: prior,
+            prior_len,
+        }
     }
 
     /// Number of participating neighbors.
@@ -105,9 +129,22 @@ impl Stencil {
         self.terms.is_empty()
     }
 
-    /// The (offset, coefficient) pairs.
+    /// The (offset, coefficient) pairs, canonical order (see type docs).
     pub fn terms(&self) -> &[(usize, f64)] {
         &self.terms
+    }
+
+    /// The row-invariant prefix: every term whose neighbor lies in an
+    /// already-finished row. For a row-major scan these are batchable into a
+    /// partial-sum pass.
+    pub fn prior_terms(&self) -> &[(usize, f64)] {
+        &self.terms[..self.prior_len]
+    }
+
+    /// The loop-carried suffix: pure last-axis offsets, read from the
+    /// current (in-progress) row.
+    pub fn row_terms(&self) -> &[(usize, f64)] {
+        &self.terms[self.prior_len..]
     }
 }
 
@@ -326,6 +363,24 @@ mod tests {
         assert_eq!(first_row, expect_1d);
         // Interior: full 2-layer stencil (2*(2+2) = 8 points).
         assert_eq!(set.for_index(&[5, 5]).len(), 8);
+    }
+
+    #[test]
+    fn canonical_order_puts_finished_row_terms_first() {
+        // 2-D Lorenzo: prior = {(s, +1), (s+1, −1)}, in-row = {(1, +1)}.
+        let s = Stencil::build(&[1, 1], &[10, 1]);
+        assert_eq!(s.prior_terms(), &[(10, 1.0), (11, -1.0)]);
+        assert_eq!(s.row_terms(), &[(1, 1.0)]);
+        assert_eq!(s.terms(), &[(10, 1.0), (11, -1.0), (1, 1.0)]);
+        // 1-D: everything is in-row.
+        let s = Stencil::build(&[2], &[1]);
+        assert!(s.prior_terms().is_empty());
+        assert_eq!(s.row_terms(), &[(1, 2.0), (2, -1.0)]);
+        // 3-D two-layer: 26 terms, the two pure last-axis ones at the end.
+        let s = Stencil::build(&[2, 2, 2], &[100, 10, 1]);
+        assert_eq!(s.len(), 26);
+        assert_eq!(s.row_terms(), &[(1, 2.0), (2, -1.0)]);
+        assert_eq!(s.prior_terms().len(), 24);
     }
 
     #[test]

@@ -179,6 +179,26 @@ proptest! {
         }
     }
 
+    /// Corrupt archives must error (or decode) without panicking, and
+    /// truncations must always error — exercising the fallible row decode,
+    /// which aborts at the first bad symbol instead of scanning the grid.
+    #[test]
+    fn corrupt_and_truncated_archives_error_without_panic(
+        grid in arb_grid_f32(),
+        cut_frac in 0.0f64..1.0,
+        flip_frac in 0.0f64..1.0,
+        flip_mask in 1u8..=255,
+    ) {
+        let config = Config::new(ErrorBound::Relative(1e-3));
+        let bytes = compress(&grid, &config).unwrap();
+        let cut = ((bytes.len() as f64 * cut_frac) as usize).min(bytes.len() - 1);
+        prop_assert!(decompress::<f32>(&bytes[..cut]).is_err(), "cut {cut}");
+        let mut copy = bytes.clone();
+        let pos = ((copy.len() - 1) as f64 * flip_frac) as usize;
+        copy[pos] ^= flip_mask;
+        let _ = decompress::<f32>(&copy); // error or decode; never a panic
+    }
+
     /// f64 data obeys the bound too.
     #[test]
     fn error_bound_holds_for_f64(

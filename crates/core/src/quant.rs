@@ -2,7 +2,8 @@
 //! (§IV-B).
 
 use crate::float::ScalarFloat;
-use crate::kernel::ScanKernel;
+use crate::kernel::{Carry, ScanKernel};
+use crate::unpred::UnpredictableCodec;
 use szr_tensor::Shape;
 
 /// The linear-scaling quantizer of Figure 2.
@@ -16,6 +17,12 @@ use szr_tensor::Shape;
 #[derive(Debug, Clone, Copy)]
 pub struct Quantizer {
     eb: f64,
+    /// Precomputed `1 / (2·eb)`: the interval search multiplies instead of
+    /// dividing, keeping an ~10-cycle divide off the loop-carried
+    /// prediction→reconstruction chain the scan serializes on. Zero when
+    /// the reciprocal is not usable (subnormal/infinite — degenerate
+    /// bounds), which routes [`Quantizer::quantize`] back to the divide.
+    inv_two_eb: f64,
     /// 2^{m−1}: the code of the zero-offset interval.
     half: i64,
     bits: u32,
@@ -31,10 +38,31 @@ impl Quantizer {
     pub fn new(eb: f64, bits: u32) -> Self {
         assert!((2..=30).contains(&bits), "interval bits must be in 2..=30");
         assert!(eb.is_finite() && eb > 0.0, "error bound must be positive");
+        let inv = 1.0 / (2.0 * eb);
         Self {
             eb,
+            // A subnormal reciprocal would quantize a zero offset to NaN
+            // (0 · ∞) or lose precision; those degenerate bounds keep the
+            // exact divide.
+            inv_two_eb: if inv.is_finite() && inv.is_normal() {
+                inv
+            } else {
+                0.0
+            },
             half: 1i64 << (bits - 1),
             bits,
+        }
+    }
+
+    /// The interval index for offset `diff = value − pred` before range
+    /// checking: `round(diff / (2·eb))`, computed by reciprocal multiply on
+    /// the fast path.
+    #[inline(always)]
+    fn interval(&self, diff: f64) -> f64 {
+        if self.inv_two_eb != 0.0 {
+            (diff * self.inv_two_eb).round()
+        } else {
+            (diff / (2.0 * self.eb)).round()
         }
     }
 
@@ -66,7 +94,7 @@ impl Quantizer {
     /// narrow rounding can push a borderline value past `eb`.
     #[inline]
     pub fn quantize(&self, value: f64, pred: f64) -> Option<(u32, f64)> {
-        let k = ((value - pred) / (2.0 * self.eb)).round();
+        let k = self.interval(value - pred);
         if k.is_nan() || k.abs() >= self.half as f64 {
             // NaN (from a non-finite value or prediction) falls back to
             // unpredictable storage alongside out-of-range offsets.
@@ -81,6 +109,66 @@ impl Quantizer {
     pub fn reconstruct(&self, code: u32, pred: f64) -> f64 {
         debug_assert!(code != 0 && (code as i64) < 2 * self.half);
         pred + 2.0 * self.eb * (code as i64 - self.half) as f64
+    }
+
+    /// Quantizes one interior row segment — the batched form of
+    /// [`Quantizer::quantize`] driven by [`ScanKernel`]'s row path.
+    ///
+    /// `partials[i]` is the row-invariant prediction prefix for `values[i]`;
+    /// the full prediction folds in `carry` over the running reconstructions
+    /// (seeded from `prev`, then this call's own outputs). For every point
+    /// the code is appended to `codes` and the reconstruction written to
+    /// `recon[i]`; a point that misses every interval (or whose narrowed
+    /// reconstruction breaks `narrow_eb`) gets code 0, reconstructs through
+    /// `escape`, and has its segment-local index pushed onto `misses` so the
+    /// caller can serialize the escape bits afterwards instead of branching
+    /// into a bit writer mid-loop. Returns the number of hits.
+    ///
+    /// Bit-for-bit equivalent to running [`Quantizer::quantize`] plus the
+    /// narrowing check point by point — the row-vs-oracle property tests pin
+    /// this down.
+    #[allow(clippy::too_many_arguments)]
+    pub fn quantize_row<T: ScalarFloat>(
+        &self,
+        values: &[T],
+        partials: &[f64],
+        carry: Carry,
+        prev: [T; 2],
+        narrow_eb: f64,
+        escape: &UnpredictableCodec,
+        codes: &mut Vec<u32>,
+        recon: &mut [T],
+        misses: &mut Vec<u32>,
+    ) -> usize {
+        debug_assert_eq!(values.len(), partials.len());
+        debug_assert_eq!(values.len(), recon.len());
+        let two_eb = 2.0 * self.eb;
+        let half_f = self.half as f64;
+        let mut hits = 0usize;
+        codes.reserve(values.len());
+        let result: std::result::Result<(), std::convert::Infallible> =
+            carry.fold(partials, prev, recon, |i, pred| {
+                let v = values[i].to_f64();
+                let k = self.interval(v - pred);
+                // `NaN < half_f` is false, so non-finite values fall through
+                // to the escape path like the point oracle's NaN check.
+                let in_range = k.abs() < half_f;
+                let r = T::from_f64(pred + two_eb * k);
+                let hit = in_range && (v - r.to_f64()).abs() <= narrow_eb;
+                Ok(if hit {
+                    codes.push((self.half + k as i64) as u32);
+                    hits += 1;
+                    r
+                } else {
+                    codes.push(0);
+                    misses.push(i as u32);
+                    escape.reconstruction(values[i])
+                })
+            });
+        match result {
+            Ok(()) => hits,
+            Err(e) => match e {},
+        }
     }
 }
 

@@ -1,7 +1,7 @@
 //! Analysis helpers behind the paper's Table II and Figures 3–4.
 
 use crate::float::ScalarFloat;
-use crate::kernel::ScanKernel;
+use crate::kernel::{Carry, RowVisitor, ScanKernel};
 use crate::quant::Quantizer;
 use szr_tensor::Tensor;
 
@@ -37,40 +37,95 @@ pub fn hit_rate_by_layer<T: ScalarFloat>(
     let shape = data.shape();
     let values = data.as_slice();
     let mut kernel = ScanKernel::for_shape(layers, shape);
-    let mut hits = 0usize;
 
-    match basis {
+    let hits = match basis {
         PredictionBasis::Original => {
-            // Read-only full-grid scan: predictions always read the original
-            // data in place, no input copy (the planner hammers this path).
-            kernel.scan_readonly(shape, values, |flat, pred| {
-                if (values[flat].to_f64() - pred).abs() <= eb {
-                    hits += 1;
-                }
-            });
+            // Row-granular read-only scan: interior rows arrive as fully
+            // materialized prediction slices, so the hit test is one tight
+            // loop per row; no input copy (the planner hammers this path).
+            let mut border_hits = 0usize;
+            let mut row_hits = 0usize;
+            kernel.readonly_rows(
+                shape,
+                values,
+                |flat, pred| {
+                    if (values[flat].to_f64() - pred).abs() <= eb {
+                        border_hits += 1;
+                    }
+                },
+                |flat, preds| {
+                    let row = &values[flat..flat + preds.len()];
+                    for (v, &pred) in row.iter().zip(preds) {
+                        row_hits += usize::from((v.to_f64() - pred).abs() <= eb);
+                    }
+                },
+            );
+            border_hits + row_hits
         }
         PredictionBasis::Decompressed => {
             let mut recon: Vec<T> = vec![T::from_f64(0.0); values.len()];
-            kernel.scan(shape, &mut recon, |flat, pred| {
-                let value = values[flat];
-                let v64 = value.to_f64();
-                if (v64 - pred).abs() <= eb {
-                    hits += 1;
-                }
-                // Unbounded-interval quantization: the reconstruction every
-                // real configuration would store, minus the escape path —
-                // isolating feedback effects from interval-count effects.
-                let k = ((v64 - pred) / (2.0 * eb)).round();
-                let r = T::from_f64(pred + 2.0 * eb * k);
-                if (v64 - r.to_f64()).abs() <= eb {
-                    r
-                } else {
-                    value // fall back to exact storage, as the escape path would
-                }
-            });
+            let mut visitor = HitRateRows {
+                values,
+                eb,
+                hits: 0,
+            };
+            match kernel.scan_rows(shape, &mut recon, &mut visitor) {
+                Ok(()) => {}
+                Err(e) => match e {},
+            }
+            visitor.hits
+        }
+    };
+    hits as f64 / values.len() as f64
+}
+
+/// Row visitor for the decompressed-basis hit-rate measurement: unbounded-
+/// interval quantization feedback (the reconstruction every real
+/// configuration would store, minus the escape path), isolating feedback
+/// effects from interval-count effects.
+struct HitRateRows<'a, T: ScalarFloat> {
+    values: &'a [T],
+    eb: f64,
+    hits: usize,
+}
+
+impl<T: ScalarFloat> HitRateRows<'_, T> {
+    #[inline]
+    fn measure(&mut self, value: T, pred: f64) -> T {
+        let v64 = value.to_f64();
+        if (v64 - pred).abs() <= self.eb {
+            self.hits += 1;
+        }
+        let k = ((v64 - pred) / (2.0 * self.eb)).round();
+        let r = T::from_f64(pred + 2.0 * self.eb * k);
+        if (v64 - r.to_f64()).abs() <= self.eb {
+            r
+        } else {
+            value // fall back to exact storage, as the escape path would
         }
     }
-    hits as f64 / values.len() as f64
+}
+
+impl<T: ScalarFloat> RowVisitor<T> for HitRateRows<'_, T> {
+    type Error = std::convert::Infallible;
+
+    fn point(&mut self, flat: usize, pred: f64) -> Result<T, Self::Error> {
+        Ok(self.measure(self.values[flat], pred))
+    }
+
+    fn row(
+        &mut self,
+        flat: usize,
+        partials: &[f64],
+        carry: Carry,
+        row: &mut [T],
+        prev: [T; 2],
+    ) -> Result<(), Self::Error> {
+        let values = self.values;
+        carry.fold(partials, prev, row, |i, pred| {
+            Ok(self.measure(values[flat + i], pred))
+        })
+    }
 }
 
 /// Runs the real pipeline and returns the quantization-code histogram
@@ -82,32 +137,92 @@ pub fn quantization_histogram<T: ScalarFloat>(
     eb: f64,
     interval_bits: u32,
 ) -> Vec<u64> {
+    let mut kernel = ScanKernel::for_shape(layers, data.shape());
+    quantization_histogram_with_kernel(data, &mut kernel, eb, interval_bits)
+}
+
+/// [`quantization_histogram`] with a caller-provided kernel, so repeated
+/// measurements over the same grid family — the planner prices many
+/// `(layers, eb, bits)` configurations against one sample — reuse one
+/// kernel and its scratch-row allocation instead of rebuilding per call.
+///
+/// # Panics
+/// Panics if the kernel's stride family does not match `data`'s shape (the
+/// kernel's own scan-time check); the layer count is the kernel's.
+pub fn quantization_histogram_with_kernel<T: ScalarFloat>(
+    data: &Tensor<T>,
+    kernel: &mut ScanKernel,
+    eb: f64,
+    interval_bits: u32,
+) -> Vec<u64> {
     let shape = data.shape();
     let values = data.as_slice();
     let quantizer = Quantizer::new(eb, interval_bits);
-    let mut hist = vec![0u64; quantizer.alphabet()];
     let mut recon: Vec<T> = vec![T::from_f64(0.0); values.len()];
-    let mut kernel = ScanKernel::for_shape(layers, shape);
+    let mut visitor = HistogramRows {
+        values,
+        eb,
+        quantizer,
+        hist: vec![0u64; quantizer.alphabet()],
+    };
+    match kernel.scan_rows(shape, &mut recon, &mut visitor) {
+        Ok(()) => {}
+        Err(e) => match e {},
+    }
+    visitor.hist
+}
 
-    kernel.scan(shape, &mut recon, |flat, pred| {
-        let value = values[flat];
+/// Row visitor for the code-histogram measurement: the real quantize +
+/// narrowing-check pipeline, with original values standing in for
+/// binary-representation storage on the escape path.
+struct HistogramRows<'a, T: ScalarFloat> {
+    values: &'a [T],
+    eb: f64,
+    quantizer: Quantizer,
+    hist: Vec<u64>,
+}
+
+impl<T: ScalarFloat> HistogramRows<'_, T> {
+    #[inline]
+    fn bucket(&mut self, value: T, pred: f64) -> T {
         let v64 = value.to_f64();
-        let quantized = quantizer.quantize(v64, pred).and_then(|(code, r64)| {
+        let quantized = self.quantizer.quantize(v64, pred).and_then(|(code, r64)| {
             let r = T::from_f64(r64);
-            ((v64 - r.to_f64()).abs() <= eb).then_some((code, r))
+            ((v64 - r.to_f64()).abs() <= self.eb).then_some((code, r))
         });
         match quantized {
             Some((code, r)) => {
-                hist[code as usize] += 1;
+                self.hist[code as usize] += 1;
                 r
             }
             None => {
-                hist[0] += 1;
+                self.hist[0] += 1;
                 value // stand-in for binary-representation storage
             }
         }
-    });
-    hist
+    }
+}
+
+impl<T: ScalarFloat> RowVisitor<T> for HistogramRows<'_, T> {
+    type Error = std::convert::Infallible;
+
+    fn point(&mut self, flat: usize, pred: f64) -> Result<T, Self::Error> {
+        Ok(self.bucket(self.values[flat], pred))
+    }
+
+    fn row(
+        &mut self,
+        flat: usize,
+        partials: &[f64],
+        carry: Carry,
+        row: &mut [T],
+        prev: [T; 2],
+    ) -> Result<(), Self::Error> {
+        let values = self.values;
+        carry.fold(partials, prev, row, |i, pred| {
+            Ok(self.bucket(values[flat + i], pred))
+        })
+    }
 }
 
 #[cfg(test)]

@@ -62,27 +62,72 @@ impl<T: ScalarFloat> StreamCompressor<T> {
         if inner_dims.contains(&0) || band_rows == 0 {
             return Err(SzError::InvalidConfig("stream dimensions must be positive"));
         }
-        let mut out = ByteWriter::new();
-        out.write_bytes(&MAGIC);
-        out.write_u8(T::TYPE_TAG);
-        out.write_varint(inner_dims.len() as u64 + 1);
-        // Leading extent is patched conceptually at finish via the trailer;
-        // bands carry their own extents.
-        for &d in inner_dims {
-            out.write_varint(d as u64);
-        }
         Ok(Self {
+            out: Self::stream_header(inner_dims),
             inner_dims: inner_dims.to_vec(),
             config,
             pending: Vec::new(),
             pending_rows: 0,
             band_rows,
-            out,
             bands: 0,
             total_rows: 0,
             resolved_eb: None,
             kernel: None,
         })
+    }
+
+    /// The per-stream header: magic, scalar tag, rank, inner extents.
+    /// Leading extent is patched conceptually at finish via the trailer;
+    /// bands carry their own extents.
+    fn stream_header(inner_dims: &[usize]) -> ByteWriter {
+        let mut out = ByteWriter::new();
+        out.write_bytes(&MAGIC);
+        out.write_u8(T::TYPE_TAG);
+        out.write_varint(inner_dims.len() as u64 + 1);
+        for &d in inner_dims {
+            out.write_varint(d as u64);
+        }
+        out
+    }
+
+    /// Resets the compressor to begin a fresh stream with the same geometry
+    /// and configuration, discarding any pending unflushed rows and buffered
+    /// output. The scan kernel — and with it the row engine's partial-sum
+    /// scratch — survives, so an in-situ loop compressing one stream per
+    /// time step pays kernel setup once, not once per step. The stream
+    /// produced after a reset is byte-identical to a fresh compressor's
+    /// (relative bounds re-resolve from the new stream's first band).
+    pub fn reset(&mut self) {
+        self.pending.clear();
+        self.pending_rows = 0;
+        self.bands = 0;
+        self.total_rows = 0;
+        self.resolved_eb = None;
+        self.out = Self::stream_header(&self.inner_dims);
+    }
+
+    /// Flushes any partial band, appends the trailer, and returns the
+    /// finished stream — then [`Self::reset`]s so the compressor is
+    /// immediately ready for the next stream. The reusable sibling of
+    /// [`Self::finish`] for callers emitting many streams (one per time
+    /// step) from one compressor.
+    ///
+    /// # Errors
+    /// Like [`Self::finish`], an empty stream (no rows pushed since the
+    /// last reset) is an error; the compressor is left reset regardless.
+    pub fn finish_stream(&mut self) -> Result<Vec<u8>> {
+        if self.pending_rows > 0 {
+            self.flush_band(self.pending_rows)?;
+        }
+        let total_rows = self.total_rows;
+        self.out.write_varint(self.bands);
+        self.out.write_varint(total_rows);
+        let bytes = std::mem::replace(&mut self.out, ByteWriter::new());
+        self.reset();
+        if total_rows == 0 {
+            return Err(SzError::InvalidConfig("stream holds no rows"));
+        }
+        Ok(bytes.into_bytes())
     }
 
     /// Elements per row (product of the inner dimensions).
@@ -141,17 +186,7 @@ impl<T: ScalarFloat> StreamCompressor<T> {
 
     /// Flushes any partial band and returns the stream bytes.
     pub fn finish(mut self) -> Result<Vec<u8>> {
-        if self.pending_rows > 0 {
-            self.flush_band(self.pending_rows)?;
-        }
-        if self.total_rows == 0 {
-            return Err(SzError::InvalidConfig("stream holds no rows"));
-        }
-        // Trailer: band count + total rows (readable by scanning, but the
-        // trailer lets a reader pre-validate).
-        self.out.write_varint(self.bands);
-        self.out.write_varint(self.total_rows);
-        Ok(self.out.into_bytes())
+        self.finish_stream()
     }
 }
 
@@ -366,6 +401,43 @@ mod tests {
         for (&a, &b) in data.as_slice().iter().zip(out.as_slice()) {
             assert!((a as f64 - b as f64).abs() <= 1e-4);
         }
+    }
+
+    #[test]
+    fn reused_compressor_streams_are_byte_identical_to_fresh_ones() {
+        // One compressor across "time steps" via finish_stream must emit
+        // exactly what a fresh compressor per step would.
+        let config = Config::new(ErrorBound::Relative(1e-3));
+        let mut reused = StreamCompressor::<f32>::new(&[48], 8, config).unwrap();
+        for step in 0..3 {
+            let data = Tensor::from_fn([30, 48], |ix| {
+                ((ix[0] as f32) * 0.09 + step as f32).sin() * (4.0 + step as f32)
+            });
+            let mut fresh = StreamCompressor::<f32>::new(&[48], 8, config).unwrap();
+            fresh.push(data.as_slice()).unwrap();
+            reused.push(data.as_slice()).unwrap();
+            let expect = fresh.finish().unwrap();
+            let got = reused.finish_stream().unwrap();
+            assert_eq!(got, expect, "step {step}");
+        }
+    }
+
+    #[test]
+    fn reset_discards_pending_rows_and_output() {
+        let config = Config::new(ErrorBound::Absolute(1e-3));
+        let mut stream = StreamCompressor::<f32>::new(&[16], 4, config).unwrap();
+        stream.push(&[1.5f32; 3 * 16]).unwrap(); // partial band pending
+        stream.reset();
+        // Nothing pushed since the reset: the stream is empty again.
+        assert!(stream.finish_stream().is_err());
+        // And the compressor is still usable after the empty-stream error.
+        stream.push(&[2.5f32; 4 * 16]).unwrap();
+        let bytes = stream.finish_stream().unwrap();
+        let out: Tensor<f32> = StreamDecompressor::new(&bytes)
+            .unwrap()
+            .collect_all()
+            .unwrap();
+        assert_eq!(out.dims(), &[4, 16]);
     }
 
     #[test]

@@ -85,10 +85,24 @@ impl UnpredictableCodec {
         if k > 0 {
             out.write_bits(mant >> (T::MANTISSA_BITS - k), k);
         }
-        let recon_bits = (sign << (T::BITS - 1))
-            | (biased << T::MANTISSA_BITS)
-            | ((mant >> (T::MANTISSA_BITS - k.min(T::MANTISSA_BITS))) << (T::MANTISSA_BITS - k));
-        T::from_bits_u64(recon_bits)
+        T::from_bits_u64(truncated_bits::<T>(sign, biased, mant, k))
+    }
+
+    /// The reconstruction [`Self::encode`] would store for `value`, without
+    /// writing any bits — used by the batched row quantizer, which needs the
+    /// escape reconstruction immediately (it feeds the loop-carried
+    /// prediction) but defers the bit writing to a per-row pass over the
+    /// collected miss indices.
+    pub fn reconstruction<T: ScalarFloat>(&self, value: T) -> T {
+        if value.to_f64().abs() <= self.eb {
+            return T::from_f64(0.0);
+        }
+        let bits = value.to_bits_u64();
+        let sign = bits >> (T::BITS - 1);
+        let biased = (bits >> T::MANTISSA_BITS) & ((1u64 << T::EXPONENT_BITS) - 1);
+        let mant = bits & ((1u64 << T::MANTISSA_BITS) - 1);
+        let k = self.mantissa_bits::<T>(biased);
+        T::from_bits_u64(truncated_bits::<T>(sign, biased, mant, k))
     }
 
     /// Decodes one value previously written by [`Self::encode`].
@@ -119,6 +133,15 @@ impl UnpredictableCodec {
 
 fn exp2(e: i32) -> f64 {
     (e as f64).exp2()
+}
+
+/// IEEE-754 bits of the truncated reconstruction: sign and exponent kept,
+/// only the top `k` mantissa bits retained.
+#[inline]
+fn truncated_bits<T: ScalarFloat>(sign: u64, biased: u64, mant: u64, k: u32) -> u64 {
+    (sign << (T::BITS - 1))
+        | (biased << T::MANTISSA_BITS)
+        | ((mant >> (T::MANTISSA_BITS - k.min(T::MANTISSA_BITS))) << (T::MANTISSA_BITS - k))
 }
 
 #[cfg(test)]
@@ -199,6 +222,35 @@ mod tests {
         let loose = UnpredictableCodec::new(1e-2);
         let v = 1234.567f32;
         assert!(loose.cost_bits(v) < tight.cost_bits(v));
+    }
+
+    #[test]
+    fn reconstruction_matches_encode_bit_for_bit() {
+        for eb in [1e-6, 1e-3, 0.25, 10.0] {
+            let codec = UnpredictableCodec::new(eb);
+            for v in [
+                0.0f32,
+                -0.0,
+                1.234_567_8,
+                -9.876_543e4,
+                3.2e-5,
+                f32::MIN_POSITIVE,
+                f32::INFINITY,
+                1.0e30,
+            ] {
+                let mut w = BitWriter::new();
+                let enc = codec.encode(v, &mut w);
+                let pure = codec.reconstruction(v);
+                assert_eq!(enc.to_bits(), pure.to_bits(), "eb {eb} value {v}");
+            }
+            let codec = UnpredictableCodec::new(eb);
+            for v in [0.0f64, std::f64::consts::PI, -2.7e100, 5.0e-9] {
+                let mut w = BitWriter::new();
+                let enc = codec.encode(v, &mut w);
+                let pure = codec.reconstruction(v);
+                assert_eq!(enc.to_bits(), pure.to_bits(), "eb {eb} value {v}");
+            }
+        }
     }
 
     #[test]

@@ -210,8 +210,9 @@ pub fn compress_chunked<T: ScalarFloat + Send + Sync>(
             s.spawn(|| {
                 // Bands share their inner extents, so every band a worker
                 // claims is served by one ScanKernel instance: the
-                // specialized-dispatch decision and the boundary-stencil
-                // cache are paid once per worker, not once per band.
+                // specialized-dispatch decision, the boundary-stencil cache,
+                // and the row engine's partial-sum scratch row are paid once
+                // per worker, not once per band.
                 let mut kernel: Option<ScanKernel> = None;
                 loop {
                     let band = next.fetch_add(1, Ordering::Relaxed);

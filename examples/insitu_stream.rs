@@ -20,6 +20,11 @@ fn main() {
     let mut total_raw = 0usize;
     let mut total_streamed = 0usize;
 
+    // One compressor for the whole run: `finish_stream` hands back each
+    // step's stream and resets, so the scan kernel (and its row-engine
+    // scratch) is built once, not once per time step.
+    let mut stream = StreamCompressor::<f32>::new(&[rows, cols], 4, config).expect("valid config");
+
     for step in 0..steps {
         // The "simulation" advances…
         let field = hurricane_at(levels, rows, cols, 99, step as f32);
@@ -27,12 +32,10 @@ fn main() {
 
         // …and the rank streams it out level by level: memory held by the
         // compressor is one band (4 levels), not the whole field.
-        let mut stream =
-            StreamCompressor::<f32>::new(&[rows, cols], 4, config).expect("valid config");
         for level in field.as_slice().chunks(rows * cols) {
             stream.push(level).expect("whole rows");
         }
-        let bytes = stream.finish().expect("non-empty stream");
+        let bytes = stream.finish_stream().expect("non-empty stream");
         total_streamed += bytes.len();
 
         // Verify the restart path before trusting the checkpoint.

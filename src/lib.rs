@@ -50,33 +50,48 @@
 //! fast path separated from the boundary slow path — falling back to the
 //! generic stencil walker for any other `(d, n)`.
 //!
+//! The hot paths are **row-granular**: `ScanKernel::scan_rows` precomputes
+//! each interior row's row-invariant stencil prefix into a reusable
+//! partial-sum scratch row (tight, autovectorizable slice loops) and hands
+//! whole row segments to a [`RowVisitor`], leaving only the loop-carried
+//! previous-neighbor [`Carry`] in the scalar tail; compression batches the
+//! hit test and code emission through `Quantizer::quantize_row`, and the
+//! fallible row decode aborts a corrupt archive at the first bad symbol.
+//! The per-point visitor (`ScanKernel::scan`) is retained as the slow-path
+//! oracle; row and point paths produce byte-identical archives, pinned by
+//! property tests across every dimension/layer/shape class.
+//!
 //! Four call sites consume it, so they cannot drift apart:
 //!
-//! * [`compress`] / [`compress_slice_with_stats`] — quantization scan over
-//!   the reconstruction buffer ([`compress_slice_with_kernel`] accepts a
-//!   caller-owned kernel);
+//! * [`compress`] / [`compress_slice_with_stats`] — row-batched
+//!   quantization scan over the reconstruction buffer
+//!   ([`compress_slice_with_kernel`] accepts a caller-owned kernel);
 //! * [`decompress`] — replays the identical traversal from decoded codes
 //!   ([`decompress_with_kernel`] accepts a caller-owned kernel);
 //! * the §IV-B adaptive interval sampler
 //!   ([`choose_interval_bits`] / [`choose_interval_bits_with_kernel`]);
 //! * the Table II hit-rate estimators ([`hit_rate_by_layer`],
 //!   [`quantization_histogram`]) — the Original basis runs the kernel's
-//!   read-only full-grid scan (`ScanKernel::scan_readonly`), no input copy.
+//!   read-only row scan (`ScanKernel::readonly_rows`), which materializes
+//!   whole rows of predictions at once, no input copy.
 //!
 //! `szr-parallel`'s chunked driver threads one kernel instance per
 //! (layer count, stride family) through all bands a worker touches — both
-//! directions — and `crates/bench/benches/prediction.rs` races the
-//! specialized kernels against the generic walker (`scan_kernel/*`).
+//! directions, scratch rows included — and `crates/bench` races the row
+//! engine against the point oracle (`benches/scan.rs`, `bench_scan`) and
+//! the specialized kernels against the generic walker (`scan_kernel/*`).
 
 pub use szr_container::Snapshot;
 pub use szr_core::{
     choose_interval_bits, choose_interval_bits_with_kernel, compress, compress_pointwise_rel,
     compress_slice_with_kernel, compress_slice_with_stats, compress_with_stats, decompress,
-    decompress_pointwise_rel, decompress_with_kernel, hit_rate_by_layer, inspect,
-    layer_coefficients, predict_at, quantization_histogram, ArchiveInfo, CompressionStats, Config,
-    ErrorBound, IntervalMode, KernelKind, PredictionBasis, Quantizer, Result, ScalarFloat,
-    ScanKernel, Stencil, StencilSet, StreamCompressor, StreamDecompressor, SzError,
-    UnpredictableCodec,
+    decompress_pointwise_rel, decompress_shared_with_kernel, decompress_with_kernel,
+    encode_quantized, hit_rate_by_layer, inspect, layer_coefficients, predict_at,
+    quantization_histogram, quantization_histogram_with_kernel, quantize_slice_with_kernel,
+    quantize_slice_with_kernel_oracle, ArchiveInfo, Carry, CompressionStats, Config, ErrorBound,
+    HuffmanTable, IntervalMode, KernelKind, PredictionBasis, QuantizedBand, Quantizer, Result,
+    RowVisitor, ScalarFloat, ScanKernel, Stencil, StencilSet, StreamCompressor, StreamDecompressor,
+    SzError, UnpredictableCodec,
 };
 pub use szr_tensor::{Shape, Tensor};
 

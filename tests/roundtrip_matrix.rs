@@ -35,6 +35,38 @@ fn sz14_respects_bound_on_all_datasets_and_bounds() {
 }
 
 #[test]
+fn sz14_row_path_matches_point_oracle_on_all_datasets() {
+    // The row-granular scan engine must produce archives byte-identical to
+    // the retained per-point visitor oracle — same codes, same escape bits,
+    // same stats — on every real dataset family, both layer counts.
+    use szr::{
+        encode_quantized, quantize_slice_with_kernel, quantize_slice_with_kernel_oracle,
+        HuffmanTable, ScanKernel,
+    };
+    for (name, data) in all_small_fields() {
+        let eb = 1e-4 * value_range(data.as_slice());
+        for layers in 1..=2usize {
+            let config = Config::new(ErrorBound::Absolute(eb)).with_layers(layers);
+            let mut kernel = ScanKernel::for_shape(layers, data.shape());
+            let row =
+                quantize_slice_with_kernel(data.as_slice(), data.shape(), &config, &mut kernel)
+                    .unwrap();
+            let oracle = quantize_slice_with_kernel_oracle(
+                data.as_slice(),
+                data.shape(),
+                &config,
+                &mut kernel,
+            )
+            .unwrap();
+            let (row_bytes, row_stats) = encode_quantized(&row, HuffmanTable::PerBand);
+            let (oracle_bytes, oracle_stats) = encode_quantized(&oracle, HuffmanTable::PerBand);
+            assert_eq!(row_bytes, oracle_bytes, "{name} n={layers}");
+            assert_eq!(row_stats, oracle_stats, "{name} n={layers}");
+        }
+    }
+}
+
+#[test]
 fn sz11_respects_bound_on_all_datasets() {
     for (name, data) in all_small_fields() {
         let eb = 1e-4 * value_range(data.as_slice());
