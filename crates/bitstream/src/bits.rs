@@ -117,6 +117,33 @@ impl BitWriter {
         }
         self.bytes
     }
+
+    /// Pads to a byte boundary and borrows the finished buffer — the
+    /// reusable sibling of [`Self::into_bytes`], byte-identical output.
+    ///
+    /// The writer stays alive so a long-lived owner (e.g. a codec session)
+    /// can copy the bytes out and [`Self::clear`] for the next stream
+    /// without giving up the allocation. Writing more bits after `finish`
+    /// without clearing starts a fresh byte-aligned region, which is almost
+    /// never what a bit-packed format wants.
+    pub fn finish(&mut self) -> &[u8] {
+        self.align_to_byte();
+        &self.bytes
+    }
+
+    /// Resets the writer to empty, keeping the allocated buffer.
+    pub fn clear(&mut self) {
+        self.bytes.clear();
+        self.acc = 0;
+        self.acc_bits = 0;
+    }
+
+    /// Reserves capacity for at least `additional_bytes` more bytes, so a
+    /// caller that can bound the upcoming stream pre-sizes the buffer and
+    /// the write loop never reallocates.
+    pub fn reserve(&mut self, additional_bytes: usize) {
+        self.bytes.reserve(additional_bytes);
+    }
 }
 
 /// Reads bits MSB-first from a byte slice.

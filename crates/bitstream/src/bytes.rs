@@ -97,6 +97,23 @@ impl ByteWriter {
     pub fn as_bytes(&self) -> &[u8] {
         &self.bytes
     }
+
+    /// Resets the writer to empty, keeping the allocated buffer.
+    pub fn clear(&mut self) {
+        self.bytes.clear();
+    }
+
+    /// Number of bytes [`Self::write_varint`] would emit for `v` — lets a
+    /// writer length-prefix a section whose parts are streamed in without
+    /// assembling them contiguously first.
+    pub fn varint_len(mut v: u64) -> usize {
+        let mut n = 1;
+        while v >= 0x80 {
+            v >>= 7;
+            n += 1;
+        }
+        n
+    }
 }
 
 /// Deserializes archive headers and sections from a byte slice.

@@ -143,10 +143,14 @@ pub fn compress(args: &Args) -> CmdResult {
                 szr_core::compress_pointwise_rel(data, eb, &cfg).map_err(|e| e.to_string())
             }
             (None, true) => {
-                szr_core::compress(data, &auto_config(args, data)?).map_err(|e| e.to_string())
+                let mut session = szr_core::CodecSession::new(auto_config(args, data)?)
+                    .map_err(|e| e.to_string())?;
+                session.compress(data).map_err(|e| e.to_string())
             }
             (None, false) => {
-                szr_core::compress(data, &build_config(args)?).map_err(|e| e.to_string())
+                let mut session =
+                    szr_core::CodecSession::new(build_config(args)?).map_err(|e| e.to_string())?;
+                session.compress(data).map_err(|e| e.to_string())
             }
         }
     }
@@ -220,11 +224,13 @@ pub fn decompress(args: &Args) -> CmdResult {
     let t0 = Instant::now();
     match info.dtype {
         "f32" => {
-            let data: Tensor<f32> = szr_core::decompress(&archive).map_err(|e| e.to_string())?;
+            let mut session = szr_core::CodecSession::<f32>::decoder();
+            let data = session.decompress(&archive).map_err(|e| e.to_string())?;
             write_raw(output, &data)?;
         }
         _ => {
-            let data: Tensor<f64> = szr_core::decompress(&archive).map_err(|e| e.to_string())?;
+            let mut session = szr_core::CodecSession::<f64>::decoder();
+            let data = session.decompress(&archive).map_err(|e| e.to_string())?;
             write_raw(output, &data)?;
         }
     }
@@ -284,9 +290,13 @@ pub fn eval(args: &Args) -> CmdResult {
     let t0 = Instant::now();
     let (packed, out): (Vec<u8>, Tensor<f32>) = match codec {
         "sz14" => {
+            // One session drives both directions: the decompress replay
+            // reuses the compress pass's kernel and scratch.
             let config = build_config_eval(args, eb)?;
-            let packed = szr_core::compress(&data, &config).map_err(|e| e.to_string())?;
-            let out = szr_core::decompress(&packed).map_err(|e| e.to_string())?;
+            let mut session =
+                szr_core::CodecSession::<f32>::new(config).map_err(|e| e.to_string())?;
+            let packed = session.compress(&data).map_err(|e| e.to_string())?;
+            let out = session.decompress(&packed).map_err(|e| e.to_string())?;
             (packed, out)
         }
         "zfp" => {

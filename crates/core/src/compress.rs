@@ -149,17 +149,15 @@ fn compress_validated<T: ScalarFloat>(
 /// multi-band driver can histogram codes *across* bands and entropy-code
 /// them under one shared Huffman table (see [`encode_quantized`]).
 pub struct QuantizedBand {
-    type_tag: u8,
+    meta: BandMeta,
     dims: Vec<usize>,
-    layers: usize,
-    interval_bits: u32,
-    decorrelate: bool,
-    lossless_pass: bool,
-    eb: f64,
-    range: f64,
-    predictable: usize,
     codes: Vec<u32>,
     unpred: Vec<u8>,
+    /// Code histogram over the occupied range `0..=max_code`, computed once
+    /// on first use and then shared by every consumer — the per-band encode,
+    /// the chunked driver's shared-table merge, and size comparisons — so
+    /// none of them re-scans `codes`.
+    hist: std::sync::OnceLock<Vec<u64>>,
 }
 
 impl QuantizedBand {
@@ -170,7 +168,14 @@ impl QuantizedBand {
 
     /// Entropy-coder alphabet size (`2^m`: intervals + escape code).
     pub fn alphabet(&self) -> usize {
-        1usize << self.interval_bits
+        1usize << self.meta.interval_bits
+    }
+
+    /// The `m` this band quantized with (`2^m − 1` intervals) — what the
+    /// adaptive scheme chose, if it ran. Multi-band drivers pin later bands
+    /// to this so one shared table serves aligned code distributions.
+    pub fn interval_bits(&self) -> u32 {
+        self.meta.interval_bits
     }
 
     /// Number of points in the band.
@@ -182,6 +187,65 @@ impl QuantizedBand {
     /// quantize entry points, which reject empty shapes).
     pub fn is_empty(&self) -> bool {
         self.codes.is_empty()
+    }
+
+    /// Code histogram over the occupied symbol range `0..=max_code`
+    /// (`hist[0]` counts escapes), computed once and cached. Multi-band
+    /// drivers merge these instead of re-scanning [`Self::codes`] per use.
+    pub fn histogram(&self) -> &[u64] {
+        self.hist.get_or_init(|| {
+            let mut freqs = Vec::new();
+            occupied_histogram(&self.codes, &mut freqs);
+            freqs
+        })
+    }
+}
+
+/// Counts `codes` into `freqs` (cleared and resized here) over exactly the
+/// occupied range `0..=max_code` — the one definition of the convention
+/// `szr_huffman::compress_u32_from_hist` expects, shared by the band cache
+/// above and the session's reusable scratch.
+pub(crate) fn occupied_histogram(codes: &[u32], freqs: &mut Vec<u64>) {
+    let used = codes.iter().max().map_or(0, |&m| m as usize + 1);
+    freqs.clear();
+    freqs.resize(used, 0);
+    for &c in codes {
+        freqs[c as usize] += 1;
+    }
+}
+
+/// Header fields and per-run counters of one quantized band — everything
+/// [`encode_parts`] needs besides the code/escape payloads, separated from
+/// [`QuantizedBand`] so a session can quantize into reusable buffers
+/// without assembling an owned band.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct BandMeta {
+    pub type_tag: u8,
+    pub layers: usize,
+    pub interval_bits: u32,
+    pub decorrelate: bool,
+    pub lossless_pass: bool,
+    pub eb: f64,
+    pub range: f64,
+    pub predictable: usize,
+}
+
+/// Reusable destination buffers for the quantize stage: the code stream,
+/// the per-row escape-index scratch, and the escape bit stream. A session
+/// owns one and recycles it across bands; the owned-band entry points build
+/// a throwaway one per call.
+#[derive(Default)]
+pub(crate) struct QuantBufs {
+    pub codes: Vec<u32>,
+    pub misses: Vec<u32>,
+    pub unpred: BitWriter,
+}
+
+impl QuantBufs {
+    pub fn reset(&mut self) {
+        self.codes.clear();
+        self.misses.clear();
+        self.unpred.clear();
     }
 }
 
@@ -239,10 +303,8 @@ struct RowQuantizer<'a, T: ScalarFloat> {
     quantizer: Quantizer,
     unpred: UnpredictableCodec,
     eb: f64,
-    codes: Vec<u32>,
-    bits: BitWriter,
+    bufs: &'a mut QuantBufs,
     predictable: usize,
-    misses: Vec<u32>,
 }
 
 impl<T: ScalarFloat> crate::kernel::RowVisitor<T> for RowQuantizer<'_, T> {
@@ -261,13 +323,13 @@ impl<T: ScalarFloat> crate::kernel::RowVisitor<T> for RowQuantizer<'_, T> {
         });
         Ok(match quantized {
             Some((code, r)) => {
-                self.codes.push(code);
+                self.bufs.codes.push(code);
                 self.predictable += 1;
                 r
             }
             None => {
-                self.codes.push(0);
-                self.unpred.encode(value, &mut self.bits)
+                self.bufs.codes.push(0);
+                self.unpred.encode(value, &mut self.bufs.unpred)
             }
         })
     }
@@ -287,29 +349,30 @@ impl<T: ScalarFloat> crate::kernel::RowVisitor<T> for RowQuantizer<'_, T> {
             prev,
             self.eb,
             &self.unpred,
-            &mut self.codes,
+            &mut self.bufs.codes,
             row,
-            &mut self.misses,
+            &mut self.bufs.misses,
         );
         // Escape bits for this row's misses, in scan order (border points of
         // the same row were already serialized by `point` above, and the
         // next row's come after).
-        for &i in &self.misses {
+        for &i in &self.bufs.misses {
             self.unpred
-                .encode(self.values[flat + i as usize], &mut self.bits);
+                .encode(self.values[flat + i as usize], &mut self.bufs.unpred);
         }
-        self.misses.clear();
+        self.bufs.misses.clear();
         Ok(())
     }
 }
 
-fn quantize_validated_impl<T: ScalarFloat>(
+/// Checks `values`/`shape`/`kernel` agreement and resolves the effective
+/// bound — the head of every quantize variant. Returns `(range, eb)`.
+pub(crate) fn resolve_range_eb<T: ScalarFloat>(
     values: &[T],
     shape: &szr_tensor::Shape,
     config: &Config,
-    kernel: &mut ScanKernel,
-    force_point_oracle: bool,
-) -> Result<QuantizedBand> {
+    kernel: &ScanKernel,
+) -> Result<(f64, f64)> {
     if values.len() != shape.len() {
         return Err(crate::SzError::InvalidConfig(
             "slice length does not match shape",
@@ -329,7 +392,19 @@ fn quantize_validated_impl<T: ScalarFloat>(
         max = max.max(x);
     }
     let range = if min > max { 0.0 } else { max - min };
-    let eb = config.bound.effective(range);
+    Ok((range, config.bound.effective(range)))
+}
+
+/// [`resolve_range_eb`] plus the interval-bits choice (running the §IV-B
+/// sampler in adaptive mode) — the staged path's full parameter head.
+/// Returns `(range, eb, interval_bits)`.
+pub(crate) fn resolve_band_params<T: ScalarFloat>(
+    values: &[T],
+    shape: &szr_tensor::Shape,
+    config: &Config,
+    kernel: &mut ScanKernel,
+) -> Result<(f64, f64, u32)> {
+    let (range, eb) = resolve_range_eb(values, shape, config, kernel)?;
 
     // Decorrelation mode quantizes on half-width intervals so the ±eb/2
     // dither keeps the total error within eb.
@@ -350,20 +425,41 @@ fn quantize_validated_impl<T: ScalarFloat>(
             max_bits,
         ),
     };
+    Ok((range, eb, bits))
+}
+
+/// The quantize stage writing into caller-owned buffers — the body behind
+/// both the owned-[`QuantizedBand`] entry points (throwaway buffers) and
+/// [`crate::CodecSession`] (persistent buffers, allocation-free once warm).
+pub(crate) fn quantize_into<T: ScalarFloat>(
+    values: &[T],
+    shape: &szr_tensor::Shape,
+    config: &Config,
+    kernel: &mut ScanKernel,
+    force_point_oracle: bool,
+    bufs: &mut QuantBufs,
+    recon: &mut Vec<T>,
+) -> Result<BandMeta> {
+    let (range, eb, bits) = resolve_band_params(values, shape, config, kernel)?;
+    let eb_q = if config.decorrelate { eb / 2.0 } else { eb };
     let quantizer = Quantizer::new(eb_q, bits);
     let unpred = UnpredictableCodec::new(eb);
+
+    bufs.reset();
+    bufs.codes.reserve(values.len());
+    recon.clear();
+    recon.resize(values.len(), T::from_f64(0.0));
 
     // Scan stage: the kernel owns the predict->visit traversal; the visitor
     // quantizes and records. Reconstructed values are stored back into the
     // scan buffer, feeding later predictions so the decompressor sees
     // identical state. Decorrelation mode threads per-index dither through
     // the point visitor; everything else batches row at a time.
-    let mut recon: Vec<T> = vec![T::from_f64(0.0); values.len()];
-    let (codes, unpred_bytes, predictable) = if config.decorrelate || force_point_oracle {
-        let mut codes: Vec<u32> = Vec::with_capacity(values.len());
-        let mut unpred_bits = BitWriter::new();
+    let predictable = if config.decorrelate || force_point_oracle {
         let mut predictable = 0usize;
-        kernel.scan(shape, &mut recon, |flat, pred| {
+        let codes = &mut bufs.codes;
+        let unpred_bits = &mut bufs.unpred;
+        kernel.scan(shape, recon, |flat, pred| {
             let value = values[flat];
             let v64 = value.to_f64();
             // A quantization hit must survive narrowing to T: the stored
@@ -390,36 +486,29 @@ fn quantize_validated_impl<T: ScalarFloat>(
                 }
                 None => {
                     codes.push(0);
-                    unpred.encode(value, &mut unpred_bits)
+                    unpred.encode(value, unpred_bits)
                 }
             }
         });
-        (codes, unpred_bits.into_bytes(), predictable)
+        predictable
     } else {
         let mut visitor = RowQuantizer {
             values,
             quantizer,
             unpred,
             eb,
-            codes: Vec::with_capacity(values.len()),
-            bits: BitWriter::new(),
+            bufs,
             predictable: 0,
-            misses: Vec::new(),
         };
-        match kernel.scan_rows(shape, &mut recon, &mut visitor) {
+        match kernel.scan_rows(shape, recon, &mut visitor) {
             Ok(()) => {}
             Err(e) => match e {},
         }
-        (
-            visitor.codes,
-            visitor.bits.into_bytes(),
-            visitor.predictable,
-        )
+        visitor.predictable
     };
 
-    Ok(QuantizedBand {
+    Ok(BandMeta {
         type_tag: T::TYPE_TAG,
-        dims: shape.dims().to_vec(),
         layers: config.layers,
         interval_bits: bits,
         decorrelate: config.decorrelate,
@@ -427,8 +516,33 @@ fn quantize_validated_impl<T: ScalarFloat>(
         eb,
         range,
         predictable,
-        codes,
-        unpred: unpred_bytes,
+    })
+}
+
+fn quantize_validated_impl<T: ScalarFloat>(
+    values: &[T],
+    shape: &szr_tensor::Shape,
+    config: &Config,
+    kernel: &mut ScanKernel,
+    force_point_oracle: bool,
+) -> Result<QuantizedBand> {
+    let mut bufs = QuantBufs::default();
+    let mut recon: Vec<T> = Vec::new();
+    let meta = quantize_into(
+        values,
+        shape,
+        config,
+        kernel,
+        force_point_oracle,
+        &mut bufs,
+        &mut recon,
+    )?;
+    Ok(QuantizedBand {
+        meta,
+        dims: shape.dims().to_vec(),
+        codes: bufs.codes,
+        unpred: bufs.unpred.into_bytes(),
+        hist: std::sync::OnceLock::new(),
     })
 }
 
@@ -444,42 +558,83 @@ pub enum HuffmanTable<'a> {
 }
 
 /// Entropy-codes a quantized band into an archive (§IV) — the second half
-/// of the pipeline.
+/// of the pipeline. The per-band table is built from the band's cached
+/// [`QuantizedBand::histogram`], so a band whose histogram a multi-band
+/// driver already forced (the shared-table merge) is not re-scanned here.
 pub fn encode_quantized(
     band: &QuantizedBand,
+    table: HuffmanTable<'_>,
+) -> (Vec<u8>, CompressionStats) {
+    let hist = match table {
+        HuffmanTable::PerBand => Some(band.histogram()),
+        HuffmanTable::Shared(_) => None,
+    };
+    encode_parts(
+        &band.meta,
+        &band.dims,
+        &band.codes,
+        &band.unpred,
+        hist,
+        table,
+    )
+}
+
+/// Writes the common band-archive header (magic through dims) — shared by
+/// the staged encode and the session's fused writer so the two layouts
+/// cannot drift.
+pub(crate) fn write_band_header(
+    out: &mut ByteWriter,
+    version: u8,
+    meta: &BandMeta,
+    dims: &[usize],
+) {
+    out.write_bytes(&MAGIC);
+    out.write_u8(version);
+    out.write_u8(meta.type_tag);
+    out.write_u8(meta.layers as u8);
+    out.write_u8(meta.interval_bits as u8);
+    out.write_u8(meta.decorrelate as u8);
+    out.write_f64(meta.eb);
+    out.write_varint(dims.len() as u64);
+    for &d in dims {
+        out.write_varint(d as u64);
+    }
+}
+
+/// [`encode_quantized`] over loose parts: meta + dims + code/escape slices,
+/// with an optional precomputed histogram for the per-band table. This is
+/// the single archive writer behind every staged encode path.
+pub(crate) fn encode_parts(
+    meta: &BandMeta,
+    dims: &[usize],
+    codes: &[u32],
+    unpred_block: &[u8],
+    hist: Option<&[u64]>,
     table: HuffmanTable<'_>,
 ) -> (Vec<u8>, CompressionStats) {
     let (version, huffman_block) = match table {
         HuffmanTable::PerBand => (
             VERSION,
-            szr_huffman::compress_u32(&band.codes, band.alphabet()),
+            match hist {
+                Some(h) => szr_huffman::compress_u32_from_hist(codes, h),
+                None => szr_huffman::compress_u32(codes, 1usize << meta.interval_bits),
+            },
         ),
         HuffmanTable::Shared(codec) => (
             VERSION_SHARED,
-            szr_huffman::compress_u32_with_codec(&band.codes, codec),
+            szr_huffman::compress_u32_with_codec(codes, codec),
         ),
     };
-    let unpred_block = &band.unpred;
 
     let mut out = ByteWriter::with_capacity(huffman_block.len() + unpred_block.len() + 64);
-    out.write_bytes(&MAGIC);
-    out.write_u8(version);
-    out.write_u8(band.type_tag);
-    out.write_u8(band.layers as u8);
-    out.write_u8(band.interval_bits as u8);
-    out.write_u8(band.decorrelate as u8);
-    out.write_f64(band.eb);
-    out.write_varint(band.dims.len() as u64);
-    for &d in &band.dims {
-        out.write_varint(d as u64);
-    }
+    write_band_header(&mut out, version, meta, dims);
     // Payload: the two sections, optionally behind SZ's "best compression"
     // DEFLATE pass (the Huffman stream has a 1-bit/symbol floor that
     // DEFLATE's match layer can break on low-entropy code streams).
     let mut payload = ByteWriter::with_capacity(huffman_block.len() + unpred_block.len() + 8);
     payload.write_len_prefixed(&huffman_block);
     payload.write_len_prefixed(unpred_block);
-    if band.lossless_pass {
+    if meta.lossless_pass {
         let deflated = szr_deflate::deflate_compress(payload.as_bytes());
         if deflated.len() < payload.len() {
             out.write_u8(1);
@@ -495,12 +650,12 @@ pub fn encode_quantized(
     let bytes = out.into_bytes();
 
     let stats = CompressionStats {
-        total: band.codes.len(),
-        predictable: band.predictable,
-        eb_abs: band.eb,
-        range: band.range,
-        interval_bits: band.interval_bits,
-        layers: band.layers,
+        total: codes.len(),
+        predictable: meta.predictable,
+        eb_abs: meta.eb,
+        range: meta.range,
+        interval_bits: meta.interval_bits,
+        layers: meta.layers,
         compressed_bytes: bytes.len(),
         huffman_bytes: huffman_block.len(),
         unpredictable_bytes: unpred_block.len(),
@@ -732,11 +887,9 @@ mod tests {
         let mut kernel = ScanKernel::for_shape(config.layers, data.shape());
         let band = quantize_slice_with_kernel(data.as_slice(), data.shape(), &config, &mut kernel)
             .unwrap();
-        let mut freqs = vec![0u64; band.codes().iter().max().map_or(1, |&m| m as usize + 1)];
-        for &c in band.codes() {
-            freqs[c as usize] += 1;
-        }
-        let codec = szr_huffman::HuffmanCodec::from_frequencies(&freqs);
+        // The band's cached histogram is the canonical frequency source —
+        // no consumer re-scans `band.codes()`.
+        let codec = szr_huffman::HuffmanCodec::from_frequencies(band.histogram());
         let (bytes, _) = encode_quantized(&band, HuffmanTable::Shared(&codec));
         // Without the codec the archive must refuse, not misdecode.
         assert!(decompress::<f32>(&bytes).is_err());

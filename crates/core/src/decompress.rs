@@ -142,7 +142,24 @@ pub fn decompress<T: ScalarFloat>(bytes: &[u8]) -> Result<Tensor<T>> {
     let mut reader = ByteReader::new(bytes);
     let header = parse_header(&mut reader)?;
     let mut kernel = ScanKernel::for_shape(header.layers, &header.shape);
-    decompress_parsed(header, reader, &mut kernel, None)
+    decompress_parsed(header, reader, &mut kernel, None, &mut Vec::new())
+}
+
+/// Decompresses one archive through caller-owned reusable state: a kernel
+/// cache (one per (layer count, stride family) seen, created on demand) and
+/// a code-stream scratch buffer. Version-2 shared-stream archives decode
+/// through `codec`; a missing codec fails loudly. This is the decode body
+/// behind [`crate::CodecSession`] and `szr-parallel`'s per-worker sessions.
+pub(crate) fn decompress_cached<T: ScalarFloat>(
+    bytes: &[u8],
+    codec: Option<&HuffmanCodec>,
+    kernels: &mut Vec<ScanKernel>,
+    codes: &mut Vec<u32>,
+) -> Result<Tensor<T>> {
+    let mut reader = ByteReader::new(bytes);
+    let header = parse_header(&mut reader)?;
+    let idx = ScanKernel::cache_index(kernels, header.layers, &header.shape);
+    decompress_parsed(header, reader, &mut kernels[idx], codec, codes)
 }
 
 /// Decompresses an archive using a caller-provided [`ScanKernel`] — the
@@ -169,7 +186,7 @@ pub fn decompress_with_kernel<T: ScalarFloat>(
             "kernel does not match archive shape and layer count",
         ));
     }
-    decompress_parsed(header, reader, kernel, None)
+    decompress_parsed(header, reader, kernel, None, &mut Vec::new())
 }
 
 /// Decompresses a version-2 band archive whose Huffman table is shared:
@@ -192,18 +209,21 @@ pub fn decompress_shared_with_kernel<T: ScalarFloat>(
             "kernel does not match archive shape and layer count",
         ));
     }
-    decompress_parsed(header, reader, kernel, Some(codec))
+    decompress_parsed(header, reader, kernel, Some(codec), &mut Vec::new())
 }
 
 /// Payload decode shared by every decompress entry point; `reader` is
-/// positioned just past the header, `kernel` matches it, and `codec` is the
+/// positioned just past the header, `kernel` matches it, `codec` is the
 /// shared Huffman table (required for version-2 archives, ignored
-/// otherwise).
+/// otherwise), and `codes` is the symbol scratch buffer (cleared here; a
+/// session passes a persistent one so repeated decodes reuse the
+/// allocation).
 fn decompress_parsed<T: ScalarFloat>(
     header: Header,
     mut reader: ByteReader<'_>,
     kernel: &mut ScanKernel,
     codec: Option<&HuffmanCodec>,
+    codes: &mut Vec<u32>,
 ) -> Result<Tensor<T>> {
     if header.type_tag != T::TYPE_TAG {
         return Err(SzError::WrongType {
@@ -231,14 +251,15 @@ fn decompress_parsed<T: ScalarFloat>(
         _ => return Err(SzError::Corrupt("unknown payload post-pass".into())),
     };
 
-    let codes = if header.shared_stream {
+    if header.shared_stream {
         let codec = codec.ok_or_else(|| {
             SzError::Corrupt("archive needs its container's shared huffman table".into())
         })?;
-        szr_huffman::decompress_u32_with_codec(huffman_block, codec)?
+        szr_huffman::decompress_u32_with_codec_into(huffman_block, codec, codes)?;
     } else {
-        szr_huffman::decompress_u32(huffman_block)?
-    };
+        szr_huffman::decompress_u32_into(huffman_block, codes)?;
+    }
+    let codes: &[u32] = codes;
     let total = header.shape.len();
     if codes.len() != total {
         return Err(SzError::Corrupt(format!(
@@ -296,7 +317,7 @@ fn decompress_parsed<T: ScalarFloat>(
         // row scan, which aborts at the first corrupt symbol instead of
         // decoding the full grid.
         let mut visitor = RowDecoder {
-            codes: &codes,
+            codes,
             alphabet,
             quantizer,
             unpred,

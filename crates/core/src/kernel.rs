@@ -232,6 +232,26 @@ impl ScanKernel {
         Self::new(layers, shape.strides())
     }
 
+    /// Find-or-create in a kernel cache keyed by *(layer count, stride
+    /// family)* — the one definition of the cache policy, shared by
+    /// [`crate::CodecSession`]'s compress side and the cached decode path.
+    pub(crate) fn cache_index(
+        kernels: &mut Vec<ScanKernel>,
+        layers: usize,
+        shape: &Shape,
+    ) -> usize {
+        match kernels
+            .iter()
+            .position(|k| k.layers() == layers && k.matches(shape))
+        {
+            Some(i) => i,
+            None => {
+                kernels.push(ScanKernel::for_shape(layers, shape));
+                kernels.len() - 1
+            }
+        }
+    }
+
     fn with_kind(layers: usize, strides: &[usize], kind: KernelKind) -> Self {
         assert!(layers >= 1, "ScanKernel requires at least one layer");
         assert!(

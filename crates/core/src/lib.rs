@@ -39,6 +39,31 @@
 //!     assert!((a - b).abs() <= 1e-3);
 //! }
 //! ```
+//!
+//! ## Sessions
+//!
+//! The free functions above build their pipeline state per call. Anything
+//! compressing or decompressing repeatedly — streams, chunked workers,
+//! planners — holds a [`CodecSession`] instead: it owns the scan kernels,
+//! quantize/entropy buffers, and decode scratch, making steady-state
+//! operation allocation-free, and it unlocks the fused quantize→encode
+//! fast path (see [`CodecSession::set_table_reuse`]):
+//!
+//! ```
+//! use szr_core::{CodecSession, Config, ErrorBound};
+//! use szr_tensor::Tensor;
+//!
+//! let config = Config::new(ErrorBound::Absolute(1e-3));
+//! let mut session = CodecSession::<f32>::new(config).unwrap();
+//! for step in 0..3 {
+//!     let band = Tensor::from_fn([32, 64], |ix| {
+//!         ((ix[0] + step) as f32 * 0.1).sin() + (ix[1] as f32 * 0.07).cos()
+//!     });
+//!     let archive = session.compress(&band).unwrap();
+//!     let back = session.decompress(&archive).unwrap();
+//!     assert_eq!(back.dims(), band.dims());
+//! }
+//! ```
 
 mod compress;
 mod config;
@@ -48,6 +73,7 @@ mod kernel;
 mod predict;
 mod pwrel;
 mod quant;
+mod session;
 mod stats;
 mod stream;
 mod unpred;
@@ -66,6 +92,7 @@ pub use kernel::{Carry, KernelKind, RowVisitor, ScanKernel};
 pub use predict::{layer_coefficients, predict_at, Stencil, StencilSet};
 pub use pwrel::{compress_pointwise_rel, decompress_pointwise_rel};
 pub use quant::{choose_interval_bits, choose_interval_bits_with_kernel, Quantizer};
+pub use session::{covering_codec, CodecSession};
 pub use stats::{
     hit_rate_by_layer, quantization_histogram, quantization_histogram_with_kernel, PredictionBasis,
 };

@@ -169,7 +169,14 @@ pub struct StencilSet {
     n: usize,
     strides: Vec<usize>,
     interior: Stencil,
-    border: HashMap<Vec<usize>, Stencil>,
+    /// Border stencils keyed by packed class id (4 bits per axis): lookups
+    /// — one per border point, every scan — stay allocation-free, which
+    /// the codec session's steady-state zero-allocation guarantee relies
+    /// on. Exact only when the packing fits a `u64` (see [`Self::packable`]).
+    border: HashMap<u64, Stencil>,
+    /// Exact fallback cache for grids the packed id cannot represent
+    /// (rank > 16 or n > 14): correctness over lookup allocation there.
+    border_wide: HashMap<Vec<usize>, Stencil>,
 }
 
 impl StencilSet {
@@ -182,7 +189,25 @@ impl StencilSet {
             strides: strides.to_vec(),
             interior: Stencil::build(&vec![n; d], strides),
             border: HashMap::new(),
+            border_wide: HashMap::new(),
         }
+    }
+
+    /// True when every class vector packs injectively into a `u64`: one
+    /// 4-bit nibble per axis (digits are `min(x, n) ≤ n`, so `n ≤ 14`
+    /// leaves the all-interior digit 15 unreachable), 16 axes per word.
+    #[inline]
+    fn packable(&self, rank: usize) -> bool {
+        rank <= 16 && self.n <= 14
+    }
+
+    /// Packs a clamped per-axis layer vector into one integer; only called
+    /// when [`Self::packable`] holds, so nibbles cannot collide or wrap.
+    #[inline]
+    fn class_id(&self, index: &[usize]) -> u64 {
+        index
+            .iter()
+            .fold(0u64, |id, &x| (id << 4) | x.min(self.n) as u64)
     }
 
     /// Returns the stencil for the point at `index`.
@@ -191,11 +216,19 @@ impl StencilSet {
         if index.iter().all(|&x| x >= self.n) {
             return &self.interior;
         }
-        let class: Vec<usize> = index.iter().map(|&x| x.min(self.n)).collect();
-        let strides = &self.strides;
-        self.border
-            .entry(class.clone())
-            .or_insert_with(|| Stencil::build(&class, strides))
+        let (n, strides) = (self.n, &self.strides);
+        if self.packable(index.len()) {
+            let id = self.class_id(index);
+            self.border.entry(id).or_insert_with(|| {
+                let class: Vec<usize> = index.iter().map(|&x| x.min(n)).collect();
+                Stencil::build(&class, strides)
+            })
+        } else {
+            let class: Vec<usize> = index.iter().map(|&x| x.min(n)).collect();
+            self.border_wide
+                .entry(class.clone())
+                .or_insert_with(|| Stencil::build(&class, strides))
+        }
     }
 }
 
@@ -363,6 +396,24 @@ mod tests {
         assert_eq!(first_row, expect_1d);
         // Interior: full 2-layer stencil (2*(2+2) = 8 points).
         assert_eq!(set.for_index(&[5, 5]).len(), 8);
+    }
+
+    #[test]
+    fn high_rank_border_classes_stay_exact() {
+        // Rank 17 cannot pack one nibble per axis into a u64: the wide
+        // fallback cache must keep distinct border classes distinct (a
+        // packed id would wrap and collide them). n = 1 keeps the interior
+        // stencil (2^d terms) buildable.
+        let d = 17;
+        let strides: Vec<usize> = (0..d).map(|i| 1usize << (d - 1 - i)).collect();
+        let mut set = StencilSet::new(1, &strides);
+        let origin = set.for_index(&vec![0usize; d]).clone();
+        let mut ix = vec![0usize; d];
+        ix[d - 1] = 1;
+        let off_axis = set.for_index(&ix).clone();
+        assert_ne!(origin, off_axis);
+        // Repeat lookups hit the cache and agree with the first answer.
+        assert_eq!(*set.for_index(&ix), off_axis);
     }
 
     #[test]

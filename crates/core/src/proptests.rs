@@ -1,9 +1,41 @@
 //! Property tests for the compressor's central invariant:
 //! every decompressed point is within the error bound of the original.
 
-use crate::{compress, compress_with_stats, decompress, Config, ErrorBound};
+use crate::{compress, compress_with_stats, decompress, CodecSession, Config, ErrorBound};
 use proptest::prelude::*;
 use szr_tensor::Tensor;
+
+/// Strategy: a family of 1-D/2-D/3-D grids sharing inner extents (what one
+/// session serves across bands), with mixed smooth/noisy content.
+fn arb_grid_family_f32() -> impl Strategy<Value = Vec<Tensor<f32>>> {
+    (
+        1usize..4,
+        2usize..14,
+        2usize..8,
+        prop::collection::vec((1usize..14, any::<u32>()), 2..4),
+    )
+        .prop_map(|(ndim, a, b, leads)| {
+            leads
+                .into_iter()
+                .map(|(lead, seed)| {
+                    let dims = match ndim {
+                        1 => vec![lead * 9 + 1],
+                        2 => vec![lead, a],
+                        _ => vec![lead, a, b],
+                    };
+                    Tensor::from_fn(&dims[..], move |ix| {
+                        let mut h = seed as u64;
+                        for &i in ix {
+                            h = h.wrapping_mul(31).wrapping_add(i as u64 + 1);
+                        }
+                        h = h.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                        let s: usize = ix.iter().sum();
+                        (s as f32 * 0.05).sin() * 50.0 + ((h >> 48) as f32) * 1e-2
+                    })
+                })
+                .collect()
+        })
+}
 
 /// Strategy: random small grids of random finite f32 data.
 fn arb_grid_f32() -> impl Strategy<Value = Tensor<f32>> {
@@ -197,6 +229,112 @@ proptest! {
         let pos = ((copy.len() - 1) as f64 * flip_frac) as usize;
         copy[pos] ^= flip_mask;
         let _ = decompress::<f32>(&copy); // error or decode; never a panic
+    }
+
+    /// A reused session is indistinguishable from the free-function
+    /// pipeline, byte for byte, across dims, band sequences, and both
+    /// table paths — the refactor's central equivalence claim.
+    #[test]
+    fn reused_session_matches_fresh_pipeline_byte_for_byte(
+        grids in arb_grid_family_f32(),
+        eb in 1e-4f64..1.0,
+    ) {
+        let config = Config::new(ErrorBound::Absolute(eb));
+        let mut session = CodecSession::<f32>::new(config).unwrap();
+        for grid in &grids {
+            // Per-band (staged) path.
+            let (fresh, fresh_stats) =
+                crate::compress_slice_with_stats(grid.as_slice(), grid.shape(), &config).unwrap();
+            let (reused, reused_stats) = session.compress_with_stats(grid).unwrap();
+            prop_assert_eq!(&reused, &fresh);
+            prop_assert_eq!(reused_stats, fresh_stats);
+            // Shared-table path: same codec, session vs free staging.
+            let mut kernel = crate::ScanKernel::for_shape(config.layers, grid.shape());
+            let band_fresh = crate::quantize_slice_with_kernel(
+                grid.as_slice(), grid.shape(), &config, &mut kernel).unwrap();
+            let codec = szr_huffman::HuffmanCodec::from_frequencies(band_fresh.histogram());
+            let (shared_fresh, _) =
+                crate::encode_quantized(&band_fresh, crate::HuffmanTable::Shared(&codec));
+            let band_sess = session.quantize(grid.as_slice(), grid.shape()).unwrap();
+            let (shared_sess, _) = session.encode(&band_sess, crate::HuffmanTable::Shared(&codec));
+            prop_assert_eq!(&shared_sess, &shared_fresh);
+            // Decode through the session == free decode, both kinds.
+            let free_out: Tensor<f32> = decompress(&fresh).unwrap();
+            let sess_out = session.decompress(&reused).unwrap();
+            prop_assert_eq!(free_out.as_slice(), sess_out.as_slice());
+            let free_shared: Tensor<f32> =
+                crate::decompress_shared_with_kernel(&shared_fresh, &codec, &mut kernel).unwrap();
+            let sess_shared = session.decompress_shared(&shared_sess, &codec).unwrap();
+            prop_assert_eq!(free_shared.as_slice(), sess_shared.as_slice());
+        }
+    }
+
+    /// Same equivalence for f64 sessions (1-D families).
+    #[test]
+    fn reused_f64_session_matches_fresh_pipeline(
+        seqs in prop::collection::vec(prop::collection::vec(-1e9f64..1e9, 4..200), 2..4),
+        eb in 1e-6f64..1e2,
+    ) {
+        let config = Config::new(ErrorBound::Absolute(eb));
+        let mut session = CodecSession::<f64>::new(config).unwrap();
+        for data in seqs {
+            let len = data.len();
+            let grid = Tensor::from_vec([len], data);
+            let fresh = compress(&grid, &config).unwrap();
+            let reused = session.compress(&grid).unwrap();
+            prop_assert_eq!(&reused, &fresh);
+            let out = session.decompress(&reused).unwrap();
+            for (&a, &b) in grid.as_slice().iter().zip(out.as_slice()) {
+                prop_assert!((a - b).abs() <= eb);
+            }
+        }
+    }
+
+    /// Fused table-reuse mode: archives stay self-describing (plain
+    /// `decompress` reads them) and within the bound across band sequences
+    /// that may or may not trigger the escape-rebuild fallback.
+    #[test]
+    fn fused_session_archives_self_describe_and_hold_the_bound(
+        grids in arb_grid_family_f32(),
+        eb in 1e-4f64..1.0,
+    ) {
+        let config = Config::new(ErrorBound::Absolute(eb));
+        let mut session = CodecSession::<f32>::new(config).unwrap();
+        session.set_table_reuse(true);
+        for grid in &grids {
+            let (bytes, stats) = session.compress_with_stats(grid).unwrap();
+            prop_assert_eq!(stats.total, grid.len());
+            prop_assert_eq!(stats.compressed_bytes, bytes.len());
+            let out: Tensor<f32> = decompress(&bytes).unwrap();
+            prop_assert_eq!(out.dims(), grid.dims());
+            for (&a, &b) in grid.as_slice().iter().zip(out.as_slice()) {
+                prop_assert!((a as f64 - b as f64).abs() <= eb);
+            }
+        }
+    }
+
+    /// Corrupt-archive handling through the session decode path: every
+    /// truncation errors, every bit flip errors or decodes, and the session
+    /// stays usable afterwards.
+    #[test]
+    fn session_decode_rejects_corruption_without_panic(
+        grid in arb_grid_f32(),
+        cut_frac in 0.0f64..1.0,
+        flip_frac in 0.0f64..1.0,
+        flip_mask in 1u8..=255,
+    ) {
+        let config = Config::new(ErrorBound::Relative(1e-3));
+        let mut session = CodecSession::<f32>::new(config).unwrap();
+        let bytes = session.compress(&grid).unwrap();
+        let cut = ((bytes.len() as f64 * cut_frac) as usize).min(bytes.len() - 1);
+        prop_assert!(session.decompress(&bytes[..cut]).is_err(), "cut {}", cut);
+        let mut copy = bytes.clone();
+        let pos = ((copy.len() - 1) as f64 * flip_frac) as usize;
+        copy[pos] ^= flip_mask;
+        let _ = session.decompress(&copy); // error or decode; never a panic
+        // The session survives the corruption attempts intact.
+        let out = session.decompress(&bytes).unwrap();
+        prop_assert_eq!(out.dims(), grid.dims());
     }
 
     /// f64 data obeys the bound too.

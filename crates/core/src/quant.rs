@@ -140,35 +140,82 @@ impl Quantizer {
         recon: &mut [T],
         misses: &mut Vec<u32>,
     ) -> usize {
+        codes.reserve(values.len());
+        let result: std::result::Result<usize, std::convert::Infallible> = self.quantize_row_emit(
+            values,
+            partials,
+            carry,
+            prev,
+            narrow_eb,
+            escape,
+            &mut |code| {
+                codes.push(code);
+                Ok(true)
+            },
+            recon,
+            misses,
+        );
+        match result {
+            Ok(hits) => hits,
+            Err(e) => match e {},
+        }
+    }
+
+    /// [`Quantizer::quantize_row`] generalized over the code destination —
+    /// the hook behind the fused quantize→encode path, which streams each
+    /// code straight into a Huffman bit writer.
+    ///
+    /// `emit` receives every point's code in scan order (0 for escapes) and
+    /// answers three ways:
+    ///
+    /// * `Ok(true)` — code accepted (a `Vec` sink always answers this;
+    ///   [`Quantizer::quantize_row`] is exactly that instantiation);
+    /// * `Ok(false)` — the sink has no codeword for this (non-zero) code:
+    ///   the point is **demoted to an escape** — `emit(0)` is called, the
+    ///   point joins `misses`, and its reconstruction is the escape codec's,
+    ///   all of which the decoder replays consistently. The sink must
+    ///   accept code 0 (guaranteed by the session's table construction and
+    ///   debug-asserted here);
+    /// * `Err(e)` — abort the scan (a fused sink gives up when demotions
+    ///   pass its cap and the caller re-runs the band staged; partial
+    ///   `recon`/`misses` state is discarded with it).
+    #[allow(clippy::too_many_arguments)]
+    pub fn quantize_row_emit<T: ScalarFloat, E>(
+        &self,
+        values: &[T],
+        partials: &[f64],
+        carry: Carry,
+        prev: [T; 2],
+        narrow_eb: f64,
+        escape: &UnpredictableCodec,
+        emit: &mut impl FnMut(u32) -> std::result::Result<bool, E>,
+        recon: &mut [T],
+        misses: &mut Vec<u32>,
+    ) -> std::result::Result<usize, E> {
         debug_assert_eq!(values.len(), partials.len());
         debug_assert_eq!(values.len(), recon.len());
         let two_eb = 2.0 * self.eb;
         let half_f = self.half as f64;
         let mut hits = 0usize;
-        codes.reserve(values.len());
-        let result: std::result::Result<(), std::convert::Infallible> =
-            carry.fold(partials, prev, recon, |i, pred| {
-                let v = values[i].to_f64();
-                let k = self.interval(v - pred);
-                // `NaN < half_f` is false, so non-finite values fall through
-                // to the escape path like the point oracle's NaN check.
-                let in_range = k.abs() < half_f;
-                let r = T::from_f64(pred + two_eb * k);
-                let hit = in_range && (v - r.to_f64()).abs() <= narrow_eb;
-                Ok(if hit {
-                    codes.push((self.half + k as i64) as u32);
-                    hits += 1;
-                    r
-                } else {
-                    codes.push(0);
-                    misses.push(i as u32);
-                    escape.reconstruction(values[i])
-                })
-            });
-        match result {
-            Ok(()) => hits,
-            Err(e) => match e {},
-        }
+        carry.fold(partials, prev, recon, |i, pred| {
+            let v = values[i].to_f64();
+            let k = self.interval(v - pred);
+            // `NaN < half_f` is false, so non-finite values fall through
+            // to the escape path like the point oracle's NaN check.
+            let in_range = k.abs() < half_f;
+            let r = T::from_f64(pred + two_eb * k);
+            let hit = in_range && (v - r.to_f64()).abs() <= narrow_eb;
+            if hit && emit((self.half + k as i64) as u32)? {
+                hits += 1;
+                Ok(r)
+            } else {
+                let escaped = emit(0)?;
+                debug_assert!(escaped, "sinks must always accept the escape code");
+                misses.push(i as u32);
+                Ok(escape.reconstruction(values[i]))
+            }
+        })?;
+        Ok(hits)
     }
 }
 

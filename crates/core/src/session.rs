@@ -1,0 +1,917 @@
+//! `CodecSession`: one owning object for the whole SZ-1.4 pipeline.
+//!
+//! The codec's reusable state — scan kernels (with their row-engine scratch
+//! rows), the quantizer's code/miss/escape buffers, Huffman codecs, and the
+//! bit/byte staging buffers — used to be wired up independently by every
+//! caller (the free functions, `StreamCompressor`, `szr-parallel`'s chunked
+//! workers, the planner's size model). A [`CodecSession`] owns all of it
+//! behind a small API, so:
+//!
+//! * repeated compression of same-family grids is **allocation-free in
+//!   steady state**: second and later calls on a session reuse every
+//!   buffer, and in fused table-reuse mode — with fixed interval bits and
+//!   the DEFLATE pass off, the two stages that still allocate per call —
+//!   the only allocation left is the output archive itself (pinned by the
+//!   counting-allocator test);
+//! * the staged halves ([`CodecSession::quantize`] /
+//!   [`CodecSession::encode`] / [`CodecSession::decompress`]) share the
+//!   same kernels and scratch, which is what the planner's repeated
+//!   pricing passes and the chunked driver's per-worker state want;
+//! * the **fused quantize→encode fast path** becomes possible: when a
+//!   Huffman table is known before the scan (session table-reuse mode, or
+//!   the chunked driver's presampled shared table),
+//!   [`Quantizer::quantize_row_emit`] streams each code straight into the
+//!   session's [`BitWriter`] and the intermediate `codes: Vec<u32>` is
+//!   never materialized.
+//!
+//! The szr-core free functions (`compress`, `decompress`, …) are thin
+//! wrappers that run a throwaway session-equivalent pipeline; their output
+//! is byte-identical to a session's staged output (pinned by property
+//! tests).
+//!
+//! ## Fused table reuse
+//!
+//! With [`CodecSession::set_table_reuse`] enabled, the first band compresses
+//! staged and the session then builds a *reuse table*: a Huffman code over
+//! the band's occupied symbol range with every count clamped to ≥ 1, so
+//! **every symbol in the range has a codeword**. Subsequent bands encode
+//! fused under that table as long as their codes stay inside its symbol
+//! range; the first out-of-range code aborts the fused scan and the band
+//! falls back to the staged path, which also rebuilds the reuse table from
+//! the band's own histogram (the escape-rebuild fallback). Fused archives
+//! embed the reuse table, so they stay fully self-describing — any standard
+//! [`crate::decompress`] reads them.
+
+use crate::compress::{
+    encode_parts, encode_quantized, quantize_into, quantize_slice_with_kernel, resolve_band_params,
+    resolve_range_eb, write_band_header, BandMeta, CompressionStats, HuffmanTable, QuantBufs,
+    QuantizedBand, VERSION, VERSION_SHARED,
+};
+use crate::config::Config;
+use crate::decompress::decompress_cached;
+use crate::float::ScalarFloat;
+use crate::kernel::{Carry, RowVisitor, ScanKernel};
+use crate::quant::Quantizer;
+use crate::unpred::UnpredictableCodec;
+use crate::{Result, SzError};
+use szr_bitstream::{BitWriter, ByteWriter};
+use szr_huffman::HuffmanCodec;
+use szr_tensor::{Shape, Tensor};
+
+/// A Huffman table retained across bands for the fused encode path.
+struct ReusedTable {
+    codec: HuffmanCodec,
+    /// Serialized alphabet size (`codec.lengths().len()`), the first varint
+    /// of a self-describing Huffman block.
+    used: u64,
+    /// RLE-serialized code-length table, cached so fused bands write it
+    /// without re-serializing.
+    table_rle: Vec<u8>,
+    /// Interval bits of the band that seeded the table. Fused bands
+    /// quantize with these — code distributions stay aligned with the
+    /// table's symbol range, and the §IV-B sampler is skipped entirely
+    /// while the table lives.
+    bits: u32,
+    /// The seeding band's escape fraction: the baseline for the drift
+    /// watchdog (a fused band escaping far more than the seed did reseeds
+    /// the table, restoring adaptive behavior).
+    escape_rate: f64,
+}
+
+/// A long-lived pipeline object owning every piece of reusable codec state.
+///
+/// See the [module docs](self) for the architecture. A session is bound to
+/// a scalar type `T` and (for compression) a [`Config`]; kernels are cached
+/// per *(layer count, stride family)*, so one session serves any mix of
+/// same-rank grids — chunked bands, stream slabs, planner samples.
+pub struct CodecSession<T: ScalarFloat> {
+    /// `None` for decode-only sessions ([`CodecSession::decoder`]).
+    config: Option<Config>,
+    table_reuse: bool,
+    kernels: Vec<ScanKernel>,
+    recon: Vec<T>,
+    bufs: QuantBufs,
+    /// Per-band code histogram scratch (occupied range), reused across
+    /// staged encodes.
+    freqs: Vec<u64>,
+    /// Fused-path Huffman bit stream.
+    code_bits: BitWriter,
+    /// Payload staging for the fused writer's DEFLATE pass.
+    payload: ByteWriter,
+    reuse: Option<ReusedTable>,
+    /// Decode-side symbol scratch.
+    decode_codes: Vec<u32>,
+}
+
+/// Fused-scan abort: demotions passed the cap (or the escape code itself
+/// has no codeword), so the band is cheaper to re-run staged.
+struct TableMiss;
+
+/// Demotion budget for one fused band: `len >> 6` (~1.6% of points). Below
+/// it, out-of-table codes ride as escapes; above it, the distribution has
+/// structurally outgrown the table and a staged rescan (which rebuilds the
+/// table) costs less than the escape bits.
+const DEMOTE_CAP_SHIFT: u32 = 6;
+
+/// Reseed trigger: a fused band that demoted more than `len >> 9` (~0.2%)
+/// of its points finished under the cap but signals drift — the retained
+/// table is dropped so the next band rebuilds it staged.
+const RESEED_SHIFT: u32 = 9;
+
+/// Builds a Huffman code that **covers** a histogram's full occupied range:
+/// every count is clamped to ≥ 1 (and an empty histogram still codes the
+/// escape symbol), so any code inside the range — including the escape
+/// code 0 — has a codeword. This is the invariant every fused
+/// quantize→encode table relies on: in-range codes always encode, and
+/// out-of-range codes can always demote to escapes.
+pub fn covering_codec(hist: &[u64]) -> HuffmanCodec {
+    let mut smoothed: Vec<u64> = hist.iter().map(|&f| f.max(1)).collect();
+    if smoothed.is_empty() {
+        smoothed.push(1);
+    }
+    HuffmanCodec::from_frequencies(&smoothed)
+}
+
+/// The fused sink's per-code decision, shared by the interior-row closure
+/// and the border-point path so the demotion policy cannot diverge:
+/// `Ok(true)` — encoded; `Ok(false)` — no codeword, demote this point to an
+/// escape; `Err` — abort the fused scan (the cap is crossed, or even the
+/// escape code is uncovered).
+#[inline]
+fn fused_emit(
+    codec: &HuffmanCodec,
+    code_bits: &mut BitWriter,
+    demoted: &mut usize,
+    demote_cap: usize,
+    code: u32,
+) -> std::result::Result<bool, TableMiss> {
+    if codec.try_encode(code, code_bits) {
+        return Ok(true);
+    }
+    if code == 0 {
+        return Err(TableMiss);
+    }
+    *demoted += 1;
+    if *demoted > demote_cap {
+        Err(TableMiss)
+    } else {
+        Ok(false)
+    }
+}
+
+impl<T: ScalarFloat> CodecSession<T> {
+    /// Creates a session compressing under `config`.
+    ///
+    /// # Errors
+    /// Returns [`SzError::InvalidConfig`] for unusable configurations; the
+    /// config is validated once here, not per call.
+    pub fn new(config: Config) -> Result<Self> {
+        config.validate()?;
+        Ok(Self::with_config(Some(config)))
+    }
+
+    /// Creates a decode-only session: [`CodecSession::decompress`] and the
+    /// kernel-lending helpers work, compression returns
+    /// [`SzError::InvalidConfig`] until [`CodecSession::set_config`] arms it.
+    pub fn decoder() -> Self {
+        Self::with_config(None)
+    }
+
+    fn with_config(config: Option<Config>) -> Self {
+        Self {
+            config,
+            table_reuse: false,
+            kernels: Vec::new(),
+            recon: Vec::new(),
+            bufs: QuantBufs::default(),
+            freqs: Vec::new(),
+            code_bits: BitWriter::new(),
+            payload: ByteWriter::new(),
+            reuse: None,
+            decode_codes: Vec::new(),
+        }
+    }
+
+    /// The active compression configuration, if any.
+    pub fn config(&self) -> Option<&Config> {
+        self.config.as_ref()
+    }
+
+    /// Replaces the compression configuration (validated), keeping every
+    /// cached kernel and buffer — a streaming caller pins its resolved
+    /// absolute bound this way without losing warm state. A retained reuse
+    /// table survives: its coverage check is dynamic, so a config change
+    /// can at worst force an escape-rebuild on the next band.
+    pub fn set_config(&mut self, config: Config) -> Result<()> {
+        config.validate()?;
+        self.config = Some(config);
+        Ok(())
+    }
+
+    /// Whether the fused table-reuse fast path is enabled.
+    pub fn table_reuse(&self) -> bool {
+        self.table_reuse
+    }
+
+    /// Enables/disables fused table reuse (off by default; staged mode is
+    /// byte-identical to the free functions). Disabling keeps the retained
+    /// table so re-enabling resumes without a staged band.
+    pub fn set_table_reuse(&mut self, on: bool) {
+        self.table_reuse = on;
+    }
+
+    /// Drops the retained reuse table: the next fused-mode band compresses
+    /// staged and rebuilds it. Streaming callers do this at stream
+    /// boundaries to keep reused-compressor output byte-identical to a
+    /// fresh compressor's.
+    pub fn reset_reused_table(&mut self) {
+        self.reuse = None;
+    }
+
+    /// Index of the cached kernel for `(layers, shape)`, creating it on
+    /// first use.
+    fn kernel_index(&mut self, layers: usize, shape: &Shape) -> usize {
+        ScanKernel::cache_index(&mut self.kernels, layers, shape)
+    }
+
+    /// Runs `f` with the session's cached kernel for `(layers, shape)` —
+    /// the kernel-lending API behind the planner's size model, which prices
+    /// many configurations against one sample grid.
+    pub fn with_kernel<R>(
+        &mut self,
+        layers: usize,
+        shape: &Shape,
+        f: impl FnOnce(&mut ScanKernel) -> R,
+    ) -> R {
+        let i = self.kernel_index(layers, shape);
+        f(&mut self.kernels[i])
+    }
+
+    /// The real-pipeline quantization-code histogram of `data` (see
+    /// [`crate::quantization_histogram`]), through the session's cached
+    /// kernel and reconstruction scratch.
+    pub fn quantization_histogram(
+        &mut self,
+        data: &Tensor<T>,
+        layers: usize,
+        eb: f64,
+        interval_bits: u32,
+    ) -> Vec<u64> {
+        let i = self.kernel_index(layers, data.shape());
+        crate::stats::quantization_histogram_buffered(
+            data,
+            &mut self.kernels[i],
+            eb,
+            interval_bits,
+            &mut self.recon,
+        )
+    }
+
+    /// The §IV-B adaptive interval-bits choice through the session's cached
+    /// kernel (see [`crate::choose_interval_bits_with_kernel`]).
+    #[allow(clippy::too_many_arguments)]
+    pub fn choose_interval_bits(
+        &mut self,
+        values: &[T],
+        shape: &Shape,
+        layers: usize,
+        eb: f64,
+        theta: f64,
+        sample_stride: usize,
+        max_bits: u32,
+    ) -> u32 {
+        let i = self.kernel_index(layers, shape);
+        crate::quant::choose_interval_bits_with_kernel(
+            values,
+            shape,
+            &mut self.kernels[i],
+            eb,
+            theta,
+            sample_stride,
+            max_bits,
+        )
+    }
+
+    fn active_config(&self) -> Result<Config> {
+        self.config.ok_or(SzError::InvalidConfig(
+            "decode-only session: call set_config before compressing",
+        ))
+    }
+
+    /// Compresses a tensor into a self-contained archive.
+    pub fn compress(&mut self, data: &Tensor<T>) -> Result<Vec<u8>> {
+        self.compress_with_stats(data).map(|(bytes, _)| bytes)
+    }
+
+    /// Compresses a tensor, returning the archive and per-run statistics.
+    pub fn compress_with_stats(&mut self, data: &Tensor<T>) -> Result<(Vec<u8>, CompressionStats)> {
+        self.compress_slice(data.as_slice(), data.shape())
+    }
+
+    /// Compresses a flat row-major slice interpreted under `shape` — the
+    /// zero-copy entry point (chunked bands, stream slabs).
+    ///
+    /// In staged mode the archive is byte-identical to
+    /// [`crate::compress_slice_with_stats`]; with
+    /// [`CodecSession::set_table_reuse`] enabled, bands after the first run
+    /// the fused quantize→encode path under the retained table whenever its
+    /// symbol range covers them.
+    pub fn compress_slice(
+        &mut self,
+        values: &[T],
+        shape: &Shape,
+    ) -> Result<(Vec<u8>, CompressionStats)> {
+        let config = self.active_config()?;
+        // Decorrelation threads per-index dither through the point visitor
+        // and cannot fuse; it always takes the staged path.
+        if self.table_reuse && !config.decorrelate && self.reuse.is_some() {
+            if let Some(out) = self.try_compress_fused(values, shape, &config)? {
+                return Ok(out);
+            }
+        }
+        self.compress_staged(values, shape, &config)
+    }
+
+    /// The staged pipeline over session buffers: quantize into the reusable
+    /// code/escape buffers, histogram into the frequency scratch, encode
+    /// per-band. Byte-identical to the free-function pipeline.
+    fn compress_staged(
+        &mut self,
+        values: &[T],
+        shape: &Shape,
+        config: &Config,
+    ) -> Result<(Vec<u8>, CompressionStats)> {
+        let ki = self.kernel_index(config.layers, shape);
+        let meta = quantize_into(
+            values,
+            shape,
+            config,
+            &mut self.kernels[ki],
+            false,
+            &mut self.bufs,
+            &mut self.recon,
+        )?;
+        // Histogram over the occupied range — exactly what `compress_u32`
+        // would count, but into the session's reusable scratch.
+        crate::compress::occupied_histogram(&self.bufs.codes, &mut self.freqs);
+        let unpred = self.bufs.unpred.finish();
+        let out = encode_parts(
+            &meta,
+            shape.dims(),
+            &self.bufs.codes,
+            unpred,
+            Some(&self.freqs),
+            HuffmanTable::PerBand,
+        );
+        if self.table_reuse && !config.decorrelate {
+            self.rebuild_reused_table(&meta, out.1.huffman_bytes);
+        }
+        Ok(out)
+    }
+
+    /// Builds the reuse table from the staged band's histogram via
+    /// [`covering_codec`] (every occupied-range symbol gets a codeword —
+    /// the coverage the fused scan relies on). `staged_block` pre-sizes the
+    /// fused bit buffer so the *next* band's fused encode does not grow it.
+    fn rebuild_reused_table(&mut self, meta: &BandMeta, staged_block: usize) {
+        let codec = covering_codec(&self.freqs);
+        let mut rle = ByteWriter::new();
+        szr_huffman::write_lengths(&mut rle, codec.lengths());
+        // Smoothed code lengths can exceed the band-optimal ones slightly;
+        // double the staged block bounds any realistic drift.
+        self.code_bits.clear();
+        self.code_bits.reserve(2 * staged_block + 64);
+        let total: u64 = self.freqs.iter().sum();
+        self.reuse = Some(ReusedTable {
+            used: codec.lengths().len() as u64,
+            table_rle: rle.into_bytes(),
+            codec,
+            bits: meta.interval_bits,
+            escape_rate: if total == 0 {
+                0.0
+            } else {
+                *self.freqs.first().unwrap_or(&0) as f64 / total as f64
+            },
+        });
+    }
+
+    /// The fused fast path under the session's retained table. Out-of-range
+    /// codes are demoted to escapes in-band; the scan aborts (`Ok(None)`,
+    /// caller runs the staged path and reseeds the table) only when
+    /// demotions pass [`DEMOTE_CAP_SHIFT`]'s budget — the escape-rebuild
+    /// fallback.
+    fn try_compress_fused(
+        &mut self,
+        values: &[T],
+        shape: &Shape,
+        config: &Config,
+    ) -> Result<Option<(Vec<u8>, CompressionStats)>> {
+        let ki = self.kernel_index(config.layers, shape);
+        // The table pins its interval bits: the code distribution stays
+        // aligned with its symbol range and the §IV-B sampler is skipped
+        // while it lives (the escape watchdog below restores adaptivity).
+        let (range, eb) = resolve_range_eb(values, shape, config, &self.kernels[ki])?;
+        let reuse = self.reuse.as_ref().expect("fused path requires a table");
+        let seed_escape_rate = reuse.escape_rate;
+        let Some((meta, demoted)) = run_fused_scan(
+            &mut self.kernels[ki],
+            values,
+            shape,
+            config,
+            eb,
+            range,
+            reuse.bits,
+            &reuse.codec,
+            &mut self.bufs,
+            &mut self.recon,
+            &mut self.code_bits,
+        ) else {
+            return Ok(None);
+        };
+        let out = write_fused_archive(
+            &meta,
+            shape.dims(),
+            VERSION,
+            Some((&reuse.table_rle, reuse.used)),
+            values.len() as u64,
+            self.code_bits.finish(),
+            self.bufs.unpred.finish(),
+            &mut self.payload,
+        );
+        // Drift watchdog: reseed (next band staged, fresh table and a fresh
+        // adaptive bits choice) when demotions cost real escape bits, or
+        // when the band escaped far more often than the seed band did —
+        // the signal that the pinned interval count no longer fits. The
+        // budget is generous (4× the seed's rate, floor ~0.8%): an escape
+        // costs 15–30 bits, so sub-percent drift is cheaper to ride out
+        // than a staged rebuild.
+        let escapes = values.len() - meta.predictable;
+        let escape_budget =
+            ((4.0 * seed_escape_rate).max(1.0 / 128.0) * values.len() as f64) as usize;
+        if demoted > values.len() >> RESEED_SHIFT || escapes > escape_budget + 8 {
+            self.reuse = None;
+        }
+        Ok(Some(out))
+    }
+
+    /// Fused quantize→encode under a caller-provided shared table, emitting
+    /// a version-2 shared-stream band archive (table stored once by the
+    /// owning container, as in [`HuffmanTable::Shared`]). Out-of-table
+    /// codes demote to escapes; `Ok(None)` — the chunked driver then
+    /// encodes the band self-contained — when demotions pass the cap or
+    /// `codec` cannot even encode the escape code.
+    ///
+    /// # Errors
+    /// Same conditions as [`CodecSession::compress_slice`].
+    pub fn compress_slice_shared_fused(
+        &mut self,
+        values: &[T],
+        shape: &Shape,
+        codec: &HuffmanCodec,
+    ) -> Result<Option<(Vec<u8>, CompressionStats)>> {
+        let config = self.active_config()?;
+        if config.decorrelate || codec.lengths().first().copied().unwrap_or(0) == 0 {
+            return Ok(None);
+        }
+        let ki = self.kernel_index(config.layers, shape);
+        let (range, eb, bits) = resolve_band_params(values, shape, &config, &mut self.kernels[ki])?;
+        let Some((meta, _demoted)) = run_fused_scan(
+            &mut self.kernels[ki],
+            values,
+            shape,
+            &config,
+            eb,
+            range,
+            bits,
+            codec,
+            &mut self.bufs,
+            &mut self.recon,
+            &mut self.code_bits,
+        ) else {
+            return Ok(None);
+        };
+        Ok(Some(write_fused_archive(
+            &meta,
+            shape.dims(),
+            VERSION_SHARED,
+            None,
+            values.len() as u64,
+            self.code_bits.finish(),
+            self.bufs.unpred.finish(),
+            &mut self.payload,
+        )))
+    }
+
+    /// The predict→quantize half only, as an owned [`QuantizedBand`] for
+    /// staged cross-band drivers (the shared-table merge). Runs through the
+    /// session's cached kernel.
+    ///
+    /// # Errors
+    /// Same conditions as [`crate::quantize_slice_with_kernel`].
+    pub fn quantize(&mut self, values: &[T], shape: &Shape) -> Result<QuantizedBand> {
+        let config = self.active_config()?;
+        let ki = self.kernel_index(config.layers, shape);
+        quantize_slice_with_kernel(values, shape, &config, &mut self.kernels[ki])
+    }
+
+    /// Entropy-codes a quantized band (see [`crate::encode_quantized`]).
+    pub fn encode(
+        &mut self,
+        band: &QuantizedBand,
+        table: HuffmanTable<'_>,
+    ) -> (Vec<u8>, CompressionStats) {
+        encode_quantized(band, table)
+    }
+
+    /// Decompresses a self-contained archive through the session's cached
+    /// kernels and decode scratch. Version-2 shared-stream bands need
+    /// [`CodecSession::decompress_shared`].
+    pub fn decompress(&mut self, bytes: &[u8]) -> Result<Tensor<T>> {
+        decompress_cached(bytes, None, &mut self.kernels, &mut self.decode_codes)
+    }
+
+    /// Decompresses a band archive whose Huffman table may live in its
+    /// container: version-2 bands decode through `codec`, self-contained
+    /// archives ignore it — the session mirror of
+    /// [`crate::decompress_shared_with_kernel`].
+    pub fn decompress_shared(&mut self, bytes: &[u8], codec: &HuffmanCodec) -> Result<Tensor<T>> {
+        decompress_cached(
+            bytes,
+            Some(codec),
+            &mut self.kernels,
+            &mut self.decode_codes,
+        )
+    }
+}
+
+/// One fused band scan, shared by the table-reuse and shared-table entry
+/// points so buffer resets, visitor wiring, and meta assembly cannot
+/// diverge: resets the quantize buffers and `code_bits`, scans `values`
+/// under `codec` (codes streamed into `code_bits`, escape bits into
+/// `bufs.unpred`), and returns the band's meta plus its demotion count —
+/// or `None` on a [`TableMiss`] abort, with all partial buffer state
+/// discarded by the caller's next reset.
+#[allow(clippy::too_many_arguments)]
+fn run_fused_scan<T: ScalarFloat>(
+    kernel: &mut ScanKernel,
+    values: &[T],
+    shape: &Shape,
+    config: &Config,
+    eb: f64,
+    range: f64,
+    bits: u32,
+    codec: &HuffmanCodec,
+    bufs: &mut QuantBufs,
+    recon: &mut Vec<T>,
+    code_bits: &mut BitWriter,
+) -> Option<(BandMeta, usize)> {
+    bufs.reset();
+    code_bits.clear();
+    recon.clear();
+    recon.resize(values.len(), T::from_f64(0.0));
+    let mut visitor = FusedRowQuantizer {
+        values,
+        quantizer: Quantizer::new(eb, bits),
+        unpred: UnpredictableCodec::new(eb),
+        eb,
+        codec,
+        code_bits,
+        unpred_bits: &mut bufs.unpred,
+        misses: &mut bufs.misses,
+        predictable: 0,
+        demoted: 0,
+        demote_cap: values.len() >> DEMOTE_CAP_SHIFT,
+    };
+    match kernel.scan_rows(shape, recon, &mut visitor) {
+        Ok(()) => Some((
+            BandMeta {
+                type_tag: T::TYPE_TAG,
+                layers: config.layers,
+                interval_bits: bits,
+                decorrelate: false,
+                lossless_pass: config.lossless_pass,
+                eb,
+                range,
+                predictable: visitor.predictable,
+            },
+            visitor.demoted,
+        )),
+        Err(TableMiss) => None,
+    }
+}
+
+/// The fused row visitor: quantization decisions identical to the staged
+/// [`Quantizer::quantize_row`] path, but each code is Huffman-encoded into
+/// `code_bits` the moment it is produced.
+///
+/// A code the table lacks is **demoted to an escape** — code 0 plus the
+/// binary-representation bits, exactly what the decoder expects, so the
+/// bound holds with no rescan. Only when demotions pass `demote_cap` (the
+/// distribution has structurally outgrown the table, and escapes cost
+/// 15–30 bits each) does the scan abort with [`TableMiss`] and the caller
+/// re-run the band staged.
+struct FusedRowQuantizer<'a, T: ScalarFloat> {
+    values: &'a [T],
+    quantizer: Quantizer,
+    unpred: UnpredictableCodec,
+    eb: f64,
+    codec: &'a HuffmanCodec,
+    code_bits: &'a mut BitWriter,
+    unpred_bits: &'a mut BitWriter,
+    misses: &'a mut Vec<u32>,
+    predictable: usize,
+    /// Hits demoted to escapes because the table had no codeword.
+    demoted: usize,
+    /// Demotion budget; crossing it aborts the fused scan.
+    demote_cap: usize,
+}
+
+impl<T: ScalarFloat> RowVisitor<T> for FusedRowQuantizer<'_, T> {
+    type Error = TableMiss;
+
+    fn point(&mut self, flat: usize, pred: f64) -> std::result::Result<T, TableMiss> {
+        let value = self.values[flat];
+        let v64 = value.to_f64();
+        let quantized = self.quantizer.quantize(v64, pred).and_then(|(code, r64)| {
+            let r = T::from_f64(r64);
+            ((v64 - r.to_f64()).abs() <= self.eb).then_some((code, r))
+        });
+        if let Some((code, r)) = quantized {
+            if fused_emit(
+                self.codec,
+                self.code_bits,
+                &mut self.demoted,
+                self.demote_cap,
+                code,
+            )? {
+                self.predictable += 1;
+                return Ok(r);
+            }
+        }
+        if !self.codec.try_encode(0, self.code_bits) {
+            return Err(TableMiss);
+        }
+        Ok(self.unpred.encode(value, self.unpred_bits))
+    }
+
+    fn row(
+        &mut self,
+        flat: usize,
+        partials: &[f64],
+        carry: Carry,
+        row: &mut [T],
+        prev: [T; 2],
+    ) -> std::result::Result<(), TableMiss> {
+        let quantizer = self.quantizer;
+        let unpred = self.unpred;
+        let eb = self.eb;
+        let values = &self.values[flat..flat + row.len()];
+        // Split the borrows by hand: the emit closure needs the codec,
+        // writer, and demotion counters while `misses` rides separately.
+        let (codec, code_bits) = (self.codec, &mut *self.code_bits);
+        let (demoted, demote_cap) = (&mut self.demoted, self.demote_cap);
+        let hits = quantizer.quantize_row_emit(
+            values,
+            partials,
+            carry,
+            prev,
+            eb,
+            &unpred,
+            &mut |code| fused_emit(codec, code_bits, demoted, demote_cap, code),
+            row,
+            self.misses,
+        )?;
+        self.predictable += hits;
+        // Escape bits in scan order, exactly like the staged row visitor.
+        for &i in self.misses.iter() {
+            self.unpred
+                .encode(self.values[flat + i as usize], self.unpred_bits);
+        }
+        self.misses.clear();
+        Ok(())
+    }
+}
+
+/// Assembles a band archive from fused-encoded parts, byte-compatible with
+/// [`encode_parts`]' layout: for version 1 the Huffman block is
+/// `used · count · RLE-lengths · code bits`, for version 2 (shared stream)
+/// just `count · code bits`. The section is length-prefixed arithmetically,
+/// so nothing is staged unless the DEFLATE pass needs a contiguous payload.
+#[allow(clippy::too_many_arguments)]
+fn write_fused_archive(
+    meta: &BandMeta,
+    dims: &[usize],
+    version: u8,
+    table: Option<(&[u8], u64)>,
+    count: u64,
+    code_bytes: &[u8],
+    unpred_bytes: &[u8],
+    payload_scratch: &mut ByteWriter,
+) -> (Vec<u8>, CompressionStats) {
+    let table_len = table.map_or(0, |(rle, used)| ByteWriter::varint_len(used) + rle.len());
+    let block_len = table_len + ByteWriter::varint_len(count) + code_bytes.len();
+    let write_payload = |w: &mut ByteWriter| {
+        w.write_varint(block_len as u64);
+        if let Some((_, used)) = table {
+            w.write_varint(used);
+        }
+        w.write_varint(count);
+        if let Some((rle, _)) = table {
+            w.write_bytes(rle);
+        }
+        w.write_bytes(code_bytes);
+        w.write_len_prefixed(unpred_bytes);
+    };
+
+    let mut out =
+        ByteWriter::with_capacity(64 + 10 * dims.len() + block_len + unpred_bytes.len() + 24);
+    write_band_header(&mut out, version, meta, dims);
+    if meta.lossless_pass {
+        payload_scratch.clear();
+        write_payload(payload_scratch);
+        let deflated = szr_deflate::deflate_compress(payload_scratch.as_bytes());
+        if deflated.len() < payload_scratch.len() {
+            out.write_u8(1);
+            out.write_len_prefixed(&deflated);
+        } else {
+            out.write_u8(0);
+            out.write_bytes(payload_scratch.as_bytes());
+        }
+    } else {
+        out.write_u8(0);
+        write_payload(&mut out);
+    }
+    let bytes = out.into_bytes();
+
+    let stats = CompressionStats {
+        total: count as usize,
+        predictable: meta.predictable,
+        eb_abs: meta.eb,
+        range: meta.range,
+        interval_bits: meta.interval_bits,
+        layers: meta.layers,
+        compressed_bytes: bytes.len(),
+        huffman_bytes: block_len,
+        unpredictable_bytes: unpred_bytes.len(),
+    };
+    (bytes, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{compress_slice_with_stats, decompress, Config, ErrorBound};
+
+    fn wavy(rows: usize, cols: usize) -> Tensor<f32> {
+        Tensor::from_fn([rows, cols], |ix| {
+            ((ix[0] as f32) * 0.07).sin() * 5.0 + ((ix[1] as f32) * 0.11).cos()
+        })
+    }
+
+    #[test]
+    fn staged_session_matches_free_functions_byte_for_byte() {
+        let config = Config::new(ErrorBound::Relative(1e-4));
+        let mut session = CodecSession::<f32>::new(config).unwrap();
+        for rows in [30usize, 64, 17] {
+            let data = wavy(rows, 48);
+            let (free_bytes, free_stats) =
+                compress_slice_with_stats(data.as_slice(), data.shape(), &config).unwrap();
+            let (session_bytes, session_stats) = session.compress_with_stats(&data).unwrap();
+            assert_eq!(session_bytes, free_bytes, "rows {rows}");
+            assert_eq!(session_stats, free_stats, "rows {rows}");
+        }
+    }
+
+    #[test]
+    fn session_roundtrips_through_its_own_decoder() {
+        let config = Config::new(ErrorBound::Absolute(1e-3));
+        let mut session = CodecSession::<f32>::new(config).unwrap();
+        let data = wavy(50, 40);
+        let bytes = session.compress(&data).unwrap();
+        let out = session.decompress(&bytes).unwrap();
+        assert_eq!(out.dims(), data.dims());
+        for (&a, &b) in data.as_slice().iter().zip(out.as_slice()) {
+            assert!((a as f64 - b as f64).abs() <= 1e-3);
+        }
+    }
+
+    #[test]
+    fn fused_mode_stays_within_bound_and_self_describes() {
+        let eb = 1e-3;
+        let config = Config::new(ErrorBound::Absolute(eb));
+        let mut session = CodecSession::<f32>::new(config).unwrap();
+        session.set_table_reuse(true);
+        // Band 1 staged (builds the table), bands 2.. fused.
+        for step in 0..4 {
+            let data = Tensor::from_fn([40, 64], |ix| {
+                ((ix[0] as f32) * 0.07 + step as f32 * 0.3).sin() * 5.0
+                    + ((ix[1] as f32) * 0.11).cos()
+            });
+            let (bytes, stats) = session.compress_with_stats(&data).unwrap();
+            assert_eq!(stats.total, data.len());
+            // Self-describing: plain decompress, no session, no codec.
+            let out: Tensor<f32> = decompress(&bytes).unwrap();
+            for (&a, &b) in data.as_slice().iter().zip(out.as_slice()) {
+                assert!((a as f64 - b as f64).abs() <= eb, "step {step}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_mode_survives_distribution_shifts_via_rebuild() {
+        // Band 2's codes explode out of band 1's symbol range: the fused
+        // scan must abort, fall back staged, and keep the bound.
+        let eb = 1e-4;
+        let config = Config::new(ErrorBound::Absolute(eb));
+        let mut session = CodecSession::<f32>::new(config).unwrap();
+        session.set_table_reuse(true);
+        let smooth = Tensor::from_fn([32, 64], |ix| (ix[0] + ix[1]) as f32 * 1e-5);
+        let rough = Tensor::from_fn([32, 64], |ix| {
+            let h = (ix[0] as u64 * 64 + ix[1] as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            ((h >> 48) % 1000) as f32 * 0.01
+        });
+        for data in [&smooth, &rough, &smooth] {
+            let bytes = session.compress(data).unwrap();
+            let out: Tensor<f32> = decompress(&bytes).unwrap();
+            for (&a, &b) in data.as_slice().iter().zip(out.as_slice()) {
+                assert!((a as f64 - b as f64).abs() <= eb);
+            }
+        }
+    }
+
+    #[test]
+    fn shared_fused_band_decodes_through_the_shared_entry_point() {
+        let config = Config::new(ErrorBound::Absolute(1e-4));
+        let data = wavy(48, 32);
+        let mut session = CodecSession::<f32>::new(config).unwrap();
+        // Table from the band's own histogram (full coverage by smoothing).
+        let band = session.quantize(data.as_slice(), data.shape()).unwrap();
+        let codec = covering_codec(band.histogram());
+        let (bytes, stats) = session
+            .compress_slice_shared_fused(data.as_slice(), data.shape(), &codec)
+            .unwrap()
+            .expect("full-coverage table cannot miss");
+        assert_eq!(stats.total, data.len());
+        // Version-2: refuses codec-free decode, decodes with the codec.
+        assert!(crate::inspect(&bytes).unwrap().shared_stream);
+        assert!(session.decompress(&bytes).is_err());
+        let out = session.decompress_shared(&bytes, &codec).unwrap();
+        for (&a, &b) in data.as_slice().iter().zip(out.as_slice()) {
+            assert!((a as f64 - b as f64).abs() <= 1e-4);
+        }
+    }
+
+    #[test]
+    fn shared_fused_gives_up_when_the_table_cannot_cover_the_band() {
+        // A two-symbol codec cannot carry a real band's code spread: the
+        // demotion cap trips and the fused attempt reports None (the
+        // chunked driver then encodes the band self-contained).
+        let config = Config::new(ErrorBound::Absolute(1e-4)).with_interval_bits(8);
+        let data = wavy(48, 32);
+        let mut session = CodecSession::<f32>::new(config).unwrap();
+        let tiny = HuffmanCodec::from_frequencies(&[1, 1]);
+        assert!(session
+            .compress_slice_shared_fused(data.as_slice(), data.shape(), &tiny)
+            .unwrap()
+            .is_none());
+        // A codec with no escape codeword is rejected upfront.
+        let no_escape = HuffmanCodec::from_frequencies(&[0, 1, 1]);
+        assert!(session
+            .compress_slice_shared_fused(data.as_slice(), data.shape(), &no_escape)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn decoder_session_refuses_compression_until_armed() {
+        let data = wavy(16, 16);
+        let mut session = CodecSession::<f32>::decoder();
+        assert!(session.compress(&data).is_err());
+        session
+            .set_config(Config::new(ErrorBound::Absolute(1e-3)))
+            .unwrap();
+        assert!(session.compress(&data).is_ok());
+    }
+
+    #[test]
+    fn one_session_serves_mixed_shapes_and_layer_counts() {
+        let mut session =
+            CodecSession::<f64>::new(Config::new(ErrorBound::Absolute(1e-4))).unwrap();
+        let a = Tensor::from_fn([20, 30], |ix| (ix[0] * 30 + ix[1]) as f64 * 0.01);
+        let b = Tensor::from_fn([500], |ix| (ix[0] as f64 * 0.02).sin());
+        let c = Tensor::from_fn([8, 9, 10], |ix| (ix[0] + ix[1] + ix[2]) as f64 * 0.1);
+        for data in [&a, &b, &c] {
+            let bytes = session.compress(data).unwrap();
+            let out = session.decompress(&bytes).unwrap();
+            assert_eq!(out.dims(), data.dims());
+        }
+        session
+            .set_config(Config::new(ErrorBound::Absolute(1e-4)).with_layers(2))
+            .unwrap();
+        let bytes = session.compress(&a).unwrap();
+        let out = session.decompress(&bytes).unwrap();
+        for (&x, &y) in a.as_slice().iter().zip(out.as_slice()) {
+            assert!((x - y).abs() <= 1e-4);
+        }
+    }
+}

@@ -155,17 +155,32 @@ pub fn quantization_histogram_with_kernel<T: ScalarFloat>(
     eb: f64,
     interval_bits: u32,
 ) -> Vec<u64> {
+    quantization_histogram_buffered(data, kernel, eb, interval_bits, &mut Vec::new())
+}
+
+/// [`quantization_histogram_with_kernel`] with a caller-owned
+/// reconstruction scratch buffer — the body behind
+/// [`crate::CodecSession::quantization_histogram`], where the planner's
+/// repeated pricing passes reuse one allocation.
+pub(crate) fn quantization_histogram_buffered<T: ScalarFloat>(
+    data: &Tensor<T>,
+    kernel: &mut ScanKernel,
+    eb: f64,
+    interval_bits: u32,
+    recon: &mut Vec<T>,
+) -> Vec<u64> {
     let shape = data.shape();
     let values = data.as_slice();
     let quantizer = Quantizer::new(eb, interval_bits);
-    let mut recon: Vec<T> = vec![T::from_f64(0.0); values.len()];
+    recon.clear();
+    recon.resize(values.len(), T::from_f64(0.0));
     let mut visitor = HistogramRows {
         values,
         eb,
         quantizer,
         hist: vec![0u64; quantizer.alphabet()],
     };
-    match kernel.scan_rows(shape, &mut recon, &mut visitor) {
+    match kernel.scan_rows(shape, recon, &mut visitor) {
         Ok(()) => {}
         Err(e) => match e {},
     }

@@ -14,11 +14,10 @@
 //! re-anchors), costing a fraction of a percent in ratio for typical band
 //! heights; the error bound is untouched.
 
-use crate::compress::compress_slice_with_kernel;
 use crate::config::{Config, ErrorBound};
 use crate::decompress::decompress;
 use crate::float::ScalarFloat;
-use crate::kernel::ScanKernel;
+use crate::session::CodecSession;
 use crate::{Result, SzError};
 use szr_bitstream::{ByteReader, ByteWriter};
 use szr_tensor::{Shape, Tensor};
@@ -29,6 +28,9 @@ const MAGIC: [u8; 4] = *b"SZST";
 pub struct StreamCompressor<T: ScalarFloat> {
     /// Inner (non-leading) dimensions; a slab is `rows × inner_dims`.
     inner_dims: Vec<usize>,
+    /// The user's original bound spec — [`Self::reset`] re-arms the session
+    /// with it so each stream re-resolves relative bounds from its own
+    /// first band.
     config: Config,
     /// Rows buffered but not yet flushed.
     pending: Vec<T>,
@@ -42,10 +44,11 @@ pub struct StreamCompressor<T: ScalarFloat> {
     /// range; streaming uses the first slab's range as the estimate, which
     /// SZ's in-situ mode also does).
     resolved_eb: Option<f64>,
-    /// One scan kernel for every band: bands share their inner extents
-    /// (hence strides), so dispatch selection and the boundary-stencil
-    /// cache are paid once per stream, not once per flush.
-    kernel: Option<ScanKernel>,
+    /// The owning pipeline object: scan kernel (and its row-engine
+    /// scratch), quantize buffers, entropy scratch, and — in table-reuse
+    /// mode — the fused-path Huffman table all live here, paid once per
+    /// compressor, not once per flush.
+    session: CodecSession<T>,
 }
 
 impl<T: ScalarFloat> StreamCompressor<T> {
@@ -72,8 +75,23 @@ impl<T: ScalarFloat> StreamCompressor<T> {
             bands: 0,
             total_rows: 0,
             resolved_eb: None,
-            kernel: None,
+            session: CodecSession::new(config)?,
         })
+    }
+
+    /// Enables the fused quantize→encode fast path: after each stream's
+    /// first band, later bands reuse the session's retained Huffman table —
+    /// built from the previous staged band's histogram with full
+    /// symbol-range coverage — and stream their codes straight into the
+    /// band archive's bit buffer, never materializing the intermediate
+    /// code vector. A band whose codes leave the table's symbol range
+    /// falls back to the staged path and rebuilds the table, so the bound
+    /// and the self-describing band-archive format are unaffected; band
+    /// *bytes* may differ from default-mode output (the embedded table is
+    /// the reused one), which is why the mode is opt-in.
+    pub fn with_table_reuse(mut self) -> Self {
+        self.session.set_table_reuse(true);
+        self
     }
 
     /// The per-stream header: magic, scalar tag, rank, inner extents.
@@ -92,17 +110,23 @@ impl<T: ScalarFloat> StreamCompressor<T> {
 
     /// Resets the compressor to begin a fresh stream with the same geometry
     /// and configuration, discarding any pending unflushed rows and buffered
-    /// output. The scan kernel — and with it the row engine's partial-sum
-    /// scratch — survives, so an in-situ loop compressing one stream per
-    /// time step pays kernel setup once, not once per step. The stream
-    /// produced after a reset is byte-identical to a fresh compressor's
-    /// (relative bounds re-resolve from the new stream's first band).
+    /// output. The session — scan kernel, row-engine scratch, quantize and
+    /// entropy buffers — survives, so an in-situ loop compressing one
+    /// stream per time step pays that setup once, not once per step. The
+    /// stream produced after a reset is byte-identical to a fresh
+    /// compressor's: relative bounds re-resolve from the new stream's first
+    /// band, and a table-reuse session drops its retained table so the new
+    /// stream's first band is staged again.
     pub fn reset(&mut self) {
         self.pending.clear();
         self.pending_rows = 0;
         self.bands = 0;
         self.total_rows = 0;
         self.resolved_eb = None;
+        self.session
+            .set_config(self.config)
+            .expect("config validated at construction");
+        self.session.reset_reused_table();
         self.out = Self::stream_header(&self.inner_dims);
     }
 
@@ -162,21 +186,15 @@ impl<T: ScalarFloat> StreamCompressor<T> {
         dims.push(rows);
         dims.extend_from_slice(&self.inner_dims);
         let shape = Shape::new(&dims);
-        // Pin the bound after the first band so every band guarantees the
-        // same absolute eb (a per-band relative bound would drift).
-        let config = match self.resolved_eb {
-            Some(eb) => Config {
-                bound: ErrorBound::Absolute(eb),
-                ..self.config
-            },
-            None => self.config,
-        };
-        let kernel = self
-            .kernel
-            .get_or_insert_with(|| ScanKernel::for_shape(config.layers, &shape));
-        let (archive, stats) = compress_slice_with_kernel(&band, &shape, &config, kernel)?;
+        let (archive, stats) = self.session.compress_slice(&band, &shape)?;
         if self.resolved_eb.is_none() {
+            // Pin the bound after the first band so every band guarantees
+            // the same absolute eb (a per-band relative bound would drift).
             self.resolved_eb = Some(stats.eb_abs);
+            self.session.set_config(Config {
+                bound: ErrorBound::Absolute(stats.eb_abs),
+                ..self.config
+            })?;
         }
         self.out.write_len_prefixed(&archive);
         self.bands += 1;
@@ -419,6 +437,90 @@ mod tests {
             let expect = fresh.finish().unwrap();
             let got = reused.finish_stream().unwrap();
             assert_eq!(got, expect, "step {step}");
+        }
+    }
+
+    #[test]
+    fn table_reuse_mode_roundtrips_within_bound() {
+        // Fused-mode streams decode through the standard decompressor (the
+        // reused table is embedded per band) and honor the pinned bound.
+        let config = Config::new(ErrorBound::Relative(1e-3));
+        let data = field(120, 64);
+        let mut stream = StreamCompressor::<f32>::new(&[64], 16, config)
+            .unwrap()
+            .with_table_reuse();
+        stream.push(data.as_slice()).unwrap();
+        let bytes = stream.finish().unwrap();
+        let out: Tensor<f32> = StreamDecompressor::new(&bytes)
+            .unwrap()
+            .collect_all()
+            .unwrap();
+        let (mut lo, mut hi) = (f32::INFINITY, f32::NEG_INFINITY);
+        for &v in &data.as_slice()[..16 * 64] {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        let eb = 1e-3 * (hi - lo) as f64;
+        for (i, (&a, &b)) in data.as_slice().iter().zip(out.as_slice()).enumerate() {
+            assert!((a as f64 - b as f64).abs() <= eb, "point {i}");
+        }
+    }
+
+    #[test]
+    fn table_reuse_streams_are_reset_deterministic() {
+        // finish_stream drops the retained table, so a reused fused-mode
+        // compressor emits exactly what a fresh fused-mode one would.
+        let config = Config::new(ErrorBound::Absolute(1e-3));
+        let mut reused = StreamCompressor::<f32>::new(&[48], 8, config)
+            .unwrap()
+            .with_table_reuse();
+        for step in 0..3 {
+            let data = Tensor::from_fn([30, 48], |ix| {
+                ((ix[0] as f32) * 0.09 + step as f32).sin() * (4.0 + step as f32)
+            });
+            let mut fresh = StreamCompressor::<f32>::new(&[48], 8, config)
+                .unwrap()
+                .with_table_reuse();
+            fresh.push(data.as_slice()).unwrap();
+            reused.push(data.as_slice()).unwrap();
+            assert_eq!(
+                reused.finish_stream().unwrap(),
+                fresh.finish().unwrap(),
+                "step {step}"
+            );
+        }
+    }
+
+    #[test]
+    fn table_reuse_survives_a_divergent_band() {
+        // Band 2's code range explodes past band 1's table: the fused scan
+        // must rebuild (escape fallback) and the stream still roundtrips.
+        let config = Config::new(ErrorBound::Absolute(1e-4));
+        let mut stream = StreamCompressor::<f32>::new(&[64], 8, config)
+            .unwrap()
+            .with_table_reuse();
+        let smooth: Vec<f32> = (0..8 * 64).map(|i| i as f32 * 1e-5).collect();
+        let rough: Vec<f32> = (0..8 * 64)
+            .map(|i| {
+                let h = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                ((h >> 48) % 1000) as f32 * 0.01
+            })
+            .collect();
+        stream.push(&smooth).unwrap();
+        stream.push(&rough).unwrap();
+        stream.push(&smooth).unwrap();
+        let bytes = stream.finish().unwrap();
+        let out: Tensor<f32> = StreamDecompressor::new(&bytes)
+            .unwrap()
+            .collect_all()
+            .unwrap();
+        for (&a, &b) in smooth
+            .iter()
+            .chain(&rough)
+            .chain(&smooth)
+            .zip(out.as_slice())
+        {
+            assert!((a as f64 - b as f64).abs() <= 1e-4);
         }
     }
 

@@ -141,6 +141,21 @@ impl HuffmanCodec {
         }
     }
 
+    /// Encodes `symbol` if this codec has a codeword for it, returning
+    /// `false` (writer untouched) otherwise — the coverage test of the fused
+    /// quantize→encode path, where a reused table may lack a codeword for a
+    /// rare code and the caller falls back to rebuilding.
+    #[inline]
+    pub fn try_encode(&self, symbol: u32, out: &mut BitWriter) -> bool {
+        match self.lengths.get(symbol as usize) {
+            Some(&len) if len > 0 => {
+                out.write_bits(self.codes[symbol as usize], len);
+                true
+            }
+            _ => false,
+        }
+    }
+
     /// Decodes one symbol by canonical first-code walking — the bit-at-a-time
     /// oracle the table-driven path falls back to (and is property-tested
     /// against).
@@ -206,6 +221,15 @@ impl HuffmanCodec {
 
     /// Decodes exactly `n` symbols into a caller-provided buffer (cleared
     /// first), so batch consumers can reuse one allocation across streams.
+    ///
+    /// Runs the multi-symbol fast path: each iteration peeks one
+    /// double-primary window and, when two consecutive codewords both
+    /// resolve directly in the primary table (the common case — quantization
+    /// codes cluster on a handful of short codes), emits both symbols from
+    /// that single peek with one combined consume. Anything else — overflow
+    /// subtables, stream tail, corrupt bits — falls back to the single-symbol
+    /// table walk, so results are bit-for-bit those of [`Self::decode`]
+    /// (pinned by the pair-vs-oracle property test).
     pub fn decode_all_into(
         &self,
         bits: &mut BitReader<'_>,
@@ -217,7 +241,38 @@ impl HuffmanCodec {
         let lut = self
             .lut
             .get_or_init(|| DecodeLut::build(&self.lengths, &self.codes, BitOrder::Msb));
-        for _ in 0..n {
+        let p = lut.primary_bits();
+        let mut i = 0usize;
+        while i + 1 < n {
+            // One peek serves both lookups: the window holds 2·p upcoming
+            // bits, the first code reads the high p, the second reads the p
+            // bits starting right after the first code's true length.
+            let w = bits.peek_bits(2 * p);
+            if let Lookup::Symbol {
+                symbol: s1,
+                len: l1,
+            } = lut.root(w >> p)
+            {
+                if let Lookup::Symbol {
+                    symbol: s2,
+                    len: l2,
+                } = lut.root(w >> (p - l1))
+                {
+                    // Both lengths must be genuinely available: past-EOF
+                    // zero padding can fabricate plausible symbols.
+                    if bits.remaining_bits() >= (l1 + l2) as usize {
+                        bits.consume(l1 + l2);
+                        out.push(s1);
+                        out.push(s2);
+                        i += 2;
+                        continue;
+                    }
+                }
+            }
+            out.push(self.decode_fast(lut, bits)?);
+            i += 1;
+        }
+        if i < n {
             out.push(self.decode_fast(lut, bits)?);
         }
         Ok(())

@@ -60,14 +60,32 @@ pub fn compress_u32(symbols: &[u32], alphabet: usize) -> Vec<u8> {
     for &s in symbols {
         freqs[s as usize] += 1;
     }
-    let codec = HuffmanCodec::from_frequencies(&freqs);
+    compress_u32_from_hist(symbols, &freqs)
+}
+
+/// [`compress_u32`] for a caller that already holds the symbol histogram —
+/// skips the counting pass. `freqs` must cover exactly the occupied range
+/// `0..=max_symbol` (what [`compress_u32`] itself histograms, and what a
+/// quantized band's cached histogram holds); the output is byte-identical
+/// to [`compress_u32`]'s.
+///
+/// # Panics
+/// Panics (debug) if `freqs` disagrees with `symbols`.
+pub fn compress_u32_from_hist(symbols: &[u32], freqs: &[u64]) -> Vec<u8> {
+    debug_assert_eq!(
+        freqs.iter().sum::<u64>(),
+        symbols.len() as u64,
+        "histogram does not match symbol stream"
+    );
+    let used = freqs.len();
+    let codec = HuffmanCodec::from_frequencies(freqs);
     let mut header = ByteWriter::new();
     header.write_varint(used as u64);
     header.write_varint(symbols.len() as u64);
     write_lengths(&mut header, codec.lengths());
     // The bit writer's capacity is exact: the codec already knows the
     // payload length for these frequencies.
-    let mut bits = BitWriter::with_capacity((codec.payload_bits(&freqs) as usize).div_ceil(8));
+    let mut bits = BitWriter::with_capacity((codec.payload_bits(freqs) as usize).div_ceil(8));
     codec.encode_all(symbols, &mut bits);
     let mut out = header.into_bytes();
     let payload = bits.into_bytes();
@@ -77,6 +95,15 @@ pub fn compress_u32(symbols: &[u32], alphabet: usize) -> Vec<u8> {
 
 /// Inverse of [`compress_u32`].
 pub fn decompress_u32(bytes: &[u8]) -> szr_bitstream::Result<Vec<u32>> {
+    let mut out = Vec::new();
+    decompress_u32_into(bytes, &mut out)?;
+    Ok(out)
+}
+
+/// [`decompress_u32`] into a caller-provided buffer (cleared first), so a
+/// long-lived decoder — a codec session feeding many same-size archives —
+/// reuses one symbol allocation across streams.
+pub fn decompress_u32_into(bytes: &[u8], out: &mut Vec<u32>) -> szr_bitstream::Result<()> {
     let mut reader = ByteReader::new(bytes);
     let alphabet = reader.read_varint()? as usize;
     if alphabet > MAX_ALPHABET {
@@ -95,7 +122,7 @@ pub fn decompress_u32(bytes: &[u8]) -> szr_bitstream::Result<Vec<u32>> {
         ));
     }
     let mut bits = BitReader::new(payload);
-    codec.decode_all(&mut bits, count)
+    codec.decode_all_into(&mut bits, count, out)
 }
 
 /// Compresses a symbol stream as payload only (varint count + code bits),
@@ -123,6 +150,18 @@ pub fn decompress_u32_with_codec(
     bytes: &[u8],
     codec: &HuffmanCodec,
 ) -> szr_bitstream::Result<Vec<u32>> {
+    let mut out = Vec::new();
+    decompress_u32_with_codec_into(bytes, codec, &mut out)?;
+    Ok(out)
+}
+
+/// [`decompress_u32_with_codec`] into a caller-provided buffer (cleared
+/// first) — the shared-table companion of [`decompress_u32_into`].
+pub fn decompress_u32_with_codec_into(
+    bytes: &[u8],
+    codec: &HuffmanCodec,
+    out: &mut Vec<u32>,
+) -> szr_bitstream::Result<()> {
     let mut reader = ByteReader::new(bytes);
     let count = reader.read_varint()? as usize;
     let payload = reader.read_bytes(reader.remaining())?;
@@ -132,7 +171,7 @@ pub fn decompress_u32_with_codec(
         ));
     }
     let mut bits = BitReader::new(payload);
-    codec.decode_all(&mut bits, count)
+    codec.decode_all_into(&mut bits, count, out)
 }
 
 /// Serializes a codec's code-length table (alphabet varint + RLE lengths)

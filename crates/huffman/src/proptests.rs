@@ -57,6 +57,40 @@ proptest! {
     }
 
     #[test]
+    fn pair_decode_matches_oracle_on_short_code_streams(
+        skew in 1u64..1000,
+        picks in prop::collection::vec(any::<u16>(), 1..600),
+        tail_cut in 0usize..3,
+    ) {
+        // Heavily skewed frequencies give 1–3-bit codes, so nearly every
+        // decode_all iteration takes the two-symbols-per-peek fast path;
+        // byte (and slight) truncation exercises its EOF guard, where
+        // zero-padded peeks could otherwise fabricate a second symbol.
+        let freqs = [skew * 64, skew * 16, skew * 4, skew, 1, 1];
+        let codec = HuffmanCodec::from_frequencies(&freqs);
+        let stream: Vec<u32> = picks
+            .iter()
+            .map(|&p| match p % 64 { 0 => 5, 1 => 4, v if v < 6 => 3, v if v < 14 => 2, v if v < 34 => 1, _ => 0 })
+            .collect();
+        let mut w = BitWriter::new();
+        codec.encode_all(&stream, &mut w);
+        let bytes = w.into_bytes();
+        let cut = bytes.len().saturating_sub(tail_cut);
+        let fast = codec.decode_all(&mut BitReader::new(&bytes[..cut]), stream.len());
+        let slow = codec.decode_all_slow(&mut BitReader::new(&bytes[..cut]), stream.len());
+        match (&fast, &slow) {
+            (Ok(f), Ok(s)) => {
+                prop_assert_eq!(f, s);
+                if cut == bytes.len() {
+                    prop_assert_eq!(f, &stream);
+                }
+            }
+            (Err(_), Err(_)) => {}
+            other => prop_assert!(false, "pair/oracle disagree: {:?}", other),
+        }
+    }
+
+    #[test]
     fn truncated_streams_error_and_never_panic(
         symbols in prop::collection::vec(0u32..200, 1..500),
         cut_bytes in 1usize..32,

@@ -5,9 +5,8 @@ use std::sync::Mutex;
 
 use szr_bitstream::{ByteReader, ByteWriter};
 use szr_core::{
-    compress_slice_with_kernel, decompress_shared_with_kernel, decompress_with_kernel,
-    encode_quantized, inspect, quantize_slice_with_kernel, Config, ErrorBound, HuffmanTable,
-    QuantizedBand, Result, ScalarFloat, ScanKernel, SzError,
+    encode_quantized, CodecSession, Config, ErrorBound, HuffmanTable, QuantizedBand, Result,
+    ScalarFloat, SzError,
 };
 use szr_huffman::HuffmanCodec;
 use szr_metrics::{value_range, Real};
@@ -208,12 +207,13 @@ pub fn compress_chunked<T: ScalarFloat + Send + Sync>(
     std::thread::scope(|s| {
         for _ in 0..threads {
             s.spawn(|| {
-                // Bands share their inner extents, so every band a worker
-                // claims is served by one ScanKernel instance: the
-                // specialized-dispatch decision, the boundary-stencil cache,
-                // and the row engine's partial-sum scratch row are paid once
-                // per worker, not once per band.
-                let mut kernel: Option<ScanKernel> = None;
+                // One CodecSession per worker: bands share their inner
+                // extents, so the session's cached kernel (dispatch
+                // decision, boundary-stencil cache, row-engine scratch) and
+                // its quantize/entropy buffers serve every band the worker
+                // claims — setup and allocations are paid once per worker,
+                // not once per band.
+                let mut session = CodecSession::<T>::new(*config).expect("config validated above");
                 loop {
                     let band = next.fetch_add(1, Ordering::Relaxed);
                     if band >= ranges.len() {
@@ -223,10 +223,9 @@ pub fn compress_chunked<T: ScalarFloat + Send + Sync>(
                     let mut band_dims = dims.clone();
                     band_dims[0] = r1 - r0;
                     let shape = Shape::new(&band_dims);
-                    let kernel =
-                        kernel.get_or_insert_with(|| ScanKernel::for_shape(config.layers, &shape));
                     let slice = &values[r0 * row_elems..r1 * row_elems];
-                    let result = compress_slice_with_kernel(slice, &shape, config, kernel)
+                    let result = session
+                        .compress_slice(slice, &shape)
                         .map(|(bytes, _)| bytes);
                     *results[band].lock().unwrap() = Some(result);
                 }
@@ -282,10 +281,10 @@ pub fn compress_chunked_planned<T: ScalarFloat + Real + Send + Sync>(
     std::thread::scope(|s| {
         for _ in 0..threads {
             s.spawn(|| {
-                // Per-band planning may pick different layer counts, so each
-                // worker keeps one kernel per layer count it encounters
-                // (bands still share the stride family).
-                let mut kernels: Vec<ScanKernel> = Vec::new();
+                // Per-band planning may pick different layer counts; the
+                // session's kernel cache keys on (layers, stride family),
+                // so one session per worker still reuses everything.
+                let mut session = CodecSession::<T>::decoder();
                 loop {
                     let band = next.fetch_add(1, Ordering::Relaxed);
                     if band >= ranges.len() {
@@ -297,14 +296,9 @@ pub fn compress_chunked_planned<T: ScalarFloat + Real + Send + Sync>(
                     let shape = Shape::new(&band_dims);
                     let slice = &values[r0 * row_elems..r1 * row_elems];
                     let config = plan_band_config(slice, &shape, eb_abs);
-                    let kernel = match kernels.iter().position(|k| k.layers() == config.layers) {
-                        Some(i) => &mut kernels[i],
-                        None => {
-                            kernels.push(ScanKernel::for_shape(config.layers, &shape));
-                            kernels.last_mut().unwrap()
-                        }
-                    };
-                    let result = compress_slice_with_kernel(slice, &shape, &config, kernel)
+                    let result = session
+                        .set_config(config)
+                        .and_then(|()| session.compress_slice(slice, &shape))
                         .map(|(bytes, _)| (bytes, config));
                     *results[band].lock().unwrap() = Some(result);
                 }
@@ -371,7 +365,7 @@ pub fn compress_chunked_shared<T: ScalarFloat + Send + Sync>(
     std::thread::scope(|s| {
         for _ in 0..threads {
             s.spawn(|| {
-                let mut kernel: Option<ScanKernel> = None;
+                let mut session = CodecSession::<T>::new(*config).expect("config validated above");
                 loop {
                     let band = next.fetch_add(1, Ordering::Relaxed);
                     if band >= ranges.len() {
@@ -381,10 +375,13 @@ pub fn compress_chunked_shared<T: ScalarFloat + Send + Sync>(
                     let mut band_dims = dims.clone();
                     band_dims[0] = r1 - r0;
                     let shape = Shape::new(&band_dims);
-                    let kernel =
-                        kernel.get_or_insert_with(|| ScanKernel::for_shape(config.layers, &shape));
                     let slice = &values[r0 * row_elems..r1 * row_elems];
-                    let result = quantize_slice_with_kernel(slice, &shape, config, kernel);
+                    let result = session.quantize(slice, &shape);
+                    if let Ok(band) = &result {
+                        // Force the cached histogram here, in parallel, so
+                        // the serial merge below only reads it.
+                        band.histogram();
+                    }
                     *quantized[band].lock().unwrap() = Some(result);
                 }
             });
@@ -399,20 +396,21 @@ pub fn compress_chunked_shared<T: ScalarFloat + Send + Sync>(
         }
     }
 
-    // Phase B (serial): merge histograms, build the shared codec, and
-    // decide per band whether sharing actually wins.
+    // Phase B (serial): merge the bands' cached histograms (no code-stream
+    // re-scan), build the shared codec, and decide per band whether sharing
+    // actually wins. Per-band frequency vectors are padded to one common
+    // alphabet so the exact size comparison below is unchanged.
     let max_code = bands
         .iter()
-        .flat_map(|b| b.codes().iter())
+        .map(|b| b.histogram().len())
         .max()
-        .map_or(0, |&m| m as usize + 1);
-    let mut merged = vec![0u64; max_code.max(1)];
+        .unwrap_or(0)
+        .max(1);
+    let mut merged = vec![0u64; max_code];
     let mut band_freqs: Vec<Vec<u64>> = Vec::with_capacity(bands.len());
     for band in &bands {
-        let mut freqs = vec![0u64; max_code.max(1)];
-        for &c in band.codes() {
-            freqs[c as usize] += 1;
-        }
+        let mut freqs = vec![0u64; max_code];
+        freqs[..band.histogram().len()].copy_from_slice(band.histogram());
         for (m, f) in merged.iter_mut().zip(&freqs) {
             *m += f;
         }
@@ -479,6 +477,159 @@ pub fn compress_chunked_shared<T: ScalarFloat + Send + Sync>(
     })
 }
 
+/// Compresses `data` as shared-table band archives through the **fused
+/// quantize→encode fast path**: the Huffman table is known *before* any
+/// worker scans its bands, so each band's codes stream straight from
+/// `Quantizer::quantize_row` into the band archive's bit buffer — the
+/// intermediate per-band `codes: Vec<u32>` (4 bytes/point of transient
+/// traffic that [`compress_chunked_shared`]'s staged phases pay twice) is
+/// never materialized.
+///
+/// The table comes from a seed sample — one band's worth of rows strided
+/// across the *whole* tensor, quantized staged on the calling thread — so
+/// it prices the global code distribution. Its histogram is smoothed with
+/// [`szr_core::covering_codec`] (counts clamped to ≥ 1 over the occupied
+/// symbol range, so every in-range code has a codeword) and the codec is
+/// stored once as the archive's shared table. Workers then compress
+/// **every** band fused as a version-2 shared-stream archive under the
+/// sample's interval bits; stray out-of-range codes ride as in-band
+/// escapes, and a band that structurally diverges (demotion cap) falls
+/// back to a self-contained version-1 archive with its own adaptive bits.
+/// The bound is resolved against the full tensor once (like
+/// [`compress_chunked_planned`]) so the sampled table and every band price
+/// the same quantizer. Deterministic: the table is fixed before the
+/// parallel phase, so band bytes are independent of scheduling.
+///
+/// Compared with [`compress_chunked_shared`], archives can be marginally
+/// larger (the shared code is fitted on the sample, and bands do not get
+/// the exact own-table-vs-shared size comparison) but compression is
+/// measurably faster — the trade the in-situ scenarios want. The output
+/// decodes through [`decompress_chunked`] unchanged.
+pub fn compress_chunked_fused<T: ScalarFloat + Send + Sync>(
+    data: &Tensor<T>,
+    config: &Config,
+    num_chunks: usize,
+    threads: usize,
+) -> Result<ChunkedArchive> {
+    config.validate()?;
+    if config.decorrelate {
+        // Per-point dither state cannot fuse; the staged shared path is the
+        // correct (and still table-sharing) fallback.
+        return compress_chunked_shared(data, config, num_chunks, threads);
+    }
+    let dims = data.dims().to_vec();
+    let ranges = band_ranges(dims[0], num_chunks.max(1));
+    if ranges.len() <= 1 {
+        return compress_chunked(data, config, num_chunks, threads);
+    }
+    let row_elems: usize = dims[1..].iter().product::<usize>().max(1);
+    let values = data.as_slice();
+    let threads = threads.clamp(1, ranges.len());
+
+    // Pin the bound against the full tensor's range so every band honors
+    // one absolute guarantee and quantizes on the same intervals the
+    // sampled table was built for.
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &v in values {
+        let x = v.to_f64();
+        lo = lo.min(x);
+        hi = hi.max(x);
+    }
+    let range = if lo > hi { 0.0 } else { hi - lo };
+    let pinned = Config {
+        bound: ErrorBound::Absolute(config.bound.effective(range)),
+        ..*config
+    };
+
+    // Seed the table from a strided row sample spanning the *whole* tensor
+    // (one band's worth of rows, planner-style), so the shared code prices
+    // the global distribution rather than one band's: a heterogeneous slab
+    // elsewhere in the tensor still finds its common codes covered.
+    let stride = ranges.len();
+    let n_sampled = dims[0].div_ceil(stride);
+    let mut sample: Vec<T> = Vec::with_capacity(n_sampled * row_elems);
+    for i in (0..dims[0]).step_by(stride) {
+        sample.extend_from_slice(&values[i * row_elems..(i + 1) * row_elems]);
+    }
+    let mut sample_dims = dims.clone();
+    sample_dims[0] = n_sampled;
+    let mut seeder = CodecSession::<T>::new(pinned)?;
+    let seed = seeder.quantize(&sample, &Shape::new(&sample_dims))?;
+    let shared = szr_core::covering_codec(seed.histogram());
+    // Pin the sample's interval bits for every band: the shared table's
+    // symbol range only lines up when all bands quantize on the same
+    // interval count (and the per-band §IV-B sampler is skipped).
+    let worker_config = Config {
+        intervals: szr_core::IntervalMode::Fixed {
+            bits: seed.interval_bits(),
+        },
+        ..pinned
+    };
+
+    // All bands: fused under the fixed table, per-worker sessions.
+    let next = AtomicUsize::new(0);
+    type Fused = (Vec<u8>, bool);
+    let results: Vec<Mutex<Option<Result<Fused>>>> =
+        (0..ranges.len()).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| {
+                let mut session =
+                    CodecSession::<T>::new(worker_config).expect("config validated above");
+                loop {
+                    let band = next.fetch_add(1, Ordering::Relaxed);
+                    if band >= ranges.len() {
+                        return;
+                    }
+                    let (r0, r1) = ranges[band];
+                    let mut band_dims = dims.clone();
+                    band_dims[0] = r1 - r0;
+                    let shape = Shape::new(&band_dims);
+                    let slice = &values[r0 * row_elems..r1 * row_elems];
+                    let result = match session.compress_slice_shared_fused(slice, &shape, &shared) {
+                        Ok(Some((bytes, _))) => Ok((bytes, true)),
+                        // Structural divergence: self-contained staged
+                        // fallback under the caller's interval mode, so the
+                        // band gets its own adaptive bits and table.
+                        Ok(None) => {
+                            let staged = match session.set_config(pinned) {
+                                Ok(()) => session
+                                    .compress_slice(slice, &shape)
+                                    .map(|(bytes, _)| (bytes, false)),
+                                Err(e) => Err(e),
+                            };
+                            session
+                                .set_config(worker_config)
+                                .expect("config validated above");
+                            staged
+                        }
+                        Err(e) => Err(e),
+                    };
+                    *results[band].lock().unwrap() = Some(result);
+                }
+            });
+        }
+    });
+
+    let mut chunks = Vec::with_capacity(ranges.len());
+    let mut any_shared = false;
+    for cell in results {
+        match cell.into_inner().unwrap() {
+            Some(Ok((bytes, used_shared))) => {
+                any_shared |= used_shared;
+                chunks.push(bytes);
+            }
+            Some(Err(e)) => return Err(e),
+            None => unreachable!("every band is claimed exactly once"),
+        }
+    }
+    Ok(ChunkedArchive {
+        dims,
+        chunks,
+        shared_table: any_shared.then(|| szr_huffman::serialize_codec(&shared)),
+    })
+}
+
 /// Decompresses a [`ChunkedArchive`] back into one tensor using up to
 /// `threads` worker threads.
 pub fn decompress_chunked<T: ScalarFloat + Send + Sync>(
@@ -508,17 +659,20 @@ pub fn decompress_chunked<T: ScalarFloat + Send + Sync>(
     std::thread::scope(|s| {
         for _ in 0..threads {
             s.spawn(|| {
-                // Mirror of the compress side's reuse: one kernel per
-                // (layer count, stride family) a worker sees, fed through
-                // `decompress_with_kernel` instead of rebuilding per band.
-                let mut kernels: Vec<ScanKernel> = Vec::new();
+                // Mirror of the compress side's reuse: one decode-only
+                // session per worker, whose kernel cache (keyed on layer
+                // count and stride family) and symbol scratch serve every
+                // band the worker claims.
+                let mut session = CodecSession::<T>::decoder();
                 loop {
                     let band = next.fetch_add(1, Ordering::Relaxed);
                     if band >= archive.chunks.len() {
                         return;
                     }
-                    let result =
-                        decompress_band(&archive.chunks[band], shared.as_ref(), &mut kernels);
+                    let result = match &shared {
+                        Some(codec) => session.decompress_shared(&archive.chunks[band], codec),
+                        None => session.decompress(&archive.chunks[band]),
+                    };
                     *decoded[band].lock().unwrap() = Some(result);
                 }
             });
@@ -549,40 +703,10 @@ pub fn decompress_chunked<T: ScalarFloat + Send + Sync>(
     Ok(Tensor::from_vec(shape, out))
 }
 
-/// Decodes one band archive through a worker's kernel cache, creating a
-/// kernel for any (layer count, stride family) not yet seen. Version-2
-/// bands decode through `shared`; a missing table fails loudly.
-fn decompress_band<T: ScalarFloat>(
-    archive: &[u8],
-    shared: Option<&HuffmanCodec>,
-    kernels: &mut Vec<ScanKernel>,
-) -> Result<Tensor<T>> {
-    let info = inspect(archive)?;
-    let shape = Shape::new(&info.dims);
-    let idx = match kernels
-        .iter()
-        .position(|k| k.layers() == info.layers && k.matches(&shape))
-    {
-        Some(i) => i,
-        None => {
-            kernels.push(ScanKernel::for_shape(info.layers, &shape));
-            kernels.len() - 1
-        }
-    };
-    if info.shared_stream {
-        let codec = shared.ok_or_else(|| {
-            SzError::Corrupt("band needs a shared huffman table the archive does not carry".into())
-        })?;
-        decompress_shared_with_kernel(archive, codec, &mut kernels[idx])
-    } else {
-        decompress_with_kernel(archive, &mut kernels[idx])
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use szr_core::ErrorBound;
+    use szr_core::{inspect, ErrorBound};
 
     fn field() -> Tensor<f32> {
         Tensor::from_fn([97, 64], |ix| {
@@ -795,6 +919,77 @@ mod tests {
         for (&a, &b) in data.as_slice().iter().zip(out.as_slice()) {
             assert!((a as f64 - b as f64).abs() <= 1e-5);
         }
+    }
+
+    #[test]
+    fn fused_chunked_roundtrips_and_shares_the_presampled_table() {
+        let data = Tensor::from_fn([256, 96], |ix| {
+            ((ix[0] as f32) * 0.04).sin() * 6.0 + ((ix[1] as f32) * 0.09).cos() * 2.0
+        });
+        let config = Config::new(ErrorBound::Relative(1e-4));
+        let archive = compress_chunked_fused(&data, &config, 16, 4).unwrap();
+        assert_eq!(archive.chunks.len(), 16);
+        assert!(
+            archive.shared_table.is_some(),
+            "homogeneous bands must fuse under the presampled table"
+        );
+        // Homogeneous field: every band fuses as a version-2 shared stream.
+        let kinds: Vec<bool> = archive
+            .chunks
+            .iter()
+            .map(|c| inspect(c).unwrap().shared_stream)
+            .collect();
+        assert!(kinds.iter().all(|&k| k), "{kinds:?}");
+        let out: Tensor<f32> = decompress_chunked(&archive, 4).unwrap();
+        let range = szr_metrics::value_range(data.as_slice());
+        for (&a, &b) in data.as_slice().iter().zip(out.as_slice()) {
+            assert!((a as f64 - b as f64).abs() <= 1e-4 * range);
+        }
+    }
+
+    #[test]
+    fn fused_chunking_is_deterministic_across_thread_counts() {
+        let data = field();
+        let config = Config::new(ErrorBound::Absolute(1e-4));
+        let a = compress_chunked_fused(&data, &config, 8, 1).unwrap();
+        let b = compress_chunked_fused(&data, &config, 8, 4).unwrap();
+        assert_eq!(a.chunks, b.chunks);
+        assert_eq!(a.shared_table, b.shared_table);
+    }
+
+    #[test]
+    fn fused_heterogeneous_field_roundtrips_within_the_pinned_bound() {
+        // Smooth slab above hash noise: the strided seed sample spans both,
+        // so the shared table covers both distributions; whatever mix of
+        // fused and fallback bands results, the bound must hold everywhere.
+        let data = Tensor::from_fn([96, 64], |ix| {
+            if ix[0] < 72 {
+                ((ix[0] * 64 + ix[1]) as f32 * 1e-4).sin()
+            } else {
+                let h = (ix[0] as u64 * 64 + ix[1] as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                ((h >> 40) % 65_536) as f32
+            }
+        });
+        let config = Config::new(ErrorBound::Absolute(1e-3));
+        let archive = compress_chunked_fused(&data, &config, 4, 2).unwrap();
+        assert_eq!(archive.chunks.len(), 4);
+        for chunk in &archive.chunks {
+            let _ = inspect(chunk).unwrap(); // every band parses
+        }
+        let out: Tensor<f32> = decompress_chunked(&archive, 2).unwrap();
+        for (&a, &b) in data.as_slice().iter().zip(out.as_slice()) {
+            assert!((a as f64 - b as f64).abs() <= 1e-3);
+        }
+    }
+
+    #[test]
+    fn fused_single_band_degrades_to_plain_chunking() {
+        let data = field();
+        let config = Config::new(ErrorBound::Absolute(1e-3));
+        let fused = compress_chunked_fused(&data, &config, 1, 2).unwrap();
+        let plain = compress_chunked(&data, &config, 1, 2).unwrap();
+        assert_eq!(fused.chunks, plain.chunks);
+        assert!(fused.shared_table.is_none());
     }
 
     #[test]

@@ -9,8 +9,11 @@
 //!   band as an independent archive (scoped threads, no locks on the data
 //!   path), reassemble on decompression; `compress_chunked_planned` lets
 //!   `szr-planner` pick a per-band configuration so heterogeneous slabs
-//!   each get suitable layer counts and interval sizes, and both directions
-//!   reuse one `ScanKernel` per (layer count, stride family) per worker;
+//!   each get suitable layer counts and interval sizes;
+//!   `compress_chunked_fused` presamples one shared Huffman table and runs
+//!   the fused quantize→encode fast path per band. Every worker (both
+//!   directions) owns one `szr_core::CodecSession`, so kernels, quantize
+//!   buffers, and decode scratch are reused across all bands it claims;
 //! * [`scaling`] — the strong-scaling harness behind Tables VII/VIII:
 //!   measured thread-scaling on the host plus an analytical Blues-cluster
 //!   model (ideal inter-node scaling — justified by zero communication —
@@ -24,8 +27,8 @@ mod io_model;
 mod scaling;
 
 pub use chunked::{
-    compress_chunked, compress_chunked_planned, compress_chunked_shared, decompress_chunked,
-    ChunkedArchive,
+    compress_chunked, compress_chunked_fused, compress_chunked_planned, compress_chunked_shared,
+    decompress_chunked, ChunkedArchive,
 };
 pub use io_model::{io_breakdown, IoBreakdown, IoModel};
 pub use scaling::{measure_scaling, model_cluster_scaling, ClusterModel, Direction, ScalingPoint};

@@ -23,10 +23,7 @@
 
 use crate::report::Estimate;
 use std::cell::RefCell;
-use szr_core::{
-    choose_interval_bits_with_kernel, quantization_histogram_with_kernel, ScalarFloat, ScanKernel,
-    UnpredictableCodec,
-};
+use szr_core::{CodecSession, ScalarFloat, UnpredictableCodec};
 use szr_tensor::Tensor;
 
 /// Estimated archive bytes that do not scale with the value count: header
@@ -45,12 +42,12 @@ pub struct SzSizeModel<'a, T: ScalarFloat> {
     sample: &'a Tensor<T>,
     total_len: usize,
     range: f64,
-    /// One scan kernel per layer count priced so far: the planner evaluates
-    /// many `(layers, eb, bits)` configurations against the same sample, so
-    /// kernel dispatch and the row engine's partial-sum scratch are paid
-    /// once per layer count, not once per estimate (`RefCell`: the model is
-    /// priced through `&self`, single-threaded).
-    kernels: RefCell<Vec<ScanKernel>>,
+    /// A borrowed pipeline session: the planner evaluates many
+    /// `(layers, eb, bits)` configurations against the same sample, so the
+    /// session's per-layer kernel cache and its reconstruction scratch are
+    /// paid once, not once per estimate (`RefCell`: the model is priced
+    /// through `&self`, single-threaded).
+    session: RefCell<CodecSession<T>>,
 }
 
 impl<'a, T: ScalarFloat> SzSizeModel<'a, T> {
@@ -61,45 +58,32 @@ impl<'a, T: ScalarFloat> SzSizeModel<'a, T> {
             sample,
             total_len,
             range,
-            kernels: RefCell::new(Vec::new()),
+            session: RefCell::new(CodecSession::decoder()),
         }
-    }
-
-    /// Runs `f` with the cached kernel for `layers`, creating it on first
-    /// use.
-    fn with_kernel<R>(&self, layers: usize, f: impl FnOnce(&mut ScanKernel) -> R) -> R {
-        let mut kernels = self.kernels.borrow_mut();
-        let idx = match kernels.iter().position(|k| k.layers() == layers) {
-            Some(i) => i,
-            None => {
-                kernels.push(ScanKernel::for_shape(layers, self.sample.shape()));
-                kernels.len() - 1
-            }
-        };
-        f(&mut kernels[idx])
     }
 
     /// The §IV-B adaptive interval choice, evaluated on the sample.
     pub fn choose_bits(&self, layers: usize, eb: f64, theta: f64, max_bits: u32) -> u32 {
-        self.with_kernel(layers, |kernel| {
-            choose_interval_bits_with_kernel(
-                self.sample.as_slice(),
-                self.sample.shape(),
-                kernel,
-                eb,
-                theta,
-                INTERVAL_SAMPLE_STRIDE,
-                max_bits,
-            )
-        })
+        self.session.borrow_mut().choose_interval_bits(
+            self.sample.as_slice(),
+            self.sample.shape(),
+            layers,
+            eb,
+            theta,
+            INTERVAL_SAMPLE_STRIDE,
+            max_bits,
+        )
     }
 
     /// Estimates size and quality for a `(layers, eb, interval_bits)`
     /// configuration without compressing anything.
     pub fn estimate(&self, layers: usize, eb: f64, interval_bits: u32) -> Estimate {
-        let hist = self.with_kernel(layers, |kernel| {
-            quantization_histogram_with_kernel(self.sample, kernel, eb, interval_bits)
-        });
+        let hist = self.session.borrow_mut().quantization_histogram(
+            self.sample,
+            layers,
+            eb,
+            interval_bits,
+        );
         let n = self.sample.len() as f64;
         let code_bpv = expected_huffman_bits(&hist, n);
         let p_escape = hist[0] as f64 / n;

@@ -10,11 +10,16 @@
 
 use szr::datagen::{dataset, DatasetKind, Scale};
 use szr::metrics::{compression_factor, ErrorStats};
-use szr::{compress_with_stats, decompress, Config, ErrorBound, Tensor};
+use szr::{CodecSession, Config, ErrorBound};
 
 fn main() {
     let fields = dataset(DatasetKind::Atm, Scale::Medium, 2026);
     let config = Config::new(ErrorBound::Relative(1e-5));
+
+    // One session archives the whole snapshot: all four variables share the
+    // same grid family, so the scan kernel, quantize buffers, and decode
+    // scratch are built for the first variable and reused for the rest.
+    let mut session = CodecSession::<f32>::new(config).expect("valid config");
 
     println!(
         "{:<10} {:>9} {:>8} {:>10} {:>10} {:>12} {:>9}",
@@ -24,8 +29,10 @@ fn main() {
     let mut total_compressed = 0usize;
     for field in &fields {
         let raw = field.data.len() * 4;
-        let (archive, stats) = compress_with_stats(&field.data, &config).expect("valid config");
-        let restored: Tensor<f32> = decompress(&archive).expect("fresh archive");
+        let (archive, stats) = session
+            .compress_with_stats(&field.data)
+            .expect("valid config");
+        let restored = session.decompress(&archive).expect("fresh archive");
         let quality = ErrorStats::compute(field.data.as_slice(), restored.as_slice());
         assert!(quality.max_abs <= stats.eb_abs);
         println!(

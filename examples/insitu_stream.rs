@@ -20,10 +20,16 @@ fn main() {
     let mut total_raw = 0usize;
     let mut total_streamed = 0usize;
 
-    // One compressor for the whole run: `finish_stream` hands back each
-    // step's stream and resets, so the scan kernel (and its row-engine
-    // scratch) is built once, not once per time step.
-    let mut stream = StreamCompressor::<f32>::new(&[rows, cols], 4, config).expect("valid config");
+    // One compressor — one CodecSession — for the whole run: `finish_stream`
+    // hands back each step's stream and resets, so the scan kernel, the
+    // row-engine scratch, and the quantize/entropy buffers are built once,
+    // not once per time step. Table reuse turns on the fused
+    // quantize→encode path: after each stream's first band, codes go
+    // straight into the band archive's bit buffer under the previous band's
+    // Huffman table.
+    let mut stream = StreamCompressor::<f32>::new(&[rows, cols], 4, config)
+        .expect("valid config")
+        .with_table_reuse();
 
     for step in 0..steps {
         // The "simulation" advances…

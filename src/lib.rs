@@ -40,6 +40,43 @@
 //! | [`planner`] | `szr-planner` | sampled ratio–quality estimation, codec/config auto-selection |
 //! | [`container`] | `szr-container` | multi-variable snapshot container |
 //!
+//! ## Sessions: the owning pipeline object
+//!
+//! Every piece of reusable codec state — scan kernels (and the row engine's
+//! scratch rows), quantize buffers, Huffman codecs, bit/byte staging —
+//! lives in one object: [`CodecSession`]. Callers compressing more than one
+//! grid hold a session instead of re-wiring the free functions:
+//!
+//! ```
+//! use szr::{CodecSession, Config, ErrorBound, Tensor};
+//!
+//! // Fixed interval bits + no DEFLATE pass: the configuration whose fused
+//! // steady state allocates nothing but the output archive itself (the
+//! // adaptive sampler and the DEFLATE encoder each allocate per call).
+//! let config = Config::new(ErrorBound::Relative(1e-4))
+//!     .with_interval_bits(8)
+//!     .without_lossless_pass();
+//! let mut session = CodecSession::<f32>::new(config).unwrap();
+//! session.set_table_reuse(true); // fused quantize→encode after band 1
+//! for step in 0..3 {
+//!     let field = Tensor::from_fn([64, 64], |ix| {
+//!         ((ix[0] + step) as f32 * 0.1).sin() + (ix[1] as f32 * 0.1).cos()
+//!     });
+//!     let archive = session.compress(&field).unwrap();
+//!     let back = session.decompress(&archive).unwrap();
+//!     assert_eq!(back.dims(), field.dims());
+//! }
+//! ```
+//!
+//! The free functions ([`compress`], [`decompress`], …) remain as thin
+//! wrappers with byte-identical output; `StreamCompressor`, the chunked
+//! drivers in [`parallel`], and the [`planner`]'s size model all run on
+//! sessions internally. With table reuse enabled (or through
+//! `parallel::compress_chunked_fused`'s presampled shared table), the
+//! quantize and Huffman-encode stages fuse: codes stream straight into the
+//! archive's bit buffer and the intermediate code vector is never
+//! materialized.
+//!
 //! ## The scan-kernel pipeline
 //!
 //! Every predict→quantize traversal in the codec runs through one engine:
@@ -88,10 +125,10 @@ pub use szr_core::{
     decompress_pointwise_rel, decompress_shared_with_kernel, decompress_with_kernel,
     encode_quantized, hit_rate_by_layer, inspect, layer_coefficients, predict_at,
     quantization_histogram, quantization_histogram_with_kernel, quantize_slice_with_kernel,
-    quantize_slice_with_kernel_oracle, ArchiveInfo, Carry, CompressionStats, Config, ErrorBound,
-    HuffmanTable, IntervalMode, KernelKind, PredictionBasis, QuantizedBand, Quantizer, Result,
-    RowVisitor, ScalarFloat, ScanKernel, Stencil, StencilSet, StreamCompressor, StreamDecompressor,
-    SzError, UnpredictableCodec,
+    quantize_slice_with_kernel_oracle, ArchiveInfo, Carry, CodecSession, CompressionStats, Config,
+    ErrorBound, HuffmanTable, IntervalMode, KernelKind, PredictionBasis, QuantizedBand, Quantizer,
+    Result, RowVisitor, ScalarFloat, ScanKernel, Stencil, StencilSet, StreamCompressor,
+    StreamDecompressor, SzError, UnpredictableCodec,
 };
 pub use szr_tensor::{Shape, Tensor};
 

@@ -67,6 +67,43 @@ fn sz14_row_path_matches_point_oracle_on_all_datasets() {
 }
 
 #[test]
+fn sz14_session_matches_free_functions_on_all_datasets() {
+    // The session refactor's real-dataset equivalence pin: one reused
+    // CodecSession must produce archives byte-identical to the
+    // free-function pipeline on every dataset family and both layer
+    // counts, and its decode must match the free decode exactly. The fused
+    // table-reuse mode (whose bytes legitimately differ) must stay
+    // self-describing and inside the bound.
+    use szr::CodecSession;
+    for layers in 1..=2usize {
+        for (name, data) in all_small_fields() {
+            let eb = 1e-4 * value_range(data.as_slice());
+            let config = Config::new(ErrorBound::Absolute(eb)).with_layers(layers);
+            let mut session = CodecSession::<f32>::new(config).unwrap();
+            let free = compress(&data, &config).unwrap();
+            let via_session = session.compress(&data).unwrap();
+            assert_eq!(via_session, free, "{name} n={layers}");
+            let free_out: Tensor<f32> = decompress(&free).unwrap();
+            let session_out = session.decompress(&free).unwrap();
+            assert_eq!(
+                free_out.as_slice(),
+                session_out.as_slice(),
+                "{name} n={layers}"
+            );
+
+            let mut fused = CodecSession::<f32>::new(config).unwrap();
+            fused.set_table_reuse(true);
+            for _ in 0..2 {
+                let bytes = fused.compress(&data).unwrap();
+                let out: Tensor<f32> = decompress(&bytes).unwrap();
+                let err = max_abs_error(data.as_slice(), out.as_slice());
+                assert!(err <= eb, "{name} n={layers} fused: {err} > {eb}");
+            }
+        }
+    }
+}
+
+#[test]
 fn sz11_respects_bound_on_all_datasets() {
     for (name, data) in all_small_fields() {
         let eb = 1e-4 * value_range(data.as_slice());
