@@ -1,0 +1,144 @@
+//! Decode-path throughput recorder: fused streaming decode vs the staged
+//! oracle, and the explicit-SIMD row passes vs the forced-scalar fallback,
+//! writing `BENCH_decode.json` — the perf-trajectory point for the fused
+//! decode refactor (siblings: `bench_scan` / `BENCH_scan.json`,
+//! `bench_session` / `BENCH_session.json`).
+//!
+//! ```text
+//! cargo run --release -p szr-bench --bin bench_decode [-- --out DIR]
+//! ```
+//!
+//! The JSON holds decompression MB/s for the fused path (warm
+//! `CodecSession::decompress` — Huffman symbols pulled straight into row
+//! reconstruction) vs `decompress_staged` on the three paper dataset
+//! families at `eb_rel = 1e-4` with the fused-over-staged speedup, plus
+//! SIMD-over-scalar ratios for the shared row engine (quantize direction on
+//! 2-D/3-D synthetic grids, fused decode direction on the datasets).
+
+use std::time::Instant;
+use szr_bench::codecs::absolute_bound;
+use szr_core::{
+    compress, decompress_staged, force_scalar, quantize_slice_with_kernel, CodecSession, Config,
+    ErrorBound, ScanKernel,
+};
+use szr_datagen::{dataset, DatasetKind, Scale};
+use szr_tensor::{Shape, Tensor};
+
+/// Median-of-`reps` wall-clock seconds for one invocation of `f`.
+fn time_median<F: FnMut() -> u64>(reps: usize, mut f: F) -> f64 {
+    let mut samples = Vec::with_capacity(reps);
+    let mut sink = 0u64;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        sink ^= f();
+        samples.push(t0.elapsed().as_secs_f64());
+    }
+    std::hint::black_box(sink);
+    samples.sort_by(f64::total_cmp);
+    samples[reps / 2]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_dir = ".".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                out_dir = args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("usage: bench_decode [--out DIR]");
+                    std::process::exit(2);
+                });
+            }
+            _ => {
+                eprintln!("usage: bench_decode [--out DIR]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let reps = 7;
+    let mut fields = Vec::new();
+
+    // Fused vs staged decompression on the paper dataset families, plus the
+    // SIMD-vs-scalar ratio of the fused path itself.
+    for kind in [DatasetKind::Atm, DatasetKind::Aps, DatasetKind::Hurricane] {
+        let field = dataset(kind, Scale::Small, 7).remove(0);
+        let data = field.data;
+        let mb = (data.len() * 4) as f64 / 1e6;
+        let eb = absolute_bound(&data, 1e-4);
+        let config = Config::new(ErrorBound::Absolute(eb));
+        let packed = compress(&data, &config).unwrap();
+        let name = kind.name().to_lowercase();
+
+        let mut session = CodecSession::<f32>::new(config).unwrap();
+        session.decompress(&packed).unwrap();
+        let t_fused = time_median(reps, || session.decompress(&packed).unwrap().len() as u64);
+        let t_staged = time_median(reps, || {
+            decompress_staged::<f32>(&packed).unwrap().len() as u64
+        });
+        force_scalar(true);
+        let t_scalar = time_median(reps, || session.decompress(&packed).unwrap().len() as u64);
+        force_scalar(false);
+
+        fields.push((format!("decode_fused_{name}_mb_s"), mb / t_fused));
+        fields.push((format!("decode_staged_{name}_mb_s"), mb / t_staged));
+        fields.push((format!("decode_fused_speedup_{name}"), t_staged / t_fused));
+        fields.push((
+            format!("decode_simd_over_scalar_{name}"),
+            t_scalar / t_fused,
+        ));
+    }
+
+    // SIMD-vs-scalar row-pass ratio through the shared quantization scan on
+    // interior-dominated synthetic grids.
+    for (name, dims) in [("2d", vec![512usize, 512]), ("3d", vec![64, 64, 64])] {
+        let shape = Shape::new(&dims);
+        let data = Tensor::from_fn(&dims[..], |ix| {
+            let s: usize = ix.iter().sum();
+            (s as f32 * 0.013).sin() * 40.0
+        });
+        let values = data.as_slice();
+        let mb = (values.len() * 4) as f64 / 1e6;
+        let config = Config::new(ErrorBound::Relative(1e-4));
+        let mut kernel = ScanKernel::for_shape(config.layers, &shape);
+        // Untimed warm-up: fault in the data and size the kernel scratch so
+        // the first timed variant isn't penalized.
+        quantize_slice_with_kernel(values, &shape, &config, &mut kernel).unwrap();
+        let t_simd = time_median(reps, || {
+            quantize_slice_with_kernel(values, &shape, &config, &mut kernel)
+                .unwrap()
+                .len() as u64
+        });
+        force_scalar(true);
+        let t_scalar = time_median(reps, || {
+            quantize_slice_with_kernel(values, &shape, &config, &mut kernel)
+                .unwrap()
+                .len() as u64
+        });
+        force_scalar(false);
+        fields.push((format!("row_pass_simd_{name}_mb_s"), mb / t_simd));
+        fields.push((format!("row_pass_scalar_{name}_mb_s"), mb / t_scalar));
+        fields.push((
+            format!("row_pass_simd_over_scalar_{name}"),
+            t_scalar / t_simd,
+        ));
+    }
+
+    let mut json = String::from("{\n");
+    for (i, (k, v)) in fields.iter().enumerate() {
+        let comma = if i + 1 < fields.len() { "," } else { "" };
+        json.push_str(&format!("  \"{k}\": {v:.2}{comma}\n"));
+    }
+    json.push_str("}\n");
+
+    let path = std::path::Path::new(&out_dir).join("BENCH_decode.json");
+    if let Some(parent) = path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    std::fs::write(&path, &json).expect("write BENCH_decode.json");
+    print!("{json}");
+    eprintln!("wrote {}", path.display());
+}

@@ -11,11 +11,13 @@
 //! The JSON holds MB/s for: session compress fresh vs reused vs fused on a
 //! synthetic 512² grid, `codec_throughput/sz14_compress`-style numbers for
 //! the chunked shared (staged) vs fused paths and the stream default vs
-//! table-reuse mode on the three paper dataset families at `eb_rel = 1e-4`.
+//! table-reuse mode on the three paper dataset families at `eb_rel = 1e-4`,
+//! plus the decode direction: warm-session fused streaming decompression vs
+//! the staged oracle, with the fused-over-staged speedup.
 
 use std::time::Instant;
 use szr_bench::codecs::absolute_bound;
-use szr_core::{CodecSession, Config, ErrorBound, StreamCompressor};
+use szr_core::{compress, decompress_staged, CodecSession, Config, ErrorBound, StreamCompressor};
 use szr_datagen::{dataset, DatasetKind, Scale};
 use szr_parallel::{compress_chunked_fused, compress_chunked_shared};
 use szr_tensor::Tensor;
@@ -132,6 +134,22 @@ fn main() {
         fields.push((
             format!("stream_fused_speedup_{name}"),
             t_stream / t_stream_fused,
+        ));
+
+        // Decode direction: warm-session fused streaming decode (symbols
+        // pulled straight into row reconstruction) vs the staged oracle.
+        let packed = compress(&data, &config).unwrap();
+        let mut decoder = CodecSession::<f32>::new(config).unwrap();
+        decoder.decompress(&packed).unwrap();
+        let t_dec_fused = time_median(reps, || decoder.decompress(&packed).unwrap().len() as u64);
+        let t_dec_staged = time_median(reps, || {
+            decompress_staged::<f32>(&packed).unwrap().len() as u64
+        });
+        fields.push((format!("decode_fused_{name}_mb_s"), mb / t_dec_fused));
+        fields.push((format!("decode_staged_{name}_mb_s"), mb / t_dec_staged));
+        fields.push((
+            format!("decode_fused_speedup_{name}"),
+            t_dec_staged / t_dec_fused,
         ));
     }
 

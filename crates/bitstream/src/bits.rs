@@ -269,6 +269,127 @@ impl<'a> BitReader<'a> {
     }
 }
 
+/// A windowed cursor over a [`BitReader`]: one unaligned load serves many
+/// peek/consume rounds.
+///
+/// [`BitReader::peek_bits`] costs an unaligned 64-bit load per call, which is
+/// fine when each peek decodes a whole symbol pair but wasteful when a
+/// decoder peeks small windows in a tight loop. `BitCursor` caches
+/// [`WINDOW_BITS`](Self::WINDOW_BITS) upcoming bits and serves
+/// [`peek`](Self::peek) / [`consume`](Self::consume) from the cached word;
+/// [`refill`](Self::refill) commits the consumed bits to the underlying
+/// reader and re-peeks. Like `peek_bits`, the window is **zero-padded past
+/// the end of the stream**, so lookups stay safe near EOF as long as the
+/// caller validates true bit counts against
+/// [`remaining_bits`](Self::remaining_bits) before consuming.
+///
+/// Typical loop shape:
+///
+/// ```text
+/// while more_symbols {
+///     cursor.refill();
+///     while cursor.window_remaining() >= WORST_CASE_BITS && more_symbols {
+///         let w = cursor.peek(WORST_CASE_BITS);
+///         // ... validate, then cursor.consume(actual_bits) ...
+///     }
+/// }
+/// ```
+pub struct BitCursor<'a> {
+    reader: BitReader<'a>,
+    /// Cached upcoming bits, right-aligned in the low `WINDOW_BITS` bits.
+    window: u64,
+    /// Bits of `window` already consumed (not yet committed to `reader`).
+    used: u32,
+}
+
+impl<'a> BitCursor<'a> {
+    /// Bits cached per [`refill`](Self::refill) (= [`BitReader::PEEK_MAX`]).
+    pub const WINDOW_BITS: u32 = BitReader::PEEK_MAX;
+
+    /// Creates a cursor at the reader's current position, with a full
+    /// window.
+    pub fn new(reader: BitReader<'a>) -> Self {
+        let window = reader.peek_bits(Self::WINDOW_BITS);
+        Self {
+            reader,
+            window,
+            used: 0,
+        }
+    }
+
+    /// Commits consumed bits to the underlying reader and re-peeks a full
+    /// window. Idempotent when nothing was consumed.
+    #[inline]
+    pub fn refill(&mut self) {
+        if self.used > 0 {
+            self.reader.consume(self.used);
+            self.used = 0;
+        }
+        self.window = self.reader.peek_bits(Self::WINDOW_BITS);
+    }
+
+    /// Unconsumed bits left in the cached window.
+    #[inline]
+    pub fn window_remaining(&self) -> u32 {
+        Self::WINDOW_BITS - self.used
+    }
+
+    /// True bits remaining in the stream (window-consumed bits already
+    /// deducted).
+    #[inline]
+    pub fn remaining_bits(&self) -> usize {
+        self.reader.remaining_bits() - self.used as usize
+    }
+
+    /// Returns the next `count` bits from the window without advancing,
+    /// zero-padded past the end of the stream.
+    ///
+    /// # Panics
+    /// Panics (debug) if `count` exceeds
+    /// [`window_remaining`](Self::window_remaining).
+    #[inline]
+    pub fn peek(&self, count: u32) -> u64 {
+        debug_assert!(
+            self.used + count <= Self::WINDOW_BITS,
+            "peek past cached window"
+        );
+        if count == 0 {
+            return 0;
+        }
+        (self.window >> (Self::WINDOW_BITS - self.used - count)) & (u64::MAX >> (64 - count))
+    }
+
+    /// Advances past `count` bits previously validated via
+    /// [`peek`](Self::peek) and [`remaining_bits`](Self::remaining_bits).
+    #[inline]
+    pub fn consume(&mut self, count: u32) {
+        debug_assert!(
+            self.used + count <= Self::WINDOW_BITS,
+            "consume past cached window"
+        );
+        debug_assert!(count as usize <= self.remaining_bits(), "consume overrun");
+        self.used += count;
+    }
+
+    /// Commits consumed bits, runs `f` against the underlying reader for a
+    /// non-windowed excursion (e.g. a slow-path symbol decode), then
+    /// re-primes the window at the reader's new position.
+    ///
+    /// Wrapping the excursion in a closure means the cached window can never
+    /// be observed stale — a raw `&mut BitReader` accessor would let a
+    /// caller advance the reader and then peek yesterday's bits.
+    #[inline]
+    pub fn with_reader<R>(&mut self, f: impl FnOnce(&mut BitReader<'a>) -> R) -> R {
+        if self.used > 0 {
+            self.reader.consume(self.used);
+            self.used = 0;
+        }
+        let out = f(&mut self.reader);
+        self.window = self.reader.peek_bits(Self::WINDOW_BITS);
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -408,6 +529,64 @@ mod tests {
         let peeked = r.peek_bits(57);
         let mut check = r.clone();
         assert_eq!(check.read_bits(57).unwrap(), peeked);
+    }
+
+    #[test]
+    fn cursor_matches_plain_peek_consume() {
+        // Windowed peek/consume must track the reader exactly across refills
+        // and mixed field widths.
+        let bytes: Vec<u8> = (0..64).map(|i| (i * 151 + 13) as u8).collect();
+        let widths = [3u32, 11, 1, 22, 7, 5, 13, 2, 17];
+        let mut plain = BitReader::new(&bytes);
+        let mut cursor = BitCursor::new(BitReader::new(&bytes));
+        let mut wi = 0;
+        loop {
+            let count = widths[wi % widths.len()];
+            wi += 1;
+            if plain.remaining_bits() < count as usize {
+                break;
+            }
+            if cursor.window_remaining() < count {
+                cursor.refill();
+            }
+            assert_eq!(cursor.peek(count), plain.peek_bits(count));
+            assert_eq!(cursor.remaining_bits(), plain.remaining_bits());
+            cursor.consume(count);
+            plain.consume(count);
+        }
+        cursor.refill();
+        assert_eq!(cursor.remaining_bits(), plain.remaining_bits());
+    }
+
+    #[test]
+    fn cursor_zero_pads_past_end() {
+        let bytes = [0xFFu8];
+        let mut cursor = BitCursor::new(BitReader::new(&bytes));
+        assert_eq!(cursor.remaining_bits(), 8);
+        assert_eq!(cursor.peek(12), 0b1111_1111_0000);
+        cursor.consume(8);
+        assert_eq!(cursor.remaining_bits(), 0);
+        cursor.refill();
+        assert_eq!(cursor.peek(16), 0);
+    }
+
+    #[test]
+    fn cursor_reader_excursion_reprimes_the_window() {
+        let bytes = [0b1011_0001u8, 0xC3, 0x5A];
+        let mut cursor = BitCursor::new(BitReader::new(&bytes));
+        assert_eq!(cursor.peek(4), 0b1011);
+        cursor.consume(4);
+        // Excursion through the raw reader commits the 4 consumed bits and
+        // re-primes the window at the reader's new position.
+        cursor.with_reader(|r| {
+            assert_eq!(r.bit_pos(), 4);
+            assert_eq!(r.read_bits(4).unwrap(), 0b0001);
+        });
+        assert_eq!(cursor.peek(8), 0xC3);
+        cursor.consume(8);
+        cursor.refill();
+        assert_eq!(cursor.peek(8), 0x5A);
+        assert_eq!(cursor.remaining_bits(), 8);
     }
 
     #[test]

@@ -11,7 +11,10 @@
 //!   accumulator and flushes whole 32-bit words, and the reader offers a
 //!   speculative [`BitReader::peek_bits`] / [`BitReader::consume`] pair
 //!   (one unaligned 64-bit load per peek, zero-padded past the end) for
-//!   table-driven decoders, alongside the exact EOF-checked reads. The wire
+//!   table-driven decoders, alongside the exact EOF-checked reads.
+//!   [`BitCursor`] layers a cached 57-bit window over the reader so a tight
+//!   decode loop amortizes one load across several peek/consume rounds
+//!   (refill-friendly streaming Huffman decode). The wire
 //!   format — first bit written is the most significant bit of the first
 //!   byte, final byte zero-padded — is unchanged from the historical
 //!   bit-at-a-time implementation and pinned by property tests.
@@ -24,7 +27,7 @@
 mod bits;
 mod bytes;
 
-pub use bits::{BitReader, BitWriter};
+pub use bits::{BitCursor, BitReader, BitWriter};
 pub use bytes::{ByteReader, ByteWriter};
 
 /// Errors produced while decoding a bit or byte stream.

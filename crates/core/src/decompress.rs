@@ -7,7 +7,7 @@ use crate::quant::Quantizer;
 use crate::unpred::UnpredictableCodec;
 use crate::{Result, SzError};
 use szr_bitstream::{BitReader, ByteReader};
-use szr_huffman::HuffmanCodec;
+use szr_huffman::{HuffmanCodec, SymbolDecoder};
 use szr_tensor::{Shape, Tensor};
 
 /// Parsed archive header (everything before the payload sections).
@@ -51,9 +51,12 @@ fn parse_header(reader: &mut ByteReader<'_>) -> Result<Header> {
     if ndim == 0 || ndim > 16 {
         return Err(SzError::Corrupt(format!("implausible rank {ndim}")));
     }
-    let mut dims = Vec::with_capacity(ndim);
+    // Rank is capped at 16, so the extents fit a stack array — header
+    // parsing stays allocation-free (the Shape built from it lives inside
+    // the output tensor).
+    let mut dims = [0usize; 16];
     let mut product: u128 = 1;
-    for _ in 0..ndim {
+    for slot in dims.iter_mut().take(ndim) {
         let d = reader.read_varint()? as usize;
         if d == 0 {
             return Err(SzError::Corrupt("zero-extent dimension".into()));
@@ -62,7 +65,7 @@ fn parse_header(reader: &mut ByteReader<'_>) -> Result<Header> {
         if product > (1u128 << 40) {
             return Err(SzError::Corrupt("element count implausibly large".into()));
         }
-        dims.push(d);
+        *slot = d;
     }
     Ok(Header {
         type_tag,
@@ -71,7 +74,7 @@ fn parse_header(reader: &mut ByteReader<'_>) -> Result<Header> {
         decorrelate,
         shared_stream,
         eb,
-        shape: Shape::new(&dims),
+        shape: Shape::new(&dims[..ndim]),
     })
 }
 
@@ -133,33 +136,128 @@ pub fn inspect(bytes: &[u8]) -> Result<ArchiveInfo> {
     })
 }
 
+/// Reusable decode-side buffers: the staged path's symbol vector, the fused
+/// path's per-row scratch, and a per-band Huffman codec cache keyed on the
+/// raw serialized table span. Owned by [`crate::CodecSession`] (and by
+/// `szr-parallel`'s per-worker sessions through it) so steady-state fused
+/// decompression allocates nothing but the output tensor.
+pub(crate) struct DecodeScratch<T: ScalarFloat> {
+    /// Staged-path symbol buffer (the whole stream, materialized).
+    codes: Vec<u32>,
+    /// Fused-path scratch: one interior row of symbols…
+    row_codes: Vec<u32>,
+    /// …their reconstruction offsets…
+    row_offsets: Vec<f64>,
+    /// …and the row's decoded escape values.
+    row_escapes: Vec<T>,
+    /// Raw RLE table span of the codec cached below (memcmp cache key).
+    table_key: Vec<u8>,
+    /// Codec rebuilt from the last per-band table seen; same-table streaks
+    /// (a session decoding one producer's bands) skip the rebuild and keep
+    /// the codec's decode LUT warm.
+    cached_codec: Option<HuffmanCodec>,
+}
+
+impl<T: ScalarFloat> Default for DecodeScratch<T> {
+    fn default() -> Self {
+        Self {
+            codes: Vec::new(),
+            row_codes: Vec::new(),
+            row_offsets: Vec::new(),
+            row_escapes: Vec::new(),
+            table_key: Vec::new(),
+            cached_codec: None,
+        }
+    }
+}
+
 /// Decompresses an archive produced by [`crate::compress`].
 ///
 /// The scalar type is checked against the archive header, so decompressing
 /// an `f64` archive as `Tensor<f32>` fails with
 /// [`SzError::WrongType`] instead of silently misreading bytes.
+///
+/// Decoding is *fused*: Huffman symbols are pulled straight into row
+/// reconstruction without materializing the symbol vector (see
+/// [`decompress_staged`] for the staged oracle).
 pub fn decompress<T: ScalarFloat>(bytes: &[u8]) -> Result<Tensor<T>> {
     let mut reader = ByteReader::new(bytes);
     let header = parse_header(&mut reader)?;
     let mut kernel = ScanKernel::for_shape(header.layers, &header.shape);
-    decompress_parsed(header, reader, &mut kernel, None, &mut Vec::new())
+    decompress_parsed(
+        header,
+        reader,
+        &mut kernel,
+        None,
+        &mut DecodeScratch::default(),
+        false,
+    )
+}
+
+/// The staged decode pipeline: the whole symbol stream is Huffman-decoded
+/// into a vector first, then reconstruction replays over it — the original
+/// (pre-fusion) decode path, kept as the equivalence oracle for
+/// [`decompress`] and exercised against it by the property tests. Output is
+/// bit-identical to [`decompress`] on every archive; corrupt archives fail
+/// on both paths (possibly with different messages, since the fused path
+/// stops at the first bad row).
+pub fn decompress_staged<T: ScalarFloat>(bytes: &[u8]) -> Result<Tensor<T>> {
+    let mut reader = ByteReader::new(bytes);
+    let header = parse_header(&mut reader)?;
+    let mut kernel = ScanKernel::for_shape(header.layers, &header.shape);
+    decompress_parsed(
+        header,
+        reader,
+        &mut kernel,
+        None,
+        &mut DecodeScratch::default(),
+        true,
+    )
+}
+
+/// Staged-pipeline mirror of [`decompress_shared_with_kernel`]: the oracle
+/// for fused shared-stream decoding.
+///
+/// # Errors
+/// Same conditions as [`decompress_shared_with_kernel`].
+pub fn decompress_staged_shared_with_kernel<T: ScalarFloat>(
+    bytes: &[u8],
+    codec: &HuffmanCodec,
+    kernel: &mut ScanKernel,
+) -> Result<Tensor<T>> {
+    let mut reader = ByteReader::new(bytes);
+    let header = parse_header(&mut reader)?;
+    if kernel.layers() != header.layers || !kernel.matches(&header.shape) {
+        return Err(SzError::InvalidConfig(
+            "kernel does not match archive shape and layer count",
+        ));
+    }
+    decompress_parsed(
+        header,
+        reader,
+        kernel,
+        Some(codec),
+        &mut DecodeScratch::default(),
+        true,
+    )
 }
 
 /// Decompresses one archive through caller-owned reusable state: a kernel
 /// cache (one per (layer count, stride family) seen, created on demand) and
-/// a code-stream scratch buffer. Version-2 shared-stream archives decode
-/// through `codec`; a missing codec fails loudly. This is the decode body
-/// behind [`crate::CodecSession`] and `szr-parallel`'s per-worker sessions.
+/// the decode scratch (fused row buffers + codec cache). Version-2
+/// shared-stream archives decode through `codec`; a missing codec fails
+/// loudly. This is the decode body behind [`crate::CodecSession`] and
+/// `szr-parallel`'s per-worker sessions.
 pub(crate) fn decompress_cached<T: ScalarFloat>(
     bytes: &[u8],
     codec: Option<&HuffmanCodec>,
     kernels: &mut Vec<ScanKernel>,
-    codes: &mut Vec<u32>,
+    scratch: &mut DecodeScratch<T>,
 ) -> Result<Tensor<T>> {
     let mut reader = ByteReader::new(bytes);
     let header = parse_header(&mut reader)?;
     let idx = ScanKernel::cache_index(kernels, header.layers, &header.shape);
-    decompress_parsed(header, reader, &mut kernels[idx], codec, codes)
+    decompress_parsed(header, reader, &mut kernels[idx], codec, scratch, false)
 }
 
 /// Decompresses an archive using a caller-provided [`ScanKernel`] — the
@@ -186,7 +284,14 @@ pub fn decompress_with_kernel<T: ScalarFloat>(
             "kernel does not match archive shape and layer count",
         ));
     }
-    decompress_parsed(header, reader, kernel, None, &mut Vec::new())
+    decompress_parsed(
+        header,
+        reader,
+        kernel,
+        None,
+        &mut DecodeScratch::default(),
+        false,
+    )
 }
 
 /// Decompresses a version-2 band archive whose Huffman table is shared:
@@ -209,21 +314,35 @@ pub fn decompress_shared_with_kernel<T: ScalarFloat>(
             "kernel does not match archive shape and layer count",
         ));
     }
-    decompress_parsed(header, reader, kernel, Some(codec), &mut Vec::new())
+    decompress_parsed(
+        header,
+        reader,
+        kernel,
+        Some(codec),
+        &mut DecodeScratch::default(),
+        false,
+    )
 }
 
 /// Payload decode shared by every decompress entry point; `reader` is
 /// positioned just past the header, `kernel` matches it, `codec` is the
 /// shared Huffman table (required for version-2 archives, ignored
-/// otherwise), and `codes` is the symbol scratch buffer (cleared here; a
-/// session passes a persistent one so repeated decodes reuse the
-/// allocation).
+/// otherwise), and `scratch` holds the reusable decode buffers (a session
+/// passes a persistent one so repeated decodes reuse every allocation).
+///
+/// With `staged` false (the production path) Huffman symbols are pulled
+/// straight into row reconstruction through a [`SymbolDecoder`] — the
+/// intermediate symbol vector is never materialized, and the per-row
+/// offset/escape work runs through the SIMD batch kernels. With `staged`
+/// true (the oracle path, and always in decorrelation mode) the whole
+/// stream decodes into `scratch.codes` first.
 fn decompress_parsed<T: ScalarFloat>(
     header: Header,
     mut reader: ByteReader<'_>,
     kernel: &mut ScanKernel,
     codec: Option<&HuffmanCodec>,
-    codes: &mut Vec<u32>,
+    scratch: &mut DecodeScratch<T>,
+    staged: bool,
 ) -> Result<Tensor<T>> {
     if header.type_tag != T::TYPE_TAG {
         return Err(SzError::WrongType {
@@ -251,6 +370,65 @@ fn decompress_parsed<T: ScalarFloat>(
         _ => return Err(SzError::Corrupt("unknown payload post-pass".into())),
     };
 
+    let total = header.shape.len();
+    let eb_q = if header.decorrelate {
+        header.eb / 2.0
+    } else {
+        header.eb
+    };
+    let quantizer = Quantizer::new(eb_q, header.interval_bits);
+    let unpred = UnpredictableCodec::new(header.eb);
+    let alphabet = quantizer.alphabet() as u32;
+    let unpred_bits = BitReader::new(unpred_block);
+    let mut recon: Vec<T> = vec![T::from_f64(0.0); total];
+
+    // Decorrelation threads per-index dither through the point visitor and
+    // stays staged; everything else decodes fused unless the caller asked
+    // for the oracle path.
+    if !header.decorrelate && !staged {
+        let DecodeScratch {
+            row_codes,
+            row_offsets,
+            row_escapes,
+            table_key,
+            cached_codec,
+            ..
+        } = scratch;
+        let (block, codec) = if header.shared_stream {
+            let codec = codec.ok_or_else(|| {
+                SzError::Corrupt("archive needs its container's shared huffman table".into())
+            })?;
+            (szr_huffman::parse_shared_block(huffman_block)?, codec)
+        } else {
+            let block = szr_huffman::parse_block(huffman_block)?;
+            if cached_codec.is_none() || table_key.as_slice() != block.table {
+                *cached_codec = Some(szr_huffman::codec_for_block(&block)?);
+                table_key.clear();
+                table_key.extend_from_slice(block.table);
+            }
+            (block, cached_codec.as_ref().expect("just cached"))
+        };
+        if block.count != total {
+            return Err(SzError::Corrupt(format!(
+                "code stream has {} entries for {} points",
+                block.count, total
+            )));
+        }
+        let mut visitor = FusedRowDecoder {
+            decoder: codec.stream_decoder(block.payload, total),
+            alphabet,
+            quantizer,
+            unpred,
+            bits: unpred_bits,
+            row_codes,
+            row_offsets,
+            row_escapes,
+        };
+        kernel.scan_rows(&header.shape, &mut recon, &mut visitor)?;
+        return Ok(Tensor::from_vec(header.shape, recon));
+    }
+
+    let codes = &mut scratch.codes;
     if header.shared_stream {
         let codec = codec.ok_or_else(|| {
             SzError::Corrupt("archive needs its container's shared huffman table".into())
@@ -260,7 +438,6 @@ fn decompress_parsed<T: ScalarFloat>(
         szr_huffman::decompress_u32_into(huffman_block, codes)?;
     }
     let codes: &[u32] = codes;
-    let total = header.shape.len();
     if codes.len() != total {
         return Err(SzError::Corrupt(format!(
             "code stream has {} entries for {} points",
@@ -268,17 +445,7 @@ fn decompress_parsed<T: ScalarFloat>(
             total
         )));
     }
-
-    let eb_q = if header.decorrelate {
-        header.eb / 2.0
-    } else {
-        header.eb
-    };
-    let quantizer = Quantizer::new(eb_q, header.interval_bits);
-    let unpred = UnpredictableCodec::new(header.eb);
-    let alphabet = quantizer.alphabet() as u32;
-    let mut unpred_bits = BitReader::new(unpred_block);
-    let mut recon: Vec<T> = vec![T::from_f64(0.0); total];
+    let mut unpred_bits = unpred_bits;
 
     if header.decorrelate {
         // Decorrelation mode threads per-index dither through the point
@@ -371,6 +538,85 @@ impl<T: ScalarFloat> crate::kernel::RowVisitor<T> for RowDecoder<'_> {
                 Ok(T::from_f64(self.quantizer.reconstruct(code, pred)))
             } else {
                 Err(SzError::Corrupt(format!("code {code} outside alphabet")))
+            }
+        })
+    }
+}
+
+/// The fused decode visitor: a pull-based [`SymbolDecoder`] feeds row
+/// reconstruction directly, so no symbol vector ever exists. Border points
+/// pull one symbol at a time; each interior row segment pulls its whole
+/// symbol run into a row-sized scratch, batch-validates it
+/// ([`crate::simd::codes_max`]), precomputes reconstruction offsets
+/// ([`Quantizer::recon_offsets`], bit-identical to the staged per-point
+/// [`Quantizer::reconstruct`]), batch-decodes the row's escapes, and folds.
+/// The first bad symbol (or out-of-alphabet code) aborts the whole scan —
+/// corrupt archives never decode the full grid.
+struct FusedRowDecoder<'c, 'b, 's, T: ScalarFloat> {
+    decoder: SymbolDecoder<'c, 'b>,
+    alphabet: u32,
+    quantizer: Quantizer,
+    unpred: UnpredictableCodec,
+    bits: BitReader<'b>,
+    row_codes: &'s mut Vec<u32>,
+    row_offsets: &'s mut Vec<f64>,
+    row_escapes: &'s mut Vec<T>,
+}
+
+impl<T: ScalarFloat> crate::kernel::RowVisitor<T> for FusedRowDecoder<'_, '_, '_, T> {
+    type Error = SzError;
+
+    fn point(&mut self, _flat: usize, pred: f64) -> std::result::Result<T, SzError> {
+        let code = self.decoder.decode_one()?;
+        if code >= self.alphabet {
+            return Err(SzError::Corrupt(format!("code {code} outside alphabet")));
+        }
+        if code == 0 {
+            Ok(self.unpred.decode(&mut self.bits)?)
+        } else {
+            Ok(T::from_f64(self.quantizer.reconstruct(code, pred)))
+        }
+    }
+
+    fn row(
+        &mut self,
+        _flat: usize,
+        partials: &[f64],
+        carry: crate::kernel::Carry,
+        row: &mut [T],
+        prev: [T; 2],
+    ) -> std::result::Result<(), SzError> {
+        let n = row.len();
+        if self.row_codes.len() < n {
+            self.row_codes.resize(n, 0);
+            self.row_offsets.resize(n, 0.0);
+        }
+        self.decoder.decode_into(&mut self.row_codes[..n])?;
+        let codes: &[u32] = &self.row_codes[..n];
+        // Batched alphabet check; only on failure walk back for the first
+        // offending code so the message matches the staged path's.
+        if crate::simd::codes_max(codes) >= self.alphabet {
+            let bad = codes
+                .iter()
+                .find(|&&c| c >= self.alphabet)
+                .expect("max exceeded the alphabet");
+            return Err(SzError::Corrupt(format!("code {bad} outside alphabet")));
+        }
+        self.quantizer
+            .recon_offsets(codes, &mut self.row_offsets[..n]);
+        let escapes_here = crate::simd::count_zeros(codes);
+        self.unpred
+            .decode_run(&mut self.bits, escapes_here, self.row_escapes)?;
+        let offsets: &[f64] = &self.row_offsets[..n];
+        let escapes: &[T] = self.row_escapes;
+        let mut e = 0usize;
+        carry.fold(partials, prev, row, |i, pred| {
+            if codes[i] == 0 {
+                let v = escapes[e];
+                e += 1;
+                Ok(v)
+            } else {
+                Ok(T::from_f64(pred + offsets[i]))
             }
         })
     }

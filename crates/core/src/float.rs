@@ -27,6 +27,67 @@ pub trait ScalarFloat: Copy + PartialOrd + 'static {
     fn to_bits_u64(self) -> u64;
     /// Reconstructs from raw bits (low `BITS` bits of the argument).
     fn from_bits_u64(bits: u64) -> Self;
+
+    // Slice kernels for the scan hot paths. The defaults are the scalar
+    // reference loops; the f32/f64 impls dispatch to the runtime-detected
+    // SIMD kernels in `crate::simd`, which are bit-identical to these
+    // defaults (pinned by that module's tests). Internal plumbing, not API.
+
+    /// `dst[i] = c · src[i]` (widened).
+    #[doc(hidden)]
+    fn simd_term_set(dst: &mut [f64], src: &[Self], c: f64) {
+        for (d, &v) in dst.iter_mut().zip(src) {
+            *d = c * v.to_f64();
+        }
+    }
+
+    /// `dst[i] += c · src[i]` (widened).
+    #[doc(hidden)]
+    fn simd_term_add(dst: &mut [f64], src: &[Self], c: f64) {
+        for (d, &v) in dst.iter_mut().zip(src) {
+            *d += c * v.to_f64();
+        }
+    }
+
+    /// `dst[i] = a[i] − b[i]` (widened).
+    #[doc(hidden)]
+    fn simd_diff_set(dst: &mut [f64], a: &[Self], b: &[Self]) {
+        for i in 0..dst.len() {
+            dst[i] = a[i].to_f64() - b[i].to_f64();
+        }
+    }
+
+    /// `dst[i] = ca·a[i] + cb·b[i]` (widened).
+    #[doc(hidden)]
+    fn simd_terms2_set(dst: &mut [f64], a: &[Self], ca: f64, b: &[Self], cb: f64) {
+        for i in 0..dst.len() {
+            dst[i] = ca * a[i].to_f64() + cb * b[i].to_f64();
+        }
+    }
+
+    /// Six-term fused accumulation, left-associated like the scalar
+    /// expression in the row engine's 6-term stencil arm.
+    #[doc(hidden)]
+    fn simd_terms6_set(dst: &mut [f64], srcs: [&[Self]; 6], cs: [f64; 6]) {
+        let [s0, s1, s2, s3, s4, s5] = srcs;
+        for i in 0..dst.len() {
+            dst[i] = cs[0] * s0[i].to_f64()
+                + cs[1] * s1[i].to_f64()
+                + cs[2] * s2[i].to_f64()
+                + cs[3] * s3[i].to_f64()
+                + cs[4] * s4[i].to_f64()
+                + cs[5] * s5[i].to_f64();
+        }
+    }
+
+    /// `ks[i] = |round((vals[i] − preds[i]) / two_eb)|` — the sampler's
+    /// hit-test interval magnitude.
+    #[doc(hidden)]
+    fn simd_k_pass(ks: &mut [f64], vals: &[Self], preds: &[f64], two_eb: f64) {
+        for i in 0..ks.len() {
+            ks[i] = ((vals[i].to_f64() - preds[i]) / two_eb).round().abs();
+        }
+    }
 }
 
 impl ScalarFloat for f32 {
@@ -53,6 +114,25 @@ impl ScalarFloat for f32 {
     fn from_bits_u64(bits: u64) -> Self {
         f32::from_bits(bits as u32)
     }
+
+    fn simd_term_set(dst: &mut [f64], src: &[Self], c: f64) {
+        <f32 as crate::simd::FloatSimd>::term_set(dst, src, c);
+    }
+    fn simd_term_add(dst: &mut [f64], src: &[Self], c: f64) {
+        <f32 as crate::simd::FloatSimd>::term_add(dst, src, c);
+    }
+    fn simd_diff_set(dst: &mut [f64], a: &[Self], b: &[Self]) {
+        <f32 as crate::simd::FloatSimd>::diff_set(dst, a, b);
+    }
+    fn simd_terms2_set(dst: &mut [f64], a: &[Self], ca: f64, b: &[Self], cb: f64) {
+        <f32 as crate::simd::FloatSimd>::terms2_set(dst, a, ca, b, cb);
+    }
+    fn simd_terms6_set(dst: &mut [f64], srcs: [&[Self]; 6], cs: [f64; 6]) {
+        <f32 as crate::simd::FloatSimd>::terms6_set(dst, srcs, cs);
+    }
+    fn simd_k_pass(ks: &mut [f64], vals: &[Self], preds: &[f64], two_eb: f64) {
+        <f32 as crate::simd::FloatSimd>::k_pass(ks, vals, preds, two_eb);
+    }
 }
 
 impl ScalarFloat for f64 {
@@ -78,6 +158,25 @@ impl ScalarFloat for f64 {
     #[inline]
     fn from_bits_u64(bits: u64) -> Self {
         f64::from_bits(bits)
+    }
+
+    fn simd_term_set(dst: &mut [f64], src: &[Self], c: f64) {
+        <f64 as crate::simd::FloatSimd>::term_set(dst, src, c);
+    }
+    fn simd_term_add(dst: &mut [f64], src: &[Self], c: f64) {
+        <f64 as crate::simd::FloatSimd>::term_add(dst, src, c);
+    }
+    fn simd_diff_set(dst: &mut [f64], a: &[Self], b: &[Self]) {
+        <f64 as crate::simd::FloatSimd>::diff_set(dst, a, b);
+    }
+    fn simd_terms2_set(dst: &mut [f64], a: &[Self], ca: f64, b: &[Self], cb: f64) {
+        <f64 as crate::simd::FloatSimd>::terms2_set(dst, a, ca, b, cb);
+    }
+    fn simd_terms6_set(dst: &mut [f64], srcs: [&[Self]; 6], cs: [f64; 6]) {
+        <f64 as crate::simd::FloatSimd>::terms6_set(dst, srcs, cs);
+    }
+    fn simd_k_pass(ks: &mut [f64], vals: &[Self], preds: &[f64], two_eb: f64) {
+        <f64 as crate::simd::FloatSimd>::k_pass(ks, vals, preds, two_eb);
     }
 }
 

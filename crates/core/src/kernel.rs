@@ -189,6 +189,9 @@ pub struct ScanKernel {
     /// the planner's samplers pay the allocation once per kernel, not per
     /// band or per call.
     row_scratch: Vec<f64>,
+    /// Second scratch row for passes that need predictions and a derived
+    /// per-point quantity at once (the sampler's interval magnitudes).
+    aux_scratch: Vec<f64>,
 }
 
 /// The stencil of one row class (fixed clamped leading coordinates, full
@@ -295,6 +298,7 @@ impl ScanKernel {
             interior_terms,
             row_plans,
             row_scratch: Vec::new(),
+            aux_scratch: Vec::new(),
         }
     }
 
@@ -799,6 +803,98 @@ impl ScanKernel {
         self.row_scratch = scratch;
     }
 
+    /// [`ScanKernel::sample_interior`] specialized to the §IV-B sampler's
+    /// per-point quantity: visits `|round((data[flat] − pred) / two_eb)|`
+    /// for every sampled interior point, in the same order as
+    /// [`ScanKernel::sample_interior`].
+    ///
+    /// On the dense row-engine path the divide/round/abs chain runs as a
+    /// batched SIMD pass over each materialized prediction row
+    /// ([`ScalarFloat::simd_k_pass`], pinned bit-identical to the scalar
+    /// expression); elsewhere it falls back to the scalar formula per point.
+    ///
+    /// # Panics
+    /// Same contract as [`ScanKernel::sample_interior`].
+    pub fn sample_interior_ks<T, F>(
+        &mut self,
+        shape: &Shape,
+        data: &[T],
+        stride: usize,
+        two_eb: f64,
+        mut visit: F,
+    ) where
+        T: ScalarFloat,
+        F: FnMut(f64),
+    {
+        let stride_eff = stride.max(1);
+        if !(stride_eff <= 4 && matches!(self.kind, KernelKind::Specialized { .. })) {
+            // Sparse or generic sampling: per-point scalar formula on top of
+            // the point-path traversal.
+            self.sample_interior(shape, data, stride, |flat, pred| {
+                visit(((data[flat].to_f64() - pred) / two_eb).round().abs());
+            });
+            return;
+        }
+        assert!(
+            self.matches(shape),
+            "shape {shape} outside kernel stride family {:?}",
+            self.strides
+        );
+        assert_eq!(data.len(), shape.len(), "data length does not match shape");
+        let n = self.layers;
+        let dims = shape.dims();
+        let d = dims.len();
+        let d_last = dims[d - 1];
+        if d_last <= n {
+            return; // no interior columns
+        }
+        let mut scratch = std::mem::take(&mut self.row_scratch);
+        let mut ks = std::mem::take(&mut self.aux_scratch);
+        if scratch.len() < d_last {
+            scratch.resize(d_last, 0.0);
+        }
+        if ks.len() < d_last {
+            ks.resize(d_last, 0.0);
+        }
+        let interior = [n; 2];
+        let plan = &self.row_plans[plan_index(n, &interior[..d - 1])];
+        let len = d_last - n;
+        let mut per_row = |base: usize, scratch: &mut [f64], ks: &mut [f64]| {
+            let seg = base + n;
+            fill_partials(&plan.terms, data, seg, &mut scratch[..len]);
+            T::simd_k_pass(
+                &mut ks[..len],
+                &data[seg..seg + len],
+                &scratch[..len],
+                two_eb,
+            );
+            for (i, &k) in ks[..len].iter().enumerate() {
+                if (seg + i).is_multiple_of(stride_eff) {
+                    visit(k);
+                }
+            }
+        };
+        match d {
+            1 => per_row(0, &mut scratch, &mut ks),
+            2 => {
+                let s0 = self.strides[0];
+                for i in n..dims[0] {
+                    per_row(i * s0, &mut scratch, &mut ks);
+                }
+            }
+            _ => {
+                let (s0, s1) = (self.strides[0], self.strides[1]);
+                for i in n..dims[0] {
+                    for j in n..dims[1] {
+                        per_row(i * s0 + j * s1, &mut scratch, &mut ks);
+                    }
+                }
+            }
+        }
+        self.row_scratch = scratch;
+        self.aux_scratch = ks;
+    }
+
     /// Boundary slow path: full Eq. 11 with per-axis shrunk layer counts.
     #[inline]
     fn slow_pred<T: ScalarFloat>(&mut self, index: &[usize], buf: &[T], flat: usize) -> f64 {
@@ -1065,9 +1161,10 @@ fn plan_index(layers: usize, lead: &[usize]) -> usize {
 /// [`predict_at`] up to the sign of zero, which keeps the batched
 /// predictions numerically identical to the per-point oracle. The dominant
 /// small stencils (2-term Lorenzo-2D prior, 6-term Lorenzo-3D and
-/// two-layer-2D priors) run as single fused vectorizable passes; larger
-/// ones (e.g. the 24-term 3-D two-layer prior) go term-major, one tight
-/// slice pass per term.
+/// two-layer-2D priors) run as single fused passes; larger ones (e.g. the
+/// 24-term 3-D two-layer prior) go term-major, one tight slice pass per
+/// term. Each pass dispatches through the runtime-detected SIMD kernels
+/// (`crate::simd`), which are pinned bit-identical to the scalar loops.
 fn fill_partials<T: ScalarFloat>(
     terms: &[(usize, f64)],
     buf: &[T],
@@ -1078,47 +1175,24 @@ fn fill_partials<T: ScalarFloat>(
     let src = |off: usize| &buf[seg_start - off..seg_start - off + n];
     match terms {
         [] => out.fill(0.0),
-        [(o0, c0)] => {
-            for (acc, v) in out.iter_mut().zip(src(*o0)) {
-                *acc = c0 * v.to_f64();
-            }
-        }
+        [(o0, c0)] => T::simd_term_set(out, src(*o0), *c0),
         [(o0, c0), (o1, c1)] if *c0 == 1.0 && *c1 == -1.0 => {
             // The Lorenzo-2D prior (and friends): ±1 coefficients make the
             // multiplies exact no-ops, so skip them.
-            let (s0, s1) = (src(*o0), src(*o1));
-            for i in 0..n {
-                out[i] = s0[i].to_f64() - s1[i].to_f64();
-            }
+            T::simd_diff_set(out, src(*o0), src(*o1));
         }
-        [(o0, c0), (o1, c1)] => {
-            let (s0, s1) = (src(*o0), src(*o1));
-            for i in 0..n {
-                out[i] = c0 * s0[i].to_f64() + c1 * s1[i].to_f64();
-            }
-        }
-        [(o0, c0), (o1, c1), (o2, c2), (o3, c3), (o4, c4), (o5, c5)] => {
-            let (s0, s1, s2) = (src(*o0), src(*o1), src(*o2));
-            let (s3, s4, s5) = (src(*o3), src(*o4), src(*o5));
-            for i in 0..n {
-                out[i] = c0 * s0[i].to_f64()
-                    + c1 * s1[i].to_f64()
-                    + c2 * s2[i].to_f64()
-                    + c3 * s3[i].to_f64()
-                    + c4 * s4[i].to_f64()
-                    + c5 * s5[i].to_f64();
-            }
-        }
+        [(o0, c0), (o1, c1)] => T::simd_terms2_set(out, src(*o0), *c0, src(*o1), *c1),
+        [(o0, c0), (o1, c1), (o2, c2), (o3, c3), (o4, c4), (o5, c5)] => T::simd_terms6_set(
+            out,
+            [src(*o0), src(*o1), src(*o2), src(*o3), src(*o4), src(*o5)],
+            [*c0, *c1, *c2, *c3, *c4, *c5],
+        ),
         _ => {
             let (first, rest) = terms.split_first().unwrap();
             let (o0, c0) = *first;
-            for (acc, v) in out.iter_mut().zip(src(o0)) {
-                *acc = c0 * v.to_f64();
-            }
+            T::simd_term_set(out, src(o0), c0);
             for &(off, coeff) in rest {
-                for (acc, v) in out.iter_mut().zip(src(off)) {
-                    *acc += coeff * v.to_f64();
-                }
+                T::simd_term_add(out, src(off), coeff);
             }
         }
     }

@@ -64,6 +64,29 @@
 //!     assert_eq!(back.dims(), band.dims());
 //! }
 //! ```
+//!
+//! ## Streaming decode and SIMD dispatch
+//!
+//! Decompression is *fused*: a pull-based Huffman symbol decoder
+//! (`szr_huffman::SymbolDecoder`) feeds quantization codes straight into
+//! the [`ScanKernel`] row reconstruction as each row is predicted — no
+//! intermediate symbol vector is ever materialized, escapes are decoded in
+//! per-row batches, and a warm session's only steady-state allocation is
+//! the output tensor itself. The staged decode-all-then-reconstruct path
+//! is retained behind [`decompress_staged`] /
+//! [`decompress_staged_shared_with_kernel`] as the property-test oracle:
+//! the fused path is pinned bit-identical to it, including which damaged
+//! archives are rejected.
+//!
+//! The row passes under both scan directions — partial-sum prefixes, the
+//! quantizer hit test, code→offset reconstruction — dispatch at runtime to
+//! explicit SSE2/AVX2 kernels on x86-64 and to scalar reference loops
+//! elsewhere. Every SIMD kernel is bit-identical to its scalar reference
+//! (no FMA contraction, fixed association order, round-half-away-from-zero
+//! emulation), so archives and reconstructions do not depend on the
+//! dispatch decision. Setting `SZR_FORCE_SCALAR=1` (or calling the
+//! test-oriented [`force_scalar`]) pins the scalar fallback; CI runs the
+//! full kernel/quant/decode test surface that way on every push.
 
 mod compress;
 mod config;
@@ -74,6 +97,7 @@ mod predict;
 mod pwrel;
 mod quant;
 mod session;
+mod simd;
 mod stats;
 mod stream;
 mod unpred;
@@ -85,7 +109,8 @@ pub use compress::{
 };
 pub use config::{Config, ErrorBound, IntervalMode};
 pub use decompress::{
-    decompress, decompress_shared_with_kernel, decompress_with_kernel, inspect, ArchiveInfo,
+    decompress, decompress_shared_with_kernel, decompress_staged,
+    decompress_staged_shared_with_kernel, decompress_with_kernel, inspect, ArchiveInfo,
 };
 pub use float::ScalarFloat;
 pub use kernel::{Carry, KernelKind, RowVisitor, ScanKernel};
@@ -93,6 +118,7 @@ pub use predict::{layer_coefficients, predict_at, Stencil, StencilSet};
 pub use pwrel::{compress_pointwise_rel, decompress_pointwise_rel};
 pub use quant::{choose_interval_bits, choose_interval_bits_with_kernel, Quantizer};
 pub use session::{covering_codec, CodecSession};
+pub use simd::force_scalar;
 pub use stats::{
     hit_rate_by_layer, quantization_histogram, quantization_histogram_with_kernel, PredictionBasis,
 };

@@ -337,6 +337,102 @@ proptest! {
         prop_assert_eq!(out.dims(), grid.dims());
     }
 
+    /// The fused streaming decode (symbols pulled straight into row
+    /// reconstruction) is bit-identical to the staged oracle — per-band and
+    /// shared-table archives, any rank, any layer count.
+    #[test]
+    fn fused_decode_matches_staged_oracle_bit_for_bit(
+        grid in arb_grid_f32(),
+        layers in 1usize..=3,
+        eb in 1e-4f64..1.0,
+    ) {
+        let config = Config::new(ErrorBound::Absolute(eb)).with_layers(layers);
+        let bytes = compress(&grid, &config).unwrap();
+        let fused: Tensor<f32> = decompress(&bytes).unwrap();
+        let staged: Tensor<f32> = crate::decompress_staged(&bytes).unwrap();
+        prop_assert_eq!(fused.dims(), staged.dims());
+        for (a, b) in fused.as_slice().iter().zip(staged.as_slice()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // Shared-table band archives: same equivalence through the
+        // shared-stream entry points.
+        let mut kernel = crate::ScanKernel::for_shape(config.layers, grid.shape());
+        let band = crate::quantize_slice_with_kernel(
+            grid.as_slice(), grid.shape(), &config, &mut kernel).unwrap();
+        let codec = szr_huffman::HuffmanCodec::from_frequencies(band.histogram());
+        let (shared, _) = crate::encode_quantized(&band, crate::HuffmanTable::Shared(&codec));
+        let fused_s: Tensor<f32> =
+            crate::decompress_shared_with_kernel(&shared, &codec, &mut kernel).unwrap();
+        let staged_s: Tensor<f32> =
+            crate::decompress_staged_shared_with_kernel(&shared, &codec, &mut kernel).unwrap();
+        for (a, b) in fused_s.as_slice().iter().zip(staged_s.as_slice()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    /// Same fused-vs-staged identity for f64 archives.
+    #[test]
+    fn fused_decode_matches_staged_oracle_f64(
+        ndim in 1usize..4,
+        a in 1usize..14,
+        b in 1usize..10,
+        seed in any::<u32>(),
+        eb in 1e-6f64..1e2,
+    ) {
+        let dims = match ndim {
+            1 => vec![a * b + 1],
+            2 => vec![a, b],
+            _ => vec![a, b, 3],
+        };
+        let grid = Tensor::from_fn(&dims[..], move |ix| {
+            let mut h = seed as u64;
+            for &i in ix {
+                h = h.wrapping_mul(31).wrapping_add(i as u64 + 1);
+            }
+            h = h.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let s: usize = ix.iter().sum();
+            (s as f64 * 0.05).sin() * 50.0 + ((h >> 48) as f64) * 1e-2
+        });
+        let config = Config::new(ErrorBound::Absolute(eb));
+        let bytes = compress(&grid, &config).unwrap();
+        let fused: Tensor<f64> = decompress(&bytes).unwrap();
+        let staged: Tensor<f64> = crate::decompress_staged(&bytes).unwrap();
+        for (x, y) in fused.as_slice().iter().zip(staged.as_slice()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    /// Fused and staged decode agree on damaged archives too: every
+    /// truncation errors on both paths, and every bit flip gives the same
+    /// verdict — both decode to identical bits, or both abort (the fused
+    /// path at the first bad symbol, never decoding the full grid).
+    #[test]
+    fn fused_and_staged_agree_on_damaged_archives(
+        grid in arb_grid_f32(),
+        cut_frac in 0.0f64..1.0,
+        flip_frac in 0.0f64..1.0,
+        flip_mask in 1u8..=255,
+    ) {
+        let config = Config::new(ErrorBound::Relative(1e-3));
+        let bytes = compress(&grid, &config).unwrap();
+        let cut = ((bytes.len() as f64 * cut_frac) as usize).min(bytes.len() - 1);
+        prop_assert!(decompress::<f32>(&bytes[..cut]).is_err(), "fused cut {cut}");
+        prop_assert!(crate::decompress_staged::<f32>(&bytes[..cut]).is_err(), "staged cut {cut}");
+        let mut copy = bytes.clone();
+        let pos = ((copy.len() - 1) as f64 * flip_frac) as usize;
+        copy[pos] ^= flip_mask;
+        match (decompress::<f32>(&copy), crate::decompress_staged::<f32>(&copy)) {
+            (Ok(f), Ok(s)) => {
+                for (x, y) in f.as_slice().iter().zip(s.as_slice()) {
+                    prop_assert_eq!(x.to_bits(), y.to_bits());
+                }
+            }
+            (Err(_), Err(_)) => {}
+            (f, s) => prop_assert!(false, "verdicts diverge: fused {:?} staged {:?}",
+                f.map(|_| ()), s.map(|_| ())),
+        }
+    }
+
     /// f64 data obeys the bound too.
     #[test]
     fn error_bound_holds_for_f64(

@@ -111,6 +111,16 @@ impl Quantizer {
         pred + 2.0 * self.eb * (code as i64 - self.half) as f64
     }
 
+    /// Batched reconstruction offsets: `out[i] = 2·eb · (codes[i] − half)`,
+    /// so `pred + out[i]` equals [`Quantizer::reconstruct`] bit for bit
+    /// (same `f64` expression tree — the offset factor is a single rounding
+    /// step in both). Escape codes (0) produce a garbage offset the fused
+    /// decoder never reads. Runs through the runtime-detected SIMD kernels.
+    #[inline]
+    pub(crate) fn recon_offsets(&self, codes: &[u32], out: &mut [f64]) {
+        crate::simd::codes_to_offsets(codes, out, 2.0 * self.eb, self.half);
+    }
+
     /// Quantizes one interior row segment — the batched form of
     /// [`Quantizer::quantize`] driven by [`ScanKernel`]'s row path.
     ///
@@ -279,8 +289,10 @@ pub fn choose_interval_bits_with_kernel<T: ScalarFloat>(
     // would bias the estimate pessimistically on thin shells.
     let mut need = vec![0u64; (max_bits + 2) as usize];
     let mut samples = 0u64;
-    kernel.sample_interior(shape, data, stride, |flat, pred| {
-        let k = ((data[flat].to_f64() - pred) / (2.0 * eb)).round().abs();
+    // The divide/round/abs hit-test runs as a batched SIMD pass on the dense
+    // row-engine path (`sample_interior_ks`); bucketing stays scalar — it is
+    // branchy, order-independent, and off the critical path.
+    kernel.sample_interior_ks(shape, data, stride, 2.0 * eb, |k| {
         samples += 1;
         let mut b = 2u32;
         while b <= max_bits && k >= (1i64 << (b - 1)) as f64 {

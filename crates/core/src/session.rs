@@ -48,7 +48,7 @@ use crate::compress::{
     QuantizedBand, VERSION, VERSION_SHARED,
 };
 use crate::config::Config;
-use crate::decompress::decompress_cached;
+use crate::decompress::{decompress_cached, DecodeScratch};
 use crate::float::ScalarFloat;
 use crate::kernel::{Carry, RowVisitor, ScanKernel};
 use crate::quant::Quantizer;
@@ -99,8 +99,9 @@ pub struct CodecSession<T: ScalarFloat> {
     /// Payload staging for the fused writer's DEFLATE pass.
     payload: ByteWriter,
     reuse: Option<ReusedTable>,
-    /// Decode-side symbol scratch.
-    decode_codes: Vec<u32>,
+    /// Decode-side scratch: fused row buffers, the staged/oracle symbol
+    /// vector, and the per-band codec cache.
+    decode: DecodeScratch<T>,
 }
 
 /// Fused-scan abort: demotions passed the cap (or the escape code itself
@@ -188,7 +189,7 @@ impl<T: ScalarFloat> CodecSession<T> {
             code_bits: BitWriter::new(),
             payload: ByteWriter::new(),
             reuse: None,
-            decode_codes: Vec::new(),
+            decode: DecodeScratch::default(),
         }
     }
 
@@ -526,21 +527,23 @@ impl<T: ScalarFloat> CodecSession<T> {
     /// Decompresses a self-contained archive through the session's cached
     /// kernels and decode scratch. Version-2 shared-stream bands need
     /// [`CodecSession::decompress_shared`].
+    ///
+    /// Decoding is fused (symbols pull straight into row reconstruction;
+    /// see [`crate::decompress_staged`] for the staged oracle), and in
+    /// steady state — same grid family, same producer table — allocates
+    /// nothing but the output tensor: the row scratch, the codec cache, and
+    /// its decode LUT all live in the session.
     pub fn decompress(&mut self, bytes: &[u8]) -> Result<Tensor<T>> {
-        decompress_cached(bytes, None, &mut self.kernels, &mut self.decode_codes)
+        decompress_cached(bytes, None, &mut self.kernels, &mut self.decode)
     }
 
     /// Decompresses a band archive whose Huffman table may live in its
     /// container: version-2 bands decode through `codec`, self-contained
     /// archives ignore it — the session mirror of
-    /// [`crate::decompress_shared_with_kernel`].
+    /// [`crate::decompress_shared_with_kernel`]. Fused like
+    /// [`CodecSession::decompress`].
     pub fn decompress_shared(&mut self, bytes: &[u8], codec: &HuffmanCodec) -> Result<Tensor<T>> {
-        decompress_cached(
-            bytes,
-            Some(codec),
-            &mut self.kernels,
-            &mut self.decode_codes,
-        )
+        decompress_cached(bytes, Some(codec), &mut self.kernels, &mut self.decode)
     }
 }
 

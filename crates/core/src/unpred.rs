@@ -120,6 +120,25 @@ impl UnpredictableCodec {
         Ok(T::from_bits_u64(bits))
     }
 
+    /// Decodes `n` consecutive values written by [`Self::encode`] into
+    /// `out`, which is **always cleared first** (never appended to). The
+    /// fused row decoder batches each row's escapes through this instead of
+    /// branching into the bit reader mid-reconstruction; on error `out`
+    /// holds the values decoded before the failure.
+    pub fn decode_run<T: ScalarFloat>(
+        &self,
+        input: &mut BitReader<'_>,
+        n: usize,
+        out: &mut Vec<T>,
+    ) -> Result<()> {
+        out.clear();
+        out.reserve(n);
+        for _ in 0..n {
+            out.push(self.decode(input)?);
+        }
+        Ok(())
+    }
+
     /// Average storage cost in bits for a value with exponent field `biased`
     /// (used by size estimators).
     pub fn cost_bits<T: ScalarFloat>(&self, value: T) -> u32 {

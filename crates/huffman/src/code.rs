@@ -1,7 +1,7 @@
 //! Canonical Huffman code construction, encoding, and decoding.
 
 use crate::lut::{BitOrder, DecodeLut, Lookup};
-use szr_bitstream::{BitReader, BitWriter, Error, Result};
+use szr_bitstream::{BitCursor, BitReader, BitWriter, Error, Result};
 
 /// Hard ceiling on codeword length.
 ///
@@ -286,6 +286,134 @@ impl HuffmanCodec {
             out.push(self.decode(bits)?);
         }
         Ok(out)
+    }
+
+    /// Opens a pull-based symbol source over `payload` holding exactly
+    /// `count` symbols — the streaming sibling of [`Self::decode_all_into`]
+    /// for consumers that reconstruct as they decode instead of staging the
+    /// whole symbol vector.
+    ///
+    /// The decoder runs the same pair-peek fast path as `decode_all_into`
+    /// (one windowed lookup can emit two symbols) over a cached
+    /// [`BitCursor`] window, so one unaligned load amortizes across several
+    /// symbol pairs. Results are decision-for-decision identical to the
+    /// staged path, which the property tests pin.
+    pub fn stream_decoder<'b>(&self, payload: &'b [u8], count: usize) -> SymbolDecoder<'_, 'b> {
+        let lut = self
+            .lut
+            .get_or_init(|| DecodeLut::build(&self.lengths, &self.codes, BitOrder::Msb));
+        SymbolDecoder {
+            codec: self,
+            lut,
+            cursor: BitCursor::new(BitReader::new(payload)),
+            remaining: count,
+        }
+    }
+}
+
+/// Pull-based Huffman symbol source (see [`HuffmanCodec::stream_decoder`]).
+///
+/// Symbols come out in stream order via [`decode_one`](Self::decode_one) or
+/// batch-wise via [`decode_into`](Self::decode_into); drawing more than the
+/// declared `count` is an error, and corrupt or truncated payloads abort at
+/// the first bad symbol exactly like the staged decode.
+pub struct SymbolDecoder<'c, 'b> {
+    codec: &'c HuffmanCodec,
+    lut: &'c DecodeLut,
+    cursor: BitCursor<'b>,
+    remaining: usize,
+}
+
+impl SymbolDecoder<'_, '_> {
+    /// Symbols left to draw.
+    pub fn remaining(&self) -> usize {
+        self.remaining
+    }
+
+    /// Decodes the next symbol without touching the draw budget.
+    #[inline]
+    fn next_symbol(&mut self) -> Result<u32> {
+        let p = self.lut.primary_bits();
+        if self.cursor.window_remaining() < p {
+            self.cursor.refill();
+        }
+        if let Lookup::Symbol { symbol, len } = self.lut.root(self.cursor.peek(p)) {
+            if self.cursor.remaining_bits() >= len as usize {
+                self.cursor.consume(len);
+                return Ok(symbol);
+            }
+        }
+        // Subtable / deep / corrupt / EOF: the single-symbol table walk on
+        // the raw reader (identical error classification to the staged
+        // path); the excursion re-primes the window.
+        let Self {
+            codec, lut, cursor, ..
+        } = self;
+        cursor.with_reader(|r| codec.decode_fast(lut, r))
+    }
+
+    /// Decodes one symbol.
+    #[inline]
+    pub fn decode_one(&mut self) -> Result<u32> {
+        if self.remaining == 0 {
+            return Err(Error::Corrupt("symbol stream overdrawn"));
+        }
+        let symbol = self.next_symbol()?;
+        self.remaining -= 1;
+        Ok(symbol)
+    }
+
+    /// Fills `out` with the next `out.len()` symbols — the batch fast path
+    /// (pair-peek loop over the cached window, matching
+    /// [`HuffmanCodec::decode_all_into`] decision for decision).
+    pub fn decode_into(&mut self, out: &mut [u32]) -> Result<()> {
+        let n = out.len();
+        if n > self.remaining {
+            return Err(Error::Corrupt("symbol stream overdrawn"));
+        }
+        let p = self.lut.primary_bits();
+        let mut i = 0usize;
+        // A fresh window always holds ≥ 2·p bits (p ≤ 11, window 57), so
+        // each refill guarantees inner-loop progress.
+        'outer: while i + 1 < n {
+            self.cursor.refill();
+            while self.cursor.window_remaining() >= 2 * p {
+                if i + 1 >= n {
+                    break 'outer;
+                }
+                let w = self.cursor.peek(2 * p);
+                if let Lookup::Symbol {
+                    symbol: s1,
+                    len: l1,
+                } = self.lut.root(w >> p)
+                {
+                    if let Lookup::Symbol {
+                        symbol: s2,
+                        len: l2,
+                    } = self.lut.root(w >> (p - l1))
+                    {
+                        if self.cursor.remaining_bits() >= (l1 + l2) as usize {
+                            self.cursor.consume(l1 + l2);
+                            out[i] = s1;
+                            out[i + 1] = s2;
+                            i += 2;
+                            continue;
+                        }
+                    }
+                }
+                let Self {
+                    codec, lut, cursor, ..
+                } = &mut *self;
+                out[i] = cursor.with_reader(|r| codec.decode_fast(lut, r))?;
+                i += 1;
+                continue 'outer;
+            }
+        }
+        if i < n {
+            out[i] = self.next_symbol()?;
+        }
+        self.remaining -= n;
+        Ok(())
     }
 }
 

@@ -31,8 +31,8 @@ mod code;
 pub mod lut;
 mod table;
 
-pub use code::{HuffmanCodec, MAX_CODE_LEN};
-pub use table::{read_lengths, write_lengths};
+pub use code::{HuffmanCodec, SymbolDecoder, MAX_CODE_LEN};
+pub use table::{read_lengths, skip_lengths, write_lengths};
 
 use szr_bitstream::{BitReader, BitWriter, ByteReader, ByteWriter};
 
@@ -100,29 +100,95 @@ pub fn decompress_u32(bytes: &[u8]) -> szr_bitstream::Result<Vec<u32>> {
     Ok(out)
 }
 
-/// [`decompress_u32`] into a caller-provided buffer (cleared first), so a
-/// long-lived decoder — a codec session feeding many same-size archives —
-/// reuses one symbol allocation across streams.
-pub fn decompress_u32_into(bytes: &[u8], out: &mut Vec<u32>) -> szr_bitstream::Result<()> {
+/// The parsed layout of a self-describing block written by
+/// [`compress_u32`], or of a shared-table payload block (where
+/// [`table`](Self::table) is empty and the codec lives with the caller).
+///
+/// Splitting parsing from decoding lets a streaming consumer (a fused
+/// decompressor) validate the header, key a codec cache on the raw
+/// [`table`](Self::table) span, and then pull symbols straight out of
+/// [`payload`](Self::payload) via [`HuffmanCodec::stream_decoder`].
+pub struct SymbolBlock<'a> {
+    /// Declared alphabet size (0 for shared-table blocks).
+    pub alphabet: usize,
+    /// Exact number of symbols in the payload.
+    pub count: usize,
+    /// Raw RLE code-length span, exactly as serialized — byte-comparable as
+    /// a codec cache key. Empty for shared-table blocks.
+    pub table: &'a [u8],
+    /// Huffman bit payload.
+    pub payload: &'a [u8],
+}
+
+/// Parses a self-describing block (alphabet + count + table + payload)
+/// without building the codec, validating every bound [`decompress_u32`]
+/// checks (alphabet ceiling, table coverage, count-vs-payload plausibility).
+pub fn parse_block(bytes: &[u8]) -> szr_bitstream::Result<SymbolBlock<'_>> {
     let mut reader = ByteReader::new(bytes);
     let alphabet = reader.read_varint()? as usize;
     if alphabet > MAX_ALPHABET {
         return Err(szr_bitstream::Error::Corrupt("implausible alphabet size"));
     }
     let count = reader.read_varint()? as usize;
-    let lengths = read_lengths(&mut reader, alphabet)?;
-    let codec = HuffmanCodec::from_lengths(&lengths)
-        .ok_or(szr_bitstream::Error::Corrupt("invalid huffman lengths"))?;
+    let table_start = reader.pos();
+    skip_lengths(&mut reader, alphabet)?;
+    let table = &bytes[table_start..reader.pos()];
     let payload = reader.read_bytes(reader.remaining())?;
     // Every symbol costs at least one bit, so a count the payload cannot
-    // hold is corruption — checked before the output allocation.
+    // hold is corruption — checked before any output allocation.
     if count > payload.len() * 8 {
         return Err(szr_bitstream::Error::Corrupt(
             "symbol count exceeds payload",
         ));
     }
-    let mut bits = BitReader::new(payload);
-    codec.decode_all_into(&mut bits, count, out)
+    Ok(SymbolBlock {
+        alphabet,
+        count,
+        table,
+        payload,
+    })
+}
+
+/// Parses a shared-table payload block written by
+/// [`compress_u32_with_codec`] (varint count + bit payload; the table is
+/// the caller's).
+pub fn parse_shared_block(bytes: &[u8]) -> szr_bitstream::Result<SymbolBlock<'_>> {
+    let mut reader = ByteReader::new(bytes);
+    let count = reader.read_varint()? as usize;
+    let payload = reader.read_bytes(reader.remaining())?;
+    if count > payload.len() * 8 {
+        return Err(szr_bitstream::Error::Corrupt(
+            "symbol count exceeds payload",
+        ));
+    }
+    Ok(SymbolBlock {
+        alphabet: 0,
+        count,
+        table: &[],
+        payload,
+    })
+}
+
+/// Rebuilds the codec a self-describing [`SymbolBlock`] was written with.
+pub fn codec_for_block(block: &SymbolBlock<'_>) -> szr_bitstream::Result<HuffmanCodec> {
+    let mut reader = ByteReader::new(block.table);
+    let lengths = read_lengths(&mut reader, block.alphabet)?;
+    HuffmanCodec::from_lengths(&lengths)
+        .ok_or(szr_bitstream::Error::Corrupt("invalid huffman lengths"))
+}
+
+/// [`decompress_u32`] into a caller-provided buffer, so a long-lived
+/// decoder — a codec session feeding many same-size archives — reuses one
+/// symbol allocation across streams.
+///
+/// `out` is **always cleared first**: decoded symbols replace any prior
+/// contents, never append (pinned by a regression test). On error `out` is
+/// left in an unspecified (but valid) state.
+pub fn decompress_u32_into(bytes: &[u8], out: &mut Vec<u32>) -> szr_bitstream::Result<()> {
+    let block = parse_block(bytes)?;
+    let codec = codec_for_block(&block)?;
+    let mut bits = BitReader::new(block.payload);
+    codec.decode_all_into(&mut bits, block.count, out)
 }
 
 /// Compresses a symbol stream as payload only (varint count + code bits),
@@ -155,23 +221,17 @@ pub fn decompress_u32_with_codec(
     Ok(out)
 }
 
-/// [`decompress_u32_with_codec`] into a caller-provided buffer (cleared
-/// first) — the shared-table companion of [`decompress_u32_into`].
+/// [`decompress_u32_with_codec`] into a caller-provided buffer — the
+/// shared-table companion of [`decompress_u32_into`], with the same
+/// contract: `out` is **always cleared first**, never appended to.
 pub fn decompress_u32_with_codec_into(
     bytes: &[u8],
     codec: &HuffmanCodec,
     out: &mut Vec<u32>,
 ) -> szr_bitstream::Result<()> {
-    let mut reader = ByteReader::new(bytes);
-    let count = reader.read_varint()? as usize;
-    let payload = reader.read_bytes(reader.remaining())?;
-    if count > payload.len() * 8 {
-        return Err(szr_bitstream::Error::Corrupt(
-            "symbol count exceeds payload",
-        ));
-    }
-    let mut bits = BitReader::new(payload);
-    codec.decode_all_into(&mut bits, count, out)
+    let block = parse_shared_block(bytes)?;
+    let mut bits = BitReader::new(block.payload);
+    codec.decode_all_into(&mut bits, block.count, out)
 }
 
 /// Serializes a codec's code-length table (alphabet varint + RLE lengths)
@@ -240,5 +300,81 @@ mod tests {
         let bytes = compress_u32(&symbols, 7);
         let cut = &bytes[..bytes.len() - 1];
         assert!(decompress_u32(cut).is_err());
+    }
+
+    #[test]
+    fn into_entry_points_clear_never_append() {
+        // Contract regression: decoding into a dirty buffer must replace its
+        // contents, not append (both the self-describing and shared-table
+        // entry points).
+        let symbols: Vec<u32> = (0..500).map(|i| (i * 7) % 50).collect();
+        let bytes = compress_u32(&symbols, 50);
+        let mut out = vec![0xDEAD_BEEFu32; 17];
+        decompress_u32_into(&bytes, &mut out).unwrap();
+        assert_eq!(out, symbols);
+
+        let mut freqs = vec![0u64; 50];
+        for &s in &symbols {
+            freqs[s as usize] += 1;
+        }
+        let codec = HuffmanCodec::from_frequencies(&freqs);
+        let payload = compress_u32_with_codec(&symbols, &codec);
+        let mut out = vec![0xDEAD_BEEFu32; 9999];
+        decompress_u32_with_codec_into(&payload, &codec, &mut out).unwrap();
+        assert_eq!(out, symbols);
+    }
+
+    #[test]
+    fn parse_block_exposes_table_span_and_counts() {
+        let symbols: Vec<u32> = (0..300).map(|i| (i * i) % 40).collect();
+        let bytes = compress_u32(&symbols, 40);
+        let block = parse_block(&bytes).unwrap();
+        // compress_u32 clamps the serialized alphabet to the occupied range.
+        let used = *symbols.iter().max().unwrap() as usize + 1;
+        assert_eq!(block.alphabet, used);
+        assert_eq!(block.count, symbols.len());
+        assert!(!block.table.is_empty());
+        let codec = codec_for_block(&block).unwrap();
+        let mut bits = BitReader::new(block.payload);
+        let mut out = Vec::new();
+        codec
+            .decode_all_into(&mut bits, block.count, &mut out)
+            .unwrap();
+        assert_eq!(out, symbols);
+
+        // The raw table span is byte-identical across blocks written with
+        // the same code — the property a codec cache keys on.
+        let again = compress_u32(&symbols, 40);
+        let block2 = parse_block(&again).unwrap();
+        assert_eq!(block.table, block2.table);
+    }
+
+    #[test]
+    fn stream_decoder_matches_staged_and_rejects_overdraw() {
+        let symbols: Vec<u32> = (0..1000).map(|i| (i * 31) % 200).collect();
+        let bytes = compress_u32(&symbols, 200);
+        let block = parse_block(&bytes).unwrap();
+        let codec = codec_for_block(&block).unwrap();
+
+        // Mixed draw sizes, including odd batches and singles.
+        let mut stream = codec.stream_decoder(block.payload, block.count);
+        let mut got = Vec::new();
+        let mut buf = vec![0u32; 64];
+        got.push(stream.decode_one().unwrap());
+        stream.decode_into(&mut buf[..33]).unwrap();
+        got.extend_from_slice(&buf[..33]);
+        while stream.remaining() >= 64 {
+            stream.decode_into(&mut buf).unwrap();
+            got.extend_from_slice(&buf);
+        }
+        while stream.remaining() > 0 {
+            got.push(stream.decode_one().unwrap());
+        }
+        assert_eq!(got, symbols);
+        assert!(stream.decode_one().is_err(), "overdraw must error");
+
+        let mut stream = codec.stream_decoder(block.payload, block.count);
+        let mut too_many = vec![0u32; block.count + 1];
+        assert!(stream.decode_into(&mut too_many).is_err());
     }
 }

@@ -91,6 +91,66 @@ proptest! {
     }
 
     #[test]
+    fn stream_decoder_matches_staged_on_clean_and_damaged_payloads(
+        freqs in prop::collection::vec(0u64..500, 2..300),
+        picks in prop::collection::vec(any::<u16>(), 1..800),
+        tail_cut in 0usize..4,
+        batch in 1usize..97,
+    ) {
+        // The pull-based SymbolDecoder must be decision-for-decision
+        // identical to the staged decode_all path: same symbols on clean
+        // payloads, agreeing success/error verdicts under truncation, for
+        // arbitrary draw-batch sizes.
+        let used: Vec<u32> = freqs
+            .iter()
+            .enumerate()
+            .filter(|(_, &f)| f > 0)
+            .map(|(s, _)| s as u32)
+            .collect();
+        prop_assume!(!used.is_empty());
+        let codec = HuffmanCodec::from_frequencies(&freqs);
+        let stream: Vec<u32> = picks.iter().map(|&p| used[p as usize % used.len()]).collect();
+        let mut w = BitWriter::new();
+        codec.encode_all(&stream, &mut w);
+        let bytes = w.into_bytes();
+        let cut = bytes.len().saturating_sub(tail_cut);
+        let payload = &bytes[..cut];
+
+        let staged = codec.decode_all(&mut BitReader::new(payload), stream.len());
+        let mut pulled = Vec::with_capacity(stream.len());
+        let mut decoder = codec.stream_decoder(payload, stream.len());
+        let mut buf = vec![0u32; batch];
+        let streamed = loop {
+            let n = decoder.remaining().min(batch);
+            if n == 0 {
+                break Ok(());
+            }
+            // Alternate batch pulls with single pulls to cover both APIs.
+            if n == 1 || pulled.len() % (2 * batch) >= batch {
+                match decoder.decode_one() {
+                    Ok(s) => pulled.push(s),
+                    Err(e) => break Err(e),
+                }
+            } else {
+                match decoder.decode_into(&mut buf[..n]) {
+                    Ok(()) => pulled.extend_from_slice(&buf[..n]),
+                    Err(e) => break Err(e),
+                }
+            }
+        };
+        match (&staged, &streamed) {
+            (Ok(s), Ok(())) => {
+                prop_assert_eq!(s, &pulled);
+                if cut == bytes.len() {
+                    prop_assert_eq!(&pulled, &stream);
+                }
+            }
+            (Err(_), Err(_)) => {}
+            other => prop_assert!(false, "staged/streamed disagree: {:?}", other),
+        }
+    }
+
+    #[test]
     fn truncated_streams_error_and_never_panic(
         symbols in prop::collection::vec(0u32..200, 1..500),
         cut_bytes in 1usize..32,

@@ -37,7 +37,13 @@ pub fn read_lengths(reader: &mut ByteReader<'_>, alphabet: usize) -> Result<Vec<
     for _ in 0..runs {
         let len = reader.read_varint()?;
         let run = reader.read_varint()? as usize;
-        if len > u32::MAX as u64 || lengths.len() + run > alphabet {
+        // checked_add: a crafted run near usize::MAX must not wrap past the
+        // bound check and drive a huge extend.
+        let covered = lengths
+            .len()
+            .checked_add(run)
+            .ok_or(Error::Corrupt("length table overflows alphabet"))?;
+        if len > u32::MAX as u64 || covered > alphabet {
             return Err(Error::Corrupt("length table overflows alphabet"));
         }
         lengths.extend(std::iter::repeat_n(len as u32, run));
@@ -46,6 +52,29 @@ pub fn read_lengths(reader: &mut ByteReader<'_>, alphabet: usize) -> Result<Vec<
         return Err(Error::Corrupt("length table does not cover alphabet"));
     }
     Ok(lengths)
+}
+
+/// Walks past a table written by [`write_lengths`] without materializing it,
+/// so a container can locate the raw table span (e.g. as a cache key) before
+/// deciding whether to rebuild the codec. Validates the same bounds as
+/// [`read_lengths`].
+pub fn skip_lengths(reader: &mut ByteReader<'_>, alphabet: usize) -> Result<()> {
+    let runs = reader.read_varint()?;
+    let mut covered = 0usize;
+    for _ in 0..runs {
+        let len = reader.read_varint()?;
+        let run = reader.read_varint()? as usize;
+        covered = covered
+            .checked_add(run)
+            .ok_or(Error::Corrupt("length table overflows alphabet"))?;
+        if len > u32::MAX as u64 || covered > alphabet {
+            return Err(Error::Corrupt("length table overflows alphabet"));
+        }
+    }
+    if covered != alphabet {
+        return Err(Error::Corrupt("length table does not cover alphabet"));
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -85,6 +114,30 @@ mod tests {
         let bytes = w.into_bytes();
         let mut r = ByteReader::new(&bytes);
         assert!(read_lengths(&mut r, 3).is_err());
+    }
+
+    #[test]
+    fn skip_matches_read_position_and_verdicts() {
+        let mut lengths = vec![0u32; 1024];
+        lengths[7] = 4;
+        lengths[8] = 4;
+        lengths[500] = 2;
+        let mut w = ByteWriter::new();
+        write_lengths(&mut w, &lengths);
+        w.write_varint(0xDEAD); // trailing data the skip must stop before
+        let bytes = w.into_bytes();
+        let mut read = ByteReader::new(&bytes);
+        let mut skip = ByteReader::new(&bytes);
+        read_lengths(&mut read, 1024).unwrap();
+        skip_lengths(&mut skip, 1024).unwrap();
+        assert_eq!(read.pos(), skip.pos());
+        assert_eq!(skip.read_varint().unwrap(), 0xDEAD);
+
+        // Same corruption verdicts as read_lengths.
+        let mut w = ByteWriter::new();
+        write_lengths(&mut w, &[1u32, 1]);
+        let bytes = w.into_bytes();
+        assert!(skip_lengths(&mut ByteReader::new(&bytes), 3).is_err());
     }
 
     #[test]

@@ -77,6 +77,13 @@
 //! archive's bit buffer and the intermediate code vector is never
 //! materialized.
 //!
+//! Decompression fuses symmetrically: a pull-based Huffman symbol decoder
+//! streams quantization codes straight into row reconstruction (escapes
+//! decoded in per-row batches), so a warm session's only steady-state
+//! allocation is the output tensor itself. The staged
+//! decode-all-then-reconstruct path survives as [`decompress_staged`] — the
+//! property-test oracle the fused path is pinned bit-identical to.
+//!
 //! ## The scan-kernel pipeline
 //!
 //! Every predict→quantize traversal in the codec runs through one engine:
@@ -97,6 +104,13 @@
 //! The per-point visitor (`ScanKernel::scan`) is retained as the slow-path
 //! oracle; row and point paths produce byte-identical archives, pinned by
 //! property tests across every dimension/layer/shape class.
+//!
+//! The row slice passes themselves — partial-sum prefixes, the quantizer
+//! hit test, code→offset reconstruction — dispatch at runtime to explicit
+//! SSE2/AVX2 kernels on x86-64, with scalar reference loops everywhere
+//! else. Dispatch never changes bytes: every SIMD kernel is bit-identical
+//! to its scalar reference, and `SZR_FORCE_SCALAR=1` (or
+//! [`force_scalar`]) pins the fallback, which CI exercises on every push.
 //!
 //! Four call sites consume it, so they cannot drift apart:
 //!
@@ -122,9 +136,10 @@ pub use szr_container::Snapshot;
 pub use szr_core::{
     choose_interval_bits, choose_interval_bits_with_kernel, compress, compress_pointwise_rel,
     compress_slice_with_kernel, compress_slice_with_stats, compress_with_stats, decompress,
-    decompress_pointwise_rel, decompress_shared_with_kernel, decompress_with_kernel,
-    encode_quantized, hit_rate_by_layer, inspect, layer_coefficients, predict_at,
-    quantization_histogram, quantization_histogram_with_kernel, quantize_slice_with_kernel,
+    decompress_pointwise_rel, decompress_shared_with_kernel, decompress_staged,
+    decompress_staged_shared_with_kernel, decompress_with_kernel, encode_quantized, force_scalar,
+    hit_rate_by_layer, inspect, layer_coefficients, predict_at, quantization_histogram,
+    quantization_histogram_with_kernel, quantize_slice_with_kernel,
     quantize_slice_with_kernel_oracle, ArchiveInfo, Carry, CodecSession, CompressionStats, Config,
     ErrorBound, HuffmanTable, IntervalMode, KernelKind, PredictionBasis, QuantizedBand, Quantizer,
     Result, RowVisitor, ScalarFloat, ScanKernel, Stencil, StencilSet, StreamCompressor,

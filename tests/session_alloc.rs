@@ -11,21 +11,31 @@
 //! documented on `CodecSession`.
 
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::cell::Cell;
 
 use szr::{CodecSession, Config, ErrorBound, Tensor};
 
 struct CountingAlloc;
 
-static COUNTING: AtomicBool = AtomicBool::new(false);
-static ALLOCS: AtomicU64 = AtomicU64::new(0);
-static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+// Counting is thread-local: the test harness runs tests on multiple
+// threads, and a process-global flag would fold a concurrently running
+// test's allocations into whichever test is counting. Each `count_allocs`
+// observes exactly the allocations its own closure makes.
+thread_local! {
+    static COUNTING: Cell<bool> = const { Cell::new(false) };
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+    static ALLOC_BYTES: Cell<u64> = const { Cell::new(0) };
+}
 
 fn record(size: usize) {
-    if COUNTING.load(Ordering::Relaxed) {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
-        ALLOC_BYTES.fetch_add(size as u64, Ordering::Relaxed);
-    }
+    // `try_with` so allocations during thread teardown (after TLS
+    // destruction) stay safe; they are simply not counted.
+    let _ = COUNTING.try_with(|c| {
+        if c.get() {
+            ALLOCS.with(|a| a.set(a.get() + 1));
+            ALLOC_BYTES.with(|b| b.set(b.get() + size as u64));
+        }
+    });
 }
 
 unsafe impl GlobalAlloc for CountingAlloc {
@@ -52,18 +62,15 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static ALLOCATOR: CountingAlloc = CountingAlloc;
 
-/// Runs `f` with allocation counting on, returning (allocations, bytes).
+/// Runs `f` with allocation counting on (this thread only), returning
+/// (allocations, bytes).
 fn count_allocs<R>(f: impl FnOnce() -> R) -> (u64, u64, R) {
-    ALLOCS.store(0, Ordering::SeqCst);
-    ALLOC_BYTES.store(0, Ordering::SeqCst);
-    COUNTING.store(true, Ordering::SeqCst);
+    ALLOCS.with(|a| a.set(0));
+    ALLOC_BYTES.with(|b| b.set(0));
+    COUNTING.with(|c| c.set(true));
     let out = f();
-    COUNTING.store(false, Ordering::SeqCst);
-    (
-        ALLOCS.load(Ordering::SeqCst),
-        ALLOC_BYTES.load(Ordering::SeqCst),
-        out,
-    )
+    COUNTING.with(|c| c.set(false));
+    (ALLOCS.with(|a| a.get()), ALLOC_BYTES.with(|b| b.get()), out)
 }
 
 #[test]
@@ -107,6 +114,48 @@ fn steady_state_session_compress_allocates_only_the_output_archive() {
     // one-off).
     let (allocs3, _, _) = count_allocs(|| session.compress(&data).unwrap());
     assert_eq!(allocs3, 1, "third call must match the second");
+}
+
+#[test]
+fn steady_state_session_decompress_allocates_only_the_output_tensor() {
+    // The fused decode path pulls Huffman symbols straight into row
+    // reconstruction; once the session is warm (kernel built, row scratch
+    // sized, codec cache + decode LUT populated) the only allocator traffic
+    // left is the output tensor itself: its value buffer plus the `Shape`
+    // dimension and stride boxes.
+    let data = Tensor::from_fn([96, 128], |ix| {
+        ((ix[0] as f32) * 0.07).sin() * 12.0 + ((ix[1] as f32) * 0.05).cos() * 3.0
+    });
+    let config = Config::new(ErrorBound::Absolute(1e-3))
+        .with_interval_bits(8)
+        .without_lossless_pass();
+    let mut session = CodecSession::<f32>::new(config).unwrap();
+    let archive = session.compress(&data).unwrap();
+
+    // Call 1: builds the decode kernel, sizes the row scratch, caches the
+    // codec and its LUT. Call 2 and later: fused steady state.
+    let _ = session.decompress(&archive).unwrap();
+
+    let (allocs, bytes, out) = count_allocs(|| session.decompress(&archive).unwrap());
+    assert_eq!(
+        allocs, 3,
+        "steady-state decompress must allocate exactly the output tensor \
+         (value buffer + shape dims + shape strides): saw {allocs} \
+         allocations, {bytes} bytes"
+    );
+    assert!(
+        bytes <= (out.len() as u64) * 4 + 256,
+        "the allocations should be output-tensor-sized: {bytes} bytes for \
+         {} points",
+        out.len()
+    );
+    for (&a, &b) in data.as_slice().iter().zip(out.as_slice()) {
+        assert!((a as f64 - b as f64).abs() <= 1e-3);
+    }
+
+    // Third call: identical accounting.
+    let (allocs3, _, _) = count_allocs(|| session.decompress(&archive).unwrap());
+    assert_eq!(allocs3, 3, "third call must match the second");
 }
 
 #[test]
