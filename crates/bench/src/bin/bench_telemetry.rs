@@ -1,0 +1,132 @@
+//! Telemetry overhead tripwire: the instrumented pipeline with no sink,
+//! with a `NoopSink` attached, and with a full `RecordingSink`, on the warm
+//! fused compress and decompress paths, writing `BENCH_telemetry.json`.
+//!
+//! ```text
+//! cargo run --release -p szr-bench --bin bench_telemetry [-- --out DIR]
+//! ```
+//!
+//! The contract under test: a disabled sink (`NoopSink`, `enabled() ==
+//! false`) must cost nothing measurable — every instrumentation site gates
+//! its clock reads and record construction on `enabled()`, so the
+//! `*_noop_overhead` ratios should sit within run-to-run noise of 1.0. The
+//! `*_recording_overhead` ratios price the real collector (clock reads plus
+//! mutex-guarded aggregation per stage, not per point); they are reported
+//! for trend tracking, not gated.
+
+use std::sync::Arc;
+use std::time::Instant;
+use szr_core::{CodecSession, Config, ErrorBound};
+use szr_telemetry::{NoopSink, RecordingSink, TelemetrySink};
+use szr_tensor::Tensor;
+
+/// Median-of-`reps` wall-clock seconds for one invocation of `f`.
+fn time_median<F: FnMut() -> u64>(reps: usize, mut f: F) -> f64 {
+    let mut samples = Vec::with_capacity(reps);
+    let mut sink = 0u64;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        sink ^= f();
+        samples.push(t0.elapsed().as_secs_f64());
+    }
+    std::hint::black_box(sink);
+    samples.sort_by(f64::total_cmp);
+    samples[reps / 2]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_dir = ".".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                out_dir = args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("usage: bench_telemetry [--out DIR]");
+                    std::process::exit(2);
+                });
+            }
+            _ => {
+                eprintln!("usage: bench_telemetry [--out DIR]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let reps = 9;
+    let data = Tensor::from_fn([512usize, 512], |ix| {
+        let s: usize = ix.iter().sum();
+        (s as f32 * 0.013).sin() * 40.0
+    });
+    let mb = (data.len() * 4) as f64 / 1e6;
+    // Fused table-reuse mode: the steady state with the least work per
+    // point, where per-call overhead is most visible.
+    let config = Config::new(ErrorBound::Relative(1e-4))
+        .with_interval_bits(8)
+        .without_lossless_pass();
+
+    let warm_session = |sink: Option<Arc<dyn TelemetrySink>>| {
+        let mut session = CodecSession::<f32>::new(config).unwrap();
+        session.set_table_reuse(true);
+        session.set_telemetry(sink);
+        session.compress(&data).unwrap();
+        session
+    };
+
+    let mut fields: Vec<(String, f64)> = Vec::new();
+
+    // Compress direction.
+    let mut base = warm_session(None);
+    let t_base = time_median(reps, || base.compress(&data).unwrap().len() as u64);
+    let mut noop = warm_session(Some(Arc::new(NoopSink)));
+    let t_noop = time_median(reps, || noop.compress(&data).unwrap().len() as u64);
+    let recording = Arc::new(RecordingSink::new());
+    let mut rec = warm_session(Some(recording.clone()));
+    let t_rec = time_median(reps, || rec.compress(&data).unwrap().len() as u64);
+    fields.push(("compress_no_sink_mb_s".into(), mb / t_base));
+    fields.push(("compress_noop_mb_s".into(), mb / t_noop));
+    fields.push(("compress_recording_mb_s".into(), mb / t_rec));
+    fields.push(("compress_noop_overhead".into(), t_noop / t_base));
+    fields.push(("compress_recording_overhead".into(), t_rec / t_base));
+
+    // Decode direction.
+    let archive = base.compress(&data).unwrap();
+    let warm_decoder = |sink: Option<Arc<dyn TelemetrySink>>| {
+        let mut session = CodecSession::<f32>::decoder();
+        session.set_telemetry(sink);
+        session.decompress(&archive).unwrap();
+        session
+    };
+    let mut base_d = warm_decoder(None);
+    let t_base_d = time_median(reps, || base_d.decompress(&archive).unwrap().len() as u64);
+    let mut noop_d = warm_decoder(Some(Arc::new(NoopSink)));
+    let t_noop_d = time_median(reps, || noop_d.decompress(&archive).unwrap().len() as u64);
+    let mut rec_d = warm_decoder(Some(recording.clone()));
+    let t_rec_d = time_median(reps, || rec_d.decompress(&archive).unwrap().len() as u64);
+    fields.push(("decompress_no_sink_mb_s".into(), mb / t_base_d));
+    fields.push(("decompress_noop_mb_s".into(), mb / t_noop_d));
+    fields.push(("decompress_recording_mb_s".into(), mb / t_rec_d));
+    fields.push(("decompress_noop_overhead".into(), t_noop_d / t_base_d));
+    fields.push(("decompress_recording_overhead".into(), t_rec_d / t_base_d));
+
+    // Sanity: the recording runs actually collected something.
+    let report = recording.report();
+    fields.push(("recorded_bands".into(), report.bands.len() as f64));
+
+    let mut json = String::from("{\n");
+    for (i, (k, v)) in fields.iter().enumerate() {
+        let comma = if i + 1 < fields.len() { "," } else { "" };
+        json.push_str(&format!("  \"{k}\": {v:.3}{comma}\n"));
+    }
+    json.push_str("}\n");
+
+    let path = std::path::Path::new(&out_dir).join("BENCH_telemetry.json");
+    if let Some(parent) = path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    std::fs::write(&path, &json).expect("write BENCH_telemetry.json");
+    print!("{json}");
+    eprintln!("wrote {}", path.display());
+}

@@ -23,7 +23,12 @@ impl Args {
             let flag = raw[i]
                 .strip_prefix("--")
                 .ok_or_else(|| format!("expected --flag, got {:?}", raw[i]))?;
-            if switches_allowed.contains(&flag) {
+            if let Some((name, value)) = flag.split_once('=') {
+                // `--flag=value` form; lets a bare switch also take an
+                // optional value (e.g. `--telemetry` vs `--telemetry=json`).
+                values.insert(name.to_string(), value.to_string());
+                i += 1;
+            } else if switches_allowed.contains(&flag) {
                 switches.push(flag.to_string());
                 i += 1;
             } else {
@@ -68,6 +73,19 @@ impl Args {
     /// Whether a bare switch was given.
     pub fn switch(&self, flag: &str) -> bool {
         self.switches.iter().any(|s| s == flag)
+    }
+
+    /// A flag that may appear bare (`--flag`) or valued (`--flag=v`):
+    /// `None` when absent, `Some(None)` when bare, `Some(Some(v))` when
+    /// valued.
+    pub fn switch_or_value(&self, flag: &str) -> Option<Option<&str>> {
+        if let Some(v) = self.values.get(flag) {
+            return Some(Some(v.as_str()));
+        }
+        if self.switch(flag) {
+            return Some(None);
+        }
+        None
     }
 }
 
@@ -115,6 +133,22 @@ mod tests {
         assert!(Args::parse(&strs(&["c", "--input"]), &[]).is_err());
         assert!(Args::parse(&strs(&["c", "input"]), &[]).is_err());
         assert!(Args::parse(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn equals_syntax_and_optional_switch_values() {
+        let a = Args::parse(
+            &strs(&["compress", "--rel=1e-4", "--telemetry", "--input", "x"]),
+            &["telemetry"],
+        )
+        .unwrap();
+        assert_eq!(a.get_parse::<f64>("rel").unwrap(), Some(1e-4));
+        assert_eq!(a.switch_or_value("telemetry"), Some(None));
+        assert_eq!(a.need("input").unwrap(), "x");
+        let b = Args::parse(&strs(&["compress", "--telemetry=json"]), &["telemetry"]).unwrap();
+        assert_eq!(b.switch_or_value("telemetry"), Some(Some("json")));
+        let c = Args::parse(&strs(&["compress"]), &["telemetry"]).unwrap();
+        assert_eq!(c.switch_or_value("telemetry"), None);
     }
 
     #[test]

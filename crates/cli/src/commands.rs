@@ -1,12 +1,62 @@
 //! Subcommand implementations for the `szr` binary.
 
 use crate::args::{parse_dims, Args};
+use std::sync::Arc;
 use std::time::Instant;
 use szr_core::{Config, ErrorBound, ScalarFloat};
 use szr_metrics::ErrorStats;
+use szr_telemetry::{time_it, RecordingSink, TelemetrySink};
 use szr_tensor::Tensor;
 
 type CmdResult = Result<(), String>;
+
+/// What `--telemetry[=json]` asked for.
+#[derive(Clone, Copy, PartialEq)]
+enum TelemetryMode {
+    Off,
+    Text,
+    Json,
+}
+
+fn telemetry_mode(args: &Args) -> Result<TelemetryMode, String> {
+    match args.switch_or_value("telemetry") {
+        None => Ok(TelemetryMode::Off),
+        Some(None) | Some(Some("text")) => Ok(TelemetryMode::Text),
+        Some(Some("json")) => Ok(TelemetryMode::Json),
+        Some(Some(other)) => Err(format!("--telemetry={other:?} (expected text or json)")),
+    }
+}
+
+/// Fresh recording sink when telemetry was requested.
+fn telemetry_sink(mode: TelemetryMode) -> Option<Arc<RecordingSink>> {
+    (mode != TelemetryMode::Off).then(|| Arc::new(RecordingSink::new()))
+}
+
+fn attach_sink<T: ScalarFloat>(
+    session: &mut szr_core::CodecSession<T>,
+    sink: Option<&Arc<RecordingSink>>,
+) {
+    if let Some(sink) = sink {
+        session.set_telemetry(Some(sink.clone() as Arc<dyn TelemetrySink>));
+    }
+}
+
+/// Prints the collected report on stdout (the summary stays on stderr, so
+/// `szr compress --telemetry=json ... | jq` pipes cleanly).
+fn emit_report(mode: TelemetryMode, sink: &RecordingSink) {
+    let report = sink.report();
+    match mode {
+        TelemetryMode::Json => println!("{}", report.to_json()),
+        _ => print!("{}", report.to_text()),
+    }
+}
+
+fn fmt_dims(dims: &[usize]) -> String {
+    dims.iter()
+        .map(|d| d.to_string())
+        .collect::<Vec<_>>()
+        .join("x")
+}
 
 fn read_raw<T: ScalarFloat>(path: &str, dims: &[usize]) -> Result<Tensor<T>, String> {
     let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -90,11 +140,13 @@ fn plan_goal(args: &Args) -> Result<szr_planner::Goal, String> {
     Ok(szr_planner::Goal::MaxError { bound })
 }
 
-/// Plans an SZ config for `compress --auto` and logs the choice.
+/// Plans an SZ config for `compress --auto` and logs the choice. Also
+/// returns the model's estimated bits/value so telemetry can report the
+/// planned-versus-achieved drift.
 fn auto_config<T: ScalarFloat + szr_metrics::Real>(
     args: &Args,
     data: &Tensor<T>,
-) -> Result<szr_core::Config, String> {
+) -> Result<(szr_core::Config, f64), String> {
     let goal = plan_goal(args)?;
     let planner =
         szr_planner::Planner::with_options(data, szr_planner::PlannerOptions::default().sz_only());
@@ -115,7 +167,7 @@ fn auto_config<T: ScalarFloat + szr_metrics::Real>(
         chosen.estimate.ratio,
         chosen.estimate.bits_per_value,
     );
-    Ok(config)
+    Ok((config, chosen.estimate.bits_per_value))
 }
 
 /// `szr compress`
@@ -126,53 +178,72 @@ pub fn compress(args: &Args) -> CmdResult {
     let dtype = args.get("dtype").unwrap_or("f32");
     let pw = args.get_parse::<f64>("pointwise-rel")?;
     let auto = args.switch("auto");
+    let mode = telemetry_mode(args)?;
+    let sink = telemetry_sink(mode);
 
-    let t0 = Instant::now();
     fn pack<T: ScalarFloat + szr_metrics::Real>(
         args: &Args,
         data: &Tensor<T>,
         pw: Option<f64>,
         auto: bool,
+        sink: Option<&Arc<RecordingSink>>,
     ) -> Result<Vec<u8>, String> {
         match (pw, auto) {
             (Some(_), true) => {
                 Err("--auto does not support --pointwise-rel (log-domain mode)".into())
+            }
+            (Some(_), _) if sink.is_some() => {
+                Err("--telemetry does not support --pointwise-rel (log-domain mode)".into())
             }
             (Some(eb), false) => {
                 let cfg = build_config_pw(args)?;
                 szr_core::compress_pointwise_rel(data, eb, &cfg).map_err(|e| e.to_string())
             }
             (None, true) => {
-                let mut session = szr_core::CodecSession::new(auto_config(args, data)?)
-                    .map_err(|e| e.to_string())?;
+                let (config, estimate) = auto_config(args, data)?;
+                let mut session = szr_core::CodecSession::new(config).map_err(|e| e.to_string())?;
+                attach_sink(&mut session, sink);
+                session.set_planned_bits_per_value(Some(estimate));
                 session.compress(data).map_err(|e| e.to_string())
             }
             (None, false) => {
                 let mut session =
                     szr_core::CodecSession::new(build_config(args)?).map_err(|e| e.to_string())?;
+                attach_sink(&mut session, sink);
                 session.compress(data).map_err(|e| e.to_string())
             }
         }
     }
-    let (archive, raw_bytes) = match dtype {
-        "f32" => {
-            let data = read_raw::<f32>(input, &dims)?;
-            (pack(args, &data, pw, auto)?, data.len() * 4)
-        }
-        "f64" => {
-            let data = read_raw::<f64>(input, &dims)?;
-            (pack(args, &data, pw, auto)?, data.len() * 8)
-        }
+    fn pack_timed<T: ScalarFloat + szr_metrics::Real>(
+        args: &Args,
+        input: &str,
+        dims: &[usize],
+        pw: Option<f64>,
+        auto: bool,
+        sink: Option<&Arc<RecordingSink>>,
+    ) -> Result<(Vec<u8>, usize, szr_telemetry::Throughput), String> {
+        let data = read_raw::<T>(input, dims)?;
+        let raw_bytes = data.len() * (T::BITS as usize / 8);
+        let (archive, timing) = time_it(raw_bytes, || pack(args, &data, pw, auto, sink));
+        Ok((archive?, raw_bytes, timing))
+    }
+    let (archive, raw_bytes, timing) = match dtype {
+        "f32" => pack_timed::<f32>(args, input, &dims, pw, auto, sink.as_ref())?,
+        "f64" => pack_timed::<f64>(args, input, &dims, pw, auto, sink.as_ref())?,
         other => return Err(format!("unknown --dtype {other:?}")),
     };
     std::fs::write(output, &archive).map_err(|e| format!("cannot write {output}: {e}"))?;
     eprintln!(
-        "{input} -> {output}: {} -> {} bytes (CF {:.2}x) in {:.2}s",
+        "{input} -> {output}: {} -> {} bytes (CF {:.2}x) in {:.2}s ({:.1} MB/s)",
         raw_bytes,
         archive.len(),
         raw_bytes as f64 / archive.len() as f64,
-        t0.elapsed().as_secs_f64()
+        timing.elapsed.as_secs_f64(),
+        timing.mb_per_sec(),
     );
+    if let Some(sink) = &sink {
+        emit_report(mode, sink);
+    }
     Ok(())
 }
 
@@ -192,9 +263,14 @@ fn build_config_pw(args: &Args) -> Result<Config, String> {
 pub fn decompress(args: &Args) -> CmdResult {
     let input = args.need("input")?;
     let output = args.need("output")?;
+    let mode = telemetry_mode(args)?;
+    let sink = telemetry_sink(mode);
     let archive = std::fs::read(input).map_err(|e| format!("cannot read {input}: {e}"))?;
     // Pointwise-relative archives carry their own magic and type tag.
     if archive.starts_with(b"SZRL") {
+        if sink.is_some() {
+            return Err("--telemetry does not support pointwise-relative archives".into());
+        }
         let t0 = Instant::now();
         match archive.get(4) {
             Some(0) => {
@@ -221,55 +297,165 @@ pub fn decompress(args: &Args) -> CmdResult {
         return Ok(());
     }
     let info = szr_core::inspect(&archive).map_err(|e| e.to_string())?;
-    let t0 = Instant::now();
-    match info.dtype {
-        "f32" => {
-            let mut session = szr_core::CodecSession::<f32>::decoder();
-            let data = session.decompress(&archive).map_err(|e| e.to_string())?;
-            write_raw(output, &data)?;
+    let raw_bytes = info.len() * if info.dtype == "f32" { 4 } else { 8 };
+    let (result, timing) = time_it(raw_bytes, || -> CmdResult {
+        match info.dtype {
+            "f32" => {
+                let mut session = szr_core::CodecSession::<f32>::decoder();
+                attach_sink(&mut session, sink.as_ref());
+                let data = session.decompress(&archive).map_err(|e| e.to_string())?;
+                write_raw(output, &data)
+            }
+            _ => {
+                let mut session = szr_core::CodecSession::<f64>::decoder();
+                attach_sink(&mut session, sink.as_ref());
+                let data = session.decompress(&archive).map_err(|e| e.to_string())?;
+                write_raw(output, &data)
+            }
         }
-        _ => {
-            let mut session = szr_core::CodecSession::<f64>::decoder();
-            let data = session.decompress(&archive).map_err(|e| e.to_string())?;
-            write_raw(output, &data)?;
-        }
-    }
+    });
+    result?;
     eprintln!(
-        "{input} -> {output}: {} {} values ({}) in {:.2}s",
+        "{input} -> {output}: {} {} values ({}) in {:.2}s ({:.1} MB/s)",
         info.len(),
         info.dtype,
-        info.dims
-            .iter()
-            .map(|d| d.to_string())
-            .collect::<Vec<_>>()
-            .join("x"),
-        t0.elapsed().as_secs_f64()
+        fmt_dims(&info.dims),
+        timing.elapsed.as_secs_f64(),
+        timing.mb_per_sec(),
     );
+    if let Some(sink) = &sink {
+        emit_report(mode, sink);
+    }
     Ok(())
 }
 
-/// `szr inspect`
+/// `szr inspect` — section-by-section archive introspection without
+/// reconstructing data. Dispatches on the magic: band archives (v1 and
+/// shared-stream v2), chunked containers (SZCK), stream containers (SZST),
+/// and pointwise-relative archives (SZRL). Corrupt input fails with the
+/// offending section named.
 pub fn inspect(args: &Args) -> CmdResult {
     let input = args.need("input")?;
     let archive = std::fs::read(input).map_err(|e| format!("cannot read {input}: {e}"))?;
-    let info = szr_core::inspect(&archive).map_err(|e| e.to_string())?;
     println!("file            : {input}");
-    println!("dtype           : {}", info.dtype);
+    match archive.get(..4) {
+        Some(b"SZCK") => inspect_chunked(&archive),
+        Some(b"SZST") => inspect_stream(&archive),
+        Some(b"SZRL") => inspect_pointwise(&archive),
+        _ => inspect_band(&archive),
+    }
+}
+
+fn inspect_band(archive: &[u8]) -> CmdResult {
+    let layout = szr_core::inspect_layout(archive).map_err(|e| e.to_string())?;
+    let info = &layout.info;
     println!(
-        "dims            : {}",
-        info.dims
-            .iter()
-            .map(|d| d.to_string())
-            .collect::<Vec<_>>()
-            .join("x")
+        "kind            : {}",
+        if info.shared_stream {
+            "band archive (v2, shared-table stream)"
+        } else {
+            "band archive (v1, self-contained)"
+        }
     );
+    println!("dtype           : {}", info.dtype);
+    println!("dims            : {}", fmt_dims(&info.dims));
     println!("points          : {}", info.len());
     println!("error bound     : {:.6e} (absolute)", info.error_bound);
     println!("layers          : {}", info.layers);
     println!("intervals       : 2^{} - 1", info.interval_bits);
     println!("decorrelated    : {}", info.decorrelated);
+    println!(
+        "post-pass       : {}",
+        if layout.deflate_post_pass {
+            "DEFLATE"
+        } else {
+            "none"
+        }
+    );
+    println!(
+        "huffman block   : {} bytes ({} code stream + {} table framing)",
+        layout.huffman_bytes,
+        layout.code_stream_bytes,
+        layout.huffman_bytes - layout.code_stream_bytes,
+    );
+    match (layout.table_symbols, layout.table_depth) {
+        (Some(symbols), Some(depth)) => {
+            println!("huffman table   : {symbols} symbols, max code length {depth}");
+        }
+        _ => println!("huffman table   : shared (lives in the owning container)"),
+    }
+    println!("escape stream   : {} bytes", layout.unpredictable_bytes);
     println!("archive bytes   : {}", info.archive_bytes);
     println!("compression     : {:.2}x", info.compression_factor());
+    Ok(())
+}
+
+/// One compact line per band inside a container listing.
+fn band_line(i: usize, bytes: usize, layout: &szr_core::BandLayout) -> String {
+    format!(
+        "  band {i:<4}: {} · {bytes} bytes ({} huffman + {} escapes{})",
+        fmt_dims(&layout.info.dims),
+        layout.huffman_bytes,
+        layout.unpredictable_bytes,
+        if layout.deflate_post_pass {
+            ", deflated"
+        } else {
+            ""
+        },
+    )
+}
+
+fn inspect_chunked(archive: &[u8]) -> CmdResult {
+    let container =
+        szr_parallel::ChunkedArchive::from_bytes(archive).map_err(|e| format!("container: {e}"))?;
+    println!("kind            : chunked container (SZCK)");
+    println!("dims            : {}", fmt_dims(&container.dims));
+    match &container.shared_table {
+        Some(table) => println!("shared table    : {} bytes", table.len()),
+        None => println!("shared table    : none (per-band tables)"),
+    }
+    println!("bands           : {}", container.chunks.len());
+    for (i, chunk) in container.chunks.iter().enumerate() {
+        let layout = szr_core::inspect_layout(chunk).map_err(|e| format!("band {i}: {e}"))?;
+        println!("{}", band_line(i, chunk.len(), &layout));
+    }
+    Ok(())
+}
+
+fn inspect_stream(archive: &[u8]) -> CmdResult {
+    println!("kind            : stream container (SZST)");
+    match archive.get(4) {
+        Some(0) => inspect_stream_typed::<f32>(archive),
+        Some(1) => inspect_stream_typed::<f64>(archive),
+        tag => Err(format!("container: unknown stream type tag {tag:?}")),
+    }
+}
+
+fn inspect_stream_typed<T: ScalarFloat>(archive: &[u8]) -> CmdResult {
+    let decoder =
+        szr_core::StreamDecompressor::<T>::new(archive).map_err(|e| format!("container: {e}"))?;
+    println!("dtype           : {}", T::NAME);
+    println!("inner dims      : {}", fmt_dims(decoder.inner_dims()));
+    println!("bands           : {}", decoder.remaining_bands());
+    let slices = decoder
+        .band_slices()
+        .map_err(|e| format!("container: {e}"))?;
+    for (i, slice) in slices.iter().enumerate() {
+        let layout = szr_core::inspect_layout(slice).map_err(|e| format!("band {i}: {e}"))?;
+        println!("{}", band_line(i, slice.len(), &layout));
+    }
+    Ok(())
+}
+
+fn inspect_pointwise(archive: &[u8]) -> CmdResult {
+    println!("kind            : pointwise-relative archive (SZRL, log-domain)");
+    let dtype = match archive.get(4) {
+        Some(0) => "f32",
+        _ => "f64",
+    };
+    println!("dtype           : {dtype}");
+    println!("archive bytes   : {}", archive.len());
+    println!("(log-domain archives carry no section table; decompress to measure)");
     Ok(())
 }
 

@@ -22,7 +22,7 @@ szr — error-bounded lossy compression for scientific data (SZ-1.4)
 
 USAGE:
   szr compress   --input FILE --dims AxBxC --rel EB | --abs EB [options] --output FILE
-  szr decompress --input FILE --output FILE
+  szr decompress --input FILE --output FILE [--telemetry[=json]]
   szr inspect    --input FILE
   szr eval       --input FILE --dims AxBxC (--rel EB | --abs EB) [--codec NAME]
   szr plan       --input FILE --dims AxBxC (--target-ratio R | --rel EB | --abs EB) [options]
@@ -40,6 +40,15 @@ COMPRESS OPTIONS:
   --auto                 plan the configuration from a sample first
                          (with --abs/--rel: smallest output under the bound;
                          with --target-ratio R: best quality reaching R)
+  --telemetry[=json]     print a pipeline telemetry report on stdout after
+                         the summary: per-stage spans, codec counters, and
+                         per-band records (also valid on decompress)
+
+INSPECT:
+  walks every archive section without reconstructing data. Handles band
+  archives (v1 and shared-stream v2), chunked containers (SZCK), stream
+  containers (SZST), and pointwise-relative archives (SZRL); corrupt input
+  reports the failing section (header / table / payload / band N).
 
 EVAL OPTIONS:
   --codec sz14|zfp|sz11|isabela|fpzip|gzip   (default sz14)
@@ -62,7 +71,10 @@ fn main() {
         eprint!("{USAGE}");
         std::process::exit(if raw.is_empty() { 2 } else { 0 });
     }
-    let parsed = match Args::parse(&raw, &["decorrelate", "no-lossless-pass", "auto"]) {
+    let parsed = match Args::parse(
+        &raw,
+        &["decorrelate", "no-lossless-pass", "auto", "telemetry"],
+    ) {
         Ok(p) => p,
         Err(e) => {
             eprintln!("error: {e}\n\n{USAGE}");

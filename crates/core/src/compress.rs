@@ -3,11 +3,12 @@
 use crate::config::{Config, IntervalMode};
 use crate::float::ScalarFloat;
 use crate::kernel::ScanKernel;
-use crate::quant::{choose_interval_bits_with_kernel, Quantizer};
+use crate::quant::{choose_interval_bits_counted, Quantizer};
 use crate::unpred::UnpredictableCodec;
 use crate::Result;
-use szr_bitstream::{BitWriter, ByteWriter};
+use szr_bitstream::{BitWriter, ByteReader, ByteWriter};
 use szr_huffman::HuffmanCodec;
+use szr_telemetry::{timed, Counter, Stage, TelemetrySink};
 use szr_tensor::Tensor;
 
 /// Archive magic bytes ("SZR1").
@@ -282,7 +283,7 @@ pub fn quantize_slice_with_kernel_oracle<T: ScalarFloat>(
     kernel: &mut ScanKernel,
 ) -> Result<QuantizedBand> {
     config.validate()?;
-    quantize_validated_impl(values, shape, config, kernel, true)
+    quantize_validated_impl(values, shape, config, kernel, true, None)
 }
 
 fn quantize_validated<T: ScalarFloat>(
@@ -291,7 +292,7 @@ fn quantize_validated<T: ScalarFloat>(
     config: &Config,
     kernel: &mut ScanKernel,
 ) -> Result<QuantizedBand> {
-    quantize_validated_impl(values, shape, config, kernel, false)
+    quantize_validated_impl(values, shape, config, kernel, false, None)
 }
 
 /// The row-path quantization visitor: interior rows run through
@@ -403,6 +404,7 @@ pub(crate) fn resolve_band_params<T: ScalarFloat>(
     shape: &szr_tensor::Shape,
     config: &Config,
     kernel: &mut ScanKernel,
+    sink: Option<&dyn TelemetrySink>,
 ) -> Result<(f64, f64, u32)> {
     let (range, eb) = resolve_range_eb(values, shape, config, kernel)?;
 
@@ -415,15 +417,21 @@ pub(crate) fn resolve_band_params<T: ScalarFloat>(
             theta,
             max_bits,
             sample_stride,
-        } => choose_interval_bits_with_kernel(
-            values,
-            shape,
-            kernel,
-            eb_q,
-            theta,
-            sample_stride,
-            max_bits,
-        ),
+        } => {
+            let (bits, iterations) = choose_interval_bits_counted(
+                values,
+                shape,
+                kernel,
+                eb_q,
+                theta,
+                sample_stride,
+                max_bits,
+            );
+            if let Some(sink) = sink {
+                sink.counter(Counter::IntervalSearchIterations, iterations);
+            }
+            bits
+        }
     };
     Ok((range, eb, bits))
 }
@@ -431,6 +439,7 @@ pub(crate) fn resolve_band_params<T: ScalarFloat>(
 /// The quantize stage writing into caller-owned buffers — the body behind
 /// both the owned-[`QuantizedBand`] entry points (throwaway buffers) and
 /// [`crate::CodecSession`] (persistent buffers, allocation-free once warm).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn quantize_into<T: ScalarFloat>(
     values: &[T],
     shape: &szr_tensor::Shape,
@@ -439,8 +448,9 @@ pub(crate) fn quantize_into<T: ScalarFloat>(
     force_point_oracle: bool,
     bufs: &mut QuantBufs,
     recon: &mut Vec<T>,
+    sink: Option<&dyn TelemetrySink>,
 ) -> Result<BandMeta> {
-    let (range, eb, bits) = resolve_band_params(values, shape, config, kernel)?;
+    let (range, eb, bits) = resolve_band_params(values, shape, config, kernel, sink)?;
     let eb_q = if config.decorrelate { eb / 2.0 } else { eb };
     let quantizer = Quantizer::new(eb_q, bits);
     let unpred = UnpredictableCodec::new(eb);
@@ -519,12 +529,13 @@ pub(crate) fn quantize_into<T: ScalarFloat>(
     })
 }
 
-fn quantize_validated_impl<T: ScalarFloat>(
+pub(crate) fn quantize_validated_impl<T: ScalarFloat>(
     values: &[T],
     shape: &szr_tensor::Shape,
     config: &Config,
     kernel: &mut ScanKernel,
     force_point_oracle: bool,
+    sink: Option<&dyn TelemetrySink>,
 ) -> Result<QuantizedBand> {
     let mut bufs = QuantBufs::default();
     let mut recon: Vec<T> = Vec::new();
@@ -536,6 +547,7 @@ fn quantize_validated_impl<T: ScalarFloat>(
         force_point_oracle,
         &mut bufs,
         &mut recon,
+        sink,
     )?;
     Ok(QuantizedBand {
         meta,
@@ -565,6 +577,19 @@ pub fn encode_quantized(
     band: &QuantizedBand,
     table: HuffmanTable<'_>,
 ) -> (Vec<u8>, CompressionStats) {
+    let (bytes, stats, _) = encode_quantized_sink(band, table, None);
+    (bytes, stats)
+}
+
+/// [`encode_quantized`] with an optional telemetry sink: stage spans are
+/// recorded and the Huffman-table shape of the produced block is returned
+/// alongside the stats (`None` when no sink observed the encode). The
+/// archive bytes are identical with or without a sink.
+pub(crate) fn encode_quantized_sink(
+    band: &QuantizedBand,
+    table: HuffmanTable<'_>,
+    sink: Option<&dyn TelemetrySink>,
+) -> (Vec<u8>, CompressionStats, Option<EncodeExtra>) {
     let hist = match table {
         HuffmanTable::PerBand => Some(band.histogram()),
         HuffmanTable::Shared(_) => None,
@@ -576,6 +601,7 @@ pub fn encode_quantized(
         &band.unpred,
         hist,
         table,
+        sink,
     )
 }
 
@@ -601,9 +627,53 @@ pub(crate) fn write_band_header(
     }
 }
 
+/// Telemetry-only facts about an encoded band that [`CompressionStats`]
+/// does not carry: the code-stream/table split of the Huffman block and the
+/// table's shape. Computed only when a sink observes the encode; byte
+/// output never depends on it.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct EncodeExtra {
+    /// Serialized Huffman code-stream bits (payload only, table excluded).
+    pub code_stream_bits: u64,
+    /// Serialized table bytes inside the block (0 for shared-table bands).
+    pub table_bytes: u64,
+    /// Symbols with a nonzero code length.
+    pub table_symbols: u64,
+    /// Longest code length (decode depth).
+    pub table_depth: u32,
+}
+
+impl EncodeExtra {
+    /// Table shape from a codec's code lengths; `table_bytes` stays 0 (the
+    /// shared/fused callers fill in their own serialized size).
+    pub fn from_lengths(lengths: &[u32]) -> Self {
+        EncodeExtra {
+            code_stream_bits: 0,
+            table_bytes: 0,
+            table_symbols: lengths.iter().filter(|&&l| l > 0).count() as u64,
+            table_depth: lengths.iter().copied().max().unwrap_or(0),
+        }
+    }
+}
+
+/// Reads a produced self-contained Huffman block back for its table shape —
+/// recording-path only, so the encode hot path never pays for it. Returns
+/// `None` on any parse surprise rather than failing the compression.
+fn block_extra(huffman_block: &[u8]) -> Option<EncodeExtra> {
+    let block = szr_huffman::parse_block(huffman_block).ok()?;
+    let mut reader = ByteReader::new(block.table);
+    let lengths = szr_huffman::read_lengths(&mut reader, block.alphabet).ok()?;
+    let mut extra = EncodeExtra::from_lengths(&lengths);
+    extra.code_stream_bits = (block.payload.len() as u64) * 8;
+    extra.table_bytes = (huffman_block.len() - block.payload.len()) as u64;
+    Some(extra)
+}
+
 /// [`encode_quantized`] over loose parts: meta + dims + code/escape slices,
 /// with an optional precomputed histogram for the per-band table. This is
-/// the single archive writer behind every staged encode path.
+/// the single archive writer behind every staged encode path. A sink adds
+/// entropy/DEFLATE/header spans and the block's table shape; the bytes are
+/// identical either way.
 pub(crate) fn encode_parts(
     meta: &BandMeta,
     dims: &[usize],
@@ -611,8 +681,10 @@ pub(crate) fn encode_parts(
     unpred_block: &[u8],
     hist: Option<&[u64]>,
     table: HuffmanTable<'_>,
-) -> (Vec<u8>, CompressionStats) {
-    let (version, huffman_block) = match table {
+    sink: Option<&dyn TelemetrySink>,
+) -> (Vec<u8>, CompressionStats, Option<EncodeExtra>) {
+    let tele = sink.is_some();
+    let ((version, huffman_block), encode_nanos) = timed(tele, || match table {
         HuffmanTable::PerBand => (
             VERSION,
             match hist {
@@ -624,10 +696,11 @@ pub(crate) fn encode_parts(
             VERSION_SHARED,
             szr_huffman::compress_u32_with_codec(codes, codec),
         ),
-    };
+    });
 
     let mut out = ByteWriter::with_capacity(huffman_block.len() + unpred_block.len() + 64);
-    write_band_header(&mut out, version, meta, dims);
+    let ((), header_nanos) = timed(tele, || write_band_header(&mut out, version, meta, dims));
+    let header_bytes = out.len() as u64;
     // Payload: the two sections, optionally behind SZ's "best compression"
     // DEFLATE pass (the Huffman stream has a 1-bit/symbol floor that
     // DEFLATE's match layer can break on low-entropy code streams).
@@ -635,7 +708,11 @@ pub(crate) fn encode_parts(
     payload.write_len_prefixed(&huffman_block);
     payload.write_len_prefixed(unpred_block);
     if meta.lossless_pass {
-        let deflated = szr_deflate::deflate_compress(payload.as_bytes());
+        let (deflated, deflate_nanos) =
+            timed(tele, || szr_deflate::deflate_compress(payload.as_bytes()));
+        if let Some(sink) = sink {
+            sink.span(Stage::Deflate, deflate_nanos, deflated.len() as u64);
+        }
         if deflated.len() < payload.len() {
             out.write_u8(1);
             out.write_len_prefixed(&deflated);
@@ -649,6 +726,26 @@ pub(crate) fn encode_parts(
     }
     let bytes = out.into_bytes();
 
+    let extra = sink.map(|sink| {
+        sink.span(
+            Stage::EntropyEncode,
+            encode_nanos,
+            huffman_block.len() as u64,
+        );
+        sink.span(Stage::HeaderIo, header_nanos, header_bytes);
+        match table {
+            HuffmanTable::PerBand => block_extra(&huffman_block).unwrap_or_default(),
+            HuffmanTable::Shared(codec) => {
+                let mut extra = EncodeExtra::from_lengths(codec.lengths());
+                // Shared block: `count varint · code bits` — everything past
+                // the count is code stream; the table lives in the container.
+                extra.code_stream_bits = szr_huffman::parse_shared_block(&huffman_block)
+                    .map_or(0, |b| (b.payload.len() as u64) * 8);
+                extra
+            }
+        }
+    });
+
     let stats = CompressionStats {
         total: codes.len(),
         predictable: meta.predictable,
@@ -660,7 +757,7 @@ pub(crate) fn encode_parts(
         huffman_bytes: huffman_block.len(),
         unpredictable_bytes: unpred_block.len(),
     };
-    (bytes, stats)
+    (bytes, stats, extra)
 }
 
 #[cfg(test)]

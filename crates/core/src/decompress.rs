@@ -8,6 +8,7 @@ use crate::unpred::UnpredictableCodec;
 use crate::{Result, SzError};
 use szr_bitstream::{BitReader, ByteReader};
 use szr_huffman::{HuffmanCodec, SymbolDecoder};
+use szr_telemetry::{timed, Counter, Stage, TelemetrySink};
 use szr_tensor::{Shape, Tensor};
 
 /// Parsed archive header (everything before the payload sections).
@@ -124,7 +125,11 @@ impl ArchiveInfo {
 pub fn inspect(bytes: &[u8]) -> Result<ArchiveInfo> {
     let mut reader = ByteReader::new(bytes);
     let header = parse_header(&mut reader)?;
-    Ok(ArchiveInfo {
+    Ok(info_from(&header, bytes.len()))
+}
+
+fn info_from(header: &Header, archive_bytes: usize) -> ArchiveInfo {
+    ArchiveInfo {
         dtype: if header.type_tag == 0 { "f32" } else { "f64" },
         dims: header.shape.dims().to_vec(),
         error_bound: header.eb,
@@ -132,7 +137,113 @@ pub fn inspect(bytes: &[u8]) -> Result<ArchiveInfo> {
         interval_bits: header.interval_bits,
         decorrelated: header.decorrelate,
         shared_stream: header.shared_stream,
-        archive_bytes: bytes.len(),
+        archive_bytes,
+    }
+}
+
+/// Prefixes a corruption error with the archive section it surfaced in, so
+/// `szr inspect` can tell a chopped header from a chopped payload.
+fn in_section(name: &'static str, e: SzError) -> SzError {
+    match e {
+        SzError::Corrupt(msg) => SzError::Corrupt(format!("{name}: {msg}")),
+        other => other,
+    }
+}
+
+/// Byte-level layout of a band archive, readable without decompressing:
+/// [`ArchiveInfo`] plus how the payload splits between the Huffman block
+/// (table + code stream) and the escape stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BandLayout {
+    /// Header summary (dtype, dims, bound, framing version).
+    pub info: ArchiveInfo,
+    /// Whether the payload went through the DEFLATE post-pass. Section
+    /// sizes below describe the *inflated* payload in that case.
+    pub deflate_post_pass: bool,
+    /// Bytes of the Huffman block (serialized table span + code stream).
+    pub huffman_bytes: usize,
+    /// Bytes of the escape (unpredictable-value) stream.
+    pub unpredictable_bytes: usize,
+    /// Bytes of the Huffman code stream alone (block minus table framing).
+    pub code_stream_bytes: usize,
+    /// Distinct symbols in the band's own table; `None` for shared-stream
+    /// bands, whose table lives in the owning container.
+    pub table_symbols: Option<usize>,
+    /// Deepest code length in the band's own table; `None` when shared.
+    pub table_depth: Option<u32>,
+}
+
+/// Walks every section of a band archive — header, post-pass framing,
+/// Huffman table, code stream, escape stream — without reconstructing any
+/// data, and reports where the bytes went. Corrupt or truncated archives
+/// fail with the section named (`header: …`, `table: …`, `payload: …`), the
+/// introspection backbone of `szr inspect`.
+///
+/// # Errors
+/// [`SzError::Corrupt`] naming the failing section.
+pub fn inspect_layout(bytes: &[u8]) -> Result<BandLayout> {
+    let mut reader = ByteReader::new(bytes);
+    let header = parse_header(&mut reader).map_err(|e| in_section("header", e))?;
+    let info = info_from(&header, bytes.len());
+    let post = reader
+        .read_u8()
+        .map_err(|e| in_section("payload", e.into()))?;
+    let inflated;
+    let (deflate_post_pass, huffman_block, unpred_block): (bool, &[u8], &[u8]) = match post {
+        0 => {
+            let h = reader
+                .read_len_prefixed()
+                .map_err(|e| in_section("payload", e.into()))?;
+            let u = reader
+                .read_len_prefixed()
+                .map_err(|e| in_section("payload", e.into()))?;
+            (false, h, u)
+        }
+        1 => {
+            let deflated = reader
+                .read_len_prefixed()
+                .map_err(|e| in_section("payload", e.into()))?;
+            inflated = szr_deflate::deflate_decompress(deflated)
+                .map_err(|e| SzError::Corrupt(format!("payload: {e}")))?;
+            let mut pr = ByteReader::new(&inflated);
+            let h = pr
+                .read_len_prefixed()
+                .map_err(|e| in_section("payload", e.into()))?;
+            let u = pr
+                .read_len_prefixed()
+                .map_err(|e| in_section("payload", e.into()))?;
+            (true, h, u)
+        }
+        _ => return Err(SzError::Corrupt("payload: unknown post-pass".into())),
+    };
+    let total = info.len();
+    let (count, code_stream_bytes, table_symbols, table_depth) = if header.shared_stream {
+        let block = szr_huffman::parse_shared_block(huffman_block)
+            .map_err(|e| in_section("table", e.into()))?;
+        (block.count, block.payload.len(), None, None)
+    } else {
+        let block =
+            szr_huffman::parse_block(huffman_block).map_err(|e| in_section("table", e.into()))?;
+        let mut tr = ByteReader::new(block.table);
+        let lengths = szr_huffman::read_lengths(&mut tr, block.alphabet)
+            .map_err(|e| in_section("table", e.into()))?;
+        let symbols = lengths.iter().filter(|&&l| l != 0).count();
+        let depth = lengths.iter().copied().max().unwrap_or(0);
+        (block.count, block.payload.len(), Some(symbols), Some(depth))
+    };
+    if count != total {
+        return Err(SzError::Corrupt(format!(
+            "payload: code stream has {count} entries for {total} points"
+        )));
+    }
+    Ok(BandLayout {
+        info,
+        deflate_post_pass,
+        huffman_bytes: huffman_block.len(),
+        unpredictable_bytes: unpred_block.len(),
+        code_stream_bytes,
+        table_symbols,
+        table_depth,
     })
 }
 
@@ -191,6 +302,7 @@ pub fn decompress<T: ScalarFloat>(bytes: &[u8]) -> Result<Tensor<T>> {
         None,
         &mut DecodeScratch::default(),
         false,
+        None,
     )
 }
 
@@ -212,6 +324,7 @@ pub fn decompress_staged<T: ScalarFloat>(bytes: &[u8]) -> Result<Tensor<T>> {
         None,
         &mut DecodeScratch::default(),
         true,
+        None,
     )
 }
 
@@ -239,6 +352,7 @@ pub fn decompress_staged_shared_with_kernel<T: ScalarFloat>(
         Some(codec),
         &mut DecodeScratch::default(),
         true,
+        None,
     )
 }
 
@@ -253,11 +367,41 @@ pub(crate) fn decompress_cached<T: ScalarFloat>(
     codec: Option<&HuffmanCodec>,
     kernels: &mut Vec<ScanKernel>,
     scratch: &mut DecodeScratch<T>,
+    sink: Option<&dyn TelemetrySink>,
 ) -> Result<Tensor<T>> {
+    let sink = sink.filter(|s| s.enabled());
+    let tele = sink.is_some();
     let mut reader = ByteReader::new(bytes);
-    let header = parse_header(&mut reader)?;
+    let (header, header_nanos) = timed(tele, || parse_header(&mut reader));
+    let header = header?;
+    if let Some(sink) = sink {
+        sink.span(
+            Stage::HeaderIo,
+            header_nanos,
+            (bytes.len() - reader.remaining()) as u64,
+        );
+    }
+    let before = kernels.len();
     let idx = ScanKernel::cache_index(kernels, header.layers, &header.shape);
-    decompress_parsed(header, reader, &mut kernels[idx], codec, scratch, false)
+    if let Some(sink) = sink {
+        sink.counter(
+            if kernels.len() == before {
+                Counter::KernelCacheHit
+            } else {
+                Counter::KernelCacheMiss
+            },
+            1,
+        );
+    }
+    decompress_parsed(
+        header,
+        reader,
+        &mut kernels[idx],
+        codec,
+        scratch,
+        false,
+        sink,
+    )
 }
 
 /// Decompresses an archive using a caller-provided [`ScanKernel`] — the
@@ -291,6 +435,7 @@ pub fn decompress_with_kernel<T: ScalarFloat>(
         None,
         &mut DecodeScratch::default(),
         false,
+        None,
     )
 }
 
@@ -321,6 +466,7 @@ pub fn decompress_shared_with_kernel<T: ScalarFloat>(
         Some(codec),
         &mut DecodeScratch::default(),
         false,
+        None,
     )
 }
 
@@ -336,6 +482,7 @@ pub fn decompress_shared_with_kernel<T: ScalarFloat>(
 /// offset/escape work runs through the SIMD batch kernels. With `staged`
 /// true (the oracle path, and always in decorrelation mode) the whole
 /// stream decodes into `scratch.codes` first.
+#[allow(clippy::too_many_arguments)]
 fn decompress_parsed<T: ScalarFloat>(
     header: Header,
     mut reader: ByteReader<'_>,
@@ -343,7 +490,10 @@ fn decompress_parsed<T: ScalarFloat>(
     codec: Option<&HuffmanCodec>,
     scratch: &mut DecodeScratch<T>,
     staged: bool,
+    sink: Option<&dyn TelemetrySink>,
 ) -> Result<Tensor<T>> {
+    let sink = sink.filter(|s| s.enabled());
+    let tele = sink.is_some();
     if header.type_tag != T::TYPE_TAG {
         return Err(SzError::WrongType {
             expected: T::NAME,
@@ -360,8 +510,11 @@ fn decompress_parsed<T: ScalarFloat>(
         }
         1 => {
             let deflated = reader.read_len_prefixed()?;
-            inflated = szr_deflate::deflate_decompress(deflated)
-                .map_err(|e| SzError::Corrupt(e.to_string()))?;
+            let (res, inflate_nanos) = timed(tele, || szr_deflate::deflate_decompress(deflated));
+            inflated = res.map_err(|e| SzError::Corrupt(e.to_string()))?;
+            if let Some(sink) = sink {
+                sink.span(Stage::Deflate, inflate_nanos, inflated.len() as u64);
+            }
             let mut pr = ByteReader::new(&inflated);
             let h = pr.read_len_prefixed()?;
             let u = pr.read_len_prefixed()?;
@@ -401,10 +554,21 @@ fn decompress_parsed<T: ScalarFloat>(
             (szr_huffman::parse_shared_block(huffman_block)?, codec)
         } else {
             let block = szr_huffman::parse_block(huffman_block)?;
-            if cached_codec.is_none() || table_key.as_slice() != block.table {
+            let hit = cached_codec.is_some() && table_key.as_slice() == block.table;
+            if !hit {
                 *cached_codec = Some(szr_huffman::codec_for_block(&block)?);
                 table_key.clear();
                 table_key.extend_from_slice(block.table);
+            }
+            if let Some(sink) = sink {
+                sink.counter(
+                    if hit {
+                        Counter::CodecTableCacheHit
+                    } else {
+                        Counter::CodecTableCacheMiss
+                    },
+                    1,
+                );
             }
             (block, cached_codec.as_ref().expect("just cached"))
         };
@@ -423,8 +587,24 @@ fn decompress_parsed<T: ScalarFloat>(
             row_codes,
             row_offsets,
             row_escapes,
+            tele,
+            decode_nanos: 0,
+            recon_nanos: 0,
         };
         kernel.scan_rows(&header.shape, &mut recon, &mut visitor)?;
+        if let Some(sink) = sink {
+            sink.span(
+                Stage::SymbolDecode,
+                visitor.decode_nanos,
+                huffman_block.len() as u64,
+            );
+            sink.span(
+                Stage::RowReconstruct,
+                visitor.recon_nanos,
+                std::mem::size_of_val(recon.as_slice()) as u64,
+            );
+            sink.simd_path(crate::simd::level_name());
+        }
         return Ok(Tensor::from_vec(header.shape, recon));
     }
 
@@ -561,13 +741,21 @@ struct FusedRowDecoder<'c, 'b, 's, T: ScalarFloat> {
     row_codes: &'s mut Vec<u32>,
     row_offsets: &'s mut Vec<f64>,
     row_escapes: &'s mut Vec<T>,
+    /// Telemetry recording active: accumulate the symbol-pull and
+    /// row-reconstruction nanos below (both stay zero — and the clock is
+    /// never read — when disabled).
+    tele: bool,
+    decode_nanos: u64,
+    recon_nanos: u64,
 }
 
 impl<T: ScalarFloat> crate::kernel::RowVisitor<T> for FusedRowDecoder<'_, '_, '_, T> {
     type Error = SzError;
 
     fn point(&mut self, _flat: usize, pred: f64) -> std::result::Result<T, SzError> {
-        let code = self.decoder.decode_one()?;
+        let (code, nanos) = timed(self.tele, || self.decoder.decode_one());
+        self.decode_nanos += nanos;
+        let code = code?;
         if code >= self.alphabet {
             return Err(SzError::Corrupt(format!("code {code} outside alphabet")));
         }
@@ -591,34 +779,51 @@ impl<T: ScalarFloat> crate::kernel::RowVisitor<T> for FusedRowDecoder<'_, '_, '_
             self.row_codes.resize(n, 0);
             self.row_offsets.resize(n, 0.0);
         }
-        self.decoder.decode_into(&mut self.row_codes[..n])?;
-        let codes: &[u32] = &self.row_codes[..n];
-        // Batched alphabet check; only on failure walk back for the first
-        // offending code so the message matches the staged path's.
-        if crate::simd::codes_max(codes) >= self.alphabet {
-            let bad = codes
-                .iter()
-                .find(|&&c| c >= self.alphabet)
-                .expect("max exceeded the alphabet");
-            return Err(SzError::Corrupt(format!("code {bad} outside alphabet")));
-        }
-        self.quantizer
-            .recon_offsets(codes, &mut self.row_offsets[..n]);
-        let escapes_here = crate::simd::count_zeros(codes);
-        self.unpred
-            .decode_run(&mut self.bits, escapes_here, self.row_escapes)?;
-        let offsets: &[f64] = &self.row_offsets[..n];
-        let escapes: &[T] = self.row_escapes;
-        let mut e = 0usize;
-        carry.fold(partials, prev, row, |i, pred| {
-            if codes[i] == 0 {
-                let v = escapes[e];
-                e += 1;
-                Ok(v)
-            } else {
-                Ok(T::from_f64(pred + offsets[i]))
-            }
-        })
+        let (pulled, nanos) = {
+            let decoder = &mut self.decoder;
+            let row_codes = &mut *self.row_codes;
+            timed(self.tele, || decoder.decode_into(&mut row_codes[..n]))
+        };
+        self.decode_nanos += nanos;
+        pulled?;
+        let (folded, nanos) = {
+            let codes: &[u32] = &self.row_codes[..n];
+            let alphabet = self.alphabet;
+            let quantizer = &self.quantizer;
+            let unpred = &self.unpred;
+            let bits = &mut self.bits;
+            let row_offsets = &mut *self.row_offsets;
+            let row_escapes = &mut *self.row_escapes;
+            timed(self.tele, || {
+                // Batched alphabet check; only on failure walk back for the
+                // first offending code so the message matches the staged
+                // path's.
+                if crate::simd::codes_max(codes) >= alphabet {
+                    let bad = codes
+                        .iter()
+                        .find(|&&c| c >= alphabet)
+                        .expect("max exceeded the alphabet");
+                    return Err(SzError::Corrupt(format!("code {bad} outside alphabet")));
+                }
+                quantizer.recon_offsets(codes, &mut row_offsets[..n]);
+                let escapes_here = crate::simd::count_zeros(codes);
+                unpred.decode_run(bits, escapes_here, row_escapes)?;
+                let offsets: &[f64] = &row_offsets[..n];
+                let escapes: &[T] = row_escapes;
+                let mut e = 0usize;
+                carry.fold(partials, prev, row, |i, pred| {
+                    if codes[i] == 0 {
+                        let v = escapes[e];
+                        e += 1;
+                        Ok(v)
+                    } else {
+                        Ok(T::from_f64(pred + offsets[i]))
+                    }
+                })
+            })
+        };
+        self.recon_nanos += nanos;
+        folded
     }
 }
 

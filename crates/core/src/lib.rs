@@ -110,7 +110,8 @@ pub use compress::{
 pub use config::{Config, ErrorBound, IntervalMode};
 pub use decompress::{
     decompress, decompress_shared_with_kernel, decompress_staged,
-    decompress_staged_shared_with_kernel, decompress_with_kernel, inspect, ArchiveInfo,
+    decompress_staged_shared_with_kernel, decompress_with_kernel, inspect, inspect_layout,
+    ArchiveInfo, BandLayout,
 };
 pub use float::ScalarFloat;
 pub use kernel::{Carry, KernelKind, RowVisitor, ScanKernel};
@@ -118,7 +119,7 @@ pub use predict::{layer_coefficients, predict_at, Stencil, StencilSet};
 pub use pwrel::{compress_pointwise_rel, decompress_pointwise_rel};
 pub use quant::{choose_interval_bits, choose_interval_bits_with_kernel, Quantizer};
 pub use session::{covering_codec, CodecSession};
-pub use simd::force_scalar;
+pub use simd::{force_scalar, level_name as simd_level_name};
 pub use stats::{
     hit_rate_by_layer, quantization_histogram, quantization_histogram_with_kernel, PredictionBasis,
 };

@@ -282,6 +282,22 @@ pub fn choose_interval_bits_with_kernel<T: ScalarFloat>(
     stride: usize,
     max_bits: u32,
 ) -> u32 {
+    choose_interval_bits_counted(data, shape, kernel, eb, theta, stride, max_bits).0
+}
+
+/// [`choose_interval_bits_with_kernel`] plus the number of candidate
+/// bit-widths the cumulative hit-rate scan examined before settling — the
+/// telemetry layer's `interval_search_iterations` counter.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn choose_interval_bits_counted<T: ScalarFloat>(
+    data: &[T],
+    shape: &Shape,
+    kernel: &mut ScanKernel,
+    eb: f64,
+    theta: f64,
+    stride: usize,
+    max_bits: u32,
+) -> (u32, u64) {
     assert!(max_bits >= 4, "adaptive scheme needs max_bits >= 4");
     // Histogram of bits needed per sample: bucket b counts samples whose
     // |k| fits in 2^(b-1) - 1 but not 2^(b-2) - 1. Only interior points are
@@ -301,16 +317,18 @@ pub fn choose_interval_bits_with_kernel<T: ScalarFloat>(
         need[b.min(max_bits + 1) as usize] += 1;
     });
     if samples == 0 {
-        return 8; // degenerate grid (all border): the paper's 255 intervals
+        return (8, 0); // degenerate grid (all border): the paper's 255 intervals
     }
     let mut cum = 0u64;
+    let mut iterations = 0u64;
     for bits in 2..=max_bits {
+        iterations += 1;
         cum += need[bits as usize];
         if cum as f64 / samples as f64 >= theta {
-            return bits.max(4);
+            return (bits.max(4), iterations);
         }
     }
-    max_bits
+    (max_bits, iterations)
 }
 
 #[cfg(test)]

@@ -43,9 +43,9 @@
 //! [`crate::decompress`] reads them.
 
 use crate::compress::{
-    encode_parts, encode_quantized, quantize_into, quantize_slice_with_kernel, resolve_band_params,
-    resolve_range_eb, write_band_header, BandMeta, CompressionStats, HuffmanTable, QuantBufs,
-    QuantizedBand, VERSION, VERSION_SHARED,
+    encode_parts, encode_quantized_sink, quantize_into, quantize_validated_impl,
+    resolve_band_params, resolve_range_eb, write_band_header, BandMeta, CompressionStats,
+    EncodeExtra, HuffmanTable, QuantBufs, QuantizedBand, VERSION, VERSION_SHARED,
 };
 use crate::config::Config;
 use crate::decompress::{decompress_cached, DecodeScratch};
@@ -54,8 +54,10 @@ use crate::kernel::{Carry, RowVisitor, ScanKernel};
 use crate::quant::Quantizer;
 use crate::unpred::UnpredictableCodec;
 use crate::{Result, SzError};
+use std::sync::Arc;
 use szr_bitstream::{BitWriter, ByteWriter};
 use szr_huffman::HuffmanCodec;
+use szr_telemetry::{timed, BandRecord, Counter, Stage, TelemetrySink};
 use szr_tensor::{Shape, Tensor};
 
 /// A Huffman table retained across bands for the fused encode path.
@@ -102,6 +104,16 @@ pub struct CodecSession<T: ScalarFloat> {
     /// Decode-side scratch: fused row buffers, the staged/oracle symbol
     /// vector, and the per-band codec cache.
     decode: DecodeScratch<T>,
+    /// Telemetry sink the session's compress/decompress paths report to.
+    /// `None` (and any sink whose `enabled()` is false) keeps every hot
+    /// path free of clock reads, counters, and record assembly.
+    sink: Option<Arc<dyn TelemetrySink>>,
+    /// Index stamped on the next emitted band record (chunked drivers set
+    /// it per band so merged reports list bands in archive order).
+    band_index: u64,
+    /// Planner-estimated bits/value to stamp on emitted band records, for
+    /// the estimated-vs-actual drift column.
+    planned_bits_per_value: Option<f64>,
 }
 
 /// Fused-scan abort: demotions passed the cap (or the escape code itself
@@ -190,7 +202,43 @@ impl<T: ScalarFloat> CodecSession<T> {
             payload: ByteWriter::new(),
             reuse: None,
             decode: DecodeScratch::default(),
+            sink: None,
+            band_index: 0,
+            planned_bits_per_value: None,
         }
+    }
+
+    /// Attaches (or detaches) a telemetry sink. Every compress/decompress
+    /// call through the session reports spans, counters, and band records
+    /// to it; a [`szr_telemetry::NoopSink`] (or `None`) keeps the hot paths
+    /// measurement-free — not just delivery-free — so steady-state
+    /// allocation and throughput are unchanged.
+    pub fn set_telemetry(&mut self, sink: Option<Arc<dyn TelemetrySink>>) {
+        self.sink = sink;
+    }
+
+    /// The attached telemetry sink, if any.
+    pub fn telemetry(&self) -> Option<&Arc<dyn TelemetrySink>> {
+        self.sink.as_ref()
+    }
+
+    /// Sets the index stamped on the next emitted band record (auto-
+    /// incremented per band afterwards). Chunked drivers pin it to the
+    /// band's archive position so merged per-worker reports stay ordered.
+    pub fn set_next_band_index(&mut self, index: u64) {
+        self.band_index = index;
+    }
+
+    /// Stamps subsequent band records with a planner-estimated bits/value
+    /// (`None` clears it) — telemetry's estimated-vs-actual drift column.
+    pub fn set_planned_bits_per_value(&mut self, estimate: Option<f64>) {
+        self.planned_bits_per_value = estimate;
+    }
+
+    /// The sink to report to for this call: attached *and* enabled. One Arc
+    /// refcount bump per instrumented call; no allocation.
+    fn active_sink(&self) -> Option<Arc<dyn TelemetrySink>> {
+        self.sink.clone().filter(|s| s.enabled())
     }
 
     /// The active compression configuration, if any.
@@ -232,7 +280,19 @@ impl<T: ScalarFloat> CodecSession<T> {
     /// Index of the cached kernel for `(layers, shape)`, creating it on
     /// first use.
     fn kernel_index(&mut self, layers: usize, shape: &Shape) -> usize {
-        ScanKernel::cache_index(&mut self.kernels, layers, shape)
+        let before = self.kernels.len();
+        let idx = ScanKernel::cache_index(&mut self.kernels, layers, shape);
+        if let Some(sink) = self.sink.as_deref().filter(|s| s.enabled()) {
+            sink.counter(
+                if self.kernels.len() == before {
+                    Counter::KernelCacheHit
+                } else {
+                    Counter::KernelCacheMiss
+                },
+                1,
+            );
+        }
+        idx
     }
 
     /// Runs `f` with the session's cached kernel for `(layers, shape)` —
@@ -342,32 +402,52 @@ impl<T: ScalarFloat> CodecSession<T> {
         shape: &Shape,
         config: &Config,
     ) -> Result<(Vec<u8>, CompressionStats)> {
+        let sink = self.active_sink();
+        let tele = sink.is_some();
         let ki = self.kernel_index(config.layers, shape);
-        let meta = quantize_into(
-            values,
-            shape,
-            config,
-            &mut self.kernels[ki],
-            false,
-            &mut self.bufs,
-            &mut self.recon,
-        )?;
+        let (meta, pq_nanos) = {
+            let kernel = &mut self.kernels[ki];
+            let bufs = &mut self.bufs;
+            let recon = &mut self.recon;
+            let s = sink.as_deref();
+            let (meta, nanos) = timed(tele, || {
+                quantize_into(values, shape, config, kernel, false, bufs, recon, s)
+            });
+            (meta?, nanos)
+        };
         // Histogram over the occupied range — exactly what `compress_u32`
         // would count, but into the session's reusable scratch.
         crate::compress::occupied_histogram(&self.bufs.codes, &mut self.freqs);
         let unpred = self.bufs.unpred.finish();
-        let out = encode_parts(
+        let (bytes, stats, extra) = encode_parts(
             &meta,
             shape.dims(),
             &self.bufs.codes,
             unpred,
             Some(&self.freqs),
             HuffmanTable::PerBand,
+            sink.as_deref(),
         );
-        if self.table_reuse && !config.decorrelate {
-            self.rebuild_reused_table(&meta, out.1.huffman_bytes);
+        if let Some(sink) = sink.as_deref() {
+            sink.span(
+                Stage::PredictQuantize,
+                pq_nanos,
+                std::mem::size_of_val(values) as u64,
+            );
+            sink.simd_path(crate::simd::level_name());
+            emit_band(
+                sink,
+                self.band_index,
+                &stats,
+                extra.as_ref(),
+                self.planned_bits_per_value,
+            );
         }
-        Ok(out)
+        self.band_index += 1;
+        if self.table_reuse && !config.decorrelate {
+            self.rebuild_reused_table(&meta, stats.huffman_bytes);
+        }
+        Ok((bytes, stats))
     }
 
     /// Builds the reuse table from the staged band's histogram via
@@ -407,6 +487,8 @@ impl<T: ScalarFloat> CodecSession<T> {
         shape: &Shape,
         config: &Config,
     ) -> Result<Option<(Vec<u8>, CompressionStats)>> {
+        let sink = self.active_sink();
+        let tele = sink.is_some();
         let ki = self.kernel_index(config.layers, shape);
         // The table pins its interval bits: the code distribution stays
         // aligned with its symbol range and the §IV-B sampler is skipped
@@ -414,31 +496,76 @@ impl<T: ScalarFloat> CodecSession<T> {
         let (range, eb) = resolve_range_eb(values, shape, config, &self.kernels[ki])?;
         let reuse = self.reuse.as_ref().expect("fused path requires a table");
         let seed_escape_rate = reuse.escape_rate;
-        let Some((meta, demoted)) = run_fused_scan(
-            &mut self.kernels[ki],
-            values,
-            shape,
-            config,
-            eb,
-            range,
-            reuse.bits,
-            &reuse.codec,
-            &mut self.bufs,
-            &mut self.recon,
-            &mut self.code_bits,
-        ) else {
+        let (scan, scan_nanos) = {
+            let kernel = &mut self.kernels[ki];
+            let bufs = &mut self.bufs;
+            let recon = &mut self.recon;
+            let code_bits = &mut self.code_bits;
+            timed(tele, || {
+                run_fused_scan(
+                    kernel,
+                    values,
+                    shape,
+                    config,
+                    eb,
+                    range,
+                    reuse.bits,
+                    &reuse.codec,
+                    bufs,
+                    recon,
+                    code_bits,
+                )
+            })
+        };
+        let Some((meta, demoted)) = scan else {
+            // The staged fallback the caller now runs rebuilds the table.
+            if let Some(sink) = sink.as_deref() {
+                sink.counter(Counter::FusedTableReseeds, 1);
+            }
             return Ok(None);
         };
-        let out = write_fused_archive(
-            &meta,
-            shape.dims(),
-            VERSION,
-            Some((&reuse.table_rle, reuse.used)),
-            values.len() as u64,
-            self.code_bits.finish(),
-            self.bufs.unpred.finish(),
-            &mut self.payload,
-        );
+        let code_bytes = self.code_bits.finish();
+        let unpred_bytes = self.bufs.unpred.finish();
+        let ((bytes, stats), write_nanos) = {
+            let payload = &mut self.payload;
+            timed(tele, || {
+                write_fused_archive(
+                    &meta,
+                    shape.dims(),
+                    VERSION,
+                    Some((&reuse.table_rle, reuse.used)),
+                    values.len() as u64,
+                    code_bytes,
+                    unpred_bytes,
+                    payload,
+                )
+            })
+        };
+        if let Some(sink) = sink.as_deref() {
+            sink.span(
+                Stage::PredictQuantize,
+                scan_nanos,
+                std::mem::size_of_val(values) as u64,
+            );
+            sink.span(
+                Stage::EntropyEncode,
+                write_nanos,
+                stats.huffman_bytes as u64,
+            );
+            sink.counter(Counter::FusedDemotions, demoted as u64);
+            sink.simd_path(crate::simd::level_name());
+            let mut extra = EncodeExtra::from_lengths(reuse.codec.lengths());
+            extra.code_stream_bits = (code_bytes.len() as u64) * 8;
+            extra.table_bytes = (reuse.table_rle.len() + ByteWriter::varint_len(reuse.used)) as u64;
+            emit_band(
+                sink,
+                self.band_index,
+                &stats,
+                Some(&extra),
+                self.planned_bits_per_value,
+            );
+        }
+        self.band_index += 1;
         // Drift watchdog: reseed (next band staged, fresh table and a fresh
         // adaptive bits choice) when demotions cost real escape bits, or
         // when the band escaped far more often than the seed band did —
@@ -451,8 +578,11 @@ impl<T: ScalarFloat> CodecSession<T> {
             ((4.0 * seed_escape_rate).max(1.0 / 128.0) * values.len() as f64) as usize;
         if demoted > values.len() >> RESEED_SHIFT || escapes > escape_budget + 8 {
             self.reuse = None;
+            if let Some(sink) = sink.as_deref() {
+                sink.counter(Counter::FusedTableReseeds, 1);
+            }
         }
-        Ok(Some(out))
+        Ok(Some((bytes, stats)))
     }
 
     /// Fused quantize→encode under a caller-provided shared table, emitting
@@ -474,33 +604,72 @@ impl<T: ScalarFloat> CodecSession<T> {
         if config.decorrelate || codec.lengths().first().copied().unwrap_or(0) == 0 {
             return Ok(None);
         }
+        let sink = self.active_sink();
+        let tele = sink.is_some();
         let ki = self.kernel_index(config.layers, shape);
-        let (range, eb, bits) = resolve_band_params(values, shape, &config, &mut self.kernels[ki])?;
-        let Some((meta, _demoted)) = run_fused_scan(
-            &mut self.kernels[ki],
+        let (range, eb, bits) = resolve_band_params(
             values,
             shape,
             &config,
-            eb,
-            range,
-            bits,
-            codec,
-            &mut self.bufs,
-            &mut self.recon,
-            &mut self.code_bits,
-        ) else {
+            &mut self.kernels[ki],
+            sink.as_deref(),
+        )?;
+        let (scan, scan_nanos) = {
+            let kernel = &mut self.kernels[ki];
+            let bufs = &mut self.bufs;
+            let recon = &mut self.recon;
+            let code_bits = &mut self.code_bits;
+            timed(tele, || {
+                run_fused_scan(
+                    kernel, values, shape, &config, eb, range, bits, codec, bufs, recon, code_bits,
+                )
+            })
+        };
+        let Some((meta, demoted)) = scan else {
             return Ok(None);
         };
-        Ok(Some(write_fused_archive(
-            &meta,
-            shape.dims(),
-            VERSION_SHARED,
-            None,
-            values.len() as u64,
-            self.code_bits.finish(),
-            self.bufs.unpred.finish(),
-            &mut self.payload,
-        )))
+        let code_bytes = self.code_bits.finish();
+        let unpred_bytes = self.bufs.unpred.finish();
+        let ((bytes, stats), write_nanos) = {
+            let payload = &mut self.payload;
+            timed(tele, || {
+                write_fused_archive(
+                    &meta,
+                    shape.dims(),
+                    VERSION_SHARED,
+                    None,
+                    values.len() as u64,
+                    code_bytes,
+                    unpred_bytes,
+                    payload,
+                )
+            })
+        };
+        if let Some(sink) = sink.as_deref() {
+            sink.span(
+                Stage::PredictQuantize,
+                scan_nanos,
+                std::mem::size_of_val(values) as u64,
+            );
+            sink.span(
+                Stage::EntropyEncode,
+                write_nanos,
+                stats.huffman_bytes as u64,
+            );
+            sink.counter(Counter::FusedDemotions, demoted as u64);
+            sink.simd_path(crate::simd::level_name());
+            let mut extra = EncodeExtra::from_lengths(codec.lengths());
+            extra.code_stream_bits = (code_bytes.len() as u64) * 8;
+            emit_band(
+                sink,
+                self.band_index,
+                &stats,
+                Some(&extra),
+                self.planned_bits_per_value,
+            );
+        }
+        self.band_index += 1;
+        Ok(Some((bytes, stats)))
     }
 
     /// The predict→quantize half only, as an owned [`QuantizedBand`] for
@@ -511,8 +680,27 @@ impl<T: ScalarFloat> CodecSession<T> {
     /// Same conditions as [`crate::quantize_slice_with_kernel`].
     pub fn quantize(&mut self, values: &[T], shape: &Shape) -> Result<QuantizedBand> {
         let config = self.active_config()?;
+        let sink = self.active_sink();
+        let tele = sink.is_some();
         let ki = self.kernel_index(config.layers, shape);
-        quantize_slice_with_kernel(values, shape, &config, &mut self.kernels[ki])
+        let (band, nanos) = {
+            let kernel = &mut self.kernels[ki];
+            let s = sink.as_deref();
+            timed(tele, || {
+                config.validate().and_then(|()| {
+                    quantize_validated_impl(values, shape, &config, kernel, false, s)
+                })
+            })
+        };
+        if let Some(sink) = sink.as_deref() {
+            sink.span(
+                Stage::PredictQuantize,
+                nanos,
+                std::mem::size_of_val(values) as u64,
+            );
+            sink.simd_path(crate::simd::level_name());
+        }
+        band
     }
 
     /// Entropy-codes a quantized band (see [`crate::encode_quantized`]).
@@ -521,7 +709,20 @@ impl<T: ScalarFloat> CodecSession<T> {
         band: &QuantizedBand,
         table: HuffmanTable<'_>,
     ) -> (Vec<u8>, CompressionStats) {
-        encode_quantized(band, table)
+        let sink = self.active_sink();
+        let (bytes, stats, extra) = encode_quantized_sink(band, table, sink.as_deref());
+        if let Some(sink) = sink.as_deref() {
+            sink.simd_path(crate::simd::level_name());
+            emit_band(
+                sink,
+                self.band_index,
+                &stats,
+                extra.as_ref(),
+                self.planned_bits_per_value,
+            );
+        }
+        self.band_index += 1;
+        (bytes, stats)
     }
 
     /// Decompresses a self-contained archive through the session's cached
@@ -534,7 +735,14 @@ impl<T: ScalarFloat> CodecSession<T> {
     /// nothing but the output tensor: the row scratch, the codec cache, and
     /// its decode LUT all live in the session.
     pub fn decompress(&mut self, bytes: &[u8]) -> Result<Tensor<T>> {
-        decompress_cached(bytes, None, &mut self.kernels, &mut self.decode)
+        let sink = self.active_sink();
+        decompress_cached(
+            bytes,
+            None,
+            &mut self.kernels,
+            &mut self.decode,
+            sink.as_deref(),
+        )
     }
 
     /// Decompresses a band archive whose Huffman table may live in its
@@ -543,8 +751,47 @@ impl<T: ScalarFloat> CodecSession<T> {
     /// [`crate::decompress_shared_with_kernel`]. Fused like
     /// [`CodecSession::decompress`].
     pub fn decompress_shared(&mut self, bytes: &[u8], codec: &HuffmanCodec) -> Result<Tensor<T>> {
-        decompress_cached(bytes, Some(codec), &mut self.kernels, &mut self.decode)
+        let sink = self.active_sink();
+        decompress_cached(
+            bytes,
+            Some(codec),
+            &mut self.kernels,
+            &mut self.decode,
+            sink.as_deref(),
+        )
     }
+}
+
+/// Folds a band's [`CompressionStats`] (plus the encoder's table/code-stream
+/// breakdown when available) into one [`BandRecord`] and hands it to the
+/// sink. Shared by every compressing entry point so the per-band telemetry
+/// schema cannot drift between the staged, fused, and split quantize/encode
+/// paths.
+fn emit_band(
+    sink: &dyn TelemetrySink,
+    index: u64,
+    stats: &CompressionStats,
+    extra: Option<&EncodeExtra>,
+    estimate: Option<f64>,
+) {
+    let mut rec = BandRecord::new(index);
+    rec.points = stats.total as u64;
+    rec.hits = stats.predictable as u64;
+    rec.escapes = (stats.total - stats.predictable) as u64;
+    rec.layers = stats.layers as u32;
+    rec.interval_bits = stats.interval_bits;
+    rec.escape_stream_bits = (stats.unpredictable_bytes as u64) * 8;
+    rec.archive_bytes = stats.compressed_bytes as u64;
+    if let Some(extra) = extra {
+        rec.code_stream_bits = extra.code_stream_bits;
+        rec.table_bytes = extra.table_bytes;
+        rec.table_symbols = extra.table_symbols;
+        rec.table_depth = extra.table_depth;
+    }
+    if let Some(estimate) = estimate {
+        rec.estimated_bits_per_value = estimate;
+    }
+    sink.band(&rec);
 }
 
 /// One fused band scan, shared by the table-reuse and shared-table entry

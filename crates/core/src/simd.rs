@@ -73,6 +73,17 @@ pub(crate) fn level() -> SimdLevel {
     }
 }
 
+/// Human-readable name of the effective dispatch level (`"scalar"`,
+/// `"sse2"`, `"avx2"`) — what the telemetry layer reports as the SIMD path
+/// taken for the scan/decode batch kernels.
+pub fn level_name() -> &'static str {
+    match level() {
+        SimdLevel::Scalar => "scalar",
+        SimdLevel::Sse2 => "sse2",
+        SimdLevel::Avx2 => "avx2",
+    }
+}
+
 /// Forces (or releases) the scalar fallback process-wide. Exposed for the
 /// SIMD-vs-scalar benches and the CI scalar-correctness job; not part of the
 /// stable API.

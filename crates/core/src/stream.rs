@@ -94,6 +94,18 @@ impl<T: ScalarFloat> StreamCompressor<T> {
         self
     }
 
+    /// Attaches (or detaches, with `None`) a telemetry sink on the inner
+    /// [`CodecSession`]: every flushed band reports its spans, counters,
+    /// and [`szr_telemetry::BandRecord`] through it. Pass a
+    /// [`szr_telemetry::NoopSink`] — or `None` — for zero-overhead
+    /// streaming; band archives are byte-identical either way.
+    pub fn set_telemetry(
+        &mut self,
+        sink: Option<std::sync::Arc<dyn szr_telemetry::TelemetrySink>>,
+    ) {
+        self.session.set_telemetry(sink);
+    }
+
     /// The per-stream header: magic, scalar tag, rank, inner extents.
     /// Leading extent is patched conceptually at finish via the trailer;
     /// bands carry their own extents.
@@ -278,6 +290,21 @@ impl<'a, T: ScalarFloat> StreamDecompressor<'a, T> {
     /// Bands left to read.
     pub fn remaining_bands(&self) -> u64 {
         self.remaining_bands
+    }
+
+    /// Borrowed archive slices of the remaining bands, without decoding any
+    /// of them — the introspection hook behind `szr inspect` on stream
+    /// archives (each slice parses with [`crate::inspect_layout`]).
+    ///
+    /// # Errors
+    /// [`SzError::Corrupt`] when a band's length prefix overruns the stream.
+    pub fn band_slices(&self) -> Result<Vec<&'a [u8]>> {
+        let mut reader = self.reader.clone();
+        let mut out = Vec::with_capacity(self.remaining_bands as usize);
+        for _ in 0..self.remaining_bands {
+            out.push(reader.read_len_prefixed()?);
+        }
+        Ok(out)
     }
 
     /// Decompresses the next band, or `None` at the end of the stream.

@@ -1,7 +1,7 @@
 //! Chunked (embarrassingly parallel) compression.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use szr_bitstream::{ByteReader, ByteWriter};
 use szr_core::{
@@ -10,8 +10,32 @@ use szr_core::{
 };
 use szr_huffman::HuffmanCodec;
 use szr_metrics::{value_range, Real};
-use szr_planner::plan_band_config;
+use szr_planner::plan_band_config_with_estimate;
+use szr_telemetry::{RecordingSink, TelemetrySink};
 use szr_tensor::{Shape, Tensor};
+
+/// Per-worker telemetry: each worker thread records into its own
+/// [`RecordingSink`] (no cross-thread contention on the hot path) and the
+/// driver folds every worker's sink into the caller's once the scope joins.
+/// Returns `None` — and the workers run with no sink attached at all — when
+/// the caller did not ask for telemetry.
+fn worker_sink(sink: Option<&RecordingSink>) -> Option<Arc<RecordingSink>> {
+    sink.map(|_| Arc::new(RecordingSink::new()))
+}
+
+/// Attaches a worker's private sink (if any) to its session.
+fn attach<T: ScalarFloat>(session: &mut CodecSession<T>, ws: &Option<Arc<RecordingSink>>) {
+    if let Some(ws) = ws {
+        session.set_telemetry(Some(ws.clone() as Arc<dyn TelemetrySink>));
+    }
+}
+
+/// Folds a worker's private sink into the caller's.
+fn merge_into(sink: Option<&RecordingSink>, ws: &Option<Arc<RecordingSink>>) {
+    if let (Some(sink), Some(ws)) = (sink, ws) {
+        sink.merge_from(ws);
+    }
+}
 
 /// A tensor compressed as independent per-band archives.
 ///
@@ -192,6 +216,21 @@ pub fn compress_chunked<T: ScalarFloat + Send + Sync>(
     num_chunks: usize,
     threads: usize,
 ) -> Result<ChunkedArchive> {
+    compress_chunked_telemetry(data, config, num_chunks, threads, None)
+}
+
+/// [`compress_chunked`] with optional telemetry: each worker records
+/// per-stage spans, codec counters, and per-band records into its own sink,
+/// all merged into `sink` (band records keyed by band index, so the merged
+/// report is in band order regardless of scheduling). Archive bytes are
+/// identical with or without a sink.
+pub fn compress_chunked_telemetry<T: ScalarFloat + Send + Sync>(
+    data: &Tensor<T>,
+    config: &Config,
+    num_chunks: usize,
+    threads: usize,
+    sink: Option<&RecordingSink>,
+) -> Result<ChunkedArchive> {
     config.validate()?;
     let dims = data.dims().to_vec();
     let ranges = band_ranges(dims[0], num_chunks.max(1));
@@ -214,21 +253,25 @@ pub fn compress_chunked<T: ScalarFloat + Send + Sync>(
                 // claims — setup and allocations are paid once per worker,
                 // not once per band.
                 let mut session = CodecSession::<T>::new(*config).expect("config validated above");
+                let ws = worker_sink(sink);
+                attach(&mut session, &ws);
                 loop {
                     let band = next.fetch_add(1, Ordering::Relaxed);
                     if band >= ranges.len() {
-                        return;
+                        break;
                     }
                     let (r0, r1) = ranges[band];
                     let mut band_dims = dims.clone();
                     band_dims[0] = r1 - r0;
                     let shape = Shape::new(&band_dims);
                     let slice = &values[r0 * row_elems..r1 * row_elems];
+                    session.set_next_band_index(band as u64);
                     let result = session
                         .compress_slice(slice, &shape)
                         .map(|(bytes, _)| bytes);
                     *results[band].lock().unwrap() = Some(result);
                 }
+                merge_into(sink, &ws);
             });
         }
     });
@@ -264,6 +307,20 @@ pub fn compress_chunked_planned<T: ScalarFloat + Real + Send + Sync>(
     num_chunks: usize,
     threads: usize,
 ) -> Result<(ChunkedArchive, Vec<Config>)> {
+    compress_chunked_planned_telemetry(data, bound, num_chunks, threads, None)
+}
+
+/// [`compress_chunked_planned`] with optional telemetry. On top of the
+/// spans/counters/band records of [`compress_chunked_telemetry`], each
+/// band's record carries the planner's estimated bits per value, so the
+/// merged report exposes planner drift (estimate vs achieved) per band.
+pub fn compress_chunked_planned_telemetry<T: ScalarFloat + Real + Send + Sync>(
+    data: &Tensor<T>,
+    bound: ErrorBound,
+    num_chunks: usize,
+    threads: usize,
+    sink: Option<&RecordingSink>,
+) -> Result<(ChunkedArchive, Vec<Config>)> {
     // Validate the bound spec through a throwaway config before resolving.
     Config::new(bound).validate()?;
     let eb_abs = bound.effective(value_range(data.as_slice()));
@@ -285,23 +342,28 @@ pub fn compress_chunked_planned<T: ScalarFloat + Real + Send + Sync>(
                 // session's kernel cache keys on (layers, stride family),
                 // so one session per worker still reuses everything.
                 let mut session = CodecSession::<T>::decoder();
+                let ws = worker_sink(sink);
+                attach(&mut session, &ws);
                 loop {
                     let band = next.fetch_add(1, Ordering::Relaxed);
                     if band >= ranges.len() {
-                        return;
+                        break;
                     }
                     let (r0, r1) = ranges[band];
                     let mut band_dims = dims.clone();
                     band_dims[0] = r1 - r0;
                     let shape = Shape::new(&band_dims);
                     let slice = &values[r0 * row_elems..r1 * row_elems];
-                    let config = plan_band_config(slice, &shape, eb_abs);
+                    let (config, estimate) = plan_band_config_with_estimate(slice, &shape, eb_abs);
+                    session.set_next_band_index(band as u64);
+                    session.set_planned_bits_per_value(Some(estimate));
                     let result = session
                         .set_config(config)
                         .and_then(|()| session.compress_slice(slice, &shape))
                         .map(|(bytes, _)| (bytes, config));
                     *results[band].lock().unwrap() = Some(result);
                 }
+                merge_into(sink, &ws);
             });
         }
     });
@@ -350,6 +412,20 @@ pub fn compress_chunked_shared<T: ScalarFloat + Send + Sync>(
     num_chunks: usize,
     threads: usize,
 ) -> Result<ChunkedArchive> {
+    compress_chunked_shared_telemetry(data, config, num_chunks, threads, None)
+}
+
+/// [`compress_chunked_shared`] with optional telemetry: phase-A
+/// predict→quantize spans and phase-C entropy/band records are collected
+/// per worker and merged into `sink`. Archive bytes are identical with or
+/// without a sink.
+pub fn compress_chunked_shared_telemetry<T: ScalarFloat + Send + Sync>(
+    data: &Tensor<T>,
+    config: &Config,
+    num_chunks: usize,
+    threads: usize,
+    sink: Option<&RecordingSink>,
+) -> Result<ChunkedArchive> {
     config.validate()?;
     let dims = data.dims().to_vec();
     let ranges = band_ranges(dims[0], num_chunks.max(1));
@@ -366,10 +442,12 @@ pub fn compress_chunked_shared<T: ScalarFloat + Send + Sync>(
         for _ in 0..threads {
             s.spawn(|| {
                 let mut session = CodecSession::<T>::new(*config).expect("config validated above");
+                let ws = worker_sink(sink);
+                attach(&mut session, &ws);
                 loop {
                     let band = next.fetch_add(1, Ordering::Relaxed);
                     if band >= ranges.len() {
-                        return;
+                        break;
                     }
                     let (r0, r1) = ranges[band];
                     let mut band_dims = dims.clone();
@@ -384,6 +462,7 @@ pub fn compress_chunked_shared<T: ScalarFloat + Send + Sync>(
                     }
                     *quantized[band].lock().unwrap() = Some(result);
                 }
+                merge_into(sink, &ws);
             });
         }
     });
@@ -442,22 +521,38 @@ pub fn compress_chunked_shared<T: ScalarFloat + Send + Sync>(
     let any_shared = bands.len() > 1 && saved_bits >= shared_table_bits;
 
     // Phase C (parallel): entropy-code each band under its chosen table.
+    // Telemetry runs through per-worker sessions (band records need the
+    // session's band index); the plain path keeps the free function.
     let next = AtomicUsize::new(0);
     let encoded: Vec<Mutex<Option<Vec<u8>>>> = (0..bands.len()).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|s| {
         for _ in 0..threads {
-            s.spawn(|| loop {
-                let band = next.fetch_add(1, Ordering::Relaxed);
-                if band >= bands.len() {
-                    return;
+            s.spawn(|| {
+                let mut session = sink.map(|_| CodecSession::<T>::decoder());
+                let ws = worker_sink(sink);
+                if let Some(session) = &mut session {
+                    attach(session, &ws);
                 }
-                let table = if any_shared && use_shared[band] {
-                    HuffmanTable::Shared(&shared)
-                } else {
-                    HuffmanTable::PerBand
-                };
-                let (bytes, _) = encode_quantized(&bands[band], table);
-                *encoded[band].lock().unwrap() = Some(bytes);
+                loop {
+                    let band = next.fetch_add(1, Ordering::Relaxed);
+                    if band >= bands.len() {
+                        break;
+                    }
+                    let table = if any_shared && use_shared[band] {
+                        HuffmanTable::Shared(&shared)
+                    } else {
+                        HuffmanTable::PerBand
+                    };
+                    let bytes = match &mut session {
+                        Some(session) => {
+                            session.set_next_band_index(band as u64);
+                            session.encode(&bands[band], table).0
+                        }
+                        None => encode_quantized(&bands[band], table).0,
+                    };
+                    *encoded[band].lock().unwrap() = Some(bytes);
+                }
+                merge_into(sink, &ws);
             });
         }
     });
@@ -511,16 +606,31 @@ pub fn compress_chunked_fused<T: ScalarFloat + Send + Sync>(
     num_chunks: usize,
     threads: usize,
 ) -> Result<ChunkedArchive> {
+    compress_chunked_fused_telemetry(data, config, num_chunks, threads, None)
+}
+
+/// [`compress_chunked_fused`] with optional telemetry: the seed sample's
+/// staged quantize, every worker's fused scans (including
+/// `fused_demotions`/`fused_table_reseeds` counters and staged fallbacks),
+/// and per-band records merge into `sink`. Archive bytes are identical with
+/// or without a sink.
+pub fn compress_chunked_fused_telemetry<T: ScalarFloat + Send + Sync>(
+    data: &Tensor<T>,
+    config: &Config,
+    num_chunks: usize,
+    threads: usize,
+    sink: Option<&RecordingSink>,
+) -> Result<ChunkedArchive> {
     config.validate()?;
     if config.decorrelate {
         // Per-point dither state cannot fuse; the staged shared path is the
         // correct (and still table-sharing) fallback.
-        return compress_chunked_shared(data, config, num_chunks, threads);
+        return compress_chunked_shared_telemetry(data, config, num_chunks, threads, sink);
     }
     let dims = data.dims().to_vec();
     let ranges = band_ranges(dims[0], num_chunks.max(1));
     if ranges.len() <= 1 {
-        return compress_chunked(data, config, num_chunks, threads);
+        return compress_chunked_telemetry(data, config, num_chunks, threads, sink);
     }
     let row_elems: usize = dims[1..].iter().product::<usize>().max(1);
     let values = data.as_slice();
@@ -554,7 +664,10 @@ pub fn compress_chunked_fused<T: ScalarFloat + Send + Sync>(
     let mut sample_dims = dims.clone();
     sample_dims[0] = n_sampled;
     let mut seeder = CodecSession::<T>::new(pinned)?;
+    let seed_sink = worker_sink(sink);
+    attach(&mut seeder, &seed_sink);
     let seed = seeder.quantize(&sample, &Shape::new(&sample_dims))?;
+    merge_into(sink, &seed_sink);
     let shared = szr_core::covering_codec(seed.histogram());
     // Pin the sample's interval bits for every band: the shared table's
     // symbol range only lines up when all bands quantize on the same
@@ -576,22 +689,26 @@ pub fn compress_chunked_fused<T: ScalarFloat + Send + Sync>(
             s.spawn(|| {
                 let mut session =
                     CodecSession::<T>::new(worker_config).expect("config validated above");
+                let ws = worker_sink(sink);
+                attach(&mut session, &ws);
                 loop {
                     let band = next.fetch_add(1, Ordering::Relaxed);
                     if band >= ranges.len() {
-                        return;
+                        break;
                     }
                     let (r0, r1) = ranges[band];
                     let mut band_dims = dims.clone();
                     band_dims[0] = r1 - r0;
                     let shape = Shape::new(&band_dims);
                     let slice = &values[r0 * row_elems..r1 * row_elems];
+                    session.set_next_band_index(band as u64);
                     let result = match session.compress_slice_shared_fused(slice, &shape, &shared) {
                         Ok(Some((bytes, _))) => Ok((bytes, true)),
                         // Structural divergence: self-contained staged
                         // fallback under the caller's interval mode, so the
                         // band gets its own adaptive bits and table.
                         Ok(None) => {
+                            session.set_next_band_index(band as u64);
                             let staged = match session.set_config(pinned) {
                                 Ok(()) => session
                                     .compress_slice(slice, &shape)
@@ -607,6 +724,7 @@ pub fn compress_chunked_fused<T: ScalarFloat + Send + Sync>(
                     };
                     *results[band].lock().unwrap() = Some(result);
                 }
+                merge_into(sink, &ws);
             });
         }
     });
@@ -636,6 +754,18 @@ pub fn decompress_chunked<T: ScalarFloat + Send + Sync>(
     archive: &ChunkedArchive,
     threads: usize,
 ) -> Result<Tensor<T>> {
+    decompress_chunked_telemetry(archive, threads, None)
+}
+
+/// [`decompress_chunked`] with optional telemetry: header/deflate/symbol
+/// decode/row reconstruction spans plus kernel- and codec-table-cache
+/// counters from every worker merge into `sink`. Output is identical with
+/// or without a sink.
+pub fn decompress_chunked_telemetry<T: ScalarFloat + Send + Sync>(
+    archive: &ChunkedArchive,
+    threads: usize,
+    sink: Option<&RecordingSink>,
+) -> Result<Tensor<T>> {
     let shape = Shape::new(&archive.dims);
     let row_elems: usize = archive.dims[1..].iter().product::<usize>().max(1);
     let mut out: Vec<T> = vec![T::from_f64(0.0); shape.len()];
@@ -664,10 +794,12 @@ pub fn decompress_chunked<T: ScalarFloat + Send + Sync>(
                 // count and stride family) and symbol scratch serve every
                 // band the worker claims.
                 let mut session = CodecSession::<T>::decoder();
+                let ws = worker_sink(sink);
+                attach(&mut session, &ws);
                 loop {
                     let band = next.fetch_add(1, Ordering::Relaxed);
                     if band >= archive.chunks.len() {
-                        return;
+                        break;
                     }
                     let result = match &shared {
                         Some(codec) => session.decompress_shared(&archive.chunks[band], codec),
@@ -675,6 +807,7 @@ pub fn decompress_chunked<T: ScalarFloat + Send + Sync>(
                     };
                     *decoded[band].lock().unwrap() = Some(result);
                 }
+                merge_into(sink, &ws);
             });
         }
     });

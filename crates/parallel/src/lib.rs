@@ -27,8 +27,10 @@ mod io_model;
 mod scaling;
 
 pub use chunked::{
-    compress_chunked, compress_chunked_fused, compress_chunked_planned, compress_chunked_shared,
-    decompress_chunked, ChunkedArchive,
+    compress_chunked, compress_chunked_fused, compress_chunked_fused_telemetry,
+    compress_chunked_planned, compress_chunked_planned_telemetry, compress_chunked_shared,
+    compress_chunked_shared_telemetry, compress_chunked_telemetry, decompress_chunked,
+    decompress_chunked_telemetry, ChunkedArchive,
 };
 pub use io_model::{io_breakdown, IoBreakdown, IoModel};
 pub use scaling::{measure_scaling, model_cluster_scaling, ClusterModel, Direction, ScalingPoint};

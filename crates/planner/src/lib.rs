@@ -64,7 +64,7 @@ mod report;
 
 pub use adapter::{builtin_adapter, CodecAdapter, CodecKind};
 pub use model::SzSizeModel;
-pub use planner::{plan_band_config, Planner, PlannerOptions};
+pub use planner::{plan_band_config, plan_band_config_with_estimate, Planner, PlannerOptions};
 pub use report::{Candidate, Estimate, Goal, PlanReport, PlannedCodec};
 
 /// Errors surfaced by planning.

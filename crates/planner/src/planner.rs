@@ -632,6 +632,18 @@ pub fn plan_band_config<T: ScalarFloat + Real>(
     shape: &Shape,
     eb_abs: f64,
 ) -> szr_core::Config {
+    plan_band_config_with_estimate(values, shape, eb_abs).0
+}
+
+/// [`plan_band_config`] plus the model's predicted bits per value for the
+/// chosen configuration — the "estimated" side of the planner-drift
+/// telemetry (`szr_telemetry::BandRecord::drift_bits_per_value` compares it
+/// against the band's achieved size).
+pub fn plan_band_config_with_estimate<T: ScalarFloat + Real>(
+    values: &[T],
+    shape: &Shape,
+    eb_abs: f64,
+) -> (szr_core::Config, f64) {
     let opts = PlannerOptions {
         max_sample_elems: 1 << 14,
         thetas: vec![0.99],
@@ -651,9 +663,10 @@ pub fn plan_band_config<T: ScalarFloat + Real>(
                 .unwrap_or(std::cmp::Ordering::Equal)
         })
         .expect("layer list is never empty");
-    szr_core::Config::new(szr_core::ErrorBound::Absolute(eb_abs))
+    let config = szr_core::Config::new(szr_core::ErrorBound::Absolute(eb_abs))
         .with_layers(best.0)
-        .with_interval_bits(best.1)
+        .with_interval_bits(best.1);
+    (config, best.2.bits_per_value)
 }
 
 #[cfg(test)]

@@ -39,6 +39,7 @@
 //! | [`parallel`] | `szr-parallel` | chunked threading, scaling + I/O models |
 //! | [`planner`] | `szr-planner` | sampled ratio–quality estimation, codec/config auto-selection |
 //! | [`container`] | `szr-container` | multi-variable snapshot container |
+//! | [`telemetry`] | `szr-telemetry` | per-stage spans, codec counters, per-band records |
 //!
 //! ## Sessions: the owning pipeline object
 //!
@@ -83,6 +84,52 @@
 //! allocation is the output tensor itself. The staged
 //! decode-all-then-reconstruct path survives as [`decompress_staged`] — the
 //! property-test oracle the fused path is pinned bit-identical to.
+//!
+//! ## Observability: pipeline telemetry
+//!
+//! Every stage of the session pipeline is instrumented behind the
+//! [`telemetry::TelemetrySink`] trait. A session with no sink (or a
+//! disabled one) does no clock reads and no record construction — the
+//! instrumentation is gated on `enabled()` at every site, and the
+//! steady-state allocation pins in `tests/session_alloc.rs` hold with a
+//! `NoopSink` attached. Attaching a [`telemetry::RecordingSink`] collects
+//! per-stage spans (predict→quantize, entropy encode, DEFLATE, header IO,
+//! symbol decode, row reconstruction), codec counters (kernel/codec-table
+//! cache traffic, interval-search iterations, fused-table reseeds), the
+//! resolved SIMD dispatch path, and one [`telemetry::BandRecord`] per band
+//! with hit/escape counts and the code-stream/table/escape byte split:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use szr::telemetry::{RecordingSink, TelemetrySink};
+//! use szr::{CodecSession, Config, ErrorBound, Tensor};
+//!
+//! let data = Tensor::from_fn([64, 96], |ix| {
+//!     ((ix[0] as f32) * 0.1).sin() * 8.0 + (ix[1] as f32) * 0.01
+//! });
+//! let sink = Arc::new(RecordingSink::new());
+//! let mut session = CodecSession::<f32>::new(Config::new(ErrorBound::Relative(1e-4))).unwrap();
+//! session.set_telemetry(Some(sink.clone() as Arc<dyn TelemetrySink>));
+//! let archive = session.compress(&data).unwrap();
+//!
+//! let report = sink.report();
+//! let band = &report.bands[0];
+//! assert_eq!(band.points as usize, data.len());
+//! assert_eq!(band.hits + band.escapes, band.points);
+//! assert_eq!(band.archive_bytes as usize, archive.len());
+//! ```
+//!
+//! The chunked drivers in [`parallel`] have `_telemetry` variants that give
+//! each worker its own sink and merge them in band order, and the in-situ
+//! streaming path ([`StreamCompressor::set_telemetry`]) reports per-slab
+//! bands the same way. On the command line, `szr compress --telemetry=json`
+//! (and `decompress`) prints the same report on stdout — `version`, `simd`,
+//! `hit_rate`, `escape_rate`, `bits_per_value`, `hit_rate_by_layer`,
+//! `counters`, `spans`, and `bands` (with `estimated_bits_per_value` from
+//! the planner under `--auto`, pricing model drift) — while `szr inspect`
+//! walks every archive section (band v1/v2, chunked SZCK, stream SZST,
+//! pointwise SZRL) without reconstructing data and names the failing
+//! section on corrupt input.
 //!
 //! ## The scan-kernel pipeline
 //!
@@ -224,4 +271,16 @@ pub mod planner {
 /// Multi-variable snapshot container (`szr-container`).
 pub mod container {
     pub use szr_container::*;
+}
+
+/// Pipeline telemetry: per-stage spans, codec counters, per-band records
+/// (`szr-telemetry`).
+///
+/// Attach a [`telemetry::RecordingSink`] via [`CodecSession::set_telemetry`]
+/// (or the `_telemetry` chunked drivers in [`parallel`]); read the result
+/// as a [`telemetry::TelemetryReport`] — serializable as stable text
+/// (`to_text`/`from_text`) or JSON (`to_json`, what the CLI's
+/// `--telemetry=json` prints).
+pub mod telemetry {
+    pub use szr_telemetry::*;
 }

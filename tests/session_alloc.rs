@@ -159,6 +159,63 @@ fn steady_state_session_decompress_allocates_only_the_output_tensor() {
 }
 
 #[test]
+fn steady_state_compress_with_noop_sink_keeps_the_allocation_pin() {
+    // A disabled telemetry sink must be free: with a `NoopSink` attached
+    // (`enabled() == false`), every instrumentation site skips its clock
+    // reads and record construction, so the warm fused compress still
+    // allocates exactly the output archive.
+    use std::sync::Arc;
+    use szr::telemetry::{NoopSink, TelemetrySink};
+    let data = Tensor::from_fn([96, 128], |ix| {
+        ((ix[0] as f32) * 0.07).sin() * 12.0 + ((ix[1] as f32) * 0.05).cos() * 3.0
+    });
+    let config = Config::new(ErrorBound::Absolute(1e-3))
+        .with_interval_bits(8)
+        .without_lossless_pass();
+    let mut session = CodecSession::<f32>::new(config).unwrap();
+    session.set_table_reuse(true);
+    session.set_telemetry(Some(Arc::new(NoopSink) as Arc<dyn TelemetrySink>));
+    let _ = session.compress(&data).unwrap();
+
+    let (allocs, bytes, warm) = count_allocs(|| session.compress(&data).unwrap());
+    assert_eq!(
+        allocs, 1,
+        "a NoopSink must not add allocations to the warm compress path \
+         ({allocs} allocations, {bytes} bytes)"
+    );
+    let restored: Tensor<f32> = szr::decompress(&warm).unwrap();
+    for (&a, &b) in data.as_slice().iter().zip(restored.as_slice()) {
+        assert!((a as f64 - b as f64).abs() <= 1e-3);
+    }
+}
+
+#[test]
+fn steady_state_decompress_with_noop_sink_keeps_the_allocation_pin() {
+    use std::sync::Arc;
+    use szr::telemetry::{NoopSink, TelemetrySink};
+    let data = Tensor::from_fn([96, 128], |ix| {
+        ((ix[0] as f32) * 0.07).sin() * 12.0 + ((ix[1] as f32) * 0.05).cos() * 3.0
+    });
+    let config = Config::new(ErrorBound::Absolute(1e-3))
+        .with_interval_bits(8)
+        .without_lossless_pass();
+    let mut session = CodecSession::<f32>::new(config).unwrap();
+    let archive = session.compress(&data).unwrap();
+    session.set_telemetry(Some(Arc::new(NoopSink) as Arc<dyn TelemetrySink>));
+    let _ = session.decompress(&archive).unwrap();
+
+    let (allocs, bytes, out) = count_allocs(|| session.decompress(&archive).unwrap());
+    assert_eq!(
+        allocs, 3,
+        "a NoopSink must not add allocations to the warm decompress path \
+         ({allocs} allocations, {bytes} bytes)"
+    );
+    for (&a, &b) in data.as_slice().iter().zip(out.as_slice()) {
+        assert!((a as f64 - b as f64).abs() <= 1e-3);
+    }
+}
+
+#[test]
 fn steady_state_staged_session_reuses_all_large_buffers() {
     // The staged (default) path still allocates entropy-stage transients
     // (codec build, Huffman block), but the big per-point buffers — codes,
