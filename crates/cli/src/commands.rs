@@ -259,6 +259,23 @@ fn build_config_pw(args: &Args) -> Result<Config, String> {
     Ok(config)
 }
 
+/// What `--salvage[=json]` asked for.
+#[derive(Clone, Copy, PartialEq)]
+enum SalvageMode {
+    Off,
+    Text,
+    Json,
+}
+
+fn salvage_mode(args: &Args) -> Result<SalvageMode, String> {
+    match args.switch_or_value("salvage") {
+        None => Ok(SalvageMode::Off),
+        Some(None) | Some(Some("text")) => Ok(SalvageMode::Text),
+        Some(Some("json")) => Ok(SalvageMode::Json),
+        Some(Some(other)) => Err(format!("--salvage={other:?} (expected text or json)")),
+    }
+}
+
 /// `szr decompress`
 pub fn decompress(args: &Args) -> CmdResult {
     let input = args.need("input")?;
@@ -266,6 +283,12 @@ pub fn decompress(args: &Args) -> CmdResult {
     let mode = telemetry_mode(args)?;
     let sink = telemetry_sink(mode);
     let archive = std::fs::read(input).map_err(|e| format!("cannot read {input}: {e}"))?;
+    if salvage_mode(args)? != SalvageMode::Off {
+        if sink.is_some() {
+            return Err("--salvage and --telemetry do not combine".into());
+        }
+        return decompress_salvage(args, input, output, &archive);
+    }
     // Pointwise-relative archives carry their own magic and type tag.
     if archive.starts_with(b"SZRL") {
         if sink.is_some() {
@@ -329,6 +352,186 @@ pub fn decompress(args: &Args) -> CmdResult {
     Ok(())
 }
 
+/// `szr decompress --salvage`: verify every band's checksums, decode what
+/// is intact, fill damaged regions, and print the salvage report. Exits
+/// nonzero (command error) when any band was lost, after writing the
+/// partial output — the recovered data is the point of the mode.
+fn decompress_salvage(args: &Args, input: &str, output: &str, archive: &[u8]) -> CmdResult {
+    let json = salvage_mode(args)? == SalvageMode::Json;
+    let fill = args.get_parse::<f64>("fill")?.unwrap_or(0.0);
+
+    fn emit(input: &str, output: &str, report: &szr_core::SalvageReport, json: bool) -> CmdResult {
+        println!(
+            "{}",
+            if json {
+                report.to_json()
+            } else {
+                report.to_text()
+            }
+        );
+        if report.is_clean() {
+            eprintln!(
+                "{input} -> {output}: all {} bands verified and recovered",
+                report.bands
+            );
+            Ok(())
+        } else {
+            Err(format!(
+                "{input}: {} of {} bands damaged (recovered output written to {output})",
+                report.damaged.len(),
+                report.bands,
+            ))
+        }
+    }
+
+    fn salvage_chunked<T: ScalarFloat + Send + Sync>(
+        container: &szr_parallel::ChunkedArchive,
+        fill: f64,
+        output: &str,
+    ) -> Result<szr_core::SalvageReport, String> {
+        let (data, report) =
+            szr_parallel::decompress_chunked_salvage::<T>(container, 4, T::from_f64(fill))
+                .map_err(|e| e.to_string())?;
+        write_raw(output, &data)?;
+        Ok(report)
+    }
+
+    fn salvage_stream<T: ScalarFloat>(
+        archive: &[u8],
+        fill: f64,
+        output: &str,
+    ) -> Result<szr_core::SalvageReport, String> {
+        let decoder = szr_core::StreamDecompressor::<T>::new(archive).map_err(|e| e.to_string())?;
+        let (data, report) = decoder
+            .collect_all_salvage(T::from_f64(fill))
+            .map_err(|e| e.to_string())?;
+        write_raw(output, &data)?;
+        Ok(report)
+    }
+
+    let report = match archive.get(..4) {
+        Some(b"SZCK") => {
+            let container = szr_parallel::ChunkedArchive::from_bytes(archive)
+                .map_err(|e| format!("container: {e}"))?;
+            let first = container
+                .chunks
+                .first()
+                .ok_or_else(|| "container: no bands to salvage".to_string())?;
+            match szr_core::inspect(first).map(|info| info.dtype) {
+                Ok("f64") => salvage_chunked::<f64>(&container, fill, output)?,
+                // Damaged first band: fall back to f32, the common case; a
+                // wrong guess shows up as per-band type errors, not a panic.
+                _ => salvage_chunked::<f32>(&container, fill, output)?,
+            }
+        }
+        Some(b"SZST") => match archive.get(4) {
+            Some(1) => salvage_stream::<f64>(archive, fill, output)?,
+            _ => salvage_stream::<f32>(archive, fill, output)?,
+        },
+        Some(b"SZRL") => {
+            return Err(
+                "pointwise-relative archives have no per-band structure to salvage; \
+                 use `szr verify` to check integrity"
+                    .into(),
+            )
+        }
+        _ => {
+            // A single band archive either verifies and decodes whole or is
+            // lost whole; run the verifying decode and report accordingly.
+            let info = szr_core::inspect(archive).map_err(|e| e.to_string())?;
+            let policy = szr_core::DecodePolicy::Salvage;
+            let result: Result<(), String> = match info.dtype {
+                "f64" => szr_core::decompress_with_policy::<f64>(archive, policy)
+                    .map_err(|e| e.to_string())
+                    .and_then(|data| write_raw(output, &data)),
+                _ => szr_core::decompress_with_policy::<f32>(archive, policy)
+                    .map_err(|e| e.to_string())
+                    .and_then(|data| write_raw(output, &data)),
+            };
+            let mut report = szr_core::SalvageReport {
+                bands: 1,
+                recovered: Vec::new(),
+                damaged: Vec::new(),
+                fill,
+            };
+            match result {
+                Ok(()) => report.recovered.push(0),
+                Err(e) => report.damaged.push(szr_core::BandDamage {
+                    band: 0,
+                    byte_range: (0, archive.len()),
+                    error: e,
+                }),
+            }
+            report
+        }
+    };
+    emit(input, output, &report, json)
+}
+
+/// `szr verify` — integrity check (structure + v3 section checksums) for
+/// all four archive families, without reconstructing any values. Prints a
+/// per-family summary on success; fails naming the damaged section.
+pub fn verify(args: &Args) -> CmdResult {
+    let input = args.need("input")?;
+    let archive = std::fs::read(input).map_err(|e| format!("cannot read {input}: {e}"))?;
+    match archive.get(..4) {
+        Some(b"SZCK") => {
+            let container = szr_parallel::ChunkedArchive::from_bytes(&archive)
+                .map_err(|e| format!("container: {e}"))?;
+            if let Some(table) = &container.shared_table {
+                szr_huffman::deserialize_codec(table)
+                    .map_err(|e| format!("shared huffman table: {e}"))?;
+            }
+            let mut checksummed = 0usize;
+            for (i, chunk) in container.chunks.iter().enumerate() {
+                let layout =
+                    szr_core::inspect_layout(chunk).map_err(|e| format!("band {i}: {e}"))?;
+                checksummed += usize::from(layout.info.checksummed);
+            }
+            println!(
+                "ok: chunked container, {} bands verified ({checksummed} checksummed)",
+                container.chunks.len()
+            );
+        }
+        Some(b"SZST") => {
+            let slices =
+                match archive.get(4) {
+                    Some(1) => szr_core::StreamDecompressor::<f64>::new(&archive)
+                        .and_then(|d| d.band_slices()),
+                    _ => szr_core::StreamDecompressor::<f32>::new(&archive)
+                        .and_then(|d| d.band_slices()),
+                }
+                .map_err(|e| format!("container: {e}"))?;
+            let mut checksummed = 0usize;
+            for (i, slice) in slices.iter().enumerate() {
+                let layout =
+                    szr_core::inspect_layout(slice).map_err(|e| format!("band {i}: {e}"))?;
+                checksummed += usize::from(layout.info.checksummed);
+            }
+            println!(
+                "ok: stream container, {} bands verified ({checksummed} checksummed)",
+                slices.len()
+            );
+        }
+        Some(b"SZRL") => {
+            szr_core::verify_pointwise_rel(&archive).map_err(|e| e.to_string())?;
+            println!("ok: pointwise-relative archive verified");
+        }
+        _ => {
+            let layout = szr_core::inspect_layout(&archive).map_err(|e| e.to_string())?;
+            println!(
+                "ok: band archive verified ({})",
+                if layout.info.checksummed {
+                    "v3, all section checksums match"
+                } else {
+                    "legacy v1/v2, structural checks only"
+                }
+            );
+        }
+    }
+    Ok(())
+}
+
 /// `szr inspect` — section-by-section archive introspection without
 /// reconstructing data. Dispatches on the magic: band archives (v1 and
 /// shared-stream v2), chunked containers (SZCK), stream containers (SZST),
@@ -351,10 +554,11 @@ fn inspect_band(archive: &[u8]) -> CmdResult {
     let info = &layout.info;
     println!(
         "kind            : {}",
-        if info.shared_stream {
-            "band archive (v2, shared-table stream)"
-        } else {
-            "band archive (v1, self-contained)"
+        match (info.shared_stream, info.checksummed) {
+            (true, true) => "band archive (v4, shared-table stream, checksummed)",
+            (true, false) => "band archive (v2, shared-table stream)",
+            (false, true) => "band archive (v3, self-contained, checksummed)",
+            (false, false) => "band archive (v1, self-contained)",
         }
     );
     println!("dtype           : {}", info.dtype);

@@ -4,6 +4,7 @@
 //! szr compress   --input data.bin --dims 1800x3600 --dtype f32 --rel 1e-4 --output data.szr
 //! szr decompress --input data.szr --output data.bin
 //! szr inspect    --input data.szr
+//! szr verify     --input data.szr
 //! szr eval       --input data.bin --dims 1800x3600 --dtype f32 --rel 1e-4 [--codec sz14]
 //! szr plan       --input data.bin --dims 1800x3600 --target-ratio 20
 //! szr gen        --dataset atm --variable TS --scale medium --output ts.bin
@@ -23,7 +24,9 @@ szr — error-bounded lossy compression for scientific data (SZ-1.4)
 USAGE:
   szr compress   --input FILE --dims AxBxC --rel EB | --abs EB [options] --output FILE
   szr decompress --input FILE --output FILE [--telemetry[=json]]
+                 [--salvage[=json] [--fill V]]
   szr inspect    --input FILE
+  szr verify     --input FILE
   szr eval       --input FILE --dims AxBxC (--rel EB | --abs EB) [--codec NAME]
   szr plan       --input FILE --dims AxBxC (--target-ratio R | --rel EB | --abs EB) [options]
   szr gen        --dataset atm|aps|hurricane [--variable V] [--scale S] --output FILE
@@ -44,11 +47,25 @@ COMPRESS OPTIONS:
                          the summary: per-stage spans, codec counters, and
                          per-band records (also valid on decompress)
 
+DECOMPRESS OPTIONS:
+  --salvage[=json]       verify each band's checksums and keep going past
+                         damaged bands: intact bands decode exactly, damaged
+                         bands are filled with --fill (default 0), and a
+                         salvage report (text or JSON) prints on stdout.
+                         Exits nonzero when any band was lost.
+  --fill V               fill value for salvaged (damaged) regions
+
 INSPECT:
   walks every archive section without reconstructing data. Handles band
-  archives (v1 and shared-stream v2), chunked containers (SZCK), stream
-  containers (SZST), and pointwise-relative archives (SZRL); corrupt input
-  reports the failing section (header / table / payload / band N).
+  archives (v1/v2 legacy and v3 checksummed), chunked containers (SZCK),
+  stream containers (SZST), and pointwise-relative archives (SZRL); corrupt
+  input reports the failing section (header / table / payload / band N).
+
+VERIFY:
+  checks archive integrity — structure plus the v3 per-section CRC32
+  checksums — without reconstructing any values, for the same four archive
+  families as inspect. Exits nonzero naming the failing section on damage;
+  v1/v2 archives verify structurally (they carry no checksums).
 
 EVAL OPTIONS:
   --codec sz14|zfp|sz11|isabela|fpzip|gzip   (default sz14)
@@ -73,7 +90,13 @@ fn main() {
     }
     let parsed = match Args::parse(
         &raw,
-        &["decorrelate", "no-lossless-pass", "auto", "telemetry"],
+        &[
+            "decorrelate",
+            "no-lossless-pass",
+            "auto",
+            "telemetry",
+            "salvage",
+        ],
     ) {
         Ok(p) => p,
         Err(e) => {
@@ -85,6 +108,7 @@ fn main() {
         "compress" => commands::compress(&parsed),
         "decompress" => commands::decompress(&parsed),
         "inspect" => commands::inspect(&parsed),
+        "verify" => commands::verify(&parsed),
         "eval" => commands::eval(&parsed),
         "plan" => commands::plan(&parsed),
         "gen" => commands::generate(&parsed),

@@ -30,6 +30,17 @@ pub(crate) const VERSION: u8 = 1;
 /// [`crate::decompress_shared_with_kernel`] with the owning container's
 /// codec.
 pub(crate) const VERSION_SHARED: u8 = 2;
+/// Checksummed self-contained archive: version 1's layout plus a CRC-32
+/// after the header fields and a `table CRC · payload CRC` trailer. This is
+/// what both writers emit today; versions 1/2 remain fully decodable.
+pub(crate) const VERSION_V3: u8 = 3;
+/// Checksummed shared-table archive (version 2 + the version 3 checksums).
+pub(crate) const VERSION_SHARED_V3: u8 = 4;
+
+/// Whether a version byte denotes a checksummed (v3-framed) archive.
+pub(crate) fn versioned_checksums(version: u8) -> bool {
+    version >= VERSION_V3
+}
 
 /// Per-run statistics reported alongside the archive.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -614,6 +625,7 @@ pub(crate) fn write_band_header(
     meta: &BandMeta,
     dims: &[usize],
 ) {
+    let start = out.len();
     out.write_bytes(&MAGIC);
     out.write_u8(version);
     out.write_u8(meta.type_tag);
@@ -624,6 +636,12 @@ pub(crate) fn write_band_header(
     out.write_varint(dims.len() as u64);
     for &d in dims {
         out.write_varint(d as u64);
+    }
+    if versioned_checksums(version) {
+        // v3 framing: the header section is sealed by a CRC-32 over exactly
+        // the bytes above, hashed in place from the output buffer.
+        let crc = szr_deflate::crc32(&out.as_bytes()[start..]);
+        out.write_u32(crc);
     }
 }
 
@@ -686,14 +704,14 @@ pub(crate) fn encode_parts(
     let tele = sink.is_some();
     let ((version, huffman_block), encode_nanos) = timed(tele, || match table {
         HuffmanTable::PerBand => (
-            VERSION,
+            VERSION_V3,
             match hist {
                 Some(h) => szr_huffman::compress_u32_from_hist(codes, h),
                 None => szr_huffman::compress_u32(codes, 1usize << meta.interval_bits),
             },
         ),
         HuffmanTable::Shared(codec) => (
-            VERSION_SHARED,
+            VERSION_SHARED_V3,
             szr_huffman::compress_u32_with_codec(codes, codec),
         ),
     });
@@ -724,6 +742,11 @@ pub(crate) fn encode_parts(
         out.write_u8(0);
         out.write_bytes(payload.as_bytes());
     }
+    // v3 trailer: section CRCs over the pre-DEFLATE table (Huffman block)
+    // and payload (escape block) bytes, so verification works identically
+    // for raw and post-passed archives.
+    out.write_u32(szr_deflate::crc32(&huffman_block));
+    out.write_u32(szr_deflate::crc32(unpred_block));
     let bytes = out.into_bytes();
 
     let extra = sink.map(|sink| {

@@ -1,6 +1,8 @@
 //! Decompression: replay the prediction loop from reconstructed values.
 
-use crate::compress::{MAGIC, VERSION, VERSION_SHARED};
+use crate::compress::{
+    versioned_checksums, MAGIC, VERSION, VERSION_SHARED, VERSION_SHARED_V3, VERSION_V3,
+};
 use crate::float::ScalarFloat;
 use crate::kernel::ScanKernel;
 use crate::quant::Quantizer;
@@ -11,28 +13,162 @@ use szr_huffman::{HuffmanCodec, SymbolDecoder};
 use szr_telemetry::{timed, Counter, Stage, TelemetrySink};
 use szr_tensor::{Shape, Tensor};
 
+/// How much larger than the archive itself a declared output may be before
+/// the header is rejected as implausible (elements per archive byte).
+///
+/// The Huffman layer enforces ≥ 1 bit per symbol and DEFLATE expands at
+/// most ~1032×, so a genuine archive carries at least one byte per ~8256
+/// elements; a 64× slack above that keeps every real archive decodable
+/// while a hostile 16-byte header can no longer request a multi-GiB
+/// allocation.
+const MAX_ELEMS_PER_ARCHIVE_BYTE: u64 = 1 << 16;
+
+/// Checks a declared element count against the bytes actually present —
+/// the untrusted-input allocation bound shared by every decode entry point
+/// (and by container decoders in dependent crates).
+pub fn check_declared_len(total: usize, archive_bytes: usize) -> Result<()> {
+    if total as u64 > (archive_bytes as u64 + 1) * MAX_ELEMS_PER_ARCHIVE_BYTE {
+        return Err(SzError::Corrupt(format!(
+            "header: declared {total} elements implausible for a {archive_bytes}-byte archive"
+        )));
+    }
+    Ok(())
+}
+
+/// How strictly a decode treats the v3 integrity checksums.
+///
+/// * [`DecodePolicy::Strict`] — today's behavior: sections are parsed and
+///   structurally validated but stored CRCs are not recomputed. The only
+///   choice that exists for v1/v2 archives, which carry no checksums.
+/// * [`DecodePolicy::Verify`] — every stored CRC (header, table, payload)
+///   is recomputed; a mismatch fails with [`SzError::Corrupt`] naming the
+///   section.
+/// * [`DecodePolicy::Salvage`] — container decodes (chunked, stream) keep
+///   going past damaged bands, filling them with a declared value and
+///   reporting the damage; on a single band archive this behaves like
+///   [`DecodePolicy::Verify`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DecodePolicy {
+    /// Parse-only validation (no checksum recomputation).
+    #[default]
+    Strict,
+    /// Recompute and require every stored section checksum.
+    Verify,
+    /// Verify, but let container decodes degrade gracefully per band.
+    Salvage,
+}
+
+impl DecodePolicy {
+    /// Whether this policy recomputes stored checksums.
+    pub fn verifies(self) -> bool {
+        !matches!(self, DecodePolicy::Strict)
+    }
+}
+
+/// One damaged band found during a salvage decode.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BandDamage {
+    /// Band index in container order.
+    pub band: usize,
+    /// Byte range of the band's serialized archive within the container.
+    pub byte_range: (usize, usize),
+    /// The typed error the band decode failed with.
+    pub error: String,
+}
+
+/// Outcome of a salvage decode: which bands survived, which were replaced
+/// by the fill value, and where their bytes lived.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SalvageReport {
+    /// Total bands the container declared.
+    pub bands: usize,
+    /// Indices of bands recovered bit-identically.
+    pub recovered: Vec<usize>,
+    /// Damaged bands, in container order.
+    pub damaged: Vec<BandDamage>,
+    /// Fill value written over every damaged band's extent.
+    pub fill: f64,
+}
+
+impl SalvageReport {
+    /// True when every band decoded (nothing was filled).
+    pub fn is_clean(&self) -> bool {
+        self.damaged.is_empty()
+    }
+
+    /// Human-readable multi-line rendering (one line per damaged band).
+    pub fn to_text(&self) -> String {
+        let mut s = format!(
+            "salvage: {} of {} bands recovered, {} damaged (fill {})\n",
+            self.recovered.len(),
+            self.bands,
+            self.damaged.len(),
+            self.fill
+        );
+        for d in &self.damaged {
+            s.push_str(&format!(
+                "  band {} bytes {}..{}: {}\n",
+                d.band, d.byte_range.0, d.byte_range.1, d.error
+            ));
+        }
+        s
+    }
+
+    /// Hand-rolled JSON rendering (mirrors the telemetry report style).
+    pub fn to_json(&self) -> String {
+        let mut s = format!(
+            "{{\"bands\":{},\"recovered\":{:?},\"fill\":{},\"damaged\":[",
+            self.bands, self.recovered, self.fill
+        );
+        for (i, d) in self.damaged.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"band\":{},\"start\":{},\"end\":{},\"error\":{:?}}}",
+                d.band, d.byte_range.0, d.byte_range.1, d.error
+            ));
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
 /// Parsed archive header (everything before the payload sections).
 struct Header {
     type_tag: u8,
     layers: usize,
     interval_bits: u32,
     decorrelate: bool,
-    /// Version-2 archive: the Huffman table lives in the owning container.
+    /// Shared-stream archive: the Huffman table lives in the owning
+    /// container.
     shared_stream: bool,
+    /// v3 framing: the archive carries section checksums.
+    checksummed: bool,
+    /// Stored vs recomputed header CRC agreement (`None` for v1/v2).
+    /// Recorded during the parse, acted on by the caller's policy.
+    header_crc_ok: Option<bool>,
     eb: f64,
     shape: Shape,
 }
 
-fn parse_header(reader: &mut ByteReader<'_>) -> Result<Header> {
+/// Parses a band-archive header. `bytes` is the full archive and `reader`
+/// must be positioned at its start — the v3 header checksum is recomputed
+/// over the exact bytes consumed, allocation-free.
+fn parse_header(bytes: &[u8], reader: &mut ByteReader<'_>) -> Result<Header> {
     let magic = reader.read_bytes(4)?;
     if magic != MAGIC {
         return Err(SzError::Corrupt("bad magic bytes".into()));
     }
     let version = reader.read_u8()?;
-    if version != VERSION && version != VERSION_SHARED {
+    if !matches!(
+        version,
+        VERSION | VERSION_SHARED | VERSION_V3 | VERSION_SHARED_V3
+    ) {
         return Err(SzError::Corrupt(format!("unsupported version {version}")));
     }
-    let shared_stream = version == VERSION_SHARED;
+    let shared_stream = version == VERSION_SHARED || version == VERSION_SHARED_V3;
+    let checksummed = versioned_checksums(version);
     let type_tag = reader.read_u8()?;
     let layers = reader.read_u8()? as usize;
     let interval_bits = reader.read_u8()? as u32;
@@ -68,12 +204,22 @@ fn parse_header(reader: &mut ByteReader<'_>) -> Result<Header> {
         }
         *slot = d;
     }
+    let header_crc_ok = if checksummed {
+        let consumed = bytes.len() - reader.remaining();
+        let computed = szr_deflate::crc32(&bytes[..consumed]);
+        let stored = reader.read_u32()?;
+        Some(stored == computed)
+    } else {
+        None
+    };
     Ok(Header {
         type_tag,
         layers,
         interval_bits,
         decorrelate,
         shared_stream,
+        checksummed,
+        header_crc_ok,
         eb,
         shape: Shape::new(&dims[..ndim]),
     })
@@ -94,10 +240,12 @@ pub struct ArchiveInfo {
     pub interval_bits: u32,
     /// Whether error-decorrelation mode was active.
     pub decorrelated: bool,
-    /// Version-2 band archive: its Huffman table is shared and lives in the
-    /// owning container, so it decodes only via
+    /// Shared-stream band archive: its Huffman table is shared and lives in
+    /// the owning container, so it decodes only via
     /// [`decompress_shared_with_kernel`].
     pub shared_stream: bool,
+    /// v3 framing: the archive carries per-section CRC-32 checksums.
+    pub checksummed: bool,
     /// Total archive size in bytes.
     pub archive_bytes: usize,
 }
@@ -124,7 +272,7 @@ impl ArchiveInfo {
 /// Parses an archive header without decompressing the payload.
 pub fn inspect(bytes: &[u8]) -> Result<ArchiveInfo> {
     let mut reader = ByteReader::new(bytes);
-    let header = parse_header(&mut reader)?;
+    let header = parse_header(bytes, &mut reader)?;
     Ok(info_from(&header, bytes.len()))
 }
 
@@ -137,6 +285,7 @@ fn info_from(header: &Header, archive_bytes: usize) -> ArchiveInfo {
         interval_bits: header.interval_bits,
         decorrelated: header.decorrelate,
         shared_stream: header.shared_stream,
+        checksummed: header.checksummed,
         archive_bytes,
     }
 }
@@ -177,13 +326,18 @@ pub struct BandLayout {
 /// Huffman table, code stream, escape stream — without reconstructing any
 /// data, and reports where the bytes went. Corrupt or truncated archives
 /// fail with the section named (`header: …`, `table: …`, `payload: …`), the
-/// introspection backbone of `szr inspect`.
+/// introspection backbone of `szr inspect` and `szr verify`. Checksummed
+/// (v3) archives have every stored section CRC recomputed, so this is a
+/// full integrity check that never allocates an output tensor.
 ///
 /// # Errors
 /// [`SzError::Corrupt`] naming the failing section.
 pub fn inspect_layout(bytes: &[u8]) -> Result<BandLayout> {
     let mut reader = ByteReader::new(bytes);
-    let header = parse_header(&mut reader).map_err(|e| in_section("header", e))?;
+    let header = parse_header(bytes, &mut reader).map_err(|e| in_section("header", e))?;
+    if header.header_crc_ok == Some(false) {
+        return Err(SzError::Corrupt("header: checksum mismatch".into()));
+    }
     let info = info_from(&header, bytes.len());
     let post = reader
         .read_u8()
@@ -216,6 +370,20 @@ pub fn inspect_layout(bytes: &[u8]) -> Result<BandLayout> {
         }
         _ => return Err(SzError::Corrupt("payload: unknown post-pass".into())),
     };
+    if header.checksummed {
+        let table_crc = reader
+            .read_u32()
+            .map_err(|e| in_section("table", e.into()))?;
+        let payload_crc = reader
+            .read_u32()
+            .map_err(|e| in_section("payload", e.into()))?;
+        if table_crc != szr_deflate::crc32(huffman_block) {
+            return Err(SzError::Corrupt("table: checksum mismatch".into()));
+        }
+        if payload_crc != szr_deflate::crc32(unpred_block) {
+            return Err(SzError::Corrupt("payload: checksum mismatch".into()));
+        }
+    }
     let total = info.len();
     let (count, code_stream_bytes, table_symbols, table_depth) = if header.shared_stream {
         let block = szr_huffman::parse_shared_block(huffman_block)
@@ -292,16 +460,31 @@ impl<T: ScalarFloat> Default for DecodeScratch<T> {
 /// reconstruction without materializing the symbol vector (see
 /// [`decompress_staged`] for the staged oracle).
 pub fn decompress<T: ScalarFloat>(bytes: &[u8]) -> Result<Tensor<T>> {
+    decompress_with_policy(bytes, DecodePolicy::Strict)
+}
+
+/// [`decompress`] under an explicit [`DecodePolicy`]:
+/// [`DecodePolicy::Verify`] (and [`DecodePolicy::Salvage`], equivalent on a
+/// single band) recomputes every stored v3 section checksum and rejects the
+/// archive with a section-named [`SzError::Corrupt`] on mismatch. v1/v2
+/// archives carry no checksums, so every policy behaves like
+/// [`DecodePolicy::Strict`] on them.
+pub fn decompress_with_policy<T: ScalarFloat>(
+    bytes: &[u8],
+    policy: DecodePolicy,
+) -> Result<Tensor<T>> {
     let mut reader = ByteReader::new(bytes);
-    let header = parse_header(&mut reader)?;
+    let header = parse_header(bytes, &mut reader)?;
     let mut kernel = ScanKernel::for_shape(header.layers, &header.shape);
     decompress_parsed(
         header,
         reader,
+        bytes.len(),
         &mut kernel,
         None,
         &mut DecodeScratch::default(),
         false,
+        policy,
         None,
     )
 }
@@ -315,15 +498,17 @@ pub fn decompress<T: ScalarFloat>(bytes: &[u8]) -> Result<Tensor<T>> {
 /// stops at the first bad row).
 pub fn decompress_staged<T: ScalarFloat>(bytes: &[u8]) -> Result<Tensor<T>> {
     let mut reader = ByteReader::new(bytes);
-    let header = parse_header(&mut reader)?;
+    let header = parse_header(bytes, &mut reader)?;
     let mut kernel = ScanKernel::for_shape(header.layers, &header.shape);
     decompress_parsed(
         header,
         reader,
+        bytes.len(),
         &mut kernel,
         None,
         &mut DecodeScratch::default(),
         true,
+        DecodePolicy::Strict,
         None,
     )
 }
@@ -339,7 +524,7 @@ pub fn decompress_staged_shared_with_kernel<T: ScalarFloat>(
     kernel: &mut ScanKernel,
 ) -> Result<Tensor<T>> {
     let mut reader = ByteReader::new(bytes);
-    let header = parse_header(&mut reader)?;
+    let header = parse_header(bytes, &mut reader)?;
     if kernel.layers() != header.layers || !kernel.matches(&header.shape) {
         return Err(SzError::InvalidConfig(
             "kernel does not match archive shape and layer count",
@@ -348,10 +533,12 @@ pub fn decompress_staged_shared_with_kernel<T: ScalarFloat>(
     decompress_parsed(
         header,
         reader,
+        bytes.len(),
         kernel,
         Some(codec),
         &mut DecodeScratch::default(),
         true,
+        DecodePolicy::Strict,
         None,
     )
 }
@@ -367,12 +554,13 @@ pub(crate) fn decompress_cached<T: ScalarFloat>(
     codec: Option<&HuffmanCodec>,
     kernels: &mut Vec<ScanKernel>,
     scratch: &mut DecodeScratch<T>,
+    policy: DecodePolicy,
     sink: Option<&dyn TelemetrySink>,
 ) -> Result<Tensor<T>> {
     let sink = sink.filter(|s| s.enabled());
     let tele = sink.is_some();
     let mut reader = ByteReader::new(bytes);
-    let (header, header_nanos) = timed(tele, || parse_header(&mut reader));
+    let (header, header_nanos) = timed(tele, || parse_header(bytes, &mut reader));
     let header = header?;
     if let Some(sink) = sink {
         sink.span(
@@ -396,10 +584,12 @@ pub(crate) fn decompress_cached<T: ScalarFloat>(
     decompress_parsed(
         header,
         reader,
+        bytes.len(),
         &mut kernels[idx],
         codec,
         scratch,
         false,
+        policy,
         sink,
     )
 }
@@ -422,7 +612,7 @@ pub fn decompress_with_kernel<T: ScalarFloat>(
     kernel: &mut ScanKernel,
 ) -> Result<Tensor<T>> {
     let mut reader = ByteReader::new(bytes);
-    let header = parse_header(&mut reader)?;
+    let header = parse_header(bytes, &mut reader)?;
     if kernel.layers() != header.layers || !kernel.matches(&header.shape) {
         return Err(SzError::InvalidConfig(
             "kernel does not match archive shape and layer count",
@@ -431,10 +621,12 @@ pub fn decompress_with_kernel<T: ScalarFloat>(
     decompress_parsed(
         header,
         reader,
+        bytes.len(),
         kernel,
         None,
         &mut DecodeScratch::default(),
         false,
+        DecodePolicy::Strict,
         None,
     )
 }
@@ -453,7 +645,7 @@ pub fn decompress_shared_with_kernel<T: ScalarFloat>(
     kernel: &mut ScanKernel,
 ) -> Result<Tensor<T>> {
     let mut reader = ByteReader::new(bytes);
-    let header = parse_header(&mut reader)?;
+    let header = parse_header(bytes, &mut reader)?;
     if kernel.layers() != header.layers || !kernel.matches(&header.shape) {
         return Err(SzError::InvalidConfig(
             "kernel does not match archive shape and layer count",
@@ -462,10 +654,12 @@ pub fn decompress_shared_with_kernel<T: ScalarFloat>(
     decompress_parsed(
         header,
         reader,
+        bytes.len(),
         kernel,
         Some(codec),
         &mut DecodeScratch::default(),
         false,
+        DecodePolicy::Strict,
         None,
     )
 }
@@ -486,10 +680,12 @@ pub fn decompress_shared_with_kernel<T: ScalarFloat>(
 fn decompress_parsed<T: ScalarFloat>(
     header: Header,
     mut reader: ByteReader<'_>,
+    archive_len: usize,
     kernel: &mut ScanKernel,
     codec: Option<&HuffmanCodec>,
     scratch: &mut DecodeScratch<T>,
     staged: bool,
+    policy: DecodePolicy,
     sink: Option<&dyn TelemetrySink>,
 ) -> Result<Tensor<T>> {
     let sink = sink.filter(|s| s.enabled());
@@ -500,30 +696,77 @@ fn decompress_parsed<T: ScalarFloat>(
             found: if header.type_tag == 0 { "f32" } else { "f64" },
         });
     }
-    let post = reader.read_u8()?;
+    if policy.verifies() && header.header_crc_ok == Some(false) {
+        if let Some(sink) = sink {
+            sink.counter(Counter::ChecksumFailures, 1);
+        }
+        return Err(SzError::Corrupt("header: checksum mismatch".into()));
+    }
+    let post = reader
+        .read_u8()
+        .map_err(|e| in_section("payload", e.into()))?;
     let inflated;
     let (huffman_block, unpred_block): (&[u8], &[u8]) = match post {
         0 => {
-            let h = reader.read_len_prefixed()?;
-            let u = reader.read_len_prefixed()?;
+            let h = reader
+                .read_len_prefixed()
+                .map_err(|e| in_section("payload", e.into()))?;
+            let u = reader
+                .read_len_prefixed()
+                .map_err(|e| in_section("payload", e.into()))?;
             (h, u)
         }
         1 => {
-            let deflated = reader.read_len_prefixed()?;
+            let deflated = reader
+                .read_len_prefixed()
+                .map_err(|e| in_section("payload", e.into()))?;
             let (res, inflate_nanos) = timed(tele, || szr_deflate::deflate_decompress(deflated));
-            inflated = res.map_err(|e| SzError::Corrupt(e.to_string()))?;
+            inflated = res.map_err(|e| SzError::Corrupt(format!("payload: {e}")))?;
             if let Some(sink) = sink {
                 sink.span(Stage::Deflate, inflate_nanos, inflated.len() as u64);
             }
             let mut pr = ByteReader::new(&inflated);
-            let h = pr.read_len_prefixed()?;
-            let u = pr.read_len_prefixed()?;
+            let h = pr
+                .read_len_prefixed()
+                .map_err(|e| in_section("payload", e.into()))?;
+            let u = pr
+                .read_len_prefixed()
+                .map_err(|e| in_section("payload", e.into()))?;
             (h, u)
         }
-        _ => return Err(SzError::Corrupt("unknown payload post-pass".into())),
+        _ => return Err(SzError::Corrupt("payload: unknown post-pass".into())),
     };
+    if header.checksummed {
+        // v3 trailer: section CRCs are part of the framing, so their
+        // presence is required under every policy; recomputation happens
+        // only when the policy verifies.
+        let table_crc = reader
+            .read_u32()
+            .map_err(|e| in_section("table", e.into()))?;
+        let payload_crc = reader
+            .read_u32()
+            .map_err(|e| in_section("payload", e.into()))?;
+        if policy.verifies() {
+            if table_crc != szr_deflate::crc32(huffman_block) {
+                if let Some(sink) = sink {
+                    sink.counter(Counter::ChecksumFailures, 1);
+                }
+                return Err(SzError::Corrupt("table: checksum mismatch".into()));
+            }
+            if payload_crc != szr_deflate::crc32(unpred_block) {
+                if let Some(sink) = sink {
+                    sink.counter(Counter::ChecksumFailures, 1);
+                }
+                return Err(SzError::Corrupt("payload: checksum mismatch".into()));
+            }
+        }
+    }
 
     let total = header.shape.len();
+    // Untrusted-input allocation bound: the header's element count must be
+    // plausible against the bytes actually present before the output (or
+    // the staged symbol vector) is sized from it.
+    check_declared_len(total, archive_len)?;
     let eb_q = if header.decorrelate {
         header.eb / 2.0
     } else {
@@ -551,12 +794,20 @@ fn decompress_parsed<T: ScalarFloat>(
             let codec = codec.ok_or_else(|| {
                 SzError::Corrupt("archive needs its container's shared huffman table".into())
             })?;
-            (szr_huffman::parse_shared_block(huffman_block)?, codec)
+            (
+                szr_huffman::parse_shared_block(huffman_block)
+                    .map_err(|e| in_section("table", e.into()))?,
+                codec,
+            )
         } else {
-            let block = szr_huffman::parse_block(huffman_block)?;
+            let block = szr_huffman::parse_block(huffman_block)
+                .map_err(|e| in_section("table", e.into()))?;
             let hit = cached_codec.is_some() && table_key.as_slice() == block.table;
             if !hit {
-                *cached_codec = Some(szr_huffman::codec_for_block(&block)?);
+                *cached_codec = Some(
+                    szr_huffman::codec_for_block(&block)
+                        .map_err(|e| in_section("table", e.into()))?,
+                );
                 table_key.clear();
                 table_key.extend_from_slice(block.table);
             }
@@ -574,7 +825,7 @@ fn decompress_parsed<T: ScalarFloat>(
         };
         if block.count != total {
             return Err(SzError::Corrupt(format!(
-                "code stream has {} entries for {} points",
+                "payload: code stream has {} entries for {} points",
                 block.count, total
             )));
         }
@@ -613,14 +864,16 @@ fn decompress_parsed<T: ScalarFloat>(
         let codec = codec.ok_or_else(|| {
             SzError::Corrupt("archive needs its container's shared huffman table".into())
         })?;
-        szr_huffman::decompress_u32_with_codec_into(huffman_block, codec, codes)?;
+        szr_huffman::decompress_u32_with_codec_into(huffman_block, codec, codes)
+            .map_err(|e| in_section("table", e.into()))?;
     } else {
-        szr_huffman::decompress_u32_into(huffman_block, codes)?;
+        szr_huffman::decompress_u32_into(huffman_block, codes)
+            .map_err(|e| in_section("table", e.into()))?;
     }
     let codes: &[u32] = codes;
     if codes.len() != total {
         return Err(SzError::Corrupt(format!(
-            "code stream has {} entries for {} points",
+            "payload: code stream has {} entries for {} points",
             codes.len(),
             total
         )));

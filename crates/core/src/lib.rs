@@ -87,6 +87,37 @@
 //! dispatch decision. Setting `SZR_FORCE_SCALAR=1` (or calling the
 //! test-oriented [`force_scalar`]) pins the scalar fallback; CI runs the
 //! full kernel/quant/decode test surface that way on every push.
+//!
+//! ## Archive integrity (v3 framing)
+//!
+//! Band archives are written in the **v3 checksummed framing**: the v1/v2
+//! layout plus a CRC-32 sealing the header fields (version byte 3 for
+//! self-contained archives, 4 for shared-stream ones) and a trailing
+//! `table CRC · payload CRC` pair over the pre-DEFLATE Huffman block and
+//! escape block. The checksums are hashed in place during the write, so
+//! the fused path's 1-allocation steady state is preserved. v1/v2 archives
+//! remain fully decodable — they simply carry nothing to verify.
+//!
+//! How strictly a decode treats the checksums is a [`DecodePolicy`]:
+//!
+//! * [`DecodePolicy::Strict`] (the default everywhere) parses and
+//!   structurally validates but does not recompute CRCs — today's behavior
+//!   on old archives.
+//! * [`DecodePolicy::Verify`] ([`decompress_with_policy`],
+//!   [`CodecSession::set_decode_policy`]) recomputes every stored CRC and
+//!   rejects a mismatching section with a typed [`SzError::Corrupt`] naming
+//!   it (`header: …`, `table: …`, `payload: …` — the same section names
+//!   `inspect_layout` uses).
+//! * [`DecodePolicy::Salvage`] lets *container* decodes (`szr-parallel`'s
+//!   chunked archives, [`StreamDecompressor`]) decode every intact band,
+//!   fill damaged bands with a declared value, and report the damage as a
+//!   [`SalvageReport`] instead of failing the whole decode.
+//!
+//! Every decode entry point also bounds untrusted-header allocations: a
+//! declared element count implausible for the archive's actual byte length
+//! is rejected before any output vector is sized from it. `szr verify`
+//! exposes the full integrity walk (structure + checksums, no value
+//! reconstruction) on the command line.
 
 mod compress;
 mod config;
@@ -109,14 +140,14 @@ pub use compress::{
 };
 pub use config::{Config, ErrorBound, IntervalMode};
 pub use decompress::{
-    decompress, decompress_shared_with_kernel, decompress_staged,
-    decompress_staged_shared_with_kernel, decompress_with_kernel, inspect, inspect_layout,
-    ArchiveInfo, BandLayout,
+    check_declared_len, decompress, decompress_shared_with_kernel, decompress_staged,
+    decompress_staged_shared_with_kernel, decompress_with_kernel, decompress_with_policy, inspect,
+    inspect_layout, ArchiveInfo, BandDamage, BandLayout, DecodePolicy, SalvageReport,
 };
 pub use float::ScalarFloat;
 pub use kernel::{Carry, KernelKind, RowVisitor, ScanKernel};
 pub use predict::{layer_coefficients, predict_at, Stencil, StencilSet};
-pub use pwrel::{compress_pointwise_rel, decompress_pointwise_rel};
+pub use pwrel::{compress_pointwise_rel, decompress_pointwise_rel, verify_pointwise_rel};
 pub use quant::{choose_interval_bits, choose_interval_bits_with_kernel, Quantizer};
 pub use session::{covering_codec, CodecSession};
 pub use simd::{force_scalar, level_name as simd_level_name};

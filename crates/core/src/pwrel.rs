@@ -107,7 +107,34 @@ pub fn compress_pointwise_rel<T: ScalarFloat>(
     out.write_len_prefixed(&class_block);
     out.write_len_prefixed(&log_archive);
     out.write_len_prefixed(escapes.as_bytes());
+    // Seal the whole container — header, class stream, embedded log
+    // archive, escape block — with one trailing CRC-32. The embedded
+    // archive carries its own v3 section checksums, but the class/escape
+    // side channels would otherwise be unprotected.
+    let crc = szr_deflate::crc32(out.as_bytes());
+    out.write_u32(crc);
     Ok(out.into_bytes())
+}
+
+/// Consumes and checks the container CRC-32 trailer after the three
+/// len-prefixed sections. Archives written before the trailer existed end
+/// exactly at the last section and are accepted as-is; anything else
+/// trailing that is not a matching CRC is corruption.
+fn verify_container_trailer(bytes: &[u8], reader: &mut ByteReader<'_>) -> Result<()> {
+    match reader.remaining() {
+        0 => Ok(()),
+        4 => {
+            let sealed = reader.pos();
+            let stored = reader.read_u32()?;
+            if szr_deflate::crc32(&bytes[..sealed]) != stored {
+                return Err(SzError::Corrupt("payload: checksum mismatch".into()));
+            }
+            Ok(())
+        }
+        _ => Err(SzError::Corrupt(
+            "payload: trailing bytes after sections".into(),
+        )),
+    }
 }
 
 /// Decompresses an archive produced by [`compress_pointwise_rel`].
@@ -145,9 +172,14 @@ pub fn decompress_pointwise_rel<T: ScalarFloat>(bytes: &[u8]) -> Result<Tensor<T
     }
     let shape = Shape::new(&dims);
     let n = shape.len();
+    // Bound the output allocation by the archive's actual size before
+    // trusting the declared dims any further: a handful of bytes cannot
+    // legitimately encode billions of points.
+    crate::decompress::check_declared_len(n, bytes.len())?;
     let class_block = reader.read_len_prefixed()?;
     let log_archive = reader.read_len_prefixed()?;
     let escape_block = reader.read_len_prefixed()?;
+    verify_container_trailer(bytes, &mut reader)?;
 
     let class_bytes = szr_deflate::deflate_decompress(class_block)
         .map_err(|e| SzError::Corrupt(e.to_string()))?;
@@ -174,6 +206,81 @@ pub fn decompress_pointwise_rel<T: ScalarFloat>(bytes: &[u8]) -> Result<Tensor<T
         out.push(value);
     }
     Ok(Tensor::from_vec(shape, out))
+}
+
+/// Integrity walk of a pointwise-relative archive **without reconstructing
+/// values** — the `szr verify` hook for the `SZRL` family. Checks the
+/// framing and plausibility fields, inflates and sizes the class stream,
+/// verifies the embedded log-domain band archive's v3 checksums through
+/// [`crate::inspect_layout`], and checks the escape block holds exactly one
+/// 8-byte record per escape-classed point.
+///
+/// # Errors
+/// [`SzError::Corrupt`] naming the failing section.
+pub fn verify_pointwise_rel(bytes: &[u8]) -> Result<()> {
+    let mut reader = ByteReader::new(bytes);
+    if reader.read_bytes(4)? != MAGIC {
+        return Err(SzError::Corrupt("bad pointwise-relative magic".into()));
+    }
+    let tag = reader.read_u8()?;
+    if tag > 1 {
+        return Err(SzError::Corrupt(format!("header: unknown type tag {tag}")));
+    }
+    let eb = reader.read_f64()?;
+    if !(eb > 0.0 && eb < 1.0) {
+        return Err(SzError::Corrupt(
+            "header: implausible pointwise bound".into(),
+        ));
+    }
+    let ndim = reader.read_varint()? as usize;
+    if ndim == 0 || ndim > 16 {
+        return Err(SzError::Corrupt("header: implausible rank".into()));
+    }
+    let mut n = 1usize;
+    let mut product = 1u128;
+    for _ in 0..ndim {
+        let d = reader.read_varint()? as usize;
+        if d == 0 {
+            return Err(SzError::Corrupt("header: zero extent".into()));
+        }
+        product *= d as u128;
+        if product > 1 << 40 {
+            return Err(SzError::Corrupt("header: implausible element count".into()));
+        }
+        n *= d;
+    }
+    crate::decompress::check_declared_len(n, bytes.len())?;
+    let class_block = reader.read_len_prefixed()?;
+    let log_archive = reader.read_len_prefixed()?;
+    let escape_block = reader.read_len_prefixed()?;
+    verify_container_trailer(bytes, &mut reader)?;
+
+    let class_bytes = szr_deflate::deflate_decompress(class_block)
+        .map_err(|e| SzError::Corrupt(format!("class stream: {e}")))?;
+    if class_bytes.len() * 4 < n {
+        return Err(SzError::Corrupt("class stream: too short".into()));
+    }
+    // The embedded log-domain archive carries the v3 section checksums;
+    // inspect_layout verifies all of them without reconstruction.
+    let layout = crate::decompress::inspect_layout(log_archive)
+        .map_err(|e| SzError::Corrupt(format!("log archive: {e}")))?;
+    if layout.info.len() != n {
+        return Err(SzError::Corrupt("log archive: length mismatch".into()));
+    }
+    let mut class_reader = szr_bitstream::BitReader::new(&class_bytes);
+    let mut escapes = 0usize;
+    for _ in 0..n {
+        if class_reader.read_bits(2)? == Class::Escape as u64 {
+            escapes += 1;
+        }
+    }
+    if escape_block.len() != 8 * escapes {
+        return Err(SzError::Corrupt(format!(
+            "escape block: {} bytes for {escapes} escape points",
+            escape_block.len()
+        )));
+    }
+    Ok(())
 }
 
 #[cfg(test)]

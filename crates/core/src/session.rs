@@ -45,10 +45,10 @@
 use crate::compress::{
     encode_parts, encode_quantized_sink, quantize_into, quantize_validated_impl,
     resolve_band_params, resolve_range_eb, write_band_header, BandMeta, CompressionStats,
-    EncodeExtra, HuffmanTable, QuantBufs, QuantizedBand, VERSION, VERSION_SHARED,
+    EncodeExtra, HuffmanTable, QuantBufs, QuantizedBand, VERSION_SHARED_V3, VERSION_V3,
 };
 use crate::config::Config;
-use crate::decompress::{decompress_cached, DecodeScratch};
+use crate::decompress::{decompress_cached, DecodePolicy, DecodeScratch};
 use crate::float::ScalarFloat;
 use crate::kernel::{Carry, RowVisitor, ScanKernel};
 use crate::quant::Quantizer;
@@ -114,6 +114,9 @@ pub struct CodecSession<T: ScalarFloat> {
     /// Planner-estimated bits/value to stamp on emitted band records, for
     /// the estimated-vs-actual drift column.
     planned_bits_per_value: Option<f64>,
+    /// How strictly decodes treat v3 section checksums (Strict by default:
+    /// structural validation only, no CRC recompute — today's behavior).
+    decode_policy: DecodePolicy,
 }
 
 /// Fused-scan abort: demotions passed the cap (or the escape code itself
@@ -205,7 +208,23 @@ impl<T: ScalarFloat> CodecSession<T> {
             sink: None,
             band_index: 0,
             planned_bits_per_value: None,
+            decode_policy: DecodePolicy::Strict,
         }
+    }
+
+    /// Sets how the session's decode paths treat v3 section checksums:
+    /// [`DecodePolicy::Strict`] (default) skips CRC recomputation,
+    /// [`DecodePolicy::Verify`] / [`DecodePolicy::Salvage`] recompute every
+    /// stored checksum and reject mismatching sections with a typed error
+    /// naming the section. (Salvage-with-fill semantics live in the
+    /// container decoders; on a single band Salvage behaves like Verify.)
+    pub fn set_decode_policy(&mut self, policy: DecodePolicy) {
+        self.decode_policy = policy;
+    }
+
+    /// The session's current decode policy.
+    pub fn decode_policy(&self) -> DecodePolicy {
+        self.decode_policy
     }
 
     /// Attaches (or detaches) a telemetry sink. Every compress/decompress
@@ -532,7 +551,7 @@ impl<T: ScalarFloat> CodecSession<T> {
                 write_fused_archive(
                     &meta,
                     shape.dims(),
-                    VERSION,
+                    VERSION_V3,
                     Some((&reuse.table_rle, reuse.used)),
                     values.len() as u64,
                     code_bytes,
@@ -636,7 +655,7 @@ impl<T: ScalarFloat> CodecSession<T> {
                 write_fused_archive(
                     &meta,
                     shape.dims(),
-                    VERSION_SHARED,
+                    VERSION_SHARED_V3,
                     None,
                     values.len() as u64,
                     code_bytes,
@@ -741,6 +760,7 @@ impl<T: ScalarFloat> CodecSession<T> {
             None,
             &mut self.kernels,
             &mut self.decode,
+            self.decode_policy,
             sink.as_deref(),
         )
     }
@@ -757,6 +777,7 @@ impl<T: ScalarFloat> CodecSession<T> {
             Some(codec),
             &mut self.kernels,
             &mut self.decode,
+            self.decode_policy,
             sink.as_deref(),
         )
     }
@@ -943,8 +964,8 @@ impl<T: ScalarFloat> RowVisitor<T> for FusedRowQuantizer<'_, T> {
 }
 
 /// Assembles a band archive from fused-encoded parts, byte-compatible with
-/// [`encode_parts`]' layout: for version 1 the Huffman block is
-/// `used · count · RLE-lengths · code bits`, for version 2 (shared stream)
+/// [`encode_parts`]' layout: for self-contained archives the Huffman block
+/// is `used · count · RLE-lengths · code bits`, for shared-stream archives
 /// just `count · code bits`. The section is length-prefixed arithmetically,
 /// so nothing is staged unless the DEFLATE pass needs a contiguous payload.
 #[allow(clippy::too_many_arguments)]
@@ -960,8 +981,12 @@ fn write_fused_archive(
 ) -> (Vec<u8>, CompressionStats) {
     let table_len = table.map_or(0, |(rle, used)| ByteWriter::varint_len(used) + rle.len());
     let block_len = table_len + ByteWriter::varint_len(count) + code_bytes.len();
-    let write_payload = |w: &mut ByteWriter| {
+    // Writes the payload sections and returns the v3 section CRCs, hashed
+    // in place over the bytes just written — no staging copy, so the fused
+    // path's 1-alloc steady state survives the checksummed framing.
+    let write_payload = |w: &mut ByteWriter| -> (u32, u32) {
         w.write_varint(block_len as u64);
+        let block_start = w.len();
         if let Some((_, used)) = table {
             w.write_varint(used);
         }
@@ -970,15 +995,17 @@ fn write_fused_archive(
             w.write_bytes(rle);
         }
         w.write_bytes(code_bytes);
+        let table_crc = szr_deflate::crc32(&w.as_bytes()[block_start..]);
         w.write_len_prefixed(unpred_bytes);
+        (table_crc, szr_deflate::crc32(unpred_bytes))
     };
 
     let mut out =
         ByteWriter::with_capacity(64 + 10 * dims.len() + block_len + unpred_bytes.len() + 24);
     write_band_header(&mut out, version, meta, dims);
-    if meta.lossless_pass {
+    let (table_crc, payload_crc) = if meta.lossless_pass {
         payload_scratch.clear();
-        write_payload(payload_scratch);
+        let crcs = write_payload(payload_scratch);
         let deflated = szr_deflate::deflate_compress(payload_scratch.as_bytes());
         if deflated.len() < payload_scratch.len() {
             out.write_u8(1);
@@ -987,10 +1014,13 @@ fn write_fused_archive(
             out.write_u8(0);
             out.write_bytes(payload_scratch.as_bytes());
         }
+        crcs
     } else {
         out.write_u8(0);
-        write_payload(&mut out);
-    }
+        write_payload(&mut out)
+    };
+    out.write_u32(table_crc);
+    out.write_u32(payload_crc);
     let bytes = out.into_bytes();
 
     let stats = CompressionStats {

@@ -15,7 +15,9 @@
 //! heights; the error bound is untouched.
 
 use crate::config::{Config, ErrorBound};
-use crate::decompress::decompress;
+use crate::decompress::{
+    check_declared_len, decompress_with_policy, BandDamage, DecodePolicy, SalvageReport,
+};
 use crate::float::ScalarFloat;
 use crate::session::CodecSession;
 use crate::{Result, SzError};
@@ -222,9 +224,14 @@ impl<T: ScalarFloat> StreamCompressor<T> {
 
 /// Reads a stream produced by [`StreamCompressor`] band by band.
 pub struct StreamDecompressor<'a, T: ScalarFloat> {
+    /// The full stream, kept for salvage byte-range reporting.
+    base: &'a [u8],
     reader: ByteReader<'a>,
     inner_dims: Vec<usize>,
     remaining_bands: u64,
+    /// Total rows declared by the stream trailer.
+    total_rows: u64,
+    policy: DecodePolicy,
     _marker: std::marker::PhantomData<T>,
 }
 
@@ -260,12 +267,14 @@ impl<'a, T: ScalarFloat> StreamDecompressor<'a, T> {
         // Walk bands to find the trailer.
         let mut probe = reader.clone();
         let mut bands = 0u64;
+        let total_rows;
         loop {
             // Attempt to read a band; when the remaining bytes parse as the
             // trailer (two varints that match), stop.
             let mut trailer_probe = probe.clone();
-            if let (Ok(b), Ok(_rows)) = (trailer_probe.read_varint(), trailer_probe.read_varint()) {
+            if let (Ok(b), Ok(rows)) = (trailer_probe.read_varint(), trailer_probe.read_varint()) {
                 if trailer_probe.remaining() == 0 && b == bands {
+                    total_rows = rows;
                     break;
                 }
             }
@@ -274,12 +283,27 @@ impl<'a, T: ScalarFloat> StreamDecompressor<'a, T> {
                 .map_err(|_| SzError::Corrupt("stream band truncated".into()))?;
             bands += 1;
         }
+        // The trailer's row total sizes salvage output; bound it by the
+        // stream's actual byte length before ever allocating from it.
+        let row_elems: usize = inner_dims.iter().product::<usize>().max(1);
+        check_declared_len((total_rows as usize).saturating_mul(row_elems), bytes.len())?;
         Ok(Self {
+            base: bytes,
             reader,
             inner_dims,
             remaining_bands: bands,
+            total_rows,
+            policy: DecodePolicy::Strict,
             _marker: std::marker::PhantomData,
         })
+    }
+
+    /// Sets how band decodes treat v3 section checksums (see
+    /// [`DecodePolicy`]): `Strict` (default) skips CRC recomputation,
+    /// `Verify`/`Salvage` recompute and reject damaged sections.
+    /// [`Self::collect_all_salvage`] always verifies, regardless.
+    pub fn set_decode_policy(&mut self, policy: DecodePolicy) {
+        self.policy = policy;
     }
 
     /// Inner (per-row) dimensions.
@@ -318,7 +342,7 @@ impl<'a, T: ScalarFloat> StreamDecompressor<'a, T> {
             Ok(b) => b,
             Err(e) => return Some(Err(e.into())),
         };
-        let tensor = match decompress::<T>(band) {
+        let tensor = match decompress_with_policy::<T>(band, self.policy) {
             Ok(t) => t,
             Err(e) => return Some(Err(e)),
         };
@@ -340,6 +364,88 @@ impl<'a, T: ScalarFloat> StreamDecompressor<'a, T> {
         let mut dims = vec![rows];
         dims.extend_from_slice(&self.inner_dims);
         Ok(Tensor::from_vec(&dims[..], data))
+    }
+
+    /// Decodes every intact band of a possibly-damaged stream, verifying
+    /// each band's v3 checksums, and returns the reassembled tensor plus a
+    /// [`SalvageReport`]. Damaged bands' rows are filled with `fill`; their
+    /// row placement comes from the band's declared extent when the header
+    /// still parses plausibly. Once a damaged band's extent is
+    /// unrecoverable, row alignment for everything after it is lost — those
+    /// bands are reported damaged too rather than decoded into the wrong
+    /// rows.
+    ///
+    /// # Errors
+    /// [`SzError::Corrupt`] when the stream-level framing itself (header,
+    /// band length prefixes, trailer) is unusable — there is nothing to
+    /// align a salvage against.
+    pub fn collect_all_salvage(self, fill: T) -> Result<(Tensor<T>, SalvageReport)> {
+        let inner: usize = self.inner_dims.iter().product::<usize>().max(1);
+        let total_rows = self.total_rows as usize;
+        if total_rows == 0 {
+            return Err(SzError::Corrupt("stream trailer declares no rows".into()));
+        }
+        let slices = self.band_slices()?;
+        let base = self.base.as_ptr() as usize;
+        let mut data: Vec<T> = vec![fill; total_rows * inner];
+        let mut report = SalvageReport {
+            bands: slices.len(),
+            recovered: Vec::new(),
+            damaged: Vec::new(),
+            fill: fill.to_f64(),
+        };
+        let mut cursor = 0usize; // rows placed so far
+        let mut aligned = true;
+        for (i, band) in slices.iter().enumerate() {
+            let start = band.as_ptr() as usize - base;
+            let byte_range = (start, start + band.len());
+            if !aligned {
+                report.damaged.push(BandDamage {
+                    band: i,
+                    byte_range,
+                    error: "row alignment lost after earlier damage".into(),
+                });
+                continue;
+            }
+            let rows_fit = |dims: &[usize]| {
+                dims.len() == self.inner_dims.len() + 1
+                    && dims[1..] == self.inner_dims
+                    && cursor + dims[0] <= total_rows
+            };
+            match decompress_with_policy::<T>(band, DecodePolicy::Verify) {
+                Ok(t) if rows_fit(t.dims()) => {
+                    let rows = t.dims()[0];
+                    data[cursor * inner..(cursor + rows) * inner].copy_from_slice(t.as_slice());
+                    report.recovered.push(i);
+                    cursor += rows;
+                }
+                Ok(_) => {
+                    report.damaged.push(BandDamage {
+                        band: i,
+                        byte_range,
+                        error: "band extent disagrees with stream geometry".into(),
+                    });
+                    aligned = false;
+                }
+                Err(e) => {
+                    // Place the damage by the band's declared extent when
+                    // the header still parses and stays consistent with the
+                    // stream geometry; otherwise alignment is lost.
+                    match crate::decompress::inspect(band) {
+                        Ok(info) if rows_fit(&info.dims) => cursor += info.dims[0],
+                        _ => aligned = false,
+                    }
+                    report.damaged.push(BandDamage {
+                        band: i,
+                        byte_range,
+                        error: e.to_string(),
+                    });
+                }
+            }
+        }
+        let mut dims = vec![total_rows];
+        dims.extend_from_slice(&self.inner_dims);
+        Ok((Tensor::from_vec(&dims[..], data), report))
     }
 }
 

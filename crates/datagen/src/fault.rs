@@ -1,0 +1,153 @@
+//! Deterministic archive mutators for fault-injection testing.
+//!
+//! Integrity testing needs *damaged* archives, not just truncated ones:
+//! single flipped bits (storage rot), swapped bytes (transposition faults),
+//! truncations (interrupted writes), and splices (blocks overwritten with
+//! other data). Each mutator here is a pure function of `(bytes, seed)` —
+//! the same splitmix64-style hash the generators use, no RNG state — so a
+//! failing case replays from its seed alone.
+//!
+//! Mutators never extend the input (a mutated archive is at most as long as
+//! the original) and always change at least one byte when the input is
+//! non-empty, so "decoder accepts the mutated archive unchanged" cannot
+//! happen by the mutator being a no-op.
+
+/// One seeded, reproducible archive mutation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mutation {
+    /// Flip a single bit.
+    BitFlip,
+    /// Swap two distinct bytes (and XOR one, so a swap of equal bytes still
+    /// changes the archive).
+    ByteSwap,
+    /// Cut the archive short at a pseudo-random point.
+    Truncate,
+    /// Overwrite a short run of bytes with hash noise.
+    Splice,
+}
+
+impl Mutation {
+    /// All mutators, for sweep loops.
+    pub const ALL: [Mutation; 4] = [
+        Mutation::BitFlip,
+        Mutation::ByteSwap,
+        Mutation::Truncate,
+        Mutation::Splice,
+    ];
+
+    /// Stable display name (used in test diagnostics and CI logs).
+    pub fn name(self) -> &'static str {
+        match self {
+            Mutation::BitFlip => "bit-flip",
+            Mutation::ByteSwap => "byte-swap",
+            Mutation::Truncate => "truncate",
+            Mutation::Splice => "splice",
+        }
+    }
+
+    /// Applies the mutation to a copy of `bytes`, deterministically in
+    /// `seed`. Empty input comes back empty.
+    pub fn apply(self, bytes: &[u8], seed: u64) -> Vec<u8> {
+        let mut out = bytes.to_vec();
+        if out.is_empty() {
+            return out;
+        }
+        let n = out.len();
+        let mut h = hash(seed ^ (self as u64) << 32 ^ n as u64);
+        match self {
+            Mutation::BitFlip => {
+                let bit = (h % (n as u64 * 8)) as usize;
+                out[bit / 8] ^= 1 << (bit % 8);
+            }
+            Mutation::ByteSwap => {
+                let i = (h % n as u64) as usize;
+                h = hash(h);
+                let j = (h % n as u64) as usize;
+                out.swap(i, j);
+                if out[i] == out[j] {
+                    // A swap of equal bytes is a no-op; force a change.
+                    out[i] ^= 0x5A;
+                }
+            }
+            Mutation::Truncate => {
+                // Keep at least one byte off so the cut is a real change;
+                // short prefixes (header-only damage) are the common case
+                // worth hitting often.
+                out.truncate((h % n as u64) as usize);
+            }
+            Mutation::Splice => {
+                let run = 1 + (h % 16) as usize;
+                h = hash(h);
+                let start = (h % n as u64) as usize;
+                for (k, b) in out[start..n.min(start + run)].iter_mut().enumerate() {
+                    h = hash(h ^ k as u64);
+                    let noise = (h >> 32) as u8;
+                    // Overwrite-with-identical is a no-op; bump it.
+                    *b = if noise == *b { noise ^ 0xA5 } else { noise };
+                }
+            }
+        }
+        out
+    }
+}
+
+/// splitmix64 finalizer — the same mixing constant the data generators use.
+fn hash(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<u8> {
+        (0..257u32)
+            .map(|i| (i.wrapping_mul(37) >> 2) as u8)
+            .collect()
+    }
+
+    #[test]
+    fn mutations_are_deterministic_in_the_seed() {
+        let bytes = sample();
+        for m in Mutation::ALL {
+            for seed in 0..8 {
+                assert_eq!(m.apply(&bytes, seed), m.apply(&bytes, seed), "{m:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn mutations_always_change_a_nonempty_input() {
+        let bytes = sample();
+        for m in Mutation::ALL {
+            for seed in 0..64 {
+                let mutated = m.apply(&bytes, seed);
+                assert_ne!(mutated, bytes, "{} seed {seed} was a no-op", m.name());
+                assert!(mutated.len() <= bytes.len());
+            }
+        }
+        // Equal-byte swap still changes the archive.
+        let flat = vec![7u8; 64];
+        for seed in 0..64 {
+            assert_ne!(Mutation::ByteSwap.apply(&flat, seed), flat);
+        }
+    }
+
+    #[test]
+    fn empty_input_stays_empty() {
+        for m in Mutation::ALL {
+            assert!(m.apply(&[], 3).is_empty());
+        }
+    }
+
+    #[test]
+    fn seeds_explore_different_damage() {
+        let bytes = sample();
+        let a = Mutation::BitFlip.apply(&bytes, 1);
+        let b = Mutation::BitFlip.apply(&bytes, 2);
+        assert_ne!(a, b);
+    }
+}

@@ -22,11 +22,13 @@
 //! properties, not from the exact physical values — see DESIGN.md §4.
 
 mod atm;
+mod fault;
 mod field;
 mod hurricane;
 mod xray;
 
 pub use atm::{atm, AtmVariable};
+pub use fault::Mutation;
 pub use field::{smooth_separable, white_noise};
 pub use hurricane::{hurricane, hurricane_at};
 pub use xray::aps;

@@ -23,18 +23,58 @@ fn table() -> [u32; 256] {
     t
 }
 
-/// CRC-32 of `data` (initial value 0, as gzip expects).
-pub fn crc32(data: &[u8]) -> u32 {
+fn shared_table() -> &'static [u32; 256] {
     // The table is tiny; building it per call would be fine, but caching is
     // free with OnceLock.
     use std::sync::OnceLock;
     static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
-    let t = TABLE.get_or_init(table);
-    let mut crc = 0xFFFF_FFFFu32;
-    for &b in data {
-        crc = (crc >> 8) ^ t[((crc ^ b as u32) & 0xFF) as usize];
+    TABLE.get_or_init(table)
+}
+
+/// CRC-32 of `data` (initial value 0, as gzip expects).
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut h = Crc32::new();
+    h.update(data);
+    h.finish()
+}
+
+/// Incremental CRC-32 hasher over the same polynomial as [`crc32`].
+///
+/// Lets writers checksum byte spans as they are produced (e.g. hashing a
+/// serialized header in place) without staging them into a contiguous
+/// scratch buffer — feeding the same bytes in any split yields the same
+/// digest as one [`crc32`] call.
+#[derive(Clone, Copy, Debug)]
+pub struct Crc32 {
+    crc: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
     }
-    !crc
+}
+
+impl Crc32 {
+    /// Starts a fresh digest.
+    pub fn new() -> Self {
+        Self { crc: 0xFFFF_FFFF }
+    }
+
+    /// Folds `data` into the digest.
+    pub fn update(&mut self, data: &[u8]) {
+        let t = shared_table();
+        let mut crc = self.crc;
+        for &b in data {
+            crc = (crc >> 8) ^ t[((crc ^ b as u32) & 0xFF) as usize];
+        }
+        self.crc = crc;
+    }
+
+    /// Finalizes and returns the CRC-32 value.
+    pub fn finish(self) -> u32 {
+        !self.crc
+    }
 }
 
 #[cfg(test)]
@@ -54,5 +94,16 @@ mod tests {
         let a = crc32(b"hello world");
         let b = crc32(b"hello worle");
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn incremental_matches_one_shot() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        for split in [0, 1, 7, data.len() / 2, data.len()] {
+            let mut h = Crc32::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finish(), crc32(data));
+        }
     }
 }

@@ -24,7 +24,7 @@ mod crc32;
 mod gzip;
 mod lz77;
 
-pub use crc32::crc32;
+pub use crc32::{crc32, Crc32};
 pub use gzip::{gzip_compress, gzip_decompress};
 
 /// Errors produced while inflating a corrupt stream.

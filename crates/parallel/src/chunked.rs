@@ -5,8 +5,8 @@ use std::sync::{Arc, Mutex};
 
 use szr_bitstream::{ByteReader, ByteWriter};
 use szr_core::{
-    encode_quantized, CodecSession, Config, ErrorBound, HuffmanTable, QuantizedBand, Result,
-    ScalarFloat, SzError,
+    check_declared_len, encode_quantized, BandDamage, CodecSession, Config, DecodePolicy,
+    ErrorBound, HuffmanTable, QuantizedBand, Result, SalvageReport, ScalarFloat, SzError,
 };
 use szr_huffman::HuffmanCodec;
 use szr_metrics::{value_range, Real};
@@ -757,6 +757,20 @@ pub fn decompress_chunked<T: ScalarFloat + Send + Sync>(
     decompress_chunked_telemetry(archive, threads, None)
 }
 
+/// [`decompress_chunked`] under an explicit [`DecodePolicy`]:
+/// [`DecodePolicy::Strict`] matches [`decompress_chunked`] exactly, while
+/// `Verify`/`Salvage` make every worker recompute each band's v3 section
+/// checksums and fail the decode on the first mismatch (section-named
+/// error). For fill-and-continue semantics on damaged bands use
+/// [`decompress_chunked_salvage`] instead.
+pub fn decompress_chunked_with_policy<T: ScalarFloat + Send + Sync>(
+    archive: &ChunkedArchive,
+    threads: usize,
+    policy: DecodePolicy,
+) -> Result<Tensor<T>> {
+    decompress_chunked_policy_telemetry(archive, threads, policy, None)
+}
+
 /// [`decompress_chunked`] with optional telemetry: header/deflate/symbol
 /// decode/row reconstruction spans plus kernel- and codec-table-cache
 /// counters from every worker merge into `sink`. Output is identical with
@@ -766,19 +780,36 @@ pub fn decompress_chunked_telemetry<T: ScalarFloat + Send + Sync>(
     threads: usize,
     sink: Option<&RecordingSink>,
 ) -> Result<Tensor<T>> {
-    let shape = Shape::new(&archive.dims);
-    let row_elems: usize = archive.dims[1..].iter().product::<usize>().max(1);
-    let mut out: Vec<T> = vec![T::from_f64(0.0); shape.len()];
-    let threads = threads.clamp(1, archive.chunks.len().max(1));
+    decompress_chunked_policy_telemetry(archive, threads, DecodePolicy::Strict, sink)
+}
 
-    // The shared codec (if any) is rebuilt once and lent to every worker;
-    // version-1 bands ignore it.
-    let shared = archive
+/// Decodes every band of `archive` in parallel under `policy`, returning
+/// per-band results in band order. The shared codec (if any) is rebuilt
+/// once and lent to every worker; version-1 bands ignore it. A corrupt
+/// shared table is an error in strict/verify stitching but surfaces here as
+/// `Err` per shared-stream band, which is what salvage wants.
+#[allow(clippy::type_complexity)]
+fn decode_bands<T: ScalarFloat + Send + Sync>(
+    archive: &ChunkedArchive,
+    threads: usize,
+    policy: DecodePolicy,
+    sink: Option<&RecordingSink>,
+) -> (Result<()>, Vec<Result<Tensor<T>>>) {
+    let threads = threads.clamp(1, archive.chunks.len().max(1));
+    let shared = match archive
         .shared_table
         .as_deref()
         .map(szr_huffman::deserialize_codec)
         .transpose()
-        .map_err(|e| SzError::Corrupt(format!("shared huffman table: {e}")))?;
+    {
+        Ok(codec) => codec,
+        Err(e) => {
+            return (
+                Err(SzError::Corrupt(format!("shared huffman table: {e}"))),
+                Vec::new(),
+            )
+        }
+    };
 
     // Decode bands in parallel, then stitch; band extents are re-derived
     // from each chunk's own header so a corrupt archive fails loudly.
@@ -794,6 +825,7 @@ pub fn decompress_chunked_telemetry<T: ScalarFloat + Send + Sync>(
                 // count and stride family) and symbol scratch serve every
                 // band the worker claims.
                 let mut session = CodecSession::<T>::decoder();
+                session.set_decode_policy(policy);
                 let ws = worker_sink(sink);
                 attach(&mut session, &ws);
                 loop {
@@ -811,13 +843,36 @@ pub fn decompress_chunked_telemetry<T: ScalarFloat + Send + Sync>(
             });
         }
     });
+    let results = decoded
+        .into_iter()
+        .map(|cell| {
+            cell.into_inner()
+                .unwrap()
+                .expect("every band is claimed exactly once")
+        })
+        .collect();
+    (Ok(()), results)
+}
+
+/// [`decompress_chunked_with_policy`] with optional telemetry.
+pub fn decompress_chunked_policy_telemetry<T: ScalarFloat + Send + Sync>(
+    archive: &ChunkedArchive,
+    threads: usize,
+    policy: DecodePolicy,
+    sink: Option<&RecordingSink>,
+) -> Result<Tensor<T>> {
+    let shape = Shape::new(&archive.dims);
+    let row_elems: usize = archive.dims[1..].iter().product::<usize>().max(1);
+    // Bound the output allocation by the bytes actually present before
+    // trusting the container's declared dims.
+    check_declared_len(shape.len(), archive.compressed_bytes() + 1)?;
+    let mut out: Vec<T> = vec![T::from_f64(0.0); shape.len()];
+    let (setup, decoded) = decode_bands::<T>(archive, threads, policy, sink);
+    setup?;
 
     let mut row = 0usize;
     for cell in decoded {
-        let band = cell
-            .into_inner()
-            .unwrap()
-            .expect("every band is claimed exactly once")?;
+        let band = cell?;
         if band.dims()[1..] != archive.dims[1..] {
             return Err(SzError::Corrupt("band inner dimensions disagree".into()));
         }
@@ -834,6 +889,112 @@ pub fn decompress_chunked_telemetry<T: ScalarFloat + Send + Sync>(
         ));
     }
     Ok(Tensor::from_vec(shape, out))
+}
+
+/// Decodes every intact band of a possibly-damaged [`ChunkedArchive`],
+/// verifying each band's v3 checksums, and returns the stitched tensor plus
+/// a [`SalvageReport`]. Damaged bands' rows are filled with `fill` (intact
+/// bands are bit-identical to a verify decode); a damaged band's row
+/// placement comes from its declared extent when the band header still
+/// parses plausibly, and once that is unrecoverable, alignment for every
+/// later band is lost — those are reported damaged rather than decoded
+/// into the wrong rows. A corrupt *shared table* damages only the
+/// shared-stream bands; self-contained bands still recover.
+///
+/// # Errors
+/// [`SzError::Corrupt`] when the container frame itself (dims implausible
+/// for the byte budget) is unusable — there is nothing to align against.
+pub fn decompress_chunked_salvage<T: ScalarFloat + Send + Sync>(
+    archive: &ChunkedArchive,
+    threads: usize,
+    fill: T,
+) -> Result<(Tensor<T>, SalvageReport)> {
+    decompress_chunked_salvage_telemetry(archive, threads, fill, None)
+}
+
+/// [`decompress_chunked_salvage`] with optional telemetry: on top of the
+/// usual decode spans/counters, the number of filled bands is recorded
+/// under `salvaged_bands`.
+pub fn decompress_chunked_salvage_telemetry<T: ScalarFloat + Send + Sync>(
+    archive: &ChunkedArchive,
+    threads: usize,
+    fill: T,
+    sink: Option<&RecordingSink>,
+) -> Result<(Tensor<T>, SalvageReport)> {
+    let shape = Shape::new(&archive.dims);
+    let row_elems: usize = archive.dims[1..].iter().product::<usize>().max(1);
+    check_declared_len(shape.len(), archive.compressed_bytes() + 1)?;
+    let mut out: Vec<T> = vec![fill; shape.len()];
+    let (_, decoded) = decode_bands::<T>(archive, threads, DecodePolicy::Verify, sink);
+
+    let mut report = SalvageReport {
+        bands: archive.chunks.len(),
+        recovered: Vec::new(),
+        damaged: Vec::new(),
+        fill: fill.to_f64(),
+    };
+    // Byte ranges are offsets into the concatenated band payload region, in
+    // band order — the stable coordinate system a repair tool can map back
+    // onto the serialized container.
+    let mut offset = 0usize;
+    let mut row = 0usize;
+    let mut aligned = true;
+    for (i, result) in decoded.into_iter().enumerate() {
+        let len = archive.chunks[i].len();
+        let byte_range = (offset, offset + len);
+        offset += len;
+        if !aligned {
+            report.damaged.push(BandDamage {
+                band: i,
+                byte_range,
+                error: "row alignment lost after earlier damage".into(),
+            });
+            continue;
+        }
+        let rows_fit = |dims: &[usize]| {
+            dims.len() == archive.dims.len()
+                && dims[1..] == archive.dims[1..]
+                && row + dims[0] <= archive.dims[0]
+        };
+        match result {
+            Ok(band) if rows_fit(band.dims()) => {
+                let rows = band.dims()[0];
+                out[row * row_elems..(row + rows) * row_elems].copy_from_slice(band.as_slice());
+                report.recovered.push(i);
+                row += rows;
+            }
+            Ok(_) => {
+                report.damaged.push(BandDamage {
+                    band: i,
+                    byte_range,
+                    error: "band extent disagrees with container dims".into(),
+                });
+                aligned = false;
+            }
+            Err(e) => {
+                // Place the fill by the band's declared extent when its
+                // header still parses consistently with the container.
+                match szr_core::inspect(&archive.chunks[i]) {
+                    Ok(info) if rows_fit(&info.dims) => row += info.dims[0],
+                    _ => aligned = false,
+                }
+                report.damaged.push(BandDamage {
+                    band: i,
+                    byte_range,
+                    error: e.to_string(),
+                });
+            }
+        }
+    }
+    if let Some(sink) = sink {
+        if !report.damaged.is_empty() {
+            sink.counter(
+                szr_telemetry::Counter::SalvagedBands,
+                report.damaged.len() as u64,
+            );
+        }
+    }
+    Ok((Tensor::from_vec(shape, out), report))
 }
 
 #[cfg(test)]

@@ -30,7 +30,9 @@ pub use chunked::{
     compress_chunked, compress_chunked_fused, compress_chunked_fused_telemetry,
     compress_chunked_planned, compress_chunked_planned_telemetry, compress_chunked_shared,
     compress_chunked_shared_telemetry, compress_chunked_telemetry, decompress_chunked,
-    decompress_chunked_telemetry, ChunkedArchive,
+    decompress_chunked_policy_telemetry, decompress_chunked_salvage,
+    decompress_chunked_salvage_telemetry, decompress_chunked_telemetry,
+    decompress_chunked_with_policy, ChunkedArchive,
 };
 pub use io_model::{io_breakdown, IoBreakdown, IoModel};
 pub use scaling::{measure_scaling, model_cluster_scaling, ClusterModel, Direction, ScalingPoint};

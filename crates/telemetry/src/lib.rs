@@ -108,11 +108,15 @@ pub enum Counter {
     FusedDemotions,
     /// Fused table-reuse watchdog reseeds (drift forced a staged re-encode).
     FusedTableReseeds,
+    /// Archive sections whose stored CRC-32 did not match the bytes read.
+    ChecksumFailures,
+    /// Damaged bands replaced with the fill value during a salvage decode.
+    SalvagedBands,
 }
 
 impl Counter {
     /// Every counter, in serialization order.
-    pub const ALL: [Counter; 7] = [
+    pub const ALL: [Counter; 9] = [
         Counter::KernelCacheHit,
         Counter::KernelCacheMiss,
         Counter::CodecTableCacheHit,
@@ -120,6 +124,8 @@ impl Counter {
         Counter::IntervalSearchIterations,
         Counter::FusedDemotions,
         Counter::FusedTableReseeds,
+        Counter::ChecksumFailures,
+        Counter::SalvagedBands,
     ];
     /// Number of counters (accumulator array size).
     pub const COUNT: usize = Self::ALL.len();
@@ -134,6 +140,8 @@ impl Counter {
             Counter::IntervalSearchIterations => "interval_search_iterations",
             Counter::FusedDemotions => "fused_demotions",
             Counter::FusedTableReseeds => "fused_table_reseeds",
+            Counter::ChecksumFailures => "checksum_failures",
+            Counter::SalvagedBands => "salvaged_bands",
         }
     }
 

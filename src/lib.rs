@@ -131,6 +131,30 @@
 //! pointwise SZRL) without reconstructing data and names the failing
 //! section on corrupt input.
 //!
+//! ## Archive integrity
+//!
+//! Band archives are written in the checksummed **v3 framing**: a CRC-32
+//! seals the header fields and a trailing `table CRC · payload CRC` pair
+//! seals the Huffman block and escape block (pointwise-relative SZRL
+//! containers carry one whole-container CRC; v1/v2 archives remain fully
+//! decodable). How strictly a decode treats the checksums is a
+//! [`DecodePolicy`]: `Strict` parses without recomputing CRCs, `Verify`
+//! ([`decompress_with_policy`], [`CodecSession::set_decode_policy`])
+//! rejects any mismatching section with an [`SzError::Corrupt`] naming it
+//! (`header:` / `table:` / `payload:`), and `Salvage` lets container
+//! decodes (`parallel::decompress_chunked_salvage`,
+//! [`StreamDecompressor::collect_all_salvage`]) recover every intact band,
+//! fill damaged rows, and report the damage as a [`SalvageReport`]. Every
+//! decode entry point bounds untrusted-header allocations against the
+//! archive's actual byte length ([`check_declared_len`]), and
+//! `szr verify` / `szr decompress --salvage` expose the integrity walk and
+//! the salvage path on the command line. The fault-injection harness
+//! (`tests/fault_injection.rs`) drives all four archive families through
+//! deterministic bit-flip/byte-swap/truncate/splice mutators
+//! (`datagen::Mutation`) and pins the contract: a damaged archive decodes
+//! within bound or fails with a typed error — never a panic, never silent
+//! corruption.
+//!
 //! ## The scan-kernel pipeline
 //!
 //! Every predict→quantize traversal in the codec runs through one engine:
@@ -181,15 +205,17 @@
 
 pub use szr_container::Snapshot;
 pub use szr_core::{
-    choose_interval_bits, choose_interval_bits_with_kernel, compress, compress_pointwise_rel,
-    compress_slice_with_kernel, compress_slice_with_stats, compress_with_stats, decompress,
-    decompress_pointwise_rel, decompress_shared_with_kernel, decompress_staged,
-    decompress_staged_shared_with_kernel, decompress_with_kernel, encode_quantized, force_scalar,
-    hit_rate_by_layer, inspect, layer_coefficients, predict_at, quantization_histogram,
+    check_declared_len, choose_interval_bits, choose_interval_bits_with_kernel, compress,
+    compress_pointwise_rel, compress_slice_with_kernel, compress_slice_with_stats,
+    compress_with_stats, decompress, decompress_pointwise_rel, decompress_shared_with_kernel,
+    decompress_staged, decompress_staged_shared_with_kernel, decompress_with_kernel,
+    decompress_with_policy, encode_quantized, force_scalar, hit_rate_by_layer, inspect,
+    inspect_layout, layer_coefficients, predict_at, quantization_histogram,
     quantization_histogram_with_kernel, quantize_slice_with_kernel,
-    quantize_slice_with_kernel_oracle, ArchiveInfo, Carry, CodecSession, CompressionStats, Config,
-    ErrorBound, HuffmanTable, IntervalMode, KernelKind, PredictionBasis, QuantizedBand, Quantizer,
-    Result, RowVisitor, ScalarFloat, ScanKernel, Stencil, StencilSet, StreamCompressor,
+    quantize_slice_with_kernel_oracle, verify_pointwise_rel, ArchiveInfo, BandDamage, BandLayout,
+    Carry, CodecSession, CompressionStats, Config, DecodePolicy, ErrorBound, HuffmanTable,
+    IntervalMode, KernelKind, PredictionBasis, QuantizedBand, Quantizer, Result, RowVisitor,
+    SalvageReport, ScalarFloat, ScanKernel, Stencil, StencilSet, StreamCompressor,
     StreamDecompressor, SzError, UnpredictableCodec,
 };
 pub use szr_tensor::{Shape, Tensor};

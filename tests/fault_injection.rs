@@ -1,0 +1,269 @@
+//! Fault-injection harness: every archive family, under every deterministic
+//! mutator, must either decode within the stated bound or return a typed
+//! `SzError` — never panic, never silently return wrong data, never size an
+//! allocation from a header the archive's bytes cannot back.
+//!
+//! The mutators (`szr_datagen::Mutation`) are pure functions of
+//! `(bytes, seed)`, so every failure here reproduces from its printed
+//! `(family, mutation, seed)` triple alone.
+
+use proptest::prelude::*;
+use szr_core::{
+    compress, compress_pointwise_rel, decompress_pointwise_rel, decompress_with_policy, Config,
+    DecodePolicy, ErrorBound, StreamCompressor, StreamDecompressor,
+};
+use szr_datagen::Mutation;
+use szr_parallel::{decompress_chunked_salvage, decompress_chunked_with_policy, ChunkedArchive};
+use szr_tensor::Tensor;
+
+const EB: f64 = 1e-3;
+
+fn field_f32() -> Tensor<f32> {
+    Tensor::from_fn([48, 36], |ix| {
+        ((ix[0] as f32) * 0.13).sin() * 2.5 + ((ix[1] as f32) * 0.07).cos() + ix[0] as f32 * 0.01
+    })
+}
+
+fn field_f64() -> Tensor<f64> {
+    Tensor::from_fn([48, 36], |ix| {
+        ((ix[0] as f64) * 0.13).sin() * 2.5 + ((ix[1] as f64) * 0.07).cos() + ix[0] as f64 * 0.01
+    })
+}
+
+fn band_archive_f32() -> Vec<u8> {
+    compress(&field_f32(), &Config::new(ErrorBound::Absolute(EB))).unwrap()
+}
+
+fn band_archive_f64() -> Vec<u8> {
+    compress(&field_f64(), &Config::new(ErrorBound::Absolute(EB))).unwrap()
+}
+
+fn chunked_archive_f32() -> Vec<u8> {
+    let config = Config::new(ErrorBound::Absolute(EB));
+    szr_parallel::compress_chunked(&field_f32(), &config, 4, 2)
+        .unwrap()
+        .to_bytes()
+}
+
+fn stream_archive_f32() -> Vec<u8> {
+    let data = field_f32();
+    let config = Config::new(ErrorBound::Absolute(EB));
+    let mut enc = StreamCompressor::<f32>::new(&[36], 12, config).unwrap();
+    for band in data.as_slice().chunks(12 * 36) {
+        enc.push(band).unwrap();
+    }
+    enc.finish().unwrap()
+}
+
+fn pwrel_archive_f32() -> Vec<u8> {
+    let data = Tensor::from_fn([48, 36], |ix| {
+        1.0_f32 + ((ix[0] as f32) * 0.13).sin().abs() + (ix[1] as f32) * 0.02
+    });
+    compress_pointwise_rel(&data, 1e-3, &Config::new(ErrorBound::Absolute(EB))).unwrap()
+}
+
+/// Decode a mutated archive of the named family under the verifying policy.
+/// Returns `Ok(decoded values)` or the typed error; panics and runaway
+/// allocations are the harness's failure modes.
+fn decode_family(family: &str, bytes: &[u8]) -> Result<Vec<f64>, szr_core::SzError> {
+    match family {
+        "band-f32" => decompress_with_policy::<f32>(bytes, DecodePolicy::Verify)
+            .map(|t| t.as_slice().iter().map(|&v| v as f64).collect()),
+        "band-f64" => decompress_with_policy::<f64>(bytes, DecodePolicy::Verify)
+            .map(|t| t.as_slice().to_vec()),
+        "chunked-f32" => {
+            let container = ChunkedArchive::from_bytes(bytes)?;
+            decompress_chunked_with_policy::<f32>(&container, 2, DecodePolicy::Verify)
+                .map(|t| t.as_slice().iter().map(|&v| v as f64).collect())
+        }
+        "stream-f32" => {
+            let mut dec = StreamDecompressor::<f32>::new(bytes)?;
+            dec.set_decode_policy(DecodePolicy::Verify);
+            let mut out = Vec::new();
+            while let Some(band) = dec.next_band() {
+                out.extend(band?.as_slice().iter().map(|&v| v as f64));
+            }
+            Ok(out)
+        }
+        "pwrel-f32" => decompress_pointwise_rel::<f32>(bytes)
+            .map(|t| t.as_slice().iter().map(|&v| v as f64).collect()),
+        other => unreachable!("unknown family {other}"),
+    }
+}
+
+/// Reference decode of the pristine archive, used as "silently wrong"
+/// baseline: a mutated archive that still decodes must stay within twice
+/// the bound of the pristine reconstruction (the pristine decode is itself
+/// within `eb` of the source, so this caps total drift at 3·eb).
+fn sweep(family: &str, pristine: &[u8], seed: u64) {
+    let reference = decode_family(family, pristine)
+        .unwrap_or_else(|e| panic!("{family}: pristine archive failed to decode: {e}"));
+    for mutation in Mutation::ALL {
+        let mutated = mutation.apply(pristine, seed);
+        assert_ne!(
+            mutated,
+            pristine,
+            "{family}/{}/seed {seed}: mutator was a no-op",
+            mutation.name()
+        );
+        match decode_family(family, &mutated) {
+            Err(_) => {} // typed rejection: the expected outcome
+            Ok(values) => {
+                // The mutation dodged every check (possible for bit flips
+                // in slack bytes, or pwrel which is structurally checked
+                // only). The decode must still be usable data, not noise.
+                assert_eq!(
+                    values.len(),
+                    reference.len(),
+                    "{family}/{}/seed {seed}: decode changed the element count",
+                    mutation.name()
+                );
+                for (i, (got, want)) in values.iter().zip(&reference).enumerate() {
+                    assert!(
+                        (got - want).abs() <= 2.0 * EB || got.to_bits() == want.to_bits(),
+                        "{family}/{}/seed {seed}: silent corruption at {i}: {got} vs {want}",
+                        mutation.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn band_f32_survives_all_mutators() {
+    let pristine = band_archive_f32();
+    for seed in 0..32 {
+        sweep("band-f32", &pristine, seed);
+    }
+}
+
+#[test]
+fn band_f64_survives_all_mutators() {
+    let pristine = band_archive_f64();
+    for seed in 0..32 {
+        sweep("band-f64", &pristine, seed);
+    }
+}
+
+#[test]
+fn chunked_f32_survives_all_mutators() {
+    let pristine = chunked_archive_f32();
+    for seed in 0..32 {
+        sweep("chunked-f32", &pristine, seed);
+    }
+}
+
+#[test]
+fn stream_f32_survives_all_mutators() {
+    let pristine = stream_archive_f32();
+    for seed in 0..32 {
+        sweep("stream-f32", &pristine, seed);
+    }
+}
+
+#[test]
+fn pwrel_f32_survives_all_mutators() {
+    let pristine = pwrel_archive_f32();
+    for seed in 0..32 {
+        sweep("pwrel-f32", &pristine, seed);
+    }
+}
+
+proptest! {
+    #![proptest_config(proptest::test_runner::Config::with_cases(24))]
+
+    /// Random seeds beyond the deterministic sweep: same invariant, wider
+    /// net. One family per case keeps runtime bounded.
+    #[test]
+    fn random_seed_mutations_never_break_the_invariant(
+        seed in 0u64..u64::MAX,
+        pick in 0usize..5,
+    ) {
+        let (family, pristine) = match pick {
+            0 => ("band-f32", band_archive_f32()),
+            1 => ("band-f64", band_archive_f64()),
+            2 => ("chunked-f32", chunked_archive_f32()),
+            3 => ("stream-f32", stream_archive_f32()),
+            _ => ("pwrel-f32", pwrel_archive_f32()),
+        };
+        sweep(family, &pristine, seed);
+    }
+}
+
+/// The salvage contract on a chunked container: damage exactly one band,
+/// and every other band must come back bit-identical to the pristine
+/// decode while the report names the damaged band and nothing else.
+#[test]
+fn chunked_salvage_recovers_untouched_bands_bit_identically() {
+    let config = Config::new(ErrorBound::Absolute(EB));
+    let data = field_f32();
+    let pristine = szr_parallel::compress_chunked(&data, &config, 4, 2).unwrap();
+    let reference: Tensor<f32> = szr_parallel::decompress_chunked(&pristine, 2).unwrap();
+    let bands = pristine.chunks.len();
+    let rows_per_band = 48 / bands;
+
+    for (victim, mutation) in (0..bands).zip([
+        Mutation::BitFlip,
+        Mutation::Splice,
+        Mutation::ByteSwap,
+        Mutation::BitFlip,
+    ]) {
+        let mut damaged = pristine.clone();
+        // Mutate past the band header so the extent stays readable and
+        // row alignment holds for the bands after the victim.
+        let keep = 24.min(damaged.chunks[victim].len() / 2);
+        let tail = mutation.apply(&damaged.chunks[victim][keep..], 7);
+        damaged.chunks[victim].truncate(keep);
+        damaged.chunks[victim].extend_from_slice(&tail);
+
+        let (recovered, report) = decompress_chunked_salvage::<f32>(&damaged, 2, f32::NAN).unwrap();
+        assert_eq!(report.bands, bands);
+        assert_eq!(
+            report.damaged.iter().map(|d| d.band).collect::<Vec<_>>(),
+            vec![victim],
+            "exactly the mutated band must be reported damaged"
+        );
+        assert_eq!(report.recovered.len(), bands - 1);
+
+        let row = 36;
+        for r in 0..48 {
+            let band_of_row = (r / rows_per_band).min(bands - 1);
+            let got = &recovered.as_slice()[r * row..(r + 1) * row];
+            let want = &reference.as_slice()[r * row..(r + 1) * row];
+            if band_of_row == victim {
+                assert!(
+                    got.iter().all(|v| v.is_nan()),
+                    "damaged band {victim} row {r} must be filled"
+                );
+            } else {
+                assert!(
+                    got.iter()
+                        .zip(want)
+                        .all(|(a, b)| a.to_bits() == b.to_bits()),
+                    "intact band {band_of_row} row {r} must be bit-identical"
+                );
+            }
+        }
+    }
+}
+
+/// Truncation anywhere in a band archive maps to a typed, section-named
+/// error — the contract `szr inspect` and `szr verify` print to users.
+#[test]
+fn truncation_errors_name_the_failing_section() {
+    let pristine = band_archive_f32();
+    for cut in 1..pristine.len() {
+        match szr_core::inspect_layout(&pristine[..cut]) {
+            Ok(_) => panic!("truncation to {cut} bytes must not verify"),
+            Err(szr_core::SzError::Corrupt(msg)) => assert!(
+                msg.starts_with("header:")
+                    || msg.starts_with("table:")
+                    || msg.starts_with("payload:")
+                    || msg.contains("truncated"),
+                "cut at {cut}: unnamed section in {msg:?}"
+            ),
+            Err(e) => panic!("cut at {cut}: unexpected error kind {e:?}"),
+        }
+    }
+}
