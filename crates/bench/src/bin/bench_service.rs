@@ -1,0 +1,184 @@
+//! Service-layer throughput recorder: aggregate chunked compress/decompress
+//! throughput through `ArchiveService` at 1/2/4/8 workers, plus the
+//! random-access dividend — region (ROI) decode latency against the full
+//! decode for a region touching ~10% of the bands. Writes
+//! `BENCH_service.json` (siblings: `bench_session` / `BENCH_session.json`).
+//!
+//! ```text
+//! cargo run --release -p szr-bench --bin bench_service [-- --out DIR]
+//! ```
+//!
+//! The `host_cpus` field records `available_parallelism()` at measurement
+//! time: worker-count scaling is only meaningful when the host actually has
+//! the cores (a 1-CPU container reports flat scaling — that is the honest
+//! number, not a regression).
+
+use std::sync::Arc;
+use std::time::Instant;
+use szr_core::{Config, DecodePolicy, ErrorBound};
+use szr_parallel::{
+    compress_chunked, decompress_chunked, decompress_chunked_region, ChunkedArchive,
+};
+use szr_server::{ArchiveService, Backpressure, ServiceConfig};
+use szr_tensor::Tensor;
+
+/// Median-of-`reps` wall-clock seconds for one invocation of `f`.
+fn time_median<F: FnMut() -> u64>(reps: usize, mut f: F) -> f64 {
+    let mut samples = Vec::with_capacity(reps);
+    let mut sink = 0u64;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        sink ^= f();
+        samples.push(t0.elapsed().as_secs_f64());
+    }
+    std::hint::black_box(sink);
+    samples.sort_by(f64::total_cmp);
+    samples[reps / 2]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_dir = ".".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                out_dir = args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("usage: bench_service [--out DIR]");
+                    std::process::exit(2);
+                });
+            }
+            _ => {
+                eprintln!("usage: bench_service [--out DIR]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let reps = 5;
+    let mut fields: Vec<(String, f64)> = Vec::new();
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    fields.push(("host_cpus".to_string(), host_cpus as f64));
+
+    let config = Config::new(ErrorBound::Relative(1e-4));
+
+    // Aggregate throughput: a batch of independent chunked jobs admitted at
+    // once, wall-clocked submit-to-last-completion, at each worker count.
+    {
+        let grid = Tensor::from_fn([512usize, 512], |ix| {
+            let s: usize = ix.iter().sum();
+            (s as f32 * 0.013).sin() * 40.0
+        });
+        let jobs = 8usize;
+        let bands = 16usize;
+        let mb_batch = (grid.len() * 4 * jobs) as f64 / 1e6;
+        let data = Arc::new(grid);
+
+        let mut compress_secs = [0.0f64; 4];
+        let mut decompress_secs = [0.0f64; 4];
+        let archive = Arc::new(
+            compress_chunked(&data, &config, bands, 1)
+                .unwrap()
+                .to_bytes(),
+        );
+        for (slot, workers) in [1usize, 2, 4, 8].into_iter().enumerate() {
+            let svc = ArchiveService::<f32>::new(ServiceConfig {
+                workers,
+                queue_jobs: jobs * 2,
+                backpressure: Backpressure::Block,
+                session_config: config,
+            })
+            .unwrap();
+
+            let run_compress = || {
+                let handles: Vec<_> = (0..jobs)
+                    .map(|_| {
+                        svc.submit_compress(Arc::clone(&data), config, bands, None)
+                            .unwrap()
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.wait().unwrap().len() as u64)
+                    .sum()
+            };
+            // First batch warms every pooled session; the median measures
+            // the steady service.
+            let _: u64 = run_compress();
+            let t = time_median(reps, run_compress);
+            compress_secs[slot] = t;
+            fields.push((format!("service_compress_{workers}w_mb_s"), mb_batch / t));
+
+            let run_decompress = || {
+                let handles: Vec<_> = (0..jobs)
+                    .map(|_| {
+                        svc.submit_decompress(Arc::clone(&archive), DecodePolicy::Strict, None)
+                            .unwrap()
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.wait().unwrap().len() as u64)
+                    .sum()
+            };
+            let _: u64 = run_decompress();
+            let t = time_median(reps, run_decompress);
+            decompress_secs[slot] = t;
+            fields.push((format!("service_decompress_{workers}w_mb_s"), mb_batch / t));
+        }
+        fields.push((
+            "service_compress_scaling_1_to_4".to_string(),
+            compress_secs[0] / compress_secs[2],
+        ));
+        fields.push((
+            "service_decompress_scaling_1_to_4".to_string(),
+            decompress_secs[0] / decompress_secs[2],
+        ));
+    }
+
+    // The random-access dividend: decoding 3 of 32 bands through the band
+    // index against the full sequential decode, both single-threaded so the
+    // comparison isolates O(touched bands) vs O(archive).
+    {
+        let tall = Tensor::from_fn([1024usize, 256], |ix| {
+            ((ix[0] as f32) * 0.021).sin() * 12.0 + ((ix[1] as f32) * 0.007).cos() * 3.0
+        });
+        let bands = 32usize;
+        let bytes = compress_chunked(&tall, &config, bands, 1)
+            .unwrap()
+            .to_bytes();
+        let t_full = time_median(reps, || {
+            let container = ChunkedArchive::from_bytes(&bytes).unwrap();
+            decompress_chunked::<f32>(&container, 1).unwrap().len() as u64
+        });
+        // Rows 320..416 = bands 10..13: 3/32 of the bands (~9.4%).
+        let t_roi = time_median(reps, || {
+            decompress_chunked_region::<f32>(&bytes, 320..416, 1, DecodePolicy::Strict)
+                .unwrap()
+                .len() as u64
+        });
+        fields.push(("roi_full_decode_ms".to_string(), t_full * 1e3));
+        fields.push(("roi_region_decode_ms".to_string(), t_roi * 1e3));
+        fields.push(("roi_bands_touched_fraction".to_string(), 3.0 / 32.0));
+        fields.push(("roi_speedup".to_string(), t_full / t_roi));
+    }
+
+    let mut json = String::from("{\n");
+    for (i, (k, v)) in fields.iter().enumerate() {
+        let comma = if i + 1 < fields.len() { "," } else { "" };
+        json.push_str(&format!("  \"{k}\": {v:.2}{comma}\n"));
+    }
+    json.push_str("}\n");
+
+    let path = std::path::Path::new(&out_dir).join("BENCH_service.json");
+    if let Some(parent) = path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    std::fs::write(&path, &json).expect("write BENCH_service.json");
+    print!("{json}");
+    eprintln!("wrote {}", path.display());
+}

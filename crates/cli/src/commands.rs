@@ -178,16 +178,53 @@ pub fn compress(args: &Args) -> CmdResult {
     let dtype = args.get("dtype").unwrap_or("f32");
     let pw = args.get_parse::<f64>("pointwise-rel")?;
     let auto = args.switch("auto");
+    let chunks = args.get_parse::<usize>("chunks")?;
+    let threads = args.get_parse::<usize>("threads")?.unwrap_or(4);
     let mode = telemetry_mode(args)?;
     let sink = telemetry_sink(mode);
 
-    fn pack<T: ScalarFloat + szr_metrics::Real>(
-        args: &Args,
-        data: &Tensor<T>,
+    /// The mode flags `compress` threads through its typed inner fns.
+    #[derive(Clone, Copy)]
+    struct PackOpts {
         pw: Option<f64>,
         auto: bool,
+        chunks: Option<usize>,
+        threads: usize,
+    }
+
+    fn pack<T: ScalarFloat + szr_metrics::Real + Send + Sync>(
+        args: &Args,
+        data: &Tensor<T>,
+        opts: PackOpts,
         sink: Option<&Arc<RecordingSink>>,
     ) -> Result<Vec<u8>, String> {
+        let PackOpts {
+            pw,
+            auto,
+            chunks,
+            threads,
+        } = opts;
+        if let Some(bands) = chunks {
+            if pw.is_some() {
+                return Err("--chunks does not support --pointwise-rel (log-domain mode)".into());
+            }
+            if auto {
+                return Err("--chunks and --auto do not combine; give explicit bounds".into());
+            }
+            if bands == 0 {
+                return Err("--chunks needs at least one band".into());
+            }
+            let cfg = build_config(args)?;
+            let archive = szr_parallel::compress_chunked_telemetry(
+                data,
+                &cfg,
+                bands,
+                threads,
+                sink.map(|s| s.as_ref()),
+            )
+            .map_err(|e| e.to_string())?;
+            return Ok(archive.to_bytes());
+        }
         match (pw, auto) {
             (Some(_), true) => {
                 Err("--auto does not support --pointwise-rel (log-domain mode)".into())
@@ -214,22 +251,27 @@ pub fn compress(args: &Args) -> CmdResult {
             }
         }
     }
-    fn pack_timed<T: ScalarFloat + szr_metrics::Real>(
+    fn pack_timed<T: ScalarFloat + szr_metrics::Real + Send + Sync>(
         args: &Args,
         input: &str,
         dims: &[usize],
-        pw: Option<f64>,
-        auto: bool,
+        opts: PackOpts,
         sink: Option<&Arc<RecordingSink>>,
     ) -> Result<(Vec<u8>, usize, szr_telemetry::Throughput), String> {
         let data = read_raw::<T>(input, dims)?;
         let raw_bytes = data.len() * (T::BITS as usize / 8);
-        let (archive, timing) = time_it(raw_bytes, || pack(args, &data, pw, auto, sink));
+        let (archive, timing) = time_it(raw_bytes, || pack(args, &data, opts, sink));
         Ok((archive?, raw_bytes, timing))
     }
+    let opts = PackOpts {
+        pw,
+        auto,
+        chunks,
+        threads,
+    };
     let (archive, raw_bytes, timing) = match dtype {
-        "f32" => pack_timed::<f32>(args, input, &dims, pw, auto, sink.as_ref())?,
-        "f64" => pack_timed::<f64>(args, input, &dims, pw, auto, sink.as_ref())?,
+        "f32" => pack_timed::<f32>(args, input, &dims, opts, sink.as_ref())?,
+        "f64" => pack_timed::<f64>(args, input, &dims, opts, sink.as_ref())?,
         other => return Err(format!("unknown --dtype {other:?}")),
     };
     std::fs::write(output, &archive).map_err(|e| format!("cannot write {output}: {e}"))?;
@@ -316,6 +358,57 @@ pub fn decompress(args: &Args) -> CmdResult {
                     t0.elapsed().as_secs_f64()
                 );
             }
+        }
+        return Ok(());
+    }
+    // Chunked containers (SZCK) decode every band in parallel. The v2 band
+    // index is deliberately ignored on this path — the sequential band walk
+    // is authoritative, so a damaged index never blocks a full decode.
+    if archive.starts_with(b"SZCK") {
+        let container = szr_parallel::ChunkedArchive::from_bytes(&archive)
+            .map_err(|e| format!("container: {e}"))?;
+        let first = container
+            .chunks
+            .first()
+            .ok_or_else(|| "container: no bands".to_string())?;
+        let info = szr_core::inspect(first).map_err(|e| format!("band 0: {e}"))?;
+        let threads = args.get_parse::<usize>("threads")?.unwrap_or(4);
+        let total: usize = container.dims.iter().product();
+        let raw_bytes = total * if info.dtype == "f32" { 4 } else { 8 };
+        let (result, timing) = time_it(raw_bytes, || -> CmdResult {
+            match info.dtype {
+                "f32" => {
+                    let data = szr_parallel::decompress_chunked_telemetry::<f32>(
+                        &container,
+                        threads,
+                        sink.as_deref(),
+                    )
+                    .map_err(|e| e.to_string())?;
+                    write_raw(output, &data)
+                }
+                _ => {
+                    let data = szr_parallel::decompress_chunked_telemetry::<f64>(
+                        &container,
+                        threads,
+                        sink.as_deref(),
+                    )
+                    .map_err(|e| e.to_string())?;
+                    write_raw(output, &data)
+                }
+            }
+        });
+        result?;
+        eprintln!(
+            "{input} -> {output}: {} {} values ({}, {} bands) in {:.2}s ({:.1} MB/s)",
+            total,
+            info.dtype,
+            fmt_dims(&container.dims),
+            container.chunks.len(),
+            timing.elapsed.as_secs_f64(),
+            timing.mb_per_sec(),
+        );
+        if let Some(sink) = &sink {
+            emit_report(mode, sink);
         }
         return Ok(());
     }
@@ -623,6 +716,108 @@ fn inspect_chunked(archive: &[u8]) -> CmdResult {
         let layout = szr_core::inspect_layout(chunk).map_err(|e| format!("band {i}: {e}"))?;
         println!("{}", band_line(i, chunk.len(), &layout));
     }
+    // The band index is its own archive section: a damaged index fails
+    // inspect with "index:" named, even though full decodes survive it.
+    match archive.get(4) {
+        Some(1) => println!("band index      : none (legacy v1 container)"),
+        _ => {
+            let index =
+                szr_parallel::ChunkedArchive::peek_index(archive).map_err(|e| e.to_string())?;
+            println!(
+                "band index      : {} entries, crc 0x{:08X}",
+                index.bands(),
+                index.crc
+            );
+            for (i, entry) in index.entries.iter().enumerate() {
+                println!(
+                    "  index {i:<3}: offset {} · {} bytes · {} rows",
+                    entry.offset, entry.len, entry.rows
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `szr stat` — header-only metadata for any archive family. Never touches
+/// payload bytes: O(header), not O(archive).
+pub fn stat(args: &Args) -> CmdResult {
+    let input = args.need("input")?;
+    let bytes = std::fs::read(input).map_err(|e| format!("cannot read {input}: {e}"))?;
+    let s = szr_server::stat(&bytes).map_err(|e| e.to_string())?;
+    println!("file            : {input}");
+    println!("family          : {}", s.family.name());
+    println!("dtype           : {}", s.dtype.unwrap_or("unknown"));
+    println!("dims            : {}", fmt_dims(&s.dims));
+    println!("bands           : {}", s.bands);
+    if let Some(version) = s.version {
+        println!("version         : {version}");
+    }
+    match s.error_bound {
+        Some(eb) => println!("error bound     : {eb:.6e}"),
+        None => println!("error bound     : unknown (first band unreadable)"),
+    }
+    println!("indexed         : {}", if s.indexed { "yes" } else { "no" });
+    println!("archive bytes   : {}", s.archive_bytes);
+    Ok(())
+}
+
+/// `szr extract` — ROI decode through the chunked band index: only the
+/// bands covering `--region A:B` (a slowest-dimension row range) are
+/// decoded, and the output is trimmed to exactly those rows.
+pub fn extract(args: &Args) -> CmdResult {
+    let input = args.need("input")?;
+    let output = args.need("output")?;
+    let region = args.need("region")?;
+    let threads = args.get_parse::<usize>("threads")?.unwrap_or(4);
+    let (start, end) = region
+        .split_once(':')
+        .and_then(|(a, b)| Some((a.parse::<usize>().ok()?, b.parse::<usize>().ok()?)))
+        .ok_or_else(|| format!("--region {region:?} (expected START:END row range)"))?;
+    let bytes = std::fs::read(input).map_err(|e| format!("cannot read {input}: {e}"))?;
+    if !bytes.starts_with(b"SZCK") {
+        return Err("extract needs a chunked container (SZCK); recompress with --chunks N".into());
+    }
+    let index = szr_parallel::band_index(&bytes).map_err(|e| e.to_string())?;
+    let (touched, _) = index
+        .bands_covering_rows(start..end)
+        .map_err(|e| e.to_string())?;
+    let first = index
+        .band_slice(&bytes, touched.start)
+        .map_err(|e| e.to_string())?;
+    let dtype = szr_core::inspect(first)
+        .map_err(|e| format!("band {}: {e}", touched.start))?
+        .dtype;
+    let policy = szr_core::DecodePolicy::Strict;
+    let t0 = Instant::now();
+    let rows = match dtype {
+        "f32" => {
+            let data =
+                szr_parallel::decompress_chunked_region::<f32>(&bytes, start..end, threads, policy)
+                    .map_err(|e| e.to_string())?;
+            write_raw(output, &data)?;
+            data.dims()[0]
+        }
+        _ => {
+            let data =
+                szr_parallel::decompress_chunked_region::<f64>(&bytes, start..end, threads, policy)
+                    .map_err(|e| e.to_string())?;
+            write_raw(output, &data)?;
+            data.dims()[0]
+        }
+    };
+    eprintln!(
+        "{input} -> {output}: rows {start}..{end} ({rows} rows, {dtype}) via bands {}..{} of {} ({}) in {:.2}s",
+        touched.start,
+        touched.end,
+        index.bands(),
+        if index.from_index {
+            "indexed seek"
+        } else {
+            "sequential walk"
+        },
+        t0.elapsed().as_secs_f64(),
+    );
     Ok(())
 }
 

@@ -4,6 +4,8 @@
 //! szr compress   --input data.bin --dims 1800x3600 --dtype f32 --rel 1e-4 --output data.szr
 //! szr decompress --input data.szr --output data.bin
 //! szr inspect    --input data.szr
+//! szr stat       --input data.szr
+//! szr extract    --input data.szr --region 100:200 --output roi.bin
 //! szr verify     --input data.szr
 //! szr eval       --input data.bin --dims 1800x3600 --dtype f32 --rel 1e-4 [--codec sz14]
 //! szr plan       --input data.bin --dims 1800x3600 --target-ratio 20
@@ -26,6 +28,8 @@ USAGE:
   szr decompress --input FILE --output FILE [--telemetry[=json]]
                  [--salvage[=json] [--fill V]]
   szr inspect    --input FILE
+  szr stat       --input FILE
+  szr extract    --input FILE --region A:B --output FILE [--threads N]
   szr verify     --input FILE
   szr eval       --input FILE --dims AxBxC (--rel EB | --abs EB) [--codec NAME]
   szr plan       --input FILE --dims AxBxC (--target-ratio R | --rel EB | --abs EB) [options]
@@ -46,6 +50,10 @@ COMPRESS OPTIONS:
   --telemetry[=json]     print a pipeline telemetry report on stdout after
                          the summary: per-stage spans, codec counters, and
                          per-band records (also valid on decompress)
+  --chunks N             write a chunked container (SZCK): the tensor splits
+                         into N independently decodable bands, compressed in
+                         parallel and sealed with a random-access band index
+  --threads N            worker threads for --chunks / extract (default 4)
 
 DECOMPRESS OPTIONS:
   --salvage[=json]       verify each band's checksums and keep going past
@@ -59,7 +67,19 @@ INSPECT:
   walks every archive section without reconstructing data. Handles band
   archives (v1/v2 legacy and v3 checksummed), chunked containers (SZCK),
   stream containers (SZST), and pointwise-relative archives (SZRL); corrupt
-  input reports the failing section (header / table / payload / band N).
+  input reports the failing section (header / table / payload / band N /
+  index). For indexed chunked containers the band index section prints each
+  band's offset, length, and rows plus the index CRC.
+
+STAT:
+  header-only metadata for any archive family — dims, dtype, band count,
+  format version, error bound, index presence — without touching payload
+  bytes. O(header), not O(archive).
+
+EXTRACT:
+  decodes only the bands covering rows A..B (slowest dim) of a chunked
+  container through its random-access band index, writing the exact row
+  range as raw output. O(touched bands), never O(archive).
 
 VERIFY:
   checks archive integrity — structure plus the v3 per-section CRC32
@@ -108,6 +128,8 @@ fn main() {
         "compress" => commands::compress(&parsed),
         "decompress" => commands::decompress(&parsed),
         "inspect" => commands::inspect(&parsed),
+        "stat" => commands::stat(&parsed),
+        "extract" => commands::extract(&parsed),
         "verify" => commands::verify(&parsed),
         "eval" => commands::eval(&parsed),
         "plan" => commands::plan(&parsed),

@@ -44,7 +44,10 @@ fn inspect_reports_band_sections() {
     let path = tmp_file("band.szr", &archive);
     let text = stdout_of(&run(&["inspect", "--input", path.to_str().unwrap()]));
     std::fs::remove_file(&path).ok();
-    assert!(text.contains("band archive (v3, self-contained, checksummed)"), "{text}");
+    assert!(
+        text.contains("band archive (v3, self-contained, checksummed)"),
+        "{text}"
+    );
     assert!(text.contains("huffman block"), "{text}");
     assert!(text.contains("escape stream"), "{text}");
     assert!(text.contains("compression"), "{text}");

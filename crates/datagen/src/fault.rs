@@ -89,6 +89,35 @@ impl Mutation {
         }
         out
     }
+
+    /// [`Mutation::apply`] with the damage confined to `range` — for
+    /// targeting one archive section (e.g. the band index) while leaving
+    /// every other byte intact. Length-preserving mutators rewrite only
+    /// bytes inside the window; [`Mutation::Truncate`] cuts the archive at
+    /// a point inside the window (removing the tail after it, so a trailing
+    /// section loses only its own bytes). A clamped-empty range is the one
+    /// no-op: there is nothing in the window to damage.
+    pub fn apply_within(self, bytes: &[u8], seed: u64, range: std::ops::Range<usize>) -> Vec<u8> {
+        let range = range.start.min(bytes.len())..range.end.min(bytes.len());
+        if range.is_empty() {
+            return bytes.to_vec();
+        }
+        let mut out = bytes.to_vec();
+        match self {
+            Mutation::Truncate => {
+                let n = (range.end - range.start) as u64;
+                let h = hash(seed ^ (self as u64) << 32 ^ n);
+                out.truncate(range.start + (h % n) as usize);
+            }
+            _ => {
+                // The other mutators preserve length, so the damaged window
+                // splices back over the original bytes exactly.
+                let mutated = self.apply(&bytes[range.clone()], seed);
+                out[range].copy_from_slice(&mutated);
+            }
+        }
+        out
+    }
 }
 
 /// splitmix64 finalizer — the same mixing constant the data generators use.
@@ -149,5 +178,40 @@ mod tests {
         let a = Mutation::BitFlip.apply(&bytes, 1);
         let b = Mutation::BitFlip.apply(&bytes, 2);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn windowed_damage_stays_inside_the_range() {
+        let bytes = sample();
+        let window = 100..140;
+        for m in Mutation::ALL {
+            for seed in 0..64 {
+                let mutated = m.apply_within(&bytes, seed, window.clone());
+                assert_ne!(mutated, bytes, "{} seed {seed} was a no-op", m.name());
+                assert_eq!(&mutated[..window.start], &bytes[..window.start]);
+                if m == Mutation::Truncate {
+                    // The cut lands inside the window; only the tail after
+                    // it is lost.
+                    assert!(mutated.len() >= window.start && mutated.len() < window.end);
+                } else {
+                    assert_eq!(mutated.len(), bytes.len());
+                    assert_eq!(&mutated[window.end..], &bytes[window.end..]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn windowed_damage_is_deterministic_and_clamped() {
+        let bytes = sample();
+        for m in Mutation::ALL {
+            assert_eq!(
+                m.apply_within(&bytes, 9, 40..80),
+                m.apply_within(&bytes, 9, 40..80),
+            );
+            // Degenerate and out-of-bounds windows are no-ops.
+            assert_eq!(m.apply_within(&bytes, 9, 50..50), bytes);
+            assert_eq!(m.apply_within(&bytes, 9, 400..500), bytes);
+        }
     }
 }

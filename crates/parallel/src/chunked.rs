@@ -1,18 +1,21 @@
 //! Chunked (embarrassingly parallel) compression.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::ops::Range;
 use std::sync::{Arc, Mutex};
 
 use szr_bitstream::{ByteReader, ByteWriter};
 use szr_core::{
-    check_declared_len, encode_quantized, BandDamage, CodecSession, Config, DecodePolicy,
-    ErrorBound, HuffmanTable, QuantizedBand, Result, SalvageReport, ScalarFloat, SzError,
+    check_declared_len, encode_quantized, ArchiveInfo, BandDamage, CodecSession, Config,
+    DecodePolicy, ErrorBound, HuffmanTable, QuantizedBand, Result, SalvageReport, ScalarFloat,
+    SzError,
 };
 use szr_huffman::HuffmanCodec;
 use szr_metrics::{value_range, Real};
 use szr_planner::plan_band_config_with_estimate;
-use szr_telemetry::{RecordingSink, TelemetrySink};
+use szr_telemetry::{Counter, RecordingSink, TelemetrySink};
 use szr_tensor::{Shape, Tensor};
+
+use crate::scheduler::BandScheduler;
 
 /// Per-worker telemetry: each worker thread records into its own
 /// [`RecordingSink`] (no cross-thread contention on the hot path) and the
@@ -34,6 +37,17 @@ fn attach<T: ScalarFloat>(session: &mut CodecSession<T>, ws: &Option<Arc<Recordi
 fn merge_into(sink: Option<&RecordingSink>, ws: &Option<Arc<RecordingSink>>) {
     if let (Some(sink), Some(ws)) = (sink, ws) {
         sink.merge_from(ws);
+    }
+}
+
+/// Surfaces the scheduler's cross-worker steal count (imbalance signal)
+/// into the caller's sink after a parallel phase joins.
+fn record_steals(sink: Option<&RecordingSink>, sched: &BandScheduler) {
+    if let Some(sink) = sink {
+        let steals = sched.steals();
+        if steals > 0 {
+            sink.counter(Counter::SchedulerSteals, steals);
+        }
     }
 }
 
@@ -59,9 +73,197 @@ pub struct ChunkedArchive {
 
 /// Serialized [`ChunkedArchive`] magic bytes.
 const CHUNKED_MAGIC: [u8; 4] = *b"SZCK";
-/// Serialized format version. Version 1 introduces the flagged, versioned
-/// shared-table field; readers reject higher versions loudly.
-const CHUNKED_VERSION: u8 = 1;
+/// Serialized format version written by [`ChunkedArchive::to_bytes`].
+/// Version 1 introduced the flagged, versioned shared-table field; version
+/// 2 adds the band-region length and a CRC-sealed band index after the
+/// bands (random-access seeks). Readers accept both and reject higher
+/// versions loudly.
+const CHUNKED_VERSION: u8 = 2;
+/// The un-indexed legacy version ([`ChunkedArchive::to_bytes_legacy`]).
+const CHUNKED_V1: u8 = 1;
+
+/// Header fields shared by every parse entry point, plus the reader
+/// positioned at the band region.
+struct ChunkedHeader {
+    version: u8,
+    dims: Vec<usize>,
+    shared_table: Option<(usize, usize)>,
+    count: usize,
+    /// Declared band-region byte length (v2+; `None` on v1, whose band
+    /// region simply runs to wherever the last band ends).
+    band_region_len: Option<usize>,
+    /// Absolute offset of the band region (first band's length prefix).
+    band_region_start: usize,
+}
+
+/// Parses the container header (magic through band count), accepting both
+/// the legacy v1 and the indexed v2 layouts.
+fn parse_header<'a>(bytes: &'a [u8]) -> Result<(ChunkedHeader, ByteReader<'a>)> {
+    let mut reader = ByteReader::new(bytes);
+    if reader.read_bytes(4)? != CHUNKED_MAGIC {
+        return Err(SzError::Corrupt("bad chunked-archive magic".into()));
+    }
+    let version = reader.read_u8()?;
+    if version == 0 || version > CHUNKED_VERSION {
+        return Err(SzError::Corrupt(format!(
+            "unsupported chunked-archive version {version}"
+        )));
+    }
+    let has_shared = match reader.read_u8()? {
+        0 => false,
+        1 => true,
+        _ => return Err(SzError::Corrupt("bad shared-table flag".into())),
+    };
+    let ndim = reader.read_varint()? as usize;
+    if !(1..=16).contains(&ndim) {
+        return Err(SzError::Corrupt("implausible chunked rank".into()));
+    }
+    let mut dims = Vec::with_capacity(ndim);
+    let mut product: u128 = 1;
+    for _ in 0..ndim {
+        let d = reader.read_varint()? as usize;
+        if d == 0 {
+            return Err(SzError::Corrupt("zero-extent dimension".into()));
+        }
+        product *= d as u128;
+        // Same plausibility ceiling as the core archive header: corrupt
+        // dims must error here, not drive a wild allocation in
+        // decompress_chunked's output buffer.
+        if product > (1u128 << 40) {
+            return Err(SzError::Corrupt("element count implausibly large".into()));
+        }
+        dims.push(d);
+    }
+    let shared_table = if has_shared {
+        let start = reader.pos();
+        let table = reader.read_len_prefixed()?;
+        Some((start + (reader.pos() - start - table.len()), reader.pos()))
+    } else {
+        None
+    };
+    let count = reader.read_varint()? as usize;
+    if count > reader.remaining() {
+        return Err(SzError::Corrupt("implausible band count".into()));
+    }
+    let band_region_len = if version >= 2 {
+        let len = reader.read_varint()? as usize;
+        if len > reader.remaining() {
+            return Err(SzError::Corrupt(
+                "band region overruns the archive bytes".into(),
+            ));
+        }
+        Some(len)
+    } else {
+        None
+    };
+    let band_region_start = reader.pos();
+    Ok((
+        ChunkedHeader {
+            version,
+            dims,
+            shared_table,
+            count,
+            band_region_len,
+            band_region_start,
+        },
+        reader,
+    ))
+}
+
+/// One band's location inside a serialized chunked archive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BandIndexEntry {
+    /// Absolute byte offset of the band payload (after its length prefix).
+    pub offset: usize,
+    /// Band payload length in bytes.
+    pub len: usize,
+    /// Rows (slowest-dimension extent) the band reconstructs.
+    pub rows: usize,
+}
+
+/// The random-access band table of a serialized [`ChunkedArchive`]: where
+/// every band's bytes live and how many rows it covers, so a reader can
+/// seek straight to the bands a query touches — O(touched bands), never
+/// O(archive).
+///
+/// Offsets are absolute into the serialized container. Obtained either
+/// from the CRC-sealed on-disk index ([`ChunkedArchive::peek_index`],
+/// `from_index == true`) or rebuilt by the sequential band walk
+/// ([`band_index`]'s fallback for v1 archives and damaged indexes,
+/// `from_index == false`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BandIndex {
+    /// Container format version (1 = legacy un-indexed, 2 = indexed).
+    pub version: u8,
+    /// Full-tensor dims (slowest first).
+    pub dims: Vec<usize>,
+    /// Absolute byte range of the serialized shared Huffman table, if any.
+    pub shared_table: Option<(usize, usize)>,
+    /// Absolute byte range of the band region (length prefixes included).
+    pub band_region: (usize, usize),
+    /// Per-band location and row extent, in band order.
+    pub entries: Vec<BandIndexEntry>,
+    /// Stored index CRC-32 (0 when rebuilt by the sequential walk).
+    pub crc: u32,
+    /// Whether this came from the on-disk index (vs the sequential walk).
+    pub from_index: bool,
+}
+
+impl BandIndex {
+    /// Number of bands.
+    pub fn bands(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Borrowed payload bytes of band `band`, bounds-checked against the
+    /// archive.
+    pub fn band_slice<'a>(&self, bytes: &'a [u8], band: usize) -> Result<&'a [u8]> {
+        let entry = self
+            .entries
+            .get(band)
+            .ok_or_else(|| SzError::Corrupt(format!("index: band {band} out of range")))?;
+        bytes
+            .get(entry.offset..entry.offset + entry.len)
+            .ok_or_else(|| SzError::Corrupt(format!("index: band {band} overruns the archive")))
+    }
+
+    /// Borrowed serialized shared Huffman table, if the archive has one.
+    pub fn shared_table_slice<'a>(&self, bytes: &'a [u8]) -> Option<&'a [u8]> {
+        self.shared_table
+            .and_then(|(start, end)| bytes.get(start..end))
+    }
+
+    /// Maps a slowest-dimension row range onto the bands covering it:
+    /// `(band range, first covered band's starting row)`.
+    pub fn bands_covering_rows(&self, rows: Range<usize>) -> Result<(Range<usize>, usize)> {
+        let extent = self.dims[0];
+        if rows.start >= rows.end || rows.end > extent {
+            return Err(SzError::InvalidConfig(
+                "row range is empty or exceeds the container extent",
+            ));
+        }
+        let mut row = 0usize;
+        let mut first = None;
+        let mut first_row = 0usize;
+        let mut end = self.entries.len();
+        for (i, entry) in self.entries.iter().enumerate() {
+            let band_end = row + entry.rows;
+            if first.is_none() && rows.start < band_end {
+                first = Some(i);
+                first_row = row;
+            }
+            if rows.end <= band_end {
+                end = i + 1;
+                break;
+            }
+            row = band_end;
+        }
+        let start = first.ok_or_else(|| {
+            SzError::Corrupt("index: band rows do not cover the requested range".into())
+        })?;
+        Ok((start..end, first_row))
+    }
+}
 
 impl ChunkedArchive {
     /// Total compressed size in bytes (band archives + shared table).
@@ -70,11 +272,27 @@ impl ChunkedArchive {
             + self.shared_table.as_ref().map_or(0, Vec::len)
     }
 
-    /// Serializes the archive (header, optional shared table, bands).
+    /// Serializes the archive in the indexed v2 layout: header, optional
+    /// shared table, band count, band-region length, the length-prefixed
+    /// bands (unchanged from v1, so sequential readers never touch the
+    /// index), then the band index — per band `(offset, len, rows)` varints
+    /// relative to the band region — sealed by a CRC-32 like the v3 band
+    /// framing. A reader seeks `header + band_region_len` to land on the
+    /// index without walking any band.
     pub fn to_bytes(&self) -> Vec<u8> {
+        self.serialize(CHUNKED_VERSION)
+    }
+
+    /// Serializes in the legacy un-indexed v1 layout (compatibility escape
+    /// hatch, and the compat-test fixture for old readers).
+    pub fn to_bytes_legacy(&self) -> Vec<u8> {
+        self.serialize(CHUNKED_V1)
+    }
+
+    fn serialize(&self, version: u8) -> Vec<u8> {
         let mut out = ByteWriter::with_capacity(self.compressed_bytes() + 64);
         out.write_bytes(&CHUNKED_MAGIC);
-        out.write_u8(CHUNKED_VERSION);
+        out.write_u8(version);
         out.write_u8(self.shared_table.is_some() as u8);
         out.write_varint(self.dims.len() as u64);
         for &d in &self.dims {
@@ -84,66 +302,59 @@ impl ChunkedArchive {
             out.write_len_prefixed(table);
         }
         out.write_varint(self.chunks.len() as u64);
+        if version >= 2 {
+            let band_region_len: usize = self
+                .chunks
+                .iter()
+                .map(|c| ByteWriter::varint_len(c.len() as u64) + c.len())
+                .sum();
+            out.write_varint(band_region_len as u64);
+        }
+        let mut offsets = Vec::with_capacity(self.chunks.len());
+        let region_start = out.len();
         for chunk in &self.chunks {
             out.write_len_prefixed(chunk);
+            offsets.push(out.len() - region_start - chunk.len());
+        }
+        if version >= 2 {
+            let mut index = ByteWriter::with_capacity(self.chunks.len() * 6 + 4);
+            for (chunk, &offset) in self.chunks.iter().zip(&offsets) {
+                index.write_varint(offset as u64);
+                index.write_varint(chunk.len() as u64);
+                // Row extent from the band's own header; a band that does
+                // not parse records 0 rows, which readers reject as an
+                // invalid index and fall back to the sequential walk.
+                let rows = szr_core::inspect(chunk)
+                    .map(|info| info.dims[0])
+                    .unwrap_or(0);
+                index.write_varint(rows as u64);
+            }
+            let crc = szr_deflate::crc32(index.as_bytes());
+            out.write_bytes(index.as_bytes());
+            out.write_u32(crc);
         }
         out.into_bytes()
     }
 
-    /// Parses a serialized archive produced by [`Self::to_bytes`].
+    /// Parses a serialized archive produced by [`Self::to_bytes`] (or the
+    /// legacy [`Self::to_bytes_legacy`]) through the sequential band walk.
+    ///
+    /// The band index is *ignored* here: the length-prefixed band walk is
+    /// authoritative, so an archive with a damaged index still parses (and
+    /// decodes byte-identically) — only the random-access entry points
+    /// ([`Self::peek_index`], [`read_bands`]) care about index integrity.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
-        let mut reader = ByteReader::new(bytes);
-        if reader.read_bytes(4)? != CHUNKED_MAGIC {
-            return Err(SzError::Corrupt("bad chunked-archive magic".into()));
-        }
-        let version = reader.read_u8()?;
-        if version != CHUNKED_VERSION {
-            return Err(SzError::Corrupt(format!(
-                "unsupported chunked-archive version {version}"
-            )));
-        }
-        let has_shared = match reader.read_u8()? {
-            0 => false,
-            1 => true,
-            _ => return Err(SzError::Corrupt("bad shared-table flag".into())),
-        };
-        let ndim = reader.read_varint()? as usize;
-        if !(1..=16).contains(&ndim) {
-            return Err(SzError::Corrupt("implausible chunked rank".into()));
-        }
-        let mut dims = Vec::with_capacity(ndim);
-        let mut product: u128 = 1;
-        for _ in 0..ndim {
-            let d = reader.read_varint()? as usize;
-            if d == 0 {
-                return Err(SzError::Corrupt("zero-extent dimension".into()));
-            }
-            product *= d as u128;
-            // Same plausibility ceiling as the core archive header: corrupt
-            // dims must error here, not drive a wild allocation in
-            // decompress_chunked's output buffer.
-            if product > (1u128 << 40) {
-                return Err(SzError::Corrupt("element count implausibly large".into()));
-            }
-            dims.push(d);
-        }
-        let shared_table = if has_shared {
-            Some(reader.read_len_prefixed()?.to_vec())
-        } else {
-            None
-        };
-        let count = reader.read_varint()? as usize;
-        if count > reader.remaining() {
-            return Err(SzError::Corrupt("implausible band count".into()));
-        }
-        let mut chunks = Vec::with_capacity(count);
-        for _ in 0..count {
+        let (header, mut reader) = parse_header(bytes)?;
+        let mut chunks = Vec::with_capacity(header.count);
+        for _ in 0..header.count {
             chunks.push(reader.read_len_prefixed()?.to_vec());
         }
         Ok(Self {
-            dims,
+            dims: header.dims,
             chunks,
-            shared_table,
+            shared_table: header
+                .shared_table
+                .map(|(start, end)| bytes[start..end].to_vec()),
         })
     }
 
@@ -151,35 +362,186 @@ impl ChunkedArchive {
     /// *borrowed* first band. Metadata queries (e.g. a container `info`)
     /// stay O(header) instead of deep-copying every band payload.
     pub fn peek_dims_and_first_band(bytes: &[u8]) -> Result<(Vec<usize>, Option<&[u8]>)> {
-        let mut reader = ByteReader::new(bytes);
-        if reader.read_bytes(4)? != CHUNKED_MAGIC {
-            return Err(SzError::Corrupt("bad chunked-archive magic".into()));
-        }
-        let version = reader.read_u8()?;
-        if version != CHUNKED_VERSION {
-            return Err(SzError::Corrupt(format!(
-                "unsupported chunked-archive version {version}"
-            )));
-        }
-        let has_shared = reader.read_u8()? == 1;
-        let ndim = reader.read_varint()? as usize;
-        if !(1..=16).contains(&ndim) {
-            return Err(SzError::Corrupt("implausible chunked rank".into()));
-        }
-        let mut dims = Vec::with_capacity(ndim);
-        for _ in 0..ndim {
-            dims.push(reader.read_varint()? as usize);
-        }
-        if has_shared {
-            reader.read_len_prefixed()?;
-        }
-        let count = reader.read_varint()? as usize;
-        let first = if count > 0 {
+        let (header, mut reader) = parse_header(bytes)?;
+        let first = if header.count > 0 {
             Some(reader.read_len_prefixed()?)
         } else {
             None
         };
-        Ok((dims, first))
+        Ok((header.dims, first))
+    }
+
+    /// Header-only metadata for `szr stat`-style queries: format version,
+    /// dims, band count, shared-table size, index validity, and the first
+    /// band's own header ([`ArchiveInfo`]: dtype, error bound, layers).
+    /// Costs O(header + index + one band header) — no payload is decoded.
+    pub fn peek_stat(bytes: &[u8]) -> Result<ChunkedStat> {
+        let (header, mut reader) = parse_header(bytes)?;
+        let first_band = if header.count > 0 {
+            szr_core::inspect(reader.read_len_prefixed()?).ok()
+        } else {
+            None
+        };
+        Ok(ChunkedStat {
+            version: header.version,
+            shared_table_bytes: header.shared_table.map_or(0, |(s, e)| e - s),
+            bands: header.count,
+            indexed: header.version >= 2 && Self::peek_index(bytes).is_ok(),
+            dims: header.dims,
+            first_band,
+        })
+    }
+
+    /// Reads and verifies the on-disk band index without touching any band
+    /// payload: seeks `header + band_region_len`, parses the entries, and
+    /// checks the seal. O(header + index).
+    ///
+    /// # Errors
+    /// [`SzError::Corrupt`] named `index:` when the archive is un-indexed
+    /// (v1) or the index is damaged — wrong CRC, non-monotonic or
+    /// out-of-bounds offsets, or row extents that disagree with the
+    /// container dims. Callers wanting the always-works path use
+    /// [`band_index`], which falls back to the sequential walk.
+    pub fn peek_index(bytes: &[u8]) -> Result<BandIndex> {
+        let (header, _) = parse_header(bytes)?;
+        let Some(band_region_len) = header.band_region_len else {
+            return Err(SzError::Corrupt(
+                "index: archive is un-indexed (version 1)".into(),
+            ));
+        };
+        let index_start = header.band_region_start + band_region_len;
+        let mut reader = ByteReader::new(
+            bytes
+                .get(index_start..)
+                .ok_or_else(|| SzError::Corrupt("index: band region overruns archive".into()))?,
+        );
+        let mut entries = Vec::with_capacity(header.count);
+        let mut prev_end = 0usize;
+        let mut rows_total = 0usize;
+        for band in 0..header.count {
+            let offset = reader
+                .read_varint()
+                .map_err(|_| SzError::Corrupt(format!("index: truncated at entry {band}")))?
+                as usize;
+            let len = reader
+                .read_varint()
+                .map_err(|_| SzError::Corrupt(format!("index: truncated at entry {band}")))?
+                as usize;
+            let rows = reader
+                .read_varint()
+                .map_err(|_| SzError::Corrupt(format!("index: truncated at entry {band}")))?
+                as usize;
+            // Offsets are relative to the band region and must march
+            // strictly forward through it: each payload starts after the
+            // previous one's end (its own length prefix sits between), and
+            // nothing may reach past the region. Any violation means a
+            // seek through this index would read the wrong bytes.
+            if offset < prev_end + 1 || offset.saturating_add(len) > band_region_len {
+                return Err(SzError::Corrupt(format!(
+                    "index: entry {band} offsets are inconsistent"
+                )));
+            }
+            if rows == 0 {
+                return Err(SzError::Corrupt(format!(
+                    "index: entry {band} declares zero rows"
+                )));
+            }
+            prev_end = offset + len;
+            rows_total += rows;
+            entries.push(BandIndexEntry {
+                offset: header.band_region_start + offset,
+                len,
+                rows,
+            });
+        }
+        let entry_bytes = reader.pos();
+        let crc = reader
+            .read_u32()
+            .map_err(|_| SzError::Corrupt("index: truncated checksum".into()))?;
+        let actual = szr_deflate::crc32(&bytes[index_start..index_start + entry_bytes]);
+        if crc != actual {
+            return Err(SzError::Corrupt(format!(
+                "index: checksum mismatch (stored {crc:#010x}, computed {actual:#010x})"
+            )));
+        }
+        if rows_total != header.dims[0] {
+            return Err(SzError::Corrupt(
+                "index: band rows disagree with the container extent".into(),
+            ));
+        }
+        Ok(BandIndex {
+            version: header.version,
+            dims: header.dims,
+            shared_table: header.shared_table,
+            band_region: (header.band_region_start, index_start),
+            entries,
+            crc,
+            from_index: true,
+        })
+    }
+}
+
+/// Header-only chunked-container metadata ([`ChunkedArchive::peek_stat`]).
+#[derive(Debug, Clone)]
+pub struct ChunkedStat {
+    /// Container format version (1 legacy, 2 indexed).
+    pub version: u8,
+    /// Full-tensor dims (slowest first).
+    pub dims: Vec<usize>,
+    /// Number of bands.
+    pub bands: usize,
+    /// Serialized shared Huffman table bytes (0 when per-band tables).
+    pub shared_table_bytes: usize,
+    /// Whether a valid CRC-sealed band index is present.
+    pub indexed: bool,
+    /// The first band's own header, when it parses (dtype, error bound,
+    /// layers, interval bits).
+    pub first_band: Option<ArchiveInfo>,
+}
+
+/// The band table of a serialized chunked archive, from the on-disk index
+/// when it is present and intact, else rebuilt by the sequential band walk
+/// (length-prefix hops plus one O(1) header peek per band for row extents).
+///
+/// This is the "damaged index degrades, never lies" entry point: a v1
+/// archive or a corrupt index costs O(bands) header hops instead of
+/// O(index), but seeks derived from the result are always consistent with
+/// the band walk [`ChunkedArchive::from_bytes`] performs.
+pub fn band_index(bytes: &[u8]) -> Result<BandIndex> {
+    match ChunkedArchive::peek_index(bytes) {
+        Ok(index) => Ok(index),
+        Err(_) => {
+            let (header, mut reader) = parse_header(bytes)?;
+            let mut entries = Vec::with_capacity(header.count);
+            let mut rows_total = 0usize;
+            for band in 0..header.count {
+                let chunk = reader.read_len_prefixed()?;
+                let offset = reader.pos() - chunk.len();
+                let rows = szr_core::inspect(chunk)
+                    .map_err(|e| SzError::Corrupt(format!("band {band}: {e}")))?
+                    .dims[0];
+                rows_total += rows;
+                entries.push(BandIndexEntry {
+                    offset,
+                    len: chunk.len(),
+                    rows,
+                });
+            }
+            if rows_total != header.dims[0] {
+                return Err(SzError::Corrupt(
+                    "band rows do not cover the container extent".into(),
+                ));
+            }
+            Ok(BandIndex {
+                version: header.version,
+                dims: header.dims,
+                shared_table: header.shared_table,
+                band_region: (header.band_region_start, reader.pos()),
+                entries,
+                crc: 0,
+                from_index: false,
+            })
+        }
     }
 }
 
@@ -238,8 +600,10 @@ pub fn compress_chunked_telemetry<T: ScalarFloat + Send + Sync>(
     let values = data.as_slice();
     let threads = threads.clamp(1, ranges.len().max(1));
 
-    // Work queue: each worker claims the next band index atomically.
-    let next = AtomicUsize::new(0);
+    // Work queues: each worker drains its own contiguous run of bands and
+    // steals from the most loaded peer once dry, so one slow band cannot
+    // serialize the rest of the job behind it.
+    let sched = BandScheduler::new(ranges.len(), threads);
     let results: Vec<Mutex<Option<Result<Vec<u8>>>>> =
         (0..ranges.len()).map(|_| Mutex::new(None)).collect();
 
@@ -255,11 +619,8 @@ pub fn compress_chunked_telemetry<T: ScalarFloat + Send + Sync>(
                 let mut session = CodecSession::<T>::new(*config).expect("config validated above");
                 let ws = worker_sink(sink);
                 attach(&mut session, &ws);
-                loop {
-                    let band = next.fetch_add(1, Ordering::Relaxed);
-                    if band >= ranges.len() {
-                        break;
-                    }
+                let w = sched.register();
+                while let Some(band) = sched.next(w) {
                     let (r0, r1) = ranges[band];
                     let mut band_dims = dims.clone();
                     band_dims[0] = r1 - r0;
@@ -275,6 +636,7 @@ pub fn compress_chunked_telemetry<T: ScalarFloat + Send + Sync>(
             });
         }
     });
+    record_steals(sink, &sched);
 
     let mut chunks = Vec::with_capacity(ranges.len());
     for cell in results {
@@ -330,7 +692,7 @@ pub fn compress_chunked_planned_telemetry<T: ScalarFloat + Real + Send + Sync>(
     let values = data.as_slice();
     let threads = threads.clamp(1, ranges.len().max(1));
 
-    let next = AtomicUsize::new(0);
+    let sched = BandScheduler::new(ranges.len(), threads);
     type Planned = (Vec<u8>, Config);
     let results: Vec<Mutex<Option<Result<Planned>>>> =
         (0..ranges.len()).map(|_| Mutex::new(None)).collect();
@@ -344,11 +706,8 @@ pub fn compress_chunked_planned_telemetry<T: ScalarFloat + Real + Send + Sync>(
                 let mut session = CodecSession::<T>::decoder();
                 let ws = worker_sink(sink);
                 attach(&mut session, &ws);
-                loop {
-                    let band = next.fetch_add(1, Ordering::Relaxed);
-                    if band >= ranges.len() {
-                        break;
-                    }
+                let w = sched.register();
+                while let Some(band) = sched.next(w) {
                     let (r0, r1) = ranges[band];
                     let mut band_dims = dims.clone();
                     band_dims[0] = r1 - r0;
@@ -367,6 +726,7 @@ pub fn compress_chunked_planned_telemetry<T: ScalarFloat + Real + Send + Sync>(
             });
         }
     });
+    record_steals(sink, &sched);
 
     let mut chunks = Vec::with_capacity(ranges.len());
     let mut configs = Vec::with_capacity(ranges.len());
@@ -435,7 +795,7 @@ pub fn compress_chunked_shared_telemetry<T: ScalarFloat + Send + Sync>(
 
     // Phase A (parallel): predict→quantize each band, holding the code
     // streams in memory (4 bytes/point, transient).
-    let next = AtomicUsize::new(0);
+    let sched = BandScheduler::new(ranges.len(), threads);
     let quantized: Vec<Mutex<Option<Result<QuantizedBand>>>> =
         (0..ranges.len()).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|s| {
@@ -444,11 +804,8 @@ pub fn compress_chunked_shared_telemetry<T: ScalarFloat + Send + Sync>(
                 let mut session = CodecSession::<T>::new(*config).expect("config validated above");
                 let ws = worker_sink(sink);
                 attach(&mut session, &ws);
-                loop {
-                    let band = next.fetch_add(1, Ordering::Relaxed);
-                    if band >= ranges.len() {
-                        break;
-                    }
+                let w = sched.register();
+                while let Some(band) = sched.next(w) {
                     let (r0, r1) = ranges[band];
                     let mut band_dims = dims.clone();
                     band_dims[0] = r1 - r0;
@@ -466,6 +823,7 @@ pub fn compress_chunked_shared_telemetry<T: ScalarFloat + Send + Sync>(
             });
         }
     });
+    record_steals(sink, &sched);
     let mut bands = Vec::with_capacity(ranges.len());
     for cell in quantized {
         match cell.into_inner().unwrap() {
@@ -523,7 +881,7 @@ pub fn compress_chunked_shared_telemetry<T: ScalarFloat + Send + Sync>(
     // Phase C (parallel): entropy-code each band under its chosen table.
     // Telemetry runs through per-worker sessions (band records need the
     // session's band index); the plain path keeps the free function.
-    let next = AtomicUsize::new(0);
+    let sched = BandScheduler::new(bands.len(), threads);
     let encoded: Vec<Mutex<Option<Vec<u8>>>> = (0..bands.len()).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|s| {
         for _ in 0..threads {
@@ -533,11 +891,8 @@ pub fn compress_chunked_shared_telemetry<T: ScalarFloat + Send + Sync>(
                 if let Some(session) = &mut session {
                     attach(session, &ws);
                 }
-                loop {
-                    let band = next.fetch_add(1, Ordering::Relaxed);
-                    if band >= bands.len() {
-                        break;
-                    }
+                let w = sched.register();
+                while let Some(band) = sched.next(w) {
                     let table = if any_shared && use_shared[band] {
                         HuffmanTable::Shared(&shared)
                     } else {
@@ -556,6 +911,7 @@ pub fn compress_chunked_shared_telemetry<T: ScalarFloat + Send + Sync>(
             });
         }
     });
+    record_steals(sink, &sched);
     let chunks: Vec<Vec<u8>> = encoded
         .into_iter()
         .map(|cell| {
@@ -680,7 +1036,7 @@ pub fn compress_chunked_fused_telemetry<T: ScalarFloat + Send + Sync>(
     };
 
     // All bands: fused under the fixed table, per-worker sessions.
-    let next = AtomicUsize::new(0);
+    let sched = BandScheduler::new(ranges.len(), threads);
     type Fused = (Vec<u8>, bool);
     let results: Vec<Mutex<Option<Result<Fused>>>> =
         (0..ranges.len()).map(|_| Mutex::new(None)).collect();
@@ -691,11 +1047,8 @@ pub fn compress_chunked_fused_telemetry<T: ScalarFloat + Send + Sync>(
                     CodecSession::<T>::new(worker_config).expect("config validated above");
                 let ws = worker_sink(sink);
                 attach(&mut session, &ws);
-                loop {
-                    let band = next.fetch_add(1, Ordering::Relaxed);
-                    if band >= ranges.len() {
-                        break;
-                    }
+                let w = sched.register();
+                while let Some(band) = sched.next(w) {
                     let (r0, r1) = ranges[band];
                     let mut band_dims = dims.clone();
                     band_dims[0] = r1 - r0;
@@ -728,6 +1081,7 @@ pub fn compress_chunked_fused_telemetry<T: ScalarFloat + Send + Sync>(
             });
         }
     });
+    record_steals(sink, &sched);
 
     let mut chunks = Vec::with_capacity(ranges.len());
     let mut any_shared = false;
@@ -813,7 +1167,7 @@ fn decode_bands<T: ScalarFloat + Send + Sync>(
 
     // Decode bands in parallel, then stitch; band extents are re-derived
     // from each chunk's own header so a corrupt archive fails loudly.
-    let next = AtomicUsize::new(0);
+    let sched = BandScheduler::new(archive.chunks.len(), threads);
     let decoded: Vec<Mutex<Option<Result<Tensor<T>>>>> = (0..archive.chunks.len())
         .map(|_| Mutex::new(None))
         .collect();
@@ -828,11 +1182,8 @@ fn decode_bands<T: ScalarFloat + Send + Sync>(
                 session.set_decode_policy(policy);
                 let ws = worker_sink(sink);
                 attach(&mut session, &ws);
-                loop {
-                    let band = next.fetch_add(1, Ordering::Relaxed);
-                    if band >= archive.chunks.len() {
-                        break;
-                    }
+                let w = sched.register();
+                while let Some(band) = sched.next(w) {
                     let result = match &shared {
                         Some(codec) => session.decompress_shared(&archive.chunks[band], codec),
                         None => session.decompress(&archive.chunks[band]),
@@ -843,6 +1194,7 @@ fn decode_bands<T: ScalarFloat + Send + Sync>(
             });
         }
     });
+    record_steals(sink, &sched);
     let results = decoded
         .into_iter()
         .map(|cell| {
@@ -889,6 +1241,128 @@ pub fn decompress_chunked_policy_telemetry<T: ScalarFloat + Send + Sync>(
         ));
     }
     Ok(Tensor::from_vec(shape, out))
+}
+
+/// Decodes only bands `bands` of a *serialized* chunked archive, seeking
+/// through its [`BandIndex`] — O(touched bands), never O(archive). Returns
+/// the stitched sub-tensor (the selected bands' rows, original inner dims).
+///
+/// The touched band payloads are bit-identical to what the sequential walk
+/// hands [`decompress_chunked`], so the rows come back byte-identical to
+/// the corresponding slice of a full decode. Archives without a usable
+/// index (v1, or a damaged index) transparently pay the sequential header
+/// walk to locate bands, then still decode only the selected payloads.
+pub fn read_bands<T: ScalarFloat + Send + Sync>(
+    bytes: &[u8],
+    bands: Range<usize>,
+    threads: usize,
+    policy: DecodePolicy,
+) -> Result<Tensor<T>> {
+    let index = band_index(bytes)?;
+    read_bands_indexed(bytes, &index, bands, threads, policy)
+}
+
+/// [`read_bands`] against a caller-held [`BandIndex`], so repeated region
+/// reads of one archive parse the index once.
+pub fn read_bands_indexed<T: ScalarFloat + Send + Sync>(
+    bytes: &[u8],
+    index: &BandIndex,
+    bands: Range<usize>,
+    threads: usize,
+    policy: DecodePolicy,
+) -> Result<Tensor<T>> {
+    if bands.start >= bands.end || bands.end > index.entries.len() {
+        return Err(SzError::InvalidConfig(
+            "band range is empty or exceeds the band count",
+        ));
+    }
+    let shared = index
+        .shared_table_slice(bytes)
+        .map(szr_huffman::deserialize_codec)
+        .transpose()
+        .map_err(|e| SzError::Corrupt(format!("shared huffman table: {e}")))?;
+    let selected: Vec<usize> = bands.clone().collect();
+    let rows_total: usize = selected.iter().map(|&b| index.entries[b].rows).sum();
+    let row_elems: usize = index.dims[1..].iter().product::<usize>().max(1);
+    let mut out_dims = index.dims.clone();
+    out_dims[0] = rows_total;
+    let shape = Shape::new(&out_dims);
+    let threads = threads.clamp(1, selected.len());
+
+    let sched = BandScheduler::new(selected.len(), threads);
+    let decoded: Vec<Mutex<Option<Result<Tensor<T>>>>> =
+        (0..selected.len()).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| {
+                let mut session = CodecSession::<T>::decoder();
+                session.set_decode_policy(policy);
+                let w = sched.register();
+                while let Some(slot) = sched.next(w) {
+                    let result =
+                        index
+                            .band_slice(bytes, selected[slot])
+                            .and_then(|chunk| match &shared {
+                                Some(codec) => session.decompress_shared(chunk, codec),
+                                None => session.decompress(chunk),
+                            });
+                    *decoded[slot].lock().unwrap() = Some(result);
+                }
+            });
+        }
+    });
+
+    let mut out: Vec<T> = vec![T::from_f64(0.0); shape.len()];
+    let mut row = 0usize;
+    for (slot, cell) in decoded.into_iter().enumerate() {
+        let band = cell
+            .into_inner()
+            .unwrap()
+            .expect("every selected band is claimed exactly once")?;
+        if band.dims()[1..] != index.dims[1..] {
+            return Err(SzError::Corrupt("band inner dimensions disagree".into()));
+        }
+        // The index's row extent located this band inside the tensor; a
+        // band that decodes to a different extent would mis-place every
+        // later row, so it is a hard error, not a silent shift.
+        if band.dims()[0] != index.entries[selected[slot]].rows {
+            return Err(SzError::Corrupt(
+                "index: band row extent disagrees with the decoded band".into(),
+            ));
+        }
+        let rows = band.dims()[0];
+        out[row * row_elems..(row + rows) * row_elems].copy_from_slice(band.as_slice());
+        row += rows;
+    }
+    Ok(Tensor::from_vec(shape, out))
+}
+
+/// Decodes exactly the slowest-dimension rows `rows` of a serialized
+/// chunked archive: maps the row range onto the covering bands through the
+/// [`BandIndex`], decodes only those via [`read_bands_indexed`], and trims
+/// the stitched result to the requested rows. This is the ROI read the
+/// in-situ scenarios want — cost scales with the region, not the archive.
+pub fn decompress_chunked_region<T: ScalarFloat + Send + Sync>(
+    bytes: &[u8],
+    rows: Range<usize>,
+    threads: usize,
+    policy: DecodePolicy,
+) -> Result<Tensor<T>> {
+    let index = band_index(bytes)?;
+    let (bands, first_row) = index.bands_covering_rows(rows.clone())?;
+    let stitched = read_bands_indexed::<T>(bytes, &index, bands, threads, policy)?;
+    let row_elems: usize = index.dims[1..].iter().product::<usize>().max(1);
+    let skip = rows.start - first_row;
+    let keep = rows.end - rows.start;
+    if stitched.dims()[0] < skip + keep {
+        return Err(SzError::Corrupt(
+            "index: covering bands hold fewer rows than declared".into(),
+        ));
+    }
+    let mut out_dims = index.dims.clone();
+    out_dims[0] = keep;
+    let out = stitched.as_slice()[skip * row_elems..(skip + keep) * row_elems].to_vec();
+    Ok(Tensor::from_vec(Shape::new(&out_dims), out))
 }
 
 /// Decodes every intact band of a possibly-damaged [`ChunkedArchive`],
@@ -1304,12 +1778,19 @@ mod tests {
                 assert!((a as f64 - b as f64).abs() <= 1e-3);
             }
         }
-        // Truncations and a bad magic must error, not panic.
-        let bytes = compress_chunked_shared(&data, &config, 6, 2)
-            .unwrap()
-            .to_bytes();
-        for cut in [0usize, 3, 9, bytes.len() / 2, bytes.len() - 1] {
+        // Truncations and a bad magic must error, not panic. v2 cut points
+        // stay within the header/band region: a cut confined to the
+        // *trailing index* is tolerated by the sequential parse by design
+        // (the index tests cover that), so the end-of-archive cut runs
+        // against the legacy layout where the last band is the last byte.
+        let archive = compress_chunked_shared(&data, &config, 6, 2).unwrap();
+        let bytes = archive.to_bytes();
+        for cut in [0usize, 3, 9, bytes.len() / 2] {
             assert!(ChunkedArchive::from_bytes(&bytes[..cut]).is_err());
+        }
+        let legacy = archive.to_bytes_legacy();
+        for cut in [0usize, 3, 9, legacy.len() / 2, legacy.len() - 1] {
+            assert!(ChunkedArchive::from_bytes(&legacy[..cut]).is_err());
         }
         let mut bad = bytes.clone();
         bad[0] = b'X';
@@ -1352,5 +1833,173 @@ mod tests {
         for (&a, &b) in data.as_slice().iter().zip(out.as_slice()) {
             assert!((a as f64 - b as f64).abs() <= 1e-4);
         }
+    }
+
+    #[test]
+    fn band_index_matches_the_sequential_walk() {
+        let data = field();
+        let config = Config::new(ErrorBound::Absolute(1e-3));
+        for archive in [
+            compress_chunked(&data, &config, 5, 2).unwrap(),
+            compress_chunked_shared(&data, &config, 6, 2).unwrap(),
+        ] {
+            let bytes = archive.to_bytes();
+            let indexed = ChunkedArchive::peek_index(&bytes).unwrap();
+            assert!(indexed.from_index);
+            assert_eq!(indexed.bands(), archive.chunks.len());
+            // Legacy bytes carry no index; the walk rebuilds one below.
+            let legacy = archive.to_bytes_legacy();
+            assert!(ChunkedArchive::peek_index(&legacy).is_err());
+            let from_walk = band_index(&bytes).unwrap();
+            assert_eq!(from_walk, indexed);
+            for (band, chunk) in archive.chunks.iter().enumerate() {
+                assert_eq!(indexed.band_slice(&bytes, band).unwrap(), &chunk[..]);
+            }
+            // Row extents cover the tensor.
+            let rows: usize = indexed.entries.iter().map(|e| e.rows).sum();
+            assert_eq!(rows, archive.dims[0]);
+        }
+    }
+
+    #[test]
+    fn legacy_v1_bytes_still_roundtrip() {
+        let data = field();
+        let config = Config::new(ErrorBound::Absolute(1e-3));
+        let archive = compress_chunked_shared(&data, &config, 6, 2).unwrap();
+        let legacy = archive.to_bytes_legacy();
+        assert_eq!(legacy[4], 1);
+        let back = ChunkedArchive::from_bytes(&legacy).unwrap();
+        assert_eq!(back.chunks, archive.chunks);
+        assert_eq!(back.shared_table, archive.shared_table);
+        // The un-indexed walk still powers random access.
+        let index = band_index(&legacy).unwrap();
+        assert!(!index.from_index);
+        let roi: Tensor<f32> = read_bands(&legacy, 1..3, 2, DecodePolicy::Strict).unwrap();
+        let full: Tensor<f32> = decompress_chunked(&back, 2).unwrap();
+        let row_elems = archive.dims[1];
+        let r0 = index.entries[0].rows;
+        let r1 = r0 + index.entries[1].rows + index.entries[2].rows;
+        assert_eq!(
+            roi.as_slice(),
+            &full.as_slice()[r0 * row_elems..r1 * row_elems]
+        );
+    }
+
+    #[test]
+    fn read_bands_matches_the_full_decode() {
+        let data = field();
+        let config = Config::new(ErrorBound::Absolute(1e-3));
+        for archive in [
+            compress_chunked(&data, &config, 8, 2).unwrap(),
+            compress_chunked_shared(&data, &config, 8, 2).unwrap(),
+        ] {
+            let bytes = archive.to_bytes();
+            let full: Tensor<f32> = decompress_chunked(&archive, 2).unwrap();
+            let index = band_index(&bytes).unwrap();
+            let row_elems = archive.dims[1];
+            let mut row = 0usize;
+            for (band, entry) in index.entries.iter().enumerate() {
+                let one: Tensor<f32> =
+                    read_bands(&bytes, band..band + 1, 1, DecodePolicy::Strict).unwrap();
+                assert_eq!(
+                    one.as_slice(),
+                    &full.as_slice()[row * row_elems..(row + entry.rows) * row_elems]
+                );
+                row += entry.rows;
+            }
+            let mid: Tensor<f32> = read_bands(&bytes, 2..6, 2, DecodePolicy::Strict).unwrap();
+            let start: usize = index.entries[..2].iter().map(|e| e.rows).sum();
+            let span: usize = index.entries[2..6].iter().map(|e| e.rows).sum();
+            assert_eq!(
+                mid.as_slice(),
+                &full.as_slice()[start * row_elems..(start + span) * row_elems]
+            );
+            assert!(read_bands::<f32>(&bytes, 3..3, 1, DecodePolicy::Strict).is_err());
+            assert!(read_bands::<f32>(&bytes, 0..9, 1, DecodePolicy::Strict).is_err());
+        }
+    }
+
+    #[test]
+    fn region_decode_trims_to_exact_rows() {
+        let data = field();
+        let config = Config::new(ErrorBound::Absolute(1e-3));
+        let archive = compress_chunked(&data, &config, 8, 2).unwrap();
+        let bytes = archive.to_bytes();
+        let full: Tensor<f32> = decompress_chunked(&archive, 2).unwrap();
+        let row_elems = archive.dims[1];
+        for rows in [0..1usize, 5..6, 13..14, 0..97, 40..55, 90..97] {
+            let roi: Tensor<f32> =
+                decompress_chunked_region(&bytes, rows.clone(), 2, DecodePolicy::Strict).unwrap();
+            assert_eq!(roi.dims()[0], rows.end - rows.start);
+            assert_eq!(
+                roi.as_slice(),
+                &full.as_slice()[rows.start * row_elems..rows.end * row_elems],
+                "rows {rows:?}"
+            );
+        }
+        assert!(decompress_chunked_region::<f32>(&bytes, 5..5, 1, DecodePolicy::Strict).is_err());
+        assert!(decompress_chunked_region::<f32>(&bytes, 90..98, 1, DecodePolicy::Strict).is_err());
+    }
+
+    #[test]
+    fn damaged_index_degrades_to_the_sequential_walk() {
+        let data = field();
+        let config = Config::new(ErrorBound::Absolute(1e-3));
+        let archive = compress_chunked(&data, &config, 6, 2).unwrap();
+        let bytes = archive.to_bytes();
+        let index = ChunkedArchive::peek_index(&bytes).unwrap();
+        let index_start = index.band_region.1;
+        // Damage every byte position in the index region, one at a time.
+        for pos in index_start..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[pos] ^= 0x41;
+            // Strict peek either fails typed (named section) or — when the
+            // flip lands harmlessly inside a varint's representation — still
+            // yields an index that agrees with the walk.
+            match ChunkedArchive::peek_index(&bad) {
+                Err(SzError::Corrupt(msg)) => assert!(msg.starts_with("index:"), "{msg}"),
+                Err(e) => panic!("unexpected error class: {e}"),
+                Ok(ix) => assert_eq!(ix.entries, index.entries),
+            }
+            // The tolerant entry points never fail, never mis-seek.
+            let fallback = band_index(&bad).unwrap();
+            assert_eq!(fallback.entries, index.entries);
+            let back = ChunkedArchive::from_bytes(&bad).unwrap();
+            assert_eq!(back.chunks, archive.chunks);
+            let roi: Tensor<f32> =
+                decompress_chunked_region(&bad, 20..40, 2, DecodePolicy::Strict).unwrap();
+            let full: Tensor<f32> = decompress_chunked(&archive, 1).unwrap();
+            assert_eq!(
+                roi.as_slice(),
+                &full.as_slice()[20 * archive.dims[1]..40 * archive.dims[1]]
+            );
+        }
+        // Truncating the whole index off is also tolerated sequentially.
+        let cut = &bytes[..index_start];
+        assert!(ChunkedArchive::peek_index(cut).is_err());
+        assert_eq!(
+            ChunkedArchive::from_bytes(cut).unwrap().chunks,
+            archive.chunks
+        );
+    }
+
+    #[test]
+    fn peek_stat_reports_header_metadata() {
+        let data = field();
+        let config = Config::new(ErrorBound::Absolute(1e-3));
+        let archive = compress_chunked_shared(&data, &config, 6, 2).unwrap();
+        let bytes = archive.to_bytes();
+        let stat = ChunkedArchive::peek_stat(&bytes).unwrap();
+        assert_eq!(stat.version, 2);
+        assert_eq!(stat.dims, vec![97, 64]);
+        assert_eq!(stat.bands, 6);
+        assert!(stat.indexed);
+        assert!(stat.shared_table_bytes > 0);
+        let first = stat.first_band.unwrap();
+        assert_eq!(first.dtype, "f32");
+        let legacy_stat = ChunkedArchive::peek_stat(&archive.to_bytes_legacy()).unwrap();
+        assert_eq!(legacy_stat.version, 1);
+        assert!(!legacy_stat.indexed);
+        assert_eq!(legacy_stat.bands, 6);
     }
 }

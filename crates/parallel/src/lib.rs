@@ -13,7 +13,14 @@
 //!   `compress_chunked_fused` presamples one shared Huffman table and runs
 //!   the fused quantize→encode fast path per band. Every worker (both
 //!   directions) owns one `szr_core::CodecSession`, so kernels, quantize
-//!   buffers, and decode scratch are reused across all bands it claims;
+//!   buffers, and decode scratch are reused across all bands it claims.
+//!   Serialized containers (v2) carry a CRC-sealed band index enabling
+//!   `read_bands` / `decompress_chunked_region` — ROI decode that costs
+//!   O(touched bands), never O(archive) — and header-only `peek_stat`;
+//! * [`scheduler`] — the work-stealing band scheduler behind every chunked
+//!   driver (and the `szr-server` job queues): per-worker deques seeded
+//!   with contiguous band runs, idle workers steal from the most loaded
+//!   peer, steals surfaced through telemetry;
 //! * [`scaling`] — the strong-scaling harness behind Tables VII/VIII:
 //!   measured thread-scaling on the host plus an analytical Blues-cluster
 //!   model (ideal inter-node scaling — justified by zero communication —
@@ -25,14 +32,17 @@
 mod chunked;
 mod io_model;
 mod scaling;
+mod scheduler;
 
 pub use chunked::{
-    compress_chunked, compress_chunked_fused, compress_chunked_fused_telemetry,
+    band_index, compress_chunked, compress_chunked_fused, compress_chunked_fused_telemetry,
     compress_chunked_planned, compress_chunked_planned_telemetry, compress_chunked_shared,
     compress_chunked_shared_telemetry, compress_chunked_telemetry, decompress_chunked,
-    decompress_chunked_policy_telemetry, decompress_chunked_salvage,
+    decompress_chunked_policy_telemetry, decompress_chunked_region, decompress_chunked_salvage,
     decompress_chunked_salvage_telemetry, decompress_chunked_telemetry,
-    decompress_chunked_with_policy, ChunkedArchive,
+    decompress_chunked_with_policy, read_bands, read_bands_indexed, BandIndex, BandIndexEntry,
+    ChunkedArchive, ChunkedStat,
 };
 pub use io_model::{io_breakdown, IoBreakdown, IoModel};
 pub use scaling::{measure_scaling, model_cluster_scaling, ClusterModel, Direction, ScalingPoint};
+pub use scheduler::{BandScheduler, WorkQueues};

@@ -1,0 +1,257 @@
+//! Work-stealing band scheduler.
+//!
+//! The chunked drivers used to hand out bands through a single shared
+//! `AtomicUsize` claim counter. That is fair but has two costs the service
+//! layer cares about: every claim bounces one cache line between all
+//! workers, and a worker that grabs a slow band *late* leaves the remaining
+//! fast bands serialized behind whoever claims next — there is no way for
+//! an idle worker to take over queued work that another worker is "due".
+//!
+//! [`WorkQueues`] replaces the counter with one deque per worker. Each
+//! worker is seeded with (or pushed) its own contiguous run of tasks and
+//! pops from the *front* of its own deque — preserving the locality the
+//! per-worker `CodecSession` caches rely on — and only when its deque runs
+//! dry does it steal from the *back* of the most loaded victim. Steals are
+//! counted (surfaced through telemetry as `scheduler_steals`) so imbalance
+//! is observable, and a task is moved exactly once, so no task can run
+//! twice and none can be lost.
+//!
+//! [`BandScheduler`] is the static-band-set wrapper the chunked drivers
+//! use; the archive service pushes dynamic per-job tasks through
+//! [`WorkQueues`] directly.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Per-worker work-stealing deques over an arbitrary task type.
+///
+/// Not a lock-free Chase–Lev deque: tasks here are whole compression bands
+/// (milliseconds each), so a `Mutex<VecDeque>` per worker is held for
+/// nanoseconds at a time and contention is limited to actual steals.
+#[derive(Debug)]
+pub struct WorkQueues<T> {
+    deques: Vec<Mutex<VecDeque<T>>>,
+    steals: AtomicU64,
+    /// Next worker slot handed out by [`WorkQueues::register`].
+    next_worker: AtomicUsize,
+}
+
+impl<T> WorkQueues<T> {
+    /// A scheduler with `workers` empty deques (at least one).
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        WorkQueues {
+            deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            steals: AtomicU64::new(0),
+            next_worker: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of worker slots.
+    pub fn workers(&self) -> usize {
+        self.deques.len()
+    }
+
+    /// Claims a worker slot for the calling thread (round-robin). Spawn
+    /// loops call this once per thread instead of plumbing an index through
+    /// the closure captures.
+    pub fn register(&self) -> usize {
+        self.next_worker.fetch_add(1, Ordering::Relaxed) % self.deques.len()
+    }
+
+    /// Appends a task to `worker`'s own deque (the end it steals *from* is
+    /// the opposite one, so fresh local work is consumed in push order).
+    pub fn push(&self, worker: usize, task: T) {
+        self.deques[worker % self.deques.len()]
+            .lock()
+            .unwrap()
+            .push_back(task);
+    }
+
+    /// Takes the next task for `worker`: front of its own deque, else the
+    /// *back* of the currently most-loaded victim. Returns `None` only when
+    /// every deque is empty at scan time.
+    pub fn pop(&self, worker: usize) -> Option<T> {
+        let worker = worker % self.deques.len();
+        if let Some(task) = self.deques[worker].lock().unwrap().pop_front() {
+            return Some(task);
+        }
+        loop {
+            let mut best: Option<(usize, usize)> = None; // (len, victim)
+            for (i, deque) in self.deques.iter().enumerate() {
+                if i == worker {
+                    continue;
+                }
+                let len = deque.lock().unwrap().len();
+                if len > 0 && best.is_none_or(|(l, _)| len > l) {
+                    best = Some((len, i));
+                }
+            }
+            let (_, victim) = best?;
+            // The victim may have drained between the scan and this lock;
+            // rescan rather than give up (another deque may still be full).
+            if let Some(task) = self.deques[victim].lock().unwrap().pop_back() {
+                self.steals.fetch_add(1, Ordering::Relaxed);
+                return Some(task);
+            }
+        }
+    }
+
+    /// True when every deque is empty (racy by nature; callers re-check
+    /// under their own lock before sleeping).
+    pub fn is_empty(&self) -> bool {
+        self.deques.iter().all(|d| d.lock().unwrap().is_empty())
+    }
+
+    /// Queued tasks across all deques.
+    pub fn len(&self) -> usize {
+        self.deques.iter().map(|d| d.lock().unwrap().len()).sum()
+    }
+
+    /// Number of cross-worker steals so far.
+    pub fn steals(&self) -> u64 {
+        self.steals.load(Ordering::Relaxed)
+    }
+}
+
+/// A static set of `bands` tasks pre-split into contiguous per-worker runs.
+///
+/// Worker `w` starts on the `w`-th slice of the band range (the same even
+/// split [`band_ranges`](crate::chunked) uses for rows), so each session's
+/// kernel/codec caches see neighboring bands; an early finisher steals from
+/// the far end of the most loaded run. The *results* of band work are keyed
+/// by band index, so scheduling order never changes output bytes.
+#[derive(Debug)]
+pub struct BandScheduler {
+    queues: WorkQueues<usize>,
+}
+
+impl BandScheduler {
+    /// Schedules bands `0..bands` across `workers` deques.
+    pub fn new(bands: usize, workers: usize) -> Self {
+        let queues = WorkQueues::new(workers);
+        let workers = queues.workers();
+        let base = bands / workers;
+        let rem = bands % workers;
+        let mut band = 0usize;
+        for w in 0..workers {
+            let run = base + usize::from(w < rem);
+            for _ in 0..run {
+                queues.push(w, band);
+                band += 1;
+            }
+        }
+        debug_assert_eq!(band, bands);
+        BandScheduler { queues }
+    }
+
+    /// Claims a worker slot for the calling thread.
+    pub fn register(&self) -> usize {
+        self.queues.register()
+    }
+
+    /// Next band for `worker`, or `None` when all bands are claimed.
+    pub fn next(&self, worker: usize) -> Option<usize> {
+        self.queues.pop(worker)
+    }
+
+    /// Number of cross-worker steals so far.
+    pub fn steals(&self) -> u64 {
+        self.queues.steals()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    #[test]
+    fn every_band_is_claimed_exactly_once() {
+        for (bands, workers) in [(0usize, 3usize), (1, 4), (7, 3), (64, 4), (5, 8)] {
+            let sched = BandScheduler::new(bands, workers);
+            let mut seen = vec![0u32; bands];
+            for w in 0..workers.max(1) {
+                while let Some(band) = sched.next(w) {
+                    seen[band] += 1;
+                }
+            }
+            assert!(seen.iter().all(|&n| n == 1), "{bands}x{workers}: {seen:?}");
+        }
+    }
+
+    #[test]
+    fn initial_runs_are_contiguous_and_in_order() {
+        let sched = BandScheduler::new(10, 3);
+        // Worker 0's own run is 0..4, popped front-first.
+        assert_eq!(sched.next(0), Some(0));
+        assert_eq!(sched.next(0), Some(1));
+        // Worker 2's own run is 7..10.
+        assert_eq!(sched.next(2), Some(7));
+        assert_eq!(sched.steals(), 0);
+    }
+
+    #[test]
+    fn idle_worker_steals_from_the_most_loaded_back() {
+        let sched = BandScheduler::new(8, 2); // w0: 0..4, w1: 4..8
+                                              // Drain worker 1 entirely; its next claim must steal from the far
+                                              // end of worker 0's run.
+        for _ in 0..4 {
+            sched.next(1).unwrap();
+        }
+        assert_eq!(sched.next(1), Some(3));
+        assert_eq!(sched.steals(), 1);
+        // Worker 0 still consumes its own run front-first.
+        assert_eq!(sched.next(0), Some(0));
+    }
+
+    #[test]
+    fn concurrent_claims_partition_the_bands() {
+        let bands = 500usize;
+        let workers = 4usize;
+        let sched = BandScheduler::new(bands, workers);
+        let claimed: Vec<AtomicBool> = (0..bands).map(|_| AtomicBool::new(false)).collect();
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| {
+                    let w = sched.register();
+                    while let Some(band) = sched.next(w) {
+                        assert!(
+                            !claimed[band].swap(true, Ordering::SeqCst),
+                            "band {band} claimed twice"
+                        );
+                    }
+                });
+            }
+        });
+        assert!(claimed.iter().all(|c| c.load(Ordering::SeqCst)));
+    }
+
+    #[test]
+    fn dynamic_pushes_interleave_with_steals() {
+        let queues: WorkQueues<u32> = WorkQueues::new(3);
+        for t in 0..9 {
+            queues.push((t % 3) as usize, t);
+        }
+        assert_eq!(queues.len(), 9);
+        // Worker 0 drains everything: its own three tasks, then six steals.
+        let mut seen = Vec::new();
+        for _ in 0..9 {
+            seen.push(queues.pop(0).unwrap());
+        }
+        assert!(queues.is_empty());
+        assert_eq!(queues.pop(0), None);
+        seen.sort_unstable();
+        assert_eq!(seen, (0..9).collect::<Vec<_>>());
+        assert!(queues.steals() > 0);
+    }
+
+    #[test]
+    fn register_hands_out_distinct_slots() {
+        let queues: WorkQueues<()> = WorkQueues::new(4);
+        let mut slots: Vec<usize> = (0..4).map(|_| queues.register()).collect();
+        slots.sort_unstable();
+        assert_eq!(slots, vec![0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,224 @@
+//! # szr-server — the concurrent archive service layer.
+//!
+//! Everything below this crate is built for one caller at a time; this
+//! crate makes throughput *under concurrency* a first-class property. It
+//! is deliberately transport-free — a library service object, not a
+//! network daemon — so the concurrency machinery is testable in-process:
+//!
+//! * [`SessionPool`] — pre-warmed `CodecSession`s behind checkout/checkin
+//!   guards. The session layer's enforced allocation-free steady state
+//!   means a warm session serves a job without reallocating kernel caches,
+//!   scratch, or codec tables; the pool extends that guarantee across
+//!   concurrent callers.
+//! * [`ArchiveService`] — bounded-admission job execution over a
+//!   work-stealing band scheduler (`szr_parallel::WorkQueues`). Jobs fan
+//!   out as one task per band; [`Backpressure`] picks block-or-reject for
+//!   over-limit submits, and rejections/steals surface through the
+//!   telemetry sink (`rejected_jobs`, `scheduler_steals` counters).
+//! * [`stat`] — header-only metadata for all four archive families
+//!   (`SZR1` band, `SZCK` chunked, `SZST` stream, `SZRL` pointwise),
+//!   never decoding payloads.
+//!
+//! Region reads ([`ArchiveService::read_region`]) go through the chunked
+//! container's CRC-sealed band index, decoding only the covering bands —
+//! O(touched bands), never O(archive).
+
+mod pool;
+mod service;
+mod stat;
+
+pub use pool::{PooledSession, SessionPool};
+pub use service::{
+    ArchiveService, Backpressure, CompressHandle, ServiceConfig, ServiceStats, TensorHandle,
+};
+pub use stat::{stat, ArchiveFamily, ArchiveStat};
+
+use szr_core::SzError;
+
+/// Why the service could not deliver a job result.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// Admission refused under [`Backpressure::Reject`]: `queued` jobs
+    /// were already in flight against a `capacity`-job limit.
+    Rejected {
+        /// Jobs in flight at the rejecting submit.
+        queued: usize,
+        /// The configured job limit.
+        capacity: usize,
+    },
+    /// The service is shutting down; no new work is admitted.
+    ShuttingDown,
+    /// The job itself failed in the codec (corrupt archive, bad config).
+    Codec(SzError),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Rejected { queued, capacity } => {
+                write!(f, "rejected: {queued} jobs in flight (capacity {capacity})")
+            }
+            ServiceError::ShuttingDown => write!(f, "service is shutting down"),
+            ServiceError::Codec(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<SzError> for ServiceError {
+    fn from(e: SzError) -> Self {
+        ServiceError::Codec(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use szr_core::{Config, DecodePolicy, ErrorBound};
+    use szr_parallel::{compress_chunked, decompress_chunked, ChunkedArchive};
+    use szr_tensor::Tensor;
+
+    fn field() -> Tensor<f32> {
+        Tensor::from_fn([96, 40], |ix| {
+            ((ix[0] as f32) * 0.13).sin() * 4.0 + ((ix[1] as f32) * 0.05).cos()
+        })
+    }
+
+    fn config() -> Config {
+        Config::new(ErrorBound::Absolute(1e-3))
+    }
+
+    fn service(workers: usize) -> ArchiveService<f32> {
+        ArchiveService::new(ServiceConfig {
+            workers,
+            queue_jobs: 8,
+            backpressure: Backpressure::Block,
+            session_config: config(),
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn service_compress_is_bit_identical_to_the_driver() {
+        let data = Arc::new(field());
+        let svc = service(3);
+        let handle = svc
+            .submit_compress(Arc::clone(&data), config(), 8, None)
+            .unwrap();
+        let bytes = handle.wait().unwrap();
+        let reference = compress_chunked(&data, &config(), 8, 2).unwrap().to_bytes();
+        assert_eq!(bytes, reference);
+    }
+
+    #[test]
+    fn service_decompress_matches_the_driver() {
+        let data = field();
+        let svc = service(2);
+        let bytes = Arc::new(compress_chunked(&data, &config(), 6, 2).unwrap().to_bytes());
+        let out = svc
+            .submit_decompress(Arc::clone(&bytes), DecodePolicy::Strict, None)
+            .unwrap()
+            .wait()
+            .unwrap();
+        let reference: Tensor<f32> =
+            decompress_chunked(&ChunkedArchive::from_bytes(&bytes).unwrap(), 2).unwrap();
+        assert_eq!(out.as_slice(), reference.as_slice());
+        let stats = svc.stats();
+        assert_eq!(stats.submitted, 1);
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.bands_executed, 6);
+    }
+
+    #[test]
+    fn region_read_equals_the_full_decode_slice() {
+        let data = field();
+        let svc = service(2);
+        let bytes = Arc::new(compress_chunked(&data, &config(), 8, 2).unwrap().to_bytes());
+        let full: Tensor<f32> =
+            decompress_chunked(&ChunkedArchive::from_bytes(&bytes).unwrap(), 1).unwrap();
+        for rows in [0..5usize, 17..40, 90..96] {
+            let roi = svc
+                .read_region(Arc::clone(&bytes), rows.clone(), DecodePolicy::Strict, None)
+                .unwrap()
+                .wait()
+                .unwrap();
+            assert_eq!(roi.dims(), &[rows.end - rows.start, 40]);
+            assert_eq!(
+                roi.as_slice(),
+                &full.as_slice()[rows.start * 40..rows.end * 40]
+            );
+        }
+    }
+
+    #[test]
+    fn zero_capacity_reject_policy_rejects_every_submit() {
+        let svc = ArchiveService::<f32>::new(ServiceConfig {
+            workers: 1,
+            queue_jobs: 0,
+            backpressure: Backpressure::Reject,
+            session_config: config(),
+        })
+        .unwrap();
+        let data = Arc::new(field());
+        match svc.submit_compress(data, config(), 4, None) {
+            Err(ServiceError::Rejected { queued, capacity }) => {
+                assert_eq!(queued, 0);
+                assert_eq!(capacity, 0);
+            }
+            other => panic!("expected rejection, got {:?}", other.map(|_| ())),
+        }
+        assert_eq!(svc.stats().rejected, 1);
+    }
+
+    #[test]
+    fn zero_capacity_blocking_policy_is_refused_at_construction() {
+        assert!(ArchiveService::<f32>::new(ServiceConfig {
+            workers: 1,
+            queue_jobs: 0,
+            backpressure: Backpressure::Block,
+            session_config: config(),
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn stat_covers_all_four_archive_families() {
+        let data = field();
+        let cfg = config();
+
+        let band = szr_core::compress(&data, &cfg).unwrap();
+        let s = stat(&band).unwrap();
+        assert_eq!(s.family, ArchiveFamily::Band);
+        assert_eq!(s.dims, vec![96, 40]);
+        assert_eq!(s.bands, 1);
+        assert_eq!(s.dtype, Some("f32"));
+
+        let chunked = compress_chunked(&data, &cfg, 6, 2).unwrap().to_bytes();
+        let s = stat(&chunked).unwrap();
+        assert_eq!(s.family, ArchiveFamily::Chunked);
+        assert_eq!(s.dims, vec![96, 40]);
+        assert_eq!(s.bands, 6);
+        assert_eq!(s.version, Some(2));
+        assert!(s.indexed);
+        assert!(s.error_bound.unwrap() > 0.0);
+
+        let mut stream = szr_core::StreamCompressor::<f32>::new(&[40], 16, cfg).unwrap();
+        stream.push(data.as_slice()).unwrap();
+        let stream_bytes = stream.finish().unwrap();
+        let s = stat(&stream_bytes).unwrap();
+        assert_eq!(s.family, ArchiveFamily::Stream);
+        assert_eq!(s.dims, vec![96, 40]);
+        assert_eq!(s.bands, 6);
+        assert_eq!(s.dtype, Some("f32"));
+
+        let pw = szr_core::compress_pointwise_rel(&data, 1e-3, &cfg).unwrap();
+        let s = stat(&pw).unwrap();
+        assert_eq!(s.family, ArchiveFamily::PointwiseRel);
+        assert_eq!(s.dims, vec![96, 40]);
+        assert_eq!(s.error_bound, Some(1e-3));
+
+        assert!(stat(&chunked[..3]).is_err());
+    }
+}

@@ -1,0 +1,187 @@
+//! Pre-warmed [`CodecSession`] pool.
+//!
+//! The session layer enforces an allocation-free steady state: once a
+//! session has compressed and decoded a band of a given shape, repeating
+//! that work reuses its kernel cache, quantize/entropy buffers, and decode
+//! scratch — only the output archive is allocated. The pool exploits that
+//! invariant for concurrent callers: `capacity` sessions are built (and
+//! optionally warmed) up front, checkout hands one out without touching its
+//! internals, and checkin returns it with every cache intact. A job served
+//! by a warm pool therefore allocates nothing but its own output, no matter
+//! which worker thread picks it up.
+
+use std::sync::{Condvar, Mutex};
+
+use szr_core::{CodecSession, Config, Result, ScalarFloat};
+use szr_tensor::Shape;
+
+/// A fixed-capacity pool of reusable [`CodecSession`]s.
+///
+/// Checkout blocks until a session is free (the pool is sized to the worker
+/// count, so a worker never waits in practice); checkin is the guard's drop.
+pub struct SessionPool<T: ScalarFloat> {
+    sessions: Mutex<Vec<CodecSession<T>>>,
+    available: Condvar,
+    config: Config,
+    capacity: usize,
+}
+
+impl<T: ScalarFloat> SessionPool<T> {
+    /// Builds `capacity` sessions (at least one) under `config`.
+    ///
+    /// The sessions are cold: their caches fill on first use, or eagerly
+    /// via [`SessionPool::warm`].
+    pub fn new(config: Config, capacity: usize) -> Result<Self> {
+        let capacity = capacity.max(1);
+        let mut sessions = Vec::with_capacity(capacity);
+        for _ in 0..capacity {
+            sessions.push(CodecSession::<T>::new(config)?);
+        }
+        Ok(SessionPool {
+            sessions: Mutex::new(sessions),
+            available: Condvar::new(),
+            config,
+            capacity,
+        })
+    }
+
+    /// The config every pooled session is armed with.
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+
+    /// Total sessions owned by the pool.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Sessions currently checked in (racy snapshot, for stats displays).
+    pub fn available(&self) -> usize {
+        self.sessions.lock().unwrap().len()
+    }
+
+    /// Runs one compress + decompress of a zero band shaped `band_dims`
+    /// through every pooled session, so each one's kernel cache, scratch
+    /// buffers, and codec tables are sized *before* the first real job.
+    /// After warming with the job's band shape, checkout → compress
+    /// allocates only the output archive (pinned by the service tests).
+    pub fn warm(&self, band_dims: &[usize]) -> Result<()> {
+        let shape = Shape::new(band_dims);
+        let zeros = vec![T::from_f64(0.0); shape.len()];
+        let mut sessions = self.sessions.lock().unwrap();
+        for session in sessions.iter_mut() {
+            let (bytes, _) = session.compress_slice(&zeros, &shape)?;
+            session.decompress(&bytes)?;
+        }
+        Ok(())
+    }
+
+    /// Takes a session out of the pool, blocking while all are in use.
+    pub fn checkout(&self) -> PooledSession<'_, T> {
+        let mut sessions = self.sessions.lock().unwrap();
+        loop {
+            if let Some(session) = sessions.pop() {
+                return PooledSession {
+                    pool: self,
+                    session: Some(session),
+                };
+            }
+            sessions = self.available.wait(sessions).unwrap();
+        }
+    }
+
+    /// [`SessionPool::checkout`] without blocking.
+    pub fn try_checkout(&self) -> Option<PooledSession<'_, T>> {
+        self.sessions
+            .lock()
+            .unwrap()
+            .pop()
+            .map(|session| PooledSession {
+                pool: self,
+                session: Some(session),
+            })
+    }
+}
+
+/// A checked-out session; deref to use it, drop to check it back in with
+/// all its caches intact.
+pub struct PooledSession<'a, T: ScalarFloat> {
+    pool: &'a SessionPool<T>,
+    session: Option<CodecSession<T>>,
+}
+
+impl<T: ScalarFloat> std::ops::Deref for PooledSession<'_, T> {
+    type Target = CodecSession<T>;
+    fn deref(&self) -> &CodecSession<T> {
+        self.session.as_ref().expect("present until drop")
+    }
+}
+
+impl<T: ScalarFloat> std::ops::DerefMut for PooledSession<'_, T> {
+    fn deref_mut(&mut self) -> &mut CodecSession<T> {
+        self.session.as_mut().expect("present until drop")
+    }
+}
+
+impl<T: ScalarFloat> Drop for PooledSession<'_, T> {
+    fn drop(&mut self) {
+        let session = self.session.take().expect("dropped once");
+        self.pool.sessions.lock().unwrap().push(session);
+        self.pool.available.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use szr_core::ErrorBound;
+
+    fn config() -> Config {
+        Config::new(ErrorBound::Absolute(1e-3))
+    }
+
+    #[test]
+    fn checkout_checkin_cycles_through_capacity() {
+        let pool = SessionPool::<f32>::new(config(), 2).unwrap();
+        assert_eq!(pool.capacity(), 2);
+        assert_eq!(pool.available(), 2);
+        let a = pool.checkout();
+        let b = pool.checkout();
+        assert_eq!(pool.available(), 0);
+        assert!(pool.try_checkout().is_none());
+        drop(a);
+        assert_eq!(pool.available(), 1);
+        drop(b);
+        assert_eq!(pool.available(), 2);
+    }
+
+    #[test]
+    fn checkout_blocks_until_a_session_returns() {
+        let pool = SessionPool::<f32>::new(config(), 1).unwrap();
+        let held = pool.checkout();
+        std::thread::scope(|s| {
+            let waiter = s.spawn(|| {
+                let session = pool.checkout();
+                drop(session);
+            });
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            assert!(!waiter.is_finished());
+            drop(held);
+            waiter.join().unwrap();
+        });
+    }
+
+    #[test]
+    fn warmed_sessions_round_trip() {
+        let pool = SessionPool::<f32>::new(config(), 2).unwrap();
+        pool.warm(&[4, 16]).unwrap();
+        let mut session = pool.checkout();
+        let shape = Shape::new(&[4, 16]);
+        let data: Vec<f32> = (0..64).map(|i| (i as f32 * 0.1).sin()).collect();
+        let (bytes, _) = session.compress_slice(&data, &shape).unwrap();
+        let out = session.decompress(&bytes).unwrap();
+        for (&a, &b) in data.iter().zip(out.as_slice()) {
+            assert!((a as f64 - b as f64).abs() <= 1e-3);
+        }
+    }
+}

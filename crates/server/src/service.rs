@@ -1,0 +1,664 @@
+//! The concurrent archive service: bounded admission, work-stealing band
+//! execution, and O(touched-bands) region reads.
+//!
+//! [`ArchiveService`] owns a [`SessionPool`] and a fixed set of worker
+//! threads draining per-worker [`WorkQueues`]. A submitted job is split
+//! into one task per band at admission; workers claim their own queue's
+//! tasks front-first and steal from the most loaded peer when idle, so a
+//! straggler band cannot serialize the rest of a job — or other jobs —
+//! behind it. Admission is bounded: at most `queue_jobs` jobs are in flight,
+//! and the configured [`Backpressure`] policy decides whether an over-limit
+//! submit blocks or is rejected (counted, and surfaced through the
+//! service's telemetry sink as `rejected_jobs`).
+//!
+//! Decompress-side jobs operate on *serialized* archives through the
+//! [`BandIndex`], so a region read seeks straight to the covered bands.
+//! Compress jobs replicate `szr_parallel::compress_chunked` band-for-band,
+//! so service output is bit-identical to the single-threaded reference.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use szr_core::{Config, DecodePolicy, ScalarFloat, SzError};
+use szr_huffman::HuffmanCodec;
+use szr_parallel::{band_index, BandIndex, ChunkedArchive, WorkQueues};
+use szr_telemetry::{Counter, RecordingSink, TelemetrySink};
+use szr_tensor::{Shape, Tensor};
+
+use crate::pool::SessionPool;
+use crate::ServiceError;
+
+/// What happens to a submit that finds the service at its job limit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backpressure {
+    /// The submitting thread waits for a slot.
+    Block,
+    /// The submit returns [`ServiceError::Rejected`] immediately.
+    Reject,
+}
+
+/// Construction parameters for [`ArchiveService`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Worker threads (and pooled sessions). At least one.
+    pub workers: usize,
+    /// Maximum jobs in flight (admitted, not yet completed). Zero is only
+    /// meaningful with [`Backpressure::Reject`] (every submit rejects —
+    /// the deterministic backpressure test fixture); with `Block` it would
+    /// deadlock every submitter, so construction refuses it.
+    pub queue_jobs: usize,
+    /// Over-limit submit behavior.
+    pub backpressure: Backpressure,
+    /// Config every pooled session is armed with. Compress jobs under a
+    /// different config re-arm the checked-out session per task.
+    pub session_config: Config,
+}
+
+/// Monotonic service counters ([`ArchiveService::stats`] snapshot).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Jobs admitted.
+    pub submitted: u64,
+    /// Jobs fully completed (result delivered to the handle).
+    pub completed: u64,
+    /// Submits turned away under [`Backpressure::Reject`].
+    pub rejected: u64,
+    /// Submits that had to wait under [`Backpressure::Block`].
+    pub blocked: u64,
+    /// Band tasks executed.
+    pub bands_executed: u64,
+    /// Cross-worker task steals.
+    pub steals: u64,
+}
+
+/// One band-task output, keyed back to its job slot.
+enum TaskOut<T: ScalarFloat> {
+    /// Compressed band archive bytes.
+    Bytes(Vec<u8>),
+    /// Decoded band tensor.
+    Band(Tensor<T>),
+}
+
+enum JobKind<T: ScalarFloat> {
+    Compress {
+        data: Arc<Tensor<T>>,
+        config: Config,
+        /// Row range per band (slot order), `compress_chunked`'s split.
+        ranges: Vec<(usize, usize)>,
+        dims: Vec<usize>,
+    },
+    Decompress {
+        bytes: Arc<Vec<u8>>,
+        index: BandIndex,
+        codec: Option<Arc<HuffmanCodec>>,
+        /// Band numbers to decode (slot order).
+        bands: Vec<usize>,
+        /// `(skip_rows, keep_rows)` trim of the stitched result (region
+        /// reads); `None` returns the stitched bands untouched.
+        trim: Option<(usize, usize)>,
+    },
+}
+
+/// The result channel a handle waits on.
+enum JobOutput<T: ScalarFloat> {
+    Archive(Vec<u8>),
+    Tensor(Tensor<T>),
+}
+
+struct JobState<T: ScalarFloat> {
+    done: Mutex<Option<Result<JobOutput<T>, ServiceError>>>,
+    cond: Condvar,
+}
+
+impl<T: ScalarFloat> JobState<T> {
+    fn fulfill(&self, result: Result<JobOutput<T>, ServiceError>) {
+        *self.done.lock().unwrap() = Some(result);
+        self.cond.notify_all();
+    }
+
+    fn wait(&self) -> Result<JobOutput<T>, ServiceError> {
+        let mut done = self.done.lock().unwrap();
+        loop {
+            if let Some(result) = done.take() {
+                return result;
+            }
+            done = self.cond.wait(done).unwrap();
+        }
+    }
+}
+
+/// One band's pending result, filled by whichever worker ran the task.
+type TaskSlot<T> = Mutex<Option<Result<TaskOut<T>, SzError>>>;
+
+struct Job<T: ScalarFloat> {
+    kind: JobKind<T>,
+    policy: DecodePolicy,
+    sink: Option<Arc<RecordingSink>>,
+    remaining: AtomicUsize,
+    slots: Vec<TaskSlot<T>>,
+    state: Arc<JobState<T>>,
+}
+
+struct Task<T: ScalarFloat> {
+    job: Arc<Job<T>>,
+    slot: usize,
+}
+
+/// Pending handle for a compress job; consume with
+/// [`CompressHandle::wait`] for the serialized indexed archive.
+pub struct CompressHandle<T: ScalarFloat>(Arc<JobState<T>>);
+
+impl<T: ScalarFloat> CompressHandle<T> {
+    /// Blocks until the job completes; returns the archive bytes.
+    pub fn wait(self) -> Result<Vec<u8>, ServiceError> {
+        match self.0.wait()? {
+            JobOutput::Archive(bytes) => Ok(bytes),
+            JobOutput::Tensor(_) => unreachable!("compress jobs produce archives"),
+        }
+    }
+}
+
+/// Pending handle for a decompress / region-read job; consume with
+/// [`TensorHandle::wait`] for the decoded tensor.
+pub struct TensorHandle<T: ScalarFloat>(Arc<JobState<T>>);
+
+impl<T: ScalarFloat> TensorHandle<T> {
+    /// Blocks until the job completes; returns the decoded tensor.
+    pub fn wait(self) -> Result<Tensor<T>, ServiceError> {
+        match self.0.wait()? {
+            JobOutput::Tensor(tensor) => Ok(tensor),
+            JobOutput::Archive(_) => unreachable!("decode jobs produce tensors"),
+        }
+    }
+}
+
+struct AdmissionState {
+    active_jobs: usize,
+    shutdown: bool,
+}
+
+struct Shared<T: ScalarFloat> {
+    pool: SessionPool<T>,
+    queues: WorkQueues<Task<T>>,
+    state: Mutex<AdmissionState>,
+    /// Woken on new work, job completion, and shutdown; workers and
+    /// blocked submitters both wait here.
+    cond: Condvar,
+    queue_jobs: usize,
+    backpressure: Backpressure,
+    sink: Option<Arc<RecordingSink>>,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    blocked: AtomicU64,
+    bands_executed: AtomicU64,
+}
+
+/// The concurrent archive service (see module docs).
+pub struct ArchiveService<T: ScalarFloat> {
+    shared: Arc<Shared<T>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl<T: ScalarFloat + Send + Sync + 'static> ArchiveService<T> {
+    /// Builds the pool, queues, and worker threads.
+    pub fn new(config: ServiceConfig) -> Result<Self, ServiceError> {
+        Self::with_telemetry(config, None)
+    }
+
+    /// [`ArchiveService::new`] with a service-level telemetry sink:
+    /// rejected submits are counted as `rejected_jobs` when they happen,
+    /// and scheduler steals flush as `scheduler_steals` on drop.
+    pub fn with_telemetry(
+        config: ServiceConfig,
+        sink: Option<Arc<RecordingSink>>,
+    ) -> Result<Self, ServiceError> {
+        config
+            .session_config
+            .validate()
+            .map_err(ServiceError::Codec)?;
+        if config.queue_jobs == 0 && config.backpressure == Backpressure::Block {
+            return Err(ServiceError::Codec(SzError::InvalidConfig(
+                "a zero-job queue under blocking backpressure deadlocks every submit",
+            )));
+        }
+        let workers = config.workers.max(1);
+        let shared = Arc::new(Shared {
+            pool: SessionPool::new(config.session_config, workers).map_err(ServiceError::Codec)?,
+            queues: WorkQueues::new(workers),
+            state: Mutex::new(AdmissionState {
+                active_jobs: 0,
+                shutdown: false,
+            }),
+            cond: Condvar::new(),
+            queue_jobs: config.queue_jobs,
+            backpressure: config.backpressure,
+            sink,
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            blocked: AtomicU64::new(0),
+            bands_executed: AtomicU64::new(0),
+        });
+        let handles = (0..workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        Ok(ArchiveService {
+            shared,
+            workers: handles,
+        })
+    }
+
+    /// Pre-sizes every pooled session's caches for bands shaped
+    /// `band_dims` (see [`SessionPool::warm`]).
+    pub fn warm(&self, band_dims: &[usize]) -> Result<(), ServiceError> {
+        self.shared
+            .pool
+            .warm(band_dims)
+            .map_err(ServiceError::Codec)
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            submitted: self.shared.submitted.load(Ordering::Relaxed),
+            completed: self.shared.completed.load(Ordering::Relaxed),
+            rejected: self.shared.rejected.load(Ordering::Relaxed),
+            blocked: self.shared.blocked.load(Ordering::Relaxed),
+            bands_executed: self.shared.bands_executed.load(Ordering::Relaxed),
+            steals: self.shared.queues.steals(),
+        }
+    }
+
+    /// Submits a chunked compression of `data` into `num_chunks` bands
+    /// under `config`. The archive bytes are bit-identical to
+    /// `szr_parallel::compress_chunked(data, config, num_chunks, _)`
+    /// serialized via `to_bytes` (indexed v2), regardless of worker count
+    /// or scheduling.
+    pub fn submit_compress(
+        &self,
+        data: Arc<Tensor<T>>,
+        config: Config,
+        num_chunks: usize,
+        sink: Option<Arc<RecordingSink>>,
+    ) -> Result<CompressHandle<T>, ServiceError> {
+        config.validate().map_err(ServiceError::Codec)?;
+        let dims = data.dims().to_vec();
+        let ranges = band_ranges(dims[0], num_chunks.max(1));
+        let state = Arc::new(JobState {
+            done: Mutex::new(None),
+            cond: Condvar::new(),
+        });
+        let job = Arc::new(Job {
+            remaining: AtomicUsize::new(ranges.len()),
+            slots: (0..ranges.len()).map(|_| Mutex::new(None)).collect(),
+            kind: JobKind::Compress {
+                data,
+                config,
+                ranges,
+                dims,
+            },
+            policy: DecodePolicy::Strict,
+            sink,
+            state: Arc::clone(&state),
+        });
+        self.admit(job)?;
+        Ok(CompressHandle(state))
+    }
+
+    /// Submits a full decode of a serialized chunked archive. Byte-
+    /// identical to `szr_parallel::decompress_chunked` on the parsed
+    /// archive.
+    pub fn submit_decompress(
+        &self,
+        bytes: Arc<Vec<u8>>,
+        policy: DecodePolicy,
+        sink: Option<Arc<RecordingSink>>,
+    ) -> Result<TensorHandle<T>, ServiceError> {
+        let index = band_index(&bytes).map_err(ServiceError::Codec)?;
+        let bands = (0..index.bands()).collect();
+        self.submit_decode(bytes, index, bands, None, policy, sink)
+    }
+
+    /// Submits a decode of bands `bands` only (stitched in band order).
+    pub fn submit_read_bands(
+        &self,
+        bytes: Arc<Vec<u8>>,
+        bands: Range<usize>,
+        policy: DecodePolicy,
+        sink: Option<Arc<RecordingSink>>,
+    ) -> Result<TensorHandle<T>, ServiceError> {
+        let index = band_index(&bytes).map_err(ServiceError::Codec)?;
+        if bands.start >= bands.end || bands.end > index.bands() {
+            return Err(ServiceError::Codec(SzError::InvalidConfig(
+                "band range is empty or exceeds the band count",
+            )));
+        }
+        let bands = bands.collect();
+        self.submit_decode(bytes, index, bands, None, policy, sink)
+    }
+
+    /// Submits an ROI read of slowest-dimension rows `rows`: only the
+    /// covering bands are decoded (located through the band index — O(1)
+    /// seeks on indexed archives), and the result is trimmed to exactly
+    /// the requested rows.
+    pub fn read_region(
+        &self,
+        bytes: Arc<Vec<u8>>,
+        rows: Range<usize>,
+        policy: DecodePolicy,
+        sink: Option<Arc<RecordingSink>>,
+    ) -> Result<TensorHandle<T>, ServiceError> {
+        let index = band_index(&bytes).map_err(ServiceError::Codec)?;
+        let (bands, first_row) = index
+            .bands_covering_rows(rows.clone())
+            .map_err(ServiceError::Codec)?;
+        let trim = Some((rows.start - first_row, rows.end - rows.start));
+        let bands = bands.collect();
+        self.submit_decode(bytes, index, bands, trim, policy, sink)
+    }
+
+    fn submit_decode(
+        &self,
+        bytes: Arc<Vec<u8>>,
+        index: BandIndex,
+        bands: Vec<usize>,
+        trim: Option<(usize, usize)>,
+        policy: DecodePolicy,
+        sink: Option<Arc<RecordingSink>>,
+    ) -> Result<TensorHandle<T>, ServiceError> {
+        let codec = index
+            .shared_table_slice(&bytes)
+            .map(szr_huffman::deserialize_codec)
+            .transpose()
+            .map_err(|e| {
+                ServiceError::Codec(SzError::Corrupt(format!("shared huffman table: {e}")))
+            })?
+            .map(Arc::new);
+        let state = Arc::new(JobState {
+            done: Mutex::new(None),
+            cond: Condvar::new(),
+        });
+        let job = Arc::new(Job {
+            remaining: AtomicUsize::new(bands.len()),
+            slots: (0..bands.len()).map(|_| Mutex::new(None)).collect(),
+            kind: JobKind::Decompress {
+                bytes,
+                index,
+                codec,
+                bands,
+                trim,
+            },
+            policy,
+            sink,
+            state: Arc::clone(&state),
+        });
+        self.admit(job)?;
+        Ok(TensorHandle(state))
+    }
+
+    /// Bounded admission: applies the backpressure policy, then fans the
+    /// job out as one task per band, round-robin across worker queues.
+    fn admit(&self, job: Arc<Job<T>>) -> Result<(), ServiceError> {
+        let shared = &self.shared;
+        let mut state = shared.state.lock().unwrap();
+        while state.active_jobs >= shared.queue_jobs {
+            if state.shutdown {
+                return Err(ServiceError::ShuttingDown);
+            }
+            match shared.backpressure {
+                Backpressure::Reject => {
+                    shared.rejected.fetch_add(1, Ordering::Relaxed);
+                    if let Some(sink) = &shared.sink {
+                        sink.counter(Counter::RejectedJobs, 1);
+                    }
+                    return Err(ServiceError::Rejected {
+                        queued: state.active_jobs,
+                        capacity: shared.queue_jobs,
+                    });
+                }
+                Backpressure::Block => {
+                    shared.blocked.fetch_add(1, Ordering::Relaxed);
+                    state = shared.cond.wait(state).unwrap();
+                }
+            }
+        }
+        if state.shutdown {
+            return Err(ServiceError::ShuttingDown);
+        }
+        shared.submitted.fetch_add(1, Ordering::Relaxed);
+        let tasks = job.slots.len();
+        if tasks == 0 {
+            // Degenerate empty job: complete it inline, never occupying a
+            // slot.
+            finalize(shared, &job);
+            drop(state);
+            shared.cond.notify_all();
+            return Ok(());
+        }
+        state.active_jobs += 1;
+        for slot in 0..tasks {
+            shared.queues.push(
+                slot % shared.queues.workers(),
+                Task {
+                    job: Arc::clone(&job),
+                    slot,
+                },
+            );
+        }
+        drop(state);
+        shared.cond.notify_all();
+        Ok(())
+    }
+}
+
+impl<T: ScalarFloat> Drop for ArchiveService<T> {
+    fn drop(&mut self) {
+        self.shared.state.lock().unwrap().shutdown = true;
+        self.shared.cond.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        if let Some(sink) = &self.shared.sink {
+            let steals = self.shared.queues.steals();
+            if steals > 0 {
+                sink.counter(Counter::SchedulerSteals, steals);
+            }
+        }
+    }
+}
+
+/// `compress_chunked`'s even row split (duplicated here so service bands
+/// line up with the reference driver's bands exactly).
+fn band_ranges(extent: usize, parts: usize) -> Vec<(usize, usize)> {
+    let parts = parts.clamp(1, extent.max(1));
+    let base = extent / parts;
+    let rem = extent % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0usize;
+    for i in 0..parts {
+        let len = base + usize::from(i < rem);
+        out.push((start, start + len));
+        start += len;
+    }
+    out
+}
+
+fn worker_loop<T: ScalarFloat + Send + Sync>(shared: &Shared<T>) {
+    let w = shared.queues.register();
+    loop {
+        if let Some(task) = shared.queues.pop(w) {
+            run_task(shared, &task);
+            continue;
+        }
+        // Tasks are pushed under the state lock, so re-checking emptiness
+        // under it closes the push-vs-sleep race.
+        let state = shared.state.lock().unwrap();
+        if !shared.queues.is_empty() {
+            continue;
+        }
+        if state.shutdown {
+            return;
+        }
+        drop(shared.cond.wait(state).unwrap());
+    }
+}
+
+fn run_task<T: ScalarFloat + Send + Sync>(shared: &Shared<T>, task: &Task<T>) {
+    let job = &task.job;
+    let result = {
+        let mut session = shared.pool.checkout();
+        if let Some(sink) = &job.sink {
+            session.set_telemetry(Some(Arc::clone(sink) as Arc<dyn TelemetrySink>));
+        }
+        let out = match &job.kind {
+            JobKind::Compress {
+                data,
+                config,
+                ranges,
+                dims,
+            } => {
+                // Mirror compress_chunked's per-band calls exactly, so
+                // the bytes are bit-identical to the reference driver.
+                if *config != *shared.pool.config() {
+                    session.set_config(*config).expect("validated at submit")
+                }
+                let (r0, r1) = ranges[task.slot];
+                let row_elems: usize = dims[1..].iter().product::<usize>().max(1);
+                let mut band_dims = dims.clone();
+                band_dims[0] = r1 - r0;
+                let shape = Shape::new(&band_dims);
+                let slice = &data.as_slice()[r0 * row_elems..r1 * row_elems];
+                session.set_next_band_index(task.slot as u64);
+                session
+                    .compress_slice(slice, &shape)
+                    .map(|(bytes, _)| TaskOut::Bytes(bytes))
+            }
+            JobKind::Decompress {
+                bytes,
+                index,
+                codec,
+                bands,
+                ..
+            } => {
+                session.set_decode_policy(job.policy);
+                index
+                    .band_slice(bytes, bands[task.slot])
+                    .and_then(|chunk| match codec {
+                        Some(codec) => session.decompress_shared(chunk, codec),
+                        None => session.decompress(chunk),
+                    })
+                    .map(TaskOut::Band)
+            }
+        };
+        if job.sink.is_some() {
+            session.set_telemetry(None);
+        }
+        out
+    };
+    *job.slots[task.slot].lock().unwrap() = Some(result);
+    shared.bands_executed.fetch_add(1, Ordering::Relaxed);
+    if job.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+        finalize(shared, job);
+        // A finished job frees an admission slot; wake blocked submitters
+        // (and idle workers, harmlessly).
+        let mut state = shared.state.lock().unwrap();
+        state.active_jobs -= 1;
+        drop(state);
+        shared.cond.notify_all();
+    }
+}
+
+/// Assembles a job's per-slot outputs into its final result and fulfills
+/// the handle. Called exactly once, by whichever worker finishes the last
+/// task (or inline for empty jobs).
+fn finalize<T: ScalarFloat>(shared: &Shared<T>, job: &Job<T>) {
+    let mut outs = Vec::with_capacity(job.slots.len());
+    for slot in &job.slots {
+        match slot.lock().unwrap().take() {
+            Some(Ok(out)) => outs.push(out),
+            Some(Err(e)) => {
+                shared.completed.fetch_add(1, Ordering::Relaxed);
+                job.state.fulfill(Err(ServiceError::Codec(e)));
+                return;
+            }
+            None => unreachable!("finalize runs after every task stored its slot"),
+        }
+    }
+    let result = assemble(job, outs);
+    shared.completed.fetch_add(1, Ordering::Relaxed);
+    job.state.fulfill(result);
+}
+
+fn assemble<T: ScalarFloat>(
+    job: &Job<T>,
+    outs: Vec<TaskOut<T>>,
+) -> Result<JobOutput<T>, ServiceError> {
+    match &job.kind {
+        JobKind::Compress { dims, .. } => {
+            let chunks = outs
+                .into_iter()
+                .map(|out| match out {
+                    TaskOut::Bytes(bytes) => bytes,
+                    TaskOut::Band(_) => unreachable!("compress tasks emit bytes"),
+                })
+                .collect();
+            let archive = ChunkedArchive {
+                dims: dims.clone(),
+                chunks,
+                shared_table: None,
+            };
+            Ok(JobOutput::Archive(archive.to_bytes()))
+        }
+        JobKind::Decompress {
+            index, bands, trim, ..
+        } => {
+            let row_elems: usize = index.dims[1..].iter().product::<usize>().max(1);
+            let rows_total: usize = bands.iter().map(|&b| index.entries[b].rows).sum();
+            let mut out_dims = index.dims.clone();
+            out_dims[0] = rows_total;
+            let shape = Shape::new(&out_dims);
+            let mut out: Vec<T> = vec![T::from_f64(0.0); shape.len()];
+            let mut row = 0usize;
+            for (slot, piece) in outs.into_iter().enumerate() {
+                let band = match piece {
+                    TaskOut::Band(band) => band,
+                    TaskOut::Bytes(_) => unreachable!("decode tasks emit tensors"),
+                };
+                if band.dims()[1..] != index.dims[1..] {
+                    return Err(ServiceError::Codec(SzError::Corrupt(
+                        "band inner dimensions disagree".into(),
+                    )));
+                }
+                if band.dims()[0] != index.entries[bands[slot]].rows {
+                    return Err(ServiceError::Codec(SzError::Corrupt(
+                        "index: band row extent disagrees with the decoded band".into(),
+                    )));
+                }
+                let rows = band.dims()[0];
+                out[row * row_elems..(row + rows) * row_elems].copy_from_slice(band.as_slice());
+                row += rows;
+            }
+            let tensor = match *trim {
+                None => Tensor::from_vec(shape, out),
+                Some((skip, keep)) => {
+                    if rows_total < skip + keep {
+                        return Err(ServiceError::Codec(SzError::Corrupt(
+                            "index: covering bands hold fewer rows than declared".into(),
+                        )));
+                    }
+                    let mut trimmed_dims = index.dims.clone();
+                    trimmed_dims[0] = keep;
+                    let trimmed = out[skip * row_elems..(skip + keep) * row_elems].to_vec();
+                    Tensor::from_vec(Shape::new(&trimmed_dims), trimmed)
+                }
+            };
+            Ok(JobOutput::Tensor(tensor))
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Header-only archive metadata — `szr stat`'s engine.
+//!
+//! Every archive family in the workspace leads with a 4-byte magic, so one
+//! dispatch reads dims, scalar type, band count, and error bound without
+//! decoding a single payload byte: band archives (`SZR1`) through
+//! [`szr_core::inspect`], chunked containers (`SZCK`) through the v2
+//! header/index peek, band streams (`SZST`) via a length-prefix walk over
+//! band headers, and pointwise-relative archives (`SZRL`) from their fixed
+//! header. Cost is O(header) — O(band headers) for streams, whose band
+//! count only exists implicitly in the framing.
+
+use szr_bitstream::ByteReader;
+use szr_core::{Result, SzError};
+use szr_parallel::ChunkedArchive;
+
+/// Which container framing the bytes lead with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArchiveFamily {
+    /// Single band archive (`SZR1`).
+    Band,
+    /// Chunked multi-band container (`SZCK`).
+    Chunked,
+    /// Append-only band stream (`SZST`).
+    Stream,
+    /// Pointwise-relative-bound archive (`SZRL`).
+    PointwiseRel,
+}
+
+impl ArchiveFamily {
+    /// Stable display name (CLI output).
+    pub fn name(self) -> &'static str {
+        match self {
+            ArchiveFamily::Band => "band",
+            ArchiveFamily::Chunked => "chunked",
+            ArchiveFamily::Stream => "stream",
+            ArchiveFamily::PointwiseRel => "pointwise-rel",
+        }
+    }
+}
+
+/// Header-only metadata for any archive family ([`stat`]).
+#[derive(Debug, Clone)]
+pub struct ArchiveStat {
+    /// Container framing.
+    pub family: ArchiveFamily,
+    /// `"f32"` / `"f64"` when the header records it.
+    pub dtype: Option<&'static str>,
+    /// Full-tensor dims (slowest first). Streams report
+    /// `[total_rows, inner...]` from the trailer.
+    pub dims: Vec<usize>,
+    /// Bands in the container (1 for single-band families).
+    pub bands: usize,
+    /// Container format version, for families that version their framing.
+    pub version: Option<u8>,
+    /// Effective absolute error bound (pointwise-relative archives report
+    /// their relative bound instead).
+    pub error_bound: Option<f64>,
+    /// Whether a valid random-access band index is present.
+    pub indexed: bool,
+    /// Total archive size in bytes.
+    pub archive_bytes: usize,
+}
+
+/// Reads header-only metadata from any of the four archive families,
+/// dispatching on the magic. Never decodes payloads; a damaged payload
+/// section is invisible here (that is `verify`'s job), but a damaged
+/// *header* fails typed.
+pub fn stat(bytes: &[u8]) -> Result<ArchiveStat> {
+    match bytes.get(..4) {
+        Some(b"SZCK") => {
+            let s = ChunkedArchive::peek_stat(bytes)?;
+            Ok(ArchiveStat {
+                family: ArchiveFamily::Chunked,
+                dtype: s.first_band.as_ref().map(|b| b.dtype),
+                dims: s.dims,
+                bands: s.bands,
+                version: Some(s.version),
+                error_bound: s.first_band.as_ref().map(|b| b.error_bound),
+                indexed: s.indexed,
+                archive_bytes: bytes.len(),
+            })
+        }
+        Some(b"SZST") => stat_stream(bytes),
+        Some(b"SZRL") => stat_pointwise(bytes),
+        Some(_) => {
+            let info = szr_core::inspect(bytes)?;
+            Ok(ArchiveStat {
+                family: ArchiveFamily::Band,
+                dtype: Some(info.dtype),
+                dims: info.dims,
+                bands: 1,
+                version: None,
+                error_bound: Some(info.error_bound),
+                indexed: false,
+                archive_bytes: bytes.len(),
+            })
+        }
+        None => Err(SzError::Corrupt("archive shorter than its magic".into())),
+    }
+}
+
+/// `SZST` header + band-framing walk: magic, type tag, inner dims, then
+/// length-prefixed bands up to the `(band count, total rows)` trailer. The
+/// first band's own header supplies the error bound.
+fn stat_stream(bytes: &[u8]) -> Result<ArchiveStat> {
+    let mut reader = ByteReader::new(bytes);
+    reader.read_bytes(4)?;
+    let dtype = match reader.read_u8()? {
+        0 => "f32",
+        1 => "f64",
+        _ => return Err(SzError::Corrupt("bad stream type tag".into())),
+    };
+    let ndim = reader.read_varint()? as usize;
+    if !(1..=16).contains(&ndim) {
+        return Err(SzError::Corrupt("implausible stream rank".into()));
+    }
+    let mut inner = Vec::with_capacity(ndim.saturating_sub(1));
+    for _ in 0..ndim - 1 {
+        inner.push(reader.read_varint()? as usize);
+    }
+    // Walk the bands; the trailer is the first point where the remaining
+    // bytes parse as exactly two varints whose first matches the walk.
+    let mut bands = 0u64;
+    let mut first_band: Option<&[u8]> = None;
+    let total_rows;
+    loop {
+        let mut trailer_probe = reader.clone();
+        if let (Ok(b), Ok(rows)) = (trailer_probe.read_varint(), trailer_probe.read_varint()) {
+            if trailer_probe.remaining() == 0 && b == bands {
+                total_rows = rows;
+                break;
+            }
+        }
+        let band = reader
+            .read_len_prefixed()
+            .map_err(|_| SzError::Corrupt("stream band truncated".into()))?;
+        if first_band.is_none() {
+            first_band = Some(band);
+        }
+        bands += 1;
+    }
+    let mut dims = Vec::with_capacity(ndim);
+    dims.push(total_rows as usize);
+    dims.extend_from_slice(&inner);
+    Ok(ArchiveStat {
+        family: ArchiveFamily::Stream,
+        dtype: Some(dtype),
+        dims,
+        bands: bands as usize,
+        version: None,
+        error_bound: first_band.and_then(|b| szr_core::inspect(b).ok().map(|i| i.error_bound)),
+        indexed: false,
+        archive_bytes: bytes.len(),
+    })
+}
+
+/// `SZRL` fixed header: magic, type tag, relative bound, dims.
+fn stat_pointwise(bytes: &[u8]) -> Result<ArchiveStat> {
+    let mut reader = ByteReader::new(bytes);
+    reader.read_bytes(4)?;
+    let dtype = match reader.read_u8()? {
+        0 => "f32",
+        1 => "f64",
+        _ => return Err(SzError::Corrupt("bad pointwise type tag".into())),
+    };
+    let eb = reader.read_f64()?;
+    let ndim = reader.read_varint()? as usize;
+    if !(1..=16).contains(&ndim) {
+        return Err(SzError::Corrupt("implausible pointwise rank".into()));
+    }
+    let mut dims = Vec::with_capacity(ndim);
+    for _ in 0..ndim {
+        dims.push(reader.read_varint()? as usize);
+    }
+    Ok(ArchiveStat {
+        family: ArchiveFamily::PointwiseRel,
+        dtype: Some(dtype),
+        dims,
+        bands: 1,
+        version: None,
+        error_bound: Some(eb),
+        indexed: false,
+        archive_bytes: bytes.len(),
+    })
+}

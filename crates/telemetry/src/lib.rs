@@ -112,11 +112,17 @@ pub enum Counter {
     ChecksumFailures,
     /// Damaged bands replaced with the fill value during a salvage decode.
     SalvagedBands,
+    /// Bands an idle worker stole from another worker's queue (scheduler
+    /// imbalance signal).
+    SchedulerSteals,
+    /// Jobs the archive service turned away at admission (queue full under
+    /// the reject backpressure policy).
+    RejectedJobs,
 }
 
 impl Counter {
     /// Every counter, in serialization order.
-    pub const ALL: [Counter; 9] = [
+    pub const ALL: [Counter; 11] = [
         Counter::KernelCacheHit,
         Counter::KernelCacheMiss,
         Counter::CodecTableCacheHit,
@@ -126,6 +132,8 @@ impl Counter {
         Counter::FusedTableReseeds,
         Counter::ChecksumFailures,
         Counter::SalvagedBands,
+        Counter::SchedulerSteals,
+        Counter::RejectedJobs,
     ];
     /// Number of counters (accumulator array size).
     pub const COUNT: usize = Self::ALL.len();
@@ -142,6 +150,8 @@ impl Counter {
             Counter::FusedTableReseeds => "fused_table_reseeds",
             Counter::ChecksumFailures => "checksum_failures",
             Counter::SalvagedBands => "salvaged_bands",
+            Counter::SchedulerSteals => "scheduler_steals",
+            Counter::RejectedJobs => "rejected_jobs",
         }
     }
 

@@ -40,6 +40,7 @@
 //! | [`planner`] | `szr-planner` | sampled ratio–quality estimation, codec/config auto-selection |
 //! | [`container`] | `szr-container` | multi-variable snapshot container |
 //! | [`telemetry`] | `szr-telemetry` | per-stage spans, codec counters, per-band records |
+//! | [`server`] | `szr-server` | concurrent archive service: session pool, job scheduler, ROI reads |
 //!
 //! ## Sessions: the owning pipeline object
 //!
@@ -154,6 +155,35 @@
 //! (`datagen::Mutation`) and pins the contract: a damaged archive decodes
 //! within bound or fails with a typed error — never a panic, never silent
 //! corruption.
+//!
+//! ## The service layer: concurrency as a first-class property
+//!
+//! Everything above serves one caller at a time; the [`server`] module
+//! (`szr-server`) makes *many simultaneous jobs* the unit of design. A
+//! [`server::SessionPool`] holds pre-warmed [`CodecSession`]s behind
+//! checkout/checkin guards — the session layer's allocation-free steady
+//! state means a warm pool serves a job without reallocating kernel caches,
+//! scratch, or codec tables, no matter which worker picks it up (pinned by
+//! `tests/service.rs`'s counting allocator). A [`server::ArchiveService`]
+//! splits each compress/decompress job into one task per band and runs the
+//! tasks on a work-stealing scheduler (`parallel::WorkQueues`: per-worker
+//! deques, idle workers steal from the most-loaded victim), with bounded
+//! admission: at most `queue_jobs` jobs in flight, over-limit submits either
+//! block or fail fast per [`server::Backpressure`], and rejections/steals
+//! surface through telemetry (`rejected_jobs`, `scheduler_steals`).
+//!
+//! Random access rides on the chunked container's **v2 band index**: after
+//! the band region, the archive carries a CRC-32-sealed table of per-band
+//! `(offset, length, rows)` entries, so `parallel::read_bands` and
+//! [`server::ArchiveService::read_region`] decode only the bands a row
+//! range touches — O(touched bands), never O(archive). The sequential band
+//! walk stays authoritative: readers that ignore the index (v1 decoders,
+//! `parallel::decompress_chunked`) see byte-identical output, and a damaged
+//! index degrades to that walk or fails typed (`index:`-named) — it can
+//! never mis-seek, because each entry's row extent is re-validated against
+//! the decoded band. Header-only metadata for all four archive families
+//! comes from [`server::stat`]. On the command line: `szr stat`,
+//! `szr extract --region A:B`, and `szr compress --chunks N`.
 //!
 //! ## The scan-kernel pipeline
 //!
@@ -309,4 +339,11 @@ pub mod container {
 /// `--telemetry=json` prints).
 pub mod telemetry {
     pub use szr_telemetry::*;
+}
+
+/// Concurrent archive service: pre-warmed session pools, work-stealing job
+/// scheduling with bounded admission, O(touched-bands) region reads, and
+/// header-only `stat` for every archive family (`szr-server`).
+pub mod server {
+    pub use szr_server::*;
 }

@@ -248,6 +248,79 @@ fn chunked_salvage_recovers_untouched_bands_bit_identically() {
     }
 }
 
+/// Damage confined to the v2 band index section. The sequential band walk
+/// is authoritative, so index damage is never allowed to change decoded
+/// bytes: the full decode (which ignores the index) must stay identical to
+/// the pristine reference, the strict index peek must either fail typed
+/// with the `index:` section named or return the pristine entries, and the
+/// region decode must fall back to the sequential walk and still produce
+/// the exact rows — never panic, never mis-seek.
+#[test]
+fn index_damage_degrades_to_the_sequential_walk_or_fails_typed() {
+    let pristine = chunked_archive_f32();
+    let index = ChunkedArchive::peek_index(&pristine).unwrap();
+    assert!(index.from_index);
+    // Everything after the band region is the index section: the entry
+    // table plus its trailing CRC-32.
+    let index_range = index.band_region.1..pristine.len();
+    assert!(!index_range.is_empty());
+    let reference = decode_family("chunked-f32", &pristine).unwrap();
+
+    for mutation in Mutation::ALL {
+        for seed in 0..32u64 {
+            let mutated = mutation.apply_within(&pristine, seed, index_range.clone());
+            assert_ne!(mutated, pristine, "{}/{seed}: no-op", mutation.name());
+
+            // The full decode walks the bands sequentially and never reads
+            // the index, so it must survive and match exactly.
+            let full = decode_family("chunked-f32", &mutated).unwrap_or_else(|e| {
+                panic!(
+                    "chunked/{}/seed {seed}: index damage broke the full decode: {e}",
+                    mutation.name()
+                )
+            });
+            assert_eq!(full, reference, "{}/{seed}", mutation.name());
+
+            // The strict peek is CRC-sealed: typed `index:` failure, or (if
+            // the damage happens to cancel out structurally) the pristine
+            // entries — never a differing table.
+            match ChunkedArchive::peek_index(&mutated) {
+                Err(szr_core::SzError::Corrupt(msg)) => assert!(
+                    msg.starts_with("index:"),
+                    "{}/{seed}: unnamed index section in {msg:?}",
+                    mutation.name()
+                ),
+                Err(e) => panic!("{}/{seed}: unexpected error kind {e:?}", mutation.name()),
+                Ok(peeked) => assert_eq!(
+                    peeked.entries,
+                    index.entries,
+                    "{}/{seed}: peek accepted a lying index",
+                    mutation.name()
+                ),
+            }
+
+            // Region decode rebuilds the index by the sequential walk when
+            // the stored one is damaged; the rows must still be exact.
+            let roi = szr_parallel::decompress_chunked_region::<f32>(
+                &mutated,
+                10..30,
+                2,
+                DecodePolicy::Strict,
+            )
+            .unwrap_or_else(|e| {
+                panic!(
+                    "chunked/{}/seed {seed}: region decode must degrade, not fail: {e}",
+                    mutation.name()
+                )
+            });
+            let row = 36;
+            let want: Vec<f64> = reference[10 * row..30 * row].to_vec();
+            let got: Vec<f64> = roi.as_slice().iter().map(|&v| v as f64).collect();
+            assert_eq!(got, want, "{}/{seed}: region drifted", mutation.name());
+        }
+    }
+}
+
 /// Truncation anywhere in a band archive maps to a typed, section-named
 /// error — the contract `szr inspect` and `szr verify` print to users.
 #[test]

@@ -1,0 +1,329 @@
+//! Concurrency contracts for the `szr-server` service layer.
+//!
+//! Three properties are pinned here, end to end through the facade:
+//!
+//! 1. **Bit-identity under concurrency** — N submitting threads × M jobs
+//!    through the work-stealing service produce archives byte-identical to
+//!    the single-threaded chunked driver, and concurrent decodes match the
+//!    reference decode exactly.
+//! 2. **The warm-pool allocation pin** — checkout from a warmed
+//!    [`SessionPool`] followed by a compress allocates only the output
+//!    archive (a counting global allocator, this binary only).
+//! 3. **Index/sequential equivalence** — an indexed (v2) container decodes
+//!    byte-identically through the sequential walk (index ignored), through
+//!    `read_bands` over the index, and from its legacy (v1, un-indexed)
+//!    serialization.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::Arc;
+
+use szr::parallel::{band_index, compress_chunked, decompress_chunked, read_bands, ChunkedArchive};
+use szr::server::{ArchiveService, Backpressure, ServiceConfig, ServiceError, SessionPool};
+use szr::{Config, DecodePolicy, ErrorBound, Tensor};
+
+struct CountingAlloc;
+
+// Thread-local counting, as in tests/session_alloc.rs: the test harness
+// runs tests on several threads, and the service itself owns worker
+// threads; each `count_allocs` must observe only its own closure.
+thread_local! {
+    static COUNTING: Cell<bool> = const { Cell::new(false) };
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+    static ALLOC_BYTES: Cell<u64> = const { Cell::new(0) };
+}
+
+fn record(size: usize) {
+    let _ = COUNTING.try_with(|c| {
+        if c.get() {
+            ALLOCS.with(|a| a.set(a.get() + 1));
+            ALLOC_BYTES.with(|b| b.set(b.get() + size as u64));
+        }
+    });
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        record(layout.size());
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        record(layout.size());
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        record(new_size);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn count_allocs<R>(f: impl FnOnce() -> R) -> (u64, u64, R) {
+    ALLOCS.with(|a| a.set(0));
+    ALLOC_BYTES.with(|b| b.set(0));
+    COUNTING.with(|c| c.set(true));
+    let out = f();
+    COUNTING.with(|c| c.set(false));
+    (ALLOCS.with(|a| a.get()), ALLOC_BYTES.with(|b| b.get()), out)
+}
+
+fn config() -> Config {
+    Config::new(ErrorBound::Absolute(1e-3))
+}
+
+/// Distinct fields per job so a cross-wired result cannot pass by luck.
+fn field(salt: usize) -> Tensor<f32> {
+    Tensor::from_fn([96, 64], |ix| {
+        ((ix[0] as f32 + salt as f32 * 3.0) * 0.11).sin() * 5.0
+            + ((ix[1] as f32) * 0.07).cos() * (1.0 + salt as f32 * 0.25)
+    })
+}
+
+fn service(workers: usize, queue_jobs: usize) -> ArchiveService<f32> {
+    ArchiveService::new(ServiceConfig {
+        workers,
+        queue_jobs,
+        backpressure: Backpressure::Block,
+        session_config: config(),
+    })
+    .unwrap()
+}
+
+#[test]
+fn many_threads_many_jobs_round_trip_bit_identically() {
+    const THREADS: usize = 4;
+    const JOBS: usize = 4;
+    const BANDS: usize = 6;
+    let svc = service(3, 8);
+    let fields: Vec<Arc<Tensor<f32>>> = (0..THREADS * JOBS).map(|k| Arc::new(field(k))).collect();
+    let references: Vec<Vec<u8>> = fields
+        .iter()
+        .map(|f| compress_chunked(f, &config(), BANDS, 1).unwrap().to_bytes())
+        .collect();
+
+    // Each thread submits all its jobs before waiting on any, so many jobs
+    // are genuinely in flight at once (16 jobs against an 8-job admission
+    // limit: the over-limit submits block until workers drain).
+    let archives: Vec<Vec<Vec<u8>>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let svc = &svc;
+                let fields = &fields;
+                s.spawn(move || {
+                    let submitted: Vec<_> = (0..JOBS)
+                        .map(|j| {
+                            svc.submit_compress(
+                                Arc::clone(&fields[t * JOBS + j]),
+                                config(),
+                                BANDS,
+                                None,
+                            )
+                            .unwrap()
+                        })
+                        .collect();
+                    submitted
+                        .into_iter()
+                        .map(|h| h.wait().unwrap())
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for (t, per_thread) in archives.iter().enumerate() {
+        for (j, got) in per_thread.iter().enumerate() {
+            assert_eq!(
+                got,
+                &references[t * JOBS + j],
+                "thread {t} job {j}: archive differs from the single-threaded driver"
+            );
+        }
+    }
+    let stats = svc.stats();
+    assert_eq!(stats.submitted, (THREADS * JOBS) as u64);
+    assert_eq!(stats.completed, (THREADS * JOBS) as u64);
+    assert_eq!(stats.bands_executed, (THREADS * JOBS * BANDS) as u64);
+    assert_eq!(stats.rejected, 0);
+}
+
+#[test]
+fn concurrent_decodes_match_the_reference_decode() {
+    const THREADS: usize = 3;
+    let svc = service(2, 16);
+    let archives: Vec<Arc<Vec<u8>>> = (0..THREADS)
+        .map(|k| {
+            Arc::new(
+                compress_chunked(&field(k), &config(), 5, 1)
+                    .unwrap()
+                    .to_bytes(),
+            )
+        })
+        .collect();
+    let references: Vec<Tensor<f32>> = archives
+        .iter()
+        .map(|b| decompress_chunked(&ChunkedArchive::from_bytes(b).unwrap(), 1).unwrap())
+        .collect();
+
+    std::thread::scope(|s| {
+        for (k, bytes) in archives.iter().enumerate() {
+            let svc = &svc;
+            let reference = &references[k];
+            let bytes = Arc::clone(bytes);
+            s.spawn(move || {
+                for _ in 0..3 {
+                    let out = svc
+                        .submit_decompress(Arc::clone(&bytes), DecodePolicy::Strict, None)
+                        .unwrap()
+                        .wait()
+                        .unwrap();
+                    assert!(
+                        out.as_slice()
+                            .iter()
+                            .zip(reference.as_slice())
+                            .all(|(a, b)| a.to_bits() == b.to_bits()),
+                        "concurrent decode {k} drifted from the reference"
+                    );
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn warm_pool_checkout_compress_allocates_only_the_output_archive() {
+    // Fixed interval bits + no DEFLATE pass + table reuse: the configuration
+    // whose fused steady state allocates exactly the output archive (the
+    // same pin as tests/session_alloc.rs, here routed through the pool).
+    let cfg = Config::new(ErrorBound::Absolute(1e-3))
+        .with_interval_bits(8)
+        .without_lossless_pass();
+    let pool = SessionPool::<f32>::new(cfg, 2).unwrap();
+    let band = Tensor::from_fn([24, 64], |ix| {
+        ((ix[0] as f32) * 0.09).sin() * 6.0 + ((ix[1] as f32) * 0.05).cos()
+    });
+    {
+        // Checkout pops from the back and checkin pushes back, so this same
+        // session is the one the counted checkout receives — warm it.
+        let mut session = pool.checkout();
+        session.set_table_reuse(true);
+        let _ = session.compress(&band).unwrap();
+    }
+
+    let (allocs, bytes, warm) = count_allocs(|| {
+        let mut session = pool.checkout();
+        session.compress(&band).unwrap()
+    });
+    assert_eq!(
+        allocs, 1,
+        "warm pool checkout + compress must allocate exactly the output \
+         archive ({allocs} allocations, {bytes} bytes)"
+    );
+    assert!(
+        bytes <= (warm.len() as u64) * 4 + 1024,
+        "the single allocation should be archive-sized: {bytes} bytes for a \
+         {}-byte archive",
+        warm.len()
+    );
+
+    let restored: Tensor<f32> = szr::decompress(&warm).unwrap();
+    for (&a, &b) in band.as_slice().iter().zip(restored.as_slice()) {
+        assert!((a as f64 - b as f64).abs() <= 1e-3);
+    }
+}
+
+#[test]
+fn indexed_sequential_and_legacy_paths_decode_identically() {
+    let data = field(7);
+    let archive = compress_chunked(&data, &config(), 8, 2).unwrap();
+    let bytes = archive.to_bytes();
+
+    // Sequential walk: the index at the tail is parsed over, never used.
+    let sequential: Tensor<f32> =
+        decompress_chunked(&ChunkedArchive::from_bytes(&bytes).unwrap(), 2).unwrap();
+
+    // Random access: every band through the CRC-sealed index.
+    let index = band_index(&bytes).unwrap();
+    assert!(index.from_index, "a fresh v2 archive must carry its index");
+    let via_index: Tensor<f32> =
+        read_bands(&bytes, 0..index.bands(), 2, DecodePolicy::Strict).unwrap();
+    assert!(
+        sequential
+            .as_slice()
+            .iter()
+            .zip(via_index.as_slice())
+            .all(|(a, b)| a.to_bits() == b.to_bits()),
+        "read_bands over the whole index must match the sequential walk"
+    );
+
+    // Compatibility: the same container serialized without an index (v1)
+    // still decodes byte-identically.
+    let legacy = archive.to_bytes_legacy();
+    assert_ne!(legacy, bytes);
+    let via_legacy: Tensor<f32> =
+        decompress_chunked(&ChunkedArchive::from_bytes(&legacy).unwrap(), 2).unwrap();
+    assert!(
+        sequential
+            .as_slice()
+            .iter()
+            .zip(via_legacy.as_slice())
+            .all(|(a, b)| a.to_bits() == b.to_bits()),
+        "un-indexed v1 bytes must decode identically to the indexed v2 bytes"
+    );
+}
+
+#[test]
+fn roi_region_read_equals_the_full_decode_slice() {
+    let data = field(3);
+    let svc = service(2, 8);
+    let bytes = Arc::new(
+        compress_chunked(&data, &config(), 12, 2)
+            .unwrap()
+            .to_bytes(),
+    );
+    let full: Tensor<f32> =
+        decompress_chunked(&ChunkedArchive::from_bytes(&bytes).unwrap(), 1).unwrap();
+    let row = 64;
+    for rows in [0..8usize, 40..56, 88..96] {
+        let roi = svc
+            .read_region(Arc::clone(&bytes), rows.clone(), DecodePolicy::Strict, None)
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(roi.dims(), &[rows.end - rows.start, row]);
+        assert!(
+            roi.as_slice()
+                .iter()
+                .zip(&full.as_slice()[rows.start * row..rows.end * row])
+                .all(|(a, b)| a.to_bits() == b.to_bits()),
+            "region {rows:?} drifted from the full decode"
+        );
+    }
+}
+
+#[test]
+fn reject_backpressure_fails_fast_with_a_typed_error() {
+    let svc = ArchiveService::<f32>::new(ServiceConfig {
+        workers: 1,
+        queue_jobs: 0,
+        backpressure: Backpressure::Reject,
+        session_config: config(),
+    })
+    .unwrap();
+    match svc.submit_compress(Arc::new(field(0)), config(), 4, None) {
+        Err(ServiceError::Rejected { queued, capacity }) => {
+            assert_eq!((queued, capacity), (0, 0));
+        }
+        other => panic!("expected a rejection, got {:?}", other.map(|_| ())),
+    }
+    assert_eq!(svc.stats().rejected, 1);
+    assert_eq!(svc.stats().completed, 0);
+}
