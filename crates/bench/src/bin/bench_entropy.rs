@@ -129,6 +129,69 @@ fn main() {
         ));
     }
 
+    // DEFLATE back end over a mixed-structure payload — text-like, zero,
+    // and incompressible 32 KiB segments interleaved, the case content-aware
+    // block splitting exists for (a fixed 64 Ki-token block straddles
+    // several content phases and pays for one shared Huffman table).
+    // `split` prices the adaptive splitter; `fixed` the historical fixed
+    // segmentation. Ratios are raw/compressed (higher is better).
+    let seg = 32 * 1024;
+    let segments = 24usize;
+    let words: &[u8] = b"the quick brown band of floats jumped over the lazy archive ";
+    let mut payload = Vec::with_capacity(segments * seg);
+    for s in 0..segments {
+        let end = (s + 1) * seg;
+        match s % 3 {
+            0 => {
+                while payload.len() < end {
+                    payload.extend_from_slice(words);
+                }
+                payload.truncate(end);
+            }
+            1 => payload.resize(end, 0),
+            _ => {
+                for i in payload.len() as u64..end as u64 {
+                    payload.push((i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 56) as u8);
+                }
+            }
+        }
+    }
+    let mb = payload.len() as f64 / 1e6;
+    for (name, split) in [("split", true), ("fixed", false)] {
+        let mut deflater = szr_deflate::Deflater::new();
+        deflater.set_split(split);
+        let t = time_median(reps, || deflater.compress(&payload).len() as u64);
+        let out_len = deflater.compress(&payload).len() as f64;
+        fields.push((format!("deflate_{name}_mb_s"), mb / t));
+        fields.push((
+            format!("deflate_{name}_ratio"),
+            payload.len() as f64 / out_len,
+        ));
+    }
+
+    // Escape-LZ over the escape stream: an escape-heavy field (five values
+    // no predictor reaches, so nearly every point escapes) compressed with
+    // the v5 trial off and on. Archive ratios are raw/archive bytes.
+    const ALPHABET: [f32; 5] = [0.0, 1.0e8, -3.0e7, 7.0e6, -9.0e5];
+    let data = szr_tensor::Tensor::from_fn([256, 256], |ix| ALPHABET[(ix[0] * 256 + ix[1]) % 5]);
+    let raw_mb = (data.len() * 4) as f64 / 1e6;
+    for esc in [false, true] {
+        let mut config = szr_core::Config::new(szr_core::ErrorBound::Absolute(1e-3));
+        if esc {
+            config = config.with_escape_lz();
+        }
+        let name = if esc { "on" } else { "off" };
+        let t = time_median(reps, || {
+            szr_core::compress(&data, &config).unwrap().len() as u64
+        });
+        let archive = szr_core::compress(&data, &config).unwrap().len() as f64;
+        fields.push((format!("escape_lz_{name}_compress_mb_s"), raw_mb / t));
+        fields.push((
+            format!("escape_lz_{name}_archive_ratio"),
+            (data.len() * 4) as f64 / archive,
+        ));
+    }
+
     let mut json = String::from("{\n");
     for (i, (k, v)) in fields.iter().enumerate() {
         let comma = if i + 1 < fields.len() { "," } else { "" };

@@ -112,6 +112,9 @@ fn build_config(args: &Args) -> Result<Config, String> {
     if args.switch("no-lossless-pass") {
         config = config.without_lossless_pass();
     }
+    if args.switch("escape-lz") {
+        config = config.with_escape_lz();
+    }
     config.validate().map_err(|e| e.to_string())?;
     Ok(config)
 }
@@ -614,10 +617,10 @@ pub fn verify(args: &Args) -> CmdResult {
             let layout = szr_core::inspect_layout(&archive).map_err(|e| e.to_string())?;
             println!(
                 "ok: band archive verified ({})",
-                if layout.info.checksummed {
-                    "v3, all section checksums match"
-                } else {
-                    "legacy v1/v2, structural checks only"
+                match (layout.info.checksummed, layout.info.escape_lz) {
+                    (true, true) => "v5/v6, all section checksums match, escape stream inflates",
+                    (true, false) => "v3/v4, all section checksums match",
+                    _ => "legacy v1/v2, structural checks only",
                 }
             );
         }
@@ -647,11 +650,13 @@ fn inspect_band(archive: &[u8]) -> CmdResult {
     let info = &layout.info;
     println!(
         "kind            : {}",
-        match (info.shared_stream, info.checksummed) {
-            (true, true) => "band archive (v4, shared-table stream, checksummed)",
-            (true, false) => "band archive (v2, shared-table stream)",
-            (false, true) => "band archive (v3, self-contained, checksummed)",
-            (false, false) => "band archive (v1, self-contained)",
+        match (info.shared_stream, info.checksummed, info.escape_lz) {
+            (true, _, true) => "band archive (v6, shared-table stream, checksummed, escape-LZ)",
+            (true, true, false) => "band archive (v4, shared-table stream, checksummed)",
+            (true, false, false) => "band archive (v2, shared-table stream)",
+            (false, _, true) => "band archive (v5, self-contained, checksummed, escape-LZ)",
+            (false, true, false) => "band archive (v3, self-contained, checksummed)",
+            (false, false, false) => "band archive (v1, self-contained)",
         }
     );
     println!("dtype           : {}", info.dtype);
@@ -681,7 +686,15 @@ fn inspect_band(archive: &[u8]) -> CmdResult {
         }
         _ => println!("huffman table   : shared (lives in the owning container)"),
     }
-    println!("escape stream   : {} bytes", layout.unpredictable_bytes);
+    println!(
+        "escape stream   : {} bytes{}",
+        layout.unpredictable_bytes,
+        if info.escape_lz {
+            " (inflated; stored deflated)"
+        } else {
+            ""
+        }
+    );
     println!("archive bytes   : {}", info.archive_bytes);
     println!("compression     : {:.2}x", info.compression_factor());
     Ok(())
@@ -694,10 +707,11 @@ fn band_line(i: usize, bytes: usize, layout: &szr_core::BandLayout) -> String {
         fmt_dims(&layout.info.dims),
         layout.huffman_bytes,
         layout.unpredictable_bytes,
-        if layout.deflate_post_pass {
-            ", deflated"
-        } else {
-            ""
+        match (layout.deflate_post_pass, layout.info.escape_lz) {
+            (true, true) => ", deflated, escape-LZ",
+            (true, false) => ", deflated",
+            (false, true) => ", escape-LZ",
+            (false, false) => "",
         },
     )
 }

@@ -44,6 +44,9 @@ COMPRESS OPTIONS:
   --bits M               fixed 2^M-1 quantization intervals (default adaptive)
   --decorrelate          whiten error autocorrelation (costs ~1 bit/value)
   --no-lossless-pass     skip the DEFLATE post-pass (faster, larger)
+  --escape-lz            trial-compress the escape stream with DEFLATE and
+                         store it compressed when that actually wins
+                         (v5/v6 framing; helps clustered/repeating escapes)
   --auto                 plan the configuration from a sample first
                          (with --abs/--rel: smallest output under the bound;
                          with --target-ratio R: best quality reaching R)
@@ -65,7 +68,8 @@ DECOMPRESS OPTIONS:
 
 INSPECT:
   walks every archive section without reconstructing data. Handles band
-  archives (v1/v2 legacy and v3 checksummed), chunked containers (SZCK),
+  archives (v1/v2 legacy, v3/v4 checksummed, v5/v6 escape-LZ), chunked
+  containers (SZCK),
   stream containers (SZST), and pointwise-relative archives (SZRL); corrupt
   input reports the failing section (header / table / payload / band N /
   index). For indexed chunked containers the band index section prints each
@@ -113,6 +117,7 @@ fn main() {
         &[
             "decorrelate",
             "no-lossless-pass",
+            "escape-lz",
             "auto",
             "telemetry",
             "salvage",

@@ -36,6 +36,16 @@ pub(crate) const VERSION_SHARED: u8 = 2;
 pub(crate) const VERSION_V3: u8 = 3;
 /// Checksummed shared-table archive (version 2 + the version 3 checksums).
 pub(crate) const VERSION_SHARED_V3: u8 = 4;
+/// Escape-LZ self-contained archive: version 3's layout with the escape
+/// (unpredictable-value) section stored DEFLATE-compressed. Emitted only
+/// when [`crate::Config::escape_lz`] is set *and* the sampled trial
+/// actually shrank the stream — losing trials fall back to version 3
+/// byte-identically. The payload CRC in the trailer stays over the *raw*
+/// escape bytes, so integrity verification covers the inflation too.
+pub(crate) const VERSION_ESCLZ: u8 = 5;
+/// Escape-LZ shared-table archive (version 4 + the compressed escape
+/// section).
+pub(crate) const VERSION_SHARED_ESCLZ: u8 = 6;
 
 /// Whether a version byte denotes a checksummed (v3-framed) archive.
 pub(crate) fn versioned_checksums(version: u8) -> bool {
@@ -211,6 +221,12 @@ impl QuantizedBand {
             freqs
         })
     }
+
+    /// The band's serialized binary-representation escape stream — what the
+    /// escape-LZ trial prices (see [`crate::escape_lz_trial_ratio`]).
+    pub fn unpred_bytes(&self) -> &[u8] {
+        &self.unpred
+    }
 }
 
 /// Counts `codes` into `freqs` (cleared and resized here) over exactly the
@@ -237,6 +253,9 @@ pub(crate) struct BandMeta {
     pub interval_bits: u32,
     pub decorrelate: bool,
     pub lossless_pass: bool,
+    /// Escape-LZ *intent* (from [`Config::escape_lz`]): the encoder runs the
+    /// sampled trial and only the version byte records whether it won.
+    pub escape_lz: bool,
     pub eb: f64,
     pub range: f64,
     pub predictable: usize,
@@ -534,10 +553,112 @@ pub(crate) fn quantize_into<T: ScalarFloat>(
         interval_bits: bits,
         decorrelate: config.decorrelate,
         lossless_pass: config.lossless_pass,
+        escape_lz: config.escape_lz,
         eb,
         range,
         predictable,
     })
+}
+
+/// Entropy-stage scratch: the reusable DEFLATE encoder (matcher state,
+/// token buffer, splitter histograms, recycled output) plus the staging
+/// buffer that holds a committed escape-LZ stream while the deflater is
+/// reused for the payload post-pass. A [`crate::CodecSession`] owns one, so
+/// its warm DEFLATE-path compressions allocate nothing here; the free
+/// functions build a throwaway per call.
+pub(crate) struct EntropyScratch {
+    pub deflater: szr_deflate::Deflater,
+    pub escape: Vec<u8>,
+}
+
+impl Default for EntropyScratch {
+    fn default() -> Self {
+        Self {
+            deflater: szr_deflate::Deflater::new(),
+            escape: Vec::new(),
+        }
+    }
+}
+
+/// Minimum escape-stream size worth an escape-LZ trial: below this the
+/// DEFLATE framing overhead eats any win.
+const ESCAPE_LZ_MIN_BYTES: usize = 64;
+/// Streams at least this large run a prefix sample before the full trial.
+const ESCAPE_LZ_SAMPLE_THRESHOLD: usize = 64 * 1024;
+/// Prefix length sampled from large streams.
+const ESCAPE_LZ_SAMPLE_BYTES: usize = 16 * 1024;
+/// A sample deflating to at least this fraction of itself predicts an
+/// incompressible stream, and the full trial is skipped.
+const ESCAPE_LZ_SAMPLE_SKIP: f64 = 0.98;
+
+/// Forwards one DEFLATE run's block/split/token counters to the sink.
+pub(crate) fn report_deflate(sink: &dyn TelemetrySink, stats: szr_deflate::DeflateStats) {
+    sink.counter(Counter::DeflateBlocks, stats.blocks);
+    sink.counter(Counter::DeflateSplitBoundaries, stats.split_boundaries);
+    sink.counter(Counter::DeflateMatchTokens, stats.match_tokens);
+    sink.counter(Counter::DeflateLiteralTokens, stats.literal_tokens);
+}
+
+/// The sampled escape-stream DEFLATE trial behind [`Config::escape_lz`].
+/// Large streams deflate a 16 KiB prefix first and skip the full trial when
+/// it predicts incompressibility (escape bytes are IEEE-754 fragments, so
+/// most streams are); otherwise the whole stream is deflated and the trial
+/// commits — leaving the compressed stream in `entropy.escape` — only when
+/// it actually shrank. Returns whether to emit escape-LZ framing.
+pub(crate) fn escape_lz_trial(
+    entropy: &mut EntropyScratch,
+    unpred: &[u8],
+    sink: Option<&dyn TelemetrySink>,
+) -> bool {
+    if unpred.len() < ESCAPE_LZ_MIN_BYTES {
+        return false;
+    }
+    let tele = sink.is_some();
+    if unpred.len() >= ESCAPE_LZ_SAMPLE_THRESHOLD {
+        let deflater = &mut entropy.deflater;
+        let (sample_len, nanos) = timed(tele, || {
+            deflater.compress(&unpred[..ESCAPE_LZ_SAMPLE_BYTES]).len()
+        });
+        if let Some(sink) = sink {
+            sink.span(Stage::Deflate, nanos, sample_len as u64);
+            report_deflate(sink, entropy.deflater.stats());
+        }
+        if sample_len as f64 >= ESCAPE_LZ_SAMPLE_SKIP * ESCAPE_LZ_SAMPLE_BYTES as f64 {
+            return false;
+        }
+    }
+    let (commit, packed_len, nanos) = {
+        let EntropyScratch { deflater, escape } = entropy;
+        let (packed, nanos) = timed(tele, || deflater.compress(unpred));
+        let commit = packed.len() < unpred.len();
+        if commit {
+            escape.clear();
+            escape.extend_from_slice(packed);
+        }
+        (commit, packed.len(), nanos)
+    };
+    if let Some(sink) = sink {
+        sink.span(Stage::Deflate, nanos, packed_len as u64);
+        report_deflate(sink, entropy.deflater.stats());
+        if commit {
+            sink.counter(Counter::EscapeLzBands, 1);
+        }
+    }
+    commit
+}
+
+/// Prices LZ over an escape stream without committing anything: runs the
+/// same sampled trial the encoder runs under [`Config::escape_lz`] and
+/// returns `deflated / raw` when it would commit (`None` when it would skip
+/// or lose) — the planner's cheap way to decide whether enabling the flag
+/// pays for a band.
+pub fn escape_lz_trial_ratio(escape: &[u8]) -> Option<f64> {
+    let mut entropy = EntropyScratch::default();
+    if escape_lz_trial(&mut entropy, escape, None) {
+        Some(entropy.escape.len() as f64 / escape.len() as f64)
+    } else {
+        None
+    }
 }
 
 pub(crate) fn quantize_validated_impl<T: ScalarFloat>(
@@ -588,7 +709,8 @@ pub fn encode_quantized(
     band: &QuantizedBand,
     table: HuffmanTable<'_>,
 ) -> (Vec<u8>, CompressionStats) {
-    let (bytes, stats, _) = encode_quantized_sink(band, table, None);
+    let (bytes, stats, _) =
+        encode_quantized_sink(band, table, &mut EntropyScratch::default(), None);
     (bytes, stats)
 }
 
@@ -599,6 +721,7 @@ pub fn encode_quantized(
 pub(crate) fn encode_quantized_sink(
     band: &QuantizedBand,
     table: HuffmanTable<'_>,
+    entropy: &mut EntropyScratch,
     sink: Option<&dyn TelemetrySink>,
 ) -> (Vec<u8>, CompressionStats, Option<EncodeExtra>) {
     let hist = match table {
@@ -612,6 +735,7 @@ pub(crate) fn encode_quantized_sink(
         &band.unpred,
         hist,
         table,
+        entropy,
         sink,
     )
 }
@@ -692,6 +816,7 @@ fn block_extra(huffman_block: &[u8]) -> Option<EncodeExtra> {
 /// the single archive writer behind every staged encode path. A sink adds
 /// entropy/DEFLATE/header spans and the block's table shape; the bytes are
 /// identical either way.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn encode_parts(
     meta: &BandMeta,
     dims: &[usize],
@@ -699,44 +824,59 @@ pub(crate) fn encode_parts(
     unpred_block: &[u8],
     hist: Option<&[u64]>,
     table: HuffmanTable<'_>,
+    entropy: &mut EntropyScratch,
     sink: Option<&dyn TelemetrySink>,
 ) -> (Vec<u8>, CompressionStats, Option<EncodeExtra>) {
     let tele = sink.is_some();
-    let ((version, huffman_block), encode_nanos) = timed(tele, || match table {
-        HuffmanTable::PerBand => (
-            VERSION_V3,
-            match hist {
-                Some(h) => szr_huffman::compress_u32_from_hist(codes, h),
-                None => szr_huffman::compress_u32(codes, 1usize << meta.interval_bits),
-            },
-        ),
-        HuffmanTable::Shared(codec) => (
-            VERSION_SHARED_V3,
-            szr_huffman::compress_u32_with_codec(codes, codec),
-        ),
+    let shared = matches!(table, HuffmanTable::Shared(_));
+    let (huffman_block, encode_nanos) = timed(tele, || match table {
+        HuffmanTable::PerBand => match hist {
+            Some(h) => szr_huffman::compress_u32_from_hist(codes, h),
+            None => szr_huffman::compress_u32(codes, 1usize << meta.interval_bits),
+        },
+        HuffmanTable::Shared(codec) => szr_huffman::compress_u32_with_codec(codes, codec),
     });
 
-    let mut out = ByteWriter::with_capacity(huffman_block.len() + unpred_block.len() + 64);
+    // LZ over the escape stream: the sampled trial decides the version byte
+    // before the header is written (the version is under the header CRC).
+    // Bands where the flag is off — or the trial loses — emit v3/v4
+    // byte-identically.
+    let esc_commit = meta.escape_lz && escape_lz_trial(entropy, unpred_block, sink);
+    let version = match (shared, esc_commit) {
+        (false, false) => VERSION_V3,
+        (false, true) => VERSION_ESCLZ,
+        (true, false) => VERSION_SHARED_V3,
+        (true, true) => VERSION_SHARED_ESCLZ,
+    };
+    let EntropyScratch { deflater, escape } = entropy;
+    let escape_section: &[u8] = if esc_commit { escape } else { unpred_block };
+
+    let mut out = ByteWriter::with_capacity(huffman_block.len() + escape_section.len() + 64);
     let ((), header_nanos) = timed(tele, || write_band_header(&mut out, version, meta, dims));
     let header_bytes = out.len() as u64;
     // Payload: the two sections, optionally behind SZ's "best compression"
     // DEFLATE pass (the Huffman stream has a 1-bit/symbol floor that
     // DEFLATE's match layer can break on low-entropy code streams).
-    let mut payload = ByteWriter::with_capacity(huffman_block.len() + unpred_block.len() + 8);
+    let mut payload = ByteWriter::with_capacity(huffman_block.len() + escape_section.len() + 8);
     payload.write_len_prefixed(&huffman_block);
-    payload.write_len_prefixed(unpred_block);
+    payload.write_len_prefixed(escape_section);
     if meta.lossless_pass {
-        let (deflated, deflate_nanos) =
-            timed(tele, || szr_deflate::deflate_compress(payload.as_bytes()));
-        if let Some(sink) = sink {
-            sink.span(Stage::Deflate, deflate_nanos, deflated.len() as u64);
-        }
-        if deflated.len() < payload.len() {
-            out.write_u8(1);
-            out.write_len_prefixed(&deflated);
-        } else {
+        let (deflated_len, won, deflate_nanos) = {
+            let (deflated, nanos) = timed(tele, || deflater.compress(payload.as_bytes()));
+            let won = deflated.len() < payload.len();
+            if won {
+                out.write_u8(1);
+                out.write_len_prefixed(deflated);
+            }
+            (deflated.len(), won, nanos)
+        };
+        if !won {
             out.write_u8(0);
             out.write_bytes(payload.as_bytes());
+        }
+        if let Some(sink) = sink {
+            sink.span(Stage::Deflate, deflate_nanos, deflated_len as u64);
+            report_deflate(sink, deflater.stats());
         }
     } else {
         out.write_u8(0);

@@ -110,6 +110,14 @@ pub struct Config {
     /// fixing the autocorrelation weakness Figure 9 shows on
     /// high-compression-factor data, at roughly one extra bit per value.
     pub decorrelate: bool,
+    /// LZ over the escape stream: run a sampled DEFLATE trial on the band's
+    /// binary-representation escape bytes and, when it actually shrinks
+    /// them, store the escape section compressed (escape-LZ band framing).
+    /// Escape bytes are IEEE-754 fragments — usually incompressible, which
+    /// is why this is off by default and trial-gated rather than
+    /// unconditional — but clustered or repeating unpredictable values
+    /// (sensor clipping, fill values, tiled artifacts) deflate well.
+    pub escape_lz: bool,
 }
 
 impl Config {
@@ -122,7 +130,14 @@ impl Config {
             intervals: IntervalMode::default(),
             lossless_pass: true,
             decorrelate: false,
+            escape_lz: false,
         }
+    }
+
+    /// Enables the escape-stream DEFLATE trial (see the field docs).
+    pub fn with_escape_lz(mut self) -> Self {
+        self.escape_lz = true;
+        self
     }
 
     /// Enables error-decorrelation mode (see the field docs).

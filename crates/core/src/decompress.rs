@@ -1,7 +1,8 @@
 //! Decompression: replay the prediction loop from reconstructed values.
 
 use crate::compress::{
-    versioned_checksums, MAGIC, VERSION, VERSION_SHARED, VERSION_SHARED_V3, VERSION_V3,
+    versioned_checksums, MAGIC, VERSION, VERSION_ESCLZ, VERSION_SHARED, VERSION_SHARED_ESCLZ,
+    VERSION_SHARED_V3, VERSION_V3,
 };
 use crate::float::ScalarFloat;
 use crate::kernel::ScanKernel;
@@ -145,6 +146,10 @@ struct Header {
     shared_stream: bool,
     /// v3 framing: the archive carries section checksums.
     checksummed: bool,
+    /// v5/v6 framing: the escape section is stored DEFLATE-compressed (the
+    /// encoder's escape-LZ trial won) and must be inflated before use. The
+    /// trailer's payload CRC covers the *inflated* escape bytes.
+    escape_lz: bool,
     /// Stored vs recomputed header CRC agreement (`None` for v1/v2).
     /// Recorded during the parse, acted on by the caller's policy.
     header_crc_ok: Option<bool>,
@@ -163,12 +168,21 @@ fn parse_header(bytes: &[u8], reader: &mut ByteReader<'_>) -> Result<Header> {
     let version = reader.read_u8()?;
     if !matches!(
         version,
-        VERSION | VERSION_SHARED | VERSION_V3 | VERSION_SHARED_V3
+        VERSION
+            | VERSION_SHARED
+            | VERSION_V3
+            | VERSION_SHARED_V3
+            | VERSION_ESCLZ
+            | VERSION_SHARED_ESCLZ
     ) {
         return Err(SzError::Corrupt(format!("unsupported version {version}")));
     }
-    let shared_stream = version == VERSION_SHARED || version == VERSION_SHARED_V3;
+    let shared_stream = matches!(
+        version,
+        VERSION_SHARED | VERSION_SHARED_V3 | VERSION_SHARED_ESCLZ
+    );
     let checksummed = versioned_checksums(version);
+    let escape_lz = matches!(version, VERSION_ESCLZ | VERSION_SHARED_ESCLZ);
     let type_tag = reader.read_u8()?;
     let layers = reader.read_u8()? as usize;
     let interval_bits = reader.read_u8()? as u32;
@@ -219,6 +233,7 @@ fn parse_header(bytes: &[u8], reader: &mut ByteReader<'_>) -> Result<Header> {
         decorrelate,
         shared_stream,
         checksummed,
+        escape_lz,
         header_crc_ok,
         eb,
         shape: Shape::new(&dims[..ndim]),
@@ -246,6 +261,9 @@ pub struct ArchiveInfo {
     pub shared_stream: bool,
     /// v3 framing: the archive carries per-section CRC-32 checksums.
     pub checksummed: bool,
+    /// v5/v6 framing: the escape section is stored DEFLATE-compressed
+    /// (the encoder's escape-LZ trial won).
+    pub escape_lz: bool,
     /// Total archive size in bytes.
     pub archive_bytes: usize,
 }
@@ -286,6 +304,7 @@ fn info_from(header: &Header, archive_bytes: usize) -> ArchiveInfo {
         decorrelated: header.decorrelate,
         shared_stream: header.shared_stream,
         checksummed: header.checksummed,
+        escape_lz: header.escape_lz,
         archive_bytes,
     }
 }
@@ -311,7 +330,9 @@ pub struct BandLayout {
     pub deflate_post_pass: bool,
     /// Bytes of the Huffman block (serialized table span + code stream).
     pub huffman_bytes: usize,
-    /// Bytes of the escape (unpredictable-value) stream.
+    /// Bytes of the escape (unpredictable-value) stream. For escape-LZ
+    /// archives (v5/v6) this is the *inflated* size; `info.escape_lz`
+    /// records that the stored section was deflated.
     pub unpredictable_bytes: usize,
     /// Bytes of the Huffman code stream alone (block minus table framing).
     pub code_stream_bytes: usize,
@@ -369,6 +390,19 @@ pub fn inspect_layout(bytes: &[u8]) -> Result<BandLayout> {
             (true, h, u)
         }
         _ => return Err(SzError::Corrupt("payload: unknown post-pass".into())),
+    };
+    // v5/v6: the escape section is stored deflated; the trailer's payload
+    // CRC covers the inflated bytes, so inflate before the check and report
+    // the inflated size below.
+    let esc_inflated;
+    let unpred_block: &[u8] = if header.escape_lz {
+        let mut buf = Vec::new();
+        szr_deflate::deflate_decompress_into(unpred_block, &mut buf)
+            .map_err(|e| SzError::Corrupt(format!("escape: {e}")))?;
+        esc_inflated = buf;
+        &esc_inflated
+    } else {
+        unpred_block
     };
     if header.checksummed {
         let table_crc = reader
@@ -429,6 +463,9 @@ pub(crate) struct DecodeScratch<T: ScalarFloat> {
     row_offsets: Vec<f64>,
     /// …and the row's decoded escape values.
     row_escapes: Vec<T>,
+    /// Escape-LZ staging: v5/v6 escape sections inflate here before the
+    /// bit-level escape decode (capacity persists across bands).
+    escape: Vec<u8>,
     /// Raw RLE table span of the codec cached below (memcmp cache key).
     table_key: Vec<u8>,
     /// Codec rebuilt from the last per-band table seen; same-table streaks
@@ -444,6 +481,7 @@ impl<T: ScalarFloat> Default for DecodeScratch<T> {
             row_codes: Vec::new(),
             row_offsets: Vec::new(),
             row_escapes: Vec::new(),
+            escape: Vec::new(),
             table_key: Vec::new(),
             cached_codec: None,
         }
@@ -690,6 +728,18 @@ fn decompress_parsed<T: ScalarFloat>(
 ) -> Result<Tensor<T>> {
     let sink = sink.filter(|s| s.enabled());
     let tele = sink.is_some();
+    // One up-front destructure so the escape staging buffer can stay
+    // borrowed (as the escape stream) while the row/code buffers are
+    // handed to the decoders — disjoint fields, one borrow each.
+    let DecodeScratch {
+        codes,
+        row_codes,
+        row_offsets,
+        row_escapes,
+        escape,
+        table_key,
+        cached_codec,
+    } = scratch;
     if header.type_tag != T::TYPE_TAG {
         return Err(SzError::WrongType {
             expected: T::NAME,
@@ -735,6 +785,22 @@ fn decompress_parsed<T: ScalarFloat>(
             (h, u)
         }
         _ => return Err(SzError::Corrupt("payload: unknown post-pass".into())),
+    };
+    // v5/v6: the escape section was stored deflated (the encoder's
+    // escape-LZ trial won); inflate it before the CRC check, which covers
+    // the raw escape bytes so corruption anywhere in the stored section
+    // still surfaces as a named mismatch rather than garbage values.
+    let unpred_block: &[u8] = if header.escape_lz {
+        let (res, nanos) = timed(tele, || {
+            szr_deflate::deflate_decompress_into(unpred_block, escape)
+        });
+        res.map_err(|e| SzError::Corrupt(format!("escape: {e}")))?;
+        if let Some(sink) = sink {
+            sink.span(Stage::Deflate, nanos, escape.len() as u64);
+        }
+        escape
+    } else {
+        unpred_block
     };
     if header.checksummed {
         // v3 trailer: section CRCs are part of the framing, so their
@@ -782,14 +848,6 @@ fn decompress_parsed<T: ScalarFloat>(
     // stays staged; everything else decodes fused unless the caller asked
     // for the oracle path.
     if !header.decorrelate && !staged {
-        let DecodeScratch {
-            row_codes,
-            row_offsets,
-            row_escapes,
-            table_key,
-            cached_codec,
-            ..
-        } = scratch;
         let (block, codec) = if header.shared_stream {
             let codec = codec.ok_or_else(|| {
                 SzError::Corrupt("archive needs its container's shared huffman table".into())
@@ -859,7 +917,6 @@ fn decompress_parsed<T: ScalarFloat>(
         return Ok(Tensor::from_vec(header.shape, recon));
     }
 
-    let codes = &mut scratch.codes;
     if header.shared_stream {
         let codec = codec.ok_or_else(|| {
             SzError::Corrupt("archive needs its container's shared huffman table".into())
@@ -1196,5 +1253,129 @@ mod inspect_tests {
     fn inspect_rejects_garbage() {
         assert!(inspect(&[0u8; 16]).is_err());
         assert!(inspect(&[]).is_err());
+    }
+}
+
+#[cfg(test)]
+mod escape_lz_tests {
+    use super::*;
+    use crate::{compress, Config, ErrorBound};
+
+    /// Values from a tiny alphabet of wildly separated magnitudes: nearly
+    /// every point escapes, and the escape bit-stream is periodic — the
+    /// adversarial-best case for LZ over the escape section.
+    fn escape_heavy() -> Tensor<f32> {
+        const ALPHABET: [f32; 5] = [0.0, 1.0e8, -3.0e7, 7.0e6, -9.0e5];
+        Tensor::from_fn([64, 64], |ix| ALPHABET[(ix[0] * 64 + ix[1]) % 5])
+    }
+
+    /// Keyed-hash noise across sign, exponent spread and mantissa: escape
+    /// records share no byte-level structure, so DEFLATE can recover at
+    /// most a fraction of a percent from residual bit bias — below the
+    /// block overhead on a small stream and below the sample gate's 0.98
+    /// ratio on a large one. Either way the trial loses.
+    fn incompressible(rows: usize) -> Tensor<f32> {
+        Tensor::from_fn([rows, rows], |ix| {
+            let h = ((ix[0] * rows + ix[1]) as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let mant = ((h >> 32) as u32) & 0x007F_FFFF;
+            let exp = 127 + ((h >> 59) as u32 & 15);
+            let sign = ((h >> 55) as u32 & 1) << 31;
+            f32::from_bits(sign | (exp << 23) | mant)
+        })
+    }
+
+    #[test]
+    fn winning_trial_emits_v5_and_roundtrips() {
+        let data = escape_heavy();
+        let base = Config::new(ErrorBound::Absolute(1e-3));
+        let plain = compress(&data, &base).unwrap();
+        let esc = compress(&data, &base.with_escape_lz()).unwrap();
+        assert_eq!(esc[4], VERSION_ESCLZ, "periodic escapes must win the trial");
+        assert!(
+            esc.len() < plain.len(),
+            "escape-LZ archive {} must beat v3 {}",
+            esc.len(),
+            plain.len()
+        );
+        let out: Tensor<f32> = decompress(&esc).unwrap();
+        let oracle: Tensor<f32> = decompress(&plain).unwrap();
+        assert_eq!(out.as_slice(), oracle.as_slice());
+        let info = inspect(&esc).unwrap();
+        assert!(info.escape_lz && info.checksummed);
+        assert!(!inspect(&plain).unwrap().escape_lz);
+    }
+
+    #[test]
+    fn losing_trial_is_byte_identical_to_v3() {
+        // ~850 escape bytes: the full trial runs and loses to block
+        // overhead.
+        let data = incompressible(16);
+        let base = Config::new(ErrorBound::Absolute(1e-3));
+        let plain = compress(&data, &base).unwrap();
+        let esc = compress(&data, &base.with_escape_lz()).unwrap();
+        assert_eq!(plain, esc, "a losing trial must leave the archive alone");
+        assert_eq!(plain[4], VERSION_V3);
+    }
+
+    #[test]
+    fn sample_gate_skips_large_incompressible_streams() {
+        // ~85 KiB of escape bytes: the 16 KiB prefix sample deflates to
+        // ≥ 0.98 of its size, so the whole-stream trial is skipped and the
+        // archive stays v3 byte-identical.
+        let data = incompressible(160);
+        let base = Config::new(ErrorBound::Absolute(1e-3));
+        let plain = compress(&data, &base).unwrap();
+        let esc = compress(&data, &base.with_escape_lz()).unwrap();
+        assert_eq!(plain, esc);
+        assert_eq!(plain[4], VERSION_V3);
+    }
+
+    #[test]
+    fn tiny_escape_sections_skip_the_trial() {
+        // A smooth ramp with two spikes: a handful of escape bytes, below
+        // the trial's minimum — the flag must be a byte-identical no-op.
+        let data = Tensor::from_fn([32, 32], |ix| {
+            let flat = ix[0] * 32 + ix[1];
+            if flat == 100 || flat == 900 {
+                5.0e7f32
+            } else {
+                flat as f32 * 0.25
+            }
+        });
+        let base = Config::new(ErrorBound::Absolute(1e-3));
+        let plain = compress(&data, &base).unwrap();
+        let esc = compress(&data, &base.with_escape_lz()).unwrap();
+        assert_eq!(plain, esc);
+        assert_eq!(plain[4], VERSION_V3);
+    }
+
+    #[test]
+    fn v5_layout_reports_inflated_escape_bytes() {
+        let data = escape_heavy();
+        let config = Config::new(ErrorBound::Absolute(1e-3)).with_escape_lz();
+        let bytes = compress(&data, &config).unwrap();
+        let layout = inspect_layout(&bytes).unwrap();
+        assert!(layout.info.escape_lz);
+        // The inflated escape stream is bigger than the whole archive —
+        // only possible if the stored section was deflated.
+        assert!(layout.unpredictable_bytes > bytes.len());
+    }
+
+    #[test]
+    fn verify_policy_catches_escape_corruption() {
+        let data = escape_heavy();
+        let config = Config::new(ErrorBound::Absolute(1e-3)).with_escape_lz();
+        let bytes = compress(&data, &config).unwrap();
+        // Flip every byte in turn across the back half (deflated escape
+        // section + trailer): each decode must fail typed or succeed —
+        // never panic — and a Verify decode must never return wrong data.
+        let oracle: Tensor<f32> = decompress(&bytes).unwrap();
+        for pos in (bytes.len() / 2)..bytes.len() {
+            let mut copy = bytes.clone();
+            copy[pos] ^= 0xFF;
+            if let Ok(out) = decompress_with_policy::<f32>(&copy, DecodePolicy::Verify) {
+                assert_eq!(out.as_slice(), oracle.as_slice(), "flip at {pos}");
+            }
+        }
     }
 }

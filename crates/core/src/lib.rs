@@ -88,7 +88,7 @@
 //! test-oriented [`force_scalar`]) pins the scalar fallback; CI runs the
 //! full kernel/quant/decode test surface that way on every push.
 //!
-//! ## Archive integrity (v3 framing)
+//! ## Archive integrity (v3 framing) and escape-LZ (v5/v6)
 //!
 //! Band archives are written in the **v3 checksummed framing**: the v1/v2
 //! layout plus a CRC-32 sealing the header fields (version byte 3 for
@@ -97,6 +97,18 @@
 //! escape block. The checksums are hashed in place during the write, so
 //! the fused path's 1-allocation steady state is preserved. v1/v2 archives
 //! remain fully decodable — they simply carry nothing to verify.
+//!
+//! Under [`Config::escape_lz`] the encoder additionally runs a sampled
+//! DEFLATE trial over the band's escape (binary-representation) stream.
+//! When the trial *wins* — the deflated escape section is strictly smaller
+//! — the band is emitted with version byte **5** (self-contained) or **6**
+//! (shared-stream): the v3/v4 layout with the escape section stored
+//! deflated. The trailer's payload CRC still covers the *raw* escape
+//! bytes, so v5/v6 verification checks the inflation end to end. Losing
+//! trials (IEEE-754 fragments are usually incompressible) emit byte-
+//! identical v3/v4 archives, and the flag defaults to off.
+//! [`escape_lz_trial_ratio`] exposes the same trial for planners pricing
+//! the flag against sample data.
 //!
 //! How strictly a decode treats the checksums is a [`DecodePolicy`]:
 //!
@@ -135,8 +147,8 @@ mod unpred;
 
 pub use compress::{
     compress, compress_slice_with_kernel, compress_slice_with_stats, compress_with_stats,
-    encode_quantized, quantize_slice_with_kernel, quantize_slice_with_kernel_oracle,
-    CompressionStats, HuffmanTable, QuantizedBand,
+    encode_quantized, escape_lz_trial_ratio, quantize_slice_with_kernel,
+    quantize_slice_with_kernel_oracle, CompressionStats, HuffmanTable, QuantizedBand,
 };
 pub use config::{Config, ErrorBound, IntervalMode};
 pub use decompress::{

@@ -43,9 +43,10 @@
 //! [`crate::decompress`] reads them.
 
 use crate::compress::{
-    encode_parts, encode_quantized_sink, quantize_into, quantize_validated_impl,
-    resolve_band_params, resolve_range_eb, write_band_header, BandMeta, CompressionStats,
-    EncodeExtra, HuffmanTable, QuantBufs, QuantizedBand, VERSION_SHARED_V3, VERSION_V3,
+    encode_parts, encode_quantized_sink, escape_lz_trial, quantize_into, quantize_validated_impl,
+    report_deflate, resolve_band_params, resolve_range_eb, write_band_header, BandMeta,
+    CompressionStats, EncodeExtra, EntropyScratch, HuffmanTable, QuantBufs, QuantizedBand,
+    VERSION_ESCLZ, VERSION_SHARED_ESCLZ, VERSION_SHARED_V3, VERSION_V3,
 };
 use crate::config::Config;
 use crate::decompress::{decompress_cached, DecodePolicy, DecodeScratch};
@@ -100,6 +101,10 @@ pub struct CodecSession<T: ScalarFloat> {
     code_bits: BitWriter,
     /// Payload staging for the fused writer's DEFLATE pass.
     payload: ByteWriter,
+    /// Entropy-stage scratch: the session-resident DEFLATE encoder (post
+    /// pass + escape-LZ trials reuse its matcher state and output buffer)
+    /// and the escape-LZ staging buffer.
+    entropy: EntropyScratch,
     reuse: Option<ReusedTable>,
     /// Decode-side scratch: fused row buffers, the staged/oracle symbol
     /// vector, and the per-band codec cache.
@@ -203,6 +208,7 @@ impl<T: ScalarFloat> CodecSession<T> {
             freqs: Vec::new(),
             code_bits: BitWriter::new(),
             payload: ByteWriter::new(),
+            entropy: EntropyScratch::default(),
             reuse: None,
             decode: DecodeScratch::default(),
             sink: None,
@@ -445,6 +451,7 @@ impl<T: ScalarFloat> CodecSession<T> {
             unpred,
             Some(&self.freqs),
             HuffmanTable::PerBand,
+            &mut self.entropy,
             sink.as_deref(),
         );
         if let Some(sink) = sink.as_deref() {
@@ -547,16 +554,20 @@ impl<T: ScalarFloat> CodecSession<T> {
         let unpred_bytes = self.bufs.unpred.finish();
         let ((bytes, stats), write_nanos) = {
             let payload = &mut self.payload;
+            let entropy = &mut self.entropy;
+            let sink_ref = sink.as_deref();
             timed(tele, || {
                 write_fused_archive(
                     &meta,
                     shape.dims(),
-                    VERSION_V3,
+                    false,
                     Some((&reuse.table_rle, reuse.used)),
                     values.len() as u64,
                     code_bytes,
                     unpred_bytes,
                     payload,
+                    entropy,
+                    sink_ref,
                 )
             })
         };
@@ -651,16 +662,20 @@ impl<T: ScalarFloat> CodecSession<T> {
         let unpred_bytes = self.bufs.unpred.finish();
         let ((bytes, stats), write_nanos) = {
             let payload = &mut self.payload;
+            let entropy = &mut self.entropy;
+            let sink_ref = sink.as_deref();
             timed(tele, || {
                 write_fused_archive(
                     &meta,
                     shape.dims(),
-                    VERSION_SHARED_V3,
+                    true,
                     None,
                     values.len() as u64,
                     code_bytes,
                     unpred_bytes,
                     payload,
+                    entropy,
+                    sink_ref,
                 )
             })
         };
@@ -729,7 +744,8 @@ impl<T: ScalarFloat> CodecSession<T> {
         table: HuffmanTable<'_>,
     ) -> (Vec<u8>, CompressionStats) {
         let sink = self.active_sink();
-        let (bytes, stats, extra) = encode_quantized_sink(band, table, sink.as_deref());
+        let (bytes, stats, extra) =
+            encode_quantized_sink(band, table, &mut self.entropy, sink.as_deref());
         if let Some(sink) = sink.as_deref() {
             sink.simd_path(crate::simd::level_name());
             emit_band(
@@ -861,6 +877,7 @@ fn run_fused_scan<T: ScalarFloat>(
                 interval_bits: bits,
                 decorrelate: false,
                 lossless_pass: config.lossless_pass,
+                escape_lz: config.escape_lz,
                 eb,
                 range,
                 predictable: visitor.predictable,
@@ -968,22 +985,37 @@ impl<T: ScalarFloat> RowVisitor<T> for FusedRowQuantizer<'_, T> {
 /// is `used · count · RLE-lengths · code bits`, for shared-stream archives
 /// just `count · code bits`. The section is length-prefixed arithmetically,
 /// so nothing is staged unless the DEFLATE pass needs a contiguous payload.
+/// `meta.escape_lz` arms the same sampled escape trial as the staged
+/// writer; the trailer's payload CRC stays over the raw escape bytes.
 #[allow(clippy::too_many_arguments)]
 fn write_fused_archive(
     meta: &BandMeta,
     dims: &[usize],
-    version: u8,
+    shared: bool,
     table: Option<(&[u8], u64)>,
     count: u64,
     code_bytes: &[u8],
     unpred_bytes: &[u8],
     payload_scratch: &mut ByteWriter,
+    entropy: &mut EntropyScratch,
+    sink: Option<&dyn TelemetrySink>,
 ) -> (Vec<u8>, CompressionStats) {
+    let esc_commit = meta.escape_lz && escape_lz_trial(entropy, unpred_bytes, sink);
+    let version = match (shared, esc_commit) {
+        (false, false) => VERSION_V3,
+        (false, true) => VERSION_ESCLZ,
+        (true, false) => VERSION_SHARED_V3,
+        (true, true) => VERSION_SHARED_ESCLZ,
+    };
+    let EntropyScratch { deflater, escape } = entropy;
+    let escape_section: &[u8] = if esc_commit { escape } else { unpred_bytes };
     let table_len = table.map_or(0, |(rle, used)| ByteWriter::varint_len(used) + rle.len());
     let block_len = table_len + ByteWriter::varint_len(count) + code_bytes.len();
     // Writes the payload sections and returns the v3 section CRCs, hashed
     // in place over the bytes just written — no staging copy, so the fused
-    // path's 1-alloc steady state survives the checksummed framing.
+    // path's 1-alloc steady state survives the checksummed framing. The
+    // payload CRC covers the raw escape stream even when the section is
+    // stored deflated, so decode verifies the inflation end to end.
     let write_payload = |w: &mut ByteWriter| -> (u32, u32) {
         w.write_varint(block_len as u64);
         let block_start = w.len();
@@ -996,23 +1028,26 @@ fn write_fused_archive(
         }
         w.write_bytes(code_bytes);
         let table_crc = szr_deflate::crc32(&w.as_bytes()[block_start..]);
-        w.write_len_prefixed(unpred_bytes);
+        w.write_len_prefixed(escape_section);
         (table_crc, szr_deflate::crc32(unpred_bytes))
     };
 
     let mut out =
-        ByteWriter::with_capacity(64 + 10 * dims.len() + block_len + unpred_bytes.len() + 24);
+        ByteWriter::with_capacity(64 + 10 * dims.len() + block_len + escape_section.len() + 24);
     write_band_header(&mut out, version, meta, dims);
     let (table_crc, payload_crc) = if meta.lossless_pass {
         payload_scratch.clear();
         let crcs = write_payload(payload_scratch);
-        let deflated = szr_deflate::deflate_compress(payload_scratch.as_bytes());
+        let deflated = deflater.compress(payload_scratch.as_bytes());
         if deflated.len() < payload_scratch.len() {
             out.write_u8(1);
-            out.write_len_prefixed(&deflated);
+            out.write_len_prefixed(deflated);
         } else {
             out.write_u8(0);
             out.write_bytes(payload_scratch.as_bytes());
+        }
+        if let Some(sink) = sink {
+            report_deflate(sink, deflater.stats());
         }
         crcs
     } else {
@@ -1090,6 +1125,27 @@ mod tests {
             let (bytes, stats) = session.compress_with_stats(&data).unwrap();
             assert_eq!(stats.total, data.len());
             // Self-describing: plain decompress, no session, no codec.
+            let out: Tensor<f32> = decompress(&bytes).unwrap();
+            for (&a, &b) in data.as_slice().iter().zip(out.as_slice()) {
+                assert!((a as f64 - b as f64).abs() <= eb, "step {step}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_mode_carries_escape_lz_framing() {
+        // Escape-heavy periodic data: the trial wins on every band, so the
+        // staged seed band *and* the fused table-reuse bands that follow
+        // must all emit v5 framing and still decode codec-free.
+        const ALPHABET: [f32; 5] = [0.0, 1.0e8, -3.0e7, 7.0e6, -9.0e5];
+        let eb = 1e-3;
+        let config = Config::new(ErrorBound::Absolute(eb)).with_escape_lz();
+        let mut session = CodecSession::<f32>::new(config).unwrap();
+        session.set_table_reuse(true);
+        for step in 0..3 {
+            let data = Tensor::from_fn([40, 64], |ix| ALPHABET[(ix[0] * 64 + ix[1] + step) % 5]);
+            let bytes = session.compress(&data).unwrap();
+            assert_eq!(bytes[4], VERSION_ESCLZ, "step {step}");
             let out: Tensor<f32> = decompress(&bytes).unwrap();
             for (&a, &b) in data.as_slice().iter().zip(out.as_slice()) {
                 assert!((a as f64 - b as f64).abs() <= eb, "step {step}");

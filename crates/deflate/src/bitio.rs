@@ -17,8 +17,21 @@ pub struct LsbWriter {
 
 impl LsbWriter {
     /// Creates an empty writer.
+    #[cfg(test)]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates a writer over a recycled buffer (cleared, capacity kept) —
+    /// the session [`Deflater`](crate::Deflater) hands its output vector
+    /// back through here so warm compressions allocate nothing.
+    pub fn from_vec(mut bytes: Vec<u8>) -> Self {
+        bytes.clear();
+        Self {
+            bytes,
+            bit_buf: 0,
+            bit_count: 0,
+        }
     }
 
     /// Appends the low `count` bits of `value`, LSB first.

@@ -1,7 +1,15 @@
 //! DEFLATE block encoding and decoding (RFC 1951 §3.2).
+//!
+//! The encode side is built around a reusable [`Deflater`]: matcher state,
+//! token buffer, splitter histograms, and Huffman scratch all live on the
+//! struct, so a warm session compresses with no allocation beyond growing
+//! its recycled output buffer. Block boundaries come from the
+//! content-aware splitter (see [`crate::splitter`]); every emitted block
+//! independently picks dynamic, fixed, or stored coding by exact bit cost.
 
 use crate::bitio::{reverse_bits, LsbReader, LsbWriter};
-use crate::lz77::{tokenize, Token};
+use crate::lz77::{Effort, LzState, Token};
+use crate::splitter::Splitter;
 use crate::{Error, Result};
 use szr_huffman::lut::{BitOrder, DecodeLut, Lookup};
 
@@ -29,11 +37,15 @@ const CLC_ORDER: [usize; 19] = [
     16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15,
 ];
 
-/// Tokens per encoded block: bounds table-adaptation granularity.
-const TOKENS_PER_BLOCK: usize = 65_536;
+/// Lit/len alphabet size on the encode side (285 is the last used symbol).
+const LITLEN_SYMS: usize = 286;
+/// Distance alphabet size.
+const DIST_SYMS: usize = 30;
+/// hlit + hdist upper bound: the dynamic-header length vector.
+const ALL_SYMS: usize = LITLEN_SYMS + DIST_SYMS;
 
 #[inline]
-fn length_symbol(len: u16) -> (u16, u32, u16) {
+pub(crate) fn length_symbol(len: u16) -> (u16, u32, u16) {
     // Returns (symbol, extra bit count, extra bits value).
     debug_assert!((3..=258).contains(&len));
     let mut sym = 28usize;
@@ -52,7 +64,7 @@ fn length_symbol(len: u16) -> (u16, u32, u16) {
 }
 
 #[inline]
-fn dist_symbol(dist: u16) -> (u16, u32, u16) {
+pub(crate) fn dist_symbol(dist: u16) -> (u16, u32, u16) {
     debug_assert!(dist >= 1);
     let d = dist as u32;
     let mut sym = 29usize;
@@ -74,45 +86,70 @@ fn dist_symbol(dist: u16) -> (u16, u32, u16) {
 // Huffman construction (max code length 15, RFC-conformant canonical codes).
 // ---------------------------------------------------------------------------
 
-/// Builds length-limited Huffman code lengths for `freqs` (limit `max_len`).
-fn build_lengths(freqs: &[u32], max_len: u32) -> Vec<u32> {
-    let used: Vec<usize> = (0..freqs.len()).filter(|&i| freqs[i] > 0).collect();
-    let mut lengths = vec![0u32; freqs.len()];
-    match used.len() {
-        0 => return lengths,
+/// Builds length-limited Huffman code lengths for `freqs` (limit `max_len`)
+/// into `lengths`, allocation-free: a sorted-leaf two-queue merge over
+/// fixed-size node arrays replaces the old heap-and-`Vec` build.
+fn build_lengths_into(freqs: &[u32], max_len: u32, lengths: &mut [u32]) {
+    debug_assert!(freqs.len() <= LITLEN_SYMS);
+    debug_assert_eq!(freqs.len(), lengths.len());
+    lengths.fill(0);
+    let mut leaves = [(0u64, 0u16); LITLEN_SYMS];
+    let mut n = 0usize;
+    for (sym, &f) in freqs.iter().enumerate() {
+        if f > 0 {
+            leaves[n] = (f as u64, sym as u16);
+            n += 1;
+        }
+    }
+    match n {
+        0 => return,
         1 => {
-            lengths[used[0]] = 1;
-            return lengths;
+            lengths[leaves[0].1 as usize] = 1;
+            return;
         }
         _ => {}
     }
-    // Heap-based Huffman.
-    use std::cmp::Reverse;
-    use std::collections::BinaryHeap;
-    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
-    let n = used.len();
-    let mut parent = vec![usize::MAX; 2 * n - 1];
-    for (node, &sym) in used.iter().enumerate() {
-        heap.push(Reverse((freqs[sym] as u64, node)));
+    leaves[..n].sort_unstable();
+    // Two-queue Huffman merge: leaves (sorted ascending) in one queue,
+    // internal nodes (created in nondecreasing weight order) in the other.
+    // Node ids: 0..n are leaves in sorted order, n..2n-1 are internal.
+    let total = 2 * n - 1;
+    let mut weight = [0u64; 2 * LITLEN_SYMS - 1];
+    let mut parent = [0u16; 2 * LITLEN_SYMS - 1];
+    for (i, &(w, _)) in leaves[..n].iter().enumerate() {
+        weight[i] = w;
     }
-    let mut next = n;
-    while heap.len() > 1 {
-        let Reverse((w1, n1)) = heap.pop().unwrap();
-        let Reverse((w2, n2)) = heap.pop().unwrap();
-        parent[n1] = next;
-        parent[n2] = next;
-        heap.push(Reverse((w1 + w2, next)));
+    let mut li = 0usize; // next unconsumed leaf
+    let mut ii = n; // next unconsumed internal node
+    let mut next = n; // next internal node id to create
+    while next < total {
+        let a = if li < n && (ii >= next || weight[li] <= weight[ii]) {
+            li += 1;
+            li - 1
+        } else {
+            ii += 1;
+            ii - 1
+        };
+        let b = if li < n && (ii >= next || weight[li] <= weight[ii]) {
+            li += 1;
+            li - 1
+        } else {
+            ii += 1;
+            ii - 1
+        };
+        weight[next] = weight[a] + weight[b];
+        parent[a] = next as u16;
+        parent[b] = next as u16;
         next += 1;
     }
-    let root = next - 1;
-    let mut depth = vec![0u32; 2 * n - 1];
-    for node in (0..next).rev() {
-        if node != root {
-            depth[node] = depth[parent[node]] + 1;
-        }
+    // Parents always have larger ids than children, so one reverse sweep
+    // resolves every depth from the root (id total-1, depth 0).
+    let mut depth = [0u32; 2 * LITLEN_SYMS - 1];
+    for node in (0..total - 1).rev() {
+        depth[node] = depth[parent[node] as usize] + 1;
     }
-    for (node, &sym) in used.iter().enumerate() {
-        lengths[sym] = depth[node].max(1);
+    for (i, &(_, sym)) in leaves[..n].iter().enumerate() {
+        lengths[sym as usize] = depth[i].max(1);
     }
     // Limit to max_len with a Kraft fixup (deepen the deepest shallow code).
     let mut over = false;
@@ -140,37 +177,60 @@ fn build_lengths(freqs: &[u32], max_len: u32) -> Vec<u32> {
             kraft -= 1u64 << (max_len - lengths[i] - 1);
             lengths[i] += 1;
         }
+        // Deepening steps can overshoot below the budget, leaving an
+        // *incomplete* code — strict inflaters (zlib, gzip) reject those
+        // outright. Shorten the deepest codes whose Kraft step fits the
+        // deficit (a max-length code always does, step 1) until the code
+        // space is exactly full.
+        while kraft < budget {
+            let deficit = budget - kraft;
+            let i = lengths
+                .iter()
+                .enumerate()
+                .filter(|&(_, &l)| l > 1 && (1u64 << (max_len - l)) <= deficit)
+                .max_by_key(|&(_, &l)| l)
+                .map(|(i, _)| i)
+                .expect("a max-length code always fits the deficit");
+            kraft += 1u64 << (max_len - lengths[i]);
+            lengths[i] -= 1;
+        }
     }
-    lengths
 }
 
-/// Canonical code values from lengths (RFC 1951 §3.2.2 algorithm).
-fn assign_codes(lengths: &[u32]) -> Vec<u32> {
-    let max_len = lengths.iter().copied().max().unwrap_or(0);
-    let mut bl_count = vec![0u32; (max_len + 1) as usize];
+/// Canonical code values from lengths (RFC 1951 §3.2.2 algorithm),
+/// allocation-free (DEFLATE lengths never exceed 15).
+fn assign_codes_into(lengths: &[u32], codes: &mut [u32]) {
+    debug_assert_eq!(lengths.len(), codes.len());
+    let mut bl_count = [0u32; 16];
     for &l in lengths {
+        debug_assert!(l <= 15);
         if l > 0 {
             bl_count[l as usize] += 1;
         }
     }
-    let mut next_code = vec![0u32; (max_len + 2) as usize];
+    let mut next_code = [0u32; 16];
     let mut code = 0u32;
-    for bits in 1..=max_len {
-        code = (code + bl_count[(bits - 1) as usize]) << 1;
-        next_code[bits as usize] = code;
+    for bits in 1..=15usize {
+        code = (code + bl_count[bits - 1]) << 1;
+        next_code[bits] = code;
     }
-    lengths
-        .iter()
-        .map(|&l| {
-            if l == 0 {
-                0
-            } else {
-                let c = next_code[l as usize];
-                next_code[l as usize] += 1;
-                c
-            }
-        })
-        .collect()
+    for (i, &l) in lengths.iter().enumerate() {
+        codes[i] = if l == 0 {
+            0
+        } else {
+            let c = next_code[l as usize];
+            next_code[l as usize] += 1;
+            c
+        };
+    }
+}
+
+/// Canonical code values from lengths as a `Vec` (decode-side table builds
+/// and the RFC worked-example test).
+fn assign_codes(lengths: &[u32]) -> Vec<u32> {
+    let mut codes = vec![0u32; lengths.len()];
+    assign_codes_into(lengths, &mut codes);
+    codes
 }
 
 /// Canonical decoder: a shared two-level LUT (LSB bit order) over the code
@@ -272,25 +332,6 @@ impl HuffDecoder {
     }
 }
 
-struct Encoder {
-    lengths: Vec<u32>,
-    codes: Vec<u32>,
-}
-
-impl Encoder {
-    fn new(lengths: Vec<u32>) -> Self {
-        let codes = assign_codes(&lengths);
-        Self { lengths, codes }
-    }
-
-    #[inline]
-    fn write(&self, w: &mut LsbWriter, sym: u16) {
-        let len = self.lengths[sym as usize];
-        debug_assert!(len > 0, "symbol {sym} has no code");
-        w.write_bits(reverse_bits(self.codes[sym as usize], len) as u64, len);
-    }
-}
-
 fn fixed_litlen_lengths() -> Vec<u32> {
     let mut l = vec![8u32; 288];
     l[144..256].iter_mut().for_each(|x| *x = 9);
@@ -302,15 +343,30 @@ fn fixed_dist_lengths() -> Vec<u32> {
     vec![5u32; 30]
 }
 
+#[inline]
+fn fixed_litlen_len(sym: usize) -> u32 {
+    match sym {
+        0..=143 => 8,
+        144..=255 => 9,
+        256..=279 => 7,
+        _ => 8,
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Encoding
 // ---------------------------------------------------------------------------
 
 /// Run-length encodes a code-length sequence into CL symbols
-/// (16 = repeat previous 3–6, 17 = zeros 3–10, 18 = zeros 11–138).
-fn rle_code_lengths(lengths: &[u32]) -> Vec<(u16, u32, u16)> {
-    // (symbol, extra bit count, extra value)
-    let mut out = Vec::new();
+/// (16 = repeat previous 3–6, 17 = zeros 3–10, 18 = zeros 11–138),
+/// written into `out` (sized for one symbol per input length). Returns the
+/// symbol count.
+fn rle_code_lengths(lengths: &[u32], out: &mut [(u16, u32, u16)]) -> usize {
+    let mut n = 0usize;
+    let mut push = |sym: u16, extra_bits: u32, extra: u16, n: &mut usize| {
+        out[*n] = (sym, extra_bits, extra);
+        *n += 1;
+    };
     let mut i = 0usize;
     while i < lengths.len() {
         let cur = lengths[i];
@@ -322,34 +378,61 @@ fn rle_code_lengths(lengths: &[u32]) -> Vec<(u16, u32, u16)> {
             let mut left = run;
             while left >= 11 {
                 let take = left.min(138);
-                out.push((18, 7, (take - 11) as u16));
+                push(18, 7, (take - 11) as u16, &mut n);
                 left -= take;
             }
             if left >= 3 {
-                out.push((17, 3, (left - 3) as u16));
+                push(17, 3, (left - 3) as u16, &mut n);
                 left = 0;
             }
             for _ in 0..left {
-                out.push((0, 0, 0));
+                push(0, 0, 0, &mut n);
             }
         } else {
-            out.push((cur as u16, 0, 0));
+            push(cur as u16, 0, 0, &mut n);
             let mut left = run - 1;
             while left >= 3 {
                 let take = left.min(6);
-                out.push((16, 2, (take - 3) as u16));
+                push(16, 2, (take - 3) as u16, &mut n);
                 left -= take;
             }
             for _ in 0..left {
-                out.push((cur as u16, 0, 0));
+                push(cur as u16, 0, 0, &mut n);
             }
         }
         i += run;
     }
-    out
+    n
 }
 
-fn write_dynamic_header(w: &mut LsbWriter, litlen_lengths: &[u32], dist_lengths: &[u32]) {
+/// A fully planned dynamic-block header: the CL-coded length sequence and
+/// its exact transmitted bit count (what `dynamic_cost` prices and what
+/// emission writes — one plan, so priced and actual bits cannot drift).
+struct DynHeader {
+    hlit: usize,
+    hdist: usize,
+    hclen: usize,
+    cl_lengths: [u32; 19],
+    cl_syms: [(u16, u32, u16); ALL_SYMS],
+    n_cl: usize,
+    bits: u64,
+}
+
+impl Default for DynHeader {
+    fn default() -> Self {
+        Self {
+            hlit: 257,
+            hdist: 1,
+            hclen: 4,
+            cl_lengths: [0; 19],
+            cl_syms: [(0, 0, 0); ALL_SYMS],
+            n_cl: 0,
+            bits: 0,
+        }
+    }
+}
+
+fn plan_dynamic_header(litlen_lengths: &[u32], dist_lengths: &[u32], hdr: &mut DynHeader) {
     // HLIT/HDIST: trailing zeros may be trimmed but minimums apply.
     let hlit = litlen_lengths
         .iter()
@@ -363,171 +446,394 @@ fn write_dynamic_header(w: &mut LsbWriter, litlen_lengths: &[u32], dist_lengths:
         .map(|p| p + 1)
         .unwrap_or(0)
         .max(1);
-    let mut all = Vec::with_capacity(hlit + hdist);
-    all.extend_from_slice(&litlen_lengths[..hlit]);
-    all.extend_from_slice(&dist_lengths[..hdist]);
-    let cl_syms = rle_code_lengths(&all);
+    let mut all = [0u32; ALL_SYMS];
+    all[..hlit].copy_from_slice(&litlen_lengths[..hlit]);
+    all[hlit..hlit + hdist].copy_from_slice(&dist_lengths[..hdist]);
+    hdr.n_cl = rle_code_lengths(&all[..hlit + hdist], &mut hdr.cl_syms);
 
     let mut cl_freq = [0u32; 19];
-    for &(sym, _, _) in &cl_syms {
+    for &(sym, _, _) in &hdr.cl_syms[..hdr.n_cl] {
         cl_freq[sym as usize] += 1;
     }
-    let cl_lengths = build_lengths(&cl_freq, 7);
-    let cl_enc = Encoder::new(cl_lengths.clone());
-    let hclen = CLC_ORDER
+    build_lengths_into(&cl_freq, 7, &mut hdr.cl_lengths);
+    // A single-symbol CL code would be incomplete (one 1-bit code fills
+    // half the space), and zlib rejects incomplete *code-length* codes
+    // even in the single-code case it tolerates elsewhere. Pad with the
+    // earliest unused symbol in transmission order so the 1-bit code
+    // space is exactly full at minimal HCLEN cost.
+    if hdr.cl_lengths.iter().filter(|&&l| l > 0).count() == 1 {
+        let pad = CLC_ORDER
+            .iter()
+            .copied()
+            .find(|&s| hdr.cl_lengths[s] == 0)
+            .expect("19 symbols cannot all be used by a single-symbol code");
+        hdr.cl_lengths[pad] = 1;
+    }
+    hdr.hclen = CLC_ORDER
         .iter()
-        .rposition(|&s| cl_lengths[s] > 0)
+        .rposition(|&s| hdr.cl_lengths[s] > 0)
         .map(|p| p + 1)
         .unwrap_or(4)
         .max(4);
-
-    w.write_bits((hlit - 257) as u64, 5);
-    w.write_bits((hdist - 1) as u64, 5);
-    w.write_bits((hclen - 4) as u64, 4);
-    for &s in CLC_ORDER.iter().take(hclen) {
-        w.write_bits(cl_lengths[s] as u64, 3);
+    hdr.hlit = hlit;
+    hdr.hdist = hdist;
+    let mut bits = 14u64 + 3 * hdr.hclen as u64; // HLIT+HDIST+HCLEN fields
+    for &(sym, extra_bits, _) in &hdr.cl_syms[..hdr.n_cl] {
+        bits += hdr.cl_lengths[sym as usize] as u64 + extra_bits as u64;
     }
-    for &(sym, extra_bits, extra) in &cl_syms {
-        cl_enc.write(w, sym);
-        if extra_bits > 0 {
-            w.write_bits(extra as u64, extra_bits);
+    hdr.bits = bits;
+}
+
+/// Per-block encode scratch: frequency tables, planned code lengths and
+/// canonical codes, and the dynamic-header plan. One lives on the
+/// [`Deflater`]; the splitter borrows it while pricing candidate blocks.
+pub(crate) struct BlockScratch {
+    pub(crate) litlen_freq: [u32; LITLEN_SYMS],
+    pub(crate) dist_freq: [u32; DIST_SYMS],
+    litlen_lengths: [u32; LITLEN_SYMS],
+    litlen_codes: [u32; LITLEN_SYMS],
+    dist_lengths: [u32; DIST_SYMS],
+    dist_codes: [u32; DIST_SYMS],
+    cl_codes: [u32; 19],
+    hdr: DynHeader,
+}
+
+impl Default for BlockScratch {
+    fn default() -> Self {
+        Self {
+            litlen_freq: [0; LITLEN_SYMS],
+            dist_freq: [0; DIST_SYMS],
+            litlen_lengths: [0; LITLEN_SYMS],
+            litlen_codes: [0; LITLEN_SYMS],
+            dist_lengths: [0; DIST_SYMS],
+            dist_codes: [0; DIST_SYMS],
+            cl_codes: [0; 19],
+            hdr: DynHeader::default(),
         }
     }
 }
 
-fn write_tokens(w: &mut LsbWriter, tokens: &[Token], litlen: &Encoder, dist: &Encoder) {
+/// How a block will be coded, chosen by exact bit cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BlockKind {
+    Stored,
+    Fixed,
+    Dynamic,
+}
+
+/// Exact transmitted size of the dynamic encoding currently planned in
+/// `scratch` (3-bit block header + table header + coded tokens + extras).
+fn dynamic_cost(scratch: &BlockScratch) -> u64 {
+    let mut bits = 3 + scratch.hdr.bits;
+    for (sym, (&f, &l)) in scratch
+        .litlen_freq
+        .iter()
+        .zip(&scratch.litlen_lengths)
+        .enumerate()
+    {
+        bits += f as u64 * l as u64;
+        if sym >= 257 {
+            bits += f as u64 * LENGTH_EXTRA[sym - 257] as u64;
+        }
+    }
+    for (sym, (&f, &l)) in scratch
+        .dist_freq
+        .iter()
+        .zip(&scratch.dist_lengths)
+        .enumerate()
+    {
+        bits += f as u64 * (l + DIST_EXTRA[sym]) as u64;
+    }
+    bits
+}
+
+/// Exact transmitted size under the fixed code tables.
+fn fixed_cost(litlen_freq: &[u32; LITLEN_SYMS], dist_freq: &[u32; DIST_SYMS]) -> u64 {
+    let mut bits = 3u64;
+    for (sym, &f) in litlen_freq.iter().enumerate() {
+        bits += f as u64 * fixed_litlen_len(sym) as u64;
+        if sym >= 257 {
+            bits += f as u64 * LENGTH_EXTRA[sym - 257] as u64;
+        }
+    }
+    for (sym, &f) in dist_freq.iter().enumerate() {
+        bits += f as u64 * (5 + DIST_EXTRA[sym]) as u64;
+    }
+    bits
+}
+
+/// Stored-block size, priced with worst-case byte alignment (≤ 7 pad bits
+/// per 64 KiB chunk — the only non-exact term in block pricing).
+fn stored_cost(byte_len: usize) -> u64 {
+    let chunks = byte_len.div_ceil(65_535).max(1) as u64;
+    chunks * (3 + 7 + 32) + 8 * byte_len as u64
+}
+
+/// Plans Huffman tables for the frequencies in `scratch` (which must
+/// already count the end-of-block symbol) and returns the cheapest coding
+/// with its exact bit cost. The dynamic plan stays in `scratch` for
+/// emission.
+pub(crate) fn price_block(scratch: &mut BlockScratch, byte_len: usize) -> (u64, BlockKind) {
+    build_lengths_into(&scratch.litlen_freq, 15, &mut scratch.litlen_lengths);
+    build_lengths_into(&scratch.dist_freq, 15, &mut scratch.dist_lengths);
+    // RFC: when no distances occur, one dummy code keeps decoders happy.
+    if scratch.dist_lengths.iter().all(|&l| l == 0) {
+        scratch.dist_lengths[0] = 1;
+    }
+    plan_dynamic_header(
+        &scratch.litlen_lengths,
+        &scratch.dist_lengths,
+        &mut scratch.hdr,
+    );
+    let dyn_bits = dynamic_cost(scratch);
+    let fixed_bits = fixed_cost(&scratch.litlen_freq, &scratch.dist_freq);
+    let stored_bits = stored_cost(byte_len);
+    if stored_bits <= dyn_bits && stored_bits <= fixed_bits {
+        (stored_bits, BlockKind::Stored)
+    } else if fixed_bits <= dyn_bits {
+        (fixed_bits, BlockKind::Fixed)
+    } else {
+        (dyn_bits, BlockKind::Dynamic)
+    }
+}
+
+#[inline]
+fn put_sym(w: &mut LsbWriter, lengths: &[u32], codes: &[u32], sym: usize) {
+    let len = lengths[sym];
+    debug_assert!(len > 0, "symbol {sym} has no code");
+    w.write_bits(reverse_bits(codes[sym], len) as u64, len);
+}
+
+fn write_tokens(
+    w: &mut LsbWriter,
+    tokens: &[Token],
+    litlen_lengths: &[u32],
+    litlen_codes: &[u32],
+    dist_lengths: &[u32],
+    dist_codes: &[u32],
+) {
     for &t in tokens {
         match t {
-            Token::Literal(b) => litlen.write(w, b as u16),
-            Token::Match { len, dist: d } => {
+            Token::Literal(b) => put_sym(w, litlen_lengths, litlen_codes, b as usize),
+            Token::Match { len, dist } => {
                 let (sym, eb, ev) = length_symbol(len);
-                litlen.write(w, sym);
+                put_sym(w, litlen_lengths, litlen_codes, sym as usize);
                 if eb > 0 {
                     w.write_bits(ev as u64, eb);
                 }
-                let (dsym, deb, dev) = dist_symbol(d);
-                dist.write(w, dsym);
+                let (dsym, deb, dev) = dist_symbol(dist);
+                put_sym(w, dist_lengths, dist_codes, dsym as usize);
                 if deb > 0 {
                     w.write_bits(dev as u64, deb);
                 }
             }
         }
     }
-    litlen.write(w, 256); // end of block
+    put_sym(w, litlen_lengths, litlen_codes, 256); // end of block
 }
 
-/// Estimated bit cost of a dynamic block (payload only; header adds ~100–300
-/// bits, folded into the constant below).
-fn dynamic_cost(
-    litlen_freq: &[u32],
-    dist_freq: &[u32],
-    litlen_lengths: &[u32],
-    dist_lengths: &[u32],
-) -> u64 {
-    let mut bits = 300u64; // header estimate
-    for (f, l) in litlen_freq.iter().zip(litlen_lengths) {
-        bits += (*f as u64) * (*l as u64);
+fn emit_stored(w: &mut LsbWriter, raw: &[u8], is_final: bool) {
+    if raw.is_empty() {
+        w.write_bits(is_final as u64, 1);
+        w.write_bits(0b00, 2);
+        w.align_to_byte();
+        w.write_bytes(&[0, 0, 0xFF, 0xFF]);
+        return;
     }
-    for (f, l) in dist_freq.iter().zip(dist_lengths) {
-        bits += (*f as u64) * (*l as u64);
+    let mut chunks = raw.chunks(65_535).peekable();
+    while let Some(chunk) = chunks.next() {
+        let this_final = is_final && chunks.peek().is_none();
+        w.write_bits(this_final as u64, 1);
+        w.write_bits(0b00, 2);
+        w.align_to_byte();
+        let len = chunk.len() as u16;
+        w.write_bytes(&len.to_le_bytes());
+        w.write_bytes(&(!len).to_le_bytes());
+        w.write_bytes(chunk);
     }
-    // Extra bits.
-    for (sym, &f) in litlen_freq.iter().enumerate().skip(257) {
-        if sym - 257 < 29 {
-            bits += f as u64 * LENGTH_EXTRA[sym - 257] as u64;
-        }
-    }
-    for (sym, &f) in dist_freq.iter().enumerate() {
-        if sym < 30 {
-            bits += f as u64 * DIST_EXTRA[sym] as u64;
-        }
-    }
-    bits
 }
 
-/// Compresses `data` into a complete DEFLATE stream.
-pub fn compress(data: &[u8]) -> Vec<u8> {
-    let tokens = tokenize(data);
-    let mut w = LsbWriter::new();
-    // Track original byte extent per block for the stored fallback.
-    let mut blocks: Vec<(&[Token], usize, usize)> = Vec::new();
-    {
-        let mut start_byte = 0usize;
-        let mut i = 0usize;
-        while i < tokens.len() || blocks.is_empty() {
-            let end = (i + TOKENS_PER_BLOCK).min(tokens.len());
-            let slice = &tokens[i..end];
-            let bytes: usize = slice
-                .iter()
-                .map(|t| match t {
-                    Token::Literal(_) => 1,
-                    Token::Match { len, .. } => *len as usize,
-                })
-                .sum();
-            blocks.push((slice, start_byte, start_byte + bytes));
-            start_byte += bytes;
-            i = end;
-            if tokens.is_empty() {
-                break;
+#[allow(clippy::too_many_arguments)]
+fn emit_block(
+    w: &mut LsbWriter,
+    data: &[u8],
+    tokens: &[Token],
+    byte_start: usize,
+    byte_end: usize,
+    is_final: bool,
+    kind: BlockKind,
+    scratch: &mut BlockScratch,
+) {
+    match kind {
+        BlockKind::Stored => emit_stored(w, &data[byte_start..byte_end], is_final),
+        BlockKind::Fixed => {
+            // The fixed code is canonical over the full 288-symbol alphabet
+            // (286/287 are reserved but shape the code space).
+            let mut lengths = [0u32; 288];
+            for (sym, l) in lengths.iter_mut().enumerate() {
+                *l = fixed_litlen_len(sym);
             }
+            let mut codes = [0u32; 288];
+            assign_codes_into(&lengths, &mut codes);
+            let dist_lengths = [5u32; 30];
+            let mut dist_codes = [0u32; 30];
+            assign_codes_into(&dist_lengths, &mut dist_codes);
+            w.write_bits(is_final as u64, 1);
+            w.write_bits(0b01, 2);
+            write_tokens(w, tokens, &lengths, &codes, &dist_lengths, &dist_codes);
         }
-    }
-
-    let last = blocks.len() - 1;
-    for (bi, &(block, byte_start, byte_end)) in blocks.iter().enumerate() {
-        let is_final = bi == last;
-        // Symbol frequencies for this block.
-        let mut litlen_freq = vec![0u32; 286];
-        let mut dist_freq = vec![0u32; 30];
-        for &t in block {
-            match t {
-                Token::Literal(b) => litlen_freq[b as usize] += 1,
-                Token::Match { len, dist } => {
-                    litlen_freq[length_symbol(len).0 as usize] += 1;
-                    dist_freq[dist_symbol(dist).0 as usize] += 1;
+        BlockKind::Dynamic => {
+            // Emission writes exactly the plan `price_block` left in scratch.
+            assign_codes_into(&scratch.litlen_lengths, &mut scratch.litlen_codes);
+            assign_codes_into(&scratch.dist_lengths, &mut scratch.dist_codes);
+            assign_codes_into(&scratch.hdr.cl_lengths, &mut scratch.cl_codes);
+            w.write_bits(is_final as u64, 1);
+            w.write_bits(0b10, 2);
+            w.write_bits((scratch.hdr.hlit - 257) as u64, 5);
+            w.write_bits((scratch.hdr.hdist - 1) as u64, 5);
+            w.write_bits((scratch.hdr.hclen - 4) as u64, 4);
+            for &s in CLC_ORDER.iter().take(scratch.hdr.hclen) {
+                w.write_bits(scratch.hdr.cl_lengths[s] as u64, 3);
+            }
+            for &(sym, extra_bits, extra) in &scratch.hdr.cl_syms[..scratch.hdr.n_cl] {
+                put_sym(w, &scratch.hdr.cl_lengths, &scratch.cl_codes, sym as usize);
+                if extra_bits > 0 {
+                    w.write_bits(extra as u64, extra_bits);
                 }
             }
-        }
-        litlen_freq[256] += 1;
-        let litlen_lengths = build_lengths(&litlen_freq, 15);
-        let mut dist_lengths = build_lengths(&dist_freq, 15);
-        // RFC: when no distances occur, one dummy code keeps decoders happy.
-        if dist_lengths.iter().all(|&l| l == 0) {
-            dist_lengths[0] = 1;
-        }
-
-        let dyn_bits = dynamic_cost(&litlen_freq, &dist_freq, &litlen_lengths, &dist_lengths);
-        let stored_bits = 8 * (5 + (byte_end - byte_start)) as u64 + 8;
-        if stored_bits < dyn_bits {
-            // Stored block(s): 64 KiB max each.
-            let raw = &data[byte_start..byte_end];
-            let mut chunks = raw.chunks(65_535).peekable();
-            if raw.is_empty() {
-                w.write_bits(is_final as u64, 1);
-                w.write_bits(0b00, 2);
-                w.align_to_byte();
-                w.write_bytes(&[0, 0, 0xFF, 0xFF]);
-            }
-            while let Some(chunk) = chunks.next() {
-                let this_final = is_final && chunks.peek().is_none();
-                w.write_bits(this_final as u64, 1);
-                w.write_bits(0b00, 2);
-                w.align_to_byte();
-                let len = chunk.len() as u16;
-                w.write_bytes(&len.to_le_bytes());
-                w.write_bytes(&(!len).to_le_bytes());
-                w.write_bytes(chunk);
-            }
-        } else {
-            w.write_bits(is_final as u64, 1);
-            w.write_bits(0b10, 2); // dynamic
-            write_dynamic_header(&mut w, &litlen_lengths, &dist_lengths);
-            let litlen = Encoder::new(litlen_lengths);
-            let dist = Encoder::new(dist_lengths);
-            write_tokens(&mut w, block, &litlen, &dist);
+            write_tokens(
+                w,
+                tokens,
+                &scratch.litlen_lengths,
+                &scratch.litlen_codes,
+                &scratch.dist_lengths,
+                &scratch.dist_codes,
+            );
         }
     }
-    w.finish()
+}
+
+/// Counters from the most recent [`Deflater::compress`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeflateStats {
+    /// DEFLATE blocks emitted.
+    pub blocks: u64,
+    /// Content-aware block boundaries that survived merge-back and beat the
+    /// fixed segmentation (0 when splitting is off or fixed blocks won).
+    pub split_boundaries: u64,
+    /// Literal tokens in the LZ stream.
+    pub literal_tokens: u64,
+    /// Back-reference tokens in the LZ stream.
+    pub match_tokens: u64,
+}
+
+/// A reusable DEFLATE compressor.
+///
+/// Owns the LZ77 matcher state ([`LzState`]), the token buffer, the
+/// splitter's chunk histograms, the Huffman scratch, and a recycled output
+/// buffer — so a warm `Deflater` compresses without allocating (beyond
+/// first-time growth of those buffers). [`CodecSession`]s hold one as part
+/// of their entropy scratch; one-shot callers get the same code path via
+/// [`crate::deflate_compress`].
+///
+/// [`CodecSession`]: https://docs.rs/szr-core
+#[derive(Default)]
+pub struct Deflater {
+    effort: Effort,
+    split: bool,
+    lz: LzState,
+    tokens: Vec<Token>,
+    splitter: Splitter,
+    scratch: BlockScratch,
+    out: Vec<u8>,
+    stats: DeflateStats,
+}
+
+impl Deflater {
+    /// A deflater at [`Effort::Default`] with content-aware splitting on.
+    pub fn new() -> Self {
+        Self {
+            split: true,
+            ..Self::default()
+        }
+    }
+
+    /// A deflater at the given effort (splitting on).
+    pub fn with_effort(effort: Effort) -> Self {
+        Self {
+            effort,
+            ..Self::new()
+        }
+    }
+
+    /// Sets the matcher effort for subsequent compressions.
+    pub fn set_effort(&mut self, effort: Effort) {
+        self.effort = effort;
+    }
+
+    /// Enables or disables content-aware block splitting (off falls back to
+    /// fixed 64 Ki-token blocks — the historical behavior).
+    pub fn set_split(&mut self, split: bool) {
+        self.split = split;
+    }
+
+    /// Counters from the most recent [`compress`](Self::compress) call.
+    pub fn stats(&self) -> DeflateStats {
+        self.stats
+    }
+
+    /// Compresses `data` into a complete DEFLATE stream held in the
+    /// deflater's recycled output buffer (valid until the next call).
+    pub fn compress(&mut self, data: &[u8]) -> &[u8] {
+        self.stats = DeflateStats::default();
+        self.lz.tokenize_into(data, self.effort, &mut self.tokens);
+        let mut w = LsbWriter::from_vec(std::mem::take(&mut self.out));
+        if self.tokens.is_empty() {
+            // Empty stream: one final, empty stored block.
+            self.stats.blocks = 1;
+            emit_stored(&mut w, &[], true);
+            self.out = w.finish();
+            return &self.out;
+        }
+        for t in &self.tokens {
+            match t {
+                Token::Literal(_) => self.stats.literal_tokens += 1,
+                Token::Match { .. } => self.stats.match_tokens += 1,
+            }
+        }
+        self.splitter
+            .split(&self.tokens, self.split, &mut self.scratch, &mut self.stats);
+        let n_spans = self.splitter.spans.len();
+        self.stats.blocks = n_spans as u64;
+        for i in 0..n_spans {
+            let span = self.splitter.spans[i];
+            self.splitter.span_freqs(span, &mut self.scratch);
+            let (_, kind) = price_block(&mut self.scratch, span.byte_end - span.byte_start);
+            emit_block(
+                &mut w,
+                data,
+                &self.tokens[span.token_start..span.token_end],
+                span.byte_start,
+                span.byte_end,
+                i + 1 == n_spans,
+                kind,
+                &mut self.scratch,
+            );
+        }
+        self.out = w.finish();
+        &self.out
+    }
+
+    /// [`compress`](Self::compress) into a fresh `Vec`.
+    pub fn compress_to_vec(&mut self, data: &[u8]) -> Vec<u8> {
+        self.compress(data).to_vec()
+    }
+}
+
+/// Compresses `data` into a complete DEFLATE stream (one-shot; repeated
+/// callers should hold a [`Deflater`] to reuse its scratch).
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    Deflater::new().compress_to_vec(data)
 }
 
 // ---------------------------------------------------------------------------
@@ -612,8 +918,16 @@ fn read_dynamic_tables(reader: &mut LsbReader<'_>) -> Result<(HuffDecoder, HuffD
 
 /// Decompresses a complete DEFLATE stream.
 pub fn decompress(data: &[u8]) -> Result<Vec<u8>> {
-    let mut reader = LsbReader::new(data);
     let mut out = Vec::with_capacity(data.len() * 3);
+    decompress_into(data, &mut out)?;
+    Ok(out)
+}
+
+/// Decompresses a complete DEFLATE stream, appending to `out` (cleared
+/// first) — lets session decoders reuse an inflate buffer.
+pub fn decompress_into(data: &[u8], out: &mut Vec<u8>) -> Result<()> {
+    out.clear();
+    let mut reader = LsbReader::new(data);
     loop {
         let bfinal = reader.read_bit()?;
         let btype = reader.read_bits(2)?;
@@ -631,16 +945,16 @@ pub fn decompress(data: &[u8]) -> Result<Vec<u8>> {
             0b01 => {
                 let litlen = HuffDecoder::from_lengths(&fixed_litlen_lengths())?;
                 let dist = HuffDecoder::from_lengths(&fixed_dist_lengths())?;
-                inflate_block(&mut reader, &mut out, &litlen, &dist)?;
+                inflate_block(&mut reader, out, &litlen, &dist)?;
             }
             0b10 => {
                 let (litlen, dist) = read_dynamic_tables(&mut reader)?;
-                inflate_block(&mut reader, &mut out, &litlen, &dist)?;
+                inflate_block(&mut reader, out, &litlen, &dist)?;
             }
             _ => return Err(Error::Corrupt("reserved block type")),
         }
         if bfinal == 1 {
-            return Ok(out);
+            return Ok(());
         }
     }
 }
@@ -683,16 +997,60 @@ mod tests {
     }
 
     #[test]
+    fn scratch_huffman_build_is_optimal_on_known_freqs() {
+        // Frequencies 1,1,2,4: optimal depths 3,3,2,1 (cost 14 bits).
+        let freqs = [1u32, 1, 2, 4];
+        let mut lengths = [0u32; 4];
+        build_lengths_into(&freqs, 15, &mut lengths);
+        assert_eq!(lengths, [3, 3, 2, 1]);
+        // Kraft inequality holds with equality for a full tree.
+        let kraft: f64 = lengths.iter().map(|&l| 0.5f64.powi(l as i32)).sum();
+        assert!((kraft - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn length_limited_codes_are_exactly_complete() {
+        // Fibonacci-like frequencies force the unconstrained Huffman tree
+        // far past any practical length limit; the over-limit fixup then
+        // deepens codes and must restore an *exactly* complete code —
+        // strict inflaters (zlib, gzip) reject incomplete length sets.
+        for (syms, max_len) in [(19usize, 7u32), (40, 7), (286, 15), (30, 15)] {
+            let mut freqs = vec![0u32; syms];
+            let (mut a, mut b) = (1u64, 1u64);
+            for f in freqs.iter_mut() {
+                *f = a.min(u32::MAX as u64) as u32;
+                let next = (a + b).min(u32::MAX as u64);
+                a = b;
+                b = next;
+            }
+            let mut lengths = vec![0u32; syms];
+            build_lengths_into(&freqs, max_len, &mut lengths);
+            let kraft: u64 = lengths
+                .iter()
+                .filter(|&&l| l > 0)
+                .map(|&l| 1u64 << (max_len - l))
+                .sum();
+            assert_eq!(
+                kraft,
+                1u64 << max_len,
+                "{syms} syms at max_len {max_len}: incomplete code"
+            );
+            assert!(lengths.iter().all(|&l| l <= max_len));
+        }
+    }
+
+    #[test]
     fn rle_compacts_zero_runs() {
         let mut lengths = vec![0u32; 140];
         lengths[0] = 5;
-        let syms = rle_code_lengths(&lengths);
+        let mut out = [(0u16, 0u32, 0u16); ALL_SYMS];
+        let n = rle_code_lengths(&lengths, &mut out);
         // 5, then 139 zeros -> one 18-run of 138 and one literal zero.
-        assert_eq!(syms[0].0, 5);
-        assert_eq!(syms[1].0, 18);
-        assert_eq!(syms[1].2, 127); // 138 - 11
-        assert_eq!(syms[2].0, 0);
-        assert_eq!(syms.len(), 3);
+        assert_eq!(out[0].0, 5);
+        assert_eq!(out[1].0, 18);
+        assert_eq!(out[1].2, 127); // 138 - 11
+        assert_eq!(out[2].0, 0);
+        assert_eq!(n, 3);
     }
 
     #[test]
@@ -711,8 +1069,16 @@ mod tests {
     }
 
     #[test]
+    fn empty_input_is_a_single_stored_block() {
+        let packed = compress(&[]);
+        // BFINAL=1, BTYPE=00, aligned LEN=0/NLEN=0xFFFF.
+        assert_eq!(packed, vec![0b0000_0001, 0, 0, 0xFF, 0xFF]);
+        assert_eq!(decompress(&packed).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
     fn multi_block_inputs_roundtrip() {
-        // > TOKENS_PER_BLOCK literals forces multiple blocks.
+        // > 64 Ki tokens forces multiple blocks.
         let data: Vec<u8> = (0..200_000u64)
             .map(|i| {
                 let h = i.wrapping_mul(0xA076_1D64_78BD_642F);
@@ -728,5 +1094,62 @@ mod tests {
         let data = b"aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa".to_vec();
         let packed = compress(&data);
         assert_eq!(decompress(&packed).unwrap(), data);
+    }
+
+    /// A corpus whose symbol statistics shift mid-stream: text, then a
+    /// tight numeric alphabet, then binary float-ish bytes. The splitter
+    /// should never lose to the fixed 64 Ki-token segmentation here.
+    fn structured_corpus() -> Vec<u8> {
+        let mut data = Vec::new();
+        for i in 0..6000u32 {
+            data.extend_from_slice(b"the quick brown fox jumps over the lazy dog ");
+            if i % 7 == 0 {
+                data.extend_from_slice(b"PACKET-HEADER-v2;");
+            }
+        }
+        for i in 0..300_000u32 {
+            data.push(b'0' + (i % 10) as u8);
+        }
+        for i in 0..150_000u32 {
+            let x = (i as f32 * 0.001).sin();
+            data.extend_from_slice(&x.to_le_bytes());
+        }
+        data
+    }
+
+    #[test]
+    fn split_blocks_never_beat_by_fixed_blocks_on_structured_corpus() {
+        let data = structured_corpus();
+        let mut adaptive = Deflater::new();
+        let mut fixed = Deflater::new();
+        fixed.set_split(false);
+        let split_len = adaptive.compress(&data).len();
+        let fixed_len = fixed.compress(&data).len();
+        assert!(
+            split_len <= fixed_len,
+            "split {split_len} > fixed {fixed_len}"
+        );
+        assert_eq!(decompress(adaptive.compress(&data)).unwrap(), data);
+        assert_eq!(decompress(fixed.compress(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn deflater_reuse_matches_one_shot_output() {
+        let inputs: [&[u8]; 3] = [b"reuse me reuse me reuse me", &[0u8; 4096], b"short"];
+        let mut d = Deflater::new();
+        for input in inputs {
+            assert_eq!(d.compress(input), compress(input).as_slice());
+        }
+    }
+
+    #[test]
+    fn stats_report_blocks_and_token_mix() {
+        let data = structured_corpus();
+        let mut d = Deflater::new();
+        d.compress(&data);
+        let stats = d.stats();
+        assert!(stats.blocks >= 1);
+        assert!(stats.match_tokens > 0, "structured data must find matches");
+        assert!(stats.literal_tokens > 0);
     }
 }

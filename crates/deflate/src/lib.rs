@@ -7,25 +7,35 @@
 //! this crate implements the format completely:
 //!
 //! * [`lz77`] — greedy hash-chain string matching with lazy evaluation
-//!   (one-step lookahead), 32 KiB window, matches of 3–258 bytes;
+//!   (one-step lookahead), 32 KiB window, matches of 3–258 bytes, behind a
+//!   reusable [`LzState`] whose search depth is an [`Effort`] level;
 //! * [`blocks`] — bit-exact encoding/decoding of stored, fixed-Huffman, and
 //!   dynamic-Huffman blocks, including the RFC's length-limited canonical
 //!   Huffman construction and the code-length alphabet (symbols 16/17/18);
+//! * [`splitter`] — content-aware block boundaries: a greedy
+//!   symbol-frequency-divergence split with an exact-cost merge-back pass,
+//!   so a new Huffman table is only emitted where it pays for its header;
 //! * [`gzip`] — the gzip container with a table-driven CRC-32.
 //!
-//! The encoder emits one dynamic block per 64 KiB of input (stored blocks
-//! when entropy coding does not pay), which is enough to match zlib's ratio
-//! on scientific floats to within a few percent — the property that matters
-//! for reproducing the paper's GZIP baseline.
+//! The encoder is a reusable [`Deflater`]: matcher state, token buffer,
+//! splitter histograms, and output buffer all persist across calls, so a
+//! session-held deflater compresses without allocating once warm. Each
+//! block independently picks dynamic, fixed, or stored coding by exact bit
+//! cost, which is enough to match zlib's ratio on scientific floats to
+//! within a few percent — the property that matters for reproducing the
+//! paper's GZIP baseline.
 
 mod bitio;
 mod blocks;
 mod crc32;
 mod gzip;
 mod lz77;
+mod splitter;
 
+pub use blocks::{DeflateStats, Deflater};
 pub use crc32::{crc32, Crc32};
 pub use gzip::{gzip_compress, gzip_decompress};
+pub use lz77::Effort;
 
 /// Errors produced while inflating a corrupt stream.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -61,6 +71,12 @@ pub fn deflate_compress(data: &[u8]) -> Vec<u8> {
 /// Decompresses a raw DEFLATE stream.
 pub fn deflate_decompress(data: &[u8]) -> Result<Vec<u8>> {
     blocks::decompress(data)
+}
+
+/// Decompresses a raw DEFLATE stream into `out` (cleared first), letting
+/// repeated decoders reuse one inflate buffer.
+pub fn deflate_decompress_into(data: &[u8], out: &mut Vec<u8>) -> Result<()> {
+    blocks::decompress_into(data, out)
 }
 
 #[cfg(test)]

@@ -1,4 +1,9 @@
 //! LZ77 string matching with hash chains and lazy evaluation.
+//!
+//! The matcher state lives in a reusable [`LzState`] — a hash-head table
+//! plus a window-bounded `prev` ring — so repeated compressions (a
+//! session's per-band DEFLATE post-pass) allocate nothing once warm. The
+//! search depth / laziness trade-off is an [`Effort`] level.
 
 /// Maximum backward distance (RFC 1951 window).
 pub const MAX_DIST: usize = 32 * 1024;
@@ -7,10 +12,41 @@ pub const MIN_MATCH: usize = 3;
 /// Maximum match length.
 pub const MAX_MATCH: usize = 258;
 
-/// Cap on hash-chain probes per position (zlib level-6-like effort).
-const MAX_CHAIN: usize = 128;
-/// Stop searching once a match of this length is found.
-const GOOD_ENOUGH: usize = 96;
+const HASH_SIZE: usize = 1 << 15;
+const NIL: u32 = u32::MAX;
+
+/// Matcher effort: how hard to look for back-references.
+///
+/// Levels map to the zlib-style knobs (hash-chain probe budget, one-step
+/// lazy evaluation, and the "good enough" length that stops the search):
+///
+/// | level     | max chain | lazy | good-enough |
+/// |-----------|-----------|------|-------------|
+/// | `Fast`    | 32        | no   | 32          |
+/// | `Default` | 128       | yes  | 96          |
+/// | `Best`    | 1024      | yes  | 258         |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Effort {
+    /// Shallow chains, greedy-only: highest throughput.
+    Fast,
+    /// The zlib level-6-like balance (the historical behavior here).
+    #[default]
+    Default,
+    /// Deep chains, always lazy, never settles early: best ratio.
+    Best,
+}
+
+impl Effort {
+    #[inline]
+    fn params(self) -> (usize, bool, usize) {
+        // (max_chain, lazy, good_enough)
+        match self {
+            Effort::Fast => (32, false, 32),
+            Effort::Default => (128, true, 96),
+            Effort::Best => (1024, true, MAX_MATCH),
+        }
+    }
+}
 
 /// One LZ77 token.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,8 +70,6 @@ fn hash(window: &[u8], pos: usize) -> usize {
     (v.wrapping_mul(0x9E37_79B1) >> 17) as usize & (HASH_SIZE - 1)
 }
 
-const HASH_SIZE: usize = 1 << 15;
-
 /// Longest common prefix of `data[a..]` and `data[b..]`, capped at
 /// `MAX_MATCH`.
 #[inline]
@@ -58,80 +92,132 @@ fn match_len(data: &[u8], a: usize, b: usize) -> usize {
     len
 }
 
-/// Tokenizes `data` with greedy matching plus one-position lazy evaluation
-/// (emit a literal and take the longer match starting next byte when it
-/// beats the current one — the standard zlib heuristic).
-pub fn tokenize(data: &[u8]) -> Vec<Token> {
-    let n = data.len();
-    let mut tokens = Vec::with_capacity(n / 2 + 16);
-    if n < MIN_MATCH + 1 {
-        tokens.extend(data.iter().map(|&b| Token::Literal(b)));
-        return tokens;
+/// Reusable matcher scratch: hash heads plus a 32 KiB `prev` ring.
+///
+/// Chains store absolute positions. The ring slot for position `p` is
+/// `p & (MAX_DIST - 1)`; because the ring is exactly one window deep and
+/// chain walks stop at `MAX_DIST`, an in-window chain entry can never have
+/// been overwritten by a newer position during a single tokenize pass —
+/// only `head` needs clearing between inputs, never the ring.
+pub struct LzState {
+    head: Box<[u32]>,
+    prev: Box<[u32]>,
+}
+
+impl Default for LzState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LzState {
+    /// Allocates the matcher tables (the only allocation this state makes).
+    pub fn new() -> Self {
+        Self {
+            head: vec![NIL; HASH_SIZE].into_boxed_slice(),
+            prev: vec![NIL; MAX_DIST].into_boxed_slice(),
+        }
     }
 
-    let mut head = vec![usize::MAX; HASH_SIZE];
-    let mut prev = vec![usize::MAX; n];
+    /// Tokenizes `data` into `tokens` (cleared first) with greedy matching
+    /// plus optional one-position lazy evaluation, per `effort`.
+    pub fn tokenize_into(&mut self, data: &[u8], effort: Effort, tokens: &mut Vec<Token>) {
+        tokens.clear();
+        let n = data.len();
+        assert!(
+            n < u32::MAX as usize - MAX_MATCH,
+            "input too large for LZ77"
+        );
+        if n < MIN_MATCH + 1 {
+            tokens.extend(data.iter().map(|&b| Token::Literal(b)));
+            return;
+        }
+        tokens.reserve(n / 4 + 16);
+        self.head.fill(NIL);
+        let (max_chain, lazy, good_enough) = effort.params();
+        let head = &mut self.head;
+        let prev = &mut self.prev;
 
-    let find_best = |head: &[usize], prev: &[usize], pos: usize| -> (usize, usize) {
-        let mut best_len = 0usize;
-        let mut best_dist = 0usize;
-        let mut candidate = head[hash(data, pos)];
-        let mut chain = 0usize;
-        while candidate != usize::MAX && pos - candidate <= MAX_DIST && chain < MAX_CHAIN {
-            let len = match_len(data, candidate, pos);
-            if len > best_len {
-                best_len = len;
-                best_dist = pos - candidate;
-                if len >= GOOD_ENOUGH {
+        let find_best = |head: &[u32], prev: &[u32], pos: usize| -> (usize, usize) {
+            let mut best_len = 0usize;
+            let mut best_dist = 0usize;
+            let mut candidate = head[hash(data, pos)];
+            let mut chain = 0usize;
+            while candidate != NIL && chain < max_chain {
+                let c = candidate as usize;
+                if c >= pos || pos - c > MAX_DIST {
                     break;
                 }
-            }
-            candidate = prev[candidate];
-            chain += 1;
-        }
-        (best_len, best_dist)
-    };
-
-    let insert = |head: &mut [usize], prev: &mut [usize], pos: usize| {
-        if pos + MIN_MATCH <= n {
-            let h = hash(data, pos);
-            prev[pos] = head[h];
-            head[h] = pos;
-        }
-    };
-
-    let mut pos = 0usize;
-    while pos < n {
-        if pos + MIN_MATCH > n {
-            tokens.push(Token::Literal(data[pos]));
-            pos += 1;
-            continue;
-        }
-        let (len, dist) = find_best(&head, &prev, pos);
-        if len >= MIN_MATCH {
-            // Lazy evaluation: would starting at pos+1 do strictly better?
-            let take_now = if pos + 1 + MIN_MATCH <= n && len < GOOD_ENOUGH {
-                let (next_len, _) = find_best(&head, &prev, pos + 1);
-                next_len <= len
-            } else {
-                true
-            };
-            if take_now {
-                tokens.push(Token::Match {
-                    len: len as u16,
-                    dist: dist as u16,
-                });
-                for p in pos..pos + len {
-                    insert(&mut head, &mut prev, p);
+                let len = match_len(data, c, pos);
+                if len > best_len {
+                    best_len = len;
+                    best_dist = pos - c;
+                    if len >= good_enough {
+                        break;
+                    }
                 }
-                pos += len;
+                // Chains are strictly decreasing; anything else is a stale
+                // ring entry from a prior window lap.
+                let next = prev[c & (MAX_DIST - 1)];
+                if next >= candidate {
+                    break;
+                }
+                candidate = next;
+                chain += 1;
+            }
+            (best_len, best_dist)
+        };
+
+        let insert = |head: &mut [u32], prev: &mut [u32], pos: usize| {
+            if pos + MIN_MATCH <= n {
+                let h = hash(data, pos);
+                prev[pos & (MAX_DIST - 1)] = head[h];
+                head[h] = pos as u32;
+            }
+        };
+
+        let mut pos = 0usize;
+        while pos < n {
+            if pos + MIN_MATCH > n {
+                tokens.push(Token::Literal(data[pos]));
+                pos += 1;
                 continue;
             }
+            let (len, dist) = find_best(head, prev, pos);
+            if len >= MIN_MATCH {
+                // Lazy evaluation: would starting at pos+1 do strictly better?
+                let take_now = if lazy && pos + 1 + MIN_MATCH <= n && len < good_enough {
+                    let (next_len, _) = find_best(head, prev, pos + 1);
+                    next_len <= len
+                } else {
+                    true
+                };
+                if take_now {
+                    tokens.push(Token::Match {
+                        len: len as u16,
+                        dist: dist as u16,
+                    });
+                    for p in pos..pos + len {
+                        insert(head, prev, p);
+                    }
+                    pos += len;
+                    continue;
+                }
+            }
+            tokens.push(Token::Literal(data[pos]));
+            insert(head, prev, pos);
+            pos += 1;
         }
-        tokens.push(Token::Literal(data[pos]));
-        insert(&mut head, &mut prev, pos);
-        pos += 1;
     }
+}
+
+/// Tokenizes `data` with a throwaway [`LzState`] at [`Effort::Default`]
+/// (test convenience; real callers hold an `LzState`).
+#[cfg(test)]
+pub fn tokenize(data: &[u8]) -> Vec<Token> {
+    let mut state = LzState::new();
+    let mut tokens = Vec::new();
+    state.tokenize_into(data, Effort::Default, &mut tokens);
     tokens
 }
 
@@ -217,5 +303,57 @@ mod tests {
             |t| matches!(t, Token::Match { dist, len } if *dist as usize > 8000 && *len as usize >= phrase.len() - 2),
         );
         assert!(has_far_match, "the distant phrase repeat should match");
+    }
+
+    #[test]
+    fn every_effort_level_expands_to_original() {
+        let mut data = Vec::new();
+        for i in 0..4000u32 {
+            data.push((i % 7) as u8);
+            if i % 97 == 0 {
+                data.extend_from_slice(b"burst-of-structured-text");
+            }
+        }
+        for effort in [Effort::Fast, Effort::Default, Effort::Best] {
+            let mut state = LzState::new();
+            let mut tokens = Vec::new();
+            state.tokenize_into(&data, effort, &mut tokens);
+            assert_eq!(expand(&tokens), data, "effort {effort:?}");
+        }
+    }
+
+    #[test]
+    fn reused_state_is_equivalent_to_fresh_state() {
+        let first = b"first input with first input repeats".to_vec();
+        let second: Vec<u8> = (0..3000u32).map(|i| (i % 13) as u8).collect();
+        let mut reused = LzState::new();
+        let mut tokens = Vec::new();
+        reused.tokenize_into(&first, Effort::Default, &mut tokens);
+        reused.tokenize_into(&second, Effort::Default, &mut tokens);
+        let fresh = tokenize(&second);
+        assert_eq!(tokens, fresh, "stale state must not leak across inputs");
+    }
+
+    #[test]
+    fn deeper_effort_never_produces_more_tokens() {
+        // More chain probes can only find equal-or-longer matches.
+        let mut data = Vec::new();
+        for i in 0..20_000u64 {
+            let h = i.wrapping_mul(0x2545_F491_4F6C_DD1D);
+            data.push(if i % 3 == 0 { (h >> 60) as u8 } else { 7 });
+        }
+        let mut state = LzState::new();
+        let mut fast = Vec::new();
+        let mut best = Vec::new();
+        state.tokenize_into(&data, Effort::Fast, &mut fast);
+        state.tokenize_into(&data, Effort::Best, &mut best);
+        assert_eq!(expand(&fast), data);
+        assert_eq!(expand(&best), data);
+        assert!(
+            best.len() <= fast.len(),
+            "best {} fast {}",
+            best.len(),
+            fast.len()
+        );
     }
 }

@@ -1,7 +1,34 @@
 //! Property tests: DEFLATE and gzip must roundtrip arbitrary byte streams.
 
-use crate::{deflate_compress, deflate_decompress, gzip_compress, gzip_decompress};
+use crate::{
+    deflate_compress, deflate_decompress, gzip_compress, gzip_decompress, Deflater, Effort,
+};
 use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+
+/// The splitter/effort differential matrix: every (input shape × effort ×
+/// split) cell must roundtrip through the one shared decoder, and a reused
+/// deflater must emit the same bytes as a fresh one.
+fn roundtrip_matrix(data: &[u8]) -> Result<(), TestCaseError> {
+    for effort in [Effort::Fast, Effort::Default, Effort::Best] {
+        let mut deflater = Deflater::with_effort(effort);
+        for split in [true, false] {
+            deflater.set_split(split);
+            let packed = deflater.compress(data).to_vec();
+            prop_assert_eq!(
+                deflate_decompress(&packed).unwrap(),
+                data,
+                "effort {:?} split {}",
+                effort,
+                split
+            );
+            let mut fresh = Deflater::with_effort(effort);
+            fresh.set_split(split);
+            prop_assert_eq!(fresh.compress(data), packed.as_slice());
+        }
+    }
+    Ok(())
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
@@ -29,6 +56,32 @@ proptest! {
         }
         let packed = deflate_compress(&data);
         prop_assert_eq!(deflate_decompress(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn effort_split_matrix_roundtrips_arbitrary_bytes(
+        data in prop::collection::vec(any::<u8>(), 0..4096)
+    ) {
+        roundtrip_matrix(&data)?;
+    }
+
+    #[test]
+    fn effort_split_matrix_roundtrips_low_entropy(
+        data in prop::collection::vec(0u8..4, 0..8192)
+    ) {
+        roundtrip_matrix(&data)?;
+    }
+
+    #[test]
+    fn effort_split_matrix_roundtrips_structured_repeats(
+        phrase in prop::collection::vec(any::<u8>(), 1..64),
+        repeats in 1usize..200,
+    ) {
+        let mut data = Vec::with_capacity(phrase.len() * repeats);
+        for _ in 0..repeats {
+            data.extend_from_slice(&phrase);
+        }
+        roundtrip_matrix(&data)?;
     }
 
     #[test]

@@ -1,0 +1,285 @@
+//! Content-aware DEFLATE block splitting.
+//!
+//! The token stream is sliced into fixed 2 Ki-token chunks whose lit/len
+//! and distance histograms are kept in reusable flat buffers. Splitting
+//! then runs in three passes:
+//!
+//! 1. **Greedy divergence cuts** — walk the chunks accumulating the open
+//!    block's symbol histogram; when the next chunk's distribution diverges
+//!    from it (L1 distance over the lit/len alphabet) past a threshold,
+//!    close the block there. An upper token bound caps table staleness.
+//! 2. **Merge-back** — re-join adjacent blocks whenever the merged block
+//!    prices no worse than the pair (exact costs via
+//!    [`price_block`]), so a cut only survives if switching Huffman tables
+//!    actually pays for the extra header.
+//! 3. **Fixed-compare** — the historical fixed 64 Ki-token segmentation is
+//!    priced with the same cost function and wins ties, so adaptive output
+//!    is never larger than fixed-block output.
+
+use crate::blocks::{dist_symbol, length_symbol, price_block, BlockScratch, DeflateStats};
+use crate::lz77::Token;
+
+/// Tokens per histogram chunk (the splitter's boundary granularity).
+const CHUNK_TOKENS: usize = 2048;
+/// Chunks per block in the fixed segmentation (64 Ki tokens — the
+/// pre-splitter block size).
+const CHUNKS_PER_FIXED_BLOCK: usize = 32;
+/// Never cut a block shorter than this many tokens.
+const MIN_SPLIT_TOKENS: usize = 8 * 1024;
+/// Always cut once a block reaches this many tokens.
+const MAX_BLOCK_TOKENS: usize = 128 * 1024;
+/// L1 distribution distance (0..=2) above which a boundary is proposed.
+const DIVERGENCE_THRESHOLD: f64 = 0.40;
+
+const LITLEN_SYMS: usize = 286;
+const DIST_SYMS: usize = 30;
+
+/// One planned block: a chunk-aligned token range and its source bytes.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct BlockSpan {
+    pub token_start: usize,
+    pub token_end: usize,
+    pub chunk_start: usize,
+    pub chunk_end: usize,
+    pub byte_start: usize,
+    pub byte_end: usize,
+}
+
+/// Reusable splitter state: per-chunk histograms and span buffers.
+#[derive(Default)]
+pub(crate) struct Splitter {
+    /// `n_chunks × LITLEN_SYMS` lit/len histograms, flat.
+    chunk_litlen: Vec<u32>,
+    /// `n_chunks × DIST_SYMS` distance histograms, flat.
+    chunk_dist: Vec<u32>,
+    /// Cumulative token index at each chunk's end.
+    chunk_token_end: Vec<usize>,
+    /// Cumulative source-byte offset at each chunk's end.
+    chunk_byte_end: Vec<usize>,
+    /// The chosen segmentation (output of [`split`](Self::split)).
+    pub(crate) spans: Vec<BlockSpan>,
+    /// The fixed segmentation, kept for the final cost comparison.
+    fixed: Vec<BlockSpan>,
+    /// Exact bit cost per adaptive span (parallel to `spans`).
+    costs: Vec<u64>,
+}
+
+fn l1_divergence(acc: &[u32], acc_n: u64, chunk: &[u32], chunk_n: u64) -> f64 {
+    if acc_n == 0 || chunk_n == 0 {
+        return 0.0;
+    }
+    let an = acc_n as f64;
+    let cn = chunk_n as f64;
+    let mut div = 0.0;
+    for (&a, &c) in acc.iter().zip(chunk) {
+        div += (a as f64 / an - c as f64 / cn).abs();
+    }
+    div
+}
+
+impl Splitter {
+    #[inline]
+    fn n_chunks(&self) -> usize {
+        self.chunk_token_end.len()
+    }
+
+    #[inline]
+    fn chunk_token_start(&self, c: usize) -> usize {
+        if c == 0 {
+            0
+        } else {
+            self.chunk_token_end[c - 1]
+        }
+    }
+
+    #[inline]
+    fn chunk_byte_start(&self, c: usize) -> usize {
+        if c == 0 {
+            0
+        } else {
+            self.chunk_byte_end[c - 1]
+        }
+    }
+
+    #[inline]
+    fn chunk_litlen(&self, c: usize) -> &[u32] {
+        &self.chunk_litlen[c * LITLEN_SYMS..(c + 1) * LITLEN_SYMS]
+    }
+
+    fn make_span(&self, chunk_start: usize, chunk_end: usize) -> BlockSpan {
+        debug_assert!(chunk_start < chunk_end);
+        BlockSpan {
+            token_start: self.chunk_token_start(chunk_start),
+            token_end: self.chunk_token_end[chunk_end - 1],
+            chunk_start,
+            chunk_end,
+            byte_start: self.chunk_byte_start(chunk_start),
+            byte_end: self.chunk_byte_end[chunk_end - 1],
+        }
+    }
+
+    /// Sums the span's chunk histograms (plus the end-of-block symbol) into
+    /// the scratch frequency tables, ready for [`price_block`].
+    pub(crate) fn span_freqs(&self, span: BlockSpan, scratch: &mut BlockScratch) {
+        scratch.litlen_freq.fill(0);
+        scratch.dist_freq.fill(0);
+        for c in span.chunk_start..span.chunk_end {
+            let ll = &self.chunk_litlen[c * LITLEN_SYMS..(c + 1) * LITLEN_SYMS];
+            for (acc, &f) in scratch.litlen_freq.iter_mut().zip(ll) {
+                *acc += f;
+            }
+            let d = &self.chunk_dist[c * DIST_SYMS..(c + 1) * DIST_SYMS];
+            for (acc, &f) in scratch.dist_freq.iter_mut().zip(d) {
+                *acc += f;
+            }
+        }
+        scratch.litlen_freq[256] += 1; // end-of-block
+    }
+
+    fn chunkify(&mut self, tokens: &[Token]) {
+        let n_chunks = tokens.len().div_ceil(CHUNK_TOKENS);
+        self.chunk_litlen.clear();
+        self.chunk_litlen.resize(n_chunks * LITLEN_SYMS, 0);
+        self.chunk_dist.clear();
+        self.chunk_dist.resize(n_chunks * DIST_SYMS, 0);
+        self.chunk_token_end.clear();
+        self.chunk_byte_end.clear();
+        let mut bytes = 0usize;
+        for c in 0..n_chunks {
+            let start = c * CHUNK_TOKENS;
+            let end = (start + CHUNK_TOKENS).min(tokens.len());
+            let ll = &mut self.chunk_litlen[c * LITLEN_SYMS..(c + 1) * LITLEN_SYMS];
+            let d_base = c * DIST_SYMS;
+            for &t in &tokens[start..end] {
+                match t {
+                    Token::Literal(b) => {
+                        ll[b as usize] += 1;
+                        bytes += 1;
+                    }
+                    Token::Match { len, dist } => {
+                        ll[length_symbol(len).0 as usize] += 1;
+                        self.chunk_dist[d_base + dist_symbol(dist).0 as usize] += 1;
+                        bytes += len as usize;
+                    }
+                }
+            }
+            self.chunk_token_end.push(end);
+            self.chunk_byte_end.push(bytes);
+        }
+    }
+
+    /// Plans the block segmentation for `tokens` (non-empty) into
+    /// [`spans`](Self::spans). With `split` off, this is exactly the fixed
+    /// 64 Ki-token segmentation.
+    pub(crate) fn split(
+        &mut self,
+        tokens: &[Token],
+        split: bool,
+        scratch: &mut BlockScratch,
+        stats: &mut DeflateStats,
+    ) {
+        debug_assert!(!tokens.is_empty());
+        self.chunkify(tokens);
+        let n_chunks = self.n_chunks();
+
+        self.fixed.clear();
+        let mut c = 0usize;
+        while c < n_chunks {
+            let end = (c + CHUNKS_PER_FIXED_BLOCK).min(n_chunks);
+            let span = self.make_span(c, end);
+            self.fixed.push(span);
+            c = end;
+        }
+        if !split {
+            std::mem::swap(&mut self.spans, &mut self.fixed);
+            return;
+        }
+
+        // Phase 1: greedy divergence cuts.
+        self.spans.clear();
+        let mut acc = [0u32; LITLEN_SYMS];
+        let mut acc_tokens = 0u64;
+        let mut start = 0usize;
+        for c in 0..n_chunks {
+            let chunk_tokens = (self.chunk_token_end[c] - self.chunk_token_start(c)) as u64;
+            if c > start {
+                let block_tokens = acc_tokens as usize;
+                let cut = block_tokens >= MAX_BLOCK_TOKENS
+                    || (block_tokens >= MIN_SPLIT_TOKENS
+                        && l1_divergence(&acc, acc_tokens, self.chunk_litlen(c), chunk_tokens)
+                            > DIVERGENCE_THRESHOLD);
+                if cut {
+                    let span = self.make_span(start, c);
+                    self.spans.push(span);
+                    start = c;
+                    acc.fill(0);
+                    acc_tokens = 0;
+                }
+            }
+            for (a, &f) in acc.iter_mut().zip(self.chunk_litlen(c)) {
+                *a += f;
+            }
+            acc_tokens += chunk_tokens;
+        }
+        let last = self.make_span(start, n_chunks);
+        self.spans.push(last);
+
+        // Phase 2: merge-back. A boundary survives only if the two blocks
+        // priced separately (two table headers) beat the merged block.
+        self.costs.clear();
+        for i in 0..self.spans.len() {
+            let span = self.spans[i];
+            self.span_freqs(span, scratch);
+            let (bits, _) = price_block(scratch, span.byte_end - span.byte_start);
+            self.costs.push(bits);
+        }
+        loop {
+            let mut merged_any = false;
+            let mut i = 0usize;
+            while i + 1 < self.spans.len() {
+                let a = self.spans[i];
+                let b = self.spans[i + 1];
+                let union = BlockSpan {
+                    token_start: a.token_start,
+                    token_end: b.token_end,
+                    chunk_start: a.chunk_start,
+                    chunk_end: b.chunk_end,
+                    byte_start: a.byte_start,
+                    byte_end: b.byte_end,
+                };
+                self.span_freqs(union, scratch);
+                let (bits, _) = price_block(scratch, union.byte_end - union.byte_start);
+                if bits <= self.costs[i] + self.costs[i + 1] {
+                    self.spans[i] = union;
+                    self.costs[i] = bits;
+                    self.spans.remove(i + 1);
+                    self.costs.remove(i + 1);
+                    merged_any = true;
+                    // Stay on i: the merged block may absorb its next
+                    // neighbor too.
+                } else {
+                    i += 1;
+                }
+            }
+            if !merged_any {
+                break;
+            }
+        }
+
+        // Phase 3: the adaptive segmentation must beat the fixed one under
+        // the same exact pricing, or we keep fixed blocks — adaptive output
+        // is thereby never larger.
+        let adaptive_total: u64 = self.costs.iter().sum();
+        let mut fixed_total = 0u64;
+        for i in 0..self.fixed.len() {
+            let span = self.fixed[i];
+            self.span_freqs(span, scratch);
+            fixed_total += price_block(scratch, span.byte_end - span.byte_start).0;
+        }
+        if adaptive_total < fixed_total {
+            stats.split_boundaries = (self.spans.len() - 1) as u64;
+        } else {
+            std::mem::swap(&mut self.spans, &mut self.fixed);
+        }
+    }
+}

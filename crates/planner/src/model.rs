@@ -103,6 +103,27 @@ impl<'a, T: ScalarFloat> SzSizeModel<'a, T> {
         }
     }
 
+    /// Prices the escape-LZ flag for a chosen `(layers, eb, interval_bits)`
+    /// configuration by running the encoder's own sampled DEFLATE trial
+    /// (`szr_core::escape_lz_trial_ratio`) over the sample's actual escape
+    /// stream. Returns `(achieved ratio, escape-stream bits per sample
+    /// value)` when the trial wins; `None` when it loses — there the flag
+    /// would be a byte-identical no-op, so the planner leaves it off.
+    pub fn escape_lz_gain(&self, layers: usize, eb: f64, interval_bits: u32) -> Option<(f64, f64)> {
+        let mut session = self.session.borrow_mut();
+        let config = szr_core::Config::new(szr_core::ErrorBound::Absolute(eb))
+            .with_layers(layers)
+            .with_interval_bits(interval_bits);
+        session.set_config(config).ok()?;
+        let band = session
+            .quantize(self.sample.as_slice(), self.sample.shape())
+            .ok()?;
+        let unpred = band.unpred_bytes();
+        let ratio = szr_core::escape_lz_trial_ratio(unpred)?;
+        let escape_bpv = (unpred.len() as f64 * 8.0) / self.sample.len() as f64;
+        Some((ratio, escape_bpv))
+    }
+
     /// Mean binary-representation cost per escaped value, averaged over a
     /// strided subsample (escapees share the data's magnitude distribution).
     fn mean_escape_bits(&self, eb: f64) -> f64 {

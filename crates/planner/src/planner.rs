@@ -663,10 +663,18 @@ pub fn plan_band_config_with_estimate<T: ScalarFloat + Real>(
                 .unwrap_or(std::cmp::Ordering::Equal)
         })
         .expect("layer list is never empty");
-    let config = szr_core::Config::new(szr_core::ErrorBound::Absolute(eb_abs))
+    let mut config = szr_core::Config::new(szr_core::ErrorBound::Absolute(eb_abs))
         .with_layers(best.0)
         .with_interval_bits(best.1);
-    (config, best.2.bits_per_value)
+    let mut bits_per_value = best.2.bits_per_value;
+    // Price LZ over the escape stream with the encoder's own sampled
+    // trial: when it wins on the sample, arm the flag and credit the
+    // escape fraction of the payload with the achieved ratio.
+    if let Some((ratio, escape_bpv)) = model.escape_lz_gain(best.0, eb_abs, best.1) {
+        config = config.with_escape_lz();
+        bits_per_value -= escape_bpv * (1.0 - ratio);
+    }
+    (config, bits_per_value)
 }
 
 #[cfg(test)]
@@ -805,6 +813,26 @@ mod tests {
         let out: Tensor<f32> = szr_core::decompress(&bytes).unwrap();
         let err = szr_metrics::max_abs_error(data.as_slice(), out.as_slice());
         assert!(err <= 1e-3);
+    }
+
+    #[test]
+    fn band_config_helper_arms_escape_lz_when_the_trial_wins() {
+        // A tiny alphabet of wildly separated magnitudes: nearly every
+        // point escapes and the escape stream is periodic, so the sampled
+        // trial must win and the planned config must carry the flag — and
+        // the estimate must credit the gain.
+        const ALPHABET: [f32; 5] = [0.0, 1.0e8, -3.0e7, 7.0e6, -9.0e5];
+        let spiky = Tensor::from_fn([64, 64], |ix| ALPHABET[(ix[0] * 64 + ix[1]) % 5]);
+        let (config, bpv) = plan_band_config_with_estimate(spiky.as_slice(), spiky.shape(), 1e-3);
+        assert!(config.escape_lz, "periodic escapes must arm the flag");
+        assert!(bpv > 0.0);
+        let bytes = szr_core::compress(&spiky, &config).unwrap();
+        assert!(szr_core::inspect(&bytes).unwrap().escape_lz);
+
+        // Smooth data barely escapes: the flag must stay off.
+        let calm = smooth([64, 64]);
+        let config = plan_band_config(calm.as_slice(), calm.shape(), 1e-3);
+        assert!(!config.escape_lz, "smooth data must not arm the flag");
     }
 
     #[test]

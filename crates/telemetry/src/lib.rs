@@ -118,11 +118,23 @@ pub enum Counter {
     /// Jobs the archive service turned away at admission (queue full under
     /// the reject backpressure policy).
     RejectedJobs,
+    /// DEFLATE blocks emitted (one per splitter segment, or one per fixed
+    /// 64 KiB window when splitting is off).
+    DeflateBlocks,
+    /// Content-aware split boundaries the DEFLATE splitter committed
+    /// (boundaries that survived the exact-cost merge-back).
+    DeflateSplitBoundaries,
+    /// LZ77 back-reference tokens emitted by the DEFLATE matcher.
+    DeflateMatchTokens,
+    /// LZ77 literal tokens emitted by the DEFLATE matcher.
+    DeflateLiteralTokens,
+    /// Bands whose escape-LZ trial won (escape section stored deflated).
+    EscapeLzBands,
 }
 
 impl Counter {
     /// Every counter, in serialization order.
-    pub const ALL: [Counter; 11] = [
+    pub const ALL: [Counter; 16] = [
         Counter::KernelCacheHit,
         Counter::KernelCacheMiss,
         Counter::CodecTableCacheHit,
@@ -134,6 +146,11 @@ impl Counter {
         Counter::SalvagedBands,
         Counter::SchedulerSteals,
         Counter::RejectedJobs,
+        Counter::DeflateBlocks,
+        Counter::DeflateSplitBoundaries,
+        Counter::DeflateMatchTokens,
+        Counter::DeflateLiteralTokens,
+        Counter::EscapeLzBands,
     ];
     /// Number of counters (accumulator array size).
     pub const COUNT: usize = Self::ALL.len();
@@ -152,6 +169,11 @@ impl Counter {
             Counter::SalvagedBands => "salvaged_bands",
             Counter::SchedulerSteals => "scheduler_steals",
             Counter::RejectedJobs => "rejected_jobs",
+            Counter::DeflateBlocks => "deflate_blocks",
+            Counter::DeflateSplitBoundaries => "deflate_split_boundaries",
+            Counter::DeflateMatchTokens => "deflate_match_tokens",
+            Counter::DeflateLiteralTokens => "deflate_literal_tokens",
+            Counter::EscapeLzBands => "escape_lz_bands",
         }
     }
 

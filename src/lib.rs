@@ -52,12 +52,11 @@
 //! ```
 //! use szr::{CodecSession, Config, ErrorBound, Tensor};
 //!
-//! // Fixed interval bits + no DEFLATE pass: the configuration whose fused
-//! // steady state allocates nothing but the output archive itself (the
-//! // adaptive sampler and the DEFLATE encoder each allocate per call).
-//! let config = Config::new(ErrorBound::Relative(1e-4))
-//!     .with_interval_bits(8)
-//!     .without_lossless_pass();
+//! // Fixed interval bits: the configuration whose fused steady state
+//! // allocates nothing but the output archive itself (only the adaptive
+//! // interval sampler still allocates per call; the DEFLATE post-pass
+//! // runs on a session-owned reusable `Deflater`).
+//! let config = Config::new(ErrorBound::Relative(1e-4)).with_interval_bits(8);
 //! let mut session = CodecSession::<f32>::new(config).unwrap();
 //! session.set_table_reuse(true); // fused quantize→encode after band 1
 //! for step in 0..3 {
@@ -156,6 +155,31 @@
 //! within bound or fails with a typed error — never a panic, never silent
 //! corruption.
 //!
+//! ## The lossless back end: adaptive DEFLATE
+//!
+//! The DEFLATE post-pass runs on a from-scratch RFC 1951 encoder
+//! ([`baselines::gzip`], crate `szr-deflate`) built around a reusable
+//! `Deflater`: hash chains, token buffer, Huffman scratch, and output
+//! bytes all live across calls, which is what keeps the warm session's
+//! 1-allocation compress pin intact with the lossless pass enabled. Three
+//! `Effort` tiers (`Fast` / `Default` / `Best`) trade lazy-matching depth
+//! for speed, and a content-aware block splitter segments the token
+//! stream where its symbol statistics shift (chunked histograms,
+//! divergence-priced boundaries with merge-back), guaranteed never to
+//! price worse than the fixed segmentation it replaces.
+//!
+//! The same machinery can attack the *escape stream* — the raw binary
+//! encodings of unpredictable values, whose spatially-correlated runs the
+//! per-symbol Huffman stage cannot see. [`Config::with_escape_lz`]
+//! (CLI `--escape-lz`) trial-compresses each band's escape section and,
+//! only when the trial strictly wins, stores it deflated under the v5/v6
+//! band framing (the payload CRC still covers the raw bytes, so `Verify`
+//! checks the inflation end to end; a losing trial emits v3/v4
+//! byte-identically). The [`planner`] prices the flag per band via
+//! [`escape_lz_trial_ratio`] and arms it automatically where it pays —
+//! escape-heavy fields have been measured jumping from 236× to 785×
+//! archive ratio (`BENCH_entropy.json`).
+//!
 //! ## The service layer: concurrency as a first-class property
 //!
 //! Everything above serves one caller at a time; the [`server`] module
@@ -239,9 +263,9 @@ pub use szr_core::{
     compress_pointwise_rel, compress_slice_with_kernel, compress_slice_with_stats,
     compress_with_stats, decompress, decompress_pointwise_rel, decompress_shared_with_kernel,
     decompress_staged, decompress_staged_shared_with_kernel, decompress_with_kernel,
-    decompress_with_policy, encode_quantized, force_scalar, hit_rate_by_layer, inspect,
-    inspect_layout, layer_coefficients, predict_at, quantization_histogram,
-    quantization_histogram_with_kernel, quantize_slice_with_kernel,
+    decompress_with_policy, encode_quantized, escape_lz_trial_ratio, force_scalar,
+    hit_rate_by_layer, inspect, inspect_layout, layer_coefficients, predict_at,
+    quantization_histogram, quantization_histogram_with_kernel, quantize_slice_with_kernel,
     quantize_slice_with_kernel_oracle, verify_pointwise_rel, ArchiveInfo, BandDamage, BandLayout,
     Carry, CodecSession, CompressionStats, Config, DecodePolicy, ErrorBound, HuffmanTable,
     IntervalMode, KernelKind, PredictionBasis, QuantizedBand, Quantizer, Result, RowVisitor,

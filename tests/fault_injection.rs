@@ -38,6 +38,22 @@ fn band_archive_f64() -> Vec<u8> {
     compress(&field_f64(), &Config::new(ErrorBound::Absolute(EB))).unwrap()
 }
 
+/// An escape-heavy field — five repeating values far outside any
+/// predictor's reach — so nearly every point takes the escape path and the
+/// DEFLATE escape-stream trial wins. The fixture asserts v5 framing so the
+/// sweep genuinely exercises the inflate-then-verify decode path.
+fn band_esclz_archive_f32() -> Vec<u8> {
+    const ALPHABET: [f32; 5] = [0.0, 1.0e8, -3.0e7, 7.0e6, -9.0e5];
+    let data = Tensor::from_fn([48, 36], |ix| ALPHABET[(ix[0] * 36 + ix[1]) % 5]);
+    let bytes = compress(
+        &data,
+        &Config::new(ErrorBound::Absolute(EB)).with_escape_lz(),
+    )
+    .unwrap();
+    assert_eq!(bytes[4], 5, "fixture must carry the v5 escape-LZ framing");
+    bytes
+}
+
 fn chunked_archive_f32() -> Vec<u8> {
     let config = Config::new(ErrorBound::Absolute(EB));
     szr_parallel::compress_chunked(&field_f32(), &config, 4, 2)
@@ -71,6 +87,8 @@ fn decode_family(family: &str, bytes: &[u8]) -> Result<Vec<f64>, szr_core::SzErr
             .map(|t| t.as_slice().iter().map(|&v| v as f64).collect()),
         "band-f64" => decompress_with_policy::<f64>(bytes, DecodePolicy::Verify)
             .map(|t| t.as_slice().to_vec()),
+        "band-esclz-f32" => decompress_with_policy::<f32>(bytes, DecodePolicy::Verify)
+            .map(|t| t.as_slice().iter().map(|&v| v as f64).collect()),
         "chunked-f32" => {
             let container = ChunkedArchive::from_bytes(bytes)?;
             decompress_chunked_with_policy::<f32>(&container, 2, DecodePolicy::Verify)
@@ -146,6 +164,18 @@ fn band_f64_survives_all_mutators() {
     }
 }
 
+/// v5 archives store the escape stream *deflated*: mutators hit the DEFLATE
+/// bitstream itself, so the inflate step — not just the CRC — must reject
+/// garbage with a typed error, and bit flips the inflater happens to accept
+/// are still caught by the payload checksum over the raw escape bytes.
+#[test]
+fn band_esclz_f32_survives_all_mutators() {
+    let pristine = band_esclz_archive_f32();
+    for seed in 0..32 {
+        sweep("band-esclz-f32", &pristine, seed);
+    }
+}
+
 #[test]
 fn chunked_f32_survives_all_mutators() {
     let pristine = chunked_archive_f32();
@@ -178,13 +208,14 @@ proptest! {
     #[test]
     fn random_seed_mutations_never_break_the_invariant(
         seed in 0u64..u64::MAX,
-        pick in 0usize..5,
+        pick in 0usize..6,
     ) {
         let (family, pristine) = match pick {
             0 => ("band-f32", band_archive_f32()),
             1 => ("band-f64", band_archive_f64()),
             2 => ("chunked-f32", chunked_archive_f32()),
             3 => ("stream-f32", stream_archive_f32()),
+            4 => ("band-esclz-f32", band_esclz_archive_f32()),
             _ => ("pwrel-f32", pwrel_archive_f32()),
         };
         sweep(family, &pristine, seed);

@@ -104,6 +104,69 @@ fn random_garbage_never_panics_any_decoder() {
     }
 }
 
+/// Chunked containers carry the escape-LZ trial per band: with
+/// `Config::with_escape_lz` on escape-heavy data every self-contained band
+/// commits the v5 framing, the container decodes within bound and smaller
+/// than its plain counterpart, and salvage still recovers intact bands
+/// bit-identically after damage.
+#[test]
+fn chunked_bands_carry_escape_lz_framing() {
+    const ALPHABET: [f32; 5] = [0.0, 1.0e8, -3.0e7, 7.0e6, -9.0e5];
+    // Bands must be big enough — and the row width not a multiple of the
+    // alphabet period — for the per-band trial's win to survive the
+    // whole-payload DEFLATE post-pass (on degenerate row-identical bands,
+    // deflating the raw escape stream there nearly ties and the v5
+    // framing's few bytes of overhead can lose).
+    let data = Tensor::from_fn([256, 64], |ix| ALPHABET[(ix[0] * 64 + ix[1]) % 5]);
+    let eb = 1e-3;
+    let config = Config::new(ErrorBound::Absolute(eb)).with_escape_lz();
+    let archive = compress_chunked(&data, &config, 4, 2).unwrap();
+    for (i, band) in archive.chunks.iter().enumerate() {
+        assert_eq!(band[4], 5, "band {i} must carry the v5 escape-LZ framing");
+    }
+    let out: Tensor<f32> = decompress_chunked(&archive, 2).unwrap();
+    assert!(max_abs_error(data.as_slice(), out.as_slice()) <= eb);
+
+    let plain = compress_chunked(&data, &Config::new(ErrorBound::Absolute(eb)), 4, 2).unwrap();
+    let lz_total: usize = archive.chunks.iter().map(Vec::len).sum();
+    let plain_total: usize = plain.chunks.iter().map(Vec::len).sum();
+    assert!(
+        lz_total < plain_total,
+        "escape-LZ container ({lz_total} B) must beat plain ({plain_total} B)"
+    );
+
+    // Damage the back half of band 1: salvage fills its rows and recovers
+    // every other band bit-identically — inflation failures on a mangled
+    // deflate stream must degrade exactly like a CRC mismatch.
+    let mut damaged = archive.clone();
+    let n = damaged.chunks[1].len();
+    for b in &mut damaged.chunks[1][n / 2..] {
+        *b ^= 0xA5;
+    }
+    let (recovered, report) =
+        szr::parallel::decompress_chunked_salvage::<f32>(&damaged, 2, f32::NAN).unwrap();
+    assert_eq!(
+        report.damaged.iter().map(|d| d.band).collect::<Vec<_>>(),
+        vec![1]
+    );
+    let rows_per_band = 256 / archive.chunks.len();
+    for r in 0..256 {
+        let band = (r / rows_per_band).min(archive.chunks.len() - 1);
+        let got = &recovered.as_slice()[r * 64..(r + 1) * 64];
+        let want = &out.as_slice()[r * 64..(r + 1) * 64];
+        if band == 1 {
+            assert!(got.iter().all(|v| v.is_nan()), "row {r} must be filled");
+        } else {
+            assert!(
+                got.iter()
+                    .zip(want)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "intact band {band} row {r} must be bit-identical"
+            );
+        }
+    }
+}
+
 #[test]
 fn valid_magic_with_corrupt_body_never_panics() {
     let data = Tensor::from_fn([32, 32], |ix| (ix[0] + ix[1]) as f32);

@@ -5,10 +5,12 @@
 //! itself. A counting global allocator (this binary only) pins it down.
 //!
 //! The measured configuration is the fused table-reuse mode with fixed
-//! interval bits and no DEFLATE post-pass — the two gated stages that
-//! intentionally still allocate are the adaptive-interval sampler (a small
-//! per-call histogram) and the DEFLATE encoder (its own scratch), both
-//! documented on `CodecSession`.
+//! interval bits. The DEFLATE post-pass is covered too: the encoder is a
+//! session-owned `szr_deflate::Deflater` whose hash chains, token buffer,
+//! and output bytes all live across calls, so the lossless pass adds zero
+//! steady-state allocations. The one stage that intentionally still
+//! allocates is the adaptive-interval sampler (a small per-call
+//! histogram), documented on `CodecSession`.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
@@ -114,6 +116,44 @@ fn steady_state_session_compress_allocates_only_the_output_archive() {
     // one-off).
     let (allocs3, _, _) = count_allocs(|| session.compress(&data).unwrap());
     assert_eq!(allocs3, 1, "third call must match the second");
+}
+
+#[test]
+fn steady_state_deflate_path_compress_allocates_only_the_output_archive() {
+    // Same pin as above but WITH the DEFLATE post-pass: the session owns a
+    // reusable `Deflater` (hash chains, token buffer, output bytes), so
+    // once its scratch is sized the lossless pass must be allocation-free
+    // and the warm fused compress still allocates exactly the archive.
+    let data = Tensor::from_fn([96, 128], |ix| {
+        ((ix[0] as f32) * 0.07).sin() * 12.0 + ((ix[1] as f32) * 0.05).cos() * 3.0
+    });
+    let config = Config::new(ErrorBound::Absolute(1e-3)).with_interval_bits(8);
+    let mut session = CodecSession::<f32>::new(config).unwrap();
+    session.set_table_reuse(true);
+
+    // Call 1: staged. Call 2: first fused call sizes the deflate scratch to
+    // this payload. Call 3 and later: steady state.
+    let _ = session.compress(&data).unwrap();
+    let _ = session.compress(&data).unwrap();
+
+    let (allocs, bytes, warm) = count_allocs(|| session.compress(&data).unwrap());
+    assert_eq!(
+        allocs, 1,
+        "warm DEFLATE-path compress must allocate exactly the output \
+         archive ({allocs} allocations, {bytes} bytes)"
+    );
+    assert!(
+        bytes <= (warm.len() as u64) * 4 + 1024,
+        "the single allocation should be archive-sized: {bytes} bytes for a \
+         {}-byte archive",
+        warm.len()
+    );
+    let restored: Tensor<f32> = szr::decompress(&warm).unwrap();
+    for (&a, &b) in data.as_slice().iter().zip(restored.as_slice()) {
+        assert!((a as f64 - b as f64).abs() <= 1e-3);
+    }
+    let (allocs4, _, _) = count_allocs(|| session.compress(&data).unwrap());
+    assert_eq!(allocs4, 1, "fourth call must match the third");
 }
 
 #[test]
